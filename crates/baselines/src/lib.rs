@@ -1,0 +1,37 @@
+//! Strawman baselines and public-key substrate.
+//!
+//! The paper's evaluation compares TimeCrypt against a *strawman* private
+//! time series store whose chunk digests are encrypted with an additively
+//! homomorphic public-key scheme — Paillier or EC-ElGamal — representing
+//! encrypted databases like CryptDB/Talos (§6). This crate implements both
+//! from scratch, plus the machinery they need:
+//!
+//! | Module | Content |
+//! |--------|---------|
+//! | [`bn`] | Arbitrary-precision unsigned integers (add/sub/mul/div/shift) |
+//! | [`mont`] | Montgomery multiplication & modular exponentiation (CIOS) |
+//! | [`prime`] | Sieve + Miller-Rabin probable-prime generation |
+//! | [`paillier`] | Paillier cryptosystem with `g = n+1` fast path; 3072-bit for the 128-bit setting of Table 2 |
+//! | [`p256`] | NIST P-256 field/group arithmetic (Jacobian coordinates) |
+//! | [`elgamal`] | Additively homomorphic EC-ElGamal (`m·G` encoding) with baby-step/giant-step decryption |
+//! | [`ecies`] | ECIES hybrid encryption over P-256 — used by the client to seal grant blobs for principals (§3.2's "encrypted with the principal's public key") |
+//! | [`abe`] | Cost model replaying the paper's measured ABE constants (§6.2: 53 ms/chunk grant, 13 ms/chunk decrypt) |
+//!
+//! Both strawman ciphertexts implement [`timecrypt_index::HomDigest`], so
+//! the *identical* aggregation-tree code runs over Paillier and EC-ElGamal
+//! digests in the Table 2 / Fig. 5 / Fig. 7 benchmarks.
+
+pub mod abe;
+pub mod bn;
+pub mod ecdsa;
+pub mod ecies;
+pub mod elgamal;
+pub mod mont;
+pub mod p256;
+pub mod paillier;
+pub mod prime;
+
+pub use bn::BigUint;
+pub use ecdsa::{Signature, SigningKey, VerifyingKey};
+pub use paillier::{Paillier, PaillierCiphertext, PaillierDigest};
+pub use elgamal::{EcElGamal, ElGamalCiphertext, ElGamalDigest};

@@ -1,0 +1,147 @@
+//! Table 2: micro ADD cost, index size, average ingest time, and average
+//! worst-case query time for Paillier / EC-ElGamal / TimeCrypt / Plaintext.
+//!
+//! ```sh
+//! cargo run -p timecrypt-bench --release --bin table2            # scaled sizes
+//! cargo run -p timecrypt-bench --release --bin table2 -- --full  # paper sizes (1M chunks)
+//! ```
+//!
+//! The paper runs 1k / 1M / 100M chunks on AWS; by default this harness runs
+//! 1k / 100k for TimeCrypt & plaintext and 1k for the strawman schemes
+//! (whose per-op cost is 3–4 orders of magnitude higher — exactly the point
+//! of the table). `--full` raises TimeCrypt/plaintext to 1M.
+
+use std::sync::Arc;
+use std::time::Instant;
+use timecrypt_baselines::{EcElGamal, ElGamalDigest, Paillier, PaillierDigest};
+use timecrypt_bench::measure::{format_bytes, format_duration, time_avg};
+use timecrypt_core::heac::{decrypt_range_sum, HeacEncryptor};
+use timecrypt_core::TreeKd;
+use timecrypt_crypto::{PrgKind, SecureRandom};
+use timecrypt_index::{AggTree, HomDigest, TreeConfig};
+use timecrypt_store::MemKv;
+
+fn tree_cfg() -> TreeConfig {
+    TreeConfig { arity: 64, cache_bytes: 512 << 20 }
+}
+
+/// Ingests `n` digests produced by `make`, returning (avg ingest, tree).
+fn run_ingest<D: HomDigest>(
+    n: u64,
+    mut make: impl FnMut(u64) -> D,
+) -> (std::time::Duration, AggTree<D>) {
+    let kv = Arc::new(MemKv::new());
+    let mut tree: AggTree<D> = AggTree::open(kv, 1, tree_cfg()).unwrap();
+    let start = Instant::now();
+    for i in 0..n {
+        tree.append(make(i)).unwrap();
+    }
+    (start.elapsed() / n as u32, tree)
+}
+
+/// Worst-case-alignment queries: [1, n-1) forces drill-down on both edges.
+fn run_query<D: HomDigest>(
+    tree: &AggTree<D>,
+    n: u64,
+    iters: u64,
+    mut post: impl FnMut(D),
+) -> std::time::Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        let d = tree.query(1, n - 1).unwrap();
+        post(d);
+    }
+    start.elapsed() / iters as u32
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let tc_sizes: &[u64] = if full { &[1_000, 1_000_000] } else { &[1_000, 100_000] };
+    let straw_sizes: &[u64] = &[1_000];
+    let mut rng = SecureRandom::from_seed_insecure(1);
+
+    println!("=== Table 2: index micro-operations (sum digest, 64-ary tree, 128-bit security) ===\n");
+
+    // ── Micro ADD ──────────────────────────────────────────────────────
+    println!("-- micro ADD (single homomorphic addition) --");
+    let mut acc = 0u64;
+    let add_plain = time_avg(10_000_000, || acc = acc.wrapping_add(12345));
+    std::hint::black_box(acc);
+    println!("  Plaintext/TimeCrypt ADD: {}", format_duration(add_plain));
+
+    println!("  generating Paillier-3072 keypair (one-time)...");
+    let paillier = Paillier::generate(3072, &mut rng);
+    let pa = paillier.public.encrypt(1, &mut rng);
+    let pb = paillier.public.encrypt(2, &mut rng);
+    let mut pacc = paillier.public.zero();
+    let add_paillier = time_avg(200, || pacc = paillier.public.add(&pa, &pb));
+    println!("  Paillier ADD:            {}", format_duration(add_paillier));
+
+    let elgamal = EcElGamal::generate(1 << 20, &mut rng);
+    let ea = elgamal.encrypt(1, &mut rng);
+    let eb = elgamal.encrypt(2, &mut rng);
+    let mut eacc = EcElGamal::zero();
+    let add_elgamal = time_avg(500, || eacc = EcElGamal::add(&ea, &eb));
+    println!("  EC-ElGamal ADD:          {}\n", format_duration(add_elgamal));
+
+    // ── Plaintext & TimeCrypt: ingest / size / query ───────────────────
+    let kd = TreeKd::new([7u8; 16], 30, PrgKind::Aes).unwrap();
+    println!("{:<12} {:>10} {:>14} {:>14} {:>14}", "scheme", "chunks", "index size", "avg ingest", "avg query(wc)");
+    for &n in tc_sizes {
+        // Plaintext: digest in the clear.
+        let (ingest, tree) = run_ingest(n, |i| vec![i]);
+        let size = tree.stats().unwrap().stored_bytes;
+        let query = run_query(&tree, n, 2_000, |d| {
+            std::hint::black_box(d[0]);
+        });
+        println!(
+            "{:<12} {:>10} {:>14} {:>14} {:>14}",
+            "Plaintext", n, format_bytes(size), format_duration(ingest), format_duration(query)
+        );
+
+        // TimeCrypt: HEAC-encrypted digest; ingest includes encryption,
+        // query includes boundary-key decryption.
+        let enc = HeacEncryptor::new(&kd);
+        let (ingest, tree) = run_ingest(n, |i| enc.encrypt_digest(i, &[i]).unwrap());
+        let size = tree.stats().unwrap().stored_bytes;
+        let query = run_query(&tree, n, 2_000, |d| {
+            std::hint::black_box(decrypt_range_sum(&kd, 1, n - 1, &d).unwrap());
+        });
+        println!(
+            "{:<12} {:>10} {:>14} {:>14} {:>14}",
+            "TimeCrypt", n, format_bytes(size), format_duration(ingest), format_duration(query)
+        );
+    }
+
+    // ── Strawman schemes ───────────────────────────────────────────────
+    for &n in straw_sizes {
+        let (ingest, tree) = run_ingest(n, |i| {
+            PaillierDigest(vec![paillier.public.encrypt(i, &mut SecureRandom::from_seed_insecure(i))])
+        });
+        let size = tree.stats().unwrap().stored_bytes;
+        let query = run_query(&tree, n, 5, |d| {
+            std::hint::black_box(paillier.decrypt(&d.0[0]));
+        });
+        println!(
+            "{:<12} {:>10} {:>14} {:>14} {:>14}",
+            "Paillier", n, format_bytes(size), format_duration(ingest), format_duration(query)
+        );
+
+        let (ingest, tree) = run_ingest(n, |i| {
+            ElGamalDigest(vec![elgamal.encrypt(i % 100, &mut SecureRandom::from_seed_insecure(i))])
+        });
+        let size = tree.stats().unwrap().stored_bytes;
+        let query = run_query(&tree, n, 5, |d| {
+            std::hint::black_box(elgamal.decrypt(&d.0[0]));
+        });
+        println!(
+            "{:<12} {:>10} {:>14} {:>14} {:>14}",
+            "EC-ElGamal", n, format_bytes(size), format_duration(ingest), format_duration(query)
+        );
+    }
+
+    println!("\nPaper shape check: TimeCrypt ≈ plaintext (1.1–1.8x); strawman 3+ orders");
+    println!("of magnitude slower on ingest/query; Paillier ~96x index expansion");
+    println!("(768B/ct at 3072-bit), EC-ElGamal ~16x (130B/ct uncompressed points),");
+    println!("TimeCrypt 1x (8B/ct, zero expansion).");
+}

@@ -1,0 +1,9 @@
+//! Benchmark support library: workload generators and measurement helpers
+//! shared by the table/figure harness binaries (see DESIGN.md §2 for the
+//! experiment → binary map).
+
+pub mod measure;
+pub mod workload;
+
+pub use measure::{format_duration, Timer};
+pub use workload::{DevOpsWorkload, MHealthWorkload};

@@ -1,0 +1,169 @@
+//! Bit-granular I/O used by the Gorilla codec ([`crate::compress`]).
+//!
+//! MSB-first within each byte, matching the layout in the Gorilla paper
+//! (Pelkonen et al., VLDB 2015) so encoded streams are easy to eyeball
+//! against the published examples.
+
+use crate::compress::CodecError;
+
+/// Append-only MSB-first bit sink.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits already used in the last byte of `buf` (0 when byte-aligned).
+    used: u8,
+}
+
+impl BitWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.push(0);
+            self.used = 8;
+        }
+        if bit {
+            let last = self.buf.last_mut().expect("just ensured non-empty");
+            *last |= 1 << (self.used - 1);
+        }
+        self.used -= 1;
+    }
+
+    /// Appends the `n` low bits of `v`, most significant first. `n <= 64`.
+    pub fn write_bits(&mut self, v: u64, n: u8) {
+        debug_assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((v >> i) & 1 == 1);
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 - self.used as usize
+    }
+
+    /// Finishes the stream; trailing bits of the last byte are zero.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends the finished bitstream to `out`.
+    pub fn append_to(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.buf);
+    }
+}
+
+/// MSB-first bit source over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit cursor.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from `buf` starting at its first bit.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Reads one bit; [`CodecError::Truncated`] past the end.
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let byte = self.buf.get(self.pos / 8).ok_or(CodecError::Truncated)?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n <= 64` bits MSB-first into the low bits of the result.
+    pub fn read_bits(&mut self, n: u8) -> Result<u64, CodecError> {
+        debug_assert!(n <= 64);
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let pattern = [true, false, true, true, false, false, false, true, true, false];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), pattern.len());
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn multi_bit_fields_roundtrip() {
+        let fields: [(u64, u8); 7] = [
+            (0, 1),
+            (1, 1),
+            (0b101, 3),
+            (0xdead_beef, 32),
+            (u64::MAX, 64),
+            (0, 64),
+            (0x7f, 7),
+        ];
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            assert_eq!(r.read_bits(n).unwrap(), v, "field {v}/{n}");
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1000_0001, 8);
+        assert_eq!(w.into_bytes(), vec![0b1000_0001]);
+    }
+
+    #[test]
+    fn read_past_end_is_truncated() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes(); // one byte, 5 padding bits
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(8).unwrap(), 0b1010_0000);
+        assert_eq!(r.read_bit(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn empty_reader_truncated() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.read_bit(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bit_len_tracks_padding() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 9);
+        assert_eq!(w.bit_len(), 9);
+        assert_eq!(w.into_bytes().len(), 2);
+    }
+}

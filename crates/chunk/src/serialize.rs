@@ -1,0 +1,568 @@
+//! Chunk construction, encryption, and byte-level serialization (§4.1).
+//!
+//! The producer path is: accumulate points → cut at Δ boundaries
+//! ([`ChunkBuilder`]) → compute the plaintext digest → HEAC-encrypt the
+//! digest and AES-GCM-encrypt the compressed payload ([`PlainChunk::seal`])
+//! → ship the [`EncryptedChunk`] to the server. The server indexes the
+//! digest ciphertext and stores the payload blob; it can read neither.
+
+use crate::compress::{self, CodecError};
+use crate::model::{ChunkId, DataPoint, StreamConfig, StreamId};
+use timecrypt_core::heac::{HeacEncryptor, KeySource};
+use timecrypt_core::keys::payload_key;
+use timecrypt_core::{CoreError, StreamKeyMaterial};
+use timecrypt_crypto::gcm::NONCE_LEN;
+use timecrypt_crypto::{AesGcm128, SecureRandom};
+
+/// A chunk before encryption: the producer-side in-memory form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainChunk {
+    /// Owning stream.
+    pub stream: StreamId,
+    /// Position in the stream = keystream index.
+    pub index: ChunkId,
+    /// The points, in timestamp order, all within the chunk's Δ window.
+    pub points: Vec<DataPoint>,
+}
+
+/// Errors along the chunk seal/open path.
+#[derive(Debug)]
+pub enum ChunkError {
+    /// Key derivation / scope failure.
+    Core(CoreError),
+    /// Payload failed authenticated decryption.
+    PayloadAuth,
+    /// Payload decompression failed after successful authentication
+    /// (indicates a producer bug, not tampering).
+    Codec(CodecError),
+    /// Serialized chunk bytes malformed.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::Core(e) => write!(f, "key error: {e}"),
+            ChunkError::PayloadAuth => write!(f, "chunk payload failed authentication"),
+            ChunkError::Codec(e) => write!(f, "payload decode error: {e}"),
+            ChunkError::Malformed(m) => write!(f, "malformed chunk bytes: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+impl From<CoreError> for ChunkError {
+    fn from(e: CoreError) -> Self {
+        ChunkError::Core(e)
+    }
+}
+
+impl PlainChunk {
+    /// Seals this chunk: computes and HEAC-encrypts the digest, compresses
+    /// and AES-GCM-encrypts the points.
+    pub fn seal(
+        &self,
+        cfg: &StreamConfig,
+        keys: &StreamKeyMaterial,
+        rng: &mut SecureRandom,
+    ) -> Result<EncryptedChunk, ChunkError> {
+        let digest = cfg.schema.compute(&self.points);
+        let enc = HeacEncryptor::new(&keys.tree);
+        let digest_ct = enc.encrypt_digest(self.index, &digest)?;
+        let compressed = compress::compress(cfg.codec, &self.points);
+        let key = keys.payload_key(self.index)?;
+        let gcm = AesGcm128::new(&key);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill(&mut nonce);
+        let mut payload = nonce.to_vec();
+        payload.extend_from_slice(&gcm.seal(&nonce, &Self::aad(self.stream, self.index), &compressed));
+        Ok(EncryptedChunk {
+            stream: self.stream,
+            index: self.index,
+            digest_ct,
+            payload,
+        })
+    }
+
+    fn aad(stream: StreamId, index: ChunkId) -> [u8; 24] {
+        let mut aad = [0u8; 24];
+        aad[..16].copy_from_slice(&stream.to_be_bytes());
+        aad[16..].copy_from_slice(&index.to_be_bytes());
+        aad
+    }
+}
+
+/// The server-visible form of a chunk: HEAC digest ciphertext + opaque
+/// payload blob (`nonce || GCM(compressed points)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedChunk {
+    /// Owning stream.
+    pub stream: StreamId,
+    /// Chunk index.
+    pub index: ChunkId,
+    /// Element-wise HEAC ciphertext of the digest vector.
+    pub digest_ct: Vec<u64>,
+    /// `nonce || AES-GCM(compressed payload)`.
+    pub payload: Vec<u8>,
+}
+
+impl EncryptedChunk {
+    /// Opens the payload with any key source covering leaves
+    /// `index, index+1` and returns the decompressed points.
+    pub fn open_payload<K: KeySource>(
+        &self,
+        keys: &K,
+    ) -> Result<Vec<DataPoint>, ChunkError> {
+        if self.payload.len() < NONCE_LEN {
+            return Err(ChunkError::Malformed("payload shorter than nonce"));
+        }
+        let key = payload_key(keys, self.index)?;
+        let gcm = AesGcm128::new(&key);
+        let nonce: [u8; NONCE_LEN] = self.payload[..NONCE_LEN].try_into().unwrap();
+        let compressed = gcm
+            .open(&nonce, &PlainChunk::aad(self.stream, self.index), &self.payload[NONCE_LEN..])
+            .map_err(|_| ChunkError::PayloadAuth)?;
+        compress::decompress(&compressed).map_err(ChunkError::Codec)
+    }
+
+    /// Serializes for storage: all fields length-prefixed, little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.digest_ct.len() * 8 + self.payload.len());
+        out.extend_from_slice(&self.stream.to_le_bytes());
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out.extend_from_slice(&(self.digest_ct.len() as u32).to_le_bytes());
+        for &d in &self.digest_ct {
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses bytes produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, ChunkError> {
+        let need = |ok: bool| if ok { Ok(()) } else { Err(ChunkError::Malformed("truncated")) };
+        need(buf.len() >= 28)?;
+        let stream = u128::from_le_bytes(buf[0..16].try_into().unwrap());
+        let index = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let dn = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+        let mut pos = 28;
+        need(buf.len() >= pos + dn * 8 + 4)?;
+        let mut digest_ct = Vec::with_capacity(dn);
+        for _ in 0..dn {
+            digest_ct.push(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
+            pos += 8;
+        }
+        let pn = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 4;
+        need(buf.len() == pos + pn)?;
+        Ok(EncryptedChunk { stream, index, digest_ct, payload: buf[pos..].to_vec() })
+    }
+}
+
+/// A single real-time record (§4.6 "client-side batching"): one data point
+/// sealed and uploaded *immediately*, before its chunk closes.
+///
+/// Chunking bounds ingest latency by Δ; the paper removes that latency
+/// "without breaking the encryption, by instantly uploading encrypted data
+/// records in real-time to the datastore and dropping the encrypted records
+/// once the corresponding chunk is stored". A `SealedRecord` is that
+/// real-time upload: the point AES-GCM-encrypted under the same per-chunk
+/// payload key the finalized chunk will use, with an AAD that
+/// domain-separates live records (tag, stream, chunk, sequence) from chunk
+/// payloads. Any key source able to open the chunk can open its live
+/// records — access control is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedRecord {
+    /// Owning stream.
+    pub stream: StreamId,
+    /// Chunk this record will belong to once the chunk closes.
+    pub chunk: ChunkId,
+    /// Position within the chunk (upload order).
+    pub seq: u32,
+    /// `nonce || AES-GCM(ts_le || value_le)`.
+    pub payload: Vec<u8>,
+}
+
+impl SealedRecord {
+    fn live_aad(stream: StreamId, chunk: ChunkId, seq: u32) -> [u8; 29] {
+        let mut aad = [0u8; 29];
+        aad[0] = b'L';
+        aad[1..17].copy_from_slice(&stream.to_be_bytes());
+        aad[17..25].copy_from_slice(&chunk.to_be_bytes());
+        aad[25..].copy_from_slice(&seq.to_be_bytes());
+        aad
+    }
+
+    /// Seals one point for real-time upload.
+    pub fn seal<K: KeySource>(
+        stream: StreamId,
+        chunk: ChunkId,
+        seq: u32,
+        point: DataPoint,
+        keys: &K,
+        rng: &mut SecureRandom,
+    ) -> Result<Self, ChunkError> {
+        let key = payload_key(keys, chunk)?;
+        let gcm = AesGcm128::new(&key);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill(&mut nonce);
+        let mut plain = [0u8; 16];
+        plain[..8].copy_from_slice(&point.ts.to_le_bytes());
+        plain[8..].copy_from_slice(&point.value.to_le_bytes());
+        let mut payload = nonce.to_vec();
+        payload.extend_from_slice(&gcm.seal(&nonce, &Self::live_aad(stream, chunk, seq), &plain));
+        Ok(SealedRecord { stream, chunk, seq, payload })
+    }
+
+    /// Opens the record with any key source covering leaf `chunk`.
+    pub fn open<K: KeySource>(&self, keys: &K) -> Result<DataPoint, ChunkError> {
+        if self.payload.len() < NONCE_LEN {
+            return Err(ChunkError::Malformed("record shorter than nonce"));
+        }
+        let key = payload_key(keys, self.chunk)?;
+        let gcm = AesGcm128::new(&key);
+        let nonce: [u8; NONCE_LEN] = self.payload[..NONCE_LEN].try_into().unwrap();
+        let plain = gcm
+            .open(
+                &nonce,
+                &Self::live_aad(self.stream, self.chunk, self.seq),
+                &self.payload[NONCE_LEN..],
+            )
+            .map_err(|_| ChunkError::PayloadAuth)?;
+        if plain.len() != 16 {
+            return Err(ChunkError::Malformed("record plaintext size"));
+        }
+        Ok(DataPoint {
+            ts: i64::from_le_bytes(plain[..8].try_into().unwrap()),
+            value: i64::from_le_bytes(plain[8..].try_into().unwrap()),
+        })
+    }
+
+    /// Serializes for the wire/live-buffer: fixed header + payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.payload.len());
+        out.extend_from_slice(&self.stream.to_le_bytes());
+        out.extend_from_slice(&self.chunk.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses bytes produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, ChunkError> {
+        if buf.len() < 32 {
+            return Err(ChunkError::Malformed("truncated record"));
+        }
+        let stream = u128::from_le_bytes(buf[0..16].try_into().unwrap());
+        let chunk = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let seq = u32::from_le_bytes(buf[24..28].try_into().unwrap());
+        let pn = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+        if buf.len() != 32 + pn {
+            return Err(ChunkError::Malformed("truncated record payload"));
+        }
+        Ok(SealedRecord { stream, chunk, seq, payload: buf[32..].to_vec() })
+    }
+}
+
+/// Client-side batcher: accepts points in timestamp order and emits a
+/// [`PlainChunk`] each time the Δ boundary is crossed (§4.6 "client-side
+/// batching").
+pub struct ChunkBuilder {
+    cfg: StreamConfig,
+    current: Option<(ChunkId, Vec<DataPoint>)>,
+    next_expected: ChunkId,
+}
+
+impl ChunkBuilder {
+    /// Creates a builder for a stream.
+    pub fn new(cfg: StreamConfig) -> Self {
+        ChunkBuilder { cfg, current: None, next_expected: 0 }
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Pushes a point. Returns the completed chunks this push sealed off
+    /// (normally zero or one; multiple if the point skipped over empty Δ
+    /// windows — empty chunks are emitted to keep the keystream contiguous).
+    ///
+    /// Points must arrive in non-decreasing timestamp order; out-of-order or
+    /// pre-epoch points are rejected.
+    pub fn push(&mut self, p: DataPoint) -> Result<Vec<PlainChunk>, ChunkError> {
+        let chunk = self
+            .cfg
+            .chunk_of(p.ts)
+            .ok_or(ChunkError::Malformed("timestamp before stream epoch"))?;
+        let mut emitted = Vec::new();
+        match &mut self.current {
+            Some((cur, points)) => {
+                if chunk < *cur {
+                    return Err(ChunkError::Malformed("out-of-order point"));
+                }
+                if chunk == *cur {
+                    if let Some(last) = points.last() {
+                        if p.ts < last.ts {
+                            return Err(ChunkError::Malformed("out-of-order point"));
+                        }
+                    }
+                    points.push(p);
+                    return Ok(emitted);
+                }
+                // Crossed a boundary: seal current, emit empties for gaps.
+                let (cur, points) = self.current.take().unwrap();
+                emitted.push(PlainChunk { stream: self.cfg.id, index: cur, points });
+                for empty in (cur + 1)..chunk {
+                    emitted.push(PlainChunk { stream: self.cfg.id, index: empty, points: Vec::new() });
+                }
+                self.current = Some((chunk, vec![p]));
+                self.next_expected = chunk + 1;
+            }
+            None => {
+                // First point: emit empty chunks from next_expected (0 at
+                // start) up to the point's chunk.
+                for empty in self.next_expected..chunk {
+                    emitted.push(PlainChunk { stream: self.cfg.id, index: empty, points: Vec::new() });
+                }
+                self.current = Some((chunk, vec![p]));
+                self.next_expected = chunk + 1;
+            }
+        }
+        Ok(emitted)
+    }
+
+    /// Flushes the in-progress chunk (e.g. at stream close).
+    pub fn flush(&mut self) -> Option<PlainChunk> {
+        self.current
+            .take()
+            .map(|(index, points)| PlainChunk { stream: self.cfg.id, index, points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DigestSchema;
+    use timecrypt_core::heac::decrypt_range_sum;
+    use timecrypt_crypto::PrgKind;
+
+    fn setup() -> (StreamConfig, StreamKeyMaterial, SecureRandom) {
+        let cfg = StreamConfig::new(7, "hr", 0, 10_000);
+        let keys = StreamKeyMaterial::with_params(7, [3u8; 16], 20, PrgKind::Aes).unwrap();
+        let rng = SecureRandom::from_seed_insecure(1);
+        (cfg, keys, rng)
+    }
+
+    fn points_for_chunk(chunk: u64, n: usize) -> Vec<DataPoint> {
+        (0..n)
+            .map(|i| DataPoint::new(chunk as i64 * 10_000 + i as i64 * 20, 70 + i as i64 % 5))
+            .collect()
+    }
+
+    #[test]
+    fn live_record_roundtrip() {
+        let (_, keys, mut rng) = setup();
+        let p = DataPoint::new(31_500, -42);
+        let rec = SealedRecord::seal(7, 3, 2, p, &keys.tree, &mut rng).unwrap();
+        assert_eq!(rec.open(&keys.tree).unwrap(), p);
+        let parsed = SealedRecord::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(parsed, rec);
+        assert_eq!(parsed.open(&keys.tree).unwrap(), p);
+    }
+
+    #[test]
+    fn live_record_requires_matching_chunk_key() {
+        // A token set covering only chunk 5 cannot open a chunk-3 record.
+        let (_, keys, mut rng) = setup();
+        let rec =
+            SealedRecord::seal(7, 3, 0, DataPoint::new(30_001, 9), &keys.tree, &mut rng).unwrap();
+        let tokens = keys.tree.token_set(5, 7).unwrap();
+        assert!(rec.open(&tokens).is_err());
+        let tokens = keys.tree.token_set(3, 5).unwrap();
+        assert_eq!(rec.open(&tokens).unwrap(), DataPoint::new(30_001, 9));
+    }
+
+    #[test]
+    fn live_record_tamper_and_header_swap_detected() {
+        let (_, keys, mut rng) = setup();
+        let rec =
+            SealedRecord::seal(7, 3, 1, DataPoint::new(30_500, 7), &keys.tree, &mut rng).unwrap();
+        // Ciphertext bit-flip.
+        let mut bad = rec.clone();
+        *bad.payload.last_mut().unwrap() ^= 1;
+        assert!(bad.open(&keys.tree).is_err());
+        // Header (AAD) swap: replaying the record under another seq.
+        let mut bad = rec.clone();
+        bad.seq = 2;
+        assert!(bad.open(&keys.tree).is_err());
+        // Chunk swap fails even though the key for chunk 3 was used.
+        let mut bad = rec;
+        bad.chunk = 4;
+        assert!(bad.open(&keys.tree).is_err());
+    }
+
+    #[test]
+    fn live_record_distinct_from_chunk_payload_domain() {
+        // A chunk payload blob reinterpreted as a live record must not
+        // authenticate (domain separation via AAD tag byte).
+        let (cfg, keys, mut rng) = setup();
+        let sealed = PlainChunk { stream: 7, index: 3, points: points_for_chunk(3, 1) }
+            .seal(&cfg, &keys, &mut rng)
+            .unwrap();
+        let forged = SealedRecord { stream: 7, chunk: 3, seq: 0, payload: sealed.payload };
+        assert!(forged.open(&keys.tree).is_err());
+    }
+
+    #[test]
+    fn live_record_from_bytes_rejects_garbage() {
+        assert!(SealedRecord::from_bytes(&[]).is_err());
+        assert!(SealedRecord::from_bytes(&[0u8; 31]).is_err());
+        let (_, keys, mut rng) = setup();
+        let rec =
+            SealedRecord::seal(7, 3, 0, DataPoint::new(30_000, 1), &keys.tree, &mut rng).unwrap();
+        let mut bytes = rec.to_bytes();
+        bytes.pop();
+        assert!(SealedRecord::from_bytes(&bytes).is_err());
+        bytes.push(0);
+        bytes.push(0);
+        assert!(SealedRecord::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let (cfg, keys, mut rng) = setup();
+        let chunk = PlainChunk { stream: 7, index: 3, points: points_for_chunk(3, 500) };
+        let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
+        assert_eq!(sealed.digest_ct.len(), cfg.schema.width());
+        let opened = sealed.open_payload(&keys.tree).unwrap();
+        assert_eq!(opened, chunk.points);
+    }
+
+    #[test]
+    fn sealed_digest_decrypts_to_schema_digest() {
+        let (cfg, keys, mut rng) = setup();
+        let chunk = PlainChunk { stream: 7, index: 5, points: points_for_chunk(5, 100) };
+        let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
+        let dec = decrypt_range_sum(&keys.tree, 5, 6, &sealed.digest_ct).unwrap();
+        assert_eq!(dec, cfg.schema.compute(&chunk.points));
+    }
+
+    #[test]
+    fn payload_tamper_detected() {
+        let (cfg, keys, mut rng) = setup();
+        let chunk = PlainChunk { stream: 7, index: 0, points: points_for_chunk(0, 10) };
+        let mut sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
+        let last = sealed.payload.len() - 1;
+        sealed.payload[last] ^= 1;
+        assert!(matches!(sealed.open_payload(&keys.tree), Err(ChunkError::PayloadAuth)));
+    }
+
+    #[test]
+    fn cross_chunk_payload_swap_detected() {
+        // AAD binds (stream, index): replaying chunk 0's payload as chunk 1
+        // must fail even under the right key-source.
+        let (cfg, keys, mut rng) = setup();
+        let c0 = PlainChunk { stream: 7, index: 0, points: points_for_chunk(0, 5) };
+        let sealed0 = c0.seal(&cfg, &keys, &mut rng).unwrap();
+        let forged = EncryptedChunk { index: 1, ..sealed0 };
+        assert!(forged.open_payload(&keys.tree).is_err());
+    }
+
+    #[test]
+    fn consumer_without_keys_cannot_open() {
+        let (cfg, keys, mut rng) = setup();
+        let chunk = PlainChunk { stream: 7, index: 8, points: points_for_chunk(8, 5) };
+        let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
+        let ts = keys.tree.token_set(0, 5).unwrap();
+        assert!(matches!(
+            sealed.open_payload(&ts),
+            Err(ChunkError::Core(CoreError::OutOfScope { .. }))
+        ));
+        // Granted range includes leaf 8 and 9 → works.
+        let ts_ok = keys.tree.token_set(8, 9).unwrap();
+        assert_eq!(sealed.open_payload(&ts_ok).unwrap(), chunk.points);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let (cfg, keys, mut rng) = setup();
+        let chunk = PlainChunk { stream: 7, index: 2, points: points_for_chunk(2, 50) };
+        let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
+        let bytes = sealed.to_bytes();
+        assert_eq!(EncryptedChunk::from_bytes(&bytes).unwrap(), sealed);
+    }
+
+    #[test]
+    fn bytes_truncation_rejected() {
+        let (cfg, keys, mut rng) = setup();
+        let sealed = PlainChunk { stream: 7, index: 2, points: points_for_chunk(2, 50) }
+            .seal(&cfg, &keys, &mut rng)
+            .unwrap();
+        let bytes = sealed.to_bytes();
+        for cut in [0usize, 10, 27, bytes.len() - 1] {
+            assert!(EncryptedChunk::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn builder_cuts_at_delta() {
+        let cfg = StreamConfig::new(1, "m", 0, 10_000);
+        let mut b = ChunkBuilder::new(cfg);
+        assert!(b.push(DataPoint::new(0, 1)).unwrap().is_empty());
+        assert!(b.push(DataPoint::new(9_999, 2)).unwrap().is_empty());
+        let done = b.push(DataPoint::new(10_000, 3)).unwrap();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].index, 0);
+        assert_eq!(done[0].points.len(), 2);
+        let tail = b.flush().unwrap();
+        assert_eq!(tail.index, 1);
+        assert_eq!(tail.points, vec![DataPoint::new(10_000, 3)]);
+    }
+
+    #[test]
+    fn builder_fills_gaps_with_empty_chunks() {
+        let cfg = StreamConfig::new(1, "m", 0, 10_000);
+        let mut b = ChunkBuilder::new(cfg);
+        b.push(DataPoint::new(500, 1)).unwrap();
+        // Jump to chunk 4: chunks 0 (with data), 1-3 (empty) are emitted.
+        let done = b.push(DataPoint::new(42_000, 2)).unwrap();
+        assert_eq!(done.len(), 4);
+        assert_eq!(done[0].points.len(), 1);
+        assert!(done[1..].iter().all(|c| c.points.is_empty()));
+        assert_eq!(done[3].index, 3);
+    }
+
+    #[test]
+    fn builder_leading_gap() {
+        let cfg = StreamConfig::new(1, "m", 0, 10_000);
+        let mut b = ChunkBuilder::new(cfg);
+        // First point lands in chunk 2: chunks 0 and 1 are emitted empty so
+        // the keystream mapping stays aligned with wall-clock time.
+        let done = b.push(DataPoint::new(25_000, 1)).unwrap();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.points.is_empty()));
+    }
+
+    #[test]
+    fn builder_rejects_within_chunk_regression() {
+        let cfg = StreamConfig::new(1, "m", 0, 10_000);
+        let mut b = ChunkBuilder::new(cfg);
+        b.push(DataPoint::new(15_000, 1)).unwrap();
+        assert!(b.push(DataPoint::new(14_999, 2)).is_err());
+        assert!(b.push(DataPoint::new(5_000, 2)).is_err());
+    }
+
+    #[test]
+    fn empty_chunk_seals_and_opens() {
+        let (cfg, keys, mut rng) = setup();
+        let chunk = PlainChunk { stream: 7, index: 0, points: Vec::new() };
+        let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
+        assert_eq!(sealed.open_payload(&keys.tree).unwrap(), Vec::<DataPoint>::new());
+        let dec = decrypt_range_sum(&keys.tree, 0, 1, &sealed.digest_ct).unwrap();
+        assert_eq!(dec, DigestSchema::standard().compute(&[]));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the chunk layer: codecs, digests, sealing.
+
+use proptest::prelude::*;
+use timecrypt_chunk::compress::{compress, decompress, Codec};
+use timecrypt_chunk::schema::{DigestOp, DigestSchema};
+use timecrypt_chunk::serialize::{EncryptedChunk, PlainChunk};
+use timecrypt_chunk::{DataPoint, StreamConfig};
+use timecrypt_core::StreamKeyMaterial;
+use timecrypt_crypto::{PrgKind, SecureRandom};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<DataPoint>> {
+    proptest::collection::vec((any::<i64>(), any::<i64>()), 0..max)
+        .prop_map(|v| v.into_iter().map(|(ts, value)| DataPoint { ts, value }).collect())
+}
+
+proptest! {
+    /// Every codec round-trips arbitrary (even hostile) point vectors,
+    /// including the best-of [`Codec::Auto`] selection.
+    #[test]
+    fn codecs_roundtrip(points in arb_points(200)) {
+        for codec in Codec::CONCRETE.into_iter().chain([Codec::Auto]) {
+            let enc = compress(codec, &points);
+            prop_assert_eq!(decompress(&enc).unwrap(), points.clone(), "{:?}", codec);
+        }
+    }
+
+    /// Auto never produces a larger encoding than any concrete codec.
+    #[test]
+    fn auto_is_never_worse(points in arb_points(150)) {
+        let auto = compress(Codec::Auto, &points);
+        for codec in Codec::CONCRETE {
+            prop_assert!(auto.len() <= compress(codec, &points).len(), "{:?}", codec);
+        }
+    }
+
+    /// Decompression never panics on arbitrary bytes — it returns Ok or Err.
+    #[test]
+    fn decompress_handles_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decompress(&bytes);
+    }
+
+    /// Digest additivity for arbitrary splits: digest(a ++ b) = digest(a) +
+    /// digest(b) element-wise mod 2^64 — the invariant HEAC aggregation
+    /// relies on.
+    #[test]
+    fn digest_additivity(points in arb_points(100), split in 0usize..100) {
+        let schema = DigestSchema::new(vec![
+            DigestOp::Sum,
+            DigestOp::Count,
+            DigestOp::SumSquares,
+            DigestOp::Histogram { bounds: vec![-1000, 0, 1000] },
+        ]);
+        let split = split.min(points.len());
+        let (a, b) = points.split_at(split);
+        let da = schema.compute(a);
+        let db = schema.compute(b);
+        let dall = schema.compute(&points);
+        let sum: Vec<u64> = da.iter().zip(db.iter()).map(|(x, y)| x.wrapping_add(*y)).collect();
+        prop_assert_eq!(sum, dall);
+    }
+
+    /// Histogram counts always total the point count, whatever the bounds.
+    #[test]
+    fn histogram_total_is_count(
+        points in arb_points(100),
+        mut bounds in proptest::collection::vec(any::<i64>(), 1..8),
+    ) {
+        bounds.sort_unstable();
+        bounds.dedup();
+        let schema = DigestSchema::new(vec![DigestOp::Histogram { bounds }]);
+        let d = schema.compute(&points);
+        let h = schema.interpret(&d).histogram.unwrap();
+        prop_assert_eq!(h.total(), points.len() as u64);
+    }
+
+    /// Chunk seal/open round-trips arbitrary in-chunk payloads, and the
+    /// serialized byte form round-trips too.
+    #[test]
+    fn seal_open_roundtrip(values in proptest::collection::vec(any::<i64>(), 0..100), idx in 0u64..500) {
+        let cfg = StreamConfig::new(3, "m", 0, 10_000);
+        let keys = StreamKeyMaterial::with_params(3, [8u8; 16], 16, PrgKind::Aes).unwrap();
+        let mut rng = SecureRandom::from_seed_insecure(idx);
+        let points: Vec<DataPoint> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| DataPoint::new(idx as i64 * 10_000 + i as i64, v))
+            .collect();
+        let chunk = PlainChunk { stream: 3, index: idx, points: points.clone() };
+        let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
+        prop_assert_eq!(sealed.open_payload(&keys.tree).unwrap(), points);
+        let bytes = sealed.to_bytes();
+        prop_assert_eq!(EncryptedChunk::from_bytes(&bytes).unwrap(), sealed);
+    }
+
+    /// Chunk parsing never panics on garbage.
+    #[test]
+    fn chunk_from_bytes_handles_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = EncryptedChunk::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,367 @@
+//! The data consumer: a principal querying within its granted scope.
+
+use crate::grants::{Grant, StreamDescriptor};
+use crate::transport::{ClientFault, Transport};
+use std::collections::HashMap;
+use timecrypt_baselines::ecies::EciesKeypair;
+use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
+use timecrypt_chunk::{DataPoint, StatSummary};
+use timecrypt_core::heac::{decrypt_range_sum, KeySource};
+use timecrypt_core::resolution::{Envelope, ResolutionConsumer};
+use timecrypt_core::{CoreError, TokenSet};
+use timecrypt_crypto::Seed128;
+use timecrypt_wire::messages::{Request, Response};
+
+/// Per-stream key material reconstructed from grants.
+struct StreamKeys {
+    descriptor: StreamDescriptor,
+    /// Tree tokens from full-resolution grants (merged).
+    tokens: Option<TokenSet>,
+    /// Resolution consumers by granularity. A principal can hold several
+    /// grants for the same granularity (e.g. an extended subscription);
+    /// each keeps its own window, and decryption tries them in turn.
+    resolutions: HashMap<u64, Vec<ResolutionConsumer>>,
+}
+
+/// Unified key source: tree tokens first, then any resolution consumer
+/// holding the boundary leaf.
+struct CombinedKeys<'a>(&'a StreamKeys);
+
+impl KeySource for CombinedKeys<'_> {
+    fn leaf(&self, i: u64) -> Result<Seed128, CoreError> {
+        if let Some(ts) = &self.0.tokens {
+            if let Ok(leaf) = ts.leaf(i) {
+                return Ok(leaf);
+            }
+        }
+        let mut last_err = CoreError::OutOfScope { index: i };
+        for rcs in self.0.resolutions.values() {
+            for rc in rcs {
+                match rc.leaf(i) {
+                    Ok(leaf) => return Ok(leaf),
+                    Err(e) => last_err = e,
+                }
+            }
+        }
+        Err(last_err)
+    }
+}
+
+/// A consumer principal: identity + ECIES keypair + reconstructed keys.
+pub struct Consumer {
+    /// Principal identity (the key-store lookup key).
+    pub principal: String,
+    keypair: EciesKeypair,
+    streams: HashMap<u128, StreamKeys>,
+}
+
+impl Consumer {
+    /// Creates a consumer with a fresh keypair. Register
+    /// [`public_key`](Self::public_key) with the owner (identity provider).
+    pub fn new(principal: impl Into<String>, rng: &mut timecrypt_crypto::SecureRandom) -> Self {
+        Consumer {
+            principal: principal.into(),
+            keypair: EciesKeypair::generate(rng),
+            streams: HashMap::new(),
+        }
+    }
+
+    /// The public key owners seal grants to.
+    pub fn public_key(&self) -> &timecrypt_baselines::p256::Point {
+        &self.keypair.public
+    }
+
+    /// Downloads and opens all grants for `stream`, rebuilding local key
+    /// material. Also fetches resolution envelopes for any resolution
+    /// grants. Returns the number of grants ingested.
+    pub fn sync_grants<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        stream: u128,
+    ) -> Result<usize, ClientFault> {
+        let blobs = match transport.call(&Request::GetGrants {
+            stream,
+            principal: self.principal.clone(),
+        })? {
+            Response::Blobs(b) => b,
+            _ => return Err(ClientFault::Protocol("Blobs")),
+        };
+        let mut n = 0;
+        for blob in blobs {
+            let plain = self
+                .keypair
+                .open(&blob)
+                .map_err(|e| ClientFault::Transport(format!("grant unsealing failed: {e}")))?;
+            let grant = Grant::decode(&plain)
+                .map_err(|e| ClientFault::Transport(format!("grant decode failed: {e}")))?;
+            self.ingest_grant(transport, grant)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn ingest_grant<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        grant: Grant,
+    ) -> Result<(), ClientFault> {
+        let descriptor = grant.descriptor().clone();
+        let entry = self.streams.entry(descriptor.stream).or_insert_with(|| StreamKeys {
+            descriptor: descriptor.clone(),
+            tokens: None,
+            resolutions: HashMap::new(),
+        });
+        match grant {
+            Grant::Full { tokens, .. } => {
+                match &mut entry.tokens {
+                    Some(ts) => ts.extend(tokens),
+                    None => {
+                        entry.tokens = Some(TokenSet::new(
+                            tokens,
+                            descriptor.tree_height,
+                            descriptor.prg,
+                        ))
+                    }
+                }
+            }
+            Grant::Resolution { resolution, token, .. } => {
+                let (lo, hi) = (token.lower.index, token.upper.index);
+                let rcs = entry.resolutions.entry(resolution).or_default();
+                rcs.push(ResolutionConsumer::new(resolution, token));
+                let rc = rcs.last_mut().expect("just pushed");
+                // Fetch and open the envelopes for the window.
+                let envs = match transport.call(&Request::GetEnvelopes {
+                    stream: descriptor.stream,
+                    resolution,
+                    lo,
+                    hi,
+                })? {
+                    Response::Envelopes(e) => e,
+                    _ => return Err(ClientFault::Protocol("Envelopes")),
+                };
+                let envelopes: Vec<Envelope> = envs
+                    .into_iter()
+                    .map(|(index, blob)| Envelope { index, blob })
+                    .collect();
+                rc.ingest_all(&envelopes)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A stream's descriptor (after [`sync_grants`](Self::sync_grants)).
+    pub fn descriptor(&self, stream: u128) -> Option<&StreamDescriptor> {
+        self.streams.get(&stream).map(|s| &s.descriptor)
+    }
+
+    /// Issues a statistical query over `[ts_s, ts_e)` and decrypts the
+    /// aggregate. Succeeds only if this principal's grants cover the
+    /// boundary keys of the server-chosen chunk window — the cryptographic
+    /// access check (§4.2.3, §4.4.1).
+    pub fn stat_query<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<StatSummary, ClientFault> {
+        let reply = match transport.call(&Request::GetStatRange {
+            streams: vec![stream],
+            ts_s,
+            ts_e,
+        })? {
+            Response::Stat(s) => s,
+            _ => return Err(ClientFault::Protocol("Stat")),
+        };
+        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let (_, lo, hi) = reply.parts[0];
+        let plain = decrypt_range_sum(&CombinedKeys(keys), lo, hi, &reply.agg)?;
+        Ok(keys.descriptor.schema.interpret(&plain))
+    }
+
+    /// Multi-stream statistical query (§4.3 inter-streams): the server
+    /// combines all streams homomorphically; decryption peels each stream's
+    /// boundary keys in turn, so it succeeds only with grants on *all*
+    /// streams involved.
+    pub fn stat_query_multi<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        streams: &[u128],
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<StatSummary, ClientFault> {
+        let reply = match transport.call(&Request::GetStatRange {
+            streams: streams.to_vec(),
+            ts_s,
+            ts_e,
+        })? {
+            Response::Stat(s) => s,
+            _ => return Err(ClientFault::Protocol("Stat")),
+        };
+        let mut agg = reply.agg.clone();
+        let mut schema = None;
+        for &(sid, lo, hi) in &reply.parts {
+            let keys = self.streams.get(&sid).ok_or(ClientFault::Protocol("synced grants"))?;
+            agg = decrypt_range_sum(&CombinedKeys(keys), lo, hi, &agg)?;
+            schema.get_or_insert_with(|| keys.descriptor.schema.clone());
+        }
+        let schema = schema.ok_or(ClientFault::Protocol("non-empty streams"))?;
+        Ok(schema.interpret(&agg))
+    }
+
+    /// Retrieves and decrypts raw points in `[ts_s, ts_e)` (Table 1 (5)).
+    /// Requires full-resolution access to every chunk touched.
+    pub fn get_range<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<DataPoint>, ClientFault> {
+        let chunks = match transport.call(&Request::GetRange { stream, ts_s, ts_e })? {
+            Response::Chunks(c) => c,
+            _ => return Err(ClientFault::Protocol("Chunks")),
+        };
+        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let mut out = Vec::new();
+        for bytes in chunks {
+            let chunk = EncryptedChunk::from_bytes(&bytes)
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            let points = chunk
+                .open_payload(&CombinedKeys(keys))
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            out.extend(points.into_iter().filter(|p| p.ts >= ts_s && p.ts < ts_e));
+        }
+        Ok(out)
+    }
+
+    /// Statistical query with an authenticated-aggregation proof (integrity
+    /// extension, §3.3): the aggregate is verified against the data owner's
+    /// signed root attestation *before* decryption, so a server that drops,
+    /// replays, reorders, or mis-sums chunks is detected. `owner_key` is the
+    /// owner's attestation verifying key (from the identity provider).
+    ///
+    /// The proven window is the queried interval clamped to the latest
+    /// attestation — chunks uploaded after the owner's last `attest` are
+    /// not yet provable.
+    pub fn verified_stat_query<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        stream: u128,
+        owner_key: &timecrypt_baselines::VerifyingKey,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<StatSummary, ClientFault> {
+        use timecrypt_integrity::{verify_attested_range, RangeProof, RootAttestation};
+        let (att_bytes, proof_bytes) =
+            match transport.call(&Request::GetRangeProof { stream, ts_s, ts_e })? {
+                Response::Attested { attestation, proof } => (attestation, proof),
+                _ => return Err(ClientFault::Protocol("Attested")),
+            };
+        let att = RootAttestation::decode(&att_bytes)
+            .ok_or(ClientFault::Chunk("malformed attestation".into()))?;
+        let proof = RangeProof::decode(&proof_bytes)
+            .ok_or(ClientFault::Chunk("malformed range proof".into()))?;
+        let (lo, hi) = (proof.lo as u64, proof.hi as u64);
+        let agg = verify_attested_range(stream, &att, owner_key, &proof)
+            .map_err(|e| ClientFault::Chunk(format!("integrity check failed: {e}")))?;
+        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let plain = decrypt_range_sum(&CombinedKeys(keys), lo, hi, &agg)?;
+        Ok(keys.descriptor.schema.interpret(&plain))
+    }
+
+    /// Raw retrieval with integrity verification: every returned chunk's
+    /// bytes are checked against its attested commitment (and its digest
+    /// ciphertext against the attested digest) before decryption, so a
+    /// server cannot substitute, reorder, truncate, or omit chunks within
+    /// the attested window. Completes the Verena-style extension for raw
+    /// reads, complementing [`verified_stat_query`](Self::verified_stat_query).
+    pub fn verified_get_range<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        stream: u128,
+        owner_key: &timecrypt_baselines::VerifyingKey,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<DataPoint>, ClientFault> {
+        use timecrypt_integrity::{
+            chunk_commitment, verify_attested_range_open, RangeProof, RootAttestation,
+        };
+        let (att_bytes, proof_bytes, chunks) =
+            match transport.call(&Request::GetVerifiedRange { stream, ts_s, ts_e })? {
+                Response::VerifiedChunks { attestation, proof, chunks } => {
+                    (attestation, proof, chunks)
+                }
+                _ => return Err(ClientFault::Protocol("VerifiedChunks")),
+            };
+        let att = RootAttestation::decode(&att_bytes)
+            .ok_or(ClientFault::Chunk("malformed attestation".into()))?;
+        let proof = RangeProof::decode(&proof_bytes)
+            .ok_or(ClientFault::Chunk("malformed range proof".into()))?;
+        let leaves = verify_attested_range_open(stream, &att, owner_key, &proof)
+            .map_err(|e| ClientFault::Chunk(format!("integrity check failed: {e}")))?;
+        if chunks.len() != leaves.len() {
+            return Err(ClientFault::Chunk(format!(
+                "server returned {} chunks but the proof covers {}",
+                chunks.len(),
+                leaves.len()
+            )));
+        }
+        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let mut out = Vec::new();
+        for (i, (bytes, leaf)) in chunks.iter().zip(&leaves).enumerate() {
+            if chunk_commitment(bytes) != leaf.commitment {
+                return Err(ClientFault::Chunk(format!(
+                    "chunk {} bytes do not match the attested commitment",
+                    proof.lo + i
+                )));
+            }
+            let chunk = EncryptedChunk::from_bytes(bytes)
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            if chunk.index != (proof.lo + i) as u64 || chunk.digest_ct != leaf.sum {
+                return Err(ClientFault::Chunk(format!(
+                    "chunk {} header/digest inconsistent with the attested leaf",
+                    proof.lo + i
+                )));
+            }
+            let points = chunk
+                .open_payload(&CombinedKeys(keys))
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            out.extend(points.into_iter().filter(|p| p.ts >= ts_s && p.ts < ts_e));
+        }
+        Ok(out)
+    }
+
+    /// Like [`get_range`](Self::get_range) but also merges real-time
+    /// records the producer uploaded ahead of their chunk (§4.6): finalized
+    /// chunks first, then buffered live records — the server keeps the two
+    /// sets disjoint, so no deduplication is needed. Opening a live record
+    /// needs exactly the same per-chunk key as its chunk payload, so access
+    /// control is unchanged.
+    pub fn get_range_live<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<DataPoint>, ClientFault> {
+        let mut out = self.get_range(transport, stream, ts_s, ts_e)?;
+        let records = match transport.call(&Request::GetLive { stream, ts_s, ts_e })? {
+            Response::Records(r) => r,
+            _ => return Err(ClientFault::Protocol("Records")),
+        };
+        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        for bytes in records {
+            let record = SealedRecord::from_bytes(&bytes)
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            let point = record
+                .open(&CombinedKeys(keys))
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            if point.ts >= ts_s && point.ts < ts_e {
+                out.push(point);
+            }
+        }
+        out.sort_by_key(|p| p.ts);
+        Ok(out)
+    }
+}

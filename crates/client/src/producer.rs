@@ -1,0 +1,159 @@
+//! The data producer: a device writing an encrypted stream.
+
+use crate::transport::{ClientFault, Transport};
+use timecrypt_chunk::{ChunkBuilder, DataPoint, SealedRecord, StreamConfig};
+use timecrypt_core::StreamKeyMaterial;
+use timecrypt_crypto::SecureRandom;
+use timecrypt_wire::messages::{Request, Response};
+
+/// A producer for one stream: batches, digests, seals, uploads (§4.1, §4.6).
+pub struct Producer {
+    cfg: StreamConfig,
+    keys: StreamKeyMaterial,
+    builder: ChunkBuilder,
+    rng: SecureRandom,
+    chunks_sent: u64,
+    /// Real-time mode sequence state: `(chunk, next seq within it)`.
+    live_seq: (u64, u32),
+    records_sent: u64,
+    /// Integrity extension: mirror ledger + signing key (§3.3).
+    attester: Option<(timecrypt_baselines::SigningKey, timecrypt_integrity::StreamLedger)>,
+}
+
+impl Producer {
+    /// Creates a producer. `keys` is provisioned by the data owner (the
+    /// tree root is the stream's master secret).
+    pub fn new(cfg: StreamConfig, keys: StreamKeyMaterial, rng: SecureRandom) -> Self {
+        let builder = ChunkBuilder::new(cfg.clone());
+        Producer {
+            cfg,
+            keys,
+            builder,
+            rng,
+            chunks_sent: 0,
+            live_seq: (0, 0),
+            records_sent: 0,
+            attester: None,
+        }
+    }
+
+    /// Enables the integrity extension (§3.3): the producer mirrors every
+    /// uploaded chunk into a local ledger and can publish signed root
+    /// attestations with [`attest`](Self::attest). The signing key is the
+    /// data owner's attestation key (its public half reaches consumers via
+    /// the identity provider).
+    pub fn with_attester(mut self, key: timecrypt_baselines::SigningKey) -> Self {
+        self.attester = Some((key, timecrypt_integrity::StreamLedger::new(self.cfg.id)));
+        self
+    }
+
+    /// Signs the current ledger state and stores the attestation at the
+    /// server. Consumers can then run verified queries covering every chunk
+    /// uploaded so far. Errors if [`with_attester`](Self::with_attester)
+    /// was not configured.
+    pub fn attest<T: Transport>(&mut self, transport: &mut T) -> Result<(), ClientFault> {
+        let (key, ledger) = self
+            .attester
+            .as_mut()
+            .ok_or(ClientFault::Chunk("producer has no attestation key".into()))?;
+        let att = ledger.attest(key, &mut self.rng);
+        match transport.call(&Request::PutAttestation {
+            stream: self.cfg.id,
+            attestation: att.encode(),
+        })? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientFault::Protocol("Ok")),
+        }
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Chunks successfully uploaded.
+    pub fn chunks_sent(&self) -> u64 {
+        self.chunks_sent
+    }
+
+    /// Feeds one point; uploads any chunks it completes.
+    pub fn push<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        point: DataPoint,
+    ) -> Result<(), ClientFault> {
+        let done = self
+            .builder
+            .push(point)
+            .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+        for chunk in done {
+            self.upload(transport, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Records uploaded in real-time mode.
+    pub fn records_sent(&self) -> u64 {
+        self.records_sent
+    }
+
+    /// Real-time mode (§4.6): uploads `point` immediately as an individually
+    /// sealed record *and* feeds it to the chunk builder. Readers see the
+    /// point right away via `GetLive`; once the chunk boundary passes, the
+    /// normal sealed chunk supersedes the records and the server drops them.
+    /// Ingest latency is no longer bounded by Δ — at the cost of one extra
+    /// GCM seal and round-trip per point.
+    pub fn push_live<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        point: DataPoint,
+    ) -> Result<(), ClientFault> {
+        let chunk = self
+            .cfg
+            .chunk_of(point.ts)
+            .ok_or(ClientFault::Chunk("timestamp before stream epoch".into()))?;
+        if chunk != self.live_seq.0 {
+            self.live_seq = (chunk, 0);
+        }
+        let seq = self.live_seq.1;
+        self.live_seq.1 += 1;
+        let record = SealedRecord::seal(self.cfg.id, chunk, seq, point, &self.keys.tree, &mut self.rng)
+            .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+        match transport.call(&Request::InsertLive { record: record.to_bytes() })? {
+            Response::Ok => self.records_sent += 1,
+            _ => return Err(ClientFault::Protocol("Ok")),
+        }
+        self.push(transport, point)
+    }
+
+    /// Flushes the in-progress chunk (stream close / end of epoch).
+    pub fn flush<T: Transport>(&mut self, transport: &mut T) -> Result<(), ClientFault> {
+        if let Some(chunk) = self.builder.flush() {
+            self.upload(transport, chunk)?;
+        }
+        Ok(())
+    }
+
+    fn upload<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        chunk: timecrypt_chunk::PlainChunk,
+    ) -> Result<(), ClientFault> {
+        let sealed = chunk
+            .seal(&self.cfg, &self.keys, &mut self.rng)
+            .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+        let bytes = sealed.to_bytes();
+        match transport.call(&Request::Insert { chunk: bytes.clone() })? {
+            Response::Ok => {
+                self.chunks_sent += 1;
+                if let Some((_, ledger)) = &mut self.attester {
+                    ledger
+                        .append(timecrypt_integrity::chunk_commitment(&bytes), sealed.digest_ct)
+                        .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+                }
+                Ok(())
+            }
+            _ => Err(ClientFault::Protocol("Ok")),
+        }
+    }
+}

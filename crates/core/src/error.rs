@@ -1,0 +1,55 @@
+//! Error types for HEAC operations.
+
+/// Errors surfaced by key derivation and decryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The requested key index is not covered by the principal's tokens:
+    /// decryption is cryptographically impossible, which is exactly the
+    /// access-control guarantee.
+    OutOfScope {
+        /// The keystream index that could not be derived.
+        index: u64,
+    },
+    /// The requested range is not aligned to the granted resolution; only
+    /// r-fold aggregates at aligned boundaries are decryptable (§4.4.1).
+    UnalignedResolution {
+        /// Granted resolution (in chunks).
+        resolution: u64,
+        /// The offending chunk index.
+        index: u64,
+    },
+    /// A key-regression state outside the shared interval was requested.
+    KrOutOfBounds {
+        /// Requested index.
+        index: u64,
+        /// Inclusive lower bound of the shared interval.
+        lo: u64,
+        /// Inclusive upper bound of the shared interval.
+        hi: u64,
+    },
+    /// Envelope authenticated decryption failed (tampering or wrong key).
+    EnvelopeCorrupt,
+    /// Tree parameters invalid (e.g. height too large, empty range).
+    InvalidParams(&'static str),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::OutOfScope { index } => {
+                write!(f, "key index {index} is outside the granted scope")
+            }
+            CoreError::UnalignedResolution { resolution, index } => write!(
+                f,
+                "chunk index {index} is not aligned to granted resolution {resolution}"
+            ),
+            CoreError::KrOutOfBounds { index, lo, hi } => {
+                write!(f, "key-regression index {index} outside shared interval [{lo}, {hi}]")
+            }
+            CoreError::EnvelopeCorrupt => write!(f, "resolution envelope failed authentication"),
+            CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,141 @@
+//! Property-based tests for the HEAC scheme's core invariants.
+
+use proptest::prelude::*;
+use timecrypt_core::heac::{add_assign, decrypt_range_sum, HeacEncryptor};
+use timecrypt_core::{TreeKd, CoreError};
+use timecrypt_crypto::PrgKind;
+
+fn tree(seed: u8, h: u8) -> TreeKd {
+    TreeKd::new([seed; 16], h, PrgKind::Aes).unwrap()
+}
+
+proptest! {
+    /// Encryption followed by single-chunk decryption is the identity for
+    /// arbitrary u64 vectors.
+    #[test]
+    fn heac_roundtrip(values in proptest::collection::vec(any::<u64>(), 1..20), chunk in 0u64..1000) {
+        let t = tree(11, 12);
+        let enc = HeacEncryptor::new(&t);
+        let ct = enc.encrypt_digest(chunk, &values).unwrap();
+        let dec = decrypt_range_sum(&t, chunk, chunk + 1, &ct).unwrap();
+        prop_assert_eq!(dec, values);
+    }
+
+    /// Homomorphism: decrypting the ciphertext sum over any contiguous range
+    /// equals the wrapping sum of plaintexts (the telescoping/key-cancel
+    /// property for ranges of arbitrary length and position).
+    #[test]
+    fn heac_homomorphism(
+        values in proptest::collection::vec(any::<u64>(), 2..60),
+        start in 0u64..500,
+    ) {
+        let t = tree(12, 12);
+        let enc = HeacEncryptor::new(&t);
+        let mut agg = vec![0u64];
+        for (off, &v) in values.iter().enumerate() {
+            let ct = enc.encrypt_digest(start + off as u64, &[v]).unwrap();
+            add_assign(&mut agg, &ct);
+        }
+        let end = start + values.len() as u64;
+        let dec = decrypt_range_sum(&t, start, end, &agg).unwrap();
+        prop_assert_eq!(dec[0], values.iter().fold(0u64, |a, &b| a.wrapping_add(b)));
+    }
+
+    /// Every subrange of an encrypted run decrypts to the matching partial
+    /// sum — aggregation is consistent at all alignments.
+    #[test]
+    fn heac_all_subranges(values in proptest::collection::vec(0u64..1_000_000, 2..25)) {
+        let t = tree(13, 10);
+        let enc = HeacEncryptor::new(&t);
+        let cts: Vec<Vec<u64>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| enc.encrypt_digest(i as u64, &[v]).unwrap())
+            .collect();
+        let n = values.len();
+        for a in 0..n {
+            for b in (a + 1)..=n {
+                let mut agg = vec![0u64];
+                for ct in &cts[a..b] {
+                    add_assign(&mut agg, ct);
+                }
+                let dec = decrypt_range_sum(&t, a as u64, b as u64, &agg).unwrap();
+                prop_assert_eq!(dec[0], values[a..b].iter().sum::<u64>());
+            }
+        }
+    }
+
+    /// Token-set derivation agrees with the owner tree on every covered leaf
+    /// and fails on every leaf outside the grant.
+    #[test]
+    fn token_set_soundness(lo in 0u64..200, len in 0u64..100, h in 8u8..12) {
+        let t = tree(14, h);
+        let hi = (lo + len).min((1u64 << h) - 1);
+        let lo = lo.min(hi);
+        let ts = t.token_set(lo, hi).unwrap();
+        // Covered leaves match.
+        for i in lo..=hi {
+            prop_assert_eq!(ts.leaf(i).unwrap(), t.leaf(i).unwrap());
+        }
+        // Boundary leaves outside fail.
+        if lo > 0 {
+            prop_assert_eq!(ts.leaf(lo - 1), Err(CoreError::OutOfScope { index: lo - 1 }));
+        }
+        if hi + 1 < (1u64 << h) {
+            prop_assert_eq!(ts.leaf(hi + 1), Err(CoreError::OutOfScope { index: hi + 1 }));
+        }
+    }
+
+    /// The canonical cover is minimal-ish and exact: token leaf ranges tile
+    /// [lo, hi] with no overlap, and the count respects the 2·h bound.
+    #[test]
+    fn cover_tiles_exactly(lo in 0u64..500, len in 0u64..500) {
+        let h = 10u8;
+        let t = tree(15, h);
+        let hi = (lo + len).min((1u64 << h) - 1);
+        let lo = lo.min(hi);
+        let tokens = t.cover(lo, hi).unwrap();
+        prop_assert!(tokens.len() <= 2 * h as usize);
+        let mut leaves: Vec<u64> = tokens
+            .iter()
+            .flat_map(|tok| tok.label.leaf_range(h))
+            .collect();
+        leaves.sort_unstable();
+        let expect: Vec<u64> = (lo..=hi).collect();
+        prop_assert_eq!(leaves, expect);
+    }
+
+    /// Two different root seeds never produce the same leaf (PRG sanity).
+    #[test]
+    fn trees_diverge(seed_a in any::<u8>(), seed_b in any::<u8>(), i in 0u64..1024) {
+        prop_assume!(seed_a != seed_b);
+        let a = tree(seed_a, 10);
+        let b = tree(seed_b, 10);
+        prop_assert_ne!(a.leaf(i).unwrap(), b.leaf(i).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dual key regression: consumer and owner agree inside the window,
+    /// consumer fails outside, for arbitrary window placements.
+    #[test]
+    fn dualkr_window_soundness(n in 2u64..300, a in 0u64..300, b in 0u64..300) {
+        use timecrypt_core::dualkr::{DualKeyRegression, KrConsumer};
+        let lo = a.min(b) % (n + 1);
+        let hi = a.max(b) % (n + 1);
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let kr = DualKeyRegression::new([3u8; 32], [4u8; 32], n).unwrap();
+        let c = KrConsumer::new(kr.share(lo, hi).unwrap());
+        for i in lo..=hi {
+            prop_assert_eq!(c.key(i).unwrap(), kr.key(i).unwrap());
+        }
+        if lo > 0 {
+            prop_assert!(c.key(lo - 1).is_err());
+        }
+        if hi < n {
+            prop_assert!(c.key(hi + 1).is_err());
+        }
+    }
+}

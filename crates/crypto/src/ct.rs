@@ -1,0 +1,33 @@
+//! Constant-time helpers.
+
+/// Constant-time byte-slice equality. Returns `false` for mismatched lengths
+/// without early exit on content.
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"same bytes", b"same bytes"));
+        assert!(ct_eq(&[], &[]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"same bytes", b"same bytez"));
+        assert!(!ct_eq(b"short", b"longer slice"));
+        assert!(!ct_eq(b"a", b""));
+    }
+}

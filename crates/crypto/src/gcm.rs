@@ -1,0 +1,274 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! TimeCrypt encrypts raw chunk payloads with randomized AES-GCM-128
+//! (paper §4.1), with the per-chunk key derived as `H(k_i - k_{i+1})`
+//! (§4.3). The digest is HEAC-encrypted separately; GCM protects the bulk
+//! compressed data points and authenticates them.
+
+use crate::aes::Aes128;
+use crate::ct::ct_eq;
+
+/// GCM authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// GCM nonce length in bytes (the standard 96-bit IV).
+pub const NONCE_LEN: usize = 12;
+
+/// Errors from authenticated decryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcmError {
+    /// The authentication tag did not verify: the ciphertext was tampered
+    /// with, truncated, or decrypted under the wrong key/nonce.
+    TagMismatch,
+    /// Ciphertext shorter than the mandatory tag.
+    TooShort,
+}
+
+impl std::fmt::Display for GcmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GcmError::TagMismatch => write!(f, "GCM authentication tag mismatch"),
+            GcmError::TooShort => write!(f, "ciphertext shorter than GCM tag"),
+        }
+    }
+}
+
+impl std::error::Error for GcmError {}
+
+/// Multiplication in GF(2^128) using the GCM bit convention
+/// (block bytes loaded big-endian, reduction polynomial
+/// x^128 + x^7 + x^2 + x + 1, bit 0 = most significant).
+fn gf128_mul(x: u128, y: u128) -> u128 {
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= 0xe1u128 << 120;
+        }
+    }
+    z
+}
+
+fn block_to_u128(b: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    buf[..b.len()].copy_from_slice(b);
+    u128::from_be_bytes(buf)
+}
+
+/// GHASH over AAD and ciphertext with hash subkey `h`.
+fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
+    let mut y = 0u128;
+    for chunk in aad.chunks(16) {
+        y = gf128_mul(y ^ block_to_u128(chunk), h);
+    }
+    for chunk in ct.chunks(16) {
+        y = gf128_mul(y ^ block_to_u128(chunk), h);
+    }
+    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+    gf128_mul(y ^ lens, h)
+}
+
+/// AES-128-GCM instance bound to one key.
+#[derive(Clone)]
+pub struct AesGcm128 {
+    cipher: Aes128,
+    h: u128,
+}
+
+impl AesGcm128 {
+    /// Creates a GCM instance for `key`.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let h = u128::from_be_bytes(cipher.encrypt(&[0u8; 16]));
+        AesGcm128 { cipher, h }
+    }
+
+    fn counter_block(nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 16] {
+        let mut block = [0u8; 16];
+        block[..12].copy_from_slice(nonce);
+        block[12..].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+        let mut counter = 2u32; // Counter 1 is reserved for the tag mask.
+        for chunk in data.chunks_mut(16) {
+            let ks = self.cipher.encrypt(&Self::counter_block(nonce, counter));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        let s = ghash(self.h, aad, ct);
+        let j0 = Self::counter_block(nonce, 1);
+        let ek_j0 = u128::from_be_bytes(self.cipher.encrypt(&j0));
+        (s ^ ek_j0).to_be_bytes()
+    }
+
+    /// Encrypts `plaintext` with associated data `aad`, appending the 16-byte
+    /// tag. Output layout: `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext || tag` produced by [`seal`].
+    ///
+    /// [`seal`]: AesGcm128::seal
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, GcmError> {
+        if ciphertext.len() < TAG_LEN {
+            return Err(GcmError::TooShort);
+        }
+        let (ct, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+        let expected = self.tag(nonce, aad, ct);
+        if !ct_eq(&expected, tag) {
+            return Err(GcmError::TagMismatch);
+        }
+        let mut out = ct.to_vec();
+        self.ctr_xor(nonce, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn nist_test_case_1_empty() {
+        // McGrew-Viega test case 1: zero key, zero IV, empty plaintext.
+        let gcm = AesGcm128::new(&[0u8; 16]);
+        let nonce = [0u8; 12];
+        let out = gcm.seal(&nonce, &[], &[]);
+        assert_eq!(out, from_hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    #[test]
+    fn nist_test_case_2_one_block() {
+        let gcm = AesGcm128::new(&[0u8; 16]);
+        let nonce = [0u8; 12];
+        let out = gcm.seal(&nonce, &[], &[0u8; 16]);
+        assert_eq!(
+            out,
+            from_hex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+        );
+    }
+
+    #[test]
+    fn nist_test_case_3_four_blocks() {
+        let key: [u8; 16] = from_hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let nonce: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let expected_ct = from_hex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+        );
+        let expected_tag = from_hex("4d5c2af327cd64a62cf35abd2ba6fab4");
+        let gcm = AesGcm128::new(&key);
+        let out = gcm.seal(&nonce, &[], &pt);
+        assert_eq!(&out[..pt.len()], &expected_ct[..]);
+        assert_eq!(&out[pt.len()..], &expected_tag[..]);
+        assert_eq!(gcm.open(&nonce, &[], &out).unwrap(), pt);
+    }
+
+    #[test]
+    fn nist_test_case_4_with_aad() {
+        let key: [u8; 16] = from_hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let nonce: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
+        let pt = from_hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let expected_tag = from_hex("5bc94fbc3221a5db94fae95ae7121a47");
+        let gcm = AesGcm128::new(&key);
+        let out = gcm.seal(&nonce, &aad, &pt);
+        assert_eq!(&out[pt.len()..], &expected_tag[..]);
+        assert_eq!(gcm.open(&nonce, &aad, &out).unwrap(), pt);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let gcm = AesGcm128::new(&[9u8; 16]);
+        let nonce = [1u8; 12];
+        let mut sealed = gcm.seal(&nonce, b"aad", b"some payload");
+        sealed[3] ^= 0x01;
+        assert_eq!(gcm.open(&nonce, b"aad", &sealed), Err(GcmError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let gcm = AesGcm128::new(&[9u8; 16]);
+        let nonce = [1u8; 12];
+        let sealed = gcm.seal(&nonce, b"aad", b"some payload");
+        assert_eq!(gcm.open(&nonce, b"oad", &sealed), Err(GcmError::TagMismatch));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let gcm = AesGcm128::new(&[9u8; 16]);
+        let other = AesGcm128::new(&[10u8; 16]);
+        let nonce = [1u8; 12];
+        let sealed = gcm.seal(&nonce, &[], b"payload");
+        assert_eq!(other.open(&nonce, &[], &sealed), Err(GcmError::TagMismatch));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let gcm = AesGcm128::new(&[9u8; 16]);
+        assert_eq!(gcm.open(&[0u8; 12], &[], &[1, 2, 3]), Err(GcmError::TooShort));
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let gcm = AesGcm128::new(&[0x42u8; 16]);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 255, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let nonce = [len as u8; 12];
+            let sealed = gcm.seal(&nonce, b"meta", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(gcm.open(&nonce, b"meta", &sealed).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn gf128_mul_identity() {
+        // x * 1 = x where 1 in GCM convention is 0x80000...0 (bit 0 set).
+        let one = 1u128 << 127;
+        let x = 0x0123456789abcdef0011223344556677u128;
+        assert_eq!(gf128_mul(x, one), x);
+        assert_eq!(gf128_mul(one, x), x);
+    }
+
+    #[test]
+    fn gf128_mul_commutes() {
+        let a = 0xdeadbeefcafebabe1122334455667788u128;
+        let b = 0x0f0e0d0c0b0a09080706050403020100u128;
+        assert_eq!(gf128_mul(a, b), gf128_mul(b, a));
+    }
+}

@@ -1,0 +1,24 @@
+//! Encrypted statistical index: the k-ary time-partitioned aggregation tree
+//! (paper §4.5, Fig. 4).
+//!
+//! The server builds this tree bottom-up over the HEAC-encrypted chunk
+//! digests. Each node holds the digests of its k children; a parent entry is
+//! the homomorphic sum of a whole child subtree. Statistical range queries
+//! decompose into O(2(k−1)·log_k n) digest additions instead of a serial
+//! scan; appends touch log_k n nodes. Because HEAC addition *is* u64
+//! wrapping addition, the very same tree code serves the plaintext baseline
+//! (`Vec<u64>`), and — via the [`HomDigest`] abstraction — the Paillier and
+//! EC-ElGamal strawman ciphertexts in `timecrypt-baselines`.
+//!
+//! Node storage goes through any [`timecrypt_store::KvStore`], with an LRU
+//! cache in front sized in bytes (the Fig. 7 "tiny 1 MB cache" experiment
+//! shrinks it to force misses). Node identifiers are computed from
+//! `(stream, level, index)` — no stored references (§4.6).
+
+pub mod cache;
+pub mod digest;
+pub mod tree;
+
+pub use cache::LruCache;
+pub use digest::HomDigest;
+pub use tree::{AggTree, IndexError, TreeConfig, TreeStats};

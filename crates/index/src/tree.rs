@@ -1,0 +1,521 @@
+//! The k-ary time-partitioned aggregation tree (paper §4.5, Fig. 4).
+//!
+//! Layout: the chunk sequence is the leaf level (level 0). A node at
+//! `(level ℓ ≥ 1, index i)` covers chunks `[i·k^ℓ, (i+1)·k^ℓ)` and stores up
+//! to k entries, entry `c` being the homomorphic aggregate of its child
+//! subtree (for ℓ = 1, entry `c` *is* the digest of chunk `i·k + c`).
+//! Appends ripple one addition into each ancestor level; range queries
+//! combine fully-covered entries top-down and recurse only at the two
+//! partially-covered edges — O(2(k−1)·log_k n) additions worst case, the
+//! bound quoted in §6.1.
+
+use crate::cache::LruCache;
+use crate::digest::HomDigest;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use timecrypt_store::{KvStore, StoreError};
+
+/// Tree parameters.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Fan-out k. The paper's evaluation instantiates 64-ary trees.
+    pub arity: usize,
+    /// LRU cache budget in bytes for index nodes. Fig. 7's "small cache"
+    /// variant uses 1 MB; the default is generous.
+    pub cache_bytes: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { arity: 64, cache_bytes: 256 * 1024 * 1024 }
+    }
+}
+
+/// Index errors.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying storage failure.
+    Store(StoreError),
+    /// Stored node bytes failed to parse.
+    CorruptNode { level: u8, index: u64 },
+    /// Query over a range the stream hasn't reached / empty range.
+    BadRange { start: u64, end: u64, len: u64 },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Store(e) => write!(f, "index storage error: {e}"),
+            IndexError::CorruptNode { level, index } => {
+                write!(f, "corrupt index node at level {level} index {index}")
+            }
+            IndexError::BadRange { start, end, len } => {
+                write!(f, "bad query range [{start}, {end}) over {len} chunks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<StoreError> for IndexError {
+    fn from(e: StoreError) -> Self {
+        IndexError::Store(e)
+    }
+}
+
+/// One tree node: the per-child aggregates present so far.
+#[derive(Clone)]
+struct Node<D> {
+    entries: Vec<D>,
+}
+
+impl<D: HomDigest> Node<D> {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.entries.iter().map(|e| e.encoded_len()).sum::<usize>());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in &self.entries {
+            e.encode(&mut out);
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        let mut pos = 4;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (d, used) = D::decode(&buf[pos..])?;
+            entries.push(d);
+            pos += used;
+        }
+        if pos != buf.len() {
+            return None;
+        }
+        Some(Node { entries })
+    }
+
+    fn weight(&self) -> usize {
+        4 + self.entries.iter().map(|e| e.encoded_len()).sum::<usize>()
+    }
+}
+
+/// Runtime statistics (cache behaviour, sizes) for the benchmarks.
+#[derive(Debug, Clone, Default)]
+pub struct TreeStats {
+    /// Index-node cache hits.
+    pub cache_hits: u64,
+    /// Index-node cache misses (KV fetches).
+    pub cache_misses: u64,
+    /// Total serialized bytes of all index nodes in the store.
+    pub stored_bytes: usize,
+    /// Number of index nodes in the store.
+    pub stored_nodes: usize,
+}
+
+/// The aggregation tree for one stream, generic over the digest
+/// representation (HEAC/plaintext `Vec<u64>`, or a strawman ciphertext).
+pub struct AggTree<D: HomDigest> {
+    kv: Arc<dyn KvStore>,
+    stream: u128,
+    cfg: TreeConfig,
+    len: u64,
+    cache: Mutex<LruCache<(u8, u64), Node<D>>>,
+}
+
+impl<D: HomDigest> AggTree<D> {
+    /// Opens (or creates) the tree for `stream` on `kv`, recovering the
+    /// chunk count from the store.
+    pub fn open(kv: Arc<dyn KvStore>, stream: u128, cfg: TreeConfig) -> Result<Self, IndexError> {
+        assert!(cfg.arity >= 2, "arity must be at least 2");
+        let len = match kv.get(&meta_key(stream))? {
+            Some(bytes) if bytes.len() == 8 => u64::from_le_bytes(bytes.try_into().unwrap()),
+            Some(_) => return Err(IndexError::CorruptNode { level: 0, index: 0 }),
+            None => 0,
+        };
+        let cache = Mutex::new(LruCache::new(cfg.cache_bytes));
+        Ok(AggTree { kv, stream, cfg, len, cache })
+    }
+
+    /// Number of chunks ingested.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if no chunks have been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fan-out.
+    pub fn arity(&self) -> usize {
+        self.cfg.arity
+    }
+
+    /// Number of levels above the chunks currently in use.
+    pub fn levels(&self) -> u8 {
+        let mut levels = 0u8;
+        let mut span = 1u64;
+        while span < self.len.max(1) {
+            span = span.saturating_mul(self.cfg.arity as u64);
+            levels += 1;
+        }
+        levels.max(1)
+    }
+
+    /// Appends the next chunk's digest (chunk index = current `len`),
+    /// updating every ancestor level (write-through).
+    pub fn append(&mut self, digest: D) -> Result<(), IndexError> {
+        let i = self.len;
+        let k = self.cfg.arity as u64;
+        // Ripple into each ancestor: at level ℓ the digest lands in node
+        // i / k^ℓ, slot (i / k^(ℓ-1)) % k. We stop one level above the
+        // highest level whose node would have only one child ever — but to
+        // keep queries simple we always maintain levels up to levels().
+        let mut level = 1u8;
+        let mut child_index = i; // index at level-1 (ℓ-1)
+        loop {
+            let node_index = child_index / k;
+            let slot = (child_index % k) as usize;
+            let mut node = self
+                .load(level, node_index)?
+                .unwrap_or(Node { entries: Vec::new() });
+            if slot < node.entries.len() {
+                node.entries[slot].add_assign(&digest);
+            } else {
+                // When the tree grows a new top level, the fresh node must
+                // first absorb the aggregates of the already-completed child
+                // subtrees to its left (they were roots until now).
+                while node.entries.len() < slot {
+                    let c = node.entries.len() as u64;
+                    let child_total = self.node_total(level - 1, node_index * k + c)?;
+                    node.entries.push(child_total);
+                }
+                node.entries.push(digest.clone());
+            }
+            self.store(level, node_index, node)?;
+            // Continue while there is (or will be) a higher level: stop when
+            // this node is the lone root-level node and covers everything.
+            if node_index == 0 && (i + 1) <= span_at(level, k) {
+                break;
+            }
+            child_index = node_index;
+            level += 1;
+        }
+        self.len = i + 1;
+        self.kv.put(&meta_key(self.stream), &self.len.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Statistical range query over chunks `[start, end)`: the homomorphic
+    /// sum of their digests.
+    pub fn query(&self, start: u64, end: u64) -> Result<D, IndexError> {
+        if start >= end || end > self.len {
+            return Err(IndexError::BadRange { start, end, len: self.len });
+        }
+        let k = self.cfg.arity as u64;
+        // Find the lowest level whose single node covers [start, end).
+        let mut level = 1u8;
+        while span_at(level, k) < end {
+            level += 1;
+        }
+        let mut acc: Option<D> = None;
+        self.query_node(level, 0, start, end, &mut acc)?;
+        acc.ok_or(IndexError::BadRange { start, end, len: self.len })
+    }
+
+    /// Recursive combine: add fully-covered entries of `(level, index)`;
+    /// recurse into the (at most two) partially-covered children.
+    fn query_node(
+        &self,
+        level: u8,
+        index: u64,
+        start: u64,
+        end: u64,
+        acc: &mut Option<D>,
+    ) -> Result<(), IndexError> {
+        let k = self.cfg.arity as u64;
+        let child_span = span_at(level - 1, k);
+        let node = self
+            .load(level, index)?
+            .ok_or(IndexError::CorruptNode { level, index })?;
+        let base = index * span_at(level, k);
+        for (slot, entry) in node.entries.iter().enumerate() {
+            let c_lo = base + slot as u64 * child_span;
+            let c_hi = c_lo + child_span;
+            if c_hi <= start || c_lo >= end {
+                continue;
+            }
+            if start <= c_lo && c_hi <= end {
+                match acc {
+                    Some(a) => a.add_assign(entry),
+                    None => *acc = Some(entry.clone()),
+                }
+            } else {
+                // Partial overlap: drill down. At level 1 children are
+                // chunks, which can't partially overlap a chunk-aligned
+                // range, so level > 1 here.
+                debug_assert!(level > 1, "partial overlap at chunk level");
+                self.query_node(level - 1, index * k + slot as u64, start, end, acc)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Data decay (§4.5): drops all *fully covered* index nodes at levels
+    /// `< keep_level` for chunks before `before_chunk`, retaining only
+    /// coarser aggregates for the aged-out region. Returns nodes removed.
+    pub fn decay(&mut self, before_chunk: u64, keep_level: u8) -> Result<usize, IndexError> {
+        let k = self.cfg.arity as u64;
+        let mut removed = 0usize;
+        let mut cache = self.cache.lock();
+        // Never decay the current root level: growth backfill needs it.
+        let keep_level = keep_level.min(self.levels());
+        for level in 1..keep_level {
+            let span = span_at(level, k);
+            // Node n at `level` covers [n*span, (n+1)*span): fully before
+            // the cutoff iff (n+1)*span <= before_chunk.
+            let full_nodes = before_chunk / span;
+            for n in 0..full_nodes {
+                let key = node_key(self.stream, level, n);
+                if self.kv.get(&key)?.is_some() {
+                    self.kv.delete(&key)?;
+                    cache.remove(&(level, n));
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Cache and size statistics.
+    pub fn stats(&self) -> Result<TreeStats, IndexError> {
+        let (hits, misses) = self.cache.lock().stats();
+        let nodes = self.kv.scan_prefix(&node_prefix(self.stream))?;
+        Ok(TreeStats {
+            cache_hits: hits,
+            cache_misses: misses,
+            stored_bytes: nodes.iter().map(|(k, v)| k.len() + v.len()).sum(),
+            stored_nodes: nodes.len(),
+        })
+    }
+
+    /// The homomorphic total of one (complete) node: the sum of its entries.
+    fn node_total(&self, level: u8, index: u64) -> Result<D, IndexError> {
+        let node = self
+            .load(level, index)?
+            .ok_or(IndexError::CorruptNode { level, index })?;
+        let mut acc = node.entries[0].clone();
+        for e in &node.entries[1..] {
+            acc.add_assign(e);
+        }
+        Ok(acc)
+    }
+
+    fn load(&self, level: u8, index: u64) -> Result<Option<Node<D>>, IndexError> {
+        if let Some(n) = self.cache.lock().get(&(level, index)) {
+            return Ok(Some(n.clone()));
+        }
+        match self.kv.get(&node_key(self.stream, level, index))? {
+            Some(bytes) => {
+                let node =
+                    Node::decode(&bytes).ok_or(IndexError::CorruptNode { level, index })?;
+                let w = node.weight();
+                self.cache.lock().put((level, index), node.clone(), w);
+                Ok(Some(node))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn store(&self, level: u8, index: u64, node: Node<D>) -> Result<(), IndexError> {
+        self.kv.put(&node_key(self.stream, level, index), &node.encode())?;
+        let w = node.weight();
+        self.cache.lock().put((level, index), node, w);
+        Ok(())
+    }
+}
+
+/// Chunks covered by one node at `level` (k^level).
+fn span_at(level: u8, k: u64) -> u64 {
+    k.saturating_pow(level as u32)
+}
+
+fn node_prefix(stream: u128) -> Vec<u8> {
+    let mut key = Vec::with_capacity(18);
+    key.extend_from_slice(b"i/");
+    key.extend_from_slice(&stream.to_be_bytes());
+    key
+}
+
+fn node_key(stream: u128, level: u8, index: u64) -> Vec<u8> {
+    let mut key = node_prefix(stream);
+    key.push(b'/');
+    key.push(level);
+    key.extend_from_slice(&index.to_be_bytes());
+    key
+}
+
+fn meta_key(stream: u128) -> Vec<u8> {
+    let mut key = Vec::with_capacity(18);
+    key.extend_from_slice(b"im/");
+    key.extend_from_slice(&stream.to_be_bytes());
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timecrypt_store::MemKv;
+
+    fn tree(arity: usize) -> AggTree<Vec<u64>> {
+        let kv = Arc::new(MemKv::new());
+        AggTree::open(kv, 1, TreeConfig { arity, cache_bytes: 1 << 20 }).unwrap()
+    }
+
+    fn fill(t: &mut AggTree<Vec<u64>>, n: u64) {
+        for i in 0..n {
+            t.append(vec![i, 1]).unwrap();
+        }
+    }
+
+    fn naive_sum(a: u64, b: u64) -> Vec<u64> {
+        vec![(a..b).sum::<u64>(), b - a]
+    }
+
+    #[test]
+    fn single_chunk() {
+        let mut t = tree(4);
+        t.append(vec![42, 1]).unwrap();
+        assert_eq!(t.query(0, 1).unwrap(), vec![42, 1]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn query_matches_naive_fold_exhaustive() {
+        // Every (a, b) range over 100 chunks, small arity to exercise many
+        // levels and both partial edges.
+        let mut t = tree(4);
+        fill(&mut t, 100);
+        for a in 0..100u64 {
+            for b in (a + 1)..=100u64 {
+                assert_eq!(t.query(a, b).unwrap(), naive_sum(a, b), "[{a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn arity_64_matches_naive() {
+        let mut t = tree(64);
+        fill(&mut t, 1000);
+        for (a, b) in [(0u64, 1000u64), (0, 64), (63, 65), (64, 128), (1, 999), (500, 501), (0, 1)] {
+            assert_eq!(t.query(a, b).unwrap(), naive_sum(a, b), "[{a},{b})");
+        }
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        let mut t = tree(4);
+        fill(&mut t, 10);
+        assert!(t.query(5, 5).is_err());
+        assert!(t.query(6, 5).is_err());
+        assert!(t.query(0, 11).is_err());
+        assert!(t.query(10, 11).is_err());
+    }
+
+    #[test]
+    fn reopen_recovers_length_and_data() {
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        {
+            let mut t: AggTree<Vec<u64>> =
+                AggTree::open(kv.clone(), 9, TreeConfig { arity: 8, cache_bytes: 1 << 20 }).unwrap();
+            for i in 0..77u64 {
+                t.append(vec![i]).unwrap();
+            }
+        }
+        let t: AggTree<Vec<u64>> =
+            AggTree::open(kv, 9, TreeConfig { arity: 8, cache_bytes: 1 << 20 }).unwrap();
+        assert_eq!(t.len(), 77);
+        assert_eq!(t.query(0, 77).unwrap(), vec![(0..77).sum::<u64>()]);
+        assert_eq!(t.query(10, 20).unwrap(), vec![(10..20).sum::<u64>()]);
+    }
+
+    #[test]
+    fn streams_are_isolated() {
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let mut t1: AggTree<Vec<u64>> =
+            AggTree::open(kv.clone(), 1, TreeConfig::default()).unwrap();
+        let mut t2: AggTree<Vec<u64>> =
+            AggTree::open(kv.clone(), 2, TreeConfig::default()).unwrap();
+        t1.append(vec![100]).unwrap();
+        t2.append(vec![200]).unwrap();
+        assert_eq!(t1.query(0, 1).unwrap(), vec![100]);
+        assert_eq!(t2.query(0, 1).unwrap(), vec![200]);
+    }
+
+    #[test]
+    fn tiny_cache_still_correct() {
+        // A 200-byte cache can hold at most a node or two: every query
+        // hammers the KV but answers stay exact (Fig. 7 small-cache shape).
+        let kv = Arc::new(MemKv::new());
+        let mut t: AggTree<Vec<u64>> =
+            AggTree::open(kv, 3, TreeConfig { arity: 4, cache_bytes: 200 }).unwrap();
+        fill(&mut t, 200);
+        for (a, b) in [(0u64, 200u64), (17, 113), (199, 200)] {
+            assert_eq!(t.query(a, b).unwrap(), naive_sum(a, b));
+        }
+        let stats = t.stats().unwrap();
+        assert!(stats.cache_misses > 0, "tiny cache must miss");
+    }
+
+    #[test]
+    fn root_query_is_cheap_on_power_of_k() {
+        // Aggregating the entire index = reading the root (Fig. 5's right
+        // edge). We can't measure time here, but we can check the query
+        // works exactly at the k^ℓ boundaries.
+        let mut t = tree(4);
+        fill(&mut t, 256); // 4^4
+        assert_eq!(t.query(0, 256).unwrap(), naive_sum(0, 256));
+        assert_eq!(t.query(0, 64).unwrap(), naive_sum(0, 64));
+    }
+
+    #[test]
+    fn decay_drops_fine_nodes_keeps_coarse() {
+        let mut t = tree(4);
+        fill(&mut t, 256);
+        let before = t.stats().unwrap().stored_nodes;
+        // Age out everything below level 2 for the first 128 chunks.
+        let removed = t.decay(128, 2).unwrap();
+        assert!(removed > 0);
+        let after = t.stats().unwrap().stored_nodes;
+        assert_eq!(before - removed, after);
+        // Coarse queries over the decayed region still work (level-2 nodes
+        // cover 16 chunks each).
+        assert_eq!(t.query(0, 256).unwrap(), naive_sum(0, 256));
+        assert_eq!(t.query(0, 16).unwrap(), naive_sum(0, 16));
+        // Recent data still queryable at full granularity.
+        assert_eq!(t.query(200, 201).unwrap(), naive_sum(200, 201));
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut t = tree(64);
+        fill(&mut t, 500);
+        let s = t.stats().unwrap();
+        assert!(s.stored_nodes >= 8, "500 chunks / 64-ary = 8 level-1 nodes + root");
+        assert!(s.stored_bytes > 500 * 16, "leaf digests dominate");
+    }
+
+    #[test]
+    fn growth_across_level_boundaries() {
+        // Appending exactly across k, k^2 boundaries keeps queries exact.
+        let mut t = tree(4);
+        for n in 1..=70u64 {
+            t.append(vec![n - 1, 1]).unwrap();
+            assert_eq!(t.query(0, n).unwrap(), naive_sum(0, n), "after {n} appends");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests: the aggregation tree must agree with a naive fold
+//! for every arity, length, and query range.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use timecrypt_index::{AggTree, TreeConfig};
+use timecrypt_store::MemKv;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random (arity, values, range) triples: tree query == naive sum.
+    #[test]
+    fn tree_matches_naive(
+        arity in 2usize..9,
+        values in proptest::collection::vec(any::<u64>(), 1..300),
+        a in 0usize..300,
+        b in 0usize..300,
+    ) {
+        let mut tree: AggTree<Vec<u64>> = AggTree::open(
+            Arc::new(MemKv::new()),
+            1,
+            TreeConfig { arity, cache_bytes: 1 << 20 },
+        )
+        .unwrap();
+        for &v in &values {
+            tree.append(vec![v]).unwrap();
+        }
+        let n = values.len();
+        let (a, b) = (a.min(n - 1), b.min(n));
+        prop_assume!(a < b);
+        let expect = values[a..b].iter().fold(0u64, |x, &y| x.wrapping_add(y));
+        prop_assert_eq!(tree.query(a as u64, b as u64).unwrap(), vec![expect]);
+    }
+
+    /// Cache size never affects results, only speed.
+    #[test]
+    fn cache_size_is_semantically_invisible(
+        values in proptest::collection::vec(0u64..1000, 10..150),
+        cache in 0usize..4096,
+    ) {
+        let build = |cache_bytes: usize| {
+            let mut tree: AggTree<Vec<u64>> = AggTree::open(
+                Arc::new(MemKv::new()),
+                1,
+                TreeConfig { arity: 4, cache_bytes },
+            )
+            .unwrap();
+            for &v in &values {
+                tree.append(vec![v]).unwrap();
+            }
+            tree
+        };
+        let big = build(1 << 24);
+        let tiny = build(cache);
+        let n = values.len() as u64;
+        for (a, b) in [(0u64, n), (1, n), (n / 2, n / 2 + 1), (0, n / 2 + 1)] {
+            prop_assert_eq!(big.query(a, b).unwrap(), tiny.query(a, b).unwrap());
+        }
+    }
+
+    /// Reopening from the same store preserves every query answer.
+    #[test]
+    fn reopen_is_transparent(values in proptest::collection::vec(any::<u64>(), 1..150)) {
+        let kv: Arc<MemKv> = Arc::new(MemKv::new());
+        {
+            let mut tree: AggTree<Vec<u64>> =
+                AggTree::open(kv.clone(), 1, TreeConfig { arity: 8, cache_bytes: 1 << 20 }).unwrap();
+            for &v in &values {
+                tree.append(vec![v]).unwrap();
+            }
+        }
+        let tree: AggTree<Vec<u64>> =
+            AggTree::open(kv, 1, TreeConfig { arity: 8, cache_bytes: 1 << 20 }).unwrap();
+        prop_assert_eq!(tree.len(), values.len() as u64);
+        let expect = values.iter().fold(0u64, |x, &y| x.wrapping_add(y));
+        prop_assert_eq!(tree.query(0, values.len() as u64).unwrap(), vec![expect]);
+    }
+}

@@ -1,0 +1,951 @@
+//! The server engine: stream registry, ingest path, query engine.
+
+use crate::keystore::KeyStore;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
+use timecrypt_index::{AggTree, IndexError, TreeConfig};
+use timecrypt_integrity::{chunk_commitment, RootAttestation, StreamLedger};
+use timecrypt_store::{KvStore, StoreError};
+use timecrypt_wire::messages::{Request, Response, StatReply, StreamInfoWire};
+use timecrypt_wire::transport::Handler;
+
+/// Server-side tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Aggregation-tree fan-out (paper: 64).
+    pub arity: usize,
+    /// Per-stream index-node cache budget in bytes (Fig. 7 "small cache"
+    /// sets this to 1 MB).
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { arity: 64, cache_bytes: 64 * 1024 * 1024 }
+    }
+}
+
+/// Engine errors (mapped to `Response::Error` strings at the wire boundary).
+#[derive(Debug)]
+pub enum ServerError {
+    /// Unknown stream id.
+    NoSuchStream(u128),
+    /// Stream already exists.
+    StreamExists(u128),
+    /// Chunk arrived out of order (must be exactly the next index).
+    OutOfOrderChunk {
+        /// Expected next index.
+        expected: u64,
+        /// Received index.
+        got: u64,
+    },
+    /// Digest width mismatch vs stream registration.
+    WidthMismatch {
+        /// Registered width.
+        expected: u32,
+        /// Received width.
+        got: u32,
+    },
+    /// Query time range maps to no full chunk.
+    EmptyRange,
+    /// Inter-stream query over streams with unequal digest widths.
+    IncompatibleStreams,
+    /// Chunk bytes failed to parse.
+    BadChunk,
+    /// Live record bytes failed to parse.
+    BadRecord,
+    /// Live record targets a chunk that is already finalized.
+    StaleLiveRecord {
+        /// The chunk the record claimed.
+        chunk: u64,
+        /// First non-finalized chunk index.
+        next: u64,
+    },
+    /// Storage failure.
+    Store(StoreError),
+    /// Index failure.
+    Index(IndexError),
+    /// Integrity ledger failure (proofs, attestation bookkeeping).
+    Integrity(String),
+    /// No attestation stored for the stream yet.
+    NoAttestation(u128),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::NoSuchStream(s) => write!(f, "no such stream {s:#x}"),
+            ServerError::StreamExists(s) => write!(f, "stream {s:#x} already exists"),
+            ServerError::OutOfOrderChunk { expected, got } => {
+                write!(f, "out-of-order chunk: expected {expected}, got {got}")
+            }
+            ServerError::WidthMismatch { expected, got } => {
+                write!(f, "digest width {got} != registered {expected}")
+            }
+            ServerError::EmptyRange => write!(f, "time range covers no complete chunk"),
+            ServerError::IncompatibleStreams => {
+                write!(f, "inter-stream query requires equal digest widths")
+            }
+            ServerError::BadChunk => write!(f, "malformed chunk bytes"),
+            ServerError::BadRecord => write!(f, "malformed live record bytes"),
+            ServerError::StaleLiveRecord { chunk, next } => {
+                write!(f, "live record for finalized chunk {chunk} (next open chunk is {next})")
+            }
+            ServerError::Store(e) => write!(f, "storage: {e}"),
+            ServerError::Index(e) => write!(f, "index: {e}"),
+            ServerError::Integrity(e) => write!(f, "integrity: {e}"),
+            ServerError::NoAttestation(s) => {
+                write!(f, "no attestation stored for stream {s:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<StoreError> for ServerError {
+    fn from(e: StoreError) -> Self {
+        ServerError::Store(e)
+    }
+}
+
+impl From<IndexError> for ServerError {
+    fn from(e: IndexError) -> Self {
+        ServerError::Index(e)
+    }
+}
+
+/// Per-stream server state.
+struct StreamState {
+    t0: i64,
+    delta_ms: u64,
+    digest_width: u32,
+    tree: AggTree<Vec<u64>>,
+    /// Integrity extension: the server's authenticated aggregation ledger.
+    /// Rebuilt from persisted leaf records (`il/` prefix) on open.
+    ledger: StreamLedger,
+}
+
+impl StreamState {
+    /// First chunk whose interval starts at or after `ts`.
+    fn first_chunk_at_or_after(&self, ts: i64) -> u64 {
+        if ts <= self.t0 {
+            return 0;
+        }
+        ((ts - self.t0) as u64).div_ceil(self.delta_ms)
+    }
+
+    /// One past the last chunk whose interval ends at or before `ts`.
+    fn chunk_end_at_or_before(&self, ts: i64) -> u64 {
+        if ts <= self.t0 {
+            return 0;
+        }
+        ((ts - self.t0) as u64) / self.delta_ms
+    }
+
+    /// Chunk containing `ts` (for raw retrieval).
+    fn chunk_containing(&self, ts: i64) -> Option<u64> {
+        if ts < self.t0 {
+            return None;
+        }
+        Some(((ts - self.t0) as u64) / self.delta_ms)
+    }
+}
+
+/// The server engine. Thread-safe: per-stream writes are serialized by a
+/// per-stream mutex; reads share it briefly (the paper's index updates are
+/// likewise serialized per stream by append order).
+pub struct TimeCryptServer {
+    kv: Arc<dyn KvStore>,
+    cfg: ServerConfig,
+    streams: RwLock<HashMap<u128, Arc<Mutex<StreamState>>>>,
+    /// Real-time upload buffer (§4.6): per stream, per not-yet-finalized
+    /// chunk, the sealed records received so far. Volatile by design — the
+    /// durable copy is the finalized chunk that supersedes these records.
+    live: Mutex<HashMap<u128, BTreeMap<u64, Vec<(u32, Vec<u8>)>>>>,
+}
+
+fn stream_meta_key(stream: u128) -> Vec<u8> {
+    let mut k = Vec::with_capacity(18);
+    k.extend_from_slice(b"s/");
+    k.extend_from_slice(&stream.to_be_bytes());
+    k
+}
+
+fn chunk_key(stream: u128, index: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(27);
+    k.extend_from_slice(b"c/");
+    k.extend_from_slice(&stream.to_be_bytes());
+    k.push(b'/');
+    k.extend_from_slice(&index.to_be_bytes());
+    k
+}
+
+/// Integrity-ledger leaf record: commitment + digest ciphertext. Retained
+/// independently of the chunk payload so `delete_range` cannot silently
+/// shrink the attested history.
+fn ledger_key(stream: u128, index: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(28);
+    k.extend_from_slice(b"il/");
+    k.extend_from_slice(&stream.to_be_bytes());
+    k.push(b'/');
+    k.extend_from_slice(&index.to_be_bytes());
+    k
+}
+
+fn attestation_key(stream: u128) -> Vec<u8> {
+    let mut k = Vec::with_capacity(20);
+    k.extend_from_slice(b"att/");
+    k.extend_from_slice(&stream.to_be_bytes());
+    k
+}
+
+fn encode_ledger_leaf(commitment: &[u8; 32], digest_ct: &[u64]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(32 + digest_ct.len() * 8);
+    v.extend_from_slice(commitment);
+    for d in digest_ct {
+        v.extend_from_slice(&d.to_le_bytes());
+    }
+    v
+}
+
+fn decode_ledger_leaf(bytes: &[u8]) -> Option<([u8; 32], Vec<u64>)> {
+    if bytes.len() < 32 || (bytes.len() - 32) % 8 != 0 {
+        return None;
+    }
+    let commitment: [u8; 32] = bytes[..32].try_into().ok()?;
+    let sum = bytes[32..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+        .collect();
+    Some((commitment, sum))
+}
+
+impl TimeCryptServer {
+    /// Opens the engine over a KV store, recovering all registered streams.
+    pub fn open(kv: Arc<dyn KvStore>, cfg: ServerConfig) -> Result<Self, ServerError> {
+        let server = TimeCryptServer {
+            kv,
+            cfg,
+            streams: RwLock::new(HashMap::new()),
+            live: Mutex::new(HashMap::new()),
+        };
+        for (key, meta) in server.kv.scan_prefix(b"s/")? {
+            if key.len() != 18 || meta.len() != 20 {
+                continue;
+            }
+            let stream = u128::from_be_bytes(key[2..18].try_into().unwrap());
+            let t0 = i64::from_le_bytes(meta[0..8].try_into().unwrap());
+            let delta_ms = u64::from_le_bytes(meta[8..16].try_into().unwrap());
+            let digest_width = u32::from_le_bytes(meta[16..20].try_into().unwrap());
+            let tree = AggTree::open(
+                server.kv.clone(),
+                stream,
+                TreeConfig { arity: server.cfg.arity, cache_bytes: server.cfg.cache_bytes },
+            )?;
+            let ledger = server.rebuild_ledger(stream)?;
+            server.streams.write().insert(
+                stream,
+                Arc::new(Mutex::new(StreamState { t0, delta_ms, digest_width, tree, ledger })),
+            );
+        }
+        Ok(server)
+    }
+
+    /// Registers a stream.
+    pub fn create_stream(
+        &self,
+        stream: u128,
+        t0: i64,
+        delta_ms: u64,
+        digest_width: u32,
+    ) -> Result<(), ServerError> {
+        let mut streams = self.streams.write();
+        if streams.contains_key(&stream) {
+            return Err(ServerError::StreamExists(stream));
+        }
+        let mut meta = Vec::with_capacity(20);
+        meta.extend_from_slice(&t0.to_le_bytes());
+        meta.extend_from_slice(&delta_ms.to_le_bytes());
+        meta.extend_from_slice(&digest_width.to_le_bytes());
+        self.kv.put(&stream_meta_key(stream), &meta)?;
+        let tree = AggTree::open(
+            self.kv.clone(),
+            stream,
+            TreeConfig { arity: self.cfg.arity, cache_bytes: self.cfg.cache_bytes },
+        )?;
+        streams.insert(
+            stream,
+            Arc::new(Mutex::new(StreamState {
+                t0,
+                delta_ms,
+                digest_width,
+                tree,
+                ledger: StreamLedger::new(stream),
+            })),
+        );
+        Ok(())
+    }
+
+    /// Replays persisted ledger leaves (in index order) into a fresh ledger.
+    fn rebuild_ledger(&self, stream: u128) -> Result<StreamLedger, ServerError> {
+        let mut prefix = b"il/".to_vec();
+        prefix.extend_from_slice(&stream.to_be_bytes());
+        prefix.push(b'/');
+        let mut entries = self.kv.scan_prefix(&prefix)?;
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut ledger = StreamLedger::new(stream);
+        for (_, bytes) in entries {
+            let (commitment, sum) = decode_ledger_leaf(&bytes)
+                .ok_or(ServerError::Integrity("corrupt ledger leaf".into()))?;
+            ledger
+                .append(commitment, sum)
+                .map_err(|e| ServerError::Integrity(e.to_string()))?;
+        }
+        Ok(ledger)
+    }
+
+    /// Deletes a stream with all chunks, index nodes, and key-store entries.
+    pub fn delete_stream(&self, stream: u128) -> Result<(), ServerError> {
+        let existed = self.streams.write().remove(&stream).is_some();
+        if !existed {
+            return Err(ServerError::NoSuchStream(stream));
+        }
+        self.kv.delete(&stream_meta_key(stream))?;
+        self.kv.delete(&attestation_key(stream))?;
+        for prefix in ["c/", "i/", "im/", "il/"] {
+            let mut p = prefix.as_bytes().to_vec();
+            p.extend_from_slice(&stream.to_be_bytes());
+            for (k, _) in self.kv.scan_prefix(&p)? {
+                self.kv.delete(&k)?;
+            }
+        }
+        KeyStore::new(self.kv.as_ref()).purge_stream(stream)?;
+        self.live.lock().remove(&stream);
+        Ok(())
+    }
+
+    fn stream(&self, stream: u128) -> Result<Arc<Mutex<StreamState>>, ServerError> {
+        self.streams
+            .read()
+            .get(&stream)
+            .cloned()
+            .ok_or(ServerError::NoSuchStream(stream))
+    }
+
+    /// Ingests one sealed chunk: stores the payload blob and appends the
+    /// digest ciphertext to the aggregation index.
+    pub fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
+        let state = self.stream(chunk.stream)?;
+        let mut st = state.lock();
+        if chunk.digest_ct.len() as u32 != st.digest_width {
+            return Err(ServerError::WidthMismatch {
+                expected: st.digest_width,
+                got: chunk.digest_ct.len() as u32,
+            });
+        }
+        let expected = st.tree.len();
+        if chunk.index != expected {
+            return Err(ServerError::OutOfOrderChunk { expected, got: chunk.index });
+        }
+        let bytes = chunk.to_bytes();
+        let commitment = chunk_commitment(&bytes);
+        self.kv.put(&chunk_key(chunk.stream, chunk.index), &bytes)?;
+        self.kv.put(
+            &ledger_key(chunk.stream, chunk.index),
+            &encode_ledger_leaf(&commitment, &chunk.digest_ct),
+        )?;
+        st.tree.append(chunk.digest_ct.clone())?;
+        st.ledger
+            .append(commitment, chunk.digest_ct.clone())
+            .map_err(|e| ServerError::Integrity(e.to_string()))?;
+        // The finalized chunk supersedes its real-time records (§4.6
+        // "dropping the encrypted records once the corresponding chunk is
+        // stored").
+        if let Some(buf) = self.live.lock().get_mut(&chunk.stream) {
+            buf.remove(&chunk.index);
+        }
+        Ok(())
+    }
+
+    /// Buffers one real-time record (§4.6). The record must target a chunk
+    /// that has not been finalized yet; its ciphertext is opaque to the
+    /// server.
+    pub fn insert_live(&self, record: &SealedRecord) -> Result<(), ServerError> {
+        let state = self.stream(record.stream)?;
+        let next = {
+            let st = state.lock();
+            st.tree.len()
+        };
+        if record.chunk < next {
+            return Err(ServerError::StaleLiveRecord { chunk: record.chunk, next });
+        }
+        self.live
+            .lock()
+            .entry(record.stream)
+            .or_default()
+            .entry(record.chunk)
+            .or_default()
+            .push((record.seq, record.to_bytes()));
+        Ok(())
+    }
+
+    /// Returns buffered live records whose chunk interval overlaps
+    /// `[ts_s, ts_e)`, in (chunk, seq) order. Only records of chunks not
+    /// yet finalized exist in the buffer, so the result never overlaps
+    /// [`get_range`](Self::get_range).
+    pub fn get_live(&self, stream: u128, ts_s: i64, ts_e: i64) -> Result<Vec<Vec<u8>>, ServerError> {
+        let state = self.stream(stream)?;
+        let (t0, delta) = {
+            let st = state.lock();
+            (st.t0, st.delta_ms)
+        };
+        if ts_e <= ts_s {
+            return Err(ServerError::EmptyRange);
+        }
+        let first = if ts_s <= t0 { 0 } else { ((ts_s - t0) as u64) / delta };
+        let last_incl = if ts_e <= t0 {
+            return Ok(Vec::new());
+        } else {
+            ((ts_e - 1 - t0) as u64) / delta
+        };
+        let mut out = Vec::new();
+        if let Some(buf) = self.live.lock().get(&stream) {
+            for (_, recs) in buf.range(first..=last_incl) {
+                let mut recs = recs.clone();
+                recs.sort_by_key(|(seq, _)| *seq);
+                out.extend(recs.into_iter().map(|(_, bytes)| bytes));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of buffered live records for a stream (diagnostics/tests).
+    pub fn live_len(&self, stream: u128) -> usize {
+        self.live
+            .lock()
+            .get(&stream)
+            .map(|buf| buf.values().map(Vec::len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Stores the owner's signed root attestation (integrity extension).
+    /// Opaque except for a minimal sanity parse: the stream must match and
+    /// the epoch must not regress relative to the stored attestation.
+    pub fn put_attestation(&self, stream: u128, bytes: &[u8]) -> Result<(), ServerError> {
+        let _ = self.stream(stream)?;
+        let att = RootAttestation::decode(bytes)
+            .ok_or(ServerError::Integrity("malformed attestation".into()))?;
+        if att.stream != stream {
+            return Err(ServerError::Integrity("attestation stream mismatch".into()));
+        }
+        if let Some(prev) = self.kv.get(&attestation_key(stream))? {
+            if let Some(prev) = RootAttestation::decode(&prev) {
+                if att.epoch < prev.epoch {
+                    return Err(ServerError::Integrity("attestation epoch regression".into()));
+                }
+            }
+        }
+        self.kv.put(&attestation_key(stream), bytes)?;
+        Ok(())
+    }
+
+    /// The latest stored attestation for a stream.
+    pub fn get_attestation(&self, stream: u128) -> Result<Vec<u8>, ServerError> {
+        let _ = self.stream(stream)?;
+        self.kv
+            .get(&attestation_key(stream))?
+            .ok_or(ServerError::NoAttestation(stream))
+    }
+
+    /// Builds an authenticated range proof for `[ts_s, ts_e)` against the
+    /// latest attestation and returns `(attestation bytes, proof bytes)`.
+    /// The proof's chunk window is clamped to the attested size: chunks
+    /// uploaded after the last attestation are not yet provable.
+    pub fn get_range_proof(
+        &self,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<(Vec<u8>, Vec<u8>), ServerError> {
+        let att_bytes = self.get_attestation(stream)?;
+        let att = RootAttestation::decode(&att_bytes)
+            .ok_or(ServerError::Integrity("stored attestation corrupt".into()))?;
+        let state = self.stream(stream)?;
+        let st = state.lock();
+        let lo = st.first_chunk_at_or_after(ts_s);
+        let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len()).min(att.size);
+        if lo >= hi {
+            return Err(ServerError::EmptyRange);
+        }
+        let proof = st
+            .ledger
+            .prove_range(lo as usize, hi as usize, att.size as usize)
+            .map_err(|e| ServerError::Integrity(e.to_string()))?;
+        Ok((att_bytes, proof.encode()))
+    }
+
+    /// Raw range retrieval: all chunks overlapping `[ts_s, ts_e)`.
+    pub fn get_range(
+        &self,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<EncryptedChunk>, ServerError> {
+        let state = self.stream(stream)?;
+        let st = state.lock();
+        if ts_e <= ts_s {
+            return Err(ServerError::EmptyRange);
+        }
+        let first = st.chunk_containing(ts_s.max(st.t0)).unwrap_or(0);
+        let last_incl = match st.chunk_containing(ts_e - 1) {
+            Some(c) => c.min(st.tree.len().saturating_sub(1)),
+            None => return Err(ServerError::EmptyRange),
+        };
+        if st.tree.len() == 0 || first > last_incl {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity((last_incl - first + 1) as usize);
+        for i in first..=last_incl {
+            if let Some(bytes) = self.kv.get(&chunk_key(stream, i))? {
+                out.push(EncryptedChunk::from_bytes(&bytes).map_err(|_| ServerError::BadChunk)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Statistical query over one or more streams: the homomorphic sum of
+    /// all chunk digests fully inside `[ts_s, ts_e)`, per stream, combined.
+    /// Returns the per-stream chunk boundaries (the client needs them to
+    /// derive boundary keys) and the combined aggregate.
+    pub fn get_stat_range(
+        &self,
+        streams: &[u128],
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<StatReply, ServerError> {
+        if streams.is_empty() {
+            return Err(ServerError::EmptyRange);
+        }
+        let mut parts = Vec::with_capacity(streams.len());
+        let mut agg: Option<Vec<u64>> = None;
+        let mut width: Option<u32> = None;
+        for &sid in streams {
+            let state = self.stream(sid)?;
+            let st = state.lock();
+            match width {
+                Some(w) if w != st.digest_width => return Err(ServerError::IncompatibleStreams),
+                None => width = Some(st.digest_width),
+                _ => {}
+            }
+            let lo = st.first_chunk_at_or_after(ts_s);
+            let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
+            if lo >= hi {
+                return Err(ServerError::EmptyRange);
+            }
+            let part = st.tree.query(lo, hi)?;
+            match &mut agg {
+                Some(a) => {
+                    for (x, y) in a.iter_mut().zip(part.iter()) {
+                        *x = x.wrapping_add(*y);
+                    }
+                }
+                None => agg = Some(part),
+            }
+            parts.push((sid, lo, hi));
+        }
+        Ok(StatReply { parts, agg: agg.expect("non-empty streams") })
+    }
+
+    /// Deletes raw chunk payloads in `[ts_s, ts_e)` while keeping digests in
+    /// the index (Table 1 (7): "while maintaining per-chunk digest").
+    pub fn delete_range(&self, stream: u128, ts_s: i64, ts_e: i64) -> Result<usize, ServerError> {
+        let state = self.stream(stream)?;
+        let st = state.lock();
+        let lo = st.first_chunk_at_or_after(ts_s);
+        let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
+        let mut n = 0;
+        for i in lo..hi {
+            let key = chunk_key(stream, i);
+            if self.kv.get(&key)?.is_some() {
+                self.kv.delete(&key)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Data decay: ages out index levels below `keep_level` for chunks
+    /// before `before_ts` (§4.5 data decay / Table 1 (3) rollup).
+    pub fn rollup(&self, stream: u128, before_ts: i64, keep_level: u8) -> Result<usize, ServerError> {
+        let state = self.stream(stream)?;
+        let mut st = state.lock();
+        let cutoff = st.chunk_end_at_or_before(before_ts).min(st.tree.len());
+        Ok(st.tree.decay(cutoff, keep_level)?)
+    }
+
+    /// Verified raw retrieval (integrity extension): the chunks overlapping
+    /// `[ts_s, ts_e)` plus an *open* range proof binding each chunk's
+    /// commitment to the latest attestation. The window is clamped to the
+    /// attested size. Errors if any covered chunk payload was deleted —
+    /// completeness of raw data cannot be proven once payloads decay.
+    pub fn get_verified_range(
+        &self,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<(Vec<u8>, Vec<u8>, Vec<Vec<u8>>), ServerError> {
+        let att_bytes = self.get_attestation(stream)?;
+        let att = RootAttestation::decode(&att_bytes)
+            .ok_or(ServerError::Integrity("stored attestation corrupt".into()))?;
+        let state = self.stream(stream)?;
+        let st = state.lock();
+        // Raw reads cover every chunk *overlapping* the interval, matching
+        // get_range's semantics (not only fully-contained chunks).
+        if ts_e <= ts_s {
+            return Err(ServerError::EmptyRange);
+        }
+        let lo = st.chunk_containing(ts_s.max(st.t0)).unwrap_or(0);
+        let hi = match st.chunk_containing(ts_e - 1) {
+            Some(c) => (c + 1).min(st.tree.len()).min(att.size),
+            None => return Err(ServerError::EmptyRange),
+        };
+        if lo >= hi {
+            return Err(ServerError::EmptyRange);
+        }
+        let proof = st
+            .ledger
+            .prove_range_open(lo as usize, hi as usize, att.size as usize)
+            .map_err(|e| ServerError::Integrity(e.to_string()))?;
+        let mut chunks = Vec::with_capacity((hi - lo) as usize);
+        for i in lo..hi {
+            let bytes = self
+                .kv
+                .get(&chunk_key(stream, i))?
+                .ok_or(ServerError::Integrity("chunk payload deleted; raw completeness unprovable".into()))?;
+            chunks.push(bytes);
+        }
+        Ok((att_bytes, proof.encode(), chunks))
+    }
+
+    /// Stream metadata.
+    pub fn stream_info(&self, stream: u128) -> Result<StreamInfoWire, ServerError> {
+        let state = self.stream(stream)?;
+        let st = state.lock();
+        Ok(StreamInfoWire {
+            stream,
+            t0: st.t0,
+            delta_ms: st.delta_ms,
+            digest_width: st.digest_width,
+            len: st.tree.len(),
+        })
+    }
+
+    /// Key-store facade.
+    pub fn keystore(&self) -> KeyStore<'_> {
+        KeyStore::new(self.kv.as_ref())
+    }
+
+    /// Underlying store (diagnostics, size accounting in benches).
+    pub fn kv(&self) -> &Arc<dyn KvStore> {
+        &self.kv
+    }
+}
+
+impl Handler for TimeCryptServer {
+    fn handle(&self, req: Request) -> Response {
+        fn ok_or<T>(r: Result<T, ServerError>, f: impl FnOnce(T) -> Response) -> Response {
+            match r {
+                Ok(v) => f(v),
+                Err(e) => Response::Error(e.to_string()),
+            }
+        }
+        match req {
+            Request::CreateStream { stream, t0, delta_ms, digest_width } => {
+                ok_or(self.create_stream(stream, t0, delta_ms, digest_width), |_| Response::Ok)
+            }
+            Request::DeleteStream { stream } => ok_or(self.delete_stream(stream), |_| Response::Ok),
+            Request::Insert { chunk } => match EncryptedChunk::from_bytes(&chunk) {
+                Ok(c) => ok_or(self.insert(&c), |_| Response::Ok),
+                Err(_) => Response::Error(ServerError::BadChunk.to_string()),
+            },
+            Request::InsertLive { record } => match SealedRecord::from_bytes(&record) {
+                Ok(r) => ok_or(self.insert_live(&r), |_| Response::Ok),
+                Err(_) => Response::Error(ServerError::BadRecord.to_string()),
+            },
+            Request::GetLive { stream, ts_s, ts_e } => {
+                ok_or(self.get_live(stream, ts_s, ts_e), Response::Records)
+            }
+            Request::GetRange { stream, ts_s, ts_e } => ok_or(
+                self.get_range(stream, ts_s, ts_e),
+                |chunks| Response::Chunks(chunks.iter().map(|c| c.to_bytes()).collect()),
+            ),
+            Request::GetStatRange { streams, ts_s, ts_e } => {
+                ok_or(self.get_stat_range(&streams, ts_s, ts_e), Response::Stat)
+            }
+            Request::DeleteRange { stream, ts_s, ts_e } => {
+                ok_or(self.delete_range(stream, ts_s, ts_e), |_| Response::Ok)
+            }
+            Request::Rollup { stream, before_ts, keep_level } => {
+                ok_or(self.rollup(stream, before_ts, keep_level), |_| Response::Ok)
+            }
+            Request::StreamInfo { stream } => ok_or(self.stream_info(stream), Response::Info),
+            Request::PutGrant { stream, principal, blob } => ok_or(
+                self.keystore().put_grant(stream, &principal, &blob).map_err(ServerError::from),
+                |_| Response::Ok,
+            ),
+            Request::GetGrants { stream, principal } => ok_or(
+                self.keystore().get_grants(stream, &principal).map_err(ServerError::from),
+                Response::Blobs,
+            ),
+            Request::RevokeGrants { stream, principal } => ok_or(
+                self.keystore().revoke_grants(stream, &principal).map_err(ServerError::from),
+                |_| Response::Ok,
+            ),
+            Request::PutEnvelopes { stream, resolution, envelopes } => ok_or(
+                self.keystore()
+                    .put_envelopes(stream, resolution, &envelopes)
+                    .map_err(ServerError::from),
+                |_| Response::Ok,
+            ),
+            Request::GetEnvelopes { stream, resolution, lo, hi } => ok_or(
+                self.keystore()
+                    .get_envelopes(stream, resolution, lo, hi)
+                    .map_err(ServerError::from),
+                Response::Envelopes,
+            ),
+            Request::PutAttestation { stream, attestation } => {
+                ok_or(self.put_attestation(stream, &attestation), |_| Response::Ok)
+            }
+            Request::GetAttestation { stream } => {
+                ok_or(self.get_attestation(stream), |a| Response::Blobs(vec![a]))
+            }
+            Request::GetRangeProof { stream, ts_s, ts_e } => {
+                ok_or(self.get_range_proof(stream, ts_s, ts_e), |(attestation, proof)| {
+                    Response::Attested { attestation, proof }
+                })
+            }
+            Request::GetVerifiedRange { stream, ts_s, ts_e } => ok_or(
+                self.get_verified_range(stream, ts_s, ts_e),
+                |(attestation, proof, chunks)| {
+                    Response::VerifiedChunks { attestation, proof, chunks }
+                },
+            ),
+            Request::Ping => Response::Pong,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timecrypt_chunk::{ChunkBuilder, DataPoint, StreamConfig};
+    use timecrypt_core::heac::decrypt_range_sum;
+    use timecrypt_core::StreamKeyMaterial;
+    use timecrypt_crypto::{PrgKind, SecureRandom};
+    use timecrypt_store::MemKv;
+
+    fn server() -> TimeCryptServer {
+        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap()
+    }
+
+    fn keys() -> StreamKeyMaterial {
+        StreamKeyMaterial::with_params(1, [7u8; 16], 24, PrgKind::Aes).unwrap()
+    }
+
+    /// Ingests `n` chunks of 10 points each into stream 1 (Δ=10 s, t0=0),
+    /// point value = chunk*10 + i.
+    fn ingest(server: &TimeCryptServer, n: u64) -> StreamConfig {
+        let cfg = StreamConfig::new(1, "hr", 0, 10_000);
+        let km = keys();
+        let mut rng = SecureRandom::from_seed_insecure(3);
+        server.create_stream(1, 0, 10_000, cfg.schema.width() as u32).unwrap();
+        let mut builder = ChunkBuilder::new(cfg.clone());
+        for c in 0..n {
+            for i in 0..10 {
+                let ts = c as i64 * 10_000 + i * 1000;
+                for done in builder.push(DataPoint::new(ts, (c * 10 + i as u64) as i64)).unwrap() {
+                    server.insert(&done.seal(&cfg, &km, &mut rng).unwrap()).unwrap();
+                }
+            }
+        }
+        if let Some(tail) = builder.flush() {
+            server.insert(&tail.seal(&cfg, &km, &mut rng).unwrap()).unwrap();
+        }
+        cfg
+    }
+
+    #[test]
+    fn create_insert_query_roundtrip() {
+        let s = server();
+        let cfg = ingest(&s, 10);
+        let reply = s.get_stat_range(&[1], 0, 100_000).unwrap();
+        assert_eq!(reply.parts, vec![(1, 0, 10)]);
+        let dec = decrypt_range_sum(&keys().tree, 0, 10, &reply.agg).unwrap();
+        let summary = cfg.schema.interpret(&dec);
+        // Values are 0..100.
+        assert_eq!(summary.sum, Some((0..100i64).sum::<i64>()));
+        assert_eq!(summary.count, Some(100));
+    }
+
+    #[test]
+    fn partial_time_window_aligns_to_chunks() {
+        let s = server();
+        ingest(&s, 10);
+        // [15s, 35s): only chunk 2 ([20s,30s)) is fully inside.
+        let reply = s.get_stat_range(&[1], 15_000, 35_000).unwrap();
+        assert_eq!(reply.parts, vec![(1, 2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_stream_rejected() {
+        let s = server();
+        s.create_stream(1, 0, 1000, 2).unwrap();
+        assert!(matches!(s.create_stream(1, 0, 1000, 2), Err(ServerError::StreamExists(1))));
+    }
+
+    #[test]
+    fn out_of_order_and_wrong_width_rejected() {
+        let s = server();
+        s.create_stream(1, 0, 1000, 2).unwrap();
+        let c = EncryptedChunk { stream: 1, index: 5, digest_ct: vec![0, 0], payload: vec![] };
+        assert!(matches!(
+            s.insert(&c),
+            Err(ServerError::OutOfOrderChunk { expected: 0, got: 5 })
+        ));
+        let c = EncryptedChunk { stream: 1, index: 0, digest_ct: vec![0], payload: vec![] };
+        assert!(matches!(s.insert(&c), Err(ServerError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_stream_errors() {
+        let s = server();
+        assert!(matches!(s.stream_info(9), Err(ServerError::NoSuchStream(9))));
+        assert!(matches!(s.get_stat_range(&[9], 0, 10), Err(ServerError::NoSuchStream(9))));
+    }
+
+    #[test]
+    fn get_range_returns_sealed_chunks() {
+        let s = server();
+        ingest(&s, 5);
+        let chunks = s.get_range(1, 0, 50_000).unwrap();
+        assert_eq!(chunks.len(), 5);
+        let points = chunks[2].open_payload(&keys().tree).unwrap();
+        assert_eq!(points.len(), 10);
+        assert_eq!(points[0].value, 20);
+    }
+
+    #[test]
+    fn delete_range_keeps_digests() {
+        let s = server();
+        ingest(&s, 10);
+        assert_eq!(s.delete_range(1, 0, 50_000).unwrap(), 5);
+        // Raw chunks gone...
+        assert_eq!(s.get_range(1, 0, 50_000).unwrap().len(), 0);
+        // ...but statistics still served from the index.
+        let reply = s.get_stat_range(&[1], 0, 100_000).unwrap();
+        assert_eq!(reply.parts, vec![(1, 0, 10)]);
+    }
+
+    #[test]
+    fn multi_stream_query_combines() {
+        let s = server();
+        let km1 = StreamKeyMaterial::with_params(1, [1u8; 16], 20, PrgKind::Aes).unwrap();
+        let km2 = StreamKeyMaterial::with_params(2, [2u8; 16], 20, PrgKind::Aes).unwrap();
+        let mut rng = SecureRandom::from_seed_insecure(5);
+        for (id, km) in [(1u128, &km1), (2u128, &km2)] {
+            let cfg = StreamConfig { schema: timecrypt_chunk::DigestSchema::sum_count(), ..StreamConfig::new(id, "m", 0, 10_000) };
+            s.create_stream(id, 0, 10_000, 2).unwrap();
+            for c in 0..4u64 {
+                let chunk = timecrypt_chunk::PlainChunk {
+                    stream: id,
+                    index: c,
+                    points: vec![DataPoint::new(c as i64 * 10_000, (id as i64) * 100 + c as i64)],
+                };
+                s.insert(&chunk.seal(&cfg, km, &mut rng).unwrap()).unwrap();
+            }
+        }
+        let reply = s.get_stat_range(&[1, 2], 0, 40_000).unwrap();
+        assert_eq!(reply.parts, vec![(1, 0, 4), (2, 0, 4)]);
+        // Decrypt: subtract both streams' boundary keys.
+        let d1 = decrypt_range_sum(&km1.tree, 0, 4, &reply.agg).unwrap();
+        let both = decrypt_range_sum(&km2.tree, 0, 4, &d1).unwrap();
+        let expect_sum: i64 = (0..4).map(|c| 100 + c).sum::<i64>() + (0..4).map(|c| 200 + c).sum::<i64>();
+        assert_eq!(both[0] as i64, expect_sum);
+        assert_eq!(both[1], 8, "total count across streams");
+    }
+
+    #[test]
+    fn server_recovers_from_store() {
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        {
+            let s = TimeCryptServer::open(kv.clone(), ServerConfig::default()).unwrap();
+            ingest(&s, 8);
+        }
+        let s = TimeCryptServer::open(kv, ServerConfig::default()).unwrap();
+        let info = s.stream_info(1).unwrap();
+        assert_eq!(info.len, 8);
+        let reply = s.get_stat_range(&[1], 0, 80_000).unwrap();
+        assert_eq!(reply.parts, vec![(1, 0, 8)]);
+    }
+
+    #[test]
+    fn delete_stream_purges_everything() {
+        let s = server();
+        ingest(&s, 4);
+        s.keystore().put_grant(1, "alice", b"blob").unwrap();
+        s.delete_stream(1).unwrap();
+        assert!(matches!(s.stream_info(1), Err(ServerError::NoSuchStream(1))));
+        assert!(s.keystore().get_grants(1, "alice").unwrap().is_empty());
+        // Stream can be recreated from scratch.
+        s.create_stream(1, 0, 10_000, 3).unwrap();
+        assert_eq!(s.stream_info(1).unwrap().len, 0);
+    }
+
+    #[test]
+    fn handler_maps_requests() {
+        let s = server();
+        assert_eq!(s.handle(Request::Ping), Response::Pong);
+        assert_eq!(
+            s.handle(Request::CreateStream { stream: 3, t0: 0, delta_ms: 1000, digest_width: 1 }),
+            Response::Ok
+        );
+        match s.handle(Request::StreamInfo { stream: 3 }) {
+            Response::Info(i) => assert_eq!(i.delta_ms, 1000),
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.handle(Request::StreamInfo { stream: 99 }) {
+            Response::Error(e) => assert!(e.contains("no such stream")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rollup_ages_out_fine_levels() {
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let s = TimeCryptServer::open(kv, ServerConfig { arity: 4, cache_bytes: 1 << 20 }).unwrap();
+        let cfg = StreamConfig {
+            schema: timecrypt_chunk::DigestSchema::sum_only(),
+            ..StreamConfig::new(1, "m", 0, 10_000)
+        };
+        let km = keys();
+        let mut rng = SecureRandom::from_seed_insecure(7);
+        s.create_stream(1, 0, 10_000, 1).unwrap();
+        for c in 0..64u64 {
+            let chunk = timecrypt_chunk::PlainChunk {
+                stream: 1,
+                index: c,
+                points: vec![DataPoint::new(c as i64 * 10_000, c as i64)],
+            };
+            s.insert(&chunk.seal(&cfg, &km, &mut rng).unwrap()).unwrap();
+        }
+        let removed = s.rollup(1, 320_000, 2).unwrap();
+        assert!(removed > 0);
+        // Coarse query over the decayed region still works (level-2 spans 16).
+        let reply = s.get_stat_range(&[1], 0, 640_000).unwrap();
+        let dec = decrypt_range_sum(&km.tree, 0, 64, &reply.agg).unwrap();
+        assert_eq!(dec[0], (0..64).sum::<u64>());
+    }
+}

@@ -1,0 +1,17 @@
+//! The TimeCrypt server engine (paper §3.2, §4.5, §4.6).
+//!
+//! The server is *untrusted*: it stores sealed chunks, maintains the
+//! encrypted aggregation index over HEAC digest ciphertexts, serves
+//! statistical and raw range queries, and hosts the key store of opaque
+//! grant blobs and resolution envelopes. It never holds a key and never
+//! sees a plaintext value — every operation below works on ciphertext.
+//!
+//! Instances are stateless apart from the KV store behind them ("TimeCrypt
+//! instances are stateless and therefore horizontally scalable", §3.2):
+//! [`TimeCryptServer::open`] rebuilds all in-memory stream state from the
+//! store.
+
+pub mod engine;
+pub mod keystore;
+
+pub use engine::{ServerConfig, ServerError, TimeCryptServer};

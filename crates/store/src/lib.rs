@@ -1,0 +1,123 @@
+//! Key-value storage engines (the paper's Cassandra substitute).
+//!
+//! TimeCrypt "can be plugged-in with any scalable key-value store for
+//! persisting data chunks and statistical indices" (§4.6). The prototype
+//! used Cassandra; this reproduction provides three interchangeable engines
+//! behind the [`KvStore`] trait:
+//!
+//! * [`MemKv`] — sharded in-memory hash map (the fast path; what the
+//!   co-located Cassandra + row-cache deployment approximates),
+//! * [`LogKv`] — persistent append-only log with an in-memory index and
+//!   crash-recovery replay (durability),
+//! * [`LatencyKv`] — a decorator injecting configurable per-operation
+//!   latency to model a remote storage tier (the DevOps deployment where
+//!   Cassandra runs on a separate machine).
+//!
+//! Keys are arbitrary byte strings; TimeCrypt computes chunk/index-node keys
+//! on the fly from `(stream id, temporal range)` without storing references
+//! (§4.6 "storage model").
+
+pub mod latency;
+pub mod log;
+pub mod mem;
+
+pub use latency::LatencyKv;
+pub use log::LogKv;
+pub use mem::MemKv;
+
+use std::sync::Arc;
+
+/// Storage error type.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure (LogKv).
+    Io(std::io::Error),
+    /// Log file corrupt at recovery.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "storage log corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Minimal key-value interface the server engine needs: point get/put/delete
+/// plus a prefix scan for stream enumeration and range deletion.
+pub trait KvStore: Send + Sync {
+    /// Fetches the value stored under `key`.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError>;
+    /// Stores `value` under `key`, replacing any previous value.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError>;
+    /// Removes `key`. Removing an absent key is not an error.
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError>;
+    /// Returns all `(key, value)` pairs whose key starts with `prefix`,
+    /// in unspecified order.
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, StoreError>;
+}
+
+/// Shared handle to a store.
+pub type SharedKv = Arc<dyn KvStore>;
+
+#[cfg(test)]
+pub(crate) mod conformance {
+    //! A conformance suite every engine must pass; each engine's test module
+    //! invokes it.
+    use super::KvStore;
+
+    pub fn basic_ops(kv: &dyn KvStore) {
+        assert_eq!(kv.get(b"missing").unwrap(), None);
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), Some(b"1".to_vec()));
+        kv.put(b"a", b"1b").unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), Some(b"1b".to_vec()));
+        kv.delete(b"a").unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), None);
+        kv.delete(b"a").unwrap(); // idempotent
+        assert_eq!(kv.get(b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    pub fn prefix_scan(kv: &dyn KvStore) {
+        kv.put(b"s/1/x", b"a").unwrap();
+        kv.put(b"s/1/y", b"b").unwrap();
+        kv.put(b"s/2/x", b"c").unwrap();
+        kv.put(b"t/1", b"d").unwrap();
+        let mut hits = kv.scan_prefix(b"s/1/").unwrap();
+        hits.sort();
+        assert_eq!(
+            hits,
+            vec![
+                (b"s/1/x".to_vec(), b"a".to_vec()),
+                (b"s/1/y".to_vec(), b"b".to_vec()),
+            ]
+        );
+        assert_eq!(kv.scan_prefix(b"s/").unwrap().len(), 3);
+        assert_eq!(kv.scan_prefix(b"zzz").unwrap().len(), 0);
+        // Empty prefix = everything.
+        assert_eq!(kv.scan_prefix(b"").unwrap().len(), 4);
+    }
+
+    pub fn binary_safety(kv: &dyn KvStore) {
+        let key = [0u8, 255, 10, 13, 0];
+        let val = vec![0u8; 1024];
+        kv.put(&key, &val).unwrap();
+        assert_eq!(kv.get(&key).unwrap(), Some(val));
+    }
+
+    pub fn empty_value(kv: &dyn KvStore) {
+        kv.put(b"empty", b"").unwrap();
+        assert_eq!(kv.get(b"empty").unwrap(), Some(Vec::new()));
+    }
+}

@@ -1,0 +1,260 @@
+//! Persistent append-only log engine with crash recovery.
+//!
+//! Record format: `op(1) | key_len(u32 le) | val_len(u32 le) | key | value`,
+//! with `op` 0 = put, 1 = delete. On open, the log is replayed to rebuild
+//! the in-memory index; a torn tail record (crash mid-write) is truncated
+//! rather than treated as corruption, mirroring WAL recovery semantics.
+
+use crate::{KvStore, StoreError};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const OP_PUT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+struct Inner {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    writer: BufWriter<File>,
+}
+
+/// Append-only persistent store.
+pub struct LogKv {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl LogKv {
+    /// Opens (or creates) a log file, replaying its contents.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut map = BTreeMap::new();
+        let mut valid_len = 0u64;
+        if path.exists() {
+            let mut file = File::open(&path)?;
+            let mut buf = Vec::new();
+            file.read_to_end(&mut buf)?;
+            let mut pos = 0usize;
+            loop {
+                match Self::parse_record(&buf[pos..]) {
+                    Some((op, key, value, consumed)) => {
+                        match op {
+                            OP_PUT => {
+                                map.insert(key.to_vec(), value.to_vec());
+                            }
+                            OP_DELETE => {
+                                map.remove(key);
+                            }
+                            _ => return Err(StoreError::Corrupt("unknown op byte")),
+                        }
+                        pos += consumed;
+                        valid_len = pos as u64;
+                    }
+                    None => break, // torn tail or clean end
+                }
+            }
+        }
+        let mut file = OpenOptions::new().create(true).append(false).write(true).read(true).open(&path)?;
+        // Truncate any torn tail, then position at the end.
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(LogKv {
+            path,
+            inner: Mutex::new(Inner { map, writer: BufWriter::new(file) }),
+        })
+    }
+
+    fn parse_record(buf: &[u8]) -> Option<(u8, &[u8], &[u8], usize)> {
+        if buf.len() < 9 {
+            return None;
+        }
+        let op = buf[0];
+        let klen = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(buf[5..9].try_into().unwrap()) as usize;
+        let total = 9usize.checked_add(klen)?.checked_add(vlen)?;
+        if buf.len() < total {
+            return None;
+        }
+        Some((op, &buf[9..9 + klen], &buf[9 + klen..total], total))
+    }
+
+    fn append(inner: &mut Inner, op: u8, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let w = &mut inner.writer;
+        w.write_all(&[op])?;
+        w.write_all(&(key.len() as u32).to_le_bytes())?;
+        w.write_all(&(value.len() as u32).to_le_bytes())?;
+        w.write_all(key)?;
+        w.write_all(value)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if there are no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rewrites the log to contain only live records (space reclamation for
+    /// data-decay workloads, §4.5 "data decay").
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        let tmp_path = self.path.with_extension("compact");
+        {
+            let tmp = File::create(&tmp_path)?;
+            let mut w = BufWriter::new(tmp);
+            for (k, v) in &inner.map {
+                w.write_all(&[OP_PUT])?;
+                w.write_all(&(k.len() as u32).to_le_bytes())?;
+                w.write_all(&(v.len() as u32).to_le_bytes())?;
+                w.write_all(k)?;
+                w.write_all(v)?;
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        let mut file = OpenOptions::new().write(true).read(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        inner.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+impl KvStore for LogKv {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.inner.lock().map.get(key).cloned())
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        Self::append(&mut inner, OP_PUT, key, value)?;
+        inner.map.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock();
+        Self::append(&mut inner, OP_DELETE, key, &[])?;
+        inner.map.remove(key);
+        Ok(())
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, StoreError> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for (k, v) in inner.map.range(prefix.to_vec()..) {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            out.push((k.clone(), v.clone()));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("timecrypt-logkv-{}-{name}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn conformance_basic() {
+        conformance::basic_ops(&LogKv::open(tmp("basic")).unwrap());
+    }
+
+    #[test]
+    fn conformance_scan() {
+        conformance::prefix_scan(&LogKv::open(tmp("scan")).unwrap());
+    }
+
+    #[test]
+    fn conformance_binary() {
+        conformance::binary_safety(&LogKv::open(tmp("bin")).unwrap());
+    }
+
+    #[test]
+    fn conformance_empty_value() {
+        conformance::empty_value(&LogKv::open(tmp("empty")).unwrap());
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = tmp("persist");
+        {
+            let kv = LogKv::open(&path).unwrap();
+            kv.put(b"k1", b"v1").unwrap();
+            kv.put(b"k2", b"v2").unwrap();
+            kv.delete(b"k1").unwrap();
+            kv.put(b"k3", b"v3-final").unwrap();
+        }
+        let kv = LogKv::open(&path).unwrap();
+        assert_eq!(kv.get(b"k1").unwrap(), None);
+        assert_eq!(kv.get(b"k2").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(kv.get(b"k3").unwrap(), Some(b"v3-final".to_vec()));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_record_truncated() {
+        let path = tmp("torn");
+        {
+            let kv = LogKv::open(&path).unwrap();
+            kv.put(b"good", b"value").unwrap();
+        }
+        // Simulate a crash mid-append: write a partial record.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[OP_PUT, 200, 0, 0, 0]).unwrap(); // truncated header
+        }
+        let kv = LogKv::open(&path).unwrap();
+        assert_eq!(kv.get(b"good").unwrap(), Some(b"value".to_vec()));
+        // Store still writable after recovery.
+        kv.put(b"after", b"crash").unwrap();
+        drop(kv);
+        let kv = LogKv::open(&path).unwrap();
+        assert_eq!(kv.get(b"after").unwrap(), Some(b"crash".to_vec()));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_live_data() {
+        let path = tmp("compact");
+        let kv = LogKv::open(&path).unwrap();
+        for i in 0..100 {
+            kv.put(format!("k{i}").as_bytes(), b"xxxxxxxxxxxxxxxx").unwrap();
+        }
+        for i in 0..90 {
+            kv.delete(format!("k{i}").as_bytes()).unwrap();
+        }
+        let size_before = std::fs::metadata(&path).unwrap().len();
+        kv.compact().unwrap();
+        let size_after = std::fs::metadata(&path).unwrap().len();
+        assert!(size_after < size_before / 2, "{size_after} vs {size_before}");
+        assert_eq!(kv.len(), 10);
+        kv.put(b"post-compact", b"1").unwrap();
+        drop(kv);
+        let kv = LogKv::open(&path).unwrap();
+        assert_eq!(kv.len(), 11);
+        assert_eq!(kv.get(b"k95").unwrap(), Some(b"xxxxxxxxxxxxxxxx".to_vec()));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,251 @@
+//! Primitive byte-level encode/decode helpers.
+
+/// Wire decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended before the value.
+    Truncated,
+    /// A length prefix exceeded sanity bounds.
+    TooLarge(usize),
+    /// Unknown enum tag.
+    BadTag(u8),
+    /// Trailing garbage after a complete message.
+    TrailingBytes(usize),
+    /// Invalid UTF-8 in a string field.
+    BadString,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::TooLarge(n) => write!(f, "length {n} exceeds limit"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+            WireError::BadString => write!(f, "invalid utf-8 string"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum element count for any repeated field (DoS guard).
+pub const MAX_REPEATED: usize = 1 << 24;
+
+/// Append-only message writer.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian i64.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian u128.
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Writes a length-prefixed u64 vector.
+    pub fn u64_vec(&mut self, v: &[u64]) -> &mut Self {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u64(x);
+        }
+        self
+    }
+}
+
+/// Cursor-based message reader.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails if anything remains (strict message parsing).
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u128.
+    pub fn u128(&mut self) -> Result<u128, WireError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadString)
+    }
+
+    /// Reads a length-prefixed u64 vector.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.u32()? as usize;
+        if n > MAX_REPEATED || n * 8 > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.u8(7).u32(1234).u64(u64::MAX).i64(-5).u128(1 << 100).bytes(b"blob").string("héllo");
+        w.u64_vec(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 1234);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -5);
+        assert_eq!(r.u128().unwrap(), 1 << 100);
+        assert_eq!(r.bytes().unwrap(), b"blob");
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let mut w = ByteWriter::new();
+        w.u64(1).bytes(b"abc");
+        let buf = w.into_bytes();
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            let ok = r.u64().and_then(|_| r.bytes());
+            assert!(ok.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.u8(1).u8(2);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        // A bytes field claiming 4 GB must not allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.bytes(), Err(WireError::Truncated));
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u64_vec(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.string(), Err(WireError::BadString));
+    }
+}

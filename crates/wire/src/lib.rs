@@ -1,0 +1,21 @@
+//! Wire protocol: framing, message schema, and TCP transport.
+//!
+//! The paper's prototype exposes the TimeCrypt API over Netty with protobuf
+//! messages (§5). This crate is the from-scratch substitute: a length-
+//! prefixed binary framing layer ([`frame`]), hand-rolled message codecs
+//! ([`codec`], [`messages`]) mirroring the Table 1 API, and a blocking
+//! thread-per-connection TCP transport ([`transport`]) suitable for the
+//! multi-client load generator.
+//!
+//! Framing: every message is `u32 little-endian length || body`, with a hard
+//! frame-size cap to bound allocation from untrusted peers.
+
+pub mod codec;
+pub mod frame;
+pub mod messages;
+pub mod transport;
+
+pub use codec::{ByteReader, ByteWriter, WireError};
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use messages::{Request, Response, StatReply, StreamInfoWire};
+pub use transport::{Client, Server};

@@ -1,0 +1,694 @@
+//! Request/response message schema — the wire form of the Table 1 API.
+//!
+//! The server never sees plaintext: chunk payloads arrive pre-encrypted,
+//! digests arrive as HEAC ciphertexts (plain `u64` words), and key-store
+//! blobs (grants, envelopes) are opaque bytes sealed for the principal.
+
+use crate::codec::{ByteReader, ByteWriter, WireError, MAX_REPEATED};
+
+/// Server-side per-stream metadata (non-secret: the paper's server knows
+/// chunk boundaries because index keys encode temporal ranges, §4.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfoWire {
+    /// Stream id.
+    pub stream: u128,
+    /// Epoch (ms) of chunk 0.
+    pub t0: i64,
+    /// Chunk interval Δ in ms.
+    pub delta_ms: u64,
+    /// Digest vector width (element count).
+    pub digest_width: u32,
+    /// Chunks ingested so far.
+    pub len: u64,
+}
+
+impl StreamInfoWire {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u128(self.stream);
+        w.i64(self.t0);
+        w.u64(self.delta_ms);
+        w.u32(self.digest_width);
+        w.u64(self.len);
+    }
+
+    fn decode(r: &mut ByteReader) -> Result<Self, WireError> {
+        Ok(StreamInfoWire {
+            stream: r.u128()?,
+            t0: r.i64()?,
+            delta_ms: r.u64()?,
+            digest_width: r.u32()?,
+            len: r.u64()?,
+        })
+    }
+}
+
+/// A statistical query reply: the combined aggregate plus, per stream, the
+/// chunk boundaries the client must derive keys for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatReply {
+    /// `(stream, chunk_lo, chunk_hi)` per queried stream: the aggregate
+    /// covers chunks `[chunk_lo, chunk_hi)` of each.
+    pub parts: Vec<(u128, u64, u64)>,
+    /// Element-wise homomorphic sum across all covered chunks of all
+    /// streams.
+    pub agg: Vec<u64>,
+}
+
+/// Client → server requests (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// (1) Create a stream with server-visible metadata.
+    CreateStream {
+        /// Stream id.
+        stream: u128,
+        /// Epoch ms.
+        t0: i64,
+        /// Chunk interval ms.
+        delta_ms: u64,
+        /// Digest width.
+        digest_width: u32,
+    },
+    /// (2) Delete a stream and all associated data.
+    DeleteStream {
+        /// Stream id.
+        stream: u128,
+    },
+    /// (4) Append one sealed chunk (serialized `EncryptedChunk`).
+    Insert {
+        /// `EncryptedChunk::to_bytes()` payload.
+        chunk: Vec<u8>,
+    },
+    /// (4b) Real-time upload of a single record (§4.6): the server buffers
+    /// it until the covering chunk arrives via `Insert`, then drops it.
+    InsertLive {
+        /// `SealedRecord::to_bytes()` payload.
+        record: Vec<u8>,
+    },
+    /// (5b) Fetch buffered live records overlapping a time interval
+    /// (records of chunks not yet finalized).
+    GetLive {
+        /// Stream id.
+        stream: u128,
+        /// Interval start (ms, inclusive).
+        ts_s: i64,
+        /// Interval end (ms, exclusive).
+        ts_e: i64,
+    },
+    /// (5) Retrieve raw (encrypted) chunks for a time interval.
+    GetRange {
+        /// Stream id.
+        stream: u128,
+        /// Interval start (ms, inclusive).
+        ts_s: i64,
+        /// Interval end (ms, exclusive).
+        ts_e: i64,
+    },
+    /// (6) Statistical query over one or more streams.
+    GetStatRange {
+        /// Streams to aggregate over (inter-stream queries sum across all).
+        streams: Vec<u128>,
+        /// Interval start (ms).
+        ts_s: i64,
+        /// Interval end (ms).
+        ts_e: i64,
+    },
+    /// (7) Delete raw chunk payloads in an interval, retaining digests.
+    DeleteRange {
+        /// Stream id.
+        stream: u128,
+        /// Interval start (ms).
+        ts_s: i64,
+        /// Interval end (ms).
+        ts_e: i64,
+    },
+    /// (3) Roll up: age out fine-grained index levels before a time.
+    Rollup {
+        /// Stream id.
+        stream: u128,
+        /// Cutoff time (ms): chunks before it decay.
+        before_ts: i64,
+        /// Index level to keep (coarser levels survive).
+        keep_level: u8,
+    },
+    /// Stream metadata probe.
+    StreamInfo {
+        /// Stream id.
+        stream: u128,
+    },
+    /// (8)(9) Store an opaque grant blob for a principal (hybrid-encrypted
+    /// token set / KR token).
+    PutGrant {
+        /// Stream id.
+        stream: u128,
+        /// Principal identity.
+        principal: String,
+        /// Sealed grant bytes.
+        blob: Vec<u8>,
+    },
+    /// Fetch all grant blobs for a principal on a stream.
+    GetGrants {
+        /// Stream id.
+        stream: u128,
+        /// Principal identity.
+        principal: String,
+    },
+    /// (10) Remove a principal's grants (revocation bookkeeping; the
+    /// cryptographic cut-off is the owner ceasing token extension).
+    RevokeGrants {
+        /// Stream id.
+        stream: u128,
+        /// Principal identity.
+        principal: String,
+    },
+    /// Store resolution envelopes (opaque) for a stream + resolution.
+    PutEnvelopes {
+        /// Stream id.
+        stream: u128,
+        /// Resolution in chunks.
+        resolution: u64,
+        /// `(envelope index, sealed bytes)` pairs.
+        envelopes: Vec<(u64, Vec<u8>)>,
+    },
+    /// Fetch resolution envelopes in an index window.
+    GetEnvelopes {
+        /// Stream id.
+        stream: u128,
+        /// Resolution in chunks.
+        resolution: u64,
+        /// First envelope index (inclusive).
+        lo: u64,
+        /// Last envelope index (inclusive).
+        hi: u64,
+    },
+    /// Store the data owner's signed root attestation for a stream
+    /// (integrity extension, §3.3). Opaque to the server.
+    PutAttestation {
+        /// Stream id.
+        stream: u128,
+        /// `RootAttestation::encode()` bytes.
+        attestation: Vec<u8>,
+    },
+    /// Fetch the latest stored attestation for a stream.
+    GetAttestation {
+        /// Stream id.
+        stream: u128,
+    },
+    /// Raw chunk retrieval with per-chunk authenticated commitments
+    /// against the latest attestation (integrity extension).
+    GetVerifiedRange {
+        /// Stream id.
+        stream: u128,
+        /// Interval start (ms).
+        ts_s: i64,
+        /// Interval end (ms).
+        ts_e: i64,
+    },
+    /// Statistical range query with an authenticated-aggregation proof
+    /// against the latest attestation (integrity extension).
+    GetRangeProof {
+        /// Stream id.
+        stream: u128,
+        /// Interval start (ms).
+        ts_s: i64,
+        /// Interval end (ms).
+        ts_e: i64,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// Server → client responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success without payload.
+    Ok,
+    /// Failure with a human-readable reason. The server maps internal
+    /// errors to strings; no stack detail crosses the wire.
+    Error(String),
+    /// Raw encrypted chunks (each `EncryptedChunk::to_bytes()`).
+    Chunks(Vec<Vec<u8>>),
+    /// Buffered live records (each `SealedRecord::to_bytes()`).
+    Records(Vec<Vec<u8>>),
+    /// Statistical aggregate.
+    Stat(StatReply),
+    /// Opaque blobs (grants).
+    Blobs(Vec<Vec<u8>>),
+    /// Envelopes `(index, bytes)`.
+    Envelopes(Vec<(u64, Vec<u8>)>),
+    /// Stream metadata.
+    Info(StreamInfoWire),
+    /// An attested aggregate: the owner-signed attestation plus the
+    /// server's range proof against it (integrity extension).
+    Attested {
+        /// `RootAttestation::encode()` bytes.
+        attestation: Vec<u8>,
+        /// `RangeProof::encode()` bytes.
+        proof: Vec<u8>,
+    },
+    /// Raw chunks with an open range proof binding each chunk's commitment
+    /// to the attested root (integrity extension).
+    VerifiedChunks {
+        /// `RootAttestation::encode()` bytes.
+        attestation: Vec<u8>,
+        /// Open `RangeProof::encode()` bytes.
+        proof: Vec<u8>,
+        /// The chunk bytes, in chunk order, matching the proof's window.
+        chunks: Vec<Vec<u8>>,
+    },
+    /// Ping reply.
+    Pong,
+}
+
+const REQ_CREATE: u8 = 1;
+const REQ_DELETE_STREAM: u8 = 2;
+const REQ_INSERT: u8 = 3;
+const REQ_GET_RANGE: u8 = 4;
+const REQ_GET_STAT: u8 = 5;
+const REQ_DELETE_RANGE: u8 = 6;
+const REQ_ROLLUP: u8 = 7;
+const REQ_INFO: u8 = 8;
+const REQ_PUT_GRANT: u8 = 9;
+const REQ_GET_GRANTS: u8 = 10;
+const REQ_REVOKE: u8 = 11;
+const REQ_PUT_ENV: u8 = 12;
+const REQ_GET_ENV: u8 = 13;
+const REQ_PING: u8 = 14;
+const REQ_INSERT_LIVE: u8 = 15;
+const REQ_GET_LIVE: u8 = 16;
+const REQ_PUT_ATT: u8 = 17;
+const REQ_GET_ATT: u8 = 18;
+const REQ_GET_PROOF: u8 = 19;
+const REQ_GET_VRANGE: u8 = 20;
+
+impl Request {
+    /// Serializes the request body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Request::CreateStream { stream, t0, delta_ms, digest_width } => {
+                w.u8(REQ_CREATE).u128(*stream).i64(*t0).u64(*delta_ms).u32(*digest_width);
+            }
+            Request::DeleteStream { stream } => {
+                w.u8(REQ_DELETE_STREAM).u128(*stream);
+            }
+            Request::Insert { chunk } => {
+                w.u8(REQ_INSERT).bytes(chunk);
+            }
+            Request::InsertLive { record } => {
+                w.u8(REQ_INSERT_LIVE).bytes(record);
+            }
+            Request::GetLive { stream, ts_s, ts_e } => {
+                w.u8(REQ_GET_LIVE).u128(*stream).i64(*ts_s).i64(*ts_e);
+            }
+            Request::GetRange { stream, ts_s, ts_e } => {
+                w.u8(REQ_GET_RANGE).u128(*stream).i64(*ts_s).i64(*ts_e);
+            }
+            Request::GetStatRange { streams, ts_s, ts_e } => {
+                w.u8(REQ_GET_STAT).u32(streams.len() as u32);
+                for s in streams {
+                    w.u128(*s);
+                }
+                w.i64(*ts_s).i64(*ts_e);
+            }
+            Request::DeleteRange { stream, ts_s, ts_e } => {
+                w.u8(REQ_DELETE_RANGE).u128(*stream).i64(*ts_s).i64(*ts_e);
+            }
+            Request::Rollup { stream, before_ts, keep_level } => {
+                w.u8(REQ_ROLLUP).u128(*stream).i64(*before_ts).u8(*keep_level);
+            }
+            Request::StreamInfo { stream } => {
+                w.u8(REQ_INFO).u128(*stream);
+            }
+            Request::PutGrant { stream, principal, blob } => {
+                w.u8(REQ_PUT_GRANT).u128(*stream).string(principal).bytes(blob);
+            }
+            Request::GetGrants { stream, principal } => {
+                w.u8(REQ_GET_GRANTS).u128(*stream).string(principal);
+            }
+            Request::RevokeGrants { stream, principal } => {
+                w.u8(REQ_REVOKE).u128(*stream).string(principal);
+            }
+            Request::PutEnvelopes { stream, resolution, envelopes } => {
+                w.u8(REQ_PUT_ENV).u128(*stream).u64(*resolution).u32(envelopes.len() as u32);
+                for (i, b) in envelopes {
+                    w.u64(*i).bytes(b);
+                }
+            }
+            Request::GetEnvelopes { stream, resolution, lo, hi } => {
+                w.u8(REQ_GET_ENV).u128(*stream).u64(*resolution).u64(*lo).u64(*hi);
+            }
+            Request::PutAttestation { stream, attestation } => {
+                w.u8(REQ_PUT_ATT).u128(*stream).bytes(attestation);
+            }
+            Request::GetAttestation { stream } => {
+                w.u8(REQ_GET_ATT).u128(*stream);
+            }
+            Request::GetRangeProof { stream, ts_s, ts_e } => {
+                w.u8(REQ_GET_PROOF).u128(*stream).i64(*ts_s).i64(*ts_e);
+            }
+            Request::GetVerifiedRange { stream, ts_s, ts_e } => {
+                w.u8(REQ_GET_VRANGE).u128(*stream).i64(*ts_s).i64(*ts_e);
+            }
+            Request::Ping => {
+                w.u8(REQ_PING);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a request body.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(buf);
+        let req = match r.u8()? {
+            REQ_CREATE => Request::CreateStream {
+                stream: r.u128()?,
+                t0: r.i64()?,
+                delta_ms: r.u64()?,
+                digest_width: r.u32()?,
+            },
+            REQ_DELETE_STREAM => Request::DeleteStream { stream: r.u128()? },
+            REQ_INSERT => Request::Insert { chunk: r.bytes()? },
+            REQ_INSERT_LIVE => Request::InsertLive { record: r.bytes()? },
+            REQ_GET_LIVE => {
+                Request::GetLive { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
+            }
+            REQ_GET_RANGE => Request::GetRange { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? },
+            REQ_GET_STAT => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut streams = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    streams.push(r.u128()?);
+                }
+                Request::GetStatRange { streams, ts_s: r.i64()?, ts_e: r.i64()? }
+            }
+            REQ_DELETE_RANGE => {
+                Request::DeleteRange { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
+            }
+            REQ_ROLLUP => Request::Rollup {
+                stream: r.u128()?,
+                before_ts: r.i64()?,
+                keep_level: r.u8()?,
+            },
+            REQ_INFO => Request::StreamInfo { stream: r.u128()? },
+            REQ_PUT_GRANT => Request::PutGrant {
+                stream: r.u128()?,
+                principal: r.string()?,
+                blob: r.bytes()?,
+            },
+            REQ_GET_GRANTS => Request::GetGrants { stream: r.u128()?, principal: r.string()? },
+            REQ_REVOKE => Request::RevokeGrants { stream: r.u128()?, principal: r.string()? },
+            REQ_PUT_ENV => {
+                let stream = r.u128()?;
+                let resolution = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut envelopes = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let i = r.u64()?;
+                    envelopes.push((i, r.bytes()?));
+                }
+                Request::PutEnvelopes { stream, resolution, envelopes }
+            }
+            REQ_GET_ENV => Request::GetEnvelopes {
+                stream: r.u128()?,
+                resolution: r.u64()?,
+                lo: r.u64()?,
+                hi: r.u64()?,
+            },
+            REQ_PUT_ATT => {
+                Request::PutAttestation { stream: r.u128()?, attestation: r.bytes()? }
+            }
+            REQ_GET_ATT => Request::GetAttestation { stream: r.u128()? },
+            REQ_GET_PROOF => {
+                Request::GetRangeProof { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
+            }
+            REQ_GET_VRANGE => {
+                Request::GetVerifiedRange { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
+            }
+            REQ_PING => Request::Ping,
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+const RESP_OK: u8 = 1;
+const RESP_ERR: u8 = 2;
+const RESP_CHUNKS: u8 = 3;
+const RESP_STAT: u8 = 4;
+const RESP_BLOBS: u8 = 5;
+const RESP_ENV: u8 = 6;
+const RESP_INFO: u8 = 7;
+const RESP_PONG: u8 = 8;
+const RESP_RECORDS: u8 = 9;
+const RESP_ATTESTED: u8 = 10;
+const RESP_VCHUNKS: u8 = 11;
+
+impl Response {
+    /// Serializes the response body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Response::Ok => {
+                w.u8(RESP_OK);
+            }
+            Response::Error(msg) => {
+                w.u8(RESP_ERR).string(msg);
+            }
+            Response::Chunks(chunks) => {
+                w.u8(RESP_CHUNKS).u32(chunks.len() as u32);
+                for c in chunks {
+                    w.bytes(c);
+                }
+            }
+            Response::Records(recs) => {
+                w.u8(RESP_RECORDS).u32(recs.len() as u32);
+                for c in recs {
+                    w.bytes(c);
+                }
+            }
+            Response::Stat(s) => {
+                w.u8(RESP_STAT).u32(s.parts.len() as u32);
+                for (stream, lo, hi) in &s.parts {
+                    w.u128(*stream).u64(*lo).u64(*hi);
+                }
+                w.u64_vec(&s.agg);
+            }
+            Response::Blobs(blobs) => {
+                w.u8(RESP_BLOBS).u32(blobs.len() as u32);
+                for b in blobs {
+                    w.bytes(b);
+                }
+            }
+            Response::Envelopes(envs) => {
+                w.u8(RESP_ENV).u32(envs.len() as u32);
+                for (i, b) in envs {
+                    w.u64(*i).bytes(b);
+                }
+            }
+            Response::Info(info) => {
+                w.u8(RESP_INFO);
+                info.encode(&mut w);
+            }
+            Response::Attested { attestation, proof } => {
+                w.u8(RESP_ATTESTED).bytes(attestation).bytes(proof);
+            }
+            Response::VerifiedChunks { attestation, proof, chunks } => {
+                w.u8(RESP_VCHUNKS).bytes(attestation).bytes(proof).u32(chunks.len() as u32);
+                for c in chunks {
+                    w.bytes(c);
+                }
+            }
+            Response::Pong => {
+                w.u8(RESP_PONG);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a response body.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(buf);
+        let resp = match r.u8()? {
+            RESP_OK => Response::Ok,
+            RESP_ERR => Response::Error(r.string()?),
+            RESP_CHUNKS => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut chunks = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    chunks.push(r.bytes()?);
+                }
+                Response::Chunks(chunks)
+            }
+            RESP_STAT => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut parts = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    parts.push((r.u128()?, r.u64()?, r.u64()?));
+                }
+                Response::Stat(StatReply { parts, agg: r.u64_vec()? })
+            }
+            RESP_BLOBS => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut blobs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    blobs.push(r.bytes()?);
+                }
+                Response::Blobs(blobs)
+            }
+            RESP_ENV => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut envs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let i = r.u64()?;
+                    envs.push((i, r.bytes()?));
+                }
+                Response::Envelopes(envs)
+            }
+            RESP_INFO => Response::Info(StreamInfoWire::decode(&mut r)?),
+            RESP_RECORDS => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut recs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    recs.push(r.bytes()?);
+                }
+                Response::Records(recs)
+            }
+            RESP_ATTESTED => {
+                Response::Attested { attestation: r.bytes()?, proof: r.bytes()? }
+            }
+            RESP_VCHUNKS => {
+                let attestation = r.bytes()?;
+                let proof = r.bytes()?;
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut chunks = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    chunks.push(r.bytes()?);
+                }
+                Response::VerifiedChunks { attestation, proof, chunks }
+            }
+            RESP_PONG => Response::Pong,
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::CreateStream { stream: 1, t0: -5, delta_ms: 10_000, digest_width: 19 },
+            Request::DeleteStream { stream: u128::MAX },
+            Request::Insert { chunk: vec![1, 2, 3] },
+            Request::InsertLive { record: vec![4, 5] },
+            Request::GetLive { stream: 7, ts_s: -3, ts_e: 44 },
+            Request::GetRange { stream: 7, ts_s: 0, ts_e: 1000 },
+            Request::GetStatRange { streams: vec![1, 2, 3], ts_s: -10, ts_e: 10 },
+            Request::DeleteRange { stream: 7, ts_s: 5, ts_e: 6 },
+            Request::Rollup { stream: 7, before_ts: 99, keep_level: 2 },
+            Request::StreamInfo { stream: 0 },
+            Request::PutGrant { stream: 1, principal: "dr-alice".into(), blob: vec![9; 40] },
+            Request::GetGrants { stream: 1, principal: "dr-alice".into() },
+            Request::RevokeGrants { stream: 1, principal: "dr-alice".into() },
+            Request::PutEnvelopes {
+                stream: 2,
+                resolution: 6,
+                envelopes: vec![(0, vec![1]), (1, vec![2, 3])],
+            },
+            Request::GetEnvelopes { stream: 2, resolution: 6, lo: 3, hi: 9 },
+            Request::PutAttestation { stream: 4, attestation: vec![8; 128] },
+            Request::GetAttestation { stream: 4 },
+            Request::GetRangeProof { stream: 4, ts_s: 0, ts_e: 500 },
+            Request::GetVerifiedRange { stream: 4, ts_s: -1, ts_e: 500 },
+            Request::Ping,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Ok,
+            Response::Error("boom".into()),
+            Response::Chunks(vec![vec![], vec![1, 2]]),
+            Response::Records(vec![vec![9], vec![]]),
+            Response::Stat(StatReply { parts: vec![(1, 0, 10), (2, 5, 7)], agg: vec![1, u64::MAX] }),
+            Response::Blobs(vec![vec![7; 3]]),
+            Response::Envelopes(vec![(4, vec![1, 2, 3])]),
+            Response::Info(StreamInfoWire { stream: 3, t0: 1, delta_ms: 2, digest_width: 4, len: 5 }),
+            Response::Attested { attestation: vec![1; 128], proof: vec![2, 3] },
+            Response::VerifiedChunks {
+                attestation: vec![1; 128],
+                proof: vec![2, 3],
+                chunks: vec![vec![4], vec![]],
+            },
+            Response::Pong,
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "{req:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert_eq!(Request::decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert_eq!(Request::decode(&[200]), Err(WireError::BadTag(200)));
+        assert_eq!(Response::decode(&[200]), Err(WireError::BadTag(200)));
+        assert!(Request::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based fuzzing of the wire codecs: round-trips for arbitrary
+//! field values; no panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use timecrypt_wire::messages::{Request, Response, StatReply, StreamInfoWire};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u128>(), any::<i64>(), any::<u64>(), any::<u32>()).prop_map(
+            |(stream, t0, delta_ms, digest_width)| Request::CreateStream {
+                stream,
+                t0,
+                delta_ms,
+                digest_width
+            }
+        ),
+        any::<u128>().prop_map(|stream| Request::DeleteStream { stream }),
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(|chunk| Request::Insert { chunk }),
+        (any::<u128>(), any::<i64>(), any::<i64>())
+            .prop_map(|(stream, ts_s, ts_e)| Request::GetRange { stream, ts_s, ts_e }),
+        (proptest::collection::vec(any::<u128>(), 0..10), any::<i64>(), any::<i64>())
+            .prop_map(|(streams, ts_s, ts_e)| Request::GetStatRange { streams, ts_s, ts_e }),
+        (any::<u128>(), "[a-z0-9-]{0,30}", proptest::collection::vec(any::<u8>(), 0..100))
+            .prop_map(|(stream, principal, blob)| Request::PutGrant { stream, principal, blob }),
+        (any::<u128>(), any::<u64>(), proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..40)), 0..8))
+            .prop_map(|(stream, resolution, envelopes)| Request::PutEnvelopes { stream, resolution, envelopes }),
+        proptest::collection::vec(any::<u8>(), 0..120)
+            .prop_map(|record| Request::InsertLive { record }),
+        (any::<u128>(), any::<i64>(), any::<i64>())
+            .prop_map(|(stream, ts_s, ts_e)| Request::GetLive { stream, ts_s, ts_e }),
+        (any::<u128>(), proptest::collection::vec(any::<u8>(), 0..160))
+            .prop_map(|(stream, attestation)| Request::PutAttestation { stream, attestation }),
+        any::<u128>().prop_map(|stream| Request::GetAttestation { stream }),
+        (any::<u128>(), any::<i64>(), any::<i64>())
+            .prop_map(|(stream, ts_s, ts_e)| Request::GetRangeProof { stream, ts_s, ts_e }),
+        (any::<u128>(), any::<i64>(), any::<i64>())
+            .prop_map(|(stream, ts_s, ts_e)| Request::GetVerifiedRange { stream, ts_s, ts_e }),
+        Just(Request::Ping),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        Just(Response::Pong),
+        "[ -~]{0,60}".prop_map(Response::Error),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 0..8)
+            .prop_map(Response::Chunks),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 0..8)
+            .prop_map(Response::Records),
+        (proptest::collection::vec(any::<u8>(), 0..160), proptest::collection::vec(any::<u8>(), 0..160))
+            .prop_map(|(attestation, proof)| Response::Attested { attestation, proof }),
+        (
+            proptest::collection::vec(any::<u8>(), 0..160),
+            proptest::collection::vec(any::<u8>(), 0..160),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..6),
+        )
+            .prop_map(|(attestation, proof, chunks)| Response::VerifiedChunks {
+                attestation,
+                proof,
+                chunks
+            }),
+        (
+            proptest::collection::vec((any::<u128>(), any::<u64>(), any::<u64>()), 0..6),
+            proptest::collection::vec(any::<u64>(), 0..20),
+        )
+            .prop_map(|(parts, agg)| Response::Stat(StatReply { parts, agg })),
+        (any::<u128>(), any::<i64>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(
+            |(stream, t0, delta_ms, digest_width, len)| Response::Info(StreamInfoWire {
+                stream,
+                t0,
+                delta_ms,
+                digest_width,
+                len
+            })
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let bytes = req.encode();
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let bytes = resp.encode();
+        prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    /// Arbitrary bytes never panic the decoders (hostile peers).
+    #[test]
+    fn decoders_survive_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Mutating any single byte of a valid message never panics, and if it
+    /// decodes, it decodes to *something* well-formed (re-encodable).
+    #[test]
+    fn single_byte_corruption_safe(req in arb_request(), pos in 0usize..64, flip in 1u8..=255) {
+        let mut bytes = req.encode();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok(decoded) = Request::decode(&bytes) {
+            let _ = decoded.encode();
+        }
+    }
+}

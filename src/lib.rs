@@ -1,0 +1,49 @@
+//! # TimeCrypt
+//!
+//! A from-scratch Rust implementation of **TimeCrypt: Encrypted Data Stream
+//! Processing at Scale with Cryptographic Access Control** (NSDI 2020).
+//!
+//! TimeCrypt is an encrypted time series data store: the server ingests and
+//! indexes only ciphertext, serves statistical range queries (sum, count,
+//! mean, variance, histogram, min/max) directly over encrypted digests via
+//! an additively homomorphic scheme (HEAC), and the data owner controls —
+//! cryptographically — which time ranges and which temporal *resolutions*
+//! each principal can decrypt.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`](timecrypt_core) — HEAC: key-derivation tree, key canceling,
+//!   dual key regression, resolution envelopes (the paper's contribution).
+//! * [`crypto`](timecrypt_crypto) — SHA-256/HMAC, AES-128 (+AES-NI),
+//!   AES-GCM, PRGs (all from scratch).
+//! * [`chunk`](timecrypt_chunk) — data model, digests, compression,
+//!   chunk sealing.
+//! * [`index`](timecrypt_index) — the k-ary time-partitioned aggregation
+//!   tree with LRU node cache.
+//! * [`store`](timecrypt_store) — KV engines (memory / persistent log /
+//!   latency-injected).
+//! * [`server`](timecrypt_server) — the untrusted server engine.
+//! * [`client`](timecrypt_client) — producer, data owner, consumer.
+//! * [`wire`](timecrypt_wire) — framing + TCP transport.
+//! * [`baselines`](timecrypt_baselines) — Paillier, EC-ElGamal/P-256,
+//!   ECIES, ECDSA, ABE cost model.
+//! * [`integrity`](timecrypt_integrity) — the Verena-style extension
+//!   (§3.3): authenticated aggregation proofs and signed root attestations
+//!   giving completeness/correctness on top of confidentiality.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end owner → producer →
+//! consumer flow, and EXPERIMENTS.md for reproducing the paper's tables and
+//! figures.
+
+pub use timecrypt_baselines as baselines;
+pub use timecrypt_chunk as chunk;
+pub use timecrypt_client as client;
+pub use timecrypt_core as core;
+pub use timecrypt_crypto as crypto;
+pub use timecrypt_index as index;
+pub use timecrypt_integrity as integrity;
+pub use timecrypt_server as server;
+pub use timecrypt_store as store;
+pub use timecrypt_wire as wire;

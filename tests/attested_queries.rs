@@ -1,0 +1,291 @@
+//! Server-integrated verified queries (integrity extension, §3.3) through
+//! the full client/server/wire stack: producer attests, server proves,
+//! consumer verifies-then-decrypts — over the in-process transport and the
+//! real TCP transport, plus persistence of the ledger across restarts.
+
+use std::sync::Arc;
+use timecrypt::baselines::SigningKey;
+use timecrypt::chunk::{DataPoint, StreamConfig};
+use timecrypt::client::{Consumer, DataOwner, InProcess, Producer, Transport};
+use timecrypt::crypto::SecureRandom;
+use timecrypt::server::{ServerConfig, TimeCryptServer};
+use timecrypt::store::{LogKv, MemKv};
+use timecrypt::wire::messages::{Request, Response};
+
+fn setup(kv: Arc<dyn timecrypt::store::KvStore>) -> (Arc<TimeCryptServer>, InProcess) {
+    let server = Arc::new(TimeCryptServer::open(kv, ServerConfig::default()).unwrap());
+    (server.clone(), InProcess::new(server))
+}
+
+fn owner_for(cfg: &StreamConfig, seed: u64) -> DataOwner {
+    DataOwner::with_height(cfg.clone(), [7u8; 16], 24, SecureRandom::from_seed_insecure(seed))
+}
+
+/// Producer with attestation enabled pushes `seconds` points at 1 Hz and
+/// publishes one attestation at the end.
+fn ingest_attested(
+    t: &mut impl Transport,
+    cfg: &StreamConfig,
+    owner: &DataOwner,
+    key: SigningKey,
+    seconds: i64,
+) -> Producer {
+    let mut p = Producer::new(
+        cfg.clone(),
+        owner.provision_producer(),
+        SecureRandom::from_seed_insecure(2),
+    )
+    .with_attester(key);
+    for s in 0..seconds {
+        p.push(t, DataPoint::new(s * 1000, s)).unwrap();
+    }
+    p.flush(t).unwrap();
+    p.attest(t).unwrap();
+    p
+}
+
+#[test]
+fn verified_query_end_to_end_in_process() {
+    let (_, mut t) = setup(Arc::new(MemKv::new()));
+    let cfg = StreamConfig::new(1, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let attest_key = SigningKey::generate(&mut rng);
+    let vk = attest_key.verifying_key();
+    ingest_attested(&mut t, &cfg, &owner, attest_key, 600);
+
+    let mut alice = Consumer::new("alice", &mut rng);
+    owner.grant_access(&mut t, "alice", alice.public_key(), 0, 600_000).unwrap();
+    alice.sync_grants(&mut t, cfg.id).unwrap();
+
+    // Verified aggregate equals the plain statistical query.
+    let verified = alice.verified_stat_query(&mut t, cfg.id, &vk, 100_000, 300_000).unwrap();
+    let plain = alice.stat_query(&mut t, cfg.id, 100_000, 300_000).unwrap();
+    assert_eq!(verified.sum, plain.sum);
+    assert_eq!(verified.count, Some(200));
+    assert_eq!(verified.sum, Some((100..300).sum::<i64>()));
+
+    // The wrong verifying key is rejected before decryption.
+    let other = SigningKey::generate(&mut rng).verifying_key();
+    let err = alice.verified_stat_query(&mut t, cfg.id, &other, 0, 100_000).unwrap_err();
+    assert!(err.to_string().contains("integrity"), "{err}");
+}
+
+#[test]
+fn chunks_after_last_attestation_are_not_provable_yet() {
+    let (_, mut t) = setup(Arc::new(MemKv::new()));
+    let cfg = StreamConfig::new(2, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let key = SigningKey::generate(&mut rng);
+    let vk = key.verifying_key();
+    let mut p = ingest_attested(&mut t, &cfg, &owner, key, 100);
+
+    // Upload 100 more seconds WITHOUT a new attestation.
+    for s in 100..200 {
+        p.push(&mut t, DataPoint::new(s * 1000, s)).unwrap();
+    }
+    p.flush(&mut t).unwrap();
+
+    let mut c = Consumer::new("c", &mut rng);
+    owner.grant_access(&mut t, "c", c.public_key(), 0, 200_000).unwrap();
+    c.sync_grants(&mut t, cfg.id).unwrap();
+
+    // A verified query over the full 200 s is clamped to the attested 100 s.
+    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 200_000).unwrap();
+    assert_eq!(verified.count, Some(100));
+
+    // After a fresh attestation the full range verifies.
+    p.attest(&mut t).unwrap();
+    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 200_000).unwrap();
+    assert_eq!(verified.count, Some(200));
+    assert_eq!(verified.sum, Some((0..200).sum::<i64>()));
+}
+
+#[test]
+fn attestation_epoch_regression_rejected_by_server() {
+    let (_, mut t) = setup(Arc::new(MemKv::new()));
+    let cfg = StreamConfig::new(3, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let key = SigningKey::generate(&mut rng);
+
+    // Two attestations from a standalone ledger: epoch 0 then epoch 1.
+    let mut ledger = timecrypt::integrity::StreamLedger::new(cfg.id);
+    ledger.append([1u8; 32], vec![1, 2]).unwrap();
+    let a0 = ledger.attest(&key, &mut rng);
+    let a1 = ledger.attest(&key, &mut rng);
+
+    t.call(&Request::PutAttestation { stream: cfg.id, attestation: a1.encode() }).unwrap();
+    // Replaying the older epoch must fail (a rollback attack on consumers).
+    assert!(t
+        .call(&Request::PutAttestation { stream: cfg.id, attestation: a0.encode() })
+        .is_err());
+    // Garbage attestations are rejected cleanly.
+    assert!(t
+        .call(&Request::PutAttestation { stream: cfg.id, attestation: vec![1, 2, 3] })
+        .is_err());
+    // Attestation for a different stream id is rejected.
+    let mut foreign = timecrypt::integrity::StreamLedger::new(999);
+    foreign.append([1u8; 32], vec![1]).unwrap();
+    let af = foreign.attest(&key, &mut rng);
+    assert!(t
+        .call(&Request::PutAttestation { stream: cfg.id, attestation: af.encode() })
+        .is_err());
+}
+
+#[test]
+fn no_attestation_is_a_clean_error() {
+    let (_, mut t) = setup(Arc::new(MemKv::new()));
+    let cfg = StreamConfig::new(4, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    match t.call(&Request::GetRangeProof { stream: cfg.id, ts_s: 0, ts_e: 1000 }) {
+        Err(e) => assert!(e.to_string().contains("attestation"), "{e}"),
+        Ok(Response::Attested { .. }) => panic!("proof without attestation"),
+        Ok(_) => {}
+    }
+}
+
+#[test]
+fn ledger_and_attestation_survive_server_restart() {
+    let dir = std::env::temp_dir().join(format!("tc-attest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("log.kv");
+    let cfg = StreamConfig::new(5, "hr", 0, 10_000);
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let key = SigningKey::generate(&mut rng);
+    let vk = key.verifying_key();
+
+    let mut owner = owner_for(&cfg, 1);
+    {
+        let (_, mut t) = setup(Arc::new(LogKv::open(&path).unwrap()));
+        owner.create_stream(&mut t).unwrap();
+        ingest_attested(&mut t, &cfg, &owner, key, 300);
+    }
+
+    // Reopen over the same log: ledger rebuilt from persisted leaves.
+    let (_, mut t) = setup(Arc::new(LogKv::open(&path).unwrap()));
+    let mut c = Consumer::new("c", &mut rng);
+    owner.grant_access(&mut t, "c", c.public_key(), 0, 300_000).unwrap();
+    c.sync_grants(&mut t, cfg.id).unwrap();
+    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 300_000).unwrap();
+    assert_eq!(verified.count, Some(300));
+    assert_eq!(verified.sum, Some((0..300).sum::<i64>()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verified_raw_read_matches_plain_read() {
+    let (_, mut t) = setup(Arc::new(MemKv::new()));
+    let cfg = StreamConfig::new(7, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let key = SigningKey::generate(&mut rng);
+    let vk = key.verifying_key();
+    ingest_attested(&mut t, &cfg, &owner, key, 300);
+
+    let mut c = Consumer::new("c", &mut rng);
+    owner.grant_access(&mut t, "c", c.public_key(), 0, 300_000).unwrap();
+    c.sync_grants(&mut t, cfg.id).unwrap();
+
+    let plain = c.get_range(&mut t, cfg.id, 45_000, 155_000).unwrap();
+    let verified = c.verified_get_range(&mut t, cfg.id, &vk, 45_000, 155_000).unwrap();
+    assert_eq!(verified, plain);
+    assert_eq!(verified.len(), 110);
+    assert_eq!(verified[0], DataPoint::new(45_000, 45));
+}
+
+#[test]
+fn verified_raw_read_detects_chunk_substitution() {
+    let (server, mut t) = setup(Arc::new(MemKv::new()));
+    let cfg = StreamConfig::new(8, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let key = SigningKey::generate(&mut rng);
+    let vk = key.verifying_key();
+    ingest_attested(&mut t, &cfg, &owner, key, 100);
+
+    // The storage layer (or a compromised server) replays chunk 2's bytes
+    // under chunk 3's key. The plain read returns the forged data silently;
+    // the verified read refuses it.
+    let kv = server.kv();
+    let mut key2 = b"c/".to_vec();
+    key2.extend_from_slice(&cfg.id.to_be_bytes());
+    key2.push(b'/');
+    let mut key3 = key2.clone();
+    key2.extend_from_slice(&2u64.to_be_bytes());
+    key3.extend_from_slice(&3u64.to_be_bytes());
+    let chunk2 = kv.get(&key2).unwrap().expect("chunk 2 exists");
+    kv.put(&key3, &chunk2).unwrap();
+
+    let mut c = Consumer::new("c", &mut rng);
+    owner.grant_access(&mut t, "c", c.public_key(), 0, 100_000).unwrap();
+    c.sync_grants(&mut t, cfg.id).unwrap();
+
+    // The forged chunk decrypts fine under chunk 2's key... but the plain
+    // read drops it silently (AES-GCM AAD pins the chunk index), while the
+    // verified read *detects and reports* the substitution.
+    let err = c.verified_get_range(&mut t, cfg.id, &vk, 0, 100_000).unwrap_err();
+    assert!(err.to_string().contains("commitment"), "{err}");
+}
+
+#[test]
+fn verified_raw_read_fails_after_payload_decay() {
+    // delete_range keeps digests (Table 1 (7)) — statistical queries still
+    // verify, but raw completeness is honestly reported as unprovable.
+    let (_, mut t) = setup(Arc::new(MemKv::new()));
+    let cfg = StreamConfig::new(9, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let key = SigningKey::generate(&mut rng);
+    let vk = key.verifying_key();
+    ingest_attested(&mut t, &cfg, &owner, key, 100);
+
+    t.call(&Request::DeleteRange { stream: cfg.id, ts_s: 20_000, ts_e: 40_000 }).unwrap();
+
+    let mut c = Consumer::new("c", &mut rng);
+    owner.grant_access(&mut t, "c", c.public_key(), 0, 100_000).unwrap();
+    c.sync_grants(&mut t, cfg.id).unwrap();
+
+    // Verified aggregate over the decayed window still works (digests live
+    // in the index and the ledger).
+    let s = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 100_000).unwrap();
+    assert_eq!(s.count, Some(100));
+    // Verified raw read over it reports the gap instead of silently
+    // returning fewer points (which is what the plain get_range does).
+    assert!(c.verified_get_range(&mut t, cfg.id, &vk, 0, 100_000).is_err());
+    let plain = c.get_range(&mut t, cfg.id, 0, 100_000).unwrap();
+    assert_eq!(plain.len(), 80, "plain read silently misses 20 s of data");
+}
+
+#[test]
+fn verified_query_over_tcp() {
+    use timecrypt::wire::{Client, Server};
+    let kv = Arc::new(MemKv::new());
+    let server = Arc::new(TimeCryptServer::open(kv, ServerConfig::default()).unwrap());
+    let mut tcp = Server::bind("127.0.0.1:0", server).unwrap();
+    let addr = tcp.addr();
+
+    let mut t = Client::connect(addr).unwrap();
+    let cfg = StreamConfig::new(6, "hr", 0, 10_000);
+    let mut owner = owner_for(&cfg, 1);
+    owner.create_stream(&mut t).unwrap();
+    let mut rng = SecureRandom::from_seed_insecure(9);
+    let key = SigningKey::generate(&mut rng);
+    let vk = key.verifying_key();
+    ingest_attested(&mut t, &cfg, &owner, key, 120);
+
+    let mut c = Consumer::new("c", &mut rng);
+    owner.grant_access(&mut t, "c", c.public_key(), 0, 120_000).unwrap();
+    c.sync_grants(&mut t, cfg.id).unwrap();
+    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 120_000).unwrap();
+    assert_eq!(verified.count, Some(120));
+    tcp.shutdown();
+}
