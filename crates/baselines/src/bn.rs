@@ -36,7 +36,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -179,9 +181,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -194,7 +196,10 @@ impl BigUint {
 
     /// `self - other`; panics on underflow (callers compare first).
     pub fn sub(&self, other: &Self) -> Self {
-        debug_assert!(self.cmp_val(other) != std::cmp::Ordering::Less, "BigUint underflow");
+        debug_assert!(
+            self.cmp_val(other) != std::cmp::Ordering::Less,
+            "BigUint underflow"
+        );
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0u64;
         for i in 0..self.limbs.len() {
@@ -346,11 +351,19 @@ impl BigUint {
             }
             while !u.is_odd() {
                 u = u.shr(1);
-                x1 = if x1.is_odd() { x1.add(m).shr(1) } else { x1.shr(1) };
+                x1 = if x1.is_odd() {
+                    x1.add(m).shr(1)
+                } else {
+                    x1.shr(1)
+                };
             }
             while !v.is_odd() {
                 v = v.shr(1);
-                x2 = if x2.is_odd() { x2.add(m).shr(1) } else { x2.shr(1) };
+                x2 = if x2.is_odd() {
+                    x2.add(m).shr(1)
+                } else {
+                    x2.shr(1)
+                };
             }
             if u.cmp_val(&v) != std::cmp::Ordering::Less {
                 u = u.sub(&v);
@@ -425,7 +438,10 @@ mod tests {
 
     #[test]
     fn padded_bytes() {
-        assert_eq!(BigUint::from_u64(0x1234).to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+        assert_eq!(
+            BigUint::from_u64(0x1234).to_bytes_be_padded(4),
+            vec![0, 0, 0x12, 0x34]
+        );
         assert_eq!(BigUint::zero().to_bytes_be_padded(2), vec![0, 0]);
     }
 
@@ -446,12 +462,35 @@ mod tests {
 
     #[test]
     fn mul_against_u128_oracle() {
-        for &(a, b) in &[(0u128, 5u128), (3, 7), (u64::MAX as u128, u64::MAX as u128), (1 << 63, 1 << 60)] {
-            assert_eq!(bu(a).mul(&bu(b)), bu(a.wrapping_mul(b)).clone().add(&BigUint::from_limbs(vec![0, 0, ((a >> 64) * (b & u64::MAX as u128)) as u64])).sub(&BigUint::from_limbs(vec![0, 0, ((a >> 64) * (b & u64::MAX as u128)) as u64])), "sanity");
+        for &(a, b) in &[
+            (0u128, 5u128),
+            (3, 7),
+            (u64::MAX as u128, u64::MAX as u128),
+            (1 << 63, 1 << 60),
+        ] {
+            assert_eq!(
+                bu(a).mul(&bu(b)),
+                bu(a.wrapping_mul(b))
+                    .clone()
+                    .add(&BigUint::from_limbs(vec![
+                        0,
+                        0,
+                        ((a >> 64) * (b & u64::MAX as u128)) as u64
+                    ]))
+                    .sub(&BigUint::from_limbs(vec![
+                        0,
+                        0,
+                        ((a >> 64) * (b & u64::MAX as u128)) as u64
+                    ])),
+                "sanity"
+            );
         }
         // Direct checks staying within u128.
         assert_eq!(bu(12345).mul(&bu(67890)), bu(12345 * 67890));
-        assert_eq!(bu(u64::MAX as u128).mul(&bu(u64::MAX as u128)), bu((u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(
+            bu(u64::MAX as u128).mul(&bu(u64::MAX as u128)),
+            bu((u64::MAX as u128) * (u64::MAX as u128))
+        );
     }
 
     #[test]
@@ -459,7 +498,10 @@ mod tests {
         // (2^128 - 1)^2 = 2^256 - 2^129 + 1
         let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
         let sq = a.mul(&a);
-        let expect = BigUint::one().shl(256).sub(&BigUint::one().shl(129)).add(&BigUint::one());
+        let expect = BigUint::one()
+            .shl(256)
+            .sub(&BigUint::one().shl(129))
+            .add(&BigUint::one());
         assert_eq!(sq, expect);
     }
 

@@ -87,7 +87,9 @@ impl SigningKey {
 
     /// The verification key.
     pub fn verifying_key(&self) -> VerifyingKey {
-        VerifyingKey { point: self.public.clone() }
+        VerifyingKey {
+            point: self.public.clone(),
+        }
     }
 
     /// Signs `SHA-256(msg)` with a random per-signature nonce.
@@ -131,9 +133,7 @@ impl VerifyingKey {
         if self.point.is_infinity() || !c.is_on_curve(&self.point) {
             return false;
         }
-        let less = |a: &BigUint| {
-            !a.is_zero() && a.cmp_val(&c.n) == std::cmp::Ordering::Less
-        };
+        let less = |a: &BigUint| !a.is_zero() && a.cmp_val(&c.n) == std::cmp::Ordering::Less;
         if !less(&sig.r) || !less(&sig.s) {
             return false;
         }
@@ -181,13 +181,25 @@ mod tests {
         let key = SigningKey::from_scalar(d).unwrap();
         let vk = key.verifying_key();
         let (x, y) = vk.point.coords.clone().unwrap();
-        assert_eq!(x, h("60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6"));
-        assert_eq!(y, h("7903FE1008B8BC99A41AE9E95628BC64F2F1B20C2D7E9F5177A3C294D4462299"));
+        assert_eq!(
+            x,
+            h("60FED4BA255A9D31C961EB74C6356D68C049B8923B61FA6CE669622E60F29FB6")
+        );
+        assert_eq!(
+            y,
+            h("7903FE1008B8BC99A41AE9E95628BC64F2F1B20C2D7E9F5177A3C294D4462299")
+        );
 
         let k = h("A6E3C57DD01ABE90086538398355DD4C3B17AA873382B0F24D6129493D8AAD60");
         let sig = key.sign_with_nonce(b"sample", &k).unwrap();
-        assert_eq!(sig.r, h("EFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716"));
-        assert_eq!(sig.s, h("F7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8"));
+        assert_eq!(
+            sig.r,
+            h("EFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716")
+        );
+        assert_eq!(
+            sig.s,
+            h("F7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8")
+        );
         assert!(vk.verify(b"sample", &sig));
     }
 
@@ -198,8 +210,14 @@ mod tests {
         let key = SigningKey::from_scalar(d).unwrap();
         let k = h("D16B6AE827F17175E040871A1C7EC3500192C4C92677336EC2537ACAEE0008E0");
         let sig = key.sign_with_nonce(b"test", &k).unwrap();
-        assert_eq!(sig.r, h("F1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367"));
-        assert_eq!(sig.s, h("019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083"));
+        assert_eq!(
+            sig.r,
+            h("F1ABB023518351CD71D881567B1EA663ED3EFCF6C5132B354F28D3B0B7D38367")
+        );
+        assert_eq!(
+            sig.s,
+            h("019F4113742A2B14BD25926B49C649155F267E60D3814B4C0CC84250E46F0083")
+        );
         assert!(key.verifying_key().verify(b"test", &sig));
     }
 

@@ -62,7 +62,8 @@ impl EciesKeypair {
             return Err(EciesError::Malformed);
         }
         let nonce: [u8; 12] = rest[..12].try_into().unwrap();
-        gcm.open(&nonce, b"tc-ecies", &rest[12..]).map_err(|_| EciesError::AuthFailed)
+        gcm.open(&nonce, b"tc-ecies", &rest[12..])
+            .map_err(|_| EciesError::AuthFailed)
     }
 }
 

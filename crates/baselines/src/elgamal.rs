@@ -50,7 +50,13 @@ impl EcElGamal {
             baby.insert(point_fingerprint(&acc), i);
             acc = c.add(&acc, &c.g);
         }
-        EcElGamal { d, q, baby, stride, max_plaintext }
+        EcElGamal {
+            d,
+            q,
+            baby,
+            stride,
+            max_plaintext,
+        }
     }
 
     /// Encrypts `m` (must not exceed decryptable sums you intend to take).
@@ -60,18 +66,27 @@ impl EcElGamal {
         let rg = c.scalar_mul_base(&r);
         let rq = c.scalar_mul(&r, &self.q);
         let mg = c.scalar_mul_base(&BigUint::from_u64(m));
-        ElGamalCiphertext { r: rg, s: c.add(&mg, &rq) }
+        ElGamalCiphertext {
+            r: rg,
+            s: c.add(&mg, &rq),
+        }
     }
 
     /// Homomorphic addition (pointwise; needs no key).
     pub fn add(a: &ElGamalCiphertext, b: &ElGamalCiphertext) -> ElGamalCiphertext {
         let c = curve();
-        ElGamalCiphertext { r: c.add(&a.r, &b.r), s: c.add(&a.s, &b.s) }
+        ElGamalCiphertext {
+            r: c.add(&a.r, &b.r),
+            s: c.add(&a.s, &b.s),
+        }
     }
 
     /// The additive identity `(O, O)`.
     pub fn zero() -> ElGamalCiphertext {
-        ElGamalCiphertext { r: Point::infinity(), s: Point::infinity() }
+        ElGamalCiphertext {
+            r: Point::infinity(),
+            s: Point::infinity(),
+        }
     }
 
     /// Decrypts: recovers `mG = S − dR`, then solves the discrete log by

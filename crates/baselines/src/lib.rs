@@ -33,5 +33,5 @@ pub mod prime;
 
 pub use bn::BigUint;
 pub use ecdsa::{Signature, SigningKey, VerifyingKey};
-pub use paillier::{Paillier, PaillierCiphertext, PaillierDigest};
 pub use elgamal::{EcElGamal, ElGamalCiphertext, ElGamalDigest};
+pub use paillier::{Paillier, PaillierCiphertext, PaillierDigest};

@@ -39,7 +39,12 @@ impl Mont {
         let r2 = BigUint::one().shl(128 * k).rem(n).limbs().to_vec();
         let mut r2_padded = r2;
         r2_padded.resize(k, 0);
-        Mont { n: limbs, n0, r2: r2_padded, k }
+        Mont {
+            n: limbs,
+            n0,
+            r2: r2_padded,
+            k,
+        }
     }
 
     /// The modulus.
@@ -53,6 +58,7 @@ impl Mont {
     }
 
     /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod n`.
+    #[allow(clippy::needless_range_loop)] // index arithmetic mirrors the CIOS paper
     pub fn mul(&self, a: &MontVal, b: &MontVal) -> MontVal {
         let k = self.k;
         debug_assert_eq!(a.len(), k);
@@ -94,7 +100,10 @@ impl Mont {
 
     /// Converts a reduced value into Montgomery form.
     pub fn to_mont(&self, a: &BigUint) -> MontVal {
-        debug_assert!(a.cmp_val(&self.modulus()) == std::cmp::Ordering::Less, "input not reduced");
+        debug_assert!(
+            a.cmp_val(&self.modulus()) == std::cmp::Ordering::Less,
+            "input not reduced"
+        );
         let mut padded = a.limbs().to_vec();
         padded.resize(self.k, 0);
         self.mul(&padded, &self.r2)
@@ -220,10 +229,9 @@ mod tests {
     #[test]
     fn multi_limb_consistency_with_naive() {
         // Random-ish 4-limb modulus: compare mont modmul vs naive mul+rem.
-        let n = BigUint::from_hex(
-            "f3a4b5c6d7e8f9a1b2c3d4e5f6a7b8c9112233445566778899aabbccddeeff01",
-        )
-        .unwrap(); // odd
+        let n =
+            BigUint::from_hex("f3a4b5c6d7e8f9a1b2c3d4e5f6a7b8c9112233445566778899aabbccddeeff01")
+                .unwrap(); // odd
         let m = Mont::new(&n);
         let a = BigUint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
         let b = BigUint::from_hex("aa55aa55aa55aa55ff00ff00ff00ff00ff00").unwrap();

@@ -70,7 +70,9 @@ impl Point {
                 }
                 let x = BigUint::from_bytes_be(&buf[1..33]);
                 let y = BigUint::from_bytes_be(&buf[33..65]);
-                let pt = Point { coords: Some((x, y)) };
+                let pt = Point {
+                    coords: Some((x, y)),
+                };
                 if curve().is_on_curve(&pt) {
                     Some((pt, 65))
                 } else {
@@ -86,31 +88,36 @@ impl Point {
 pub fn curve() -> &'static Curve {
     static CURVE: OnceLock<Curve> = OnceLock::new();
     CURVE.get_or_init(|| {
-        let p = BigUint::from_hex(
-            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
-        )
-        .unwrap();
-        let n = BigUint::from_hex(
-            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
-        )
-        .unwrap();
-        let b = BigUint::from_hex(
-            "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
-        )
-        .unwrap();
-        let gx = BigUint::from_hex(
-            "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
-        )
-        .unwrap();
-        let gy = BigUint::from_hex(
-            "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
-        )
-        .unwrap();
+        let p =
+            BigUint::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+                .unwrap();
+        let n =
+            BigUint::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+                .unwrap();
+        let b =
+            BigUint::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+                .unwrap();
+        let gx =
+            BigUint::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+                .unwrap();
+        let gy =
+            BigUint::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+                .unwrap();
         let mont = Mont::new(&p);
         let a = p.sub(&BigUint::from_u64(3)); // a = -3 mod p
         let a_mont = mont.to_mont(&a);
         let b_mont = mont.to_mont(&b);
-        Curve { p, n, b, g: Point { coords: Some((gx, gy)) }, mont, a_mont, b_mont }
+        Curve {
+            p,
+            n,
+            b,
+            g: Point {
+                coords: Some((gx, gy)),
+            },
+            mont,
+            a_mont,
+            b_mont,
+        }
     })
 }
 
@@ -149,7 +156,12 @@ impl Curve {
 
     fn to_jacobian(&self, pt: &Point) -> Jacobian {
         match &pt.coords {
-            None => Jacobian { x: self.zero_m(), y: self.zero_m(), z: self.zero_m(), inf: true },
+            None => Jacobian {
+                x: self.zero_m(),
+                y: self.zero_m(),
+                z: self.zero_m(),
+                inf: true,
+            },
             Some((x, y)) => Jacobian {
                 x: self.mont.to_mont(x),
                 y: self.mont.to_mont(y),
@@ -170,13 +182,20 @@ impl Curve {
         let z3 = self.mul_m(&z2, &z_inv_m);
         let x = self.mont.from_mont(&self.mul_m(&j.x, &z2));
         let y = self.mont.from_mont(&self.mul_m(&j.y, &z3));
-        Point { coords: Some((x, y)) }
+        Point {
+            coords: Some((x, y)),
+        }
     }
 
     /// Jacobian doubling (dbl-2001-b, works for a = −3).
     fn double_j(&self, p: &Jacobian) -> Jacobian {
         if p.inf {
-            return Jacobian { x: self.zero_m(), y: self.zero_m(), z: self.zero_m(), inf: true };
+            return Jacobian {
+                x: self.zero_m(),
+                y: self.zero_m(),
+                z: self.zero_m(),
+                inf: true,
+            };
         }
         let xx = self.mul_m(&p.x, &p.x);
         let yy = self.mul_m(&p.y, &p.y);
@@ -201,16 +220,31 @@ impl Curve {
         // Z3 = (Y+Z)^2 - YY - ZZ
         let ypz = self.add_m(&p.y, &p.z);
         let z3 = self.sub_m(&self.sub_m(&self.mul_m(&ypz, &ypz), &yy), &zz);
-        Jacobian { x: x3, y: y3, z: z3, inf: false }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+            inf: false,
+        }
     }
 
     /// Mixed/general Jacobian addition (add-2007-bl).
     fn add_j(&self, p: &Jacobian, q: &Jacobian) -> Jacobian {
         if p.inf {
-            return Jacobian { x: q.x.clone(), y: q.y.clone(), z: q.z.clone(), inf: q.inf };
+            return Jacobian {
+                x: q.x.clone(),
+                y: q.y.clone(),
+                z: q.z.clone(),
+                inf: q.inf,
+            };
         }
         if q.inf {
-            return Jacobian { x: p.x.clone(), y: p.y.clone(), z: p.z.clone(), inf: p.inf };
+            return Jacobian {
+                x: p.x.clone(),
+                y: p.y.clone(),
+                z: p.z.clone(),
+                inf: p.inf,
+            };
         }
         let z1z1 = self.mul_m(&p.z, &p.z);
         let z2z2 = self.mul_m(&q.z, &q.z);
@@ -222,7 +256,12 @@ impl Curve {
             if s1 == s2 {
                 return self.double_j(p);
             }
-            return Jacobian { x: self.zero_m(), y: self.zero_m(), z: self.zero_m(), inf: true };
+            return Jacobian {
+                x: self.zero_m(),
+                y: self.zero_m(),
+                z: self.zero_m(),
+                inf: true,
+            };
         }
         let h = self.sub_m(&u2, &u1);
         let hh = self.mul_m(&h, &h);
@@ -246,7 +285,12 @@ impl Curve {
             &self.sub_m(&self.sub_m(&self.mul_m(&z1pz2, &z1pz2), &z1z1), &z2z2),
             &h,
         );
-        Jacobian { x: x3, y: y3, z: z3, inf: false }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+            inf: false,
+        }
     }
 
     /// Point addition.
@@ -276,8 +320,12 @@ impl Curve {
             return Point::infinity();
         }
         let base = self.to_jacobian(p);
-        let mut acc =
-            Jacobian { x: self.zero_m(), y: self.zero_m(), z: self.zero_m(), inf: true };
+        let mut acc = Jacobian {
+            x: self.zero_m(),
+            y: self.zero_m(),
+            z: self.zero_m(),
+            inf: true,
+        };
         for i in (0..k.bits()).rev() {
             acc = self.double_j(&acc);
             if k.bit(i) {
@@ -338,7 +386,9 @@ mod tests {
     #[test]
     fn off_curve_point_rejected() {
         let c = curve();
-        let bogus = Point { coords: Some((BigUint::from_u64(1), BigUint::from_u64(1))) };
+        let bogus = Point {
+            coords: Some((BigUint::from_u64(1), BigUint::from_u64(1))),
+        };
         assert!(!c.is_on_curve(&bogus));
         assert!(Point::decode(&bogus.encode()).is_none());
     }

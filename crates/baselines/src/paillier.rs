@@ -74,7 +74,13 @@ impl Paillier {
         let ct_bytes = n2.to_bytes_be().len();
         let mut reg = registry().lock().unwrap();
         let key_id = reg.len() as u64;
-        let public = Arc::new(PaillierPublic { n, n2, mont_n2, ct_bytes, key_id });
+        let public = Arc::new(PaillierPublic {
+            n,
+            n2,
+            mont_n2,
+            ct_bytes,
+            key_id,
+        });
         reg.push(public.clone());
         drop(reg);
         Paillier { public, lambda, mu }
@@ -110,9 +116,15 @@ impl PaillierPublic {
             .rem(&self.n.sub(&BigUint::one()))
             .add(&BigUint::one());
         let rn = self.mont_n2.pow(&r, &self.n);
-        let gm = BigUint::one().add(&BigUint::from_u64(m).mul(&self.n)).rem(&self.n2);
+        let gm = BigUint::one()
+            .add(&BigUint::from_u64(m).mul(&self.n))
+            .rem(&self.n2);
         let c = self.mont_n2.modmul(&gm, &rn);
-        PaillierCiphertext { c, key_id: self.key_id, ct_bytes: self.ct_bytes }
+        PaillierCiphertext {
+            c,
+            key_id: self.key_id,
+            ct_bytes: self.ct_bytes,
+        }
     }
 
     /// Homomorphic addition: ciphertext multiplication mod n².
@@ -126,7 +138,11 @@ impl PaillierPublic {
 
     /// The additive identity: Enc(0) with r = 1, i.e. ciphertext 1.
     pub fn zero(&self) -> PaillierCiphertext {
-        PaillierCiphertext { c: BigUint::one(), key_id: self.key_id, ct_bytes: self.ct_bytes }
+        PaillierCiphertext {
+            c: BigUint::one(),
+            key_id: self.key_id,
+            ct_bytes: self.ct_bytes,
+        }
     }
 
     /// Serialized ciphertext size (Table 2's memory accounting).
@@ -203,7 +219,11 @@ impl HomDigest for PaillierDigest {
             }
             let c = BigUint::from_bytes_be(&buf[pos..pos + ct_bytes]);
             pos += ct_bytes;
-            cts.push(PaillierCiphertext { c, key_id, ct_bytes });
+            cts.push(PaillierCiphertext {
+                c,
+                key_id,
+                ct_bytes,
+            });
         }
         Some((PaillierDigest(cts), pos))
     }

@@ -43,7 +43,7 @@ fn bench_heac(c: &mut Criterion) {
         let digest = vec![7u64; 19];
         b.iter(|| std::hint::black_box(enc.encrypt_digest(12345, &digest).unwrap()))
     });
-    let ct = enc.encrypt_digest(12345, &vec![7u64; 19]).unwrap();
+    let ct = enc.encrypt_digest(12345, &[7u64; 19]).unwrap();
     g.bench_function("decrypt_range_w19", |b| {
         b.iter(|| std::hint::black_box(decrypt_range_sum(&kd, 12345, 12346, &ct).unwrap()))
     });
@@ -82,8 +82,9 @@ fn bench_index(c: &mut Criterion) {
 
 fn bench_compression(c: &mut Criterion) {
     let mut g = c.benchmark_group("compress");
-    let points: Vec<DataPoint> =
-        (0..500).map(|i| DataPoint::new(i * 20, 70 + (i % 7))).collect();
+    let points: Vec<DataPoint> = (0..500)
+        .map(|i| DataPoint::new(i * 20, 70 + (i % 7)))
+        .collect();
     for codec in [Codec::Delta, Codec::DeltaRle, Codec::Gorilla, Codec::Auto] {
         g.bench_function(format!("{codec:?}_500pts"), |b| {
             b.iter(|| std::hint::black_box(compress(codec, &points)))

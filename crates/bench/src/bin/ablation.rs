@@ -34,12 +34,18 @@ fn main() {
 
     // ── 1. Arity sweep ───────────────────────────────────────────────────
     println!("=== Ablation 1: index arity (n = {n} chunks, sum digest) ===\n");
-    println!("{:>6} {:>12} {:>16} {:>16}", "arity", "avg ingest", "query worst-case", "query aligned");
+    println!(
+        "{:>6} {:>12} {:>16} {:>16}",
+        "arity", "avg ingest", "query worst-case", "query aligned"
+    );
     for arity in [2usize, 4, 8, 16, 32, 64, 128, 256] {
         let mut tree: AggTree<Vec<u64>> = AggTree::open(
             Arc::new(MemKv::new()),
             1,
-            TreeConfig { arity, cache_bytes: 512 << 20 },
+            TreeConfig {
+                arity,
+                cache_bytes: 512 << 20,
+            },
         )
         .unwrap();
         let start = Instant::now();
@@ -101,7 +107,12 @@ fn main() {
 
     // ── 3. Digest width ──────────────────────────────────────────────────
     println!("=== Ablation 3: digest width (statistics richness) ===\n");
-    for (label, width) in [("sum only", 1usize), ("sum+count", 2), ("standard (19)", 19), ("wide (64)", 64)] {
+    for (label, width) in [
+        ("sum only", 1usize),
+        ("sum+count", 2),
+        ("standard (19)", 19),
+        ("wide (64)", 64),
+    ] {
         let digest: Vec<u64> = (0..width as u64).collect();
         let t_enc = time_avg(10_000, || {
             std::hint::black_box(enc.encrypt_digest(5, &digest).unwrap());
@@ -176,7 +187,10 @@ fn main() {
             .map(|i| DataPoint::new(1_700_000_000_000 + i * 20, 70 + (i % 7) - 3))
             .collect();
         let raw = compress(Codec::None, &points).len();
-        println!("{:>10} {:>10} {:>8} {:>12}", "codec", "bytes", "ratio", "encode");
+        println!(
+            "{:>10} {:>10} {:>8} {:>12}",
+            "codec", "bytes", "ratio", "encode"
+        );
         for codec in Codec::CONCRETE {
             let size = compress(codec, &points).len();
             let t = time_avg(2_000, || {
@@ -191,6 +205,9 @@ fn main() {
             );
         }
         let (winner, best) = compress_best(&points);
-        println!("\nAuto picks {winner:?} at {} bytes for this signal.", best.len());
+        println!(
+            "\nAuto picks {winner:?} at {} bytes for this signal.",
+            best.len()
+        );
     }
 }

@@ -24,16 +24,22 @@ fn main() {
     let derive = time_avg(20_000, || {
         std::hint::black_box(kd.leaf((1 << 30) - 1).unwrap());
     });
-    println!("TimeCrypt tree derivation (2^30 keys, cold): {}", format_duration(derive));
+    println!(
+        "TimeCrypt tree derivation (2^30 keys, cold): {}",
+        format_duration(derive)
+    );
     println!("  paper: 2.5 µs");
 
     // ── Dual key regression: O(√n) chain walk for n = 2^30 ─────────────
-    let steps = (1u64 << 15) as u64; // √(2^30) = 32768
+    let steps = 1u64 << 15; // √(2^30) = 32768
     let seed = [9u8; 32];
     let kr_walk = time_avg(50, || {
         std::hint::black_box(chain_walk(&seed, steps));
     });
-    println!("Dual key regression derivation (√(2^30) = {steps} hash steps): {}", format_duration(kr_walk));
+    println!(
+        "Dual key regression derivation (√(2^30) = {steps} hash steps): {}",
+        format_duration(kr_walk)
+    );
     println!("  paper: 2.7 ms");
 
     // ── TimeCrypt chunk decryption: one add + one sub ───────────────────
@@ -49,18 +55,30 @@ fn main() {
         out = ct[0].wrapping_sub(ka).wrapping_add(kb);
     });
     std::hint::black_box(out);
-    println!("TimeCrypt per-chunk decryption (keys in hand): {}", format_duration(dec_hot));
+    println!(
+        "TimeCrypt per-chunk decryption (keys in hand): {}",
+        format_duration(dec_hot)
+    );
     println!("  paper: ~2 ns");
     let dec_cold = time_avg(20_000, || {
         std::hint::black_box(decrypt_range_sum(&kd, 1000, 1001, &ct).unwrap());
     });
-    println!("TimeCrypt per-range decryption (incl. key derivation): {}", format_duration(dec_cold));
+    println!(
+        "TimeCrypt per-range decryption (incl. key derivation): {}",
+        format_duration(dec_cold)
+    );
 
     // ── ABE model ────────────────────────────────────────────────────────
     let abe = AbeCostModel::default();
     println!("\nABE (published constants, 80-bit, 1 attribute):");
-    println!("  grant per chunk:   {}", format_duration(abe.grant_per_chunk));
-    println!("  decrypt per chunk: {}", format_duration(abe.decrypt_per_chunk));
+    println!(
+        "  grant per chunk:   {}",
+        format_duration(abe.grant_per_chunk)
+    );
+    println!(
+        "  decrypt per chunk: {}",
+        format_duration(abe.decrypt_per_chunk)
+    );
 
     // ── Scenario: share one day of 10 s chunks (8640 chunks) ────────────
     let chunks = 8640u64;

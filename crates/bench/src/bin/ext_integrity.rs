@@ -41,7 +41,10 @@ fn tree_of(n: usize) -> SumTree {
 fn main() {
     // ── 1. Scaling with tree size ────────────────────────────────────────
     println!("=== 1. Proof cost vs tree size (range = 1k chunks, width {WIDTH}) ===\n");
-    println!("{:>10} {:>12} {:>12} {:>12}", "chunks", "prove", "verify", "proof bytes");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "chunks", "prove", "verify", "proof bytes"
+    );
     for log_n in [10usize, 12, 14, 16] {
         let n = 1 << log_n;
         let tree = tree_of(n);
@@ -78,7 +81,12 @@ fn main() {
         let verify = time_avg(200, || {
             std::hint::black_box(proof.verify(&root).unwrap());
         });
-        println!("{:>10} {:>12} {:>12}", r, format_duration(verify), proof.encode().len());
+        println!(
+            "{:>10} {:>12} {:>12}",
+            r,
+            format_duration(verify),
+            proof.encode().len()
+        );
     }
     println!("\nExpected: near-flat — the canonical cover of any aligned range is");
     println!("O(log n) nodes regardless of its length.\n");
@@ -96,19 +104,31 @@ fn main() {
     let verify = time_avg(20, || {
         std::hint::black_box(vk.verify(b"timecrypt.root.v1", &sig));
     });
-    println!("  sign {}   verify {}   (once per attestation epoch, not per query)\n", format_duration(sign), format_duration(verify));
+    println!(
+        "  sign {}   verify {}   (once per attestation epoch, not per query)\n",
+        format_duration(sign),
+        format_duration(verify)
+    );
 
     // ── 4. End-to-end overhead ───────────────────────────────────────────
     println!("=== 4. E2E: verified_stat_query vs stat_query (4k chunks) ===\n");
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut t = InProcess::new(server);
     let cfg = StreamConfig::new(1, "hr", 0, 10_000);
-    let mut owner = DataOwner::with_height(cfg.clone(), [7u8; 16], 24, SecureRandom::from_seed_insecure(1));
+    let mut owner = DataOwner::with_height(
+        cfg.clone(),
+        [7u8; 16],
+        24,
+        SecureRandom::from_seed_insecure(1),
+    );
     owner.create_stream(&mut t).unwrap();
-    let mut p = Producer::new(cfg.clone(), owner.provision_producer(), SecureRandom::from_seed_insecure(2))
-        .with_attester(key);
+    let mut p = Producer::new(
+        cfg.clone(),
+        owner.provision_producer(),
+        SecureRandom::from_seed_insecure(2),
+    )
+    .with_attester(key);
     let chunks = 4_096i64;
     let start = Instant::now();
     for c in 0..chunks {
@@ -116,17 +136,26 @@ fn main() {
     }
     p.flush(&mut t).unwrap();
     p.attest(&mut t).unwrap();
-    println!("  ingest {} chunks with ledger mirroring: {:?}", chunks, start.elapsed());
+    println!(
+        "  ingest {} chunks with ledger mirroring: {:?}",
+        chunks,
+        start.elapsed()
+    );
 
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, chunks * 10_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, chunks * 10_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
     let (ts_s, ts_e) = (1_000 * 10_000, 3_000 * 10_000);
     let base = time_avg(200, || {
         std::hint::black_box(c.stat_query(&mut t, cfg.id, ts_s, ts_e).unwrap());
     });
     let verified = time_avg(200, || {
-        std::hint::black_box(c.verified_stat_query(&mut t, cfg.id, &vk, ts_s, ts_e).unwrap());
+        std::hint::black_box(
+            c.verified_stat_query(&mut t, cfg.id, &vk, ts_s, ts_e)
+                .unwrap(),
+        );
     });
     println!(
         "  stat_query {}   verified_stat_query {}   ({:.1}x)",

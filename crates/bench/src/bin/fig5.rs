@@ -22,9 +22,15 @@ use timecrypt_index::{AggTree, HomDigest, TreeConfig};
 use timecrypt_store::MemKv;
 
 fn build<D: HomDigest>(n: u64, mut make: impl FnMut(u64) -> D) -> AggTree<D> {
-    let mut tree: AggTree<D> =
-        AggTree::open(Arc::new(MemKv::new()), 1, TreeConfig { arity: 64, cache_bytes: 1 << 30 })
-            .unwrap();
+    let mut tree: AggTree<D> = AggTree::open(
+        Arc::new(MemKv::new()),
+        1,
+        TreeConfig {
+            arity: 64,
+            cache_bytes: 1 << 30,
+        },
+    )
+    .unwrap();
     for i in 0..n {
         tree.append(make(i)).unwrap();
     }
@@ -82,9 +88,9 @@ fn main() {
     println!("  generating Paillier-3072 keypair...");
     let paillier = Paillier::generate(3072, &mut rng);
     let ptree = build(1 << straw_x, |i| {
-        PaillierDigest(vec![
-            paillier.public.encrypt(i % 1000, &mut SecureRandom::from_seed_insecure(i)),
-        ])
+        PaillierDigest(vec![paillier
+            .public
+            .encrypt(i % 1000, &mut SecureRandom::from_seed_insecure(i))])
     });
     sweep("Paillier", &ptree, straw_x, 3, |d, _| {
         std::hint::black_box(paillier.decrypt(&d.0[0]));
@@ -92,7 +98,9 @@ fn main() {
 
     let elgamal = EcElGamal::generate(1 << 22, &mut rng);
     let etree = build(1 << straw_x, |i| {
-        ElGamalDigest(vec![elgamal.encrypt(i % 4, &mut SecureRandom::from_seed_insecure(i))])
+        ElGamalDigest(vec![
+            elgamal.encrypt(i % 4, &mut SecureRandom::from_seed_insecure(i))
+        ])
     });
     sweep("EC-ElGamal", &etree, straw_x, 3, |d, _| {
         std::hint::black_box(elgamal.decrypt(&d.0[0]));

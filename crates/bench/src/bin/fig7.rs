@@ -59,7 +59,11 @@ fn drive<D: HomDigest>(
     // the timed path (the paper's load generator likewise prepares batches).
     let prepared: Arc<Vec<Vec<Vec<u64>>>> = Arc::new(
         (0..threads * streams_per_thread)
-            .map(|sid| (0..chunks_per_stream).map(|c| digest_for(sid as u64, c)).collect())
+            .map(|sid| {
+                (0..chunks_per_stream)
+                    .map(|c| digest_for(sid as u64, c))
+                    .collect()
+            })
             .collect(),
     );
     let wall = Instant::now();
@@ -77,7 +81,10 @@ fn drive<D: HomDigest>(
                         AggTree::open(
                             Arc::new(MemKv::new()),
                             (t * streams_per_thread + s) as u128,
-                            TreeConfig { arity: 64, cache_bytes },
+                            TreeConfig {
+                                arity: 64,
+                                cache_bytes,
+                            },
                         )
                         .unwrap()
                     })
@@ -88,8 +95,12 @@ fn drive<D: HomDigest>(
                         let plain = &prepared[sid][chunk as usize];
                         let t0 = Instant::now();
                         tree.append(make(plain, chunk)).unwrap();
-                        totals.ingest_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        totals.records.fetch_add(records_per_chunk, Ordering::Relaxed);
+                        totals
+                            .ingest_ns
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        totals
+                            .records
+                            .fetch_add(records_per_chunk, Ordering::Relaxed);
                         // 4:1 read:write — four queries per ingest.
                         let len = tree.len();
                         for q in 0..4u64 {
@@ -97,7 +108,9 @@ fn drive<D: HomDigest>(
                             let t0 = Instant::now();
                             let d = tree.query(lo, len).unwrap();
                             post(d, lo, len);
-                            totals.query_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            totals
+                                .query_ns
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             totals.queries.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -125,7 +138,10 @@ fn drive<D: HomDigest>(
 fn main() {
     let devops = std::env::args().any(|a| a == "devops")
         || std::env::args().any(|a| a == "--workload=devops");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
 
     // Workload shape: mhealth = 500 records/chunk; devops = 6 records/chunk.
     let (records_per_chunk, _digest_width, chunks, streams) = if devops {
@@ -188,7 +204,11 @@ fn main() {
         records_per_chunk,
         64 << 20,
         digest_for,
-        move |plain, chunk| HeacEncryptor::new(&kd).encrypt_digest(chunk, plain).unwrap(),
+        move |plain, chunk| {
+            HeacEncryptor::new(&kd)
+                .encrypt_digest(chunk, plain)
+                .unwrap()
+        },
         move |d, lo, hi| {
             std::hint::black_box(decrypt_range_sum(kd2.as_ref(), lo, hi, &d).unwrap());
         },
@@ -205,7 +225,11 @@ fn main() {
         records_per_chunk,
         1 << 20,
         digest_for,
-        move |plain, chunk| HeacEncryptor::new(&kd).encrypt_digest(chunk, plain).unwrap(),
+        move |plain, chunk| {
+            HeacEncryptor::new(&kd)
+                .encrypt_digest(chunk, plain)
+                .unwrap()
+        },
         move |d, lo, hi| {
             std::hint::black_box(decrypt_range_sum(kd2.as_ref(), lo, hi, &d).unwrap());
         },

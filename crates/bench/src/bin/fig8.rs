@@ -26,14 +26,24 @@ const MONTH_MINUTES: u64 = 28 * 24 * 60; // 40320, as in the paper
 const MONTH_CHUNKS: u64 = MONTH_MINUTES * CHUNKS_PER_MIN; // 241,920
 
 fn build(encrypted: bool, kd: &TreeKd) -> AggTree<Vec<u64>> {
-    let mut tree: AggTree<Vec<u64>> =
-        AggTree::open(Arc::new(MemKv::new()), 1, TreeConfig { arity: 64, cache_bytes: 1 << 30 })
-            .unwrap();
+    let mut tree: AggTree<Vec<u64>> = AggTree::open(
+        Arc::new(MemKv::new()),
+        1,
+        TreeConfig {
+            arity: 64,
+            cache_bytes: 1 << 30,
+        },
+    )
+    .unwrap();
     let enc = HeacEncryptor::new(kd);
     for i in 0..MONTH_CHUNKS {
         // sum, count for 500 points/chunk.
-        let digest = vec![(70 * 500 + i % 997) , 500];
-        let d = if encrypted { enc.encrypt_digest(i, &digest).unwrap() } else { digest };
+        let digest = vec![(70 * 500 + i % 997), 500];
+        let d = if encrypted {
+            enc.encrypt_digest(i, &digest).unwrap()
+        } else {
+            digest
+        };
         tree.append(d).unwrap();
     }
     tree
@@ -76,7 +86,10 @@ fn main() {
         ("month", MONTH_CHUNKS),
     ];
 
-    println!("\n{:<8} {:>10} {:>14} {:>14} {:>9}", "gran", "aggregates", "Plaintext", "TimeCrypt", "overhead");
+    println!(
+        "\n{:<8} {:>10} {:>14} {:>14} {:>9}",
+        "gran", "aggregates", "Plaintext", "TimeCrypt", "overhead"
+    );
     for &(name, bucket) in granularities {
         let aggs = MONTH_CHUNKS.div_ceil(bucket);
         let tp = view(&plain, bucket, None);

@@ -22,7 +22,10 @@ use timecrypt_index::{AggTree, HomDigest, TreeConfig};
 use timecrypt_store::MemKv;
 
 fn tree_cfg() -> TreeConfig {
-    TreeConfig { arity: 64, cache_bytes: 512 << 20 }
+    TreeConfig {
+        arity: 64,
+        cache_bytes: 512 << 20,
+    }
 }
 
 /// Ingests `n` digests produced by `make`, returning (avg ingest, tree).
@@ -56,11 +59,17 @@ fn run_query<D: HomDigest>(
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let tc_sizes: &[u64] = if full { &[1_000, 1_000_000] } else { &[1_000, 100_000] };
+    let tc_sizes: &[u64] = if full {
+        &[1_000, 1_000_000]
+    } else {
+        &[1_000, 100_000]
+    };
     let straw_sizes: &[u64] = &[1_000];
     let mut rng = SecureRandom::from_seed_insecure(1);
 
-    println!("=== Table 2: index micro-operations (sum digest, 64-ary tree, 128-bit security) ===\n");
+    println!(
+        "=== Table 2: index micro-operations (sum digest, 64-ary tree, 128-bit security) ===\n"
+    );
 
     // ── Micro ADD ──────────────────────────────────────────────────────
     println!("-- micro ADD (single homomorphic addition) --");
@@ -75,18 +84,27 @@ fn main() {
     let pb = paillier.public.encrypt(2, &mut rng);
     let mut pacc = paillier.public.zero();
     let add_paillier = time_avg(200, || pacc = paillier.public.add(&pa, &pb));
-    println!("  Paillier ADD:            {}", format_duration(add_paillier));
+    println!(
+        "  Paillier ADD:            {}",
+        format_duration(add_paillier)
+    );
 
     let elgamal = EcElGamal::generate(1 << 20, &mut rng);
     let ea = elgamal.encrypt(1, &mut rng);
     let eb = elgamal.encrypt(2, &mut rng);
     let mut eacc = EcElGamal::zero();
     let add_elgamal = time_avg(500, || eacc = EcElGamal::add(&ea, &eb));
-    println!("  EC-ElGamal ADD:          {}\n", format_duration(add_elgamal));
+    println!(
+        "  EC-ElGamal ADD:          {}\n",
+        format_duration(add_elgamal)
+    );
 
     // ── Plaintext & TimeCrypt: ingest / size / query ───────────────────
     let kd = TreeKd::new([7u8; 16], 30, PrgKind::Aes).unwrap();
-    println!("{:<12} {:>10} {:>14} {:>14} {:>14}", "scheme", "chunks", "index size", "avg ingest", "avg query(wc)");
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>14}",
+        "scheme", "chunks", "index size", "avg ingest", "avg query(wc)"
+    );
     for &n in tc_sizes {
         // Plaintext: digest in the clear.
         let (ingest, tree) = run_ingest(n, |i| vec![i]);
@@ -96,7 +114,11 @@ fn main() {
         });
         println!(
             "{:<12} {:>10} {:>14} {:>14} {:>14}",
-            "Plaintext", n, format_bytes(size), format_duration(ingest), format_duration(query)
+            "Plaintext",
+            n,
+            format_bytes(size),
+            format_duration(ingest),
+            format_duration(query)
         );
 
         // TimeCrypt: HEAC-encrypted digest; ingest includes encryption,
@@ -109,14 +131,20 @@ fn main() {
         });
         println!(
             "{:<12} {:>10} {:>14} {:>14} {:>14}",
-            "TimeCrypt", n, format_bytes(size), format_duration(ingest), format_duration(query)
+            "TimeCrypt",
+            n,
+            format_bytes(size),
+            format_duration(ingest),
+            format_duration(query)
         );
     }
 
     // ── Strawman schemes ───────────────────────────────────────────────
     for &n in straw_sizes {
         let (ingest, tree) = run_ingest(n, |i| {
-            PaillierDigest(vec![paillier.public.encrypt(i, &mut SecureRandom::from_seed_insecure(i))])
+            PaillierDigest(vec![paillier
+                .public
+                .encrypt(i, &mut SecureRandom::from_seed_insecure(i))])
         });
         let size = tree.stats().unwrap().stored_bytes;
         let query = run_query(&tree, n, 5, |d| {
@@ -124,11 +152,17 @@ fn main() {
         });
         println!(
             "{:<12} {:>10} {:>14} {:>14} {:>14}",
-            "Paillier", n, format_bytes(size), format_duration(ingest), format_duration(query)
+            "Paillier",
+            n,
+            format_bytes(size),
+            format_duration(ingest),
+            format_duration(query)
         );
 
         let (ingest, tree) = run_ingest(n, |i| {
-            ElGamalDigest(vec![elgamal.encrypt(i % 100, &mut SecureRandom::from_seed_insecure(i))])
+            ElGamalDigest(vec![
+                elgamal.encrypt(i % 100, &mut SecureRandom::from_seed_insecure(i))
+            ])
         });
         let size = tree.stats().unwrap().stored_bytes;
         let query = run_query(&tree, n, 5, |d| {
@@ -136,7 +170,11 @@ fn main() {
         });
         println!(
             "{:<12} {:>10} {:>14} {:>14} {:>14}",
-            "EC-ElGamal", n, format_bytes(size), format_duration(ingest), format_duration(query)
+            "EC-ElGamal",
+            n,
+            format_bytes(size),
+            format_duration(ingest),
+            format_duration(query)
         );
     }
 

@@ -64,7 +64,10 @@ fn main() {
         std::hint::black_box(elgamal.decrypt(&ect));
     });
 
-    println!("\n{:<10} {:>14} {:>14} {:>16} {:>16}", "", "laptop Enc", "laptop Dec", "IoT Enc (model)", "IoT Dec (model)");
+    println!(
+        "\n{:<10} {:>14} {:>14} {:>16} {:>16}",
+        "", "laptop Enc", "laptop Dec", "IoT Enc (model)", "IoT Dec (model)"
+    );
     println!(
         "{:<10} {:>14} {:>14} {:>16} {:>16}",
         "TimeCrypt",

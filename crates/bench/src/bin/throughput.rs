@@ -1,0 +1,212 @@
+//! Service-tier throughput as a function of shard count.
+//!
+//! Ingests `STREAMS × CHUNKS` pre-sealed chunks through the batched ingest
+//! pipeline with `PRODUCERS` submitter threads, then fires multi-stream
+//! scatter-gather statistical queries, for each shard count in the sweep.
+//! Emits one JSON object per configuration on stdout so future PRs have a
+//! machine-readable perf trajectory to compare against.
+//!
+//! The store behind the shards is a [`LatencyKv`] modelling a remote
+//! storage tier (the paper's DevOps deployment runs Cassandra on a separate
+//! machine, §6): with per-operation storage latency, shard workers overlap
+//! their storage waits, so throughput scales with shard count even on a
+//! single core. Set `TC_STORE_LAT_US=0` for the co-located (CPU-bound)
+//! variant.
+//!
+//! Env knobs: `TC_SHARDS` (comma list, default `1,2,4,8`), `TC_STREAMS`
+//! (default 32), `TC_CHUNKS` (chunks/stream, default 64), `TC_PRODUCERS`
+//! (default 8), `TC_BATCH` (chunks/batch, default 16), `TC_QUERIES`
+//! (default 200), `TC_STORE_LAT_US` (default 50).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use timecrypt_chunk::serialize::EncryptedChunk;
+use timecrypt_chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
+use timecrypt_core::StreamKeyMaterial;
+use timecrypt_crypto::{PrgKind, SecureRandom};
+use timecrypt_service::{ServiceConfig, ShardedService};
+use timecrypt_store::{KvStore, LatencyKv, MemKv};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Workload {
+    /// Per-stream pre-sealed chunks (sealing cost excluded from ingest
+    /// numbers — this measures the serving tier, not the client CPU).
+    per_stream: Vec<Vec<EncryptedChunk>>,
+}
+
+fn build_workload(streams: usize, chunks: u64) -> Workload {
+    let per_stream = (0..streams as u128)
+        .map(|id| {
+            let cfg = StreamConfig {
+                schema: DigestSchema::sum_count(),
+                ..StreamConfig::new(id, "bench", 0, 10_000)
+            };
+            let keys =
+                StreamKeyMaterial::with_params(id, [(id as u8) ^ 0x5a; 16], 22, PrgKind::Aes)
+                    .unwrap();
+            let mut rng = SecureRandom::from_seed_insecure(id as u64);
+            (0..chunks)
+                .map(|i| {
+                    PlainChunk {
+                        stream: id,
+                        index: i,
+                        points: vec![DataPoint::new(i as i64 * 10_000, i as i64)],
+                    }
+                    .seal(&cfg, &keys, &mut rng)
+                    .unwrap()
+                })
+                .collect()
+        })
+        .collect();
+    Workload { per_stream }
+}
+
+struct Sample {
+    shards: usize,
+    ingest_ops_s: f64,
+    ingest_wall_ms: f64,
+    query_ops_s: f64,
+    query_wall_ms: f64,
+}
+
+fn run_one(
+    workload: &Workload,
+    shards: usize,
+    producers: usize,
+    batch: usize,
+    queries: usize,
+    store_latency: Duration,
+) -> Sample {
+    let streams = workload.per_stream.len();
+    let chunks = workload
+        .per_stream
+        .first()
+        .map(|v| v.len() as u64)
+        .unwrap_or(0);
+    let kv: Arc<dyn KvStore> = if store_latency.is_zero() {
+        Arc::new(MemKv::new())
+    } else {
+        Arc::new(LatencyKv::new(MemKv::new(), store_latency))
+    };
+    let svc = Arc::new(
+        ShardedService::open(
+            kv,
+            ServiceConfig {
+                shards,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    for id in 0..streams as u128 {
+        svc.create_stream(id, 0, 10_000, 2).unwrap();
+    }
+
+    // Ingest: `producers` threads, each owning a disjoint set of streams,
+    // submitting per-stream batches of `batch` chunks.
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let svc = svc.clone();
+            let slices: Vec<&Vec<EncryptedChunk>> = workload
+                .per_stream
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % producers == p)
+                .map(|(_, v)| v)
+                .collect();
+            scope.spawn(move || {
+                for stream_chunks in slices {
+                    for window in stream_chunks.chunks(batch) {
+                        for r in svc.submit_batch(window.to_vec()) {
+                            r.unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let ingest_wall = t.elapsed();
+    let total_chunks = streams as u64 * chunks;
+
+    // Queries: multi-stream scatter-gather over 8-stream groups, full range.
+    let all: Vec<u128> = (0..streams as u128).collect();
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let svc = svc.clone();
+            let all = &all;
+            scope.spawn(move || {
+                for q in (p..queries).step_by(producers) {
+                    let group: Vec<u128> = all
+                        .iter()
+                        .cycle()
+                        .skip(q % streams)
+                        .take(8.min(streams))
+                        .copied()
+                        .collect();
+                    svc.get_stat_range(&group, 0, chunks as i64 * 10_000)
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let query_wall = t.elapsed();
+
+    Sample {
+        shards,
+        ingest_ops_s: total_chunks as f64 / ingest_wall.as_secs_f64(),
+        ingest_wall_ms: ingest_wall.as_secs_f64() * 1e3,
+        query_ops_s: queries as f64 / query_wall.as_secs_f64(),
+        query_wall_ms: query_wall.as_secs_f64() * 1e3,
+    }
+}
+
+fn main() {
+    let shard_sweep: Vec<usize> = std::env::var("TC_SHARDS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let streams = env_usize("TC_STREAMS", 32);
+    let chunks = env_usize("TC_CHUNKS", 64) as u64;
+    let producers = env_usize("TC_PRODUCERS", 8);
+    let batch = env_usize("TC_BATCH", 16);
+    let queries = env_usize("TC_QUERIES", 200);
+    let store_latency = Duration::from_micros(env_usize("TC_STORE_LAT_US", 50) as u64);
+
+    eprintln!("sealing workload: {streams} streams x {chunks} chunks ...");
+    let workload = build_workload(streams, chunks);
+
+    for &shards in &shard_sweep {
+        // Warm-up run keeps allocator/page-cache effects out of the sweep.
+        let _ = run_one(
+            &workload,
+            shards,
+            producers,
+            batch,
+            16.min(queries),
+            store_latency,
+        );
+        let s = run_one(&workload, shards, producers, batch, queries, store_latency);
+        println!(
+            "{{\"bench\":\"service_throughput\",\"shards\":{},\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"batch\":{},\"ingest_ops_s\":{:.0},\"ingest_wall_ms\":{:.1},\"queries\":{},\"query_ops_s\":{:.0},\"query_wall_ms\":{:.1}}}",
+            s.shards,
+            streams,
+            chunks,
+            producers,
+            batch,
+            s.ingest_ops_s,
+            s.ingest_wall_ms,
+            queries,
+            s.query_ops_s,
+            s.query_wall_ms,
+        );
+    }
+}

@@ -23,7 +23,12 @@ pub struct MHealthWorkload {
 impl MHealthWorkload {
     /// The paper's configuration.
     pub fn paper(seed: u64) -> Self {
-        MHealthWorkload { rng: StdRng::seed_from_u64(seed), metrics: 12, rate_hz: 50, delta_ms: 10_000 }
+        MHealthWorkload {
+            rng: StdRng::seed_from_u64(seed),
+            metrics: 12,
+            rate_hz: 50,
+            delta_ms: 10_000,
+        }
     }
 
     /// Stream configuration for metric `m` of device `device`.
@@ -41,10 +46,10 @@ impl MHealthWorkload {
         let n = (self.rate_hz as u64 * self.delta_ms / 1000) as usize;
         let period_ms = 1000 / self.rate_hz as i64;
         let base_ts = chunk as i64 * self.delta_ms as i64;
-        let mut v = 70i64 + self.rng.gen_range(-10..10);
+        let mut v = 70i64 + self.rng.gen_range(-10i64..10);
         (0..n)
             .map(|i| {
-                v = (v + self.rng.gen_range(-2..=2)).clamp(40, 200);
+                v = (v + self.rng.gen_range(-2i64..=2)).clamp(40, 200);
                 DataPoint::new(base_ts + i as i64 * period_ms, v)
             })
             .collect()
@@ -98,10 +103,10 @@ impl DevOpsWorkload {
     pub fn chunk_points(&mut self, chunk: u64) -> Vec<DataPoint> {
         let n = (self.delta_ms / self.rate_ms) as usize;
         let base_ts = chunk as i64 * self.delta_ms as i64;
-        let plateau = self.rng.gen_range(5..95);
+        let plateau = self.rng.gen_range(5i64..95);
         (0..n)
             .map(|i| {
-                let v = (plateau + self.rng.gen_range(-5..=5)).clamp(0, 100);
+                let v = (plateau + self.rng.gen_range(-5i64..=5)).clamp(0, 100);
                 DataPoint::new(base_ts + (i as u64 * self.rate_ms) as i64, v)
             })
             .collect()

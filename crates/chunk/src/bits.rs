@@ -101,7 +101,9 @@ mod tests {
 
     #[test]
     fn single_bits_roundtrip() {
-        let pattern = [true, false, true, true, false, false, false, true, true, false];
+        let pattern = [
+            true, false, true, true, false, false, false, true, true, false,
+        ];
         let mut w = BitWriter::new();
         for &b in &pattern {
             w.write_bit(b);

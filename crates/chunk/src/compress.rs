@@ -274,7 +274,10 @@ fn decode_gorilla(buf: &[u8], pos: usize, n: usize) -> Result<Vec<DataPoint>, Co
     let mut r = BitReader::new(buf.get(pos..).ok_or(CodecError::Truncated)?);
     let mut ts = r.read_bits(64)? as i64;
     let mut value = r.read_bits(64)?;
-    out.push(DataPoint { ts, value: value as i64 });
+    out.push(DataPoint {
+        ts,
+        value: value as i64,
+    });
     let mut delta = 0i64;
     let mut window: Option<(u8, u8)> = None;
     for _ in 1..n {
@@ -295,7 +298,10 @@ fn decode_gorilla(buf: &[u8], pos: usize, n: usize) -> Result<Vec<DataPoint>, Co
             };
             value ^= r.read_bits(len)? << (64 - lz - len);
         }
-        out.push(DataPoint { ts, value: value as i64 });
+        out.push(DataPoint {
+            ts,
+            value: value as i64,
+        });
     }
     Ok(out)
 }
@@ -385,7 +391,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<DataPoint>, CodecError> {
             for _ in 0..n {
                 prev_ts = prev_ts.wrapping_add(unzigzag(get_uvarint(data, &mut pos)?));
                 prev_v = prev_v.wrapping_add(unzigzag(get_uvarint(data, &mut pos)?));
-                out.push(DataPoint { ts: prev_ts, value: prev_v });
+                out.push(DataPoint {
+                    ts: prev_ts,
+                    value: prev_v,
+                });
             }
             Ok(out)
         }
@@ -558,8 +567,13 @@ mod tests {
     fn auto_picks_the_smallest_concrete_codec() {
         for points in [
             sample_points(),
-            (0..1000).map(|i| DataPoint::new(i * 10, 42)).collect::<Vec<_>>(),
-            vec![DataPoint::new(i64::MIN, i64::MAX), DataPoint::new(i64::MAX, i64::MIN)],
+            (0..1000)
+                .map(|i| DataPoint::new(i * 10, 42))
+                .collect::<Vec<_>>(),
+            vec![
+                DataPoint::new(i64::MIN, i64::MAX),
+                DataPoint::new(i64::MAX, i64::MIN),
+            ],
         ] {
             let (winner, enc) = compress_best(&points);
             for codec in Codec::CONCRETE {

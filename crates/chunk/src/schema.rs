@@ -162,7 +162,11 @@ impl Histogram {
     /// extremes represented as `i64::MIN` / `i64::MAX`.
     pub fn bin_range(&self, b: usize) -> (i64, i64) {
         let lo = if b == 0 { i64::MIN } else { self.bounds[b - 1] };
-        let hi = if b == self.bounds.len() { i64::MAX } else { self.bounds[b] };
+        let hi = if b == self.bounds.len() {
+            i64::MAX
+        } else {
+            self.bounds[b]
+        };
         (lo, hi)
     }
 
@@ -243,7 +247,11 @@ mod tests {
     use super::*;
 
     fn pts(values: &[i64]) -> Vec<DataPoint> {
-        values.iter().enumerate().map(|(i, &v)| DataPoint::new(i as i64, v)).collect()
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| DataPoint::new(i as i64, v))
+            .collect()
     }
 
     #[test]
@@ -251,7 +259,13 @@ mod tests {
         assert_eq!(DigestSchema::sum_only().width(), 1);
         assert_eq!(DigestSchema::sum_count().width(), 2);
         assert_eq!(DigestSchema::standard().width(), 3 + 16);
-        assert_eq!(DigestOp::Histogram { bounds: vec![0, 10] }.width(), 3);
+        assert_eq!(
+            DigestOp::Histogram {
+                bounds: vec![0, 10]
+            }
+            .width(),
+            3
+        );
     }
 
     #[test]
@@ -286,7 +300,9 @@ mod tests {
 
     #[test]
     fn histogram_binning() {
-        let schema = DigestSchema::new(vec![DigestOp::Histogram { bounds: vec![0, 10, 20] }]);
+        let schema = DigestSchema::new(vec![DigestOp::Histogram {
+            bounds: vec![0, 10, 20],
+        }]);
         // Bins: (-inf,0), [0,10), [10,20), [20,inf)
         let d = schema.compute(&pts(&[-1, 0, 5, 9, 10, 25, 100]));
         assert_eq!(d, vec![1, 3, 1, 2]);
@@ -329,8 +345,11 @@ mod tests {
         let da = schema.compute(&a);
         let db = schema.compute(&b);
         let dab = schema.compute(&ab);
-        let summed: Vec<u64> =
-            da.iter().zip(db.iter()).map(|(x, y)| x.wrapping_add(*y)).collect();
+        let summed: Vec<u64> = da
+            .iter()
+            .zip(db.iter())
+            .map(|(x, y)| x.wrapping_add(*y))
+            .collect();
         assert_eq!(summed, dab);
     }
 }

@@ -76,7 +76,11 @@ impl PlainChunk {
         let mut nonce = [0u8; NONCE_LEN];
         rng.fill(&mut nonce);
         let mut payload = nonce.to_vec();
-        payload.extend_from_slice(&gcm.seal(&nonce, &Self::aad(self.stream, self.index), &compressed));
+        payload.extend_from_slice(&gcm.seal(
+            &nonce,
+            &Self::aad(self.stream, self.index),
+            &compressed,
+        ));
         Ok(EncryptedChunk {
             stream: self.stream,
             index: self.index,
@@ -110,10 +114,7 @@ pub struct EncryptedChunk {
 impl EncryptedChunk {
     /// Opens the payload with any key source covering leaves
     /// `index, index+1` and returns the decompressed points.
-    pub fn open_payload<K: KeySource>(
-        &self,
-        keys: &K,
-    ) -> Result<Vec<DataPoint>, ChunkError> {
+    pub fn open_payload<K: KeySource>(&self, keys: &K) -> Result<Vec<DataPoint>, ChunkError> {
         if self.payload.len() < NONCE_LEN {
             return Err(ChunkError::Malformed("payload shorter than nonce"));
         }
@@ -121,7 +122,11 @@ impl EncryptedChunk {
         let gcm = AesGcm128::new(&key);
         let nonce: [u8; NONCE_LEN] = self.payload[..NONCE_LEN].try_into().unwrap();
         let compressed = gcm
-            .open(&nonce, &PlainChunk::aad(self.stream, self.index), &self.payload[NONCE_LEN..])
+            .open(
+                &nonce,
+                &PlainChunk::aad(self.stream, self.index),
+                &self.payload[NONCE_LEN..],
+            )
             .map_err(|_| ChunkError::PayloadAuth)?;
         compress::decompress(&compressed).map_err(ChunkError::Codec)
     }
@@ -142,7 +147,13 @@ impl EncryptedChunk {
 
     /// Parses bytes produced by [`to_bytes`](Self::to_bytes).
     pub fn from_bytes(buf: &[u8]) -> Result<Self, ChunkError> {
-        let need = |ok: bool| if ok { Ok(()) } else { Err(ChunkError::Malformed("truncated")) };
+        let need = |ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(ChunkError::Malformed("truncated"))
+            }
+        };
         need(buf.len() >= 28)?;
         let stream = u128::from_le_bytes(buf[0..16].try_into().unwrap());
         let index = u64::from_le_bytes(buf[16..24].try_into().unwrap());
@@ -157,7 +168,12 @@ impl EncryptedChunk {
         let pn = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
         need(buf.len() == pos + pn)?;
-        Ok(EncryptedChunk { stream, index, digest_ct, payload: buf[pos..].to_vec() })
+        Ok(EncryptedChunk {
+            stream,
+            index,
+            digest_ct,
+            payload: buf[pos..].to_vec(),
+        })
     }
 }
 
@@ -213,7 +229,12 @@ impl SealedRecord {
         plain[8..].copy_from_slice(&point.value.to_le_bytes());
         let mut payload = nonce.to_vec();
         payload.extend_from_slice(&gcm.seal(&nonce, &Self::live_aad(stream, chunk, seq), &plain));
-        Ok(SealedRecord { stream, chunk, seq, payload })
+        Ok(SealedRecord {
+            stream,
+            chunk,
+            seq,
+            payload,
+        })
     }
 
     /// Opens the record with any key source covering leaf `chunk`.
@@ -263,7 +284,12 @@ impl SealedRecord {
         if buf.len() != 32 + pn {
             return Err(ChunkError::Malformed("truncated record payload"));
         }
-        Ok(SealedRecord { stream, chunk, seq, payload: buf[32..].to_vec() })
+        Ok(SealedRecord {
+            stream,
+            chunk,
+            seq,
+            payload: buf[32..].to_vec(),
+        })
     }
 }
 
@@ -279,7 +305,11 @@ pub struct ChunkBuilder {
 impl ChunkBuilder {
     /// Creates a builder for a stream.
     pub fn new(cfg: StreamConfig) -> Self {
-        ChunkBuilder { cfg, current: None, next_expected: 0 }
+        ChunkBuilder {
+            cfg,
+            current: None,
+            next_expected: 0,
+        }
     }
 
     /// The stream configuration.
@@ -315,9 +345,17 @@ impl ChunkBuilder {
                 }
                 // Crossed a boundary: seal current, emit empties for gaps.
                 let (cur, points) = self.current.take().unwrap();
-                emitted.push(PlainChunk { stream: self.cfg.id, index: cur, points });
+                emitted.push(PlainChunk {
+                    stream: self.cfg.id,
+                    index: cur,
+                    points,
+                });
                 for empty in (cur + 1)..chunk {
-                    emitted.push(PlainChunk { stream: self.cfg.id, index: empty, points: Vec::new() });
+                    emitted.push(PlainChunk {
+                        stream: self.cfg.id,
+                        index: empty,
+                        points: Vec::new(),
+                    });
                 }
                 self.current = Some((chunk, vec![p]));
                 self.next_expected = chunk + 1;
@@ -326,7 +364,11 @@ impl ChunkBuilder {
                 // First point: emit empty chunks from next_expected (0 at
                 // start) up to the point's chunk.
                 for empty in self.next_expected..chunk {
-                    emitted.push(PlainChunk { stream: self.cfg.id, index: empty, points: Vec::new() });
+                    emitted.push(PlainChunk {
+                        stream: self.cfg.id,
+                        index: empty,
+                        points: Vec::new(),
+                    });
                 }
                 self.current = Some((chunk, vec![p]));
                 self.next_expected = chunk + 1;
@@ -337,9 +379,11 @@ impl ChunkBuilder {
 
     /// Flushes the in-progress chunk (e.g. at stream close).
     pub fn flush(&mut self) -> Option<PlainChunk> {
-        self.current
-            .take()
-            .map(|(index, points)| PlainChunk { stream: self.cfg.id, index, points })
+        self.current.take().map(|(index, points)| PlainChunk {
+            stream: self.cfg.id,
+            index,
+            points,
+        })
     }
 }
 
@@ -410,10 +454,19 @@ mod tests {
         // A chunk payload blob reinterpreted as a live record must not
         // authenticate (domain separation via AAD tag byte).
         let (cfg, keys, mut rng) = setup();
-        let sealed = PlainChunk { stream: 7, index: 3, points: points_for_chunk(3, 1) }
-            .seal(&cfg, &keys, &mut rng)
-            .unwrap();
-        let forged = SealedRecord { stream: 7, chunk: 3, seq: 0, payload: sealed.payload };
+        let sealed = PlainChunk {
+            stream: 7,
+            index: 3,
+            points: points_for_chunk(3, 1),
+        }
+        .seal(&cfg, &keys, &mut rng)
+        .unwrap();
+        let forged = SealedRecord {
+            stream: 7,
+            chunk: 3,
+            seq: 0,
+            payload: sealed.payload,
+        };
         assert!(forged.open(&keys.tree).is_err());
     }
 
@@ -435,7 +488,11 @@ mod tests {
     #[test]
     fn seal_open_roundtrip() {
         let (cfg, keys, mut rng) = setup();
-        let chunk = PlainChunk { stream: 7, index: 3, points: points_for_chunk(3, 500) };
+        let chunk = PlainChunk {
+            stream: 7,
+            index: 3,
+            points: points_for_chunk(3, 500),
+        };
         let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
         assert_eq!(sealed.digest_ct.len(), cfg.schema.width());
         let opened = sealed.open_payload(&keys.tree).unwrap();
@@ -445,7 +502,11 @@ mod tests {
     #[test]
     fn sealed_digest_decrypts_to_schema_digest() {
         let (cfg, keys, mut rng) = setup();
-        let chunk = PlainChunk { stream: 7, index: 5, points: points_for_chunk(5, 100) };
+        let chunk = PlainChunk {
+            stream: 7,
+            index: 5,
+            points: points_for_chunk(5, 100),
+        };
         let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
         let dec = decrypt_range_sum(&keys.tree, 5, 6, &sealed.digest_ct).unwrap();
         assert_eq!(dec, cfg.schema.compute(&chunk.points));
@@ -454,11 +515,18 @@ mod tests {
     #[test]
     fn payload_tamper_detected() {
         let (cfg, keys, mut rng) = setup();
-        let chunk = PlainChunk { stream: 7, index: 0, points: points_for_chunk(0, 10) };
+        let chunk = PlainChunk {
+            stream: 7,
+            index: 0,
+            points: points_for_chunk(0, 10),
+        };
         let mut sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
         let last = sealed.payload.len() - 1;
         sealed.payload[last] ^= 1;
-        assert!(matches!(sealed.open_payload(&keys.tree), Err(ChunkError::PayloadAuth)));
+        assert!(matches!(
+            sealed.open_payload(&keys.tree),
+            Err(ChunkError::PayloadAuth)
+        ));
     }
 
     #[test]
@@ -466,16 +534,27 @@ mod tests {
         // AAD binds (stream, index): replaying chunk 0's payload as chunk 1
         // must fail even under the right key-source.
         let (cfg, keys, mut rng) = setup();
-        let c0 = PlainChunk { stream: 7, index: 0, points: points_for_chunk(0, 5) };
+        let c0 = PlainChunk {
+            stream: 7,
+            index: 0,
+            points: points_for_chunk(0, 5),
+        };
         let sealed0 = c0.seal(&cfg, &keys, &mut rng).unwrap();
-        let forged = EncryptedChunk { index: 1, ..sealed0 };
+        let forged = EncryptedChunk {
+            index: 1,
+            ..sealed0
+        };
         assert!(forged.open_payload(&keys.tree).is_err());
     }
 
     #[test]
     fn consumer_without_keys_cannot_open() {
         let (cfg, keys, mut rng) = setup();
-        let chunk = PlainChunk { stream: 7, index: 8, points: points_for_chunk(8, 5) };
+        let chunk = PlainChunk {
+            stream: 7,
+            index: 8,
+            points: points_for_chunk(8, 5),
+        };
         let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
         let ts = keys.tree.token_set(0, 5).unwrap();
         assert!(matches!(
@@ -490,7 +569,11 @@ mod tests {
     #[test]
     fn bytes_roundtrip() {
         let (cfg, keys, mut rng) = setup();
-        let chunk = PlainChunk { stream: 7, index: 2, points: points_for_chunk(2, 50) };
+        let chunk = PlainChunk {
+            stream: 7,
+            index: 2,
+            points: points_for_chunk(2, 50),
+        };
         let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
         let bytes = sealed.to_bytes();
         assert_eq!(EncryptedChunk::from_bytes(&bytes).unwrap(), sealed);
@@ -499,12 +582,19 @@ mod tests {
     #[test]
     fn bytes_truncation_rejected() {
         let (cfg, keys, mut rng) = setup();
-        let sealed = PlainChunk { stream: 7, index: 2, points: points_for_chunk(2, 50) }
-            .seal(&cfg, &keys, &mut rng)
-            .unwrap();
+        let sealed = PlainChunk {
+            stream: 7,
+            index: 2,
+            points: points_for_chunk(2, 50),
+        }
+        .seal(&cfg, &keys, &mut rng)
+        .unwrap();
         let bytes = sealed.to_bytes();
         for cut in [0usize, 10, 27, bytes.len() - 1] {
-            assert!(EncryptedChunk::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                EncryptedChunk::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 
@@ -559,9 +649,16 @@ mod tests {
     #[test]
     fn empty_chunk_seals_and_opens() {
         let (cfg, keys, mut rng) = setup();
-        let chunk = PlainChunk { stream: 7, index: 0, points: Vec::new() };
+        let chunk = PlainChunk {
+            stream: 7,
+            index: 0,
+            points: Vec::new(),
+        };
         let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
-        assert_eq!(sealed.open_payload(&keys.tree).unwrap(), Vec::<DataPoint>::new());
+        assert_eq!(
+            sealed.open_payload(&keys.tree).unwrap(),
+            Vec::<DataPoint>::new()
+        );
         let dec = decrypt_range_sum(&keys.tree, 0, 1, &sealed.digest_ct).unwrap();
         assert_eq!(dec, DigestSchema::standard().compute(&[]));
     }

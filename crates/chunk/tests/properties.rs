@@ -9,8 +9,11 @@ use timecrypt_core::StreamKeyMaterial;
 use timecrypt_crypto::{PrgKind, SecureRandom};
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<DataPoint>> {
-    proptest::collection::vec((any::<i64>(), any::<i64>()), 0..max)
-        .prop_map(|v| v.into_iter().map(|(ts, value)| DataPoint { ts, value }).collect())
+    proptest::collection::vec((any::<i64>(), any::<i64>()), 0..max).prop_map(|v| {
+        v.into_iter()
+            .map(|(ts, value)| DataPoint { ts, value })
+            .collect()
+    })
 }
 
 proptest! {

@@ -106,25 +106,28 @@ impl Consumer {
         grant: Grant,
     ) -> Result<(), ClientFault> {
         let descriptor = grant.descriptor().clone();
-        let entry = self.streams.entry(descriptor.stream).or_insert_with(|| StreamKeys {
-            descriptor: descriptor.clone(),
-            tokens: None,
-            resolutions: HashMap::new(),
-        });
+        let entry = self
+            .streams
+            .entry(descriptor.stream)
+            .or_insert_with(|| StreamKeys {
+                descriptor: descriptor.clone(),
+                tokens: None,
+                resolutions: HashMap::new(),
+            });
         match grant {
-            Grant::Full { tokens, .. } => {
-                match &mut entry.tokens {
-                    Some(ts) => ts.extend(tokens),
-                    None => {
-                        entry.tokens = Some(TokenSet::new(
-                            tokens,
-                            descriptor.tree_height,
-                            descriptor.prg,
-                        ))
-                    }
+            Grant::Full { tokens, .. } => match &mut entry.tokens {
+                Some(ts) => ts.extend(tokens),
+                None => {
+                    entry.tokens = Some(TokenSet::new(
+                        tokens,
+                        descriptor.tree_height,
+                        descriptor.prg,
+                    ))
                 }
-            }
-            Grant::Resolution { resolution, token, .. } => {
+            },
+            Grant::Resolution {
+                resolution, token, ..
+            } => {
                 let (lo, hi) = (token.lower.index, token.upper.index);
                 let rcs = entry.resolutions.entry(resolution).or_default();
                 rcs.push(ResolutionConsumer::new(resolution, token));
@@ -173,7 +176,10 @@ impl Consumer {
             Response::Stat(s) => s,
             _ => return Err(ClientFault::Protocol("Stat")),
         };
-        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let keys = self
+            .streams
+            .get(&stream)
+            .ok_or(ClientFault::Protocol("synced grants"))?;
         let (_, lo, hi) = reply.parts[0];
         let plain = decrypt_range_sum(&CombinedKeys(keys), lo, hi, &reply.agg)?;
         Ok(keys.descriptor.schema.interpret(&plain))
@@ -201,7 +207,10 @@ impl Consumer {
         let mut agg = reply.agg.clone();
         let mut schema = None;
         for &(sid, lo, hi) in &reply.parts {
-            let keys = self.streams.get(&sid).ok_or(ClientFault::Protocol("synced grants"))?;
+            let keys = self
+                .streams
+                .get(&sid)
+                .ok_or(ClientFault::Protocol("synced grants"))?;
             agg = decrypt_range_sum(&CombinedKeys(keys), lo, hi, &agg)?;
             schema.get_or_insert_with(|| keys.descriptor.schema.clone());
         }
@@ -222,7 +231,10 @@ impl Consumer {
             Response::Chunks(c) => c,
             _ => return Err(ClientFault::Protocol("Chunks")),
         };
-        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let keys = self
+            .streams
+            .get(&stream)
+            .ok_or(ClientFault::Protocol("synced grants"))?;
         let mut out = Vec::new();
         for bytes in chunks {
             let chunk = EncryptedChunk::from_bytes(&bytes)
@@ -265,7 +277,10 @@ impl Consumer {
         let (lo, hi) = (proof.lo as u64, proof.hi as u64);
         let agg = verify_attested_range(stream, &att, owner_key, &proof)
             .map_err(|e| ClientFault::Chunk(format!("integrity check failed: {e}")))?;
-        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let keys = self
+            .streams
+            .get(&stream)
+            .ok_or(ClientFault::Protocol("synced grants"))?;
         let plain = decrypt_range_sum(&CombinedKeys(keys), lo, hi, &agg)?;
         Ok(keys.descriptor.schema.interpret(&plain))
     }
@@ -289,9 +304,11 @@ impl Consumer {
         };
         let (att_bytes, proof_bytes, chunks) =
             match transport.call(&Request::GetVerifiedRange { stream, ts_s, ts_e })? {
-                Response::VerifiedChunks { attestation, proof, chunks } => {
-                    (attestation, proof, chunks)
-                }
+                Response::VerifiedChunks {
+                    attestation,
+                    proof,
+                    chunks,
+                } => (attestation, proof, chunks),
                 _ => return Err(ClientFault::Protocol("VerifiedChunks")),
             };
         let att = RootAttestation::decode(&att_bytes)
@@ -307,7 +324,10 @@ impl Consumer {
                 leaves.len()
             )));
         }
-        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let keys = self
+            .streams
+            .get(&stream)
+            .ok_or(ClientFault::Protocol("synced grants"))?;
         let mut out = Vec::new();
         for (i, (bytes, leaf)) in chunks.iter().zip(&leaves).enumerate() {
             if chunk_commitment(bytes) != leaf.commitment {
@@ -316,8 +336,8 @@ impl Consumer {
                     proof.lo + i
                 )));
             }
-            let chunk = EncryptedChunk::from_bytes(bytes)
-                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            let chunk =
+                EncryptedChunk::from_bytes(bytes).map_err(|e| ClientFault::Chunk(e.to_string()))?;
             if chunk.index != (proof.lo + i) as u64 || chunk.digest_ct != leaf.sum {
                 return Err(ClientFault::Chunk(format!(
                     "chunk {} header/digest inconsistent with the attested leaf",
@@ -350,10 +370,13 @@ impl Consumer {
             Response::Records(r) => r,
             _ => return Err(ClientFault::Protocol("Records")),
         };
-        let keys = self.streams.get(&stream).ok_or(ClientFault::Protocol("synced grants"))?;
+        let keys = self
+            .streams
+            .get(&stream)
+            .ok_or(ClientFault::Protocol("synced grants"))?;
         for bytes in records {
-            let record = SealedRecord::from_bytes(&bytes)
-                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            let record =
+                SealedRecord::from_bytes(&bytes).map_err(|e| ClientFault::Chunk(e.to_string()))?;
             let point = record
                 .open(&CombinedKeys(keys))
                 .map_err(|e| ClientFault::Chunk(e.to_string()))?;

@@ -126,7 +126,11 @@ fn decode_schema(r: &mut ByteReader) -> Result<DigestSchema, WireError> {
 }
 
 fn encode_descriptor(w: &mut ByteWriter, d: &StreamDescriptor) {
-    w.u128(d.stream).i64(d.t0).u64(d.delta_ms).u8(d.tree_height).u8(encode_prg(d.prg));
+    w.u128(d.stream)
+        .i64(d.t0)
+        .u64(d.delta_ms)
+        .u8(d.tree_height)
+        .u8(encode_prg(d.prg));
     encode_schema(w, &d.schema);
 }
 
@@ -158,7 +162,12 @@ impl Grant {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         match self {
-            Grant::Full { descriptor, chunk_lo, chunk_hi, tokens } => {
+            Grant::Full {
+                descriptor,
+                chunk_lo,
+                chunk_hi,
+                tokens,
+            } => {
                 w.u8(1);
                 encode_descriptor(&mut w, descriptor);
                 w.u64(*chunk_lo).u64(*chunk_hi).u32(tokens.len() as u32);
@@ -166,7 +175,11 @@ impl Grant {
                     w.u8(t.label.depth).u64(t.label.index).bytes(&t.node);
                 }
             }
-            Grant::Resolution { descriptor, resolution, token } => {
+            Grant::Resolution {
+                descriptor,
+                resolution,
+                token,
+            } => {
                 w.u8(2);
                 encode_descriptor(&mut w, descriptor);
                 w.u64(*resolution);
@@ -193,11 +206,18 @@ impl Grant {
                 for _ in 0..n {
                     let depth = r.u8()?;
                     let index = r.u64()?;
-                    let node: [u8; 16] =
-                        r.bytes()?.try_into().map_err(|_| WireError::Truncated)?;
-                    tokens.push(AccessToken { label: NodeLabel { depth, index }, node });
+                    let node: [u8; 16] = r.bytes()?.try_into().map_err(|_| WireError::Truncated)?;
+                    tokens.push(AccessToken {
+                        label: NodeLabel { depth, index },
+                        node,
+                    });
                 }
-                Grant::Full { descriptor, chunk_lo, chunk_hi, tokens }
+                Grant::Full {
+                    descriptor,
+                    chunk_lo,
+                    chunk_hi,
+                    tokens,
+                }
             }
             2 => Grant::Resolution {
                 descriptor: decode_descriptor(&mut r)?,
@@ -243,8 +263,17 @@ mod tests {
             chunk_lo: 5,
             chunk_hi: 100,
             tokens: vec![
-                AccessToken { label: NodeLabel { depth: 3, index: 2 }, node: [9u8; 16] },
-                AccessToken { label: NodeLabel { depth: 24, index: 101 }, node: [1u8; 16] },
+                AccessToken {
+                    label: NodeLabel { depth: 3, index: 2 },
+                    node: [9u8; 16],
+                },
+                AccessToken {
+                    label: NodeLabel {
+                        depth: 24,
+                        index: 101,
+                    },
+                    node: [1u8; 16],
+                },
             ],
         };
         assert_eq!(Grant::decode(&g.encode()).unwrap(), g);
@@ -256,8 +285,14 @@ mod tests {
             descriptor: descriptor(),
             resolution: 6,
             token: KrToken {
-                upper: KrState { index: 40, state: [3u8; 32] },
-                lower: KrState { index: 7, state: [4u8; 32] },
+                upper: KrState {
+                    index: 40,
+                    state: [3u8; 32],
+                },
+                lower: KrState {
+                    index: 7,
+                    state: [4u8; 32],
+                },
             },
         };
         assert_eq!(Grant::decode(&g.encode()).unwrap(), g);
@@ -267,10 +302,17 @@ mod tests {
     fn schema_with_histogram_roundtrips() {
         let mut d = descriptor();
         d.schema = DigestSchema::new(vec![
-            DigestOp::Histogram { bounds: vec![-5, 0, 5] },
+            DigestOp::Histogram {
+                bounds: vec![-5, 0, 5],
+            },
             DigestOp::Sum,
         ]);
-        let g = Grant::Full { descriptor: d, chunk_lo: 0, chunk_hi: 1, tokens: vec![] };
+        let g = Grant::Full {
+            descriptor: d,
+            chunk_lo: 0,
+            chunk_hi: 1,
+            tokens: vec![],
+        };
         assert_eq!(Grant::decode(&g.encode()).unwrap(), g);
     }
 
@@ -280,7 +322,10 @@ mod tests {
             descriptor: descriptor(),
             chunk_lo: 0,
             chunk_hi: 1,
-            tokens: vec![AccessToken { label: NodeLabel { depth: 1, index: 0 }, node: [0u8; 16] }],
+            tokens: vec![AccessToken {
+                label: NodeLabel { depth: 1, index: 0 },
+                node: [0u8; 16],
+            }],
         };
         let bytes = g.encode();
         for cut in 0..bytes.len() {

@@ -26,5 +26,5 @@ pub mod transport;
 pub use consumer::Consumer;
 pub use grants::{Grant, StreamDescriptor};
 pub use owner::DataOwner;
-pub use producer::Producer;
-pub use transport::{ClientFault, InProcess, Transport};
+pub use producer::{BatchingProducer, Producer};
+pub use transport::{ClientFault, InProc, InProcess, Transport};

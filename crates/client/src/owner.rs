@@ -36,7 +36,13 @@ impl DataOwner {
     ) -> Self {
         let keys = StreamKeyMaterial::with_params(cfg.id, root, tree_height, Default::default())
             .expect("valid tree params");
-        DataOwner { cfg, keys, resolutions: HashMap::new(), rng, tree_height }
+        DataOwner {
+            cfg,
+            keys,
+            resolutions: HashMap::new(),
+            rng,
+            tree_height,
+        }
     }
 
     /// The stream configuration (hand to producers).
@@ -75,7 +81,9 @@ impl DataOwner {
 
     /// Deletes the stream (Table 1 (2)).
     pub fn delete_stream<T: Transport>(&mut self, transport: &mut T) -> Result<(), ClientFault> {
-        match transport.call(&Request::DeleteStream { stream: self.cfg.id })? {
+        match transport.call(&Request::DeleteStream {
+            stream: self.cfg.id,
+        })? {
             Response::Ok => Ok(()),
             _ => Err(ClientFault::Protocol("Ok")),
         }
@@ -143,7 +151,11 @@ impl DataOwner {
         self.ensure_resolution(transport, resolution)?;
         let ro = self.resolutions.get(&resolution).expect("just ensured");
         let token = ro.share_chunks(lo, hi.saturating_sub(0))?;
-        let grant = Grant::Resolution { descriptor: self.descriptor(), resolution, token };
+        let grant = Grant::Resolution {
+            descriptor: self.descriptor(),
+            resolution,
+            token,
+        };
         self.put_grant(transport, principal, principal_pk, &grant)
     }
 
@@ -157,16 +169,14 @@ impl DataOwner {
         resolution: u64,
     ) -> Result<(), ClientFault> {
         if !self.resolutions.contains_key(&resolution) {
-            let ro = ResolutionOwner::new(
-                resolution,
-                self.rng.seed256(),
-                self.rng.seed256(),
-                1 << 20,
-            )?;
+            let ro =
+                ResolutionOwner::new(resolution, self.rng.seed256(), self.rng.seed256(), 1 << 20)?;
             self.resolutions.insert(resolution, ro);
         }
         // How far has the stream got?
-        let len = match transport.call(&Request::StreamInfo { stream: self.cfg.id })? {
+        let len = match transport.call(&Request::StreamInfo {
+            stream: self.cfg.id,
+        })? {
             Response::Info(i) => i.len,
             _ => return Err(ClientFault::Protocol("Info")),
         };
@@ -178,8 +188,7 @@ impl DataOwner {
         // to boundary chunk `len` can be published.
         let ro = self.resolutions.get(&resolution).expect("present");
         let envs = ro.seal_up_to(&self.keys.tree, len)?;
-        let wire_envs: Vec<(u64, Vec<u8>)> =
-            envs.into_iter().map(|e| (e.index, e.blob)).collect();
+        let wire_envs: Vec<(u64, Vec<u8>)> = envs.into_iter().map(|e| (e.index, e.blob)).collect();
         match transport.call(&Request::PutEnvelopes {
             stream: self.cfg.id,
             resolution,
@@ -233,7 +242,11 @@ impl DataOwner {
         before_ts: i64,
         keep_level: u8,
     ) -> Result<(), ClientFault> {
-        match transport.call(&Request::Rollup { stream: self.cfg.id, before_ts, keep_level })? {
+        match transport.call(&Request::Rollup {
+            stream: self.cfg.id,
+            before_ts,
+            keep_level,
+        })? {
             Response::Ok => Ok(()),
             _ => Err(ClientFault::Protocol("Ok")),
         }
@@ -248,7 +261,11 @@ impl DataOwner {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<(), ClientFault> {
-        match transport.call(&Request::DeleteRange { stream: self.cfg.id, ts_s, ts_e })? {
+        match transport.call(&Request::DeleteRange {
+            stream: self.cfg.id,
+            ts_s,
+            ts_e,
+        })? {
             Response::Ok => Ok(()),
             _ => Err(ClientFault::Protocol("Ok")),
         }

@@ -17,7 +17,10 @@ pub struct Producer {
     live_seq: (u64, u32),
     records_sent: u64,
     /// Integrity extension: mirror ledger + signing key (§3.3).
-    attester: Option<(timecrypt_baselines::SigningKey, timecrypt_integrity::StreamLedger)>,
+    attester: Option<(
+        timecrypt_baselines::SigningKey,
+        timecrypt_integrity::StreamLedger,
+    )>,
 }
 
 impl Producer {
@@ -117,9 +120,18 @@ impl Producer {
         }
         let seq = self.live_seq.1;
         self.live_seq.1 += 1;
-        let record = SealedRecord::seal(self.cfg.id, chunk, seq, point, &self.keys.tree, &mut self.rng)
-            .map_err(|e| ClientFault::Chunk(e.to_string()))?;
-        match transport.call(&Request::InsertLive { record: record.to_bytes() })? {
+        let record = SealedRecord::seal(
+            self.cfg.id,
+            chunk,
+            seq,
+            point,
+            &self.keys.tree,
+            &mut self.rng,
+        )
+        .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+        match transport.call(&Request::InsertLive {
+            record: record.to_bytes(),
+        })? {
             Response::Ok => self.records_sent += 1,
             _ => return Err(ClientFault::Protocol("Ok")),
         }
@@ -143,17 +155,317 @@ impl Producer {
             .seal(&self.cfg, &self.keys, &mut self.rng)
             .map_err(|e| ClientFault::Chunk(e.to_string()))?;
         let bytes = sealed.to_bytes();
-        match transport.call(&Request::Insert { chunk: bytes.clone() })? {
+        match transport.call(&Request::Insert {
+            chunk: bytes.clone(),
+        })? {
             Response::Ok => {
                 self.chunks_sent += 1;
                 if let Some((_, ledger)) = &mut self.attester {
                     ledger
-                        .append(timecrypt_integrity::chunk_commitment(&bytes), sealed.digest_ct)
+                        .append(
+                            timecrypt_integrity::chunk_commitment(&bytes),
+                            sealed.digest_ct,
+                        )
                         .map_err(|e| ClientFault::Chunk(e.to_string()))?;
                 }
                 Ok(())
             }
             _ => Err(ClientFault::Protocol("Ok")),
         }
+    }
+}
+
+/// A batch-aware producer: seals chunks like [`Producer`] but buffers the
+/// sealed bytes and ships them `batch_size` at a time with one
+/// `InsertBatch` round trip — the client side of the service tier's batched
+/// ingest pipeline. Within a batch the chunks stay in seal order, so the
+/// server's per-stream ordering check is preserved.
+pub struct BatchingProducer {
+    cfg: StreamConfig,
+    keys: StreamKeyMaterial,
+    builder: ChunkBuilder,
+    rng: SecureRandom,
+    batch: Vec<Vec<u8>>,
+    batch_size: usize,
+    chunks_sent: u64,
+    batches_sent: u64,
+}
+
+impl BatchingProducer {
+    /// Creates a batching producer shipping `batch_size` chunks per round
+    /// trip (`batch_size` ≥ 1).
+    pub fn new(
+        cfg: StreamConfig,
+        keys: StreamKeyMaterial,
+        rng: SecureRandom,
+        batch_size: usize,
+    ) -> Self {
+        assert!(batch_size >= 1, "batch size must be at least 1");
+        let builder = ChunkBuilder::new(cfg.clone());
+        BatchingProducer {
+            cfg,
+            keys,
+            builder,
+            rng,
+            batch: Vec::with_capacity(batch_size),
+            batch_size,
+            chunks_sent: 0,
+            batches_sent: 0,
+        }
+    }
+
+    /// Chunks acknowledged by the server so far.
+    pub fn chunks_sent(&self) -> u64 {
+        self.chunks_sent
+    }
+
+    /// Batches shipped so far.
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent
+    }
+
+    /// Feeds one point; seals any completed chunks into the pending batch
+    /// and ships the batch once it reaches `batch_size`.
+    ///
+    /// The point is consumed by the chunk builder *before* any shipping
+    /// happens, so an `Err` here refers to shipping previously completed
+    /// chunks — recover with [`flush`](Self::flush) once the fault clears;
+    /// re-pushing the same point would duplicate it.
+    pub fn push<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        point: DataPoint,
+    ) -> Result<(), ClientFault> {
+        let done = self
+            .builder
+            .push(point)
+            .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+        // Seal *everything* the builder completed (a point that skips chunk
+        // windows completes several chunks at once) before any shipping, so
+        // a ship failure can never drop a sealed-but-unsent chunk.
+        for chunk in done {
+            let sealed = chunk
+                .seal(&self.cfg, &self.keys, &mut self.rng)
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            self.batch.push(sealed.to_bytes());
+        }
+        while self.batch.len() >= self.batch_size {
+            self.ship(transport, self.batch_size)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the in-progress chunk and ships everything still buffered.
+    pub fn flush<T: Transport>(&mut self, transport: &mut T) -> Result<(), ClientFault> {
+        if let Some(chunk) = self.builder.flush() {
+            let sealed = chunk
+                .seal(&self.cfg, &self.keys, &mut self.rng)
+                .map_err(|e| ClientFault::Chunk(e.to_string()))?;
+            self.batch.push(sealed.to_bytes());
+        }
+        while !self.batch.is_empty() {
+            let window = self.batch.len().min(self.batch_size);
+            self.ship(transport, window)?;
+        }
+        Ok(())
+    }
+
+    /// Ships the first `window` queued chunks (one wire frame — the window
+    /// keeps a buffer grown during an outage under the transport's frame
+    /// cap). On failure the unacknowledged sealed chunks return to the
+    /// *front* of `self.batch` in order, so the caller can retry with
+    /// another [`flush`](Self::flush) once the fault clears — the
+    /// producer's chunk-index stream never desynchronizes from the server.
+    fn ship<T: Transport>(&mut self, transport: &mut T, window: usize) -> Result<(), ClientFault> {
+        debug_assert!(window >= 1 && window <= self.batch.len());
+        let req = Request::InsertBatch {
+            chunks: self.batch.drain(..window).collect(),
+        };
+        let reply = transport.call(&req);
+        let Request::InsertBatch { chunks } = req else {
+            unreachable!("constructed above")
+        };
+        let sent = chunks.len() as u64;
+        let requeue_front = |batch: &mut Vec<Vec<u8>>, chunks: Vec<Vec<u8>>| {
+            batch.splice(..0, chunks);
+        };
+        match reply {
+            Err(e) => {
+                // Transport fault: nothing acknowledged; retry everything.
+                requeue_front(&mut self.batch, chunks);
+                Err(e)
+            }
+            Ok(Response::Batch { errors }) => {
+                // The error list is server-controlled: a well-formed reply
+                // has at most one entry per chunk, each within the batch.
+                if errors.len() as u64 > sent || errors.iter().any(|&(idx, _)| idx as u64 >= sent) {
+                    requeue_front(&mut self.batch, chunks);
+                    return Err(ClientFault::Protocol("Batch within bounds"));
+                }
+                self.batches_sent += 1;
+                self.chunks_sent += sent - errors.len() as u64;
+                if errors.is_empty() {
+                    return Ok(());
+                }
+                // Re-queue every rejected chunk, preserving order, so a
+                // later flush retries exactly what the server refused.
+                let rejected: std::collections::BTreeSet<u32> =
+                    errors.iter().map(|&(idx, _)| idx).collect();
+                requeue_front(
+                    &mut self.batch,
+                    chunks
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(i, _)| rejected.contains(&(*i as u32)))
+                        .map(|(_, c)| c)
+                        .collect(),
+                );
+                let (idx, msg) = errors.into_iter().next().expect("non-empty errors");
+                Err(ClientFault::Chunk(format!(
+                    "batch chunk {idx} rejected: {msg}"
+                )))
+            }
+            Ok(_) => {
+                requeue_front(&mut self.batch, chunks);
+                Err(ClientFault::Protocol("Batch"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use timecrypt_wire::messages::Response;
+
+    fn producer(batch_size: usize) -> BatchingProducer {
+        let cfg = StreamConfig::new(1, "m", 0, 10_000);
+        let keys = timecrypt_core::StreamKeyMaterial::with_params(
+            1,
+            [5u8; 16],
+            20,
+            timecrypt_crypto::PrgKind::Aes,
+        )
+        .unwrap();
+        BatchingProducer::new(
+            cfg,
+            keys,
+            timecrypt_crypto::SecureRandom::from_seed_insecure(2),
+            batch_size,
+        )
+    }
+
+    /// 1 Hz points over Δ=10 s: every 10th point completes a chunk.
+    fn feed<T: crate::transport::Transport>(
+        p: &mut BatchingProducer,
+        t: &mut T,
+        points: std::ops::Range<i64>,
+    ) -> Result<(), ClientFault> {
+        for i in points {
+            p.push(t, DataPoint::new(i * 1000, i))?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn rejected_chunks_are_requeued_for_retry() {
+        // Rejects every chunk of the first batch, accepts afterwards.
+        let calls = Arc::new(AtomicU64::new(0));
+        let calls2 = calls.clone();
+        let handler = move |req: Request| match req {
+            Request::InsertBatch { chunks } => {
+                if calls2.fetch_add(1, Ordering::Relaxed) == 0 {
+                    Response::Batch {
+                        errors: (0..chunks.len() as u32)
+                            .map(|i| (i, "down".into()))
+                            .collect(),
+                    }
+                } else {
+                    Response::Batch { errors: vec![] }
+                }
+            }
+            _ => Response::Ok,
+        };
+        let mut t = InProc::new(Arc::new(handler));
+        let mut p = producer(2);
+        // 20 points fill chunks 0 and 1; the flush-triggered ship fails and
+        // the sealed chunks stay queued.
+        feed(&mut p, &mut t, 0..20).unwrap();
+        let err = p.flush(&mut t).unwrap_err();
+        assert!(matches!(err, ClientFault::Chunk(_)), "{err:?}");
+        assert_eq!(p.chunks_sent(), 0);
+        // Retry without sealing anything new: the queued chunks go through.
+        p.flush(&mut t).unwrap();
+        assert_eq!(p.chunks_sent(), 2);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    /// A transport that fails its first `InsertBatch`, then delegates to a
+    /// real handler.
+    struct FailOnce<T> {
+        inner: T,
+        failed: bool,
+    }
+
+    impl<T: crate::transport::Transport> crate::transport::Transport for FailOnce<T> {
+        fn call(&mut self, req: &Request) -> Result<Response, ClientFault> {
+            if !self.failed && matches!(req, Request::InsertBatch { .. }) {
+                self.failed = true;
+                return Err(ClientFault::Transport("injected fault".into()));
+            }
+            self.inner.call(req)
+        }
+    }
+
+    #[test]
+    fn gap_filling_chunks_survive_a_ship_failure() {
+        let server = std::sync::Arc::new(
+            timecrypt_server::TimeCryptServer::open(
+                Arc::new(timecrypt_store::MemKv::new()),
+                timecrypt_server::ServerConfig::default(),
+            )
+            .unwrap(),
+        );
+        let width = StreamConfig::new(1, "m", 0, 10_000).schema.width() as u32;
+        server.create_stream(1, 0, 10_000, width).unwrap();
+        let mut t = FailOnce {
+            inner: InProc::new(server.clone()),
+            failed: false,
+        };
+        let mut p = producer(1);
+        p.push(&mut t, DataPoint::new(0, 7)).unwrap();
+        // Skipping to chunk 3's window completes chunks 0, 1, 2 at once;
+        // the first (failing) ship must not lose the gap-fill chunks.
+        let err = p.push(&mut t, DataPoint::new(35_000, 8)).unwrap_err();
+        assert!(matches!(err, ClientFault::Transport(_)), "{err:?}");
+        assert_eq!(p.chunks_sent(), 0);
+        // Fault cleared: everything queued lands, in index order.
+        p.flush(&mut t).unwrap();
+        assert_eq!(p.chunks_sent(), 4, "chunks 0..=2 plus the flushed tail");
+        assert_eq!(server.stream_info(1).unwrap().len, 4);
+    }
+
+    #[test]
+    fn out_of_bounds_error_list_is_a_protocol_fault() {
+        let handler = |req: Request| match req {
+            Request::InsertBatch { .. } => Response::Batch {
+                errors: vec![(0, "a".into()), (7, "out of range".into())],
+            },
+            _ => Response::Ok,
+        };
+        let mut t = InProc::new(Arc::new(handler));
+        let mut p = producer(1);
+        // Point 10 completes chunk 0 and triggers the one-chunk ship.
+        let err = feed(&mut p, &mut t, 0..11).unwrap_err();
+        assert!(
+            matches!(err, ClientFault::Protocol("Batch within bounds")),
+            "{err:?}"
+        );
+        assert_eq!(p.chunks_sent(), 0, "no accounting from a malformed reply");
+        // The sealed chunk is still queued for retry.
+        assert_eq!(p.batch.len(), 1);
     }
 }

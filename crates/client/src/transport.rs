@@ -55,24 +55,29 @@ impl Transport for timecrypt_wire::Client {
     }
 }
 
-/// In-process transport: calls the server engine directly (no sockets, no
+/// In-process transport over the single server engine (no sockets, no
 /// serialization of the frame layer — message encode/decode still happens,
 /// mirroring the paper's co-located microbenchmarks).
+pub type InProcess = InProc<TimeCryptServer>;
+
+/// In-process transport over *any* request handler — the single engine, the
+/// sharded `timecrypt-service` tier, or a test double. This is how clients
+/// talk to a co-located sharded service without a socket in between.
 #[derive(Clone)]
-pub struct InProcess {
-    server: Arc<TimeCryptServer>,
+pub struct InProc<H: ?Sized> {
+    handler: Arc<H>,
 }
 
-impl InProcess {
-    /// Wraps a server handle.
-    pub fn new(server: Arc<TimeCryptServer>) -> Self {
-        InProcess { server }
+impl<H: Handler + ?Sized> InProc<H> {
+    /// Wraps a handler handle.
+    pub fn new(handler: Arc<H>) -> Self {
+        InProc { handler }
     }
 }
 
-impl Transport for InProcess {
+impl<H: Handler + ?Sized> Transport for InProc<H> {
     fn call(&mut self, req: &Request) -> Result<Response, ClientFault> {
-        match self.server.handle(req.clone()) {
+        match self.handler.handle(req.clone()) {
             Response::Error(e) => Err(ClientFault::Transport(e)),
             other => Ok(other),
         }

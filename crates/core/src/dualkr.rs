@@ -98,7 +98,7 @@ impl DualKeyRegression {
         while idx > 0 {
             s = step(&s);
             idx -= 1;
-            if idx % stride == 0 {
+            if idx.is_multiple_of(stride) {
                 primary_cp.push(s);
             }
         }
@@ -112,7 +112,12 @@ impl DualKeyRegression {
                 secondary_cp.push(s);
             }
         }
-        Ok(DualKeyRegression { n, stride, primary_cp, secondary_cp })
+        Ok(DualKeyRegression {
+            n,
+            stride,
+            primary_cp,
+            secondary_cp,
+        })
     }
 
     /// Highest key index.
@@ -123,7 +128,11 @@ impl DualKeyRegression {
     /// Primary-chain state at `i` (≤ √n hashes from the nearest checkpoint).
     fn primary_state(&self, i: u64) -> Result<State, CoreError> {
         if i > self.n {
-            return Err(CoreError::KrOutOfBounds { index: i, lo: 0, hi: self.n });
+            return Err(CoreError::KrOutOfBounds {
+                index: i,
+                lo: 0,
+                hi: self.n,
+            });
         }
         // Checkpoints sit at indices n, then multiples of stride going down:
         // primary_cp[0] = n, and for cp index c>0, position = the largest
@@ -157,7 +166,11 @@ impl DualKeyRegression {
     /// Secondary-chain state at `i` (≤ √n hashes).
     fn secondary_state(&self, i: u64) -> Result<State, CoreError> {
         if i > self.n {
-            return Err(CoreError::KrOutOfBounds { index: i, lo: 0, hi: self.n });
+            return Err(CoreError::KrOutOfBounds {
+                index: i,
+                lo: 0,
+                hi: self.n,
+            });
         }
         let cp_pos = (i / self.stride) * self.stride;
         let slot = (i / self.stride) as usize;
@@ -170,17 +183,30 @@ impl DualKeyRegression {
 
     /// The owner can derive any key directly.
     pub fn key(&self, i: u64) -> Result<[u8; 16], CoreError> {
-        Ok(derive_key(&self.primary_state(i)?, &self.secondary_state(i)?))
+        Ok(derive_key(
+            &self.primary_state(i)?,
+            &self.secondary_state(i)?,
+        ))
     }
 
     /// Produces the share token for the inclusive interval `[lo, hi]`.
     pub fn share(&self, lo: u64, hi: u64) -> Result<KrToken, CoreError> {
         if lo > hi || hi > self.n {
-            return Err(CoreError::KrOutOfBounds { index: hi, lo: 0, hi: self.n });
+            return Err(CoreError::KrOutOfBounds {
+                index: hi,
+                lo: 0,
+                hi: self.n,
+            });
         }
         Ok(KrToken {
-            upper: KrState { index: hi, state: self.primary_state(hi)? },
-            lower: KrState { index: lo, state: self.secondary_state(lo)? },
+            upper: KrState {
+                index: hi,
+                state: self.primary_state(hi)?,
+            },
+            lower: KrState {
+                index: lo,
+                state: self.secondary_state(lo)?,
+            },
         })
     }
 }
@@ -205,7 +231,9 @@ impl KrConsumer {
     /// grants, Table 1's `GrantOpenAccess`). Rejects regressions.
     pub fn extend(&mut self, newer_upper: KrState) -> Result<(), CoreError> {
         if newer_upper.index < self.token.upper.index {
-            return Err(CoreError::InvalidParams("extension must move the upper bound forward"));
+            return Err(CoreError::InvalidParams(
+                "extension must move the upper bound forward",
+            ));
         }
         self.token.upper = newer_upper;
         Ok(())
@@ -235,7 +263,11 @@ impl KrConsumer {
     pub fn keys_range(&self, a: u64, b: u64) -> Result<Vec<[u8; 16]>, CoreError> {
         let (lo, hi) = self.interval();
         if a < lo || b > hi || a > b {
-            return Err(CoreError::KrOutOfBounds { index: if a < lo { a } else { b }, lo, hi });
+            return Err(CoreError::KrOutOfBounds {
+                index: if a < lo { a } else { b },
+                lo,
+                hi,
+            });
         }
         // Primary states for b down to a: walk from `upper` once, recording.
         let count = (b - a + 1) as usize;

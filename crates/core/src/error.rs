@@ -44,7 +44,10 @@ impl std::fmt::Display for CoreError {
                 "chunk index {index} is not aligned to granted resolution {resolution}"
             ),
             CoreError::KrOutOfBounds { index, lo, hi } => {
-                write!(f, "key-regression index {index} outside shared interval [{lo}, {hi}]")
+                write!(
+                    f,
+                    "key-regression index {index} outside shared interval [{lo}, {hi}]"
+                )
             }
             CoreError::EnvelopeCorrupt => write!(f, "resolution envelope failed authentication"),
             CoreError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),

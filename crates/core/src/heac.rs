@@ -40,7 +40,9 @@ pub struct ElementKeys {
 impl ElementKeys {
     /// Builds the per-chunk PRF from the chunk's tree leaf.
     pub fn new(leaf: &Seed128) -> Self {
-        ElementKeys { cipher: Aes128::new(leaf) }
+        ElementKeys {
+            cipher: Aes128::new(leaf),
+        }
     }
 
     /// The 64-bit one-time key for digest element `j` of this chunk.
@@ -92,7 +94,10 @@ pub struct HeacEncryptor<'a> {
 impl<'a> HeacEncryptor<'a> {
     /// Creates an encryptor over the stream's key-derivation tree.
     pub fn new(tree: &'a TreeKd) -> Self {
-        HeacEncryptor { tree, leaf_cache: std::cell::RefCell::new(None) }
+        HeacEncryptor {
+            tree,
+            leaf_cache: std::cell::RefCell::new(None),
+        }
     }
 
     fn leaf_cached(&self, i: u64) -> Result<Seed128, CoreError> {
@@ -206,8 +211,9 @@ mod tests {
     fn subrange_aggregation() {
         let t = tree();
         let enc = HeacEncryptor::new(&t);
-        let cts: Vec<Vec<u64>> =
-            (0..20u64).map(|i| enc.encrypt_digest(i, &[i + 1]).unwrap()).collect();
+        let cts: Vec<Vec<u64>> = (0..20u64)
+            .map(|i| enc.encrypt_digest(i, &[i + 1]).unwrap())
+            .collect();
         // Sum chunks [5, 12).
         let mut agg = vec![0u64];
         for ct in &cts[5..12] {

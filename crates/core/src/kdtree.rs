@@ -95,7 +95,9 @@ impl TreeKd {
             return Err(CoreError::InvalidParams("node depth exceeds tree height"));
         }
         if label.depth < 64 && label.index >> label.depth != 0 && label.depth > 0 {
-            return Err(CoreError::InvalidParams("node index out of range for depth"));
+            return Err(CoreError::InvalidParams(
+                "node index out of range for depth",
+            ));
         }
         let mut v = self.root;
         // Walk the bits of `index` from most-significant (top of tree) down.
@@ -111,7 +113,10 @@ impl TreeKd {
         if i >= self.num_leaves() {
             return Err(CoreError::OutOfScope { index: i });
         }
-        self.node(NodeLabel { depth: self.height, index: i })
+        self.node(NodeLabel {
+            depth: self.height,
+            index: i,
+        })
     }
 
     /// Computes the canonical minimal cover of the (inclusive) leaf range
@@ -130,7 +135,10 @@ impl TreeKd {
         labels
             .into_iter()
             .map(|label| {
-                Ok(AccessToken { label, node: self.node(label)? })
+                Ok(AccessToken {
+                    label,
+                    node: self.node(label)?,
+                })
             })
             .collect()
     }
@@ -144,7 +152,10 @@ impl TreeKd {
     /// fully-trusted principal). This is a single token: the root.
     pub fn full_token_set(&self) -> TokenSet {
         TokenSet::new(
-            vec![AccessToken { label: NodeLabel { depth: 0, index: 0 }, node: self.root }],
+            vec![AccessToken {
+                label: NodeLabel { depth: 0, index: 0 },
+                node: self.root,
+            }],
             self.height,
             self.prg,
         )
@@ -199,12 +210,20 @@ impl TokenSet {
     /// Builds a token set. Tokens are sorted internally by start leaf.
     pub fn new(mut tokens: Vec<AccessToken>, height: u8, prg: PrgKind) -> Self {
         tokens.sort_by_key(|t| t.label.leaf_range(height).start);
-        TokenSet { tokens, height, prg }
+        TokenSet {
+            tokens,
+            height,
+            prg,
+        }
     }
 
     /// An empty set (no access at all).
     pub fn empty(height: u8, prg: PrgKind) -> Self {
-        TokenSet { tokens: Vec::new(), height, prg }
+        TokenSet {
+            tokens: Vec::new(),
+            height,
+            prg,
+        }
     }
 
     /// Tree height these tokens belong to.
@@ -226,7 +245,8 @@ impl TokenSet {
     /// is extended, §4.6 / Table 1 `GrantOpenAccess`).
     pub fn extend(&mut self, more: Vec<AccessToken>) {
         self.tokens.extend(more);
-        self.tokens.sort_by_key(|t| t.label.leaf_range(self.height).start);
+        self.tokens
+            .sort_by_key(|t| t.label.leaf_range(self.height).start);
     }
 
     /// True if every leaf in `[lo, hi]` (inclusive) is derivable.
@@ -369,7 +389,11 @@ mod tests {
             assert_eq!(ts.leaf(i).unwrap(), t.leaf(i).unwrap(), "leaf {i}");
         }
         for i in [0u64, 9, 21, 100, 255] {
-            assert_eq!(ts.leaf(i), Err(CoreError::OutOfScope { index: i }), "leaf {i}");
+            assert_eq!(
+                ts.leaf(i),
+                Err(CoreError::OutOfScope { index: i }),
+                "leaf {i}"
+            );
         }
     }
 
@@ -382,7 +406,9 @@ mod tests {
         assert!(!ts.covers(9, 20));
         assert!(!ts.covers(10, 21));
         assert!(!ts.covers(0, 255));
-        assert!(TokenSet::empty(8, PrgKind::Sha256).covers(5, 4) == false || true);
+        // Degenerate (inverted) window on an empty set: any verdict is fine,
+        // it just must not panic.
+        let _ = TokenSet::empty(8, PrgKind::Sha256).covers(5, 4);
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl StreamKeyMaterial {
         height: u8,
         prg: PrgKind,
     ) -> Result<Self, CoreError> {
-        Ok(StreamKeyMaterial { stream_id, tree: TreeKd::new(root, height, prg)? })
+        Ok(StreamKeyMaterial {
+            stream_id,
+            tree: TreeKd::new(root, height, prg)?,
+        })
     }
 
     /// The AES-GCM payload key for chunk `i`.

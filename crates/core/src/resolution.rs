@@ -54,7 +54,9 @@ impl ResolutionOwner {
         max_envelopes: u64,
     ) -> Result<Self, CoreError> {
         if resolution < 2 {
-            return Err(CoreError::InvalidParams("resolution must aggregate >= 2 chunks"));
+            return Err(CoreError::InvalidParams(
+                "resolution must aggregate >= 2 chunks",
+            ));
         }
         Ok(ResolutionOwner {
             resolution,
@@ -106,7 +108,9 @@ impl ResolutionOwner {
         let lo = chunk_lo.div_ceil(self.resolution);
         let hi = chunk_hi / self.resolution;
         if lo > hi {
-            return Err(CoreError::InvalidParams("chunk range contains no aligned boundary"));
+            return Err(CoreError::InvalidParams(
+                "chunk range contains no aligned boundary",
+            ));
         }
         self.kr.share(lo, hi)
     }
@@ -128,7 +132,11 @@ pub struct ResolutionConsumer {
 impl ResolutionConsumer {
     /// Wraps a received token for a given granularity.
     pub fn new(resolution: u64, token: KrToken) -> Self {
-        ResolutionConsumer { resolution, kr: KrConsumer::new(token), leaves: BTreeMap::new() }
+        ResolutionConsumer {
+            resolution,
+            kr: KrConsumer::new(token),
+            leaves: BTreeMap::new(),
+        }
     }
 
     /// Granularity in chunks.
@@ -184,8 +192,11 @@ impl ResolutionConsumer {
 
 impl KeySource for ResolutionConsumer {
     fn leaf(&self, chunk: u64) -> Result<Seed128, CoreError> {
-        if chunk % self.resolution != 0 {
-            return Err(CoreError::UnalignedResolution { resolution: self.resolution, index: chunk });
+        if !chunk.is_multiple_of(self.resolution) {
+            return Err(CoreError::UnalignedResolution {
+                resolution: self.resolution,
+                index: chunk,
+            });
         }
         let m = chunk / self.resolution;
         self.leaves
@@ -237,7 +248,10 @@ mod tests {
         let (tree, owner) = setup();
         let env = owner.seal(&tree, 50).unwrap();
         let mut consumer = ResolutionConsumer::new(6, owner.share(0, 10).unwrap());
-        assert!(matches!(consumer.ingest(&env), Err(CoreError::KrOutOfBounds { .. })));
+        assert!(matches!(
+            consumer.ingest(&env),
+            Err(CoreError::KrOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -247,7 +261,10 @@ mod tests {
         consumer.ingest(&owner.seal(&tree, 0).unwrap()).unwrap();
         assert!(matches!(
             consumer.leaf(3),
-            Err(CoreError::UnalignedResolution { resolution: 6, index: 3 })
+            Err(CoreError::UnalignedResolution {
+                resolution: 6,
+                index: 3
+            })
         ));
     }
 
@@ -258,10 +275,15 @@ mod tests {
         let enc = HeacEncryptor::new(&tree);
         // 18 chunks, each with digest [sum].
         let values: Vec<u64> = (0..18u64).map(|i| 10 + i).collect();
-        let cts: Vec<Vec<u64>> =
-            values.iter().enumerate().map(|(i, &v)| enc.encrypt_digest(i as u64, &[v]).unwrap()).collect();
+        let cts: Vec<Vec<u64>> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| enc.encrypt_digest(i as u64, &[v]).unwrap())
+            .collect();
         let mut consumer = ResolutionConsumer::new(6, owner.share(0, 3).unwrap());
-        consumer.ingest_all(&owner.seal_up_to(&tree, 18).unwrap()).unwrap();
+        consumer
+            .ingest_all(&owner.seal_up_to(&tree, 18).unwrap())
+            .unwrap();
         // Aligned 6-fold windows decrypt.
         for start in [0u64, 6] {
             let mut agg = vec![0u64];
@@ -269,7 +291,12 @@ mod tests {
                 add_assign(&mut agg, ct);
             }
             let dec = decrypt_range_sum(&consumer, start, start + 6, &agg).unwrap();
-            assert_eq!(dec[0], values[start as usize..(start + 6) as usize].iter().sum::<u64>());
+            assert_eq!(
+                dec[0],
+                values[start as usize..(start + 6) as usize]
+                    .iter()
+                    .sum::<u64>()
+            );
         }
         // 12-fold (lower resolution) also decrypts: boundaries still aligned.
         let mut agg = vec![0u64];

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use timecrypt_core::heac::{add_assign, decrypt_range_sum, HeacEncryptor};
-use timecrypt_core::{TreeKd, CoreError};
+use timecrypt_core::{CoreError, TreeKd};
 use timecrypt_crypto::PrgKind;
 
 fn tree(seed: u8, h: u8) -> TreeKd {

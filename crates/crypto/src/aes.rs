@@ -58,12 +58,8 @@ const fn make_sbox() -> [u8; 256] {
     while x < 256 {
         let b = gf_inv(x as u8);
         // Affine transformation: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
-        sbox[x] = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        sbox[x] =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
         x += 1;
     }
     sbox
@@ -112,14 +108,22 @@ impl Aes128 {
         {
             let use_aesni = !force_software && std::arch::is_x86_feature_detected!("aes");
             // SAFETY: feature detected above.
-            let round_keys =
-                if use_aesni { unsafe { aesni::expand_key(key) } } else { expand_key(key) };
-            Aes128 { round_keys, use_aesni }
+            let round_keys = if use_aesni {
+                unsafe { aesni::expand_key(key) }
+            } else {
+                expand_key(key)
+            };
+            Aes128 {
+                round_keys,
+                use_aesni,
+            }
         }
         #[cfg(not(target_arch = "x86_64"))]
         {
             let _ = force_software;
-            Aes128 { round_keys: expand_key(key) }
+            Aes128 {
+                round_keys: expand_key(key),
+            }
         }
     }
 
@@ -244,11 +248,11 @@ fn mix_columns(state: &mut [u8; 16]) {
 /// Portable AES-128 encryption of one block.
 fn soft_encrypt_block(rk: &[[u8; 16]; 11], block: &mut [u8; 16]) {
     add_round_key(block, &rk[0]);
-    for round in 1..10 {
+    for round_key in &rk[1..10] {
         sub_bytes(block);
         shift_rows(block);
         mix_columns(block);
-        add_round_key(block, &rk[round]);
+        add_round_key(block, round_key);
     }
     sub_bytes(block);
     shift_rows(block);
@@ -374,8 +378,8 @@ mod tests {
         assert_eq!(
             rk[10],
             [
-                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6,
-                0x63, 0x0c, 0xa6
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63,
+                0x0c, 0xa6
             ]
         );
     }

@@ -178,7 +178,9 @@ mod tests {
 
     #[test]
     fn nist_test_case_3_four_blocks() {
-        let key: [u8; 16] = from_hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let key: [u8; 16] = from_hex("feffe9928665731c6d6a8f9467308308")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
         let pt = from_hex(
             "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
@@ -198,7 +200,9 @@ mod tests {
 
     #[test]
     fn nist_test_case_4_with_aad() {
-        let key: [u8; 16] = from_hex("feffe9928665731c6d6a8f9467308308").try_into().unwrap();
+        let key: [u8; 16] = from_hex("feffe9928665731c6d6a8f9467308308")
+            .try_into()
+            .unwrap();
         let nonce: [u8; 12] = from_hex("cafebabefacedbaddecaf888").try_into().unwrap();
         let pt = from_hex(
             "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
@@ -218,7 +222,10 @@ mod tests {
         let nonce = [1u8; 12];
         let mut sealed = gcm.seal(&nonce, b"aad", b"some payload");
         sealed[3] ^= 0x01;
-        assert_eq!(gcm.open(&nonce, b"aad", &sealed), Err(GcmError::TagMismatch));
+        assert_eq!(
+            gcm.open(&nonce, b"aad", &sealed),
+            Err(GcmError::TagMismatch)
+        );
     }
 
     #[test]
@@ -226,7 +233,10 @@ mod tests {
         let gcm = AesGcm128::new(&[9u8; 16]);
         let nonce = [1u8; 12];
         let sealed = gcm.seal(&nonce, b"aad", b"some payload");
-        assert_eq!(gcm.open(&nonce, b"oad", &sealed), Err(GcmError::TagMismatch));
+        assert_eq!(
+            gcm.open(&nonce, b"oad", &sealed),
+            Err(GcmError::TagMismatch)
+        );
     }
 
     #[test]
@@ -241,7 +251,10 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let gcm = AesGcm128::new(&[9u8; 16]);
-        assert_eq!(gcm.open(&[0u8; 12], &[], &[1, 2, 3]), Err(GcmError::TooShort));
+        assert_eq!(
+            gcm.open(&[0u8; 12], &[], &[1, 2, 3]),
+            Err(GcmError::TooShort)
+        );
     }
 
     #[test]

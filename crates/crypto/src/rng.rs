@@ -17,13 +17,17 @@ pub struct SecureRandom {
 impl SecureRandom {
     /// Creates an RNG seeded from OS entropy.
     pub fn from_entropy() -> Self {
-        SecureRandom { rng: StdRng::from_entropy() }
+        SecureRandom {
+            rng: StdRng::from_entropy(),
+        }
     }
 
     /// Creates a deterministic RNG for reproducible tests and benchmarks.
     /// Never use this for real key material.
     pub fn from_seed_insecure(seed: u64) -> Self {
-        SecureRandom { rng: StdRng::seed_from_u64(seed) }
+        SecureRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Fills `buf` with random bytes.

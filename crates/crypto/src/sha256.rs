@@ -49,7 +49,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -228,7 +233,9 @@ mod tests {
     #[test]
     fn two_block_vector() {
         assert_eq!(
-            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
         );
     }
@@ -285,7 +292,10 @@ mod tests {
         // RFC 4231 test case 6: 131-byte key (must be hashed first).
         let key = [0xaau8; 131];
         assert_eq!(
-            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

@@ -99,7 +99,14 @@ impl<K: Eq + Hash + Clone + Ord, V> LruCache<K, V> {
         }
         self.used += weight;
         self.order.insert(self.tick, key.clone());
-        self.map.insert(key, Entry { value, weight, tick: self.tick });
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                weight,
+                tick: self.tick,
+            },
+        );
     }
 
     /// Removes `key` if present.

@@ -65,7 +65,9 @@ impl HomDigest for Vec<u64> {
         }
         let mut v = Vec::with_capacity(n);
         for i in 0..n {
-            v.push(u64::from_le_bytes(buf[4 + i * 8..12 + i * 8].try_into().unwrap()));
+            v.push(u64::from_le_bytes(
+                buf[4 + i * 8..12 + i * 8].try_into().unwrap(),
+            ));
         }
         Some((v, total))
     }

@@ -27,7 +27,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { arity: 64, cache_bytes: 256 * 1024 * 1024 }
+        TreeConfig {
+            arity: 64,
+            cache_bytes: 256 * 1024 * 1024,
+        }
     }
 }
 
@@ -72,7 +75,8 @@ struct Node<D> {
 
 impl<D: HomDigest> Node<D> {
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + self.entries.iter().map(|e| e.encoded_len()).sum::<usize>());
+        let mut out =
+            Vec::with_capacity(4 + self.entries.iter().map(|e| e.encoded_len()).sum::<usize>());
         out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
         for e in &self.entries {
             e.encode(&mut out);
@@ -137,7 +141,13 @@ impl<D: HomDigest> AggTree<D> {
             None => 0,
         };
         let cache = Mutex::new(LruCache::new(cfg.cache_bytes));
-        Ok(AggTree { kv, stream, cfg, len, cache })
+        Ok(AggTree {
+            kv,
+            stream,
+            cfg,
+            len,
+            cache,
+        })
     }
 
     /// Number of chunks ingested.
@@ -180,9 +190,9 @@ impl<D: HomDigest> AggTree<D> {
         loop {
             let node_index = child_index / k;
             let slot = (child_index % k) as usize;
-            let mut node = self
-                .load(level, node_index)?
-                .unwrap_or(Node { entries: Vec::new() });
+            let mut node = self.load(level, node_index)?.unwrap_or(Node {
+                entries: Vec::new(),
+            });
             if slot < node.entries.len() {
                 node.entries[slot].add_assign(&digest);
             } else {
@@ -206,7 +216,8 @@ impl<D: HomDigest> AggTree<D> {
             level += 1;
         }
         self.len = i + 1;
-        self.kv.put(&meta_key(self.stream), &self.len.to_le_bytes())?;
+        self.kv
+            .put(&meta_key(self.stream), &self.len.to_le_bytes())?;
         Ok(())
     }
 
@@ -214,7 +225,11 @@ impl<D: HomDigest> AggTree<D> {
     /// sum of their digests.
     pub fn query(&self, start: u64, end: u64) -> Result<D, IndexError> {
         if start >= end || end > self.len {
-            return Err(IndexError::BadRange { start, end, len: self.len });
+            return Err(IndexError::BadRange {
+                start,
+                end,
+                len: self.len,
+            });
         }
         let k = self.cfg.arity as u64;
         // Find the lowest level whose single node covers [start, end).
@@ -224,7 +239,11 @@ impl<D: HomDigest> AggTree<D> {
         }
         let mut acc: Option<D> = None;
         self.query_node(level, 0, start, end, &mut acc)?;
-        acc.ok_or(IndexError::BadRange { start, end, len: self.len })
+        acc.ok_or(IndexError::BadRange {
+            start,
+            end,
+            len: self.len,
+        })
     }
 
     /// Recursive combine: add fully-covered entries of `(level, index)`;
@@ -321,8 +340,7 @@ impl<D: HomDigest> AggTree<D> {
         }
         match self.kv.get(&node_key(self.stream, level, index))? {
             Some(bytes) => {
-                let node =
-                    Node::decode(&bytes).ok_or(IndexError::CorruptNode { level, index })?;
+                let node = Node::decode(&bytes).ok_or(IndexError::CorruptNode { level, index })?;
                 let w = node.weight();
                 self.cache.lock().put((level, index), node.clone(), w);
                 Ok(Some(node))
@@ -332,7 +350,8 @@ impl<D: HomDigest> AggTree<D> {
     }
 
     fn store(&self, level: u8, index: u64, node: Node<D>) -> Result<(), IndexError> {
-        self.kv.put(&node_key(self.stream, level, index), &node.encode())?;
+        self.kv
+            .put(&node_key(self.stream, level, index), &node.encode())?;
         let w = node.weight();
         self.cache.lock().put((level, index), node, w);
         Ok(())
@@ -373,7 +392,15 @@ mod tests {
 
     fn tree(arity: usize) -> AggTree<Vec<u64>> {
         let kv = Arc::new(MemKv::new());
-        AggTree::open(kv, 1, TreeConfig { arity, cache_bytes: 1 << 20 }).unwrap()
+        AggTree::open(
+            kv,
+            1,
+            TreeConfig {
+                arity,
+                cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap()
     }
 
     fn fill(t: &mut AggTree<Vec<u64>>, n: u64) {
@@ -411,7 +438,15 @@ mod tests {
     fn arity_64_matches_naive() {
         let mut t = tree(64);
         fill(&mut t, 1000);
-        for (a, b) in [(0u64, 1000u64), (0, 64), (63, 65), (64, 128), (1, 999), (500, 501), (0, 1)] {
+        for (a, b) in [
+            (0u64, 1000u64),
+            (0, 64),
+            (63, 65),
+            (64, 128),
+            (1, 999),
+            (500, 501),
+            (0, 1),
+        ] {
             assert_eq!(t.query(a, b).unwrap(), naive_sum(a, b), "[{a},{b})");
         }
     }
@@ -430,14 +465,28 @@ mod tests {
     fn reopen_recovers_length_and_data() {
         let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
         {
-            let mut t: AggTree<Vec<u64>> =
-                AggTree::open(kv.clone(), 9, TreeConfig { arity: 8, cache_bytes: 1 << 20 }).unwrap();
+            let mut t: AggTree<Vec<u64>> = AggTree::open(
+                kv.clone(),
+                9,
+                TreeConfig {
+                    arity: 8,
+                    cache_bytes: 1 << 20,
+                },
+            )
+            .unwrap();
             for i in 0..77u64 {
                 t.append(vec![i]).unwrap();
             }
         }
-        let t: AggTree<Vec<u64>> =
-            AggTree::open(kv, 9, TreeConfig { arity: 8, cache_bytes: 1 << 20 }).unwrap();
+        let t: AggTree<Vec<u64>> = AggTree::open(
+            kv,
+            9,
+            TreeConfig {
+                arity: 8,
+                cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
         assert_eq!(t.len(), 77);
         assert_eq!(t.query(0, 77).unwrap(), vec![(0..77).sum::<u64>()]);
         assert_eq!(t.query(10, 20).unwrap(), vec![(10..20).sum::<u64>()]);
@@ -461,8 +510,15 @@ mod tests {
         // A 200-byte cache can hold at most a node or two: every query
         // hammers the KV but answers stay exact (Fig. 7 small-cache shape).
         let kv = Arc::new(MemKv::new());
-        let mut t: AggTree<Vec<u64>> =
-            AggTree::open(kv, 3, TreeConfig { arity: 4, cache_bytes: 200 }).unwrap();
+        let mut t: AggTree<Vec<u64>> = AggTree::open(
+            kv,
+            3,
+            TreeConfig {
+                arity: 4,
+                cache_bytes: 200,
+            },
+        )
+        .unwrap();
         fill(&mut t, 200);
         for (a, b) in [(0u64, 200u64), (17, 113), (199, 200)] {
             assert_eq!(t.query(a, b).unwrap(), naive_sum(a, b));
@@ -505,7 +561,10 @@ mod tests {
         let mut t = tree(64);
         fill(&mut t, 500);
         let s = t.stats().unwrap();
-        assert!(s.stored_nodes >= 8, "500 chunks / 64-ary = 8 level-1 nodes + root");
+        assert!(
+            s.stored_nodes >= 8,
+            "500 chunks / 64-ary = 8 level-1 nodes + root"
+        );
         assert!(s.stored_bytes > 500 * 16, "leaf digests dominate");
     }
 

@@ -51,7 +51,10 @@ fn attest_message(stream: u128, size: u64, epoch: u64, root: &Hash) -> Vec<u8> {
 impl RootAttestation {
     /// Checks the owner signature.
     pub fn verify(&self, key: &VerifyingKey) -> bool {
-        key.verify(&attest_message(self.stream, self.size, self.epoch, &self.root), &self.sig)
+        key.verify(
+            &attest_message(self.stream, self.size, self.epoch, &self.root),
+            &self.sig,
+        )
     }
 
     /// Serializes to `stream || size || epoch || root || sig` (128 bytes).
@@ -75,7 +78,13 @@ impl RootAttestation {
         let epoch = u64::from_le_bytes(buf[24..32].try_into().ok()?);
         let root: Hash = buf[32..64].try_into().ok()?;
         let sig = Signature::decode(&buf[64..128])?;
-        Some(RootAttestation { stream, size, epoch, root, sig })
+        Some(RootAttestation {
+            stream,
+            size,
+            epoch,
+            root,
+            sig,
+        })
     }
 }
 
@@ -93,7 +102,11 @@ pub struct StreamLedger {
 impl StreamLedger {
     /// Empty ledger for `stream`.
     pub fn new(stream: u128) -> Self {
-        StreamLedger { stream, tree: SumTree::new(), next_epoch: 0 }
+        StreamLedger {
+            stream,
+            tree: SumTree::new(),
+            next_epoch: 0,
+        }
     }
 
     /// The stream this ledger covers.
@@ -113,7 +126,10 @@ impl StreamLedger {
 
     /// Appends chunk `commitment` with its HEAC digest ciphertext.
     pub fn append(&mut self, commitment: Hash, digest_sum: Vec<u64>) -> Result<(), SumTreeError> {
-        self.tree.push(SumLeaf { commitment, sum: digest_sum })
+        self.tree.push(SumLeaf {
+            commitment,
+            sum: digest_sum,
+        })
     }
 
     /// Current tree root.
@@ -128,7 +144,13 @@ impl StreamLedger {
         let size = self.tree.len() as u64;
         let root = self.tree.root();
         let sig = key.sign(&attest_message(self.stream, size, epoch, &root), rng);
-        RootAttestation { stream: self.stream, size, epoch, root, sig }
+        RootAttestation {
+            stream: self.stream,
+            size,
+            epoch,
+            root,
+            sig,
+        }
     }
 
     /// Server side: proof that chunks `[lo, hi)` sum to the returned
@@ -218,7 +240,9 @@ pub fn verify_attested_range_open(
     if proof.n as u64 != attestation.size {
         return Err(AttestError::SizeMismatch);
     }
-    proof.verify_open(&attestation.root).map_err(AttestError::Proof)
+    proof
+        .verify_open(&attestation.root)
+        .map_err(AttestError::Proof)
 }
 
 #[cfg(test)]
@@ -275,13 +299,17 @@ mod tests {
         let mut cheat = StreamLedger::new(9);
         for i in 0..10u64 {
             if i != 4 {
-                cheat.append(chunk_commitment(&i.to_le_bytes()), vec![i * 3, i, 1]).unwrap();
+                cheat
+                    .append(chunk_commitment(&i.to_le_bytes()), vec![i * 3, i, 1])
+                    .unwrap();
             }
         }
         // It cannot even produce a proof for the attested size (one short);
         // padding with a forged chunk still fails the root check.
         assert!(cheat.prove_range(0, 10, 10).is_err());
-        cheat.append(chunk_commitment(b"forged"), vec![0, 0, 1]).unwrap();
+        cheat
+            .append(chunk_commitment(b"forged"), vec![0, 0, 1])
+            .unwrap();
         let forged = cheat.prove_range(0, 10, 10).unwrap();
         assert!(matches!(
             verify_attested_range(9, &att, &key.verifying_key(), &forged),
@@ -296,7 +324,9 @@ mod tests {
         // Server appends two more chunks, then proves against the larger
         // tree — size binding must reject it.
         for i in 8u64..10 {
-            server.append(chunk_commitment(&i.to_le_bytes()), vec![i * 3, i, 1]).unwrap();
+            server
+                .append(chunk_commitment(&i.to_le_bytes()), vec![i * 3, i, 1])
+                .unwrap();
         }
         let proof = server.prove_range(0, 10, 10).unwrap();
         assert_eq!(

@@ -237,9 +237,9 @@ pub fn verify_inclusion(
         }
         if fn_ % 2 == 1 || fn_ == sn {
             r = node_hash(p, &r);
-            if fn_ % 2 == 0 {
+            if fn_.is_multiple_of(2) {
                 // Right-border node: climb until the next left turn.
-                while fn_ % 2 == 0 {
+                while fn_.is_multiple_of(2) {
                     if fn_ == 0 {
                         return Err(ProofError::WrongLength);
                     }
@@ -307,7 +307,7 @@ pub fn verify_consistency(
         if fn_ % 2 == 1 || fn_ == sn {
             fr = node_hash(c, &fr);
             sr = node_hash(c, &sr);
-            while fn_ % 2 == 0 {
+            while fn_.is_multiple_of(2) {
                 if fn_ == 0 {
                     return Err(ProofError::WrongLength);
                 }

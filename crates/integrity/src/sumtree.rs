@@ -87,8 +87,12 @@ pub struct SumTree {
     leaves: Vec<SumLeaf>,
     width: Option<usize>,
     /// `(base, size) → (hash, sum)` for aligned complete subtrees.
-    memo: RefCell<HashMap<(usize, usize), (Hash, Vec<u64>)>>,
+    memo: RefCell<SubtreeMemo>,
 }
+
+/// Memoized `(base, size) → (hash, sum)` summaries of aligned complete
+/// subtrees.
+type SubtreeMemo = HashMap<(usize, usize), (Hash, Vec<u64>)>;
 
 /// Errors from building or querying a [`SumTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,7 +158,7 @@ impl SumTree {
             1 => return (hash_leaf(&self.leaves[base]), self.leaves[base].sum.clone()),
             _ => {}
         }
-        let aligned = len.is_power_of_two() && base % len == 0;
+        let aligned = len.is_power_of_two() && base.is_multiple_of(len);
         if aligned {
             if let Some(v) = self.memo.borrow().get(&(base, len)) {
                 return v.clone();
@@ -172,7 +176,8 @@ impl SumTree {
 
     /// Current root.
     pub fn root(&self) -> Hash {
-        self.root_at(self.leaves.len()).expect("own size is in range")
+        self.root_at(self.leaves.len())
+            .expect("own size is in range")
     }
 
     /// Total digest sum over all leaves (element-wise, wrapping).
@@ -189,7 +194,12 @@ impl SumTree {
         if lo >= hi || hi > n || n > self.leaves.len() {
             return Err(SumTreeError::BadRange);
         }
-        Ok(RangeProof { n, lo, hi, root_node: self.build_proof(0, n, lo, hi, true, false) })
+        Ok(RangeProof {
+            n,
+            lo,
+            hi,
+            root_node: self.build_proof(0, n, lo, hi, true, false),
+        })
     }
 
     /// Like [`range_proof`](Self::range_proof) but every in-range leaf is
@@ -207,7 +217,12 @@ impl SumTree {
         if lo >= hi || hi > n || n > self.leaves.len() {
             return Err(SumTreeError::BadRange);
         }
-        Ok(RangeProof { n, lo, hi, root_node: self.build_proof(0, n, lo, hi, true, true) })
+        Ok(RangeProof {
+            n,
+            lo,
+            hi,
+            root_node: self.build_proof(0, n, lo, hi, true, true),
+        })
     }
 }
 
@@ -298,7 +313,11 @@ impl SumTree {
         }
         if (disjoint || (fully_in && !open)) && !expand_root {
             let (hash, sum) = self.node(base, len);
-            return ProofNode::Subtree { hash, sum, in_range: fully_in };
+            return ProofNode::Subtree {
+                hash,
+                sum,
+                in_range: fully_in,
+            };
         }
         let k = split_point(len);
         ProofNode::Node {
@@ -420,7 +439,12 @@ impl RangeProof {
         if pos != buf.len() {
             return None;
         }
-        Some(RangeProof { n, lo, hi, root_node })
+        Some(RangeProof {
+            n,
+            lo,
+            hi,
+            root_node,
+        })
     }
 }
 
@@ -459,13 +483,21 @@ fn decode_hash(buf: &[u8], pos: &mut usize) -> Option<Hash> {
 
 fn encode_node(node: &ProofNode, out: &mut Vec<u8>) {
     match node {
-        ProofNode::Subtree { hash, sum, in_range } => {
+        ProofNode::Subtree {
+            hash,
+            sum,
+            in_range,
+        } => {
             out.push(TAG_SUBTREE);
             out.extend_from_slice(hash);
             encode_sum(sum, out);
             out.push(u8::from(*in_range));
         }
-        ProofNode::Leaf { commitment, sum, in_range } => {
+        ProofNode::Leaf {
+            commitment,
+            sum,
+            in_range,
+        } => {
             out.push(TAG_LEAF);
             out.extend_from_slice(commitment);
             encode_sum(sum, out);
@@ -496,9 +528,17 @@ fn decode_node(buf: &[u8], pos: &mut usize, depth: usize) -> Option<ProofNode> {
             };
             *pos += 1;
             Some(if tag == TAG_SUBTREE {
-                ProofNode::Subtree { hash, sum, in_range }
+                ProofNode::Subtree {
+                    hash,
+                    sum,
+                    in_range,
+                }
             } else {
-                ProofNode::Leaf { commitment: hash, sum, in_range }
+                ProofNode::Leaf {
+                    commitment: hash,
+                    sum,
+                    in_range,
+                }
             })
         }
         TAG_NODE => {
@@ -522,21 +562,40 @@ fn verify_node(
     let disjoint = span_hi <= lo || hi <= span_lo;
     let span_len = span_hi - span_lo;
     match node {
-        ProofNode::Leaf { commitment, sum, in_range } => {
+        ProofNode::Leaf {
+            commitment,
+            sum,
+            in_range,
+        } => {
             if span_len != 1 || *in_range != fully_in {
                 return Err(VerifyError::MalformedProof);
             }
-            let leaf = SumLeaf { commitment: *commitment, sum: sum.clone() };
+            let leaf = SumLeaf {
+                commitment: *commitment,
+                sum: sum.clone(),
+            };
             let hash = hash_leaf(&leaf);
-            let range_sum = if fully_in { sum.clone() } else { vec![0u64; sum.len()] };
+            let range_sum = if fully_in {
+                sum.clone()
+            } else {
+                vec![0u64; sum.len()]
+            };
             if fully_in {
                 if let Some(out) = open.as_deref_mut() {
                     out.push(leaf);
                 }
             }
-            Ok(Verified { hash, sum: sum.clone(), range_sum })
+            Ok(Verified {
+                hash,
+                sum: sum.clone(),
+                range_sum,
+            })
         }
-        ProofNode::Subtree { hash, sum, in_range } => {
+        ProofNode::Subtree {
+            hash,
+            sum,
+            in_range,
+        } => {
             // Summaries are only legal for subtrees wholly inside or wholly
             // outside the range; a partial overlap must be expanded — and in
             // open mode, in-range subtrees must be expanded to leaves too.
@@ -546,8 +605,16 @@ fn verify_node(
             if fully_in && open.is_some() {
                 return Err(VerifyError::MalformedProof);
             }
-            let range_sum = if fully_in { sum.clone() } else { vec![0u64; sum.len()] };
-            Ok(Verified { hash: *hash, sum: sum.clone(), range_sum })
+            let range_sum = if fully_in {
+                sum.clone()
+            } else {
+                vec![0u64; sum.len()]
+            };
+            Ok(Verified {
+                hash: *hash,
+                sum: sum.clone(),
+                range_sum,
+            })
         }
         ProofNode::Node { left, right } => {
             if span_len < 2 {
@@ -600,7 +667,9 @@ mod tests {
         for lo in 0..19 {
             for hi in lo + 1..=19 {
                 let proof = t.range_proof(lo, hi, 19).unwrap();
-                let sum = proof.verify(&root).unwrap_or_else(|e| panic!("[{lo},{hi}): {e}"));
+                let sum = proof
+                    .verify(&root)
+                    .unwrap_or_else(|e| panic!("[{lo},{hi}): {e}"));
                 assert_eq!(sum, naive_sum(lo, hi, 3), "[{lo},{hi})");
             }
         }
@@ -624,8 +693,16 @@ mod tests {
         // Find any in-range sum in the proof and inflate it.
         fn tamper(node: &mut ProofNode) -> bool {
             match node {
-                ProofNode::Subtree { sum, in_range: true, .. }
-                | ProofNode::Leaf { sum, in_range: true, .. } => {
+                ProofNode::Subtree {
+                    sum,
+                    in_range: true,
+                    ..
+                }
+                | ProofNode::Leaf {
+                    sum,
+                    in_range: true,
+                    ..
+                } => {
                     sum[0] = sum[0].wrapping_add(1);
                     true
                 }
@@ -645,8 +722,16 @@ mod tests {
         let mut proof = t.range_proof(0, 4, 16).unwrap();
         fn tamper(node: &mut ProofNode) -> bool {
             match node {
-                ProofNode::Subtree { sum, in_range: false, .. }
-                | ProofNode::Leaf { sum, in_range: false, .. } => {
+                ProofNode::Subtree {
+                    sum,
+                    in_range: false,
+                    ..
+                }
+                | ProofNode::Leaf {
+                    sum,
+                    in_range: false,
+                    ..
+                } => {
                     sum[0] = sum[0].wrapping_sub(7);
                     true
                 }
@@ -684,7 +769,11 @@ mod tests {
             n: 8,
             lo: 0,
             hi: 8,
-            root_node: ProofNode::Subtree { hash, sum: add_sums(&sum, &[9]), in_range: true },
+            root_node: ProofNode::Subtree {
+                hash,
+                sum: add_sums(&sum, &[9]),
+                in_range: true,
+            },
         };
         assert_eq!(proof.verify(&t.root()), Err(VerifyError::MalformedProof));
     }
@@ -700,8 +789,16 @@ mod tests {
             lo: 1,
             hi: 3, // covers half of each child
             root_node: ProofNode::Node {
-                left: Box::new(ProofNode::Subtree { hash: lh, sum: ls, in_range: true }),
-                right: Box::new(ProofNode::Subtree { hash: rh, sum: rs, in_range: false }),
+                left: Box::new(ProofNode::Subtree {
+                    hash: lh,
+                    sum: ls,
+                    in_range: true,
+                }),
+                right: Box::new(ProofNode::Subtree {
+                    hash: rh,
+                    sum: rs,
+                    in_range: false,
+                }),
             },
         };
         assert_eq!(proof.verify(&t.root()), Err(VerifyError::MalformedProof));
@@ -735,7 +832,9 @@ mod tests {
         let root = t.root();
         for (lo, hi) in [(0usize, 21usize), (5, 13), (20, 21), (0, 1)] {
             let proof = t.range_proof_open(lo, hi, 21).unwrap();
-            let leaves = proof.verify_open(&root).unwrap_or_else(|e| panic!("[{lo},{hi}): {e}"));
+            let leaves = proof
+                .verify_open(&root)
+                .unwrap_or_else(|e| panic!("[{lo},{hi}): {e}"));
             assert_eq!(leaves.len(), hi - lo);
             for (off, l) in leaves.iter().enumerate() {
                 assert_eq!(*l, leaf((lo + off) as u64, 2), "[{lo},{hi}) leaf {off}");
@@ -754,7 +853,10 @@ mod tests {
         // verify_open must refuse it (a server cannot hide chunks).
         let t = tree_of(32, 1);
         let compact = t.range_proof(0, 32, 32).unwrap();
-        assert_eq!(compact.verify_open(&t.root()), Err(VerifyError::MalformedProof));
+        assert_eq!(
+            compact.verify_open(&t.root()),
+            Err(VerifyError::MalformedProof)
+        );
         // …while the open form of the same range passes.
         let open = t.range_proof_open(0, 32, 32).unwrap();
         assert_eq!(open.verify_open(&t.root()).unwrap().len(), 32);
@@ -767,7 +869,11 @@ mod tests {
         let mut proof = t.range_proof_open(4, 8, 16).unwrap();
         fn tamper(node: &mut ProofNode) -> bool {
             match node {
-                ProofNode::Leaf { commitment, in_range: true, .. } => {
+                ProofNode::Leaf {
+                    commitment,
+                    in_range: true,
+                    ..
+                } => {
                     commitment[0] ^= 1;
                     true
                 }
@@ -813,7 +919,7 @@ mod tests {
         // A chain of TAG_NODE bytes nests one level each: past the depth
         // cap the decoder must bail rather than recurse unboundedly.
         let mut buf = vec![0u8; 24];
-        buf.extend(std::iter::repeat(TAG_NODE).take(100_000));
+        buf.extend(std::iter::repeat_n(TAG_NODE, 100_000));
         assert!(RangeProof::decode(&buf).is_none());
     }
 
@@ -829,7 +935,11 @@ mod tests {
         }
         let t = tree_of(1024, 1);
         let proof = t.range_proof(500, 501, 1024).unwrap();
-        assert!(count(&proof.root_node) <= 2 * 11 + 1, "{}", count(&proof.root_node));
+        assert!(
+            count(&proof.root_node) <= 2 * 11 + 1,
+            "{}",
+            count(&proof.root_node)
+        );
         assert_eq!(proof.verify(&t.root()).unwrap(), naive_sum(500, 501, 1));
     }
 }

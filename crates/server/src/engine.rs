@@ -23,7 +23,10 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { arity: 64, cache_bytes: 64 * 1024 * 1024 }
+        ServerConfig {
+            arity: 64,
+            cache_bytes: 64 * 1024 * 1024,
+        }
     }
 }
 
@@ -71,6 +74,9 @@ pub enum ServerError {
     Integrity(String),
     /// No attestation stored for the stream yet.
     NoAttestation(u128),
+    /// A service-tier component (e.g. a shard ingest worker) is not
+    /// available to process the request.
+    Unavailable(&'static str),
 }
 
 impl std::fmt::Display for ServerError {
@@ -91,7 +97,10 @@ impl std::fmt::Display for ServerError {
             ServerError::BadChunk => write!(f, "malformed chunk bytes"),
             ServerError::BadRecord => write!(f, "malformed live record bytes"),
             ServerError::StaleLiveRecord { chunk, next } => {
-                write!(f, "live record for finalized chunk {chunk} (next open chunk is {next})")
+                write!(
+                    f,
+                    "live record for finalized chunk {chunk} (next open chunk is {next})"
+                )
             }
             ServerError::Store(e) => write!(f, "storage: {e}"),
             ServerError::Index(e) => write!(f, "index: {e}"),
@@ -99,6 +108,7 @@ impl std::fmt::Display for ServerError {
             ServerError::NoAttestation(s) => {
                 write!(f, "no attestation stored for stream {s:#x}")
             }
+            ServerError::Unavailable(what) => write!(f, "service unavailable: {what}"),
         }
     }
 }
@@ -116,6 +126,19 @@ impl From<IndexError> for ServerError {
         ServerError::Index(e)
     }
 }
+
+/// One stream's digest width plus, when the queried range covers at least
+/// one full chunk, the covered window and the homomorphic sum over it.
+pub type StreamStat = (u32, Option<(u64, u64, Vec<u64>)>);
+
+/// Buffered real-time records of one stream: per open chunk, the `(seq,
+/// sealed bytes)` records received so far.
+type LiveBuffer = BTreeMap<u64, Vec<(u32, Vec<u8>)>>;
+
+/// A verified raw read: `(attestation bytes, open range-proof bytes, chunk
+/// payloads)` — the reply shape of
+/// [`TimeCryptServer::get_verified_range`].
+pub type VerifiedRange = (Vec<u8>, Vec<u8>, Vec<Vec<u8>>);
 
 /// Per-stream server state.
 struct StreamState {
@@ -164,7 +187,7 @@ pub struct TimeCryptServer {
     /// Real-time upload buffer (§4.6): per stream, per not-yet-finalized
     /// chunk, the sealed records received so far. Volatile by design — the
     /// durable copy is the finalized chunk that supersedes these records.
-    live: Mutex<HashMap<u128, BTreeMap<u64, Vec<(u32, Vec<u8>)>>>>,
+    live: Mutex<HashMap<u128, LiveBuffer>>,
 }
 
 fn stream_meta_key(stream: u128) -> Vec<u8> {
@@ -212,7 +235,7 @@ fn encode_ledger_leaf(commitment: &[u8; 32], digest_ct: &[u64]) -> Vec<u8> {
 }
 
 fn decode_ledger_leaf(bytes: &[u8]) -> Option<([u8; 32], Vec<u64>)> {
-    if bytes.len() < 32 || (bytes.len() - 32) % 8 != 0 {
+    if bytes.len() < 32 || !(bytes.len() - 32).is_multiple_of(8) {
         return None;
     }
     let commitment: [u8; 32] = bytes[..32].try_into().ok()?;
@@ -226,6 +249,19 @@ fn decode_ledger_leaf(bytes: &[u8]) -> Option<([u8; 32], Vec<u64>)> {
 impl TimeCryptServer {
     /// Opens the engine over a KV store, recovering all registered streams.
     pub fn open(kv: Arc<dyn KvStore>, cfg: ServerConfig) -> Result<Self, ServerError> {
+        Self::open_filtered(kv, cfg, |_| true)
+    }
+
+    /// Opens the engine recovering only streams accepted by `owns`. This is
+    /// the per-shard constructor used by `timecrypt-service`: N engines can
+    /// share one KV store as long as their filters partition the stream-id
+    /// space, so each stream's state (index tree, ledger, live buffer) lives
+    /// in exactly one engine.
+    pub fn open_filtered(
+        kv: Arc<dyn KvStore>,
+        cfg: ServerConfig,
+        owns: impl Fn(u128) -> bool,
+    ) -> Result<Self, ServerError> {
         let server = TimeCryptServer {
             kv,
             cfg,
@@ -237,18 +273,30 @@ impl TimeCryptServer {
                 continue;
             }
             let stream = u128::from_be_bytes(key[2..18].try_into().unwrap());
+            if !owns(stream) {
+                continue;
+            }
             let t0 = i64::from_le_bytes(meta[0..8].try_into().unwrap());
             let delta_ms = u64::from_le_bytes(meta[8..16].try_into().unwrap());
             let digest_width = u32::from_le_bytes(meta[16..20].try_into().unwrap());
             let tree = AggTree::open(
                 server.kv.clone(),
                 stream,
-                TreeConfig { arity: server.cfg.arity, cache_bytes: server.cfg.cache_bytes },
+                TreeConfig {
+                    arity: server.cfg.arity,
+                    cache_bytes: server.cfg.cache_bytes,
+                },
             )?;
             let ledger = server.rebuild_ledger(stream)?;
             server.streams.write().insert(
                 stream,
-                Arc::new(Mutex::new(StreamState { t0, delta_ms, digest_width, tree, ledger })),
+                Arc::new(Mutex::new(StreamState {
+                    t0,
+                    delta_ms,
+                    digest_width,
+                    tree,
+                    ledger,
+                })),
             );
         }
         Ok(server)
@@ -274,7 +322,10 @@ impl TimeCryptServer {
         let tree = AggTree::open(
             self.kv.clone(),
             stream,
-            TreeConfig { arity: self.cfg.arity, cache_bytes: self.cfg.cache_bytes },
+            TreeConfig {
+                arity: self.cfg.arity,
+                cache_bytes: self.cfg.cache_bytes,
+            },
         )?;
         streams.insert(
             stream,
@@ -348,7 +399,10 @@ impl TimeCryptServer {
         }
         let expected = st.tree.len();
         if chunk.index != expected {
-            return Err(ServerError::OutOfOrderChunk { expected, got: chunk.index });
+            return Err(ServerError::OutOfOrderChunk {
+                expected,
+                got: chunk.index,
+            });
         }
         let bytes = chunk.to_bytes();
         let commitment = chunk_commitment(&bytes);
@@ -380,7 +434,10 @@ impl TimeCryptServer {
             st.tree.len()
         };
         if record.chunk < next {
-            return Err(ServerError::StaleLiveRecord { chunk: record.chunk, next });
+            return Err(ServerError::StaleLiveRecord {
+                chunk: record.chunk,
+                next,
+            });
         }
         self.live
             .lock()
@@ -396,7 +453,12 @@ impl TimeCryptServer {
     /// `[ts_s, ts_e)`, in (chunk, seq) order. Only records of chunks not
     /// yet finalized exist in the buffer, so the result never overlaps
     /// [`get_range`](Self::get_range).
-    pub fn get_live(&self, stream: u128, ts_s: i64, ts_e: i64) -> Result<Vec<Vec<u8>>, ServerError> {
+    pub fn get_live(
+        &self,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<Vec<u8>>, ServerError> {
         let state = self.stream(stream)?;
         let (t0, delta) = {
             let st = state.lock();
@@ -405,7 +467,11 @@ impl TimeCryptServer {
         if ts_e <= ts_s {
             return Err(ServerError::EmptyRange);
         }
-        let first = if ts_s <= t0 { 0 } else { ((ts_s - t0) as u64) / delta };
+        let first = if ts_s <= t0 {
+            0
+        } else {
+            ((ts_s - t0) as u64) / delta
+        };
         let last_incl = if ts_e <= t0 {
             return Ok(Vec::new());
         } else {
@@ -444,7 +510,9 @@ impl TimeCryptServer {
         if let Some(prev) = self.kv.get(&attestation_key(stream))? {
             if let Some(prev) = RootAttestation::decode(&prev) {
                 if att.epoch < prev.epoch {
-                    return Err(ServerError::Integrity("attestation epoch regression".into()));
+                    return Err(ServerError::Integrity(
+                        "attestation epoch regression".into(),
+                    ));
                 }
             }
         }
@@ -476,7 +544,10 @@ impl TimeCryptServer {
         let state = self.stream(stream)?;
         let st = state.lock();
         let lo = st.first_chunk_at_or_after(ts_s);
-        let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len()).min(att.size);
+        let hi = st
+            .chunk_end_at_or_before(ts_e)
+            .min(st.tree.len())
+            .min(att.size);
         if lo >= hi {
             return Err(ServerError::EmptyRange);
         }
@@ -504,7 +575,7 @@ impl TimeCryptServer {
             Some(c) => c.min(st.tree.len().saturating_sub(1)),
             None => return Err(ServerError::EmptyRange),
         };
-        if st.tree.len() == 0 || first > last_incl {
+        if st.tree.is_empty() || first > last_incl {
             return Ok(Vec::new());
         }
         let mut out = Vec::with_capacity((last_incl - first + 1) as usize);
@@ -514,6 +585,32 @@ impl TimeCryptServer {
             }
         }
         Ok(out)
+    }
+
+    /// One stream's contribution to a statistical range query: its digest
+    /// width plus, if the range covers at least one full chunk, the chunk
+    /// window and the homomorphic sum over it. `None` means the range is
+    /// empty for this stream (the caller decides whether that is an error).
+    ///
+    /// This is the fan-out unit of the sharded scatter-gather query path
+    /// (`timecrypt-service`): [`get_stat_range`](Self::get_stat_range) is a
+    /// sequential fold over it, so per-stream results merged in request
+    /// order reproduce the single-engine reply exactly.
+    pub fn stream_stat(
+        &self,
+        stream: u128,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<StreamStat, ServerError> {
+        let state = self.stream(stream)?;
+        let st = state.lock();
+        let lo = st.first_chunk_at_or_after(ts_s);
+        let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
+        if lo >= hi {
+            return Ok((st.digest_width, None));
+        }
+        let part = st.tree.query(lo, hi)?;
+        Ok((st.digest_width, Some((lo, hi, part))))
     }
 
     /// Statistical query over one or more streams: the homomorphic sum of
@@ -526,37 +623,11 @@ impl TimeCryptServer {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<StatReply, ServerError> {
-        if streams.is_empty() {
-            return Err(ServerError::EmptyRange);
-        }
-        let mut parts = Vec::with_capacity(streams.len());
-        let mut agg: Option<Vec<u64>> = None;
-        let mut width: Option<u32> = None;
-        for &sid in streams {
-            let state = self.stream(sid)?;
-            let st = state.lock();
-            match width {
-                Some(w) if w != st.digest_width => return Err(ServerError::IncompatibleStreams),
-                None => width = Some(st.digest_width),
-                _ => {}
-            }
-            let lo = st.first_chunk_at_or_after(ts_s);
-            let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
-            if lo >= hi {
-                return Err(ServerError::EmptyRange);
-            }
-            let part = st.tree.query(lo, hi)?;
-            match &mut agg {
-                Some(a) => {
-                    for (x, y) in a.iter_mut().zip(part.iter()) {
-                        *x = x.wrapping_add(*y);
-                    }
-                }
-                None => agg = Some(part),
-            }
-            parts.push((sid, lo, hi));
-        }
-        Ok(StatReply { parts, agg: agg.expect("non-empty streams") })
+        merge_stream_stats(
+            streams
+                .iter()
+                .map(|&sid| (sid, self.stream_stat(sid, ts_s, ts_e))),
+        )
     }
 
     /// Deletes raw chunk payloads in `[ts_s, ts_e)` while keeping digests in
@@ -579,7 +650,12 @@ impl TimeCryptServer {
 
     /// Data decay: ages out index levels below `keep_level` for chunks
     /// before `before_ts` (§4.5 data decay / Table 1 (3) rollup).
-    pub fn rollup(&self, stream: u128, before_ts: i64, keep_level: u8) -> Result<usize, ServerError> {
+    pub fn rollup(
+        &self,
+        stream: u128,
+        before_ts: i64,
+        keep_level: u8,
+    ) -> Result<usize, ServerError> {
         let state = self.stream(stream)?;
         let mut st = state.lock();
         let cutoff = st.chunk_end_at_or_before(before_ts).min(st.tree.len());
@@ -596,7 +672,7 @@ impl TimeCryptServer {
         stream: u128,
         ts_s: i64,
         ts_e: i64,
-    ) -> Result<(Vec<u8>, Vec<u8>, Vec<Vec<u8>>), ServerError> {
+    ) -> Result<VerifiedRange, ServerError> {
         let att_bytes = self.get_attestation(stream)?;
         let att = RootAttestation::decode(&att_bytes)
             .ok_or(ServerError::Integrity("stored attestation corrupt".into()))?;
@@ -624,7 +700,9 @@ impl TimeCryptServer {
             let bytes = self
                 .kv
                 .get(&chunk_key(stream, i))?
-                .ok_or(ServerError::Integrity("chunk payload deleted; raw completeness unprovable".into()))?;
+                .ok_or(ServerError::Integrity(
+                    "chunk payload deleted; raw completeness unprovable".into(),
+                ))?;
             chunks.push(bytes);
         }
         Ok((att_bytes, proof.encode(), chunks))
@@ -643,6 +721,11 @@ impl TimeCryptServer {
         })
     }
 
+    /// Number of registered streams (shard-occupancy metric).
+    pub fn stream_count(&self) -> usize {
+        self.streams.read().len()
+    }
+
     /// Key-store facade.
     pub fn keystore(&self) -> KeyStore<'_> {
         KeyStore::new(self.kv.as_ref())
@@ -651,6 +734,42 @@ impl TimeCryptServer {
     /// Underlying store (diagnostics, size accounting in benches).
     pub fn kv(&self) -> &Arc<dyn KvStore> {
         &self.kv
+    }
+}
+
+/// Folds per-stream stat results (in request order) into one [`StatReply`],
+/// with the same error semantics as a sequential single-engine walk: the
+/// first stream that is unknown, empty, or width-incompatible aborts the
+/// query. Shared by the single-engine path and the sharded scatter-gather
+/// merge in `timecrypt-service`, which is what makes the two paths
+/// byte-identical on the wire.
+pub fn merge_stream_stats(
+    results: impl IntoIterator<Item = (u128, Result<StreamStat, ServerError>)>,
+) -> Result<StatReply, ServerError> {
+    let mut parts = Vec::new();
+    let mut agg: Option<Vec<u64>> = None;
+    let mut width: Option<u32> = None;
+    for (sid, result) in results {
+        let (w, range) = result?;
+        match width {
+            Some(prev) if prev != w => return Err(ServerError::IncompatibleStreams),
+            None => width = Some(w),
+            _ => {}
+        }
+        let (lo, hi, part) = range.ok_or(ServerError::EmptyRange)?;
+        match &mut agg {
+            Some(a) => {
+                for (x, y) in a.iter_mut().zip(part.iter()) {
+                    *x = x.wrapping_add(*y);
+                }
+            }
+            None => agg = Some(part),
+        }
+        parts.push((sid, lo, hi));
+    }
+    match agg {
+        Some(agg) => Ok(StatReply { parts, agg }),
+        None => Err(ServerError::EmptyRange),
     }
 }
 
@@ -663,9 +782,15 @@ impl Handler for TimeCryptServer {
             }
         }
         match req {
-            Request::CreateStream { stream, t0, delta_ms, digest_width } => {
-                ok_or(self.create_stream(stream, t0, delta_ms, digest_width), |_| Response::Ok)
-            }
+            Request::CreateStream {
+                stream,
+                t0,
+                delta_ms,
+                digest_width,
+            } => ok_or(
+                self.create_stream(stream, t0, delta_ms, digest_width),
+                |_| Response::Ok,
+            ),
             Request::DeleteStream { stream } => ok_or(self.delete_stream(stream), |_| Response::Ok),
             Request::Insert { chunk } => match EncryptedChunk::from_bytes(&chunk) {
                 Ok(c) => ok_or(self.insert(&c), |_| Response::Ok),
@@ -678,61 +803,103 @@ impl Handler for TimeCryptServer {
             Request::GetLive { stream, ts_s, ts_e } => {
                 ok_or(self.get_live(stream, ts_s, ts_e), Response::Records)
             }
-            Request::GetRange { stream, ts_s, ts_e } => ok_or(
-                self.get_range(stream, ts_s, ts_e),
-                |chunks| Response::Chunks(chunks.iter().map(|c| c.to_bytes()).collect()),
-            ),
-            Request::GetStatRange { streams, ts_s, ts_e } => {
-                ok_or(self.get_stat_range(&streams, ts_s, ts_e), Response::Stat)
+            Request::GetRange { stream, ts_s, ts_e } => {
+                ok_or(self.get_range(stream, ts_s, ts_e), |chunks| {
+                    Response::Chunks(chunks.iter().map(|c| c.to_bytes()).collect())
+                })
             }
+            Request::GetStatRange {
+                streams,
+                ts_s,
+                ts_e,
+            } => ok_or(self.get_stat_range(&streams, ts_s, ts_e), Response::Stat),
             Request::DeleteRange { stream, ts_s, ts_e } => {
                 ok_or(self.delete_range(stream, ts_s, ts_e), |_| Response::Ok)
             }
-            Request::Rollup { stream, before_ts, keep_level } => {
-                ok_or(self.rollup(stream, before_ts, keep_level), |_| Response::Ok)
-            }
+            Request::Rollup {
+                stream,
+                before_ts,
+                keep_level,
+            } => ok_or(self.rollup(stream, before_ts, keep_level), |_| Response::Ok),
             Request::StreamInfo { stream } => ok_or(self.stream_info(stream), Response::Info),
-            Request::PutGrant { stream, principal, blob } => ok_or(
-                self.keystore().put_grant(stream, &principal, &blob).map_err(ServerError::from),
+            Request::PutGrant {
+                stream,
+                principal,
+                blob,
+            } => ok_or(
+                self.keystore()
+                    .put_grant(stream, &principal, &blob)
+                    .map_err(ServerError::from),
                 |_| Response::Ok,
             ),
             Request::GetGrants { stream, principal } => ok_or(
-                self.keystore().get_grants(stream, &principal).map_err(ServerError::from),
+                self.keystore()
+                    .get_grants(stream, &principal)
+                    .map_err(ServerError::from),
                 Response::Blobs,
             ),
             Request::RevokeGrants { stream, principal } => ok_or(
-                self.keystore().revoke_grants(stream, &principal).map_err(ServerError::from),
+                self.keystore()
+                    .revoke_grants(stream, &principal)
+                    .map_err(ServerError::from),
                 |_| Response::Ok,
             ),
-            Request::PutEnvelopes { stream, resolution, envelopes } => ok_or(
+            Request::PutEnvelopes {
+                stream,
+                resolution,
+                envelopes,
+            } => ok_or(
                 self.keystore()
                     .put_envelopes(stream, resolution, &envelopes)
                     .map_err(ServerError::from),
                 |_| Response::Ok,
             ),
-            Request::GetEnvelopes { stream, resolution, lo, hi } => ok_or(
+            Request::GetEnvelopes {
+                stream,
+                resolution,
+                lo,
+                hi,
+            } => ok_or(
                 self.keystore()
                     .get_envelopes(stream, resolution, lo, hi)
                     .map_err(ServerError::from),
                 Response::Envelopes,
             ),
-            Request::PutAttestation { stream, attestation } => {
-                ok_or(self.put_attestation(stream, &attestation), |_| Response::Ok)
-            }
+            Request::PutAttestation {
+                stream,
+                attestation,
+            } => ok_or(self.put_attestation(stream, &attestation), |_| Response::Ok),
             Request::GetAttestation { stream } => {
                 ok_or(self.get_attestation(stream), |a| Response::Blobs(vec![a]))
             }
-            Request::GetRangeProof { stream, ts_s, ts_e } => {
-                ok_or(self.get_range_proof(stream, ts_s, ts_e), |(attestation, proof)| {
-                    Response::Attested { attestation, proof }
-                })
-            }
+            Request::GetRangeProof { stream, ts_s, ts_e } => ok_or(
+                self.get_range_proof(stream, ts_s, ts_e),
+                |(attestation, proof)| Response::Attested { attestation, proof },
+            ),
             Request::GetVerifiedRange { stream, ts_s, ts_e } => ok_or(
                 self.get_verified_range(stream, ts_s, ts_e),
-                |(attestation, proof, chunks)| {
-                    Response::VerifiedChunks { attestation, proof, chunks }
+                |(attestation, proof, chunks)| Response::VerifiedChunks {
+                    attestation,
+                    proof,
+                    chunks,
                 },
             ),
+            Request::InsertBatch { chunks } => {
+                let mut errors = Vec::new();
+                for (i, bytes) in chunks.iter().enumerate() {
+                    let result = match EncryptedChunk::from_bytes(bytes) {
+                        Ok(c) => self.insert(&c).map_err(|e| e.to_string()),
+                        Err(_) => Err(ServerError::BadChunk.to_string()),
+                    };
+                    if let Err(msg) = result {
+                        errors.push((i as u32, msg));
+                    }
+                }
+                Response::Batch { errors }
+            }
+            Request::Stats => {
+                Response::Error("service stats unavailable: single-engine deployment".into())
+            }
             Request::Ping => Response::Pong,
         }
     }
@@ -761,18 +928,27 @@ mod tests {
         let cfg = StreamConfig::new(1, "hr", 0, 10_000);
         let km = keys();
         let mut rng = SecureRandom::from_seed_insecure(3);
-        server.create_stream(1, 0, 10_000, cfg.schema.width() as u32).unwrap();
+        server
+            .create_stream(1, 0, 10_000, cfg.schema.width() as u32)
+            .unwrap();
         let mut builder = ChunkBuilder::new(cfg.clone());
         for c in 0..n {
             for i in 0..10 {
                 let ts = c as i64 * 10_000 + i * 1000;
-                for done in builder.push(DataPoint::new(ts, (c * 10 + i as u64) as i64)).unwrap() {
-                    server.insert(&done.seal(&cfg, &km, &mut rng).unwrap()).unwrap();
+                for done in builder
+                    .push(DataPoint::new(ts, (c * 10 + i as u64) as i64))
+                    .unwrap()
+                {
+                    server
+                        .insert(&done.seal(&cfg, &km, &mut rng).unwrap())
+                        .unwrap();
                 }
             }
         }
         if let Some(tail) = builder.flush() {
-            server.insert(&tail.seal(&cfg, &km, &mut rng).unwrap()).unwrap();
+            server
+                .insert(&tail.seal(&cfg, &km, &mut rng).unwrap())
+                .unwrap();
         }
         cfg
     }
@@ -803,27 +979,52 @@ mod tests {
     fn duplicate_stream_rejected() {
         let s = server();
         s.create_stream(1, 0, 1000, 2).unwrap();
-        assert!(matches!(s.create_stream(1, 0, 1000, 2), Err(ServerError::StreamExists(1))));
+        assert!(matches!(
+            s.create_stream(1, 0, 1000, 2),
+            Err(ServerError::StreamExists(1))
+        ));
     }
 
     #[test]
     fn out_of_order_and_wrong_width_rejected() {
         let s = server();
         s.create_stream(1, 0, 1000, 2).unwrap();
-        let c = EncryptedChunk { stream: 1, index: 5, digest_ct: vec![0, 0], payload: vec![] };
+        let c = EncryptedChunk {
+            stream: 1,
+            index: 5,
+            digest_ct: vec![0, 0],
+            payload: vec![],
+        };
         assert!(matches!(
             s.insert(&c),
-            Err(ServerError::OutOfOrderChunk { expected: 0, got: 5 })
+            Err(ServerError::OutOfOrderChunk {
+                expected: 0,
+                got: 5
+            })
         ));
-        let c = EncryptedChunk { stream: 1, index: 0, digest_ct: vec![0], payload: vec![] };
-        assert!(matches!(s.insert(&c), Err(ServerError::WidthMismatch { .. })));
+        let c = EncryptedChunk {
+            stream: 1,
+            index: 0,
+            digest_ct: vec![0],
+            payload: vec![],
+        };
+        assert!(matches!(
+            s.insert(&c),
+            Err(ServerError::WidthMismatch { .. })
+        ));
     }
 
     #[test]
     fn unknown_stream_errors() {
         let s = server();
-        assert!(matches!(s.stream_info(9), Err(ServerError::NoSuchStream(9))));
-        assert!(matches!(s.get_stat_range(&[9], 0, 10), Err(ServerError::NoSuchStream(9))));
+        assert!(matches!(
+            s.stream_info(9),
+            Err(ServerError::NoSuchStream(9))
+        ));
+        assert!(matches!(
+            s.get_stat_range(&[9], 0, 10),
+            Err(ServerError::NoSuchStream(9))
+        ));
     }
 
     #[test]
@@ -856,13 +1057,19 @@ mod tests {
         let km2 = StreamKeyMaterial::with_params(2, [2u8; 16], 20, PrgKind::Aes).unwrap();
         let mut rng = SecureRandom::from_seed_insecure(5);
         for (id, km) in [(1u128, &km1), (2u128, &km2)] {
-            let cfg = StreamConfig { schema: timecrypt_chunk::DigestSchema::sum_count(), ..StreamConfig::new(id, "m", 0, 10_000) };
+            let cfg = StreamConfig {
+                schema: timecrypt_chunk::DigestSchema::sum_count(),
+                ..StreamConfig::new(id, "m", 0, 10_000)
+            };
             s.create_stream(id, 0, 10_000, 2).unwrap();
             for c in 0..4u64 {
                 let chunk = timecrypt_chunk::PlainChunk {
                     stream: id,
                     index: c,
-                    points: vec![DataPoint::new(c as i64 * 10_000, (id as i64) * 100 + c as i64)],
+                    points: vec![DataPoint::new(
+                        c as i64 * 10_000,
+                        (id as i64) * 100 + c as i64,
+                    )],
                 };
                 s.insert(&chunk.seal(&cfg, km, &mut rng).unwrap()).unwrap();
             }
@@ -872,7 +1079,8 @@ mod tests {
         // Decrypt: subtract both streams' boundary keys.
         let d1 = decrypt_range_sum(&km1.tree, 0, 4, &reply.agg).unwrap();
         let both = decrypt_range_sum(&km2.tree, 0, 4, &d1).unwrap();
-        let expect_sum: i64 = (0..4).map(|c| 100 + c).sum::<i64>() + (0..4).map(|c| 200 + c).sum::<i64>();
+        let expect_sum: i64 =
+            (0..4).map(|c| 100 + c).sum::<i64>() + (0..4).map(|c| 200 + c).sum::<i64>();
         assert_eq!(both[0] as i64, expect_sum);
         assert_eq!(both[1], 8, "total count across streams");
     }
@@ -897,7 +1105,10 @@ mod tests {
         ingest(&s, 4);
         s.keystore().put_grant(1, "alice", b"blob").unwrap();
         s.delete_stream(1).unwrap();
-        assert!(matches!(s.stream_info(1), Err(ServerError::NoSuchStream(1))));
+        assert!(matches!(
+            s.stream_info(1),
+            Err(ServerError::NoSuchStream(1))
+        ));
         assert!(s.keystore().get_grants(1, "alice").unwrap().is_empty());
         // Stream can be recreated from scratch.
         s.create_stream(1, 0, 10_000, 3).unwrap();
@@ -909,7 +1120,12 @@ mod tests {
         let s = server();
         assert_eq!(s.handle(Request::Ping), Response::Pong);
         assert_eq!(
-            s.handle(Request::CreateStream { stream: 3, t0: 0, delta_ms: 1000, digest_width: 1 }),
+            s.handle(Request::CreateStream {
+                stream: 3,
+                t0: 0,
+                delta_ms: 1000,
+                digest_width: 1
+            }),
             Response::Ok
         );
         match s.handle(Request::StreamInfo { stream: 3 }) {
@@ -925,7 +1141,14 @@ mod tests {
     #[test]
     fn rollup_ages_out_fine_levels() {
         let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
-        let s = TimeCryptServer::open(kv, ServerConfig { arity: 4, cache_bytes: 1 << 20 }).unwrap();
+        let s = TimeCryptServer::open(
+            kv,
+            ServerConfig {
+                arity: 4,
+                cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
         let cfg = StreamConfig {
             schema: timecrypt_chunk::DigestSchema::sum_only(),
             ..StreamConfig::new(1, "m", 0, 10_000)

@@ -29,12 +29,7 @@ impl<'a> KeyStore<'a> {
 
     /// Appends a grant blob for `(stream, principal)`. Grants accumulate;
     /// each carries its own scope inside the sealed bytes.
-    pub fn put_grant(
-        &self,
-        stream: u128,
-        principal: &str,
-        blob: &[u8],
-    ) -> Result<(), StoreError> {
+    pub fn put_grant(&self, stream: u128, principal: &str, blob: &[u8]) -> Result<(), StoreError> {
         let prefix = Self::grant_prefix(stream, principal);
         let seq = self.kv.scan_prefix(&prefix)?.len() as u64;
         let mut key = prefix;
@@ -44,7 +39,9 @@ impl<'a> KeyStore<'a> {
 
     /// All grant blobs for `(stream, principal)` in insertion order.
     pub fn get_grants(&self, stream: u128, principal: &str) -> Result<Vec<Vec<u8>>, StoreError> {
-        let mut hits = self.kv.scan_prefix(&Self::grant_prefix(stream, principal))?;
+        let mut hits = self
+            .kv
+            .scan_prefix(&Self::grant_prefix(stream, principal))?;
         hits.sort();
         Ok(hits.into_iter().map(|(_, v)| v).collect())
     }
@@ -53,7 +50,9 @@ impl<'a> KeyStore<'a> {
     /// cryptographic revocation is the owner ceasing to extend tokens —
     /// already-downloaded old-data keys remain usable, §3.3).
     pub fn revoke_grants(&self, stream: u128, principal: &str) -> Result<usize, StoreError> {
-        let hits = self.kv.scan_prefix(&Self::grant_prefix(stream, principal))?;
+        let hits = self
+            .kv
+            .scan_prefix(&Self::grant_prefix(stream, principal))?;
         let n = hits.len();
         for (k, _) in hits {
             self.kv.delete(&k)?;
@@ -80,7 +79,8 @@ impl<'a> KeyStore<'a> {
         envelopes: &[(u64, Vec<u8>)],
     ) -> Result<(), StoreError> {
         for (index, blob) in envelopes {
-            self.kv.put(&Self::env_key(stream, resolution, *index), blob)?;
+            self.kv
+                .put(&Self::env_key(stream, resolution, *index), blob)?;
         }
         Ok(())
     }
@@ -127,7 +127,10 @@ mod tests {
         ks.put_grant(1, "alice", b"g0").unwrap();
         ks.put_grant(1, "alice", b"g1").unwrap();
         ks.put_grant(1, "bob", b"h0").unwrap();
-        assert_eq!(ks.get_grants(1, "alice").unwrap(), vec![b"g0".to_vec(), b"g1".to_vec()]);
+        assert_eq!(
+            ks.get_grants(1, "alice").unwrap(),
+            vec![b"g0".to_vec(), b"g1".to_vec()]
+        );
         assert_eq!(ks.get_grants(1, "bob").unwrap(), vec![b"h0".to_vec()]);
         assert_eq!(ks.get_grants(2, "alice").unwrap(), Vec::<Vec<u8>>::new());
     }

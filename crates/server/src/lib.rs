@@ -14,4 +14,4 @@
 pub mod engine;
 pub mod keystore;
 
-pub use engine::{ServerConfig, ServerError, TimeCryptServer};
+pub use engine::{merge_stream_stats, ServerConfig, ServerError, StreamStat, TimeCryptServer};

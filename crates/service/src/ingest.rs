@@ -1,0 +1,108 @@
+//! The batched ingest pipeline: one worker thread + bounded queue per shard.
+//!
+//! Ordering contract: jobs enqueued to one shard are processed FIFO by a
+//! single worker, and the batch partitioner keeps each stream's chunks in
+//! submission order (a stream maps to exactly one shard), so the engine's
+//! strict next-index ingest check sees the same order a direct caller would
+//! produce. Backpressure: the queue is a `sync_channel`, so submitters
+//! block once a shard is `queue_depth` jobs behind — producers slow down
+//! instead of ballooning memory.
+
+use crate::metrics::{ServiceMetrics, ShardMetrics};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use timecrypt_chunk::serialize::EncryptedChunk;
+use timecrypt_server::{ServerError, TimeCryptServer};
+
+/// Inserts one chunk into `engine`, recording latency and outcome counters
+/// on the shard's metrics. Shared by the queue worker and the synchronous
+/// single-chunk path so both report identically.
+pub(crate) fn metered_insert(
+    engine: &TimeCryptServer,
+    m: &ShardMetrics,
+    chunk: &EncryptedChunk,
+) -> Result<(), ServerError> {
+    let t = Instant::now();
+    let result = engine.insert(chunk);
+    m.ingest_latency.record(t.elapsed());
+    match &result {
+        Ok(()) => m.ingested_chunks.fetch_add(1, Ordering::Relaxed),
+        Err(_) => m.ingest_errors.fetch_add(1, Ordering::Relaxed),
+    };
+    result
+}
+
+/// One queued chunk insert; `reply` carries the original batch position so
+/// the submitter can reassemble results in input order.
+pub(crate) struct Job {
+    pub(crate) chunk: EncryptedChunk,
+    pub(crate) idx: usize,
+    pub(crate) reply: Sender<(usize, Result<(), ServerError>)>,
+}
+
+/// Handle to one shard's ingest worker. Dropping it closes the queue; the
+/// worker drains remaining jobs and exits.
+pub(crate) struct IngestWorker {
+    tx: SyncSender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IngestWorker {
+    /// Spawns the worker for `shard` over `engine`.
+    pub(crate) fn spawn(
+        shard: usize,
+        engine: Arc<TimeCryptServer>,
+        metrics: Arc<ServiceMetrics>,
+        queue_depth: usize,
+    ) -> Self {
+        let (tx, rx): (SyncSender<Job>, Receiver<Job>) = sync_channel(queue_depth);
+        let handle = std::thread::Builder::new()
+            .name(format!("tc-ingest-{shard}"))
+            .spawn(move || {
+                let m = metrics.shard(shard);
+                for job in rx {
+                    // Contain engine panics so one poisoned insert cannot
+                    // kill the shard's pipeline (and eat queued replies).
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        metered_insert(&engine, m, &job.chunk)
+                    }))
+                    .unwrap_or(Err(ServerError::Unavailable(
+                        "shard ingest worker panicked",
+                    )));
+                    m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    // A dropped submitter just means nobody wants the result.
+                    let _ = job.reply.send((job.idx, result));
+                }
+            })
+            .expect("spawn ingest worker");
+        IngestWorker {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues one job, blocking while the shard queue is full
+    /// (backpressure). The queue-depth gauge is bumped *before* the
+    /// potentially blocking send so `Stats` shows saturated queues.
+    pub(crate) fn submit(&self, metrics_depth: &std::sync::atomic::AtomicU64, job: Job) {
+        metrics_depth.fetch_add(1, Ordering::Relaxed);
+        if self.tx.send(job).is_err() {
+            // Worker gone (service shutting down); undo the gauge.
+            metrics_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for IngestWorker {
+    fn drop(&mut self) {
+        // Close the queue, then wait for the worker to drain it so queued
+        // chunks are never silently lost on shutdown.
+        drop(std::mem::replace(&mut self.tx, sync_channel(1).0));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

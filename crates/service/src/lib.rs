@@ -1,0 +1,58 @@
+//! # timecrypt-service — the sharded concurrent serving tier
+//!
+//! The paper runs TimeCrypt as stateless server instances in front of a
+//! horizontally scalable KV store ("TimeCrypt instances are stateless and
+//! therefore horizontally scalable", §3.2; Cassandra in §4.6). A single
+//! [`timecrypt_server::TimeCryptServer`] engine serializes each stream's
+//! writes behind per-stream locks, but one engine instance still funnels
+//! every stream through one stream registry and — more importantly — gives
+//! requests no parallelism beyond what the caller's threads provide.
+//!
+//! This crate is the serving tier in front of the engine:
+//!
+//! * **Shard router** ([`router`]) — streams are partitioned across N
+//!   independent engine shards by a stable hash of the stream id. Each
+//!   stream's state (aggregation tree, integrity ledger, live buffer)
+//!   lives in exactly one shard, so cross-stream contention disappears.
+//! * **Batched ingest** ([`ingest`]) — each shard owns a worker thread
+//!   draining a bounded queue. [`ShardedService::submit_batch`] partitions
+//!   a batch across shards *preserving per-stream submission order*, so
+//!   the engine's out-of-order chunk check keeps its meaning; the bounded
+//!   queue provides backpressure when producers outrun the store.
+//! * **Scatter-gather queries** ([`ShardedService::get_stat_range`]) —
+//!   multi-stream statistical queries fan out across the owning shards in
+//!   parallel and merge per-stream HEAC digest sums with
+//!   [`timecrypt_server::merge_stream_stats`], the same fold the
+//!   single-engine path uses. Replies are byte-identical to a
+//!   single-engine deployment on the same workload.
+//! * **Metrics** ([`metrics`]) — per-shard ingest/query counters, queue
+//!   depths, and log₂ latency histograms, exposed over the wire through
+//!   `Request::Stats`.
+//!
+//! The service implements [`timecrypt_wire::transport::Handler`], so it
+//! drops into the TCP transport (or the in-process client transport)
+//! anywhere a single engine does.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use timecrypt_service::{ServiceConfig, ShardedService};
+//! use timecrypt_store::MemKv;
+//!
+//! let svc = ShardedService::open(
+//!     Arc::new(MemKv::new()),
+//!     ServiceConfig { shards: 4, ..ServiceConfig::default() },
+//! )
+//! .unwrap();
+//! svc.create_stream(7, 0, 10_000, 2).unwrap();
+//! assert_eq!(svc.stats().shards.len(), 4);
+//! ```
+
+pub(crate) mod fanout;
+pub mod ingest;
+pub mod metrics;
+pub mod router;
+pub mod service;
+
+pub use metrics::{ServiceMetrics, ShardMetrics};
+pub use router::ShardRouter;
+pub use service::{ServiceConfig, ShardedService};

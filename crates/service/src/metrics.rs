@@ -1,0 +1,142 @@
+//! Per-shard service metrics: counters, queue depths, latency histograms.
+//!
+//! Everything is relaxed atomics — the ingest hot path pays two
+//! `fetch_add`s per chunk. Snapshots are not cross-counter consistent,
+//! which is fine for monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use timecrypt_wire::messages::{ServiceStatsWire, ShardStatsWire};
+
+/// Number of log₂ microsecond buckets: bucket `i` counts latencies in
+/// `[2^(i-1), 2^i)` µs (bucket 0 is sub-microsecond), so the top bucket
+/// absorbs everything from ~4.5 minutes up.
+pub const HIST_BUCKETS: usize = 30;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Default)]
+pub struct LatencyHist {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl LatencyHist {
+    /// Records one latency sample.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot, trimmed of trailing empty buckets.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+}
+
+/// One shard's counters.
+#[derive(Default)]
+pub struct ShardMetrics {
+    /// Chunks accepted by the engine.
+    pub ingested_chunks: AtomicU64,
+    /// Chunks the engine rejected (out-of-order, width mismatch, ...).
+    pub ingest_errors: AtomicU64,
+    /// Per-stream statistical sub-queries served.
+    pub queries: AtomicU64,
+    /// Sub-queries that errored.
+    pub query_errors: AtomicU64,
+    /// Jobs currently queued for the shard's ingest worker.
+    pub queue_depth: AtomicU64,
+    /// Ingest latency (engine insert call).
+    pub ingest_latency: LatencyHist,
+    /// Query latency (per-shard scatter-gather leg).
+    pub query_latency: LatencyHist,
+}
+
+impl ShardMetrics {
+    fn snapshot(&self, shard: u32, streams: u64) -> ShardStatsWire {
+        ShardStatsWire {
+            shard,
+            streams,
+            ingested_chunks: self.ingested_chunks.load(Ordering::Relaxed),
+            ingest_errors: self.ingest_errors.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            ingest_hist_us: self.ingest_latency.snapshot(),
+            query_hist_us: self.query_latency.snapshot(),
+        }
+    }
+}
+
+/// All shards' metrics. One instance per [`crate::ShardedService`], shared
+/// with the ingest workers.
+pub struct ServiceMetrics {
+    shards: Vec<ShardMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Metrics for `n` shards.
+    pub fn new(n: usize) -> Self {
+        ServiceMetrics {
+            shards: (0..n).map(|_| ShardMetrics::default()).collect(),
+        }
+    }
+
+    /// Shard `i`'s counters.
+    pub fn shard(&self, i: usize) -> &ShardMetrics {
+        &self.shards[i]
+    }
+
+    /// Wire snapshot. `streams_per_shard[i]` is shard `i`'s current stream
+    /// count (owned by the engines, so passed in).
+    pub fn snapshot(&self, streams_per_shard: &[u64]) -> ServiceStatsWire {
+        ServiceStatsWire {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.snapshot(i as u32, streams_per_shard.get(i).copied().unwrap_or(0)))
+                .collect(),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_us() {
+        let h = LatencyHist::default();
+        h.record(Duration::from_micros(0)); // bucket 0
+        h.record(Duration::from_micros(1)); // bucket 1
+        h.record(Duration::from_micros(3)); // bucket 2
+        h.record(Duration::from_micros(1000)); // bucket 10
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1);
+        assert_eq!(snap[1], 1);
+        assert_eq!(snap[2], 1);
+        assert_eq!(snap[10], 1);
+        assert_eq!(snap.len(), 11, "trailing zeros trimmed");
+    }
+
+    #[test]
+    fn snapshot_reports_all_shards() {
+        let m = ServiceMetrics::new(3);
+        m.shard(1).ingested_chunks.fetch_add(5, Ordering::Relaxed);
+        let snap = m.snapshot(&[2, 4, 0]);
+        assert_eq!(snap.shards.len(), 3);
+        assert_eq!(snap.shards[1].ingested_chunks, 5);
+        assert_eq!(snap.shards[1].streams, 4);
+        assert_eq!(snap.shards[2].shard, 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Stream → shard assignment.
+//!
+//! ## Routing invariants
+//!
+//! 1. **Stability** — `shard_of` is a pure function of `(stream id, shard
+//!    count)`. Every request for a stream, from any connection at any time,
+//!    lands on the same shard; a stream's in-memory state (aggregation
+//!    tree, integrity ledger, live-record buffer) therefore exists in
+//!    exactly one engine.
+//! 2. **Restart safety** — shards share one KV store and rebuild their
+//!    stream registries from it with the same filter, so a service restart
+//!    (even with a *different* shard count) re-partitions cleanly: the hash
+//!    decides ownership afresh and each stream is recovered by exactly one
+//!    shard.
+//! 3. **Uniformity** — ids are mixed through a 64-bit finalizer before the
+//!    modulo so that sequential stream ids (the common allocation pattern)
+//!    spread evenly instead of striping.
+
+/// Routes stream ids to shards by stable hash.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        ShardRouter { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `stream`.
+    pub fn shard_of(&self, stream: u128) -> usize {
+        (mix64((stream as u64) ^ (stream >> 64) as u64) % self.shards as u64) as usize
+    }
+}
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_in_range() {
+        let r = ShardRouter::new(4);
+        for id in 0..1000u128 {
+            let s = r.shard_of(id);
+            assert!(s < 4);
+            assert_eq!(s, r.shard_of(id), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread() {
+        let r = ShardRouter::new(8);
+        let mut counts = [0usize; 8];
+        for id in 0..8000u128 {
+            counts[r.shard_of(id)] += 1;
+        }
+        for &c in &counts {
+            // Perfectly uniform would be 1000; allow generous slack.
+            assert!(
+                (600..1400).contains(&c),
+                "skewed shard distribution: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_all() {
+        let r = ShardRouter::new(1);
+        assert_eq!(r.shard_of(u128::MAX), 0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The sharded service: router + engine shards + ingest workers + metrics.
+
+use crate::fanout::ShardPool;
+use crate::ingest::{IngestWorker, Job};
+use crate::metrics::{ServiceMetrics, ShardMetrics};
+use crate::router::ShardRouter;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
+use timecrypt_server::{merge_stream_stats, ServerConfig, ServerError, TimeCryptServer};
+use timecrypt_store::{KvStore, MeteredKv};
+use timecrypt_wire::messages::{Request, Response, StatReply};
+use timecrypt_wire::transport::Handler;
+
+type StreamStatResult = Result<timecrypt_server::StreamStat, ServerError>;
+
+/// Executes one shard's portion of a scatter-gather query, with metrics.
+fn run_query_leg(
+    engine: &TimeCryptServer,
+    m: &ShardMetrics,
+    legs: &[(usize, u128)],
+    ts_s: i64,
+    ts_e: i64,
+) -> Vec<(usize, StreamStatResult)> {
+    let t = Instant::now();
+    let out = legs
+        .iter()
+        .map(|&(pos, sid)| {
+            let r = engine.stream_stat(sid, ts_s, ts_e);
+            m.queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if r.is_err() {
+                m.query_errors
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            (pos, r)
+        })
+        .collect();
+    m.query_latency.record(t.elapsed());
+    out
+}
+
+/// Service-level tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of engine shards (≥ 1). The paper's evaluation machine uses
+    /// one engine per core; 4 is a reasonable laptop default.
+    pub shards: usize,
+    /// Bounded ingest-queue depth per shard (backpressure threshold).
+    pub queue_depth: usize,
+    /// Per-shard engine configuration.
+    pub engine: ServerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            queue_depth: 1024,
+            engine: ServerConfig::default(),
+        }
+    }
+}
+
+/// A sharded TimeCrypt service over one shared KV store. See the crate docs
+/// for the architecture; see [`ShardRouter`] for the routing invariants.
+pub struct ShardedService {
+    router: ShardRouter,
+    shards: Vec<Arc<TimeCryptServer>>,
+    workers: Vec<IngestWorker>,
+    query_pool: ShardPool,
+    metrics: Arc<ServiceMetrics>,
+    kv: Arc<MeteredKv>,
+}
+
+impl ShardedService {
+    /// Opens `cfg.shards` engine shards over `kv` (wrapped in a
+    /// [`MeteredKv`] so `Request::Stats` can report storage traffic), each
+    /// recovering only the streams it owns, and starts the ingest workers.
+    pub fn open(kv: Arc<dyn KvStore>, cfg: ServiceConfig) -> Result<Self, ServerError> {
+        if cfg.shards == 0 {
+            return Err(ServerError::Unavailable("shard count must be at least 1"));
+        }
+        let router = ShardRouter::new(cfg.shards);
+        let kv = Arc::new(MeteredKv::new(kv));
+        let metrics = Arc::new(ServiceMetrics::new(cfg.shards));
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for i in 0..cfg.shards {
+            let shared: Arc<dyn KvStore> = kv.clone();
+            shards.push(Arc::new(TimeCryptServer::open_filtered(
+                shared,
+                cfg.engine.clone(),
+                |stream| router.shard_of(stream) == i,
+            )?));
+        }
+        let workers = shards
+            .iter()
+            .enumerate()
+            .map(|(i, engine)| {
+                IngestWorker::spawn(i, engine.clone(), metrics.clone(), cfg.queue_depth)
+            })
+            .collect();
+        let query_pool = ShardPool::new(cfg.shards);
+        Ok(ShardedService {
+            router,
+            shards,
+            workers,
+            query_pool,
+            metrics,
+            kv,
+        })
+    }
+
+    /// The router (shard-count and assignment probes).
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The engine shard owning `stream`.
+    pub fn shard_for(&self, stream: u128) -> &Arc<TimeCryptServer> {
+        &self.shards[self.router.shard_of(stream)]
+    }
+
+    /// Registers a stream on its owning shard.
+    pub fn create_stream(
+        &self,
+        stream: u128,
+        t0: i64,
+        delta_ms: u64,
+        digest_width: u32,
+    ) -> Result<(), ServerError> {
+        self.shard_for(stream)
+            .create_stream(stream, t0, delta_ms, digest_width)
+    }
+
+    /// Synchronous single-chunk ingest (the unbatched path), bypassing the
+    /// queue: latency-sensitive callers pay no queueing delay, and ordering
+    /// versus batched ingest is preserved because [`submit_batch`]
+    /// (Self::submit_batch) returns only after its jobs completed.
+    pub fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
+        let shard = self.router.shard_of(chunk.stream);
+        crate::ingest::metered_insert(&self.shards[shard], self.metrics.shard(shard), chunk)
+    }
+
+    /// Batched ingest: partitions `chunks` across shard queues (keeping
+    /// each stream's chunks in their submission order), lets the shard
+    /// workers drain them in parallel, and returns per-chunk results in
+    /// input order. Blocks while queues are full — that is the
+    /// backpressure contract.
+    pub fn submit_batch(&self, chunks: Vec<EncryptedChunk>) -> Vec<Result<(), ServerError>> {
+        let n = chunks.len();
+        let (reply_tx, reply_rx) = channel();
+        for (idx, chunk) in chunks.into_iter().enumerate() {
+            let shard = self.router.shard_of(chunk.stream);
+            self.workers[shard].submit(
+                &self.metrics.shard(shard).queue_depth,
+                Job {
+                    chunk,
+                    idx,
+                    reply: reply_tx.clone(),
+                },
+            );
+        }
+        drop(reply_tx);
+        // Placeholder for jobs whose worker never replied (only possible if
+        // a shard pipeline died): distinct from any engine verdict.
+        let mut results: Vec<Result<(), ServerError>> = Vec::with_capacity(n);
+        results.resize_with(n, || {
+            Err(ServerError::Unavailable("shard ingest worker unavailable"))
+        });
+        for (idx, result) in reply_rx {
+            results[idx] = result;
+        }
+        results
+    }
+
+    /// Scatter-gather statistical query: per-stream sub-queries fan out to
+    /// the owning shards in parallel (one gather thread per involved
+    /// shard), then merge in request order with the same fold as the
+    /// single-engine path — so the reply is byte-identical to
+    /// [`TimeCryptServer::get_stat_range`] on the same data.
+    pub fn get_stat_range(
+        &self,
+        streams: &[u128],
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<StatReply, ServerError> {
+        // Partition `(position, stream)` pairs by owning shard.
+        let mut by_shard: Vec<Vec<(usize, u128)>> = vec![Vec::new(); self.router.shards()];
+        for (pos, &sid) in streams.iter().enumerate() {
+            by_shard[self.router.shard_of(sid)].push((pos, sid));
+        }
+        let mut involved: Vec<usize> = (0..by_shard.len())
+            .filter(|&s| !by_shard[s].is_empty())
+            .collect();
+        // The caller runs the heaviest leg inline; the persistent per-shard
+        // workers take the rest. A single-shard query therefore never
+        // crosses a thread boundary.
+        involved.sort_by_key(|&s| by_shard[s].len());
+        let inline_shard = involved.pop();
+        let mut results: Vec<Option<StreamStatResult>> = Vec::with_capacity(streams.len());
+        results.resize_with(streams.len(), || None);
+        let (reply_tx, reply_rx) = channel();
+        let remote_legs = involved.len();
+        for &shard in &involved {
+            let legs = std::mem::take(&mut by_shard[shard]);
+            let engine = self.shards[shard].clone();
+            let metrics = self.metrics.clone();
+            let reply = reply_tx.clone();
+            self.query_pool.exec(
+                shard,
+                Box::new(move || {
+                    // Contain engine panics so one poisoned query cannot kill
+                    // the shard's pool worker or strand the caller.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_query_leg(&engine, metrics.shard(shard), &legs, ts_s, ts_e)
+                    }))
+                    .unwrap_or_else(|_| {
+                        legs.iter()
+                            .map(|&(pos, _)| {
+                                (pos, Err(ServerError::Unavailable("query worker panicked")))
+                            })
+                            .collect()
+                    });
+                    // A dropped caller just means nobody wants the result.
+                    let _ = reply.send(out);
+                }),
+            );
+        }
+        drop(reply_tx);
+        if let Some(shard) = inline_shard {
+            let legs = std::mem::take(&mut by_shard[shard]);
+            for (pos, r) in run_query_leg(
+                &self.shards[shard],
+                self.metrics.shard(shard),
+                &legs,
+                ts_s,
+                ts_e,
+            ) {
+                results[pos] = Some(r);
+            }
+        }
+        for _ in 0..remote_legs {
+            // A closed channel means a leg was lost (worker torn down
+            // mid-query); the affected positions fall through to the
+            // Unavailable default below rather than stranding the caller.
+            let Ok(leg) = reply_rx.recv() else { break };
+            for (pos, r) in leg {
+                results[pos] = Some(r);
+            }
+        }
+        merge_stream_stats(streams.iter().zip(results).map(|(&sid, r)| {
+            (
+                sid,
+                r.unwrap_or(Err(ServerError::Unavailable("query leg lost"))),
+            )
+        }))
+    }
+
+    /// Wire metrics snapshot (per-shard counters + storage traffic).
+    pub fn stats(&self) -> timecrypt_wire::messages::ServiceStatsWire {
+        let streams: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.stream_count() as u64)
+            .collect();
+        let mut snap = self.metrics.snapshot(&streams);
+        let store = self.kv.counters();
+        snap.store_gets = store.gets;
+        snap.store_puts = store.puts;
+        snap.store_deletes = store.deletes;
+        snap.store_scans = store.scans;
+        snap
+    }
+
+    /// The metered storage handle shared by all shards.
+    pub fn kv(&self) -> &Arc<MeteredKv> {
+        &self.kv
+    }
+}
+
+impl Handler for ShardedService {
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            // Multi-stream and service-level requests are handled here.
+            Request::GetStatRange {
+                streams,
+                ts_s,
+                ts_e,
+            } => match self.get_stat_range(&streams, ts_s, ts_e) {
+                Ok(reply) => Response::Stat(reply),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::InsertBatch { chunks } => {
+                // Parse failures keep their batch position; parsed chunks
+                // go through the sharded pipeline.
+                let mut errors = Vec::new();
+                let mut parsed = Vec::with_capacity(chunks.len());
+                let mut positions = Vec::with_capacity(chunks.len());
+                for (i, bytes) in chunks.iter().enumerate() {
+                    match EncryptedChunk::from_bytes(bytes) {
+                        Ok(c) => {
+                            parsed.push(c);
+                            positions.push(i as u32);
+                        }
+                        Err(_) => errors.push((i as u32, ServerError::BadChunk.to_string())),
+                    }
+                }
+                for (pos, result) in positions.into_iter().zip(self.submit_batch(parsed)) {
+                    if let Err(e) = result {
+                        errors.push((pos, e.to_string()));
+                    }
+                }
+                errors.sort_by_key(|&(i, _)| i);
+                Response::Batch { errors }
+            }
+            Request::Stats => Response::ServiceStats(self.stats()),
+            Request::Ping => Response::Pong,
+            // Ingest singles route to the owning shard with metrics.
+            Request::Insert { chunk } => match EncryptedChunk::from_bytes(&chunk) {
+                Ok(c) => match self.insert(&c) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(_) => Response::Error(ServerError::BadChunk.to_string()),
+            },
+            Request::InsertLive { record } => match SealedRecord::from_bytes(&record) {
+                Ok(r) => match self.shard_for(r.stream).insert_live(&r) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(_) => Response::Error(ServerError::BadRecord.to_string()),
+            },
+            // Everything else is a single-stream request: delegate the
+            // whole request to the owning shard's engine handler, which
+            // keeps error strings byte-identical to a single-engine server.
+            Request::CreateStream { stream, .. }
+            | Request::DeleteStream { stream }
+            | Request::GetLive { stream, .. }
+            | Request::GetRange { stream, .. }
+            | Request::DeleteRange { stream, .. }
+            | Request::Rollup { stream, .. }
+            | Request::StreamInfo { stream }
+            | Request::PutGrant { stream, .. }
+            | Request::GetGrants { stream, .. }
+            | Request::RevokeGrants { stream, .. }
+            | Request::PutEnvelopes { stream, .. }
+            | Request::GetEnvelopes { stream, .. }
+            | Request::PutAttestation { stream, .. }
+            | Request::GetAttestation { stream }
+            | Request::GetRangeProof { stream, .. }
+            | Request::GetVerifiedRange { stream, .. } => {
+                let shard = self.router.shard_of(stream);
+                self.shards[shard].handle(req)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timecrypt_chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
+    use timecrypt_core::StreamKeyMaterial;
+    use timecrypt_crypto::{PrgKind, SecureRandom};
+    use timecrypt_store::MemKv;
+
+    fn service(shards: usize) -> ShardedService {
+        ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                shards,
+                queue_depth: 16,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn keys(id: u128) -> StreamKeyMaterial {
+        StreamKeyMaterial::with_params(id, [id as u8; 16], 20, PrgKind::Aes).unwrap()
+    }
+
+    fn sealed_chunk(id: u128, index: u64, value: i64) -> EncryptedChunk {
+        let cfg = StreamConfig {
+            schema: DigestSchema::sum_count(),
+            ..StreamConfig::new(id, "m", 0, 10_000)
+        };
+        let mut rng = SecureRandom::from_seed_insecure(9);
+        PlainChunk {
+            stream: id,
+            index,
+            points: vec![DataPoint::new(index as i64 * 10_000, value)],
+        }
+        .seal(&cfg, &keys(id), &mut rng)
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_shards_is_an_error_not_a_panic() {
+        let err = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                shards: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .err()
+        .expect("zero shards must be rejected");
+        assert!(matches!(err, ServerError::Unavailable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn batch_ingest_reports_per_chunk_results() {
+        let svc = service(3);
+        svc.create_stream(1, 0, 10_000, 2).unwrap();
+        svc.create_stream(2, 0, 10_000, 2).unwrap();
+        let batch = vec![
+            sealed_chunk(1, 0, 10),
+            sealed_chunk(2, 0, 20),
+            sealed_chunk(1, 1, 11),
+            sealed_chunk(1, 5, 99), // out of order
+            sealed_chunk(3, 0, 1),  // unknown stream
+        ];
+        let results = svc.submit_batch(batch);
+        assert!(results[0].is_ok() && results[1].is_ok() && results[2].is_ok());
+        assert!(matches!(
+            results[3],
+            Err(ServerError::OutOfOrderChunk {
+                expected: 2,
+                got: 5
+            })
+        ));
+        assert!(matches!(results[4], Err(ServerError::NoSuchStream(3))));
+    }
+
+    #[test]
+    fn scatter_gather_merges_in_request_order() {
+        let svc = service(4);
+        for id in 1..=6u128 {
+            svc.create_stream(id, 0, 10_000, 2).unwrap();
+            let results = svc.submit_batch(vec![
+                sealed_chunk(id, 0, id as i64),
+                sealed_chunk(id, 1, id as i64 * 10),
+            ]);
+            assert!(results.iter().all(|r| r.is_ok()));
+        }
+        let order = [4u128, 1, 6, 2, 5, 3];
+        let reply = svc.get_stat_range(&order, 0, 20_000).unwrap();
+        let expect: Vec<(u128, u64, u64)> = order.iter().map(|&s| (s, 0, 2)).collect();
+        assert_eq!(reply.parts, expect);
+    }
+
+    #[test]
+    fn stats_counts_ingest_per_shard() {
+        let svc = service(2);
+        for id in 0..8u128 {
+            svc.create_stream(id, 0, 10_000, 2).unwrap();
+            svc.insert(&sealed_chunk(id, 0, 5)).unwrap();
+        }
+        let snap = svc.stats();
+        assert_eq!(snap.shards.len(), 2);
+        let total: u64 = snap.shards.iter().map(|s| s.ingested_chunks).sum();
+        assert_eq!(total, 8);
+        let streams: u64 = snap.shards.iter().map(|s| s.streams).sum();
+        assert_eq!(streams, 8);
+        assert!(snap.store_puts > 0, "metered store saw writes");
+    }
+
+    #[test]
+    fn restart_recovers_each_stream_on_exactly_one_shard() {
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        {
+            let svc = ShardedService::open(
+                kv.clone(),
+                ServiceConfig {
+                    shards: 4,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap();
+            for id in 0..10u128 {
+                svc.create_stream(id, 0, 10_000, 2).unwrap();
+                svc.insert(&sealed_chunk(id, 0, 1)).unwrap();
+            }
+        }
+        // Reopen with a different shard count: the shared store re-partitions.
+        let svc = ShardedService::open(
+            kv,
+            ServiceConfig {
+                shards: 3,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let per_shard: usize = svc.shards.iter().map(|s| s.stream_count()).sum();
+        assert_eq!(per_shard, 10, "each stream recovered exactly once");
+        for id in 0..10u128 {
+            match svc.handle(Request::StreamInfo { stream: id }) {
+                Response::Info(i) => assert_eq!(i.len, 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

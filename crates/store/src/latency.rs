@@ -20,7 +20,11 @@ pub struct LatencyKv<S> {
 impl<S: KvStore> LatencyKv<S> {
     /// Wraps `inner`, sleeping `latency` on every get/put/delete/scan.
     pub fn new(inner: S, latency: Duration) -> Self {
-        LatencyKv { inner, latency, ops: AtomicU64::new(0) }
+        LatencyKv {
+            inner,
+            latency,
+            ops: AtomicU64::new(0),
+        }
     }
 
     /// Total operations served.

@@ -20,10 +20,12 @@
 pub mod latency;
 pub mod log;
 pub mod mem;
+pub mod metered;
 
 pub use latency::LatencyKv;
 pub use log::LogKv;
 pub use mem::MemKv;
+pub use metered::{MeteredKv, StoreCounters};
 
 use std::sync::Arc;
 
@@ -64,8 +66,11 @@ pub trait KvStore: Send + Sync {
     fn delete(&self, key: &[u8]) -> Result<(), StoreError>;
     /// Returns all `(key, value)` pairs whose key starts with `prefix`,
     /// in unspecified order.
-    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, StoreError>;
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<KvPairs, StoreError>;
 }
+
+/// Owned `(key, value)` pairs, as returned by [`KvStore::scan_prefix`].
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
 
 /// Shared handle to a store.
 pub type SharedKv = Arc<dyn KvStore>;

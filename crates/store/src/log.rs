@@ -37,32 +37,37 @@ impl LogKv {
             let mut buf = Vec::new();
             file.read_to_end(&mut buf)?;
             let mut pos = 0usize;
-            loop {
-                match Self::parse_record(&buf[pos..]) {
-                    Some((op, key, value, consumed)) => {
-                        match op {
-                            OP_PUT => {
-                                map.insert(key.to_vec(), value.to_vec());
-                            }
-                            OP_DELETE => {
-                                map.remove(key);
-                            }
-                            _ => return Err(StoreError::Corrupt("unknown op byte")),
-                        }
-                        pos += consumed;
-                        valid_len = pos as u64;
+            // A parse failure means a torn tail (or the clean end).
+            while let Some((op, key, value, consumed)) = Self::parse_record(&buf[pos..]) {
+                match op {
+                    OP_PUT => {
+                        map.insert(key.to_vec(), value.to_vec());
                     }
-                    None => break, // torn tail or clean end
+                    OP_DELETE => {
+                        map.remove(key);
+                    }
+                    _ => return Err(StoreError::Corrupt("unknown op byte")),
                 }
+                pos += consumed;
+                valid_len = pos as u64;
             }
         }
-        let mut file = OpenOptions::new().create(true).append(false).write(true).read(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .append(false)
+            .write(true)
+            .read(true)
+            .open(&path)?;
         // Truncate any torn tail, then position at the end.
         file.set_len(valid_len)?;
         file.seek(SeekFrom::End(0))?;
         Ok(LogKv {
             path,
-            inner: Mutex::new(Inner { map, writer: BufWriter::new(file) }),
+            inner: Mutex::new(Inner {
+                map,
+                writer: BufWriter::new(file),
+            }),
         })
     }
 
@@ -240,7 +245,8 @@ mod tests {
         let path = tmp("compact");
         let kv = LogKv::open(&path).unwrap();
         for i in 0..100 {
-            kv.put(format!("k{i}").as_bytes(), b"xxxxxxxxxxxxxxxx").unwrap();
+            kv.put(format!("k{i}").as_bytes(), b"xxxxxxxxxxxxxxxx")
+                .unwrap();
         }
         for i in 0..90 {
             kv.delete(format!("k{i}").as_bytes()).unwrap();
@@ -248,7 +254,10 @@ mod tests {
         let size_before = std::fs::metadata(&path).unwrap().len();
         kv.compact().unwrap();
         let size_after = std::fs::metadata(&path).unwrap().len();
-        assert!(size_after < size_before / 2, "{size_after} vs {size_before}");
+        assert!(
+            size_after < size_before / 2,
+            "{size_after} vs {size_before}"
+        );
         assert_eq!(kv.len(), 10);
         kv.put(b"post-compact", b"1").unwrap();
         drop(kv);

@@ -23,7 +23,9 @@ impl Default for MemKv {
 impl MemKv {
     /// Creates an empty store.
     pub fn new() -> Self {
-        MemKv { shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect() }
+        MemKv {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+        }
     }
 
     fn shard(&self, key: &[u8]) -> &RwLock<BTreeMap<Vec<u8>, Vec<u8>>> {
@@ -51,7 +53,12 @@ impl MemKv {
     pub fn approx_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().iter().map(|(k, v)| k.len() + v.len()).sum::<usize>())
+            .map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(k, v)| k.len() + v.len())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -144,7 +151,10 @@ mod tests {
         }
         assert_eq!(kv.len(), 8 * 500);
         for t in 0..8 {
-            assert_eq!(kv.scan_prefix(format!("t{t}/").as_bytes()).unwrap().len(), 500);
+            assert_eq!(
+                kv.scan_prefix(format!("t{t}/").as_bytes()).unwrap().len(),
+                500
+            );
         }
     }
 }

@@ -1,0 +1,129 @@
+//! An operation-counting decorator over any [`KvStore`].
+//!
+//! The sharded service layer (`timecrypt-service`) wraps its shared backend
+//! in a [`MeteredKv`] so `Request::Stats` can report how hard the storage
+//! tier is being driven — the reproduction's stand-in for the Cassandra-side
+//! metrics the paper's deployment would export (§4.6).
+
+use crate::{KvStore, StoreError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Point-in-time snapshot of a [`MeteredKv`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreCounters {
+    /// `get` calls.
+    pub gets: u64,
+    /// `put` calls.
+    pub puts: u64,
+    /// `delete` calls.
+    pub deletes: u64,
+    /// `scan_prefix` calls.
+    pub scans: u64,
+    /// Total value bytes read by `get` hits.
+    pub bytes_read: u64,
+    /// Total value bytes written by `put`.
+    pub bytes_written: u64,
+}
+
+/// A [`KvStore`] decorator counting operations and value bytes. Counters are
+/// relaxed atomics: cheap enough for the ingest hot path, and exactness
+/// under concurrency is not required for monitoring.
+pub struct MeteredKv {
+    inner: Arc<dyn KvStore>,
+    gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    scans: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl MeteredKv {
+    /// Wraps a store.
+    pub fn new(inner: Arc<dyn KvStore>) -> Self {
+        MeteredKv {
+            inner,
+            gets: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            scans: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshots the counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &Arc<dyn KvStore> {
+        &self.inner
+    }
+}
+
+impl KvStore for MeteredKv {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        let v = self.inner.get(key)?;
+        if let Some(v) = &v {
+            self.bytes_read.fetch_add(v.len() as u64, Ordering::Relaxed);
+        }
+        Ok(v)
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.inner.put(key, value)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        self.inner.delete(key)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, StoreError> {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.inner.scan_prefix(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+    use crate::MemKv;
+
+    #[test]
+    fn conforms() {
+        let kv = || MeteredKv::new(Arc::new(MemKv::new()));
+        conformance::basic_ops(&kv());
+        conformance::prefix_scan(&kv());
+        conformance::binary_safety(&kv());
+        conformance::empty_value(&kv());
+    }
+
+    #[test]
+    fn counts_operations_and_bytes() {
+        let kv = MeteredKv::new(Arc::new(MemKv::new()));
+        kv.put(b"k", b"12345").unwrap();
+        kv.get(b"k").unwrap();
+        kv.get(b"missing").unwrap();
+        kv.scan_prefix(b"").unwrap();
+        kv.delete(b"k").unwrap();
+        let c = kv.counters();
+        assert_eq!((c.gets, c.puts, c.deletes, c.scans), (2, 1, 1, 1));
+        assert_eq!((c.bytes_read, c.bytes_written), (5, 5));
+    }
+}

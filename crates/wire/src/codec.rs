@@ -192,7 +192,13 @@ mod tests {
     #[test]
     fn primitives_roundtrip() {
         let mut w = ByteWriter::new();
-        w.u8(7).u32(1234).u64(u64::MAX).i64(-5).u128(1 << 100).bytes(b"blob").string("héllo");
+        w.u8(7)
+            .u32(1234)
+            .u64(u64::MAX)
+            .i64(-5)
+            .u128(1 << 100)
+            .bytes(b"blob")
+            .string("héllo");
         w.u64_vec(&[1, 2, 3]);
         let buf = w.into_bytes();
         let mut r = ByteReader::new(&buf);

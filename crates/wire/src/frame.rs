@@ -65,7 +65,11 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, FrameError> {
     while got < 4 {
         let n = r.read(&mut len_buf[got..])?;
         if n == 0 {
-            return if got == 0 { Err(FrameError::Closed) } else { Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into())) };
+            return if got == 0 {
+                Err(FrameError::Closed)
+            } else {
+                Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()))
+            };
         }
         got += n;
     }
@@ -100,7 +104,10 @@ mod tests {
     fn oversized_frame_rejected_on_write() {
         let mut buf = Vec::new();
         let huge = vec![0u8; MAX_FRAME + 1];
-        assert!(matches!(write_frame(&mut buf, &huge), Err(FrameError::TooLarge(_))));
+        assert!(matches!(
+            write_frame(&mut buf, &huge),
+            Err(FrameError::TooLarge(_))
+        ));
     }
 
     #[test]

@@ -17,5 +17,7 @@ pub mod transport;
 
 pub use codec::{ByteReader, ByteWriter, WireError};
 pub use frame::{read_frame, write_frame, MAX_FRAME};
-pub use messages::{Request, Response, StatReply, StreamInfoWire};
+pub use messages::{
+    Request, Response, ServiceStatsWire, ShardStatsWire, StatReply, StreamInfoWire,
+};
 pub use transport::{Client, Server};

@@ -213,6 +213,17 @@ pub enum Request {
         /// Interval end (ms).
         ts_e: i64,
     },
+    /// (4c) Append a batch of sealed chunks in one round trip. Chunks of
+    /// the same stream must appear in index order; the server (or the
+    /// sharded service layer) preserves the batch's per-stream order, so
+    /// the out-of-order ingest check behaves exactly as for single inserts.
+    InsertBatch {
+        /// `EncryptedChunk::to_bytes()` payloads.
+        chunks: Vec<Vec<u8>>,
+    },
+    /// Service-layer metrics probe (shard counters, queue depths, latency
+    /// histograms). Single-engine deployments answer with an error.
+    Stats,
     /// Liveness probe.
     Ping,
 }
@@ -255,8 +266,86 @@ pub enum Response {
         /// The chunk bytes, in chunk order, matching the proof's window.
         chunks: Vec<Vec<u8>>,
     },
+    /// Per-chunk outcome of an [`Request::InsertBatch`]: `(batch index,
+    /// error string)` for each failed chunk, empty when everything landed.
+    /// Successes are implicit — the producer only needs to know what to
+    /// retry or surface.
+    Batch {
+        /// `(index into the batch, server error string)` per failure.
+        errors: Vec<(u32, String)>,
+    },
+    /// Service metrics snapshot ([`Request::Stats`]).
+    ServiceStats(ServiceStatsWire),
     /// Ping reply.
     Pong,
+}
+
+/// One shard's counters in a [`Response::ServiceStats`] reply.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardStatsWire {
+    /// Shard index.
+    pub shard: u32,
+    /// Streams owned by this shard.
+    pub streams: u64,
+    /// Chunks ingested (batched + direct) since service start.
+    pub ingested_chunks: u64,
+    /// Ingest attempts rejected by the engine (out-of-order, width, ...).
+    pub ingest_errors: u64,
+    /// Statistical sub-queries served.
+    pub queries: u64,
+    /// Sub-queries that returned an error.
+    pub query_errors: u64,
+    /// Jobs currently waiting in the shard's ingest queue.
+    pub queue_depth: u64,
+    /// Ingest latency histogram: bucket `i` counts operations that took
+    /// `[2^(i-1), 2^i)` microseconds (bucket 0 is sub-microsecond).
+    pub ingest_hist_us: Vec<u64>,
+    /// Query latency histogram, same bucket layout.
+    pub query_hist_us: Vec<u64>,
+}
+
+impl ShardStatsWire {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u32(self.shard);
+        w.u64(self.streams);
+        w.u64(self.ingested_chunks);
+        w.u64(self.ingest_errors);
+        w.u64(self.queries);
+        w.u64(self.query_errors);
+        w.u64(self.queue_depth);
+        w.u64_vec(&self.ingest_hist_us);
+        w.u64_vec(&self.query_hist_us);
+    }
+
+    fn decode(r: &mut ByteReader) -> Result<Self, WireError> {
+        Ok(ShardStatsWire {
+            shard: r.u32()?,
+            streams: r.u64()?,
+            ingested_chunks: r.u64()?,
+            ingest_errors: r.u64()?,
+            queries: r.u64()?,
+            query_errors: r.u64()?,
+            queue_depth: r.u64()?,
+            ingest_hist_us: r.u64_vec()?,
+            query_hist_us: r.u64_vec()?,
+        })
+    }
+}
+
+/// Service-layer metrics snapshot: per-shard counters plus storage-backend
+/// op counts (when the deployment meters its KV store).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStatsWire {
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<ShardStatsWire>,
+    /// KV `get` operations observed by the metered store.
+    pub store_gets: u64,
+    /// KV `put` operations.
+    pub store_puts: u64,
+    /// KV `delete` operations.
+    pub store_deletes: u64,
+    /// KV `scan_prefix` operations.
+    pub store_scans: u64,
 }
 
 const REQ_CREATE: u8 = 1;
@@ -279,14 +368,25 @@ const REQ_PUT_ATT: u8 = 17;
 const REQ_GET_ATT: u8 = 18;
 const REQ_GET_PROOF: u8 = 19;
 const REQ_GET_VRANGE: u8 = 20;
+const REQ_INSERT_BATCH: u8 = 21;
+const REQ_STATS: u8 = 22;
 
 impl Request {
     /// Serializes the request body.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         match self {
-            Request::CreateStream { stream, t0, delta_ms, digest_width } => {
-                w.u8(REQ_CREATE).u128(*stream).i64(*t0).u64(*delta_ms).u32(*digest_width);
+            Request::CreateStream {
+                stream,
+                t0,
+                delta_ms,
+                digest_width,
+            } => {
+                w.u8(REQ_CREATE)
+                    .u128(*stream)
+                    .i64(*t0)
+                    .u64(*delta_ms)
+                    .u32(*digest_width);
             }
             Request::DeleteStream { stream } => {
                 w.u8(REQ_DELETE_STREAM).u128(*stream);
@@ -303,7 +403,11 @@ impl Request {
             Request::GetRange { stream, ts_s, ts_e } => {
                 w.u8(REQ_GET_RANGE).u128(*stream).i64(*ts_s).i64(*ts_e);
             }
-            Request::GetStatRange { streams, ts_s, ts_e } => {
+            Request::GetStatRange {
+                streams,
+                ts_s,
+                ts_e,
+            } => {
                 w.u8(REQ_GET_STAT).u32(streams.len() as u32);
                 for s in streams {
                     w.u128(*s);
@@ -313,14 +417,28 @@ impl Request {
             Request::DeleteRange { stream, ts_s, ts_e } => {
                 w.u8(REQ_DELETE_RANGE).u128(*stream).i64(*ts_s).i64(*ts_e);
             }
-            Request::Rollup { stream, before_ts, keep_level } => {
-                w.u8(REQ_ROLLUP).u128(*stream).i64(*before_ts).u8(*keep_level);
+            Request::Rollup {
+                stream,
+                before_ts,
+                keep_level,
+            } => {
+                w.u8(REQ_ROLLUP)
+                    .u128(*stream)
+                    .i64(*before_ts)
+                    .u8(*keep_level);
             }
             Request::StreamInfo { stream } => {
                 w.u8(REQ_INFO).u128(*stream);
             }
-            Request::PutGrant { stream, principal, blob } => {
-                w.u8(REQ_PUT_GRANT).u128(*stream).string(principal).bytes(blob);
+            Request::PutGrant {
+                stream,
+                principal,
+                blob,
+            } => {
+                w.u8(REQ_PUT_GRANT)
+                    .u128(*stream)
+                    .string(principal)
+                    .bytes(blob);
             }
             Request::GetGrants { stream, principal } => {
                 w.u8(REQ_GET_GRANTS).u128(*stream).string(principal);
@@ -328,16 +446,35 @@ impl Request {
             Request::RevokeGrants { stream, principal } => {
                 w.u8(REQ_REVOKE).u128(*stream).string(principal);
             }
-            Request::PutEnvelopes { stream, resolution, envelopes } => {
-                w.u8(REQ_PUT_ENV).u128(*stream).u64(*resolution).u32(envelopes.len() as u32);
+            Request::PutEnvelopes {
+                stream,
+                resolution,
+                envelopes,
+            } => {
+                w.u8(REQ_PUT_ENV)
+                    .u128(*stream)
+                    .u64(*resolution)
+                    .u32(envelopes.len() as u32);
                 for (i, b) in envelopes {
                     w.u64(*i).bytes(b);
                 }
             }
-            Request::GetEnvelopes { stream, resolution, lo, hi } => {
-                w.u8(REQ_GET_ENV).u128(*stream).u64(*resolution).u64(*lo).u64(*hi);
+            Request::GetEnvelopes {
+                stream,
+                resolution,
+                lo,
+                hi,
+            } => {
+                w.u8(REQ_GET_ENV)
+                    .u128(*stream)
+                    .u64(*resolution)
+                    .u64(*lo)
+                    .u64(*hi);
             }
-            Request::PutAttestation { stream, attestation } => {
+            Request::PutAttestation {
+                stream,
+                attestation,
+            } => {
                 w.u8(REQ_PUT_ATT).u128(*stream).bytes(attestation);
             }
             Request::GetAttestation { stream } => {
@@ -348,6 +485,15 @@ impl Request {
             }
             Request::GetVerifiedRange { stream, ts_s, ts_e } => {
                 w.u8(REQ_GET_VRANGE).u128(*stream).i64(*ts_s).i64(*ts_e);
+            }
+            Request::InsertBatch { chunks } => {
+                w.u8(REQ_INSERT_BATCH).u32(chunks.len() as u32);
+                for c in chunks {
+                    w.bytes(c);
+                }
+            }
+            Request::Stats => {
+                w.u8(REQ_STATS);
             }
             Request::Ping => {
                 w.u8(REQ_PING);
@@ -369,10 +515,16 @@ impl Request {
             REQ_DELETE_STREAM => Request::DeleteStream { stream: r.u128()? },
             REQ_INSERT => Request::Insert { chunk: r.bytes()? },
             REQ_INSERT_LIVE => Request::InsertLive { record: r.bytes()? },
-            REQ_GET_LIVE => {
-                Request::GetLive { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
-            }
-            REQ_GET_RANGE => Request::GetRange { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? },
+            REQ_GET_LIVE => Request::GetLive {
+                stream: r.u128()?,
+                ts_s: r.i64()?,
+                ts_e: r.i64()?,
+            },
+            REQ_GET_RANGE => Request::GetRange {
+                stream: r.u128()?,
+                ts_s: r.i64()?,
+                ts_e: r.i64()?,
+            },
             REQ_GET_STAT => {
                 let n = r.u32()? as usize;
                 if n > MAX_REPEATED {
@@ -382,11 +534,17 @@ impl Request {
                 for _ in 0..n {
                     streams.push(r.u128()?);
                 }
-                Request::GetStatRange { streams, ts_s: r.i64()?, ts_e: r.i64()? }
+                Request::GetStatRange {
+                    streams,
+                    ts_s: r.i64()?,
+                    ts_e: r.i64()?,
+                }
             }
-            REQ_DELETE_RANGE => {
-                Request::DeleteRange { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
-            }
+            REQ_DELETE_RANGE => Request::DeleteRange {
+                stream: r.u128()?,
+                ts_s: r.i64()?,
+                ts_e: r.i64()?,
+            },
             REQ_ROLLUP => Request::Rollup {
                 stream: r.u128()?,
                 before_ts: r.i64()?,
@@ -398,8 +556,14 @@ impl Request {
                 principal: r.string()?,
                 blob: r.bytes()?,
             },
-            REQ_GET_GRANTS => Request::GetGrants { stream: r.u128()?, principal: r.string()? },
-            REQ_REVOKE => Request::RevokeGrants { stream: r.u128()?, principal: r.string()? },
+            REQ_GET_GRANTS => Request::GetGrants {
+                stream: r.u128()?,
+                principal: r.string()?,
+            },
+            REQ_REVOKE => Request::RevokeGrants {
+                stream: r.u128()?,
+                principal: r.string()?,
+            },
             REQ_PUT_ENV => {
                 let stream = r.u128()?;
                 let resolution = r.u64()?;
@@ -412,7 +576,11 @@ impl Request {
                     let i = r.u64()?;
                     envelopes.push((i, r.bytes()?));
                 }
-                Request::PutEnvelopes { stream, resolution, envelopes }
+                Request::PutEnvelopes {
+                    stream,
+                    resolution,
+                    envelopes,
+                }
             }
             REQ_GET_ENV => Request::GetEnvelopes {
                 stream: r.u128()?,
@@ -420,16 +588,33 @@ impl Request {
                 lo: r.u64()?,
                 hi: r.u64()?,
             },
-            REQ_PUT_ATT => {
-                Request::PutAttestation { stream: r.u128()?, attestation: r.bytes()? }
-            }
+            REQ_PUT_ATT => Request::PutAttestation {
+                stream: r.u128()?,
+                attestation: r.bytes()?,
+            },
             REQ_GET_ATT => Request::GetAttestation { stream: r.u128()? },
-            REQ_GET_PROOF => {
-                Request::GetRangeProof { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
+            REQ_GET_PROOF => Request::GetRangeProof {
+                stream: r.u128()?,
+                ts_s: r.i64()?,
+                ts_e: r.i64()?,
+            },
+            REQ_GET_VRANGE => Request::GetVerifiedRange {
+                stream: r.u128()?,
+                ts_s: r.i64()?,
+                ts_e: r.i64()?,
+            },
+            REQ_INSERT_BATCH => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut chunks = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    chunks.push(r.bytes()?);
+                }
+                Request::InsertBatch { chunks }
             }
-            REQ_GET_VRANGE => {
-                Request::GetVerifiedRange { stream: r.u128()?, ts_s: r.i64()?, ts_e: r.i64()? }
-            }
+            REQ_STATS => Request::Stats,
             REQ_PING => Request::Ping,
             t => return Err(WireError::BadTag(t)),
         };
@@ -449,6 +634,8 @@ const RESP_PONG: u8 = 8;
 const RESP_RECORDS: u8 = 9;
 const RESP_ATTESTED: u8 = 10;
 const RESP_VCHUNKS: u8 = 11;
+const RESP_BATCH: u8 = 12;
+const RESP_SERVICE_STATS: u8 = 13;
 
 impl Response {
     /// Serializes the response body.
@@ -499,11 +686,34 @@ impl Response {
             Response::Attested { attestation, proof } => {
                 w.u8(RESP_ATTESTED).bytes(attestation).bytes(proof);
             }
-            Response::VerifiedChunks { attestation, proof, chunks } => {
-                w.u8(RESP_VCHUNKS).bytes(attestation).bytes(proof).u32(chunks.len() as u32);
+            Response::VerifiedChunks {
+                attestation,
+                proof,
+                chunks,
+            } => {
+                w.u8(RESP_VCHUNKS)
+                    .bytes(attestation)
+                    .bytes(proof)
+                    .u32(chunks.len() as u32);
                 for c in chunks {
                     w.bytes(c);
                 }
+            }
+            Response::Batch { errors } => {
+                w.u8(RESP_BATCH).u32(errors.len() as u32);
+                for (i, msg) in errors {
+                    w.u32(*i).string(msg);
+                }
+            }
+            Response::ServiceStats(stats) => {
+                w.u8(RESP_SERVICE_STATS).u32(stats.shards.len() as u32);
+                for s in &stats.shards {
+                    s.encode(&mut w);
+                }
+                w.u64(stats.store_gets)
+                    .u64(stats.store_puts)
+                    .u64(stats.store_deletes)
+                    .u64(stats.store_scans);
             }
             Response::Pong => {
                 w.u8(RESP_PONG);
@@ -538,7 +748,10 @@ impl Response {
                 for _ in 0..n {
                     parts.push((r.u128()?, r.u64()?, r.u64()?));
                 }
-                Response::Stat(StatReply { parts, agg: r.u64_vec()? })
+                Response::Stat(StatReply {
+                    parts,
+                    agg: r.u64_vec()?,
+                })
             }
             RESP_BLOBS => {
                 let n = r.u32()? as usize;
@@ -575,9 +788,10 @@ impl Response {
                 }
                 Response::Records(recs)
             }
-            RESP_ATTESTED => {
-                Response::Attested { attestation: r.bytes()?, proof: r.bytes()? }
-            }
+            RESP_ATTESTED => Response::Attested {
+                attestation: r.bytes()?,
+                proof: r.bytes()?,
+            },
             RESP_VCHUNKS => {
                 let attestation = r.bytes()?;
                 let proof = r.bytes()?;
@@ -589,7 +803,40 @@ impl Response {
                 for _ in 0..n {
                     chunks.push(r.bytes()?);
                 }
-                Response::VerifiedChunks { attestation, proof, chunks }
+                Response::VerifiedChunks {
+                    attestation,
+                    proof,
+                    chunks,
+                }
+            }
+            RESP_BATCH => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut errors = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let i = r.u32()?;
+                    errors.push((i, r.string()?));
+                }
+                Response::Batch { errors }
+            }
+            RESP_SERVICE_STATS => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut shards = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    shards.push(ShardStatsWire::decode(&mut r)?);
+                }
+                Response::ServiceStats(ServiceStatsWire {
+                    shards,
+                    store_gets: r.u64()?,
+                    store_puts: r.u64()?,
+                    store_deletes: r.u64()?,
+                    store_scans: r.u64()?,
+                })
             }
             RESP_PONG => Response::Pong,
             t => return Err(WireError::BadTag(t)),
@@ -605,29 +852,86 @@ mod tests {
 
     fn all_requests() -> Vec<Request> {
         vec![
-            Request::CreateStream { stream: 1, t0: -5, delta_ms: 10_000, digest_width: 19 },
+            Request::CreateStream {
+                stream: 1,
+                t0: -5,
+                delta_ms: 10_000,
+                digest_width: 19,
+            },
             Request::DeleteStream { stream: u128::MAX },
-            Request::Insert { chunk: vec![1, 2, 3] },
+            Request::Insert {
+                chunk: vec![1, 2, 3],
+            },
             Request::InsertLive { record: vec![4, 5] },
-            Request::GetLive { stream: 7, ts_s: -3, ts_e: 44 },
-            Request::GetRange { stream: 7, ts_s: 0, ts_e: 1000 },
-            Request::GetStatRange { streams: vec![1, 2, 3], ts_s: -10, ts_e: 10 },
-            Request::DeleteRange { stream: 7, ts_s: 5, ts_e: 6 },
-            Request::Rollup { stream: 7, before_ts: 99, keep_level: 2 },
+            Request::GetLive {
+                stream: 7,
+                ts_s: -3,
+                ts_e: 44,
+            },
+            Request::GetRange {
+                stream: 7,
+                ts_s: 0,
+                ts_e: 1000,
+            },
+            Request::GetStatRange {
+                streams: vec![1, 2, 3],
+                ts_s: -10,
+                ts_e: 10,
+            },
+            Request::DeleteRange {
+                stream: 7,
+                ts_s: 5,
+                ts_e: 6,
+            },
+            Request::Rollup {
+                stream: 7,
+                before_ts: 99,
+                keep_level: 2,
+            },
             Request::StreamInfo { stream: 0 },
-            Request::PutGrant { stream: 1, principal: "dr-alice".into(), blob: vec![9; 40] },
-            Request::GetGrants { stream: 1, principal: "dr-alice".into() },
-            Request::RevokeGrants { stream: 1, principal: "dr-alice".into() },
+            Request::PutGrant {
+                stream: 1,
+                principal: "dr-alice".into(),
+                blob: vec![9; 40],
+            },
+            Request::GetGrants {
+                stream: 1,
+                principal: "dr-alice".into(),
+            },
+            Request::RevokeGrants {
+                stream: 1,
+                principal: "dr-alice".into(),
+            },
             Request::PutEnvelopes {
                 stream: 2,
                 resolution: 6,
                 envelopes: vec![(0, vec![1]), (1, vec![2, 3])],
             },
-            Request::GetEnvelopes { stream: 2, resolution: 6, lo: 3, hi: 9 },
-            Request::PutAttestation { stream: 4, attestation: vec![8; 128] },
+            Request::GetEnvelopes {
+                stream: 2,
+                resolution: 6,
+                lo: 3,
+                hi: 9,
+            },
+            Request::PutAttestation {
+                stream: 4,
+                attestation: vec![8; 128],
+            },
             Request::GetAttestation { stream: 4 },
-            Request::GetRangeProof { stream: 4, ts_s: 0, ts_e: 500 },
-            Request::GetVerifiedRange { stream: 4, ts_s: -1, ts_e: 500 },
+            Request::GetRangeProof {
+                stream: 4,
+                ts_s: 0,
+                ts_e: 500,
+            },
+            Request::GetVerifiedRange {
+                stream: 4,
+                ts_s: -1,
+                ts_e: 500,
+            },
+            Request::InsertBatch {
+                chunks: vec![vec![1, 2, 3], vec![], vec![9; 40]],
+            },
+            Request::Stats,
             Request::Ping,
         ]
     }
@@ -638,16 +942,55 @@ mod tests {
             Response::Error("boom".into()),
             Response::Chunks(vec![vec![], vec![1, 2]]),
             Response::Records(vec![vec![9], vec![]]),
-            Response::Stat(StatReply { parts: vec![(1, 0, 10), (2, 5, 7)], agg: vec![1, u64::MAX] }),
+            Response::Stat(StatReply {
+                parts: vec![(1, 0, 10), (2, 5, 7)],
+                agg: vec![1, u64::MAX],
+            }),
             Response::Blobs(vec![vec![7; 3]]),
             Response::Envelopes(vec![(4, vec![1, 2, 3])]),
-            Response::Info(StreamInfoWire { stream: 3, t0: 1, delta_ms: 2, digest_width: 4, len: 5 }),
-            Response::Attested { attestation: vec![1; 128], proof: vec![2, 3] },
+            Response::Info(StreamInfoWire {
+                stream: 3,
+                t0: 1,
+                delta_ms: 2,
+                digest_width: 4,
+                len: 5,
+            }),
+            Response::Attested {
+                attestation: vec![1; 128],
+                proof: vec![2, 3],
+            },
             Response::VerifiedChunks {
                 attestation: vec![1; 128],
                 proof: vec![2, 3],
                 chunks: vec![vec![4], vec![]],
             },
+            Response::Batch {
+                errors: vec![(3, "out-of-order".into()), (7, "width".into())],
+            },
+            Response::Batch { errors: vec![] },
+            Response::ServiceStats(ServiceStatsWire {
+                shards: vec![
+                    ShardStatsWire {
+                        shard: 0,
+                        streams: 2,
+                        ingested_chunks: 100,
+                        ingest_errors: 1,
+                        queries: 7,
+                        query_errors: 0,
+                        queue_depth: 3,
+                        ingest_hist_us: vec![0, 4, 90, 6],
+                        query_hist_us: vec![1, 6],
+                    },
+                    ShardStatsWire {
+                        shard: 1,
+                        ..Default::default()
+                    },
+                ],
+                store_gets: 11,
+                store_puts: 22,
+                store_deletes: 0,
+                store_scans: 5,
+            }),
             Response::Pong,
         ]
     }

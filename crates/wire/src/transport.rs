@@ -62,7 +62,11 @@ impl Server {
                 }
             }
         });
-        Ok(Server { addr, stop, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address (for ephemeral-port tests).
@@ -238,7 +242,9 @@ mod tests {
         let server = echo_server();
         let mut client = Client::connect(server.addr()).unwrap();
         let big = vec![0xabu8; 1 << 20];
-        let resp = client.call(&Request::Insert { chunk: big.clone() }).unwrap();
+        let resp = client
+            .call(&Request::Insert { chunk: big.clone() })
+            .unwrap();
         assert_eq!(resp, Response::Chunks(vec![big]));
     }
 

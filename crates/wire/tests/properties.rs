@@ -2,7 +2,9 @@
 //! field values; no panics on arbitrary bytes.
 
 use proptest::prelude::*;
-use timecrypt_wire::messages::{Request, Response, StatReply, StreamInfoWire};
+use timecrypt_wire::messages::{
+    Request, Response, ServiceStatsWire, ShardStatsWire, StatReply, StreamInfoWire,
+};
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
@@ -18,23 +20,59 @@ fn arb_request() -> impl Strategy<Value = Request> {
         proptest::collection::vec(any::<u8>(), 0..200).prop_map(|chunk| Request::Insert { chunk }),
         (any::<u128>(), any::<i64>(), any::<i64>())
             .prop_map(|(stream, ts_s, ts_e)| Request::GetRange { stream, ts_s, ts_e }),
-        (proptest::collection::vec(any::<u128>(), 0..10), any::<i64>(), any::<i64>())
-            .prop_map(|(streams, ts_s, ts_e)| Request::GetStatRange { streams, ts_s, ts_e }),
-        (any::<u128>(), "[a-z0-9-]{0,30}", proptest::collection::vec(any::<u8>(), 0..100))
-            .prop_map(|(stream, principal, blob)| Request::PutGrant { stream, principal, blob }),
-        (any::<u128>(), any::<u64>(), proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..40)), 0..8))
-            .prop_map(|(stream, resolution, envelopes)| Request::PutEnvelopes { stream, resolution, envelopes }),
+        (
+            proptest::collection::vec(any::<u128>(), 0..10),
+            any::<i64>(),
+            any::<i64>()
+        )
+            .prop_map(|(streams, ts_s, ts_e)| Request::GetStatRange {
+                streams,
+                ts_s,
+                ts_e
+            }),
+        (
+            any::<u128>(),
+            "[a-z0-9-]{0,30}",
+            proptest::collection::vec(any::<u8>(), 0..100)
+        )
+            .prop_map(|(stream, principal, blob)| Request::PutGrant {
+                stream,
+                principal,
+                blob
+            }),
+        (
+            any::<u128>(),
+            any::<u64>(),
+            proptest::collection::vec(
+                (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..40)),
+                0..8
+            )
+        )
+            .prop_map(|(stream, resolution, envelopes)| Request::PutEnvelopes {
+                stream,
+                resolution,
+                envelopes
+            }),
         proptest::collection::vec(any::<u8>(), 0..120)
             .prop_map(|record| Request::InsertLive { record }),
         (any::<u128>(), any::<i64>(), any::<i64>())
             .prop_map(|(stream, ts_s, ts_e)| Request::GetLive { stream, ts_s, ts_e }),
-        (any::<u128>(), proptest::collection::vec(any::<u8>(), 0..160))
-            .prop_map(|(stream, attestation)| Request::PutAttestation { stream, attestation }),
+        (
+            any::<u128>(),
+            proptest::collection::vec(any::<u8>(), 0..160)
+        )
+            .prop_map(|(stream, attestation)| Request::PutAttestation {
+                stream,
+                attestation
+            }),
         any::<u128>().prop_map(|stream| Request::GetAttestation { stream }),
         (any::<u128>(), any::<i64>(), any::<i64>())
             .prop_map(|(stream, ts_s, ts_e)| Request::GetRangeProof { stream, ts_s, ts_e }),
         (any::<u128>(), any::<i64>(), any::<i64>())
             .prop_map(|(stream, ts_s, ts_e)| Request::GetVerifiedRange { stream, ts_s, ts_e }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..80), 0..10)
+            .prop_map(|chunks| Request::InsertBatch { chunks }),
+        Just(Request::Stats),
         Just(Request::Ping),
     ]
 }
@@ -48,7 +86,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
             .prop_map(Response::Chunks),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 0..8)
             .prop_map(Response::Records),
-        (proptest::collection::vec(any::<u8>(), 0..160), proptest::collection::vec(any::<u8>(), 0..160))
+        (
+            proptest::collection::vec(any::<u8>(), 0..160),
+            proptest::collection::vec(any::<u8>(), 0..160)
+        )
             .prop_map(|(attestation, proof)| Response::Attested { attestation, proof }),
         (
             proptest::collection::vec(any::<u8>(), 0..160),
@@ -65,15 +106,69 @@ fn arb_response() -> impl Strategy<Value = Response> {
             proptest::collection::vec(any::<u64>(), 0..20),
         )
             .prop_map(|(parts, agg)| Response::Stat(StatReply { parts, agg })),
-        (any::<u128>(), any::<i64>(), any::<u64>(), any::<u32>(), any::<u64>()).prop_map(
-            |(stream, t0, delta_ms, digest_width, len)| Response::Info(StreamInfoWire {
-                stream,
-                t0,
-                delta_ms,
-                digest_width,
-                len
-            })
-        ),
+        (
+            any::<u128>(),
+            any::<i64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>()
+        )
+            .prop_map(|(stream, t0, delta_ms, digest_width, len)| Response::Info(
+                StreamInfoWire {
+                    stream,
+                    t0,
+                    delta_ms,
+                    digest_width,
+                    len
+                }
+            )),
+        proptest::collection::vec((any::<u32>(), "[ -~]{0,40}"), 0..8)
+            .prop_map(|errors| Response::Batch { errors }),
+        (
+            proptest::collection::vec(
+                (
+                    (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                    (any::<u64>(), any::<u64>(), any::<u64>()),
+                    proptest::collection::vec(any::<u64>(), 0..8),
+                    proptest::collection::vec(any::<u64>(), 0..8),
+                ),
+                0..4,
+            ),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(
+                |(shards, (store_gets, store_puts, store_deletes, store_scans))| {
+                    Response::ServiceStats(ServiceStatsWire {
+                        shards: shards
+                            .into_iter()
+                            .map(
+                                |(
+                                    (shard, streams, ingested_chunks, ingest_errors),
+                                    (queries, query_errors, queue_depth),
+                                    ingest_hist_us,
+                                    query_hist_us,
+                                )| {
+                                    ShardStatsWire {
+                                        shard,
+                                        streams,
+                                        ingested_chunks,
+                                        ingest_errors,
+                                        queries,
+                                        query_errors,
+                                        queue_depth,
+                                        ingest_hist_us,
+                                        query_hist_us,
+                                    }
+                                },
+                            )
+                            .collect(),
+                        store_gets,
+                        store_puts,
+                        store_deletes,
+                        store_scans,
+                    })
+                }
+            ),
     ]
 }
 

@@ -25,9 +25,8 @@ use timecrypt::server::{ServerConfig, TimeCryptServer};
 use timecrypt::store::MemKv;
 
 fn main() {
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut t = InProcess::new(server.clone());
 
     // A week of power-meter readings, Δ = 60 s, one reading per 10 s.
@@ -39,22 +38,32 @@ fn main() {
         SecureRandom::from_entropy(),
     );
     owner.create_stream(&mut t).unwrap();
-    let mut meter =
-        Producer::new(cfg.clone(), owner.provision_producer(), SecureRandom::from_entropy());
+    let mut meter = Producer::new(
+        cfg.clone(),
+        owner.provision_producer(),
+        SecureRandom::from_entropy(),
+    );
     let week_ms = 7 * 24 * 3_600_000i64;
     for ts in (0..week_ms).step_by(10_000) {
         let watts = 200 + ((ts / 3_600_000) % 24 - 12).abs() * 30; // daily curve
         meter.push(&mut t, DataPoint::new(ts, watts)).unwrap();
     }
     meter.flush(&mut t).unwrap();
-    println!("ingested one week: {} encrypted chunks", meter.chunks_sent());
+    println!(
+        "ingested one week: {} encrypted chunks",
+        meter.chunks_sent()
+    );
 
     let mut rng = SecureRandom::from_entropy();
     let mut dashboard = Consumer::new("dashboard", &mut rng);
-    owner.grant_access(&mut t, "dashboard", dashboard.public_key(), 0, week_ms).unwrap();
+    owner
+        .grant_access(&mut t, "dashboard", dashboard.public_key(), 0, week_ms)
+        .unwrap();
     dashboard.sync_grants(&mut t, cfg.id).unwrap();
 
-    let day1_stats = dashboard.stat_query(&mut t, cfg.id, 0, 24 * 3_600_000).unwrap();
+    let day1_stats = dashboard
+        .stat_query(&mut t, cfg.id, 0, 24 * 3_600_000)
+        .unwrap();
     let day1_raw = dashboard.get_range(&mut t, cfg.id, 0, 3_600_000).unwrap();
     println!(
         "before decay:  day-1 mean = {:.1} W, first-hour raw points = {}",
@@ -76,14 +85,19 @@ fn main() {
     );
 
     // Statistics over the decayed period are intact (digests were kept)…
-    let s = dashboard.stat_query(&mut t, cfg.id, 0, 24 * 3_600_000).unwrap();
+    let s = dashboard
+        .stat_query(&mut t, cfg.id, 0, 24 * 3_600_000)
+        .unwrap();
     println!(
         "after decay:   day-1 mean = {:.1} W (statistical history preserved)",
         s.mean().unwrap()
     );
     // …raw reads of the decayed period return nothing…
     let old_raw = dashboard.get_range(&mut t, cfg.id, 0, 3_600_000).unwrap();
-    println!("after decay:   first-hour raw points = {} (aged out)", old_raw.len());
+    println!(
+        "after decay:   first-hour raw points = {} (aged out)",
+        old_raw.len()
+    );
     // …and fresh data is still fully readable.
     let fresh = dashboard
         .get_range(&mut t, cfg.id, week_ms - 3_600_000, week_ms)

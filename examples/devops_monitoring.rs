@@ -27,13 +27,15 @@ fn stream_cfg(host: u32) -> StreamConfig {
         DigestOp::Count,
         DigestOp::Histogram { bounds: vec![50] },
     ]);
-    StreamConfig { schema, ..StreamConfig::new(0xD0 + host as u128, "cpu", 0, 60_000) }
+    StreamConfig {
+        schema,
+        ..StreamConfig::new(0xD0 + host as u128, "cpu", 0, 60_000)
+    }
 }
 
 fn main() {
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut t = InProcess::new(server.clone());
     let mut rng = SecureRandom::from_entropy();
 
@@ -55,7 +57,11 @@ fn main() {
     // run hot, odd hosts idle.
     for (h, owner) in owners.iter().enumerate() {
         let cfg = stream_cfg(h as u32);
-        let mut p = Producer::new(cfg, owner.provision_producer(), SecureRandom::from_entropy());
+        let mut p = Producer::new(
+            cfg,
+            owner.provision_producer(),
+            SecureRandom::from_entropy(),
+        );
         for tick in 0..(MINUTES * 6) {
             let ts = tick * 10_000;
             let base = if h % 2 == 0 { 75 } else { 20 };

@@ -27,9 +27,8 @@ const MIN: i64 = 60_000;
 const HOUR: i64 = 60 * MIN;
 
 fn main() {
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut t = InProcess::new(server.clone());
 
     // Alice's heart-rate stream: Δ = 10 s.
@@ -44,8 +43,11 @@ fn main() {
 
     // Simulate 3 hours of wearable data at 1 Hz. The workout is hour 2,
     // where the heart rate climbs.
-    let mut producer =
-        Producer::new(cfg.clone(), alice.provision_producer(), SecureRandom::from_entropy());
+    let mut producer = Producer::new(
+        cfg.clone(),
+        alice.provision_producer(),
+        SecureRandom::from_entropy(),
+    );
     for sec in 0..(3 * 3600) {
         let ts = sec * 1000;
         let hour = ts / HOUR;
@@ -68,7 +70,10 @@ fn main() {
     let s = doctor.stat_query(&mut t, cfg.id, 0, MIN).unwrap();
     println!("doctor, minute 0 mean: {:.1} bpm", s.mean().unwrap());
     let s = doctor.stat_query(&mut t, cfg.id, HOUR, HOUR + MIN).unwrap();
-    println!("doctor, first workout minute mean: {:.1} bpm", s.mean().unwrap());
+    println!(
+        "doctor, first workout minute mean: {:.1} bpm",
+        s.mean().unwrap()
+    );
     // But a single 10 s chunk is *cryptographically* out of reach:
     let denied = doctor.stat_query(&mut t, cfg.id, 0, 10_000);
     println!("doctor at 10 s granularity: {}", denied.unwrap_err());
@@ -79,8 +84,13 @@ fn main() {
         .grant_access(&mut t, "trainer", trainer.public_key(), HOUR, 2 * HOUR)
         .unwrap();
     trainer.sync_grants(&mut t, cfg.id).unwrap();
-    let s = trainer.stat_query(&mut t, cfg.id, HOUR, HOUR + 10_000).unwrap();
-    println!("trainer, one 10 s chunk in the workout: mean {:.1} bpm", s.mean().unwrap());
+    let s = trainer
+        .stat_query(&mut t, cfg.id, HOUR, HOUR + 10_000)
+        .unwrap();
+    println!(
+        "trainer, one 10 s chunk in the workout: mean {:.1} bpm",
+        s.mean().unwrap()
+    );
     let denied = trainer.stat_query(&mut t, cfg.id, 0, MIN);
     println!("trainer outside the workout hour: {}", denied.unwrap_err());
 

@@ -17,9 +17,8 @@ use timecrypt::store::MemKv;
 
 fn main() {
     // ── Server side (untrusted): engine over a KV store ────────────────
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut transport = InProcess::new(server.clone());
 
     // ── Data owner: create the stream and hold the master key ──────────
@@ -34,15 +33,23 @@ fn main() {
     owner.create_stream(&mut transport).unwrap();
 
     // ── Producer: a wearable pushing one sample per second ─────────────
-    let mut producer =
-        Producer::new(cfg.clone(), owner.provision_producer(), SecureRandom::from_entropy());
+    let mut producer = Producer::new(
+        cfg.clone(),
+        owner.provision_producer(),
+        SecureRandom::from_entropy(),
+    );
     for sec in 0..600 {
         // 10 minutes of data: a gentle sine around 72 bpm.
         let bpm = 72.0 + 8.0 * (sec as f64 / 60.0).sin();
-        producer.push(&mut transport, DataPoint::new(sec * 1000, bpm as i64)).unwrap();
+        producer
+            .push(&mut transport, DataPoint::new(sec * 1000, bpm as i64))
+            .unwrap();
     }
     producer.flush(&mut transport).unwrap();
-    println!("producer uploaded {} encrypted chunks", producer.chunks_sent());
+    println!(
+        "producer uploaded {} encrypted chunks",
+        producer.chunks_sent()
+    );
 
     // ── Consumer: a doctor granted the first 5 minutes only ────────────
     let mut rng = SecureRandom::from_entropy();
@@ -54,7 +61,9 @@ fn main() {
 
     // Statistical query over the first 5 minutes — the server sums HEAC
     // ciphertexts; only the doctor can decrypt the result.
-    let summary = doctor.stat_query(&mut transport, cfg.id, 0, 300_000).unwrap();
+    let summary = doctor
+        .stat_query(&mut transport, cfg.id, 0, 300_000)
+        .unwrap();
     println!(
         "first 5 min:  count={}  mean={:.1} bpm  stddev={:.2}",
         summary.count.unwrap(),

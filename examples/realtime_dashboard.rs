@@ -20,9 +20,8 @@ use timecrypt::server::{ServerConfig, TimeCryptServer};
 use timecrypt::store::MemKv;
 
 fn main() {
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut transport = InProcess::new(server.clone());
 
     // ICU bedside monitor: Δ = 10 s chunks, 1 Hz samples.
@@ -34,14 +33,23 @@ fn main() {
         SecureRandom::from_entropy(),
     );
     owner.create_stream(&mut transport).unwrap();
-    let mut monitor =
-        Producer::new(cfg.clone(), owner.provision_producer(), SecureRandom::from_entropy());
+    let mut monitor = Producer::new(
+        cfg.clone(),
+        owner.provision_producer(),
+        SecureRandom::from_entropy(),
+    );
 
     // The nurse's station dashboard, granted the whole shift.
     let mut rng = SecureRandom::from_entropy();
     let mut dashboard = Consumer::new("nurse-station", &mut rng);
     owner
-        .grant_access(&mut transport, "nurse-station", dashboard.public_key(), 0, 8 * 3_600_000)
+        .grant_access(
+            &mut transport,
+            "nurse-station",
+            dashboard.public_key(),
+            0,
+            8 * 3_600_000,
+        )
         .unwrap();
     dashboard.sync_grants(&mut transport, cfg.id).unwrap();
 
@@ -51,14 +59,20 @@ fn main() {
     println!("----   ------------        ---------");
     for sec in 0..24i64 {
         let spo2 = 97 - (sec % 5).min(2); // a plausible wobble
-        monitor.push_live(&mut transport, DataPoint::new(sec * 1000, spo2)).unwrap();
+        monitor
+            .push_live(&mut transport, DataPoint::new(sec * 1000, spo2))
+            .unwrap();
 
         if sec % 4 == 3 {
             let now = (sec + 1) * 1000;
             let chunked = dashboard.get_range(&mut transport, cfg.id, 0, now).unwrap();
-            let live = dashboard.get_range_live(&mut transport, cfg.id, 0, now).unwrap();
+            let live = dashboard
+                .get_range_live(&mut transport, cfg.id, 0, now)
+                .unwrap();
             let last = |pts: &[DataPoint]| {
-                pts.last().map(|p| format!("{} @ {:>2}s", p.value, p.ts / 1000)).unwrap_or_else(|| "—".into())
+                pts.last()
+                    .map(|p| format!("{} @ {:>2}s", p.value, p.ts / 1000))
+                    .unwrap_or_else(|| "—".into())
             };
             println!(
                 "{:>3}    {:<7} ({:>2} pts)    {:<7} ({:>2} pts)",
@@ -71,7 +85,10 @@ fn main() {
         }
     }
     println!();
-    println!("buffered live records on server: {}", server.live_len(cfg.id));
+    println!(
+        "buffered live records on server: {}",
+        server.live_len(cfg.id)
+    );
     println!("chunks finalized: {}", monitor.chunks_sent());
     println!();
     println!("The chunked view is empty until the first 10 s chunk closes and");

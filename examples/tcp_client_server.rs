@@ -47,11 +47,17 @@ fn main() {
     owner.create_stream(&mut owner_conn).unwrap();
 
     let mut producer_conn = TcpClient::connect(addr).unwrap();
-    let mut producer =
-        Producer::new(cfg.clone(), owner.provision_producer(), SecureRandom::from_entropy());
+    let mut producer = Producer::new(
+        cfg.clone(),
+        owner.provision_producer(),
+        SecureRandom::from_entropy(),
+    );
     for sec in 0..300 {
         producer
-            .push(&mut producer_conn, DataPoint::new(sec * 1000, 20 + (sec % 7)))
+            .push(
+                &mut producer_conn,
+                DataPoint::new(sec * 1000, 20 + (sec % 7)),
+            )
             .unwrap();
     }
     producer.flush(&mut producer_conn).unwrap();
@@ -65,8 +71,14 @@ fn main() {
         .unwrap();
     let mut consumer_conn = TcpClient::connect(addr).unwrap();
     consumer.sync_grants(&mut consumer_conn, cfg.id).unwrap();
-    let s = consumer.stat_query(&mut consumer_conn, cfg.id, 0, 300_000).unwrap();
-    println!("mean over 5 min: {:.2} °C ({} samples)", s.mean().unwrap(), s.count.unwrap());
+    let s = consumer
+        .stat_query(&mut consumer_conn, cfg.id, 0, 300_000)
+        .unwrap();
+    println!(
+        "mean over 5 min: {:.2} °C ({} samples)",
+        s.mean().unwrap(),
+        s.count.unwrap()
+    );
 
     // ── Kill the server; reboot from the log; query again ──────────────
     drop(tcp);
@@ -80,7 +92,9 @@ fn main() {
     );
     let tcp2 = TcpServer::bind("127.0.0.1:0", engine2).unwrap();
     let mut consumer_conn2 = TcpClient::connect(tcp2.addr()).unwrap();
-    let s = consumer.stat_query(&mut consumer_conn2, cfg.id, 0, 300_000).unwrap();
+    let s = consumer
+        .stat_query(&mut consumer_conn2, cfg.id, 0, 300_000)
+        .unwrap();
     println!(
         "after server restart from log: mean {:.2} °C ({} samples)",
         s.mean().unwrap(),

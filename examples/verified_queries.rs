@@ -51,12 +51,20 @@ fn main() {
                 DataPoint::new(t, 90 + ((t / 1000) % 30)) // mg/dL wobble
             })
             .collect();
-        let sealed = PlainChunk { stream: STREAM, index: i, points }
-            .seal(&cfg, &keys, &mut rng)
-            .unwrap();
+        let sealed = PlainChunk {
+            stream: STREAM,
+            index: i,
+            points,
+        }
+        .seal(&cfg, &keys, &mut rng)
+        .unwrap();
         let commitment = chunk_commitment(&sealed.to_bytes());
-        owner_ledger.append(commitment, sealed.digest_ct.clone()).unwrap();
-        server_ledger.append(commitment, sealed.digest_ct.clone()).unwrap();
+        owner_ledger
+            .append(commitment, sealed.digest_ct.clone())
+            .unwrap();
+        server_ledger
+            .append(commitment, sealed.digest_ct.clone())
+            .unwrap();
         server_chunks.push(sealed);
     }
     // Owner publishes a signed root covering the whole day.
@@ -71,7 +79,9 @@ fn main() {
     // ── Consumer: verified morning average (06:00–12:00) ──────────────────
     let vk = owner_key.verifying_key();
     let (lo, hi) = (6 * 360usize, 12 * 360usize); // chunk indices at Δ = 10 s
-    let proof = server_ledger.prove_range(lo, hi, attestation.size as usize).unwrap();
+    let proof = server_ledger
+        .prove_range(lo, hi, attestation.size as usize)
+        .unwrap();
     let verified_ct = verify_attested_range(STREAM, &attestation, &vk, &proof).unwrap();
     println!("range proof for chunks [{lo},{hi}) verified against the signed root");
 
@@ -79,7 +89,12 @@ fn main() {
     // its granted token set — integrity and access control are independent).
     let plain = decrypt_range_sum(&keys.tree, lo as u64, hi as u64, &verified_ct).unwrap();
     let sum_at = |op: DigestOp| {
-        cfg.schema.ops().iter().position(|o| *o == op).map(|i| plain[i]).unwrap()
+        cfg.schema
+            .ops()
+            .iter()
+            .position(|o| *o == op)
+            .map(|i| plain[i])
+            .unwrap()
     };
     let (sum, count) = (sum_at(DigestOp::Sum) as i64, sum_at(DigestOp::Count));
     println!(
@@ -94,14 +109,21 @@ fn main() {
             continue; // silently drop one chunk from the morning
         }
         cheating
-            .append(chunk_commitment(&sealed.to_bytes()), sealed.digest_ct.clone())
+            .append(
+                chunk_commitment(&sealed.to_bytes()),
+                sealed.digest_ct.clone(),
+            )
             .unwrap();
     }
     // The cheater is one chunk short of the attested size; pad with a replay
     // to match, then try to prove.
     let last = server_chunks.last().unwrap();
-    cheating.append(chunk_commitment(&last.to_bytes()), last.digest_ct.clone()).unwrap();
-    let forged = cheating.prove_range(lo, hi, attestation.size as usize).unwrap();
+    cheating
+        .append(chunk_commitment(&last.to_bytes()), last.digest_ct.clone())
+        .unwrap();
+    let forged = cheating
+        .prove_range(lo, hi, attestation.size as usize)
+        .unwrap();
     match verify_attested_range(STREAM, &attestation, &vk, &forged) {
         Err(e) => println!("cheating server caught: {e}"),
         Ok(_) => unreachable!("a forged history must not verify"),

@@ -21,8 +21,11 @@
 //! * [`index`](timecrypt_index) — the k-ary time-partitioned aggregation
 //!   tree with LRU node cache.
 //! * [`store`](timecrypt_store) — KV engines (memory / persistent log /
-//!   latency-injected).
+//!   latency-injected / op-metered).
 //! * [`server`](timecrypt_server) — the untrusted server engine.
+//! * [`service`](timecrypt_service) — the sharded concurrent serving tier:
+//!   shard-routed engines, batched ingest workers, scatter-gather
+//!   statistical queries, per-shard metrics.
 //! * [`client`](timecrypt_client) — producer, data owner, consumer.
 //! * [`wire`](timecrypt_wire) — framing + TCP transport.
 //! * [`baselines`](timecrypt_baselines) — Paillier, EC-ElGamal/P-256,
@@ -45,5 +48,6 @@ pub use timecrypt_crypto as crypto;
 pub use timecrypt_index as index;
 pub use timecrypt_integrity as integrity;
 pub use timecrypt_server as server;
+pub use timecrypt_service as service;
 pub use timecrypt_store as store;
 pub use timecrypt_wire as wire;

@@ -11,9 +11,8 @@ use timecrypt::store::MemKv;
 const MIN: i64 = 60_000;
 
 fn setup(seconds: i64) -> (InProcess, StreamConfig, DataOwner) {
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut t = InProcess::new(server);
     let cfg = StreamConfig::new(9, "hr", 0, 10_000);
     let mut owner = DataOwner::with_height(
@@ -29,7 +28,8 @@ fn setup(seconds: i64) -> (InProcess, StreamConfig, DataOwner) {
         SecureRandom::from_seed_insecure(2),
     );
     for s in 0..seconds {
-        p.push(&mut t, DataPoint::new(s * 1000, 60 + (s % 30))).unwrap();
+        p.push(&mut t, DataPoint::new(s * 1000, 60 + (s % 30)))
+            .unwrap();
     }
     p.flush(&mut t).unwrap();
     (t, cfg, owner)
@@ -41,12 +41,16 @@ fn time_scope_is_enforced_on_both_ends() {
     let mut rng = SecureRandom::from_seed_insecure(3);
     let mut c = Consumer::new("c", &mut rng);
     // Grant minutes [10, 20).
-    owner.grant_access(&mut t, "c", c.public_key(), 10 * MIN, 20 * MIN).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 10 * MIN, 20 * MIN)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
     // Inside: works at every alignment within the window.
     assert!(c.stat_query(&mut t, cfg.id, 10 * MIN, 20 * MIN).is_ok());
     assert!(c.stat_query(&mut t, cfg.id, 12 * MIN, 13 * MIN).is_ok());
-    assert!(c.stat_query(&mut t, cfg.id, 10 * MIN, 10 * MIN + 10_000).is_ok());
+    assert!(c
+        .stat_query(&mut t, cfg.id, 10 * MIN, 10 * MIN + 10_000)
+        .is_ok());
     // Straddling or outside: the boundary key is underivable.
     assert!(c.stat_query(&mut t, cfg.id, 9 * MIN, 11 * MIN).is_err());
     assert!(c.stat_query(&mut t, cfg.id, 19 * MIN, 21 * MIN).is_err());
@@ -94,8 +98,12 @@ fn mixed_grants_compose() {
     // Minute-level works anywhere.
     assert!(c.stat_query(&mut t, cfg.id, 25 * MIN, 26 * MIN).is_ok());
     // Chunk-level works only inside the session window.
-    assert!(c.stat_query(&mut t, cfg.id, 10 * MIN, 10 * MIN + 10_000).is_ok());
-    assert!(c.stat_query(&mut t, cfg.id, 20 * MIN, 20 * MIN + 10_000).is_err());
+    assert!(c
+        .stat_query(&mut t, cfg.id, 10 * MIN, 10 * MIN + 10_000)
+        .is_ok());
+    assert!(c
+        .stat_query(&mut t, cfg.id, 20 * MIN, 20 * MIN + 10_000)
+        .is_err());
 }
 
 #[test]
@@ -104,8 +112,12 @@ fn two_principals_isolated() {
     let mut rng = SecureRandom::from_seed_insecure(6);
     let mut a = Consumer::new("a", &mut rng);
     let mut b = Consumer::new("b", &mut rng);
-    owner.grant_access(&mut t, "a", a.public_key(), 0, 5 * MIN).unwrap();
-    owner.grant_access(&mut t, "b", b.public_key(), 5 * MIN, 10 * MIN).unwrap();
+    owner
+        .grant_access(&mut t, "a", a.public_key(), 0, 5 * MIN)
+        .unwrap();
+    owner
+        .grant_access(&mut t, "b", b.public_key(), 5 * MIN, 10 * MIN)
+        .unwrap();
     a.sync_grants(&mut t, cfg.id).unwrap();
     b.sync_grants(&mut t, cfg.id).unwrap();
     assert!(a.stat_query(&mut t, cfg.id, 0, 5 * MIN).is_ok());
@@ -119,7 +131,9 @@ fn revocation_removes_grants_and_preserves_old_access() {
     let (mut t, cfg, mut owner) = setup(10 * 60);
     let mut rng = SecureRandom::from_seed_insecure(7);
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 5 * MIN).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 5 * MIN)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
     // Revoke. The key store forgets the principal...
     owner.revoke(&mut t, "c").unwrap();

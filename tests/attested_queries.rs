@@ -18,7 +18,12 @@ fn setup(kv: Arc<dyn timecrypt::store::KvStore>) -> (Arc<TimeCryptServer>, InPro
 }
 
 fn owner_for(cfg: &StreamConfig, seed: u64) -> DataOwner {
-    DataOwner::with_height(cfg.clone(), [7u8; 16], 24, SecureRandom::from_seed_insecure(seed))
+    DataOwner::with_height(
+        cfg.clone(),
+        [7u8; 16],
+        24,
+        SecureRandom::from_seed_insecure(seed),
+    )
 }
 
 /// Producer with attestation enabled pushes `seconds` points at 1 Hz and
@@ -56,11 +61,15 @@ fn verified_query_end_to_end_in_process() {
     ingest_attested(&mut t, &cfg, &owner, attest_key, 600);
 
     let mut alice = Consumer::new("alice", &mut rng);
-    owner.grant_access(&mut t, "alice", alice.public_key(), 0, 600_000).unwrap();
+    owner
+        .grant_access(&mut t, "alice", alice.public_key(), 0, 600_000)
+        .unwrap();
     alice.sync_grants(&mut t, cfg.id).unwrap();
 
     // Verified aggregate equals the plain statistical query.
-    let verified = alice.verified_stat_query(&mut t, cfg.id, &vk, 100_000, 300_000).unwrap();
+    let verified = alice
+        .verified_stat_query(&mut t, cfg.id, &vk, 100_000, 300_000)
+        .unwrap();
     let plain = alice.stat_query(&mut t, cfg.id, 100_000, 300_000).unwrap();
     assert_eq!(verified.sum, plain.sum);
     assert_eq!(verified.count, Some(200));
@@ -68,7 +77,9 @@ fn verified_query_end_to_end_in_process() {
 
     // The wrong verifying key is rejected before decryption.
     let other = SigningKey::generate(&mut rng).verifying_key();
-    let err = alice.verified_stat_query(&mut t, cfg.id, &other, 0, 100_000).unwrap_err();
+    let err = alice
+        .verified_stat_query(&mut t, cfg.id, &other, 0, 100_000)
+        .unwrap_err();
     assert!(err.to_string().contains("integrity"), "{err}");
 }
 
@@ -90,16 +101,22 @@ fn chunks_after_last_attestation_are_not_provable_yet() {
     p.flush(&mut t).unwrap();
 
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 200_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 200_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
 
     // A verified query over the full 200 s is clamped to the attested 100 s.
-    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 200_000).unwrap();
+    let verified = c
+        .verified_stat_query(&mut t, cfg.id, &vk, 0, 200_000)
+        .unwrap();
     assert_eq!(verified.count, Some(100));
 
     // After a fresh attestation the full range verifies.
     p.attest(&mut t).unwrap();
-    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 200_000).unwrap();
+    let verified = c
+        .verified_stat_query(&mut t, cfg.id, &vk, 0, 200_000)
+        .unwrap();
     assert_eq!(verified.count, Some(200));
     assert_eq!(verified.sum, Some((0..200).sum::<i64>()));
 }
@@ -119,21 +136,34 @@ fn attestation_epoch_regression_rejected_by_server() {
     let a0 = ledger.attest(&key, &mut rng);
     let a1 = ledger.attest(&key, &mut rng);
 
-    t.call(&Request::PutAttestation { stream: cfg.id, attestation: a1.encode() }).unwrap();
+    t.call(&Request::PutAttestation {
+        stream: cfg.id,
+        attestation: a1.encode(),
+    })
+    .unwrap();
     // Replaying the older epoch must fail (a rollback attack on consumers).
     assert!(t
-        .call(&Request::PutAttestation { stream: cfg.id, attestation: a0.encode() })
+        .call(&Request::PutAttestation {
+            stream: cfg.id,
+            attestation: a0.encode()
+        })
         .is_err());
     // Garbage attestations are rejected cleanly.
     assert!(t
-        .call(&Request::PutAttestation { stream: cfg.id, attestation: vec![1, 2, 3] })
+        .call(&Request::PutAttestation {
+            stream: cfg.id,
+            attestation: vec![1, 2, 3]
+        })
         .is_err());
     // Attestation for a different stream id is rejected.
     let mut foreign = timecrypt::integrity::StreamLedger::new(999);
     foreign.append([1u8; 32], vec![1]).unwrap();
     let af = foreign.attest(&key, &mut rng);
     assert!(t
-        .call(&Request::PutAttestation { stream: cfg.id, attestation: af.encode() })
+        .call(&Request::PutAttestation {
+            stream: cfg.id,
+            attestation: af.encode()
+        })
         .is_err());
 }
 
@@ -143,7 +173,11 @@ fn no_attestation_is_a_clean_error() {
     let cfg = StreamConfig::new(4, "hr", 0, 10_000);
     let mut owner = owner_for(&cfg, 1);
     owner.create_stream(&mut t).unwrap();
-    match t.call(&Request::GetRangeProof { stream: cfg.id, ts_s: 0, ts_e: 1000 }) {
+    match t.call(&Request::GetRangeProof {
+        stream: cfg.id,
+        ts_s: 0,
+        ts_e: 1000,
+    }) {
         Err(e) => assert!(e.to_string().contains("attestation"), "{e}"),
         Ok(Response::Attested { .. }) => panic!("proof without attestation"),
         Ok(_) => {}
@@ -170,9 +204,13 @@ fn ledger_and_attestation_survive_server_restart() {
     // Reopen over the same log: ledger rebuilt from persisted leaves.
     let (_, mut t) = setup(Arc::new(LogKv::open(&path).unwrap()));
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 300_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 300_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
-    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 300_000).unwrap();
+    let verified = c
+        .verified_stat_query(&mut t, cfg.id, &vk, 0, 300_000)
+        .unwrap();
     assert_eq!(verified.count, Some(300));
     assert_eq!(verified.sum, Some((0..300).sum::<i64>()));
     std::fs::remove_dir_all(&dir).ok();
@@ -190,11 +228,15 @@ fn verified_raw_read_matches_plain_read() {
     ingest_attested(&mut t, &cfg, &owner, key, 300);
 
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 300_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 300_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
 
     let plain = c.get_range(&mut t, cfg.id, 45_000, 155_000).unwrap();
-    let verified = c.verified_get_range(&mut t, cfg.id, &vk, 45_000, 155_000).unwrap();
+    let verified = c
+        .verified_get_range(&mut t, cfg.id, &vk, 45_000, 155_000)
+        .unwrap();
     assert_eq!(verified, plain);
     assert_eq!(verified.len(), 110);
     assert_eq!(verified[0], DataPoint::new(45_000, 45));
@@ -225,13 +267,17 @@ fn verified_raw_read_detects_chunk_substitution() {
     kv.put(&key3, &chunk2).unwrap();
 
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 100_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 100_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
 
     // The forged chunk decrypts fine under chunk 2's key... but the plain
     // read drops it silently (AES-GCM AAD pins the chunk index), while the
     // verified read *detects and reports* the substitution.
-    let err = c.verified_get_range(&mut t, cfg.id, &vk, 0, 100_000).unwrap_err();
+    let err = c
+        .verified_get_range(&mut t, cfg.id, &vk, 0, 100_000)
+        .unwrap_err();
     assert!(err.to_string().contains("commitment"), "{err}");
 }
 
@@ -248,19 +294,30 @@ fn verified_raw_read_fails_after_payload_decay() {
     let vk = key.verifying_key();
     ingest_attested(&mut t, &cfg, &owner, key, 100);
 
-    t.call(&Request::DeleteRange { stream: cfg.id, ts_s: 20_000, ts_e: 40_000 }).unwrap();
+    t.call(&Request::DeleteRange {
+        stream: cfg.id,
+        ts_s: 20_000,
+        ts_e: 40_000,
+    })
+    .unwrap();
 
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 100_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 100_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
 
     // Verified aggregate over the decayed window still works (digests live
     // in the index and the ledger).
-    let s = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 100_000).unwrap();
+    let s = c
+        .verified_stat_query(&mut t, cfg.id, &vk, 0, 100_000)
+        .unwrap();
     assert_eq!(s.count, Some(100));
     // Verified raw read over it reports the gap instead of silently
     // returning fewer points (which is what the plain get_range does).
-    assert!(c.verified_get_range(&mut t, cfg.id, &vk, 0, 100_000).is_err());
+    assert!(c
+        .verified_get_range(&mut t, cfg.id, &vk, 0, 100_000)
+        .is_err());
     let plain = c.get_range(&mut t, cfg.id, 0, 100_000).unwrap();
     assert_eq!(plain.len(), 80, "plain read silently misses 20 s of data");
 }
@@ -283,9 +340,13 @@ fn verified_query_over_tcp() {
     ingest_attested(&mut t, &cfg, &owner, key, 120);
 
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 120_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 120_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
-    let verified = c.verified_stat_query(&mut t, cfg.id, &vk, 0, 120_000).unwrap();
+    let verified = c
+        .verified_stat_query(&mut t, cfg.id, &vk, 0, 120_000)
+        .unwrap();
     assert_eq!(verified.count, Some(120));
     tcp.shutdown();
 }

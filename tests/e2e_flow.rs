@@ -9,9 +9,8 @@ use timecrypt::server::{ServerConfig, TimeCryptServer};
 use timecrypt::store::MemKv;
 
 fn setup() -> (InProcess, StreamConfig, DataOwner) {
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let transport = InProcess::new(server);
     let cfg = StreamConfig::new(1, "hr", 0, 10_000);
     let owner = DataOwner::with_height(
@@ -44,7 +43,9 @@ fn full_lifecycle_statistics_match_ground_truth() {
 
     let mut rng = SecureRandom::from_seed_insecure(3);
     let mut alice = Consumer::new("alice", &mut rng);
-    owner.grant_access(&mut t, "alice", alice.public_key(), 0, 600_000).unwrap();
+    owner
+        .grant_access(&mut t, "alice", alice.public_key(), 0, 600_000)
+        .unwrap();
     alice.sync_grants(&mut t, cfg.id).unwrap();
 
     // Whole range.
@@ -76,7 +77,9 @@ fn min_max_via_histogram() {
     ingest(&mut t, &cfg, &owner, 600);
     let mut rng = SecureRandom::from_seed_insecure(4);
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 600_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 600_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
     let s = c.stat_query(&mut t, cfg.id, 0, 600_000).unwrap();
     let h = s.histogram.unwrap();
@@ -111,10 +114,15 @@ fn grant_is_sealed_to_the_right_principal() {
     let mut rng = SecureRandom::from_seed_insecure(6);
     let alice = Consumer::new("alice", &mut rng);
     // Grant stored under Alice's *name* but sealed to Alice's *key*.
-    owner.grant_access(&mut t, "alice", alice.public_key(), 0, 60_000).unwrap();
+    owner
+        .grant_access(&mut t, "alice", alice.public_key(), 0, 60_000)
+        .unwrap();
     // Mallory impersonates the name but lacks the private key.
     let mut mallory = Consumer::new("alice", &mut rng);
-    assert!(mallory.sync_grants(&mut t, cfg.id).is_err(), "ECIES must reject");
+    assert!(
+        mallory.sync_grants(&mut t, cfg.id).is_err(),
+        "ECIES must reject"
+    );
 }
 
 #[test]
@@ -134,7 +142,9 @@ fn producer_stream_continuity_across_gaps() {
 
     let mut rng = SecureRandom::from_seed_insecure(8);
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 70_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 70_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
     let s = c.stat_query(&mut t, cfg.id, 0, 70_000).unwrap();
     assert_eq!(s.count, Some(2));
@@ -143,14 +153,23 @@ fn producer_stream_continuity_across_gaps() {
 
 #[test]
 fn multi_stream_query_needs_all_grants() {
-    let server = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let server =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let mut t = InProcess::new(server);
     let cfg1 = StreamConfig::new(1, "a", 0, 10_000);
     let cfg2 = StreamConfig::new(2, "b", 0, 10_000);
-    let mut o1 = DataOwner::with_height(cfg1.clone(), [1u8; 16], 20, SecureRandom::from_seed_insecure(1));
-    let mut o2 = DataOwner::with_height(cfg2.clone(), [2u8; 16], 20, SecureRandom::from_seed_insecure(2));
+    let mut o1 = DataOwner::with_height(
+        cfg1.clone(),
+        [1u8; 16],
+        20,
+        SecureRandom::from_seed_insecure(1),
+    );
+    let mut o2 = DataOwner::with_height(
+        cfg2.clone(),
+        [2u8; 16],
+        20,
+        SecureRandom::from_seed_insecure(2),
+    );
     o1.create_stream(&mut t).unwrap();
     o2.create_stream(&mut t).unwrap();
     ingest(&mut t, &cfg1, &o1, 100);
@@ -158,14 +177,16 @@ fn multi_stream_query_needs_all_grants() {
 
     let mut rng = SecureRandom::from_seed_insecure(9);
     let mut c = Consumer::new("c", &mut rng);
-    o1.grant_access(&mut t, "c", c.public_key(), 0, 100_000).unwrap();
+    o1.grant_access(&mut t, "c", c.public_key(), 0, 100_000)
+        .unwrap();
     c.sync_grants(&mut t, 1).unwrap();
 
     // Only one grant: the combined ciphertext cannot be decrypted.
     assert!(c.stat_query_multi(&mut t, &[1, 2], 0, 100_000).is_err());
 
     // With both grants the inter-stream sum decrypts.
-    o2.grant_access(&mut t, "c", c.public_key(), 0, 100_000).unwrap();
+    o2.grant_access(&mut t, "c", c.public_key(), 0, 100_000)
+        .unwrap();
     c.sync_grants(&mut t, 2).unwrap();
     let s = c.stat_query_multi(&mut t, &[1, 2], 0, 100_000).unwrap();
     assert_eq!(s.count, Some(200));
@@ -179,7 +200,9 @@ fn delete_range_keeps_statistics_drops_raw() {
     ingest(&mut t, &cfg, &owner, 600);
     let mut rng = SecureRandom::from_seed_insecure(11);
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 600_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 600_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
 
     // Age out the first 5 minutes of raw payloads.
@@ -207,7 +230,9 @@ fn rollup_preserves_coarse_queries() {
     owner.rollup(&mut t, 500_000, 2).unwrap();
     let mut rng = SecureRandom::from_seed_insecure(10);
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut t, "c", c.public_key(), 0, 1_000_000).unwrap();
+    owner
+        .grant_access(&mut t, "c", c.public_key(), 0, 1_000_000)
+        .unwrap();
     c.sync_grants(&mut t, cfg.id).unwrap();
     let s = c.stat_query(&mut t, cfg.id, 0, 1_000_000).unwrap();
     assert_eq!(s.count, Some(1000));

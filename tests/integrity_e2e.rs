@@ -10,9 +10,7 @@ use timecrypt::baselines::SigningKey;
 use timecrypt::chunk::{DataPoint, PlainChunk, StreamConfig};
 use timecrypt::core::{decrypt_range_sum, StreamKeyMaterial};
 use timecrypt::crypto::SecureRandom;
-use timecrypt::integrity::{
-    chunk_commitment, verify_attested_range, AttestError, StreamLedger,
-};
+use timecrypt::integrity::{chunk_commitment, verify_attested_range, AttestError, StreamLedger};
 
 const STREAM: u128 = 77;
 const CHUNKS: u64 = 40;
@@ -43,12 +41,29 @@ fn build_world() -> World {
                 DataPoint::new(i as i64 * 10_000 + p * 1_000, global)
             })
             .collect();
-        let sealed = PlainChunk { stream: STREAM, index: i, points }.seal(&cfg, &keys, &mut rng).unwrap();
+        let sealed = PlainChunk {
+            stream: STREAM,
+            index: i,
+            points,
+        }
+        .seal(&cfg, &keys, &mut rng)
+        .unwrap();
         let commitment = chunk_commitment(&sealed.to_bytes());
-        owner_ledger.append(commitment, sealed.digest_ct.clone()).unwrap();
-        server_ledger.append(commitment, sealed.digest_ct.clone()).unwrap();
+        owner_ledger
+            .append(commitment, sealed.digest_ct.clone())
+            .unwrap();
+        server_ledger
+            .append(commitment, sealed.digest_ct.clone())
+            .unwrap();
     }
-    World { cfg, keys, owner_ledger, server_ledger, owner_key, rng }
+    World {
+        cfg,
+        keys,
+        owner_ledger,
+        server_ledger,
+        owner_key,
+        rng,
+    }
 }
 
 fn expected_sum(lo: u64, hi: u64) -> i64 {
@@ -62,15 +77,22 @@ fn verified_aggregate_decrypts_to_ground_truth() {
     let vk = w.owner_key.verifying_key();
 
     for (lo, hi) in [(0u64, CHUNKS), (3, 17), (39, 40), (0, 1)] {
-        let proof = w.server_ledger.prove_range(lo as usize, hi as usize, att.size as usize).unwrap();
+        let proof = w
+            .server_ledger
+            .prove_range(lo as usize, hi as usize, att.size as usize)
+            .unwrap();
         // Consumer: authenticate first, then decrypt the proven ciphertext.
         let agg_ct = verify_attested_range(STREAM, &att, &vk, &proof).unwrap();
         let plain = decrypt_range_sum(&w.keys.tree, lo, hi, &agg_ct).unwrap();
         // Element order follows the stream's digest schema; element 0 is Sum,
         // element 1 is Count in the standard schema.
-        let sum_idx = w.cfg.schema.ops().iter().position(|op| {
-            matches!(op, timecrypt::chunk::DigestOp::Sum)
-        }).unwrap();
+        let sum_idx = w
+            .cfg
+            .schema
+            .ops()
+            .iter()
+            .position(|op| matches!(op, timecrypt::chunk::DigestOp::Sum))
+            .unwrap();
         assert_eq!(plain[sum_idx] as i64, expected_sum(lo, hi), "[{lo},{hi})");
     }
 }
@@ -93,18 +115,30 @@ fn server_substituting_a_digest_is_caught_before_decryption() {
                 DataPoint::new(i as i64 * 10_000 + p * 1_000, global)
             })
             .collect();
-        let sealed = PlainChunk { stream: STREAM, index: i, points }.seal(&cfg, &w.keys, &mut rng).unwrap();
+        let sealed = PlainChunk {
+            stream: STREAM,
+            index: i,
+            points,
+        }
+        .seal(&cfg, &w.keys, &mut rng)
+        .unwrap();
         let bytes = sealed.to_bytes();
         if i == 6 {
             let replay = prev_bytes.clone().unwrap();
             let replay_chunk = timecrypt::chunk::EncryptedChunk::from_bytes(&replay).unwrap();
-            cheat.append(chunk_commitment(&replay), replay_chunk.digest_ct).unwrap();
+            cheat
+                .append(chunk_commitment(&replay), replay_chunk.digest_ct)
+                .unwrap();
         } else {
-            cheat.append(chunk_commitment(&bytes), sealed.digest_ct.clone()).unwrap();
+            cheat
+                .append(chunk_commitment(&bytes), sealed.digest_ct.clone())
+                .unwrap();
         }
         prev_bytes = Some(bytes);
     }
-    let forged = cheat.prove_range(0, CHUNKS as usize, att.size as usize).unwrap();
+    let forged = cheat
+        .prove_range(0, CHUNKS as usize, att.size as usize)
+        .unwrap();
     let vk = w.owner_key.verifying_key();
     assert!(matches!(
         verify_attested_range(STREAM, &att, &vk, &forged),
@@ -127,7 +161,13 @@ fn consistency_between_attestations_proves_append_only() {
         let points: Vec<DataPoint> = (0..PTS_PER_CHUNK)
             .map(|p| DataPoint::new(i as i64 * 10_000 + p * 1_000, i as i64 * PTS_PER_CHUNK + p))
             .collect();
-        let sealed = PlainChunk { stream: STREAM, index: i, points }.seal(&w.cfg, &w.keys, &mut rng).unwrap();
+        let sealed = PlainChunk {
+            stream: STREAM,
+            index: i,
+            points,
+        }
+        .seal(&w.cfg, &w.keys, &mut rng)
+        .unwrap();
         log.push(&sealed.to_bytes());
     }
     let old_root = log.root_at(25).unwrap();
@@ -160,13 +200,19 @@ fn integrity_composes_with_access_control() {
     let tokens = w.keys.tree.token_set(8, 17).unwrap();
 
     // In-range verified aggregate decrypts.
-    let proof = w.server_ledger.prove_range(8, 16, att.size as usize).unwrap();
+    let proof = w
+        .server_ledger
+        .prove_range(8, 16, att.size as usize)
+        .unwrap();
     let ct = verify_attested_range(STREAM, &att, &vk, &proof).unwrap();
     let plain = decrypt_range_sum(&tokens, 8, 16, &ct).unwrap();
     assert_eq!(plain[0] as i64, expected_sum(8, 16));
 
     // Out-of-range aggregate verifies but cannot be decrypted.
-    let proof = w.server_ledger.prove_range(0, 8, att.size as usize).unwrap();
+    let proof = w
+        .server_ledger
+        .prove_range(0, 8, att.size as usize)
+        .unwrap();
     let ct = verify_attested_range(STREAM, &att, &vk, &proof).unwrap();
     assert!(decrypt_range_sum(&tokens, 0, 8, &ct).is_err());
 }

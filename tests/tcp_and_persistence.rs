@@ -11,15 +11,18 @@ use timecrypt::wire::Client as TcpClient;
 
 #[test]
 fn full_flow_over_tcp() {
-    let engine = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let engine =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let tcp = TcpServer::bind("127.0.0.1:0", engine).unwrap();
     let addr = tcp.addr();
 
     let cfg = StreamConfig::new(5, "m", 0, 10_000);
-    let mut owner =
-        DataOwner::with_height(cfg.clone(), [9u8; 16], 20, SecureRandom::from_seed_insecure(1));
+    let mut owner = DataOwner::with_height(
+        cfg.clone(),
+        [9u8; 16],
+        20,
+        SecureRandom::from_seed_insecure(1),
+    );
     let mut conn = TcpClient::connect(addr).unwrap();
     owner.create_stream(&mut conn).unwrap();
 
@@ -29,13 +32,17 @@ fn full_flow_over_tcp() {
         SecureRandom::from_seed_insecure(2),
     );
     for s in 0..120 {
-        producer.push(&mut conn, DataPoint::new(s * 1000, s)).unwrap();
+        producer
+            .push(&mut conn, DataPoint::new(s * 1000, s))
+            .unwrap();
     }
     producer.flush(&mut conn).unwrap();
 
     let mut rng = SecureRandom::from_seed_insecure(3);
     let mut c = Consumer::new("c", &mut rng);
-    owner.grant_access(&mut conn, "c", c.public_key(), 0, 120_000).unwrap();
+    owner
+        .grant_access(&mut conn, "c", c.public_key(), 0, 120_000)
+        .unwrap();
     let mut conn2 = TcpClient::connect(addr).unwrap();
     c.sync_grants(&mut conn2, cfg.id).unwrap();
     let s = c.stat_query(&mut conn2, cfg.id, 0, 120_000).unwrap();
@@ -47,9 +54,8 @@ fn full_flow_over_tcp() {
 
 #[test]
 fn concurrent_tcp_producers_distinct_streams() {
-    let engine = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let engine =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let tcp = TcpServer::bind("127.0.0.1:0", engine).unwrap();
     let addr = tcp.addr();
 
@@ -71,7 +77,8 @@ fn concurrent_tcp_producers_distinct_streams() {
                     SecureRandom::from_seed_insecure(50 + i as u64),
                 );
                 for s in 0..60 {
-                    p.push(&mut conn, DataPoint::new(s * 1000, i as i64)).unwrap();
+                    p.push(&mut conn, DataPoint::new(s * 1000, i as i64))
+                        .unwrap();
                 }
                 p.flush(&mut conn).unwrap();
                 (cfg, owner)
@@ -84,7 +91,9 @@ fn concurrent_tcp_producers_distinct_streams() {
         let (cfg, mut owner) = h.join().unwrap();
         let mut conn = TcpClient::connect(addr).unwrap();
         let mut c = Consumer::new("checker", &mut rng);
-        owner.grant_access(&mut conn, "checker", c.public_key(), 0, 60_000).unwrap();
+        owner
+            .grant_access(&mut conn, "checker", c.public_key(), 0, 60_000)
+            .unwrap();
         c.sync_grants(&mut conn, cfg.id).unwrap();
         let s = c.stat_query(&mut conn, cfg.id, 0, 60_000).unwrap();
         assert_eq!(s.count, Some(60));
@@ -93,13 +102,17 @@ fn concurrent_tcp_producers_distinct_streams() {
 
 #[test]
 fn persistence_across_server_restart() {
-    let path = std::env::temp_dir()
-        .join(format!("timecrypt-it-persist-{}.log", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("timecrypt-it-persist-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&path);
 
     let cfg = StreamConfig::new(7, "m", 0, 10_000);
-    let mut owner =
-        DataOwner::with_height(cfg.clone(), [5u8; 16], 20, SecureRandom::from_seed_insecure(1));
+    let mut owner = DataOwner::with_height(
+        cfg.clone(),
+        [5u8; 16],
+        20,
+        SecureRandom::from_seed_insecure(1),
+    );
     let mut rng = SecureRandom::from_seed_insecure(2);
     let mut c = Consumer::new("c", &mut rng);
 
@@ -123,7 +136,9 @@ fn persistence_across_server_restart() {
             p.push(&mut t, DataPoint::new(s * 1000, s)).unwrap();
         }
         p.flush(&mut t).unwrap();
-        owner.grant_access(&mut t, "c", c.public_key(), 0, 200_000).unwrap();
+        owner
+            .grant_access(&mut t, "c", c.public_key(), 0, 200_000)
+            .unwrap();
     }
 
     // Second lifetime: everything recovers from the log.
@@ -149,9 +164,8 @@ fn persistence_across_server_restart() {
 #[test]
 fn malformed_frames_do_not_kill_the_server() {
     use std::io::Write;
-    let engine = Arc::new(
-        TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
-    );
+    let engine =
+        Arc::new(TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap());
     let tcp = TcpServer::bind("127.0.0.1:0", engine).unwrap();
     let addr = tcp.addr();
 

@@ -1,0 +1,235 @@
+//! Vendored `criterion` stand-in (vendor/README.md): same macro/builder
+//! surface, backed by a simple calibrated wall-clock timer that reports the
+//! median of `sample_size` samples. No statistical analysis, no HTML
+//! reports — results print one line per benchmark.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in always times per-batch and excludes setup).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Per-benchmark timing driver passed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+}
+
+/// Target time per sample; iteration counts are calibrated to roughly this.
+const SAMPLE_TARGET: Duration = Duration::from_millis(8);
+
+impl Bencher {
+    /// Times `routine`, excluding nothing (the common case).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes long enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let el = t.elapsed();
+            if el >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if el.is_zero() {
+                16
+            } else {
+                (SAMPLE_TARGET.as_nanos() / el.as_nanos().max(1) + 1) as u64
+            };
+            iters = iters.saturating_mul(grow.clamp(2, 16));
+        }
+        let mut samples: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples);
+        // Calibrate a batch count so each sample is long enough to time.
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let el = t.elapsed();
+            if el >= SAMPLE_TARGET || iters >= 1 << 16 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<50} {value:>10.3} {unit}/iter");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        let mut b = Bencher {
+            samples,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(&id.into(), b.ns_per_iter);
+        self
+    }
+
+    /// Accepted for API compatibility with `criterion_group!` expansions.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_positive_time() {
+        let mut b = Bencher {
+            samples: 3,
+            ns_per_iter: 0.0,
+        };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_runs() {
+        let mut b = Bencher {
+            samples: 3,
+            ns_per_iter: 0.0,
+        };
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.ns_per_iter > 0.0);
+    }
+}

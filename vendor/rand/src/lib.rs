@@ -1,0 +1,259 @@
+//! Vendored `rand` stand-in (vendor/README.md): the trait surface this
+//! workspace uses (`RngCore`, `SeedableRng`, `Rng::gen_range`) plus a
+//! [`rngs::StdRng`] built on the ChaCha12 stream cipher — the same core the
+//! real rand 0.8 `StdRng` uses — seeded from OS entropy or deterministically.
+//!
+//! The output stream is *not* bit-compatible with crates.io rand (nothing in
+//! this workspace depends on the exact stream, only on determinism under
+//! `seed_from_u64` and unpredictability under `from_entropy`).
+
+/// Core RNG operations.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a `u64` via SplitMix64 expansion (deterministic).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Constructs from OS entropy (`/dev/urandom`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no OS entropy source is available — key material must
+    /// never silently degrade to a guessable seed.
+    fn from_entropy() -> Self {
+        let mut seed = Self::Seed::default();
+        fill_os_entropy(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+fn fill_os_entropy(buf: &mut [u8]) {
+    use std::io::Read;
+    // No silent fallback: `from_entropy` seeds real key material, so a
+    // missing or broken entropy source must fail loudly rather than
+    // degrade to a guessable time-based seed.
+    let mut f = std::fs::File::open("/dev/urandom")
+        .expect("no OS entropy source: /dev/urandom unavailable");
+    f.read_exact(buf)
+        .expect("no OS entropy source: short read from /dev/urandom");
+}
+
+/// Extension methods over [`RngCore`] (the subset used here).
+pub trait Rng: RngCore {
+    /// Uniform sample from an integer range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (start as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG: ChaCha12 keyed by a 32-byte seed.
+    #[derive(Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u8; 64],
+        pos: usize,
+    }
+
+    impl StdRng {
+        #[inline(always)]
+        fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(16);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(12);
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(8);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(7);
+        }
+
+        fn refill(&mut self) {
+            const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+            let mut s = [0u32; 16];
+            s[..4].copy_from_slice(&SIGMA);
+            s[4..12].copy_from_slice(&self.key);
+            s[12] = self.counter as u32;
+            s[13] = (self.counter >> 32) as u32;
+            s[14] = 0;
+            s[15] = 0;
+            let input = s;
+            for _ in 0..6 {
+                // 12 rounds = 6 double-rounds (column + diagonal).
+                Self::quarter(&mut s, 0, 4, 8, 12);
+                Self::quarter(&mut s, 1, 5, 9, 13);
+                Self::quarter(&mut s, 2, 6, 10, 14);
+                Self::quarter(&mut s, 3, 7, 11, 15);
+                Self::quarter(&mut s, 0, 5, 10, 15);
+                Self::quarter(&mut s, 1, 6, 11, 12);
+                Self::quarter(&mut s, 2, 7, 8, 13);
+                Self::quarter(&mut s, 3, 4, 9, 14);
+            }
+            for i in 0..16 {
+                let word = s[i].wrapping_add(input[i]);
+                self.buf[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+            }
+            self.counter = self.counter.wrapping_add(1);
+            self.pos = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0u8; 64],
+                pos: 64,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            let mut b = [0u8; 4];
+            self.fill_bytes(&mut b);
+            u32::from_le_bytes(b)
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut b = [0u8; 8];
+            self.fill_bytes(&mut b);
+            u64::from_le_bytes(b)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut out = 0;
+            while out < dest.len() {
+                if self.pos == 64 {
+                    self.refill();
+                }
+                let n = (dest.len() - out).min(64 - self.pos);
+                dest[out..out + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+                self.pos += n;
+                out += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
+    }
+
+    #[test]
+    fn entropy_differs_between_instances() {
+        let mut a = StdRng::from_entropy();
+        let mut b = StdRng::from_entropy();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let w: i32 = r.gen_range(-10..10);
+            assert!((-10..10).contains(&w));
+            let u: usize = r.gen_range(5..95);
+            assert!((5..95).contains(&u));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_odd_lengths() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 133];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
