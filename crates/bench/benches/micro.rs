@@ -61,7 +61,7 @@ fn bench_heac(c: &mut Criterion) {
 fn bench_index(c: &mut Criterion) {
     let mut g = c.benchmark_group("index");
     g.sample_size(20);
-    let mut tree: AggTree<Vec<u64>> =
+    let tree: AggTree<Vec<u64>> =
         AggTree::open(Arc::new(MemKv::new()), 1, TreeConfig::default()).unwrap();
     for i in 0..100_000u64 {
         tree.append(vec![i, 1]).unwrap();
@@ -74,7 +74,7 @@ fn bench_index(c: &mut Criterion) {
     });
     g.bench_function("append", |b| {
         let kv = Arc::new(MemKv::new());
-        let mut t: AggTree<Vec<u64>> = AggTree::open(kv, 2, TreeConfig::default()).unwrap();
+        let t: AggTree<Vec<u64>> = AggTree::open(kv, 2, TreeConfig::default()).unwrap();
         b.iter(|| t.append(vec![1, 1]).unwrap())
     });
     g.finish();

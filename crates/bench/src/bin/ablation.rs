@@ -39,7 +39,7 @@ fn main() {
         "arity", "avg ingest", "query worst-case", "query aligned"
     );
     for arity in [2usize, 4, 8, 16, 32, 64, 128, 256] {
-        let mut tree: AggTree<Vec<u64>> = AggTree::open(
+        let tree: AggTree<Vec<u64>> = AggTree::open(
             Arc::new(MemKv::new()),
             1,
             TreeConfig {

@@ -22,7 +22,7 @@ use timecrypt_index::{AggTree, HomDigest, TreeConfig};
 use timecrypt_store::MemKv;
 
 fn build<D: HomDigest>(n: u64, mut make: impl FnMut(u64) -> D) -> AggTree<D> {
-    let mut tree: AggTree<D> = AggTree::open(
+    let tree: AggTree<D> = AggTree::open(
         Arc::new(MemKv::new()),
         1,
         TreeConfig {

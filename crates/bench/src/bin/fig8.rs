@@ -26,7 +26,7 @@ const MONTH_MINUTES: u64 = 28 * 24 * 60; // 40320, as in the paper
 const MONTH_CHUNKS: u64 = MONTH_MINUTES * CHUNKS_PER_MIN; // 241,920
 
 fn build(encrypted: bool, kd: &TreeKd) -> AggTree<Vec<u64>> {
-    let mut tree: AggTree<Vec<u64>> = AggTree::open(
+    let tree: AggTree<Vec<u64>> = AggTree::open(
         Arc::new(MemKv::new()),
         1,
         TreeConfig {

@@ -34,7 +34,7 @@ fn run_ingest<D: HomDigest>(
     mut make: impl FnMut(u64) -> D,
 ) -> (std::time::Duration, AggTree<D>) {
     let kv = Arc::new(MemKv::new());
-    let mut tree: AggTree<D> = AggTree::open(kv, 1, tree_cfg()).unwrap();
+    let tree: AggTree<D> = AggTree::open(kv, 1, tree_cfg()).unwrap();
     let start = Instant::now();
     for i in 0..n {
         tree.append(make(i)).unwrap();

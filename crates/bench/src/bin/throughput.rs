@@ -13,11 +13,22 @@
 //! single core. Set `TC_STORE_LAT_US=0` for the co-located (CPU-bound)
 //! variant.
 //!
+//! A second phase measures the **mixed read/write workload** on a *single
+//! shard*: one ingest thread hammers a hot stream while `T` query threads
+//! fire scatter-gather statistical queries at the same shard, for each `T`
+//! in a sweep. Before the read-path lock split, every reader serialized
+//! behind the hot stream's ingest lock and `query_ops_s` stayed flat (or
+//! sank) with more query threads; with the split it scales.
+//!
 //! Env knobs: `TC_SHARDS` (comma list, default `1,2,4,8`), `TC_STREAMS`
 //! (default 32), `TC_CHUNKS` (chunks/stream, default 64), `TC_PRODUCERS`
 //! (default 8), `TC_BATCH` (chunks/batch, default 16), `TC_QUERIES`
-//! (default 200), `TC_STORE_LAT_US` (default 50).
+//! (default 200), `TC_STORE_LAT_US` (default 50). Mixed phase:
+//! `TC_QUERY_THREADS` (comma list, default `1,2,4,8`), `TC_MIXED_QUERIES`
+//! (default 400), `TC_READERS` (intra-shard reader pool, default 4),
+//! `TC_MIXED` (`0` skips the phase).
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use timecrypt_chunk::serialize::EncryptedChunk;
@@ -168,6 +179,126 @@ fn run_one(
     }
 }
 
+struct MixedSample {
+    query_threads: usize,
+    query_ops_s: f64,
+    query_wall_ms: f64,
+    concurrent_ingest_ops_s: f64,
+    /// True when the pre-sealed hot-stream backlog ran dry before the
+    /// query phase finished — later queries then ran *without* concurrent
+    /// ingest, so the contention numbers are understated.
+    ingest_exhausted: bool,
+}
+
+/// Mixed read/write on one shard: `query_threads` threads fire full-range
+/// scatter-gather queries over all streams (one shard ⇒ one leg, split
+/// across the intra-shard reader pool) while a single ingest thread
+/// appends to the hot stream 0 for the whole query phase. The query window
+/// covers only the pre-ingested prefix, so every reply is identical and
+/// checkable while ingest keeps extending the stream.
+fn run_mixed(
+    workload: &Workload,
+    hot: &[EncryptedChunk],
+    queries: usize,
+    query_threads: usize,
+    readers: usize,
+    store_latency: Duration,
+) -> MixedSample {
+    let streams = workload.per_stream.len();
+    let chunks = workload
+        .per_stream
+        .first()
+        .map(|v| v.len() as u64)
+        .unwrap_or(0);
+    let kv: Arc<dyn KvStore> = if store_latency.is_zero() {
+        Arc::new(MemKv::new())
+    } else {
+        Arc::new(LatencyKv::new(MemKv::new(), store_latency))
+    };
+    let svc = Arc::new(
+        ShardedService::open(
+            kv,
+            ServiceConfig {
+                shards: 1,
+                query_readers: readers,
+                // Tiny *per-stream* index cache, smaller than one query's
+                // node working set: queries actually visit the (latency-
+                // modelled) store, which is where serialized readers used
+                // to pile up behind the stream lock.
+                engine: timecrypt_server::ServerConfig {
+                    arity: 16,
+                    cache_bytes: 256,
+                },
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    for id in 0..streams as u128 {
+        svc.create_stream(id, 0, 10_000, 2).unwrap();
+    }
+    for per_stream in &workload.per_stream {
+        for window in per_stream.chunks(64) {
+            for r in svc.submit_batch(window.to_vec()) {
+                r.unwrap();
+            }
+        }
+    }
+    let all: Vec<u128> = (0..streams as u128).collect();
+    let stop = AtomicBool::new(false);
+    let ingested = AtomicU64::new(0);
+    let t = Instant::now();
+    let mut ingest_wall = Duration::ZERO;
+    let mut ingested_during_queries = 0u64;
+    std::thread::scope(|scope| {
+        {
+            let svc = svc.clone();
+            let (stop, ingested) = (&stop, &ingested);
+            scope.spawn(move || {
+                for c in hot {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    svc.insert(c).unwrap();
+                    ingested.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let mut handles = Vec::new();
+        for p in 0..query_threads {
+            let svc = svc.clone();
+            let all = &all;
+            handles.push(scope.spawn(move || {
+                for _ in (p..queries).step_by(query_threads) {
+                    // Interior window [chunk 1, chunk chunks−1): misaligned
+                    // with the root node's entry spans, so every sub-query
+                    // recurses into level-1 edge nodes — a working set that
+                    // thrashes the tiny cache and actually pays store
+                    // latency, the regime where readers used to serialize.
+                    svc.get_stat_range(all, 10_000, (chunks as i64 - 1) * 10_000)
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        ingest_wall = t.elapsed();
+        // Snapshot before releasing the ingest thread: inserts completed
+        // after this point must not count against the measured wall.
+        ingested_during_queries = ingested.load(Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let query_wall = ingest_wall;
+    MixedSample {
+        query_threads,
+        query_ops_s: queries as f64 / query_wall.as_secs_f64(),
+        query_wall_ms: query_wall.as_secs_f64() * 1e3,
+        concurrent_ingest_ops_s: ingested_during_queries as f64 / ingest_wall.as_secs_f64(),
+        ingest_exhausted: ingested_during_queries >= hot.len() as u64,
+    }
+}
+
 fn main() {
     let shard_sweep: Vec<usize> = std::env::var("TC_SHARDS")
         .unwrap_or_else(|_| "1,2,4,8".into())
@@ -207,6 +338,78 @@ fn main() {
             queries,
             s.query_ops_s,
             s.query_wall_ms,
+        );
+    }
+
+    // Mixed read/write phase: query ops/s vs query-thread count on ONE
+    // shard, with ingest running the whole time. Scaling here is exactly
+    // the read-path lock split: before it, all readers serialized behind
+    // the hot stream's per-stream lock.
+    if env_usize("TC_MIXED", 1) == 0 {
+        return;
+    }
+    if chunks < 3 {
+        // The misaligned interior window [chunk 1, chunk chunks−1) needs
+        // at least one covered chunk.
+        eprintln!("skipping mixed phase: TC_CHUNKS={chunks} < 3");
+        return;
+    }
+    let thread_sweep: Vec<usize> = std::env::var("TC_QUERY_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let mixed_queries = env_usize("TC_MIXED_QUERIES", 400);
+    let readers = env_usize("TC_READERS", 4);
+    eprintln!("sealing hot-stream ingest backlog for the mixed phase ...");
+    let hot: Vec<EncryptedChunk> = {
+        let cfg = StreamConfig {
+            schema: DigestSchema::sum_count(),
+            ..StreamConfig::new(0, "bench", 0, 10_000)
+        };
+        let keys = StreamKeyMaterial::with_params(0, [0x5a; 16], 22, PrgKind::Aes).unwrap();
+        let mut rng = SecureRandom::from_seed_insecure(99);
+        (chunks..chunks + 20_000)
+            .map(|i| {
+                PlainChunk {
+                    stream: 0,
+                    index: i,
+                    points: vec![DataPoint::new(i as i64 * 10_000, i as i64)],
+                }
+                .seal(&cfg, &keys, &mut rng)
+                .unwrap()
+            })
+            .collect()
+    };
+    for &t in &thread_sweep {
+        // Warm-up, then the measured run.
+        let _ = run_mixed(
+            &workload,
+            &hot,
+            16.min(mixed_queries),
+            t,
+            readers,
+            store_latency,
+        );
+        let s = run_mixed(&workload, &hot, mixed_queries, t, readers, store_latency);
+        if s.ingest_exhausted {
+            eprintln!(
+                "warning: hot-stream backlog ran dry at {} query threads; \
+                 concurrent-ingest pressure understated",
+                s.query_threads
+            );
+        }
+        println!(
+            "{{\"bench\":\"mixed_rw\",\"shards\":1,\"streams\":{},\"chunks_per_stream\":{},\"readers\":{},\"query_threads\":{},\"queries\":{},\"query_ops_s\":{:.0},\"query_wall_ms\":{:.1},\"concurrent_ingest_ops_s\":{:.0},\"ingest_exhausted\":{}}}",
+            streams,
+            chunks,
+            readers,
+            s.query_threads,
+            mixed_queries,
+            s.query_ops_s,
+            s.query_wall_ms,
+            s.concurrent_ingest_ops_s,
+            s.ingest_exhausted,
         );
     }
 }

@@ -228,7 +228,7 @@ impl StatSummary {
         }
     }
 
-    /// Population variance = E[X²] − E[X]².
+    /// Population variance = E\[X²\] − E\[X\]².
     pub fn variance(&self) -> Option<f64> {
         let mean = self.mean()?;
         let sq = self.sum_squares? as f64;

@@ -14,6 +14,17 @@
 //! cache in front sized in bytes (the Fig. 7 "tiny 1 MB cache" experiment
 //! shrinks it to force misses). Node identifiers are computed from
 //! `(stream, level, index)` — no stored references (§4.6).
+//!
+//! # Locking model
+//!
+//! [`AggTree`] is a *shared* handle: queries take `&self`, never block on
+//! the write path, and run against a consistent snapshot of the published
+//! chunk count (an atomic `len` with `Release`-publish / `Acquire`-read
+//! ordering). `append` and `decay` also take `&self` but are serialized by
+//! an internal writer mutex; the node cache sits behind its own mutex,
+//! locked per node access. Any number of readers therefore proceed while
+//! an append is in flight — see `tree` module docs for the exactness
+//! argument.
 
 pub mod cache;
 pub mod digest;

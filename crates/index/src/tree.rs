@@ -8,10 +8,43 @@
 //! combine fully-covered entries top-down and recurse only at the two
 //! partially-covered edges — O(2(k−1)·log_k n) additions worst case, the
 //! bound quoted in §6.1.
+//!
+//! # Concurrency: shared readers, serialized writers
+//!
+//! The tree is a shared handle: any number of threads may call
+//! [`AggTree::query`] concurrently with one in-flight
+//! [`AggTree::append`]. Writers (`append`, `decay`) are serialized by an
+//! internal mutex; readers never take it. A query snapshots the published
+//! chunk count `len` once (an `Acquire` load) and answers exactly for
+//! chunks `[0, len)`:
+//!
+//! * `append` publishes the new `len` with a `Release` store only after
+//!   every node write for the new chunk reached the store and cache, so a
+//!   reader that observes `len == n` can resolve every node covering
+//!   chunks `< n`.
+//! * A reader whose snapshot predates an in-flight append of chunk `n`
+//!   stays exact even if it reads nodes the append already rewrote: every
+//!   entry the append touches covers a chunk range *containing `n`*, and a
+//!   query with `end ≤ n` never consumes such an entry whole — it either
+//!   skips it (leaf level, where the new chunk occupies a fresh slot) or
+//!   recurses past it into children covering only chunks `< n`. Node
+//!   values are replaced wholesale in both the KV store and the cache, so
+//!   readers see complete old or complete new nodes, never torn entries.
+//! * The read path's cache fill is guarded by a seqlock-style generation
+//!   (odd while a writer's node writes are in flight): a reader that
+//!   raced a writer still *returns* the bytes it fetched, but never
+//!   inserts them into the cache, so stale bytes cannot overwrite the
+//!   writer's freshly cached node or resurrect a decayed one.
+//!
+//! `decay` deletes nodes, so a reader drilling below a freshly decayed
+//! level surfaces [`IndexError::Decayed`] — the aged-out region is only
+//! answerable at coarser granularity, which is the documented decay
+//! contract, not corruption.
 
 use crate::cache::LruCache;
 use crate::digest::HomDigest;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use timecrypt_store::{KvStore, StoreError};
 
@@ -41,6 +74,16 @@ pub enum IndexError {
     Store(StoreError),
     /// Stored node bytes failed to parse.
     CorruptNode { level: u8, index: u64 },
+    /// The query drilled below a level that was aged out by
+    /// [`AggTree::decay`]: the node is legitimately gone, and the region
+    /// is only answerable at coarser granularity.
+    Decayed { level: u8, index: u64 },
+    /// A previous [`AggTree::append`] of this chunk was interrupted by a
+    /// storage failure after some node writes: blindly retrying would
+    /// double-count the digest in the already-written nodes, so the
+    /// append is refused and the stream's index needs a rebuild from the
+    /// persisted chunks/ledger.
+    TornAppend { chunk: u64 },
     /// Query over a range the stream hasn't reached / empty range.
     BadRange { start: u64, end: u64, len: u64 },
 }
@@ -51,6 +94,21 @@ impl std::fmt::Display for IndexError {
             IndexError::Store(e) => write!(f, "index storage error: {e}"),
             IndexError::CorruptNode { level, index } => {
                 write!(f, "corrupt index node at level {level} index {index}")
+            }
+            IndexError::Decayed { level, index } => {
+                write!(
+                    f,
+                    "index node at level {level} index {index} was aged out by decay; \
+                     only coarser aggregates remain for this region"
+                )
+            }
+            IndexError::TornAppend { chunk } => {
+                write!(
+                    f,
+                    "append of chunk {chunk} was previously interrupted mid-write; \
+                     refusing to retry (it would double-count the digest) — rebuild \
+                     the index for this stream"
+                )
             }
             IndexError::BadRange { start, end, len } => {
                 write!(f, "bad query range [{start}, {end}) over {len} chunks")
@@ -90,7 +148,12 @@ impl<D: HomDigest> Node<D> {
         }
         let n = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
         let mut pos = 4;
-        let mut entries = Vec::with_capacity(n);
+        // The length prefix is untrusted stored data: clamp the
+        // pre-allocation by what the remaining buffer could possibly hold
+        // (every entry consumes at least one byte), so a corrupt node
+        // cannot demand a multi-GB allocation before the first entry
+        // fails to parse.
+        let mut entries = Vec::with_capacity(n.min(buf.len() - 4));
         for _ in 0..n {
             let (d, used) = D::decode(&buf[pos..])?;
             entries.push(d);
@@ -126,8 +189,36 @@ pub struct AggTree<D: HomDigest> {
     kv: Arc<dyn KvStore>,
     stream: u128,
     cfg: TreeConfig,
-    len: u64,
+    /// Published chunk count. Readers snapshot it with `Acquire`;
+    /// [`append`](Self::append) publishes with `Release` only after every
+    /// node write for the new chunk reached the store and cache.
+    len: AtomicU64,
+    /// Serializes the write path (`append`, `decay`). Queries never take
+    /// it — see the module docs for why reads stay exact regardless.
+    write: Mutex<()>,
+    /// Seqlock-style generation for the read-aside cache fill: odd while a
+    /// writer's node writes are in flight, bumped even when they finish. A
+    /// reader that loaded node bytes from the KV store may only insert
+    /// them into the cache if the generation was even before its KV read
+    /// *and* is unchanged at fill time — otherwise its (possibly stale)
+    /// bytes could overwrite the node a concurrent `append` just cached,
+    /// or resurrect a node `decay` just deleted, silently corrupting every
+    /// later cached read. Stale bytes are still fine for the reader's own
+    /// snapshot-consistent query; they just must not poison the cache.
+    cache_gen: AtomicU64,
     cache: Mutex<LruCache<(u8, u64), Node<D>>>,
+}
+
+/// RAII end-bump for `cache_gen`: makes the odd→even transition
+/// unskippable even when a writer errors out mid-flight (`?`), so a failed
+/// append can't leave the generation permanently odd (readers would stop
+/// caching) or desync the parity for the next writer.
+struct GenGuard<'a>(&'a AtomicU64);
+
+impl Drop for GenGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 impl<D: HomDigest> AggTree<D> {
@@ -145,19 +236,22 @@ impl<D: HomDigest> AggTree<D> {
             kv,
             stream,
             cfg,
-            len,
+            len: AtomicU64::new(len),
+            write: Mutex::new(()),
+            cache_gen: AtomicU64::new(0),
             cache,
         })
     }
 
-    /// Number of chunks ingested.
+    /// Number of chunks ingested (a consistent snapshot: every chunk
+    /// counted here is fully resolvable through [`query`](Self::query)).
     pub fn len(&self) -> u64 {
-        self.len
+        self.len.load(Ordering::Acquire)
     }
 
     /// True if no chunks have been ingested.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// The fan-out.
@@ -169,7 +263,7 @@ impl<D: HomDigest> AggTree<D> {
     pub fn levels(&self) -> u8 {
         let mut levels = 0u8;
         let mut span = 1u64;
-        while span < self.len.max(1) {
+        while span < self.len().max(1) {
             span = span.saturating_mul(self.cfg.arity as u64);
             levels += 1;
         }
@@ -177,9 +271,16 @@ impl<D: HomDigest> AggTree<D> {
     }
 
     /// Appends the next chunk's digest (chunk index = current `len`),
-    /// updating every ancestor level (write-through).
-    pub fn append(&mut self, digest: D) -> Result<(), IndexError> {
-        let i = self.len;
+    /// updating every ancestor level (write-through). Appends are
+    /// serialized internally; concurrent queries proceed against the
+    /// previous `len` snapshot and stay exact (see module docs).
+    pub fn append(&self, digest: D) -> Result<(), IndexError> {
+        let _write = self.write.lock();
+        // Generation goes odd for the whole node-write window (see
+        // `cache_gen`); the guard restores even parity on every exit path.
+        self.cache_gen.fetch_add(1, Ordering::SeqCst);
+        let _gen = GenGuard(&self.cache_gen);
+        let i = self.len.load(Ordering::Relaxed); // stable: we hold `write`
         let k = self.cfg.arity as u64;
         // Ripple into each ancestor: at level ℓ the digest lands in node
         // i / k^ℓ, slot (i / k^(ℓ-1)) % k. We stop one level above the
@@ -194,6 +295,15 @@ impl<D: HomDigest> AggTree<D> {
                 entries: Vec::new(),
             });
             if slot < node.entries.len() {
+                // At the leaf level a fresh append always lands in a new
+                // slot (chunks fill a node left to right, and `len` only
+                // advances after all node writes). An already-filled slot
+                // therefore means a previous append of this very chunk
+                // stored the leaf node and then failed higher up; adding
+                // again would silently double-count, so fail loudly.
+                if level == 1 {
+                    return Err(IndexError::TornAppend { chunk: i });
+                }
                 node.entries[slot].add_assign(&digest);
             } else {
                 // When the tree grows a new top level, the fresh node must
@@ -215,21 +325,21 @@ impl<D: HomDigest> AggTree<D> {
             child_index = node_index;
             level += 1;
         }
-        self.len = i + 1;
         self.kv
-            .put(&meta_key(self.stream), &self.len.to_le_bytes())?;
+            .put(&meta_key(self.stream), &(i + 1).to_le_bytes())?;
+        // Publish last: a reader that observes the new length is
+        // guaranteed (Release/Acquire) to see every node write above.
+        self.len.store(i + 1, Ordering::Release);
         Ok(())
     }
 
     /// Statistical range query over chunks `[start, end)`: the homomorphic
-    /// sum of their digests.
+    /// sum of their digests. Runs against a single `len` snapshot taken at
+    /// entry, so it is exact even while an append is in flight.
     pub fn query(&self, start: u64, end: u64) -> Result<D, IndexError> {
-        if start >= end || end > self.len {
-            return Err(IndexError::BadRange {
-                start,
-                end,
-                len: self.len,
-            });
+        let len = self.len();
+        if start >= end || end > len {
+            return Err(IndexError::BadRange { start, end, len });
         }
         let k = self.cfg.arity as u64;
         // Find the lowest level whose single node covers [start, end).
@@ -239,11 +349,7 @@ impl<D: HomDigest> AggTree<D> {
         }
         let mut acc: Option<D> = None;
         self.query_node(level, 0, start, end, &mut acc)?;
-        acc.ok_or(IndexError::BadRange {
-            start,
-            end,
-            len: self.len,
-        })
+        acc.ok_or(IndexError::BadRange { start, end, len })
     }
 
     /// Recursive combine: add fully-covered entries of `(level, index)`;
@@ -258,9 +364,13 @@ impl<D: HomDigest> AggTree<D> {
     ) -> Result<(), IndexError> {
         let k = self.cfg.arity as u64;
         let child_span = span_at(level - 1, k);
+        // A missing node on the query path means the region was aged out
+        // by `decay` (the only code path that deletes nodes): report that
+        // distinctly from unparseable bytes, which `load` maps to
+        // `CorruptNode`.
         let node = self
             .load(level, index)?
-            .ok_or(IndexError::CorruptNode { level, index })?;
+            .ok_or(IndexError::Decayed { level, index })?;
         let base = index * span_at(level, k);
         for (slot, entry) in node.entries.iter().enumerate() {
             let c_lo = base + slot as u64 * child_span;
@@ -287,10 +397,16 @@ impl<D: HomDigest> AggTree<D> {
     /// Data decay (§4.5): drops all *fully covered* index nodes at levels
     /// `< keep_level` for chunks before `before_chunk`, retaining only
     /// coarser aggregates for the aged-out region. Returns nodes removed.
-    pub fn decay(&mut self, before_chunk: u64, keep_level: u8) -> Result<usize, IndexError> {
+    /// Serialized with `append`; a concurrent query drilling below the
+    /// decayed level surfaces [`IndexError::Decayed`].
+    pub fn decay(&self, before_chunk: u64, keep_level: u8) -> Result<usize, IndexError> {
+        let _write = self.write.lock();
+        // Odd generation across the deletes: a reader that fetched a node
+        // just before its deletion must not re-insert it into the cache.
+        self.cache_gen.fetch_add(1, Ordering::SeqCst);
+        let _gen = GenGuard(&self.cache_gen);
         let k = self.cfg.arity as u64;
         let mut removed = 0usize;
-        let mut cache = self.cache.lock();
         // Never decay the current root level: growth backfill needs it.
         let keep_level = keep_level.min(self.levels());
         for level in 1..keep_level {
@@ -302,7 +418,9 @@ impl<D: HomDigest> AggTree<D> {
                 let key = node_key(self.stream, level, n);
                 if self.kv.get(&key)?.is_some() {
                     self.kv.delete(&key)?;
-                    cache.remove(&(level, n));
+                    // Per-node cache locking: concurrent readers only ever
+                    // wait one removal, not the whole decay scan.
+                    self.cache.lock().remove(&(level, n));
                     removed += 1;
                 }
             }
@@ -338,11 +456,22 @@ impl<D: HomDigest> AggTree<D> {
         if let Some(n) = self.cache.lock().get(&(level, index)) {
             return Ok(Some(n.clone()));
         }
+        let gen_before = self.cache_gen.load(Ordering::SeqCst);
         match self.kv.get(&node_key(self.stream, level, index))? {
             Some(bytes) => {
                 let node = Node::decode(&bytes).ok_or(IndexError::CorruptNode { level, index })?;
-                let w = node.weight();
-                self.cache.lock().put((level, index), node.clone(), w);
+                // Read-aside fill, guarded by the seqlock generation: only
+                // cache if no writer critical section overlapped the KV
+                // read (even and unchanged generation), otherwise these
+                // bytes may already be superseded — returning them is fine
+                // (snapshot semantics), caching them is not.
+                if gen_before.is_multiple_of(2) {
+                    let w = node.weight();
+                    let mut cache = self.cache.lock();
+                    if self.cache_gen.load(Ordering::SeqCst) == gen_before {
+                        cache.put((level, index), node.clone(), w);
+                    }
+                }
                 Ok(Some(node))
             }
             None => Ok(None),
@@ -403,7 +532,7 @@ mod tests {
         .unwrap()
     }
 
-    fn fill(t: &mut AggTree<Vec<u64>>, n: u64) {
+    fn fill(t: &AggTree<Vec<u64>>, n: u64) {
         for i in 0..n {
             t.append(vec![i, 1]).unwrap();
         }
@@ -415,7 +544,7 @@ mod tests {
 
     #[test]
     fn single_chunk() {
-        let mut t = tree(4);
+        let t = tree(4);
         t.append(vec![42, 1]).unwrap();
         assert_eq!(t.query(0, 1).unwrap(), vec![42, 1]);
         assert_eq!(t.len(), 1);
@@ -425,8 +554,8 @@ mod tests {
     fn query_matches_naive_fold_exhaustive() {
         // Every (a, b) range over 100 chunks, small arity to exercise many
         // levels and both partial edges.
-        let mut t = tree(4);
-        fill(&mut t, 100);
+        let t = tree(4);
+        fill(&t, 100);
         for a in 0..100u64 {
             for b in (a + 1)..=100u64 {
                 assert_eq!(t.query(a, b).unwrap(), naive_sum(a, b), "[{a},{b})");
@@ -436,8 +565,8 @@ mod tests {
 
     #[test]
     fn arity_64_matches_naive() {
-        let mut t = tree(64);
-        fill(&mut t, 1000);
+        let t = tree(64);
+        fill(&t, 1000);
         for (a, b) in [
             (0u64, 1000u64),
             (0, 64),
@@ -453,8 +582,8 @@ mod tests {
 
     #[test]
     fn bad_ranges_rejected() {
-        let mut t = tree(4);
-        fill(&mut t, 10);
+        let t = tree(4);
+        fill(&t, 10);
         assert!(t.query(5, 5).is_err());
         assert!(t.query(6, 5).is_err());
         assert!(t.query(0, 11).is_err());
@@ -465,7 +594,7 @@ mod tests {
     fn reopen_recovers_length_and_data() {
         let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
         {
-            let mut t: AggTree<Vec<u64>> = AggTree::open(
+            let t: AggTree<Vec<u64>> = AggTree::open(
                 kv.clone(),
                 9,
                 TreeConfig {
@@ -495,10 +624,8 @@ mod tests {
     #[test]
     fn streams_are_isolated() {
         let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
-        let mut t1: AggTree<Vec<u64>> =
-            AggTree::open(kv.clone(), 1, TreeConfig::default()).unwrap();
-        let mut t2: AggTree<Vec<u64>> =
-            AggTree::open(kv.clone(), 2, TreeConfig::default()).unwrap();
+        let t1: AggTree<Vec<u64>> = AggTree::open(kv.clone(), 1, TreeConfig::default()).unwrap();
+        let t2: AggTree<Vec<u64>> = AggTree::open(kv.clone(), 2, TreeConfig::default()).unwrap();
         t1.append(vec![100]).unwrap();
         t2.append(vec![200]).unwrap();
         assert_eq!(t1.query(0, 1).unwrap(), vec![100]);
@@ -510,7 +637,7 @@ mod tests {
         // A 200-byte cache can hold at most a node or two: every query
         // hammers the KV but answers stay exact (Fig. 7 small-cache shape).
         let kv = Arc::new(MemKv::new());
-        let mut t: AggTree<Vec<u64>> = AggTree::open(
+        let t: AggTree<Vec<u64>> = AggTree::open(
             kv,
             3,
             TreeConfig {
@@ -519,7 +646,7 @@ mod tests {
             },
         )
         .unwrap();
-        fill(&mut t, 200);
+        fill(&t, 200);
         for (a, b) in [(0u64, 200u64), (17, 113), (199, 200)] {
             assert_eq!(t.query(a, b).unwrap(), naive_sum(a, b));
         }
@@ -532,16 +659,16 @@ mod tests {
         // Aggregating the entire index = reading the root (Fig. 5's right
         // edge). We can't measure time here, but we can check the query
         // works exactly at the k^ℓ boundaries.
-        let mut t = tree(4);
-        fill(&mut t, 256); // 4^4
+        let t = tree(4);
+        fill(&t, 256); // 4^4
         assert_eq!(t.query(0, 256).unwrap(), naive_sum(0, 256));
         assert_eq!(t.query(0, 64).unwrap(), naive_sum(0, 64));
     }
 
     #[test]
     fn decay_drops_fine_nodes_keeps_coarse() {
-        let mut t = tree(4);
-        fill(&mut t, 256);
+        let t = tree(4);
+        fill(&t, 256);
         let before = t.stats().unwrap().stored_nodes;
         // Age out everything below level 2 for the first 128 chunks.
         let removed = t.decay(128, 2).unwrap();
@@ -558,8 +685,8 @@ mod tests {
 
     #[test]
     fn stats_accounting() {
-        let mut t = tree(64);
-        fill(&mut t, 500);
+        let t = tree(64);
+        fill(&t, 500);
         let s = t.stats().unwrap();
         assert!(
             s.stored_nodes >= 8,
@@ -568,10 +695,195 @@ mod tests {
         assert!(s.stored_bytes > 500 * 16, "leaf digests dominate");
     }
 
+    /// A store that fails the `fail_at`-th put (1-based), passing
+    /// everything else through to a [`MemKv`].
+    struct FailNthPut {
+        inner: MemKv,
+        puts: std::sync::atomic::AtomicU64,
+        fail_at: u64,
+    }
+
+    impl FailNthPut {
+        fn new(fail_at: u64) -> Self {
+            FailNthPut {
+                inner: MemKv::new(),
+                puts: std::sync::atomic::AtomicU64::new(0),
+                fail_at,
+            }
+        }
+    }
+
+    impl KvStore for FailNthPut {
+        fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+            self.inner.get(key)
+        }
+        fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+            let n = self.puts.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if n == self.fail_at {
+                return Err(StoreError::Corrupt("injected put failure"));
+            }
+            self.inner.put(key, value)
+        }
+        fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+            self.inner.delete(key)
+        }
+        fn scan_prefix(&self, prefix: &[u8]) -> Result<timecrypt_store::KvPairs, StoreError> {
+            self.inner.scan_prefix(prefix)
+        }
+    }
+
+    #[test]
+    fn interrupted_append_refuses_retry_instead_of_double_counting() {
+        // Arity 4: appends 0..=3 cost 2 puts each (leaf node + meta).
+        // Append of chunk 4 puts the level-1 node (put #9), then fails on
+        // the level-2 node (put #10) — a torn append: leaf written, len
+        // not advanced.
+        let kv = Arc::new(FailNthPut::new(10));
+        let t: AggTree<Vec<u64>> = AggTree::open(
+            kv,
+            1,
+            TreeConfig {
+                arity: 4,
+                cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        fill(&t, 4);
+        match t.append(vec![4, 1]) {
+            Err(IndexError::Store(_)) => {}
+            other => panic!("expected injected store failure, got {other:?}"),
+        }
+        assert_eq!(t.len(), 4, "torn append must not publish a new length");
+        // The naive retry must fail loudly instead of silently adding the
+        // digest a second time into the already-written leaf node.
+        match t.append(vec![4, 1]) {
+            Err(IndexError::TornAppend { chunk: 4 }) => {}
+            other => panic!("expected TornAppend, got {other:?}"),
+        }
+        // The committed prefix stays exact and queryable.
+        assert_eq!(t.query(0, 4).unwrap(), naive_sum(0, 4));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_fails_cleanly_without_allocating() {
+        // A stored node claiming u32::MAX entries must parse-fail as
+        // CorruptNode, not attempt a multi-GB Vec pre-allocation.
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        {
+            let t: AggTree<Vec<u64>> = AggTree::open(
+                kv.clone(),
+                1,
+                TreeConfig {
+                    arity: 4,
+                    cache_bytes: 1 << 20,
+                },
+            )
+            .unwrap();
+            fill(&t, 8);
+        }
+        let mut bad = u32::MAX.to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0u8; 7]);
+        kv.put(&node_key(1, 1, 0), &bad).unwrap();
+        // Fresh handle (cold cache) so the corrupt bytes are actually read.
+        let t: AggTree<Vec<u64>> = AggTree::open(
+            kv,
+            1,
+            TreeConfig {
+                arity: 4,
+                cache_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        match t.query(0, 4) {
+            Err(IndexError::CorruptNode { level: 1, index: 0 }) => {}
+            other => panic!("expected CorruptNode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_below_decayed_level_reports_decayed_not_corrupt() {
+        let t = tree(4);
+        fill(&t, 256);
+        assert!(t.decay(128, 2).unwrap() > 0);
+        // Fine-grained query inside the aged-out region: a distinct,
+        // well-explained error.
+        match t.query(0, 1) {
+            Err(IndexError::Decayed { level: 1, index: 0 }) => {}
+            other => panic!("expected Decayed, got {other:?}"),
+        }
+        let msg = t.query(2, 3).unwrap_err().to_string();
+        assert!(msg.contains("decay"), "message should explain decay: {msg}");
+        // The same region at coarser granularity still answers exactly.
+        assert_eq!(t.query(0, 16).unwrap(), naive_sum(0, 16));
+        // Recent (undecayed) data still answers at full granularity.
+        assert_eq!(t.query(130, 131).unwrap(), naive_sum(130, 131));
+    }
+
+    #[test]
+    fn concurrent_readers_stay_exact_during_appends() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Small cache so readers also exercise the store miss path.
+        let kv = Arc::new(MemKv::new());
+        let t: Arc<AggTree<Vec<u64>>> = Arc::new(
+            AggTree::open(
+                kv,
+                1,
+                TreeConfig {
+                    arity: 4,
+                    cache_bytes: 512,
+                },
+            )
+            .unwrap(),
+        );
+        const N: u64 = 600;
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let writer = t.clone();
+            let writer_done = done.clone();
+            scope.spawn(move || {
+                for i in 0..N {
+                    writer.append(vec![i, 1]).unwrap();
+                }
+                writer_done.store(true, Ordering::Release);
+            });
+            for r in 0..4u64 {
+                let t = t.clone();
+                let done = done.clone();
+                scope.spawn(move || {
+                    let mut checked = 0u64;
+                    loop {
+                        let stop = done.load(Ordering::Acquire);
+                        let len = t.len();
+                        if len > 0 {
+                            // Full prefix and a reader-dependent suffix:
+                            // both must match the closed form exactly for
+                            // the snapshot the reader observed.
+                            assert_eq!(t.query(0, len).unwrap(), naive_sum(0, len));
+                            let a = (r * len / 5).min(len - 1);
+                            assert_eq!(t.query(a, len).unwrap(), naive_sum(a, len));
+                            checked += 1;
+                        }
+                        if stop {
+                            break;
+                        }
+                    }
+                    assert!(checked > 0, "reader {r} never saw data");
+                });
+            }
+        });
+        assert_eq!(t.len(), N);
+        // End-state canary: if any reader poisoned the cache with a stale
+        // node during the run, these (cache-served) queries would now be
+        // missing digests.
+        for a in [0u64, 1, N / 3, N - 1] {
+            assert_eq!(t.query(a, N).unwrap(), naive_sum(a, N), "[{a},{N})");
+        }
+    }
+
     #[test]
     fn growth_across_level_boundaries() {
         // Appending exactly across k, k^2 boundaries keeps queries exact.
-        let mut t = tree(4);
+        let t = tree(4);
         for n in 1..=70u64 {
             t.append(vec![n - 1, 1]).unwrap();
             assert_eq!(t.query(0, n).unwrap(), naive_sum(0, n), "after {n} appends");

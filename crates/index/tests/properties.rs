@@ -17,7 +17,7 @@ proptest! {
         a in 0usize..300,
         b in 0usize..300,
     ) {
-        let mut tree: AggTree<Vec<u64>> = AggTree::open(
+        let tree: AggTree<Vec<u64>> = AggTree::open(
             Arc::new(MemKv::new()),
             1,
             TreeConfig { arity, cache_bytes: 1 << 20 },
@@ -40,7 +40,7 @@ proptest! {
         cache in 0usize..4096,
     ) {
         let build = |cache_bytes: usize| {
-            let mut tree: AggTree<Vec<u64>> = AggTree::open(
+            let tree: AggTree<Vec<u64>> = AggTree::open(
                 Arc::new(MemKv::new()),
                 1,
                 TreeConfig { arity: 4, cache_bytes },
@@ -64,7 +64,7 @@ proptest! {
     fn reopen_is_transparent(values in proptest::collection::vec(any::<u64>(), 1..150)) {
         let kv: Arc<MemKv> = Arc::new(MemKv::new());
         {
-            let mut tree: AggTree<Vec<u64>> =
+            let tree: AggTree<Vec<u64>> =
                 AggTree::open(kv.clone(), 1, TreeConfig { arity: 8, cache_bytes: 1 << 20 }).unwrap();
             for &v in &values {
                 tree.append(vec![v]).unwrap();

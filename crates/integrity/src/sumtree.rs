@@ -21,7 +21,7 @@
 //! guarantees.
 
 use crate::merkle::Hash;
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use timecrypt_crypto::sha256;
 
@@ -82,12 +82,25 @@ fn split_point(n: usize) -> usize {
 /// size, base divisible by size) are memoized: the tree is append-only, so
 /// once such a subtree exists its summary never changes. This turns repeat
 /// proof generation from O(n) into O(log² n) after the first walk.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SumTree {
     leaves: Vec<SumLeaf>,
     width: Option<usize>,
-    /// `(base, size) → (hash, sum)` for aligned complete subtrees.
-    memo: RefCell<SubtreeMemo>,
+    /// `(base, size) → (hash, sum)` for aligned complete subtrees. Behind
+    /// a mutex (not `RefCell`) so concurrent proof builders can share the
+    /// tree: the lock is held per memo probe/insert, never across the
+    /// recursive walk.
+    memo: Mutex<SubtreeMemo>,
+}
+
+impl Clone for SumTree {
+    fn clone(&self) -> Self {
+        SumTree {
+            leaves: self.leaves.clone(),
+            width: self.width,
+            memo: Mutex::new(self.memo.lock().clone()),
+        }
+    }
 }
 
 /// Memoized `(base, size) → (hash, sum)` summaries of aligned complete
@@ -160,7 +173,7 @@ impl SumTree {
         }
         let aligned = len.is_power_of_two() && base.is_multiple_of(len);
         if aligned {
-            if let Some(v) = self.memo.borrow().get(&(base, len)) {
+            if let Some(v) = self.memo.lock().get(&(base, len)) {
                 return v.clone();
             }
         }
@@ -169,7 +182,7 @@ impl SumTree {
         let (rh, rs) = self.node(base + k, len - k);
         let out = (hash_node(&lh, &rh, &ls, &rs), add_sums(&ls, &rs));
         if aligned {
-            self.memo.borrow_mut().insert((base, len), out.clone());
+            self.memo.lock().insert((base, len), out.clone());
         }
         out
     }

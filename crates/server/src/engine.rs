@@ -70,6 +70,15 @@ pub enum ServerError {
     Store(StoreError),
     /// Index failure.
     Index(IndexError),
+    /// The queried window's fine-grained index nodes were aged out by a
+    /// rollup/decay: not corruption — the region is only answerable at a
+    /// coarser resolution.
+    RangeDecayed {
+        /// Tree level of the missing node.
+        level: u8,
+        /// Node index within that level.
+        index: u64,
+    },
     /// Integrity ledger failure (proofs, attestation bookkeeping).
     Integrity(String),
     /// No attestation stored for the stream yet.
@@ -104,6 +113,14 @@ impl std::fmt::Display for ServerError {
             }
             ServerError::Store(e) => write!(f, "storage: {e}"),
             ServerError::Index(e) => write!(f, "index: {e}"),
+            ServerError::RangeDecayed { level, index } => {
+                write!(
+                    f,
+                    "range aged out by decay (missing index node at level {level} \
+                     index {index}): only coarser aggregates remain; widen the query \
+                     window or align it to the retained resolution"
+                )
+            }
             ServerError::Integrity(e) => write!(f, "integrity: {e}"),
             ServerError::NoAttestation(s) => {
                 write!(f, "no attestation stored for stream {s:#x}")
@@ -123,7 +140,13 @@ impl From<StoreError> for ServerError {
 
 impl From<IndexError> for ServerError {
     fn from(e: IndexError) -> Self {
-        ServerError::Index(e)
+        match e {
+            // A decayed region is a usage condition, not an index fault:
+            // surface it distinctly so clients don't read it as data
+            // corruption.
+            IndexError::Decayed { level, index } => ServerError::RangeDecayed { level, index },
+            e => ServerError::Index(e),
+        }
     }
 }
 
@@ -141,14 +164,28 @@ type LiveBuffer = BTreeMap<u64, Vec<(u32, Vec<u8>)>>;
 pub type VerifiedRange = (Vec<u8>, Vec<u8>, Vec<Vec<u8>>);
 
 /// Per-stream server state.
+///
+/// Read/write split: the timing metadata (`t0`, `delta_ms`,
+/// `digest_width`) is immutable after registration; the aggregation tree
+/// is a shared handle whose queries run lock-free against a published
+/// `len` snapshot; the integrity ledger sits behind an `RwLock` (proof
+/// builders share it, ingest appends take it exclusively for one push);
+/// and the `ingest` mutex serializes the write path only. Statistical
+/// and raw reads therefore never wait on an in-flight insert.
 struct StreamState {
     t0: i64,
     delta_ms: u64,
     digest_width: u32,
+    /// Shared-read aggregation tree: queries take `&self` and snapshot a
+    /// consistent length; appends are serialized by `ingest` (plus the
+    /// tree's own writer mutex as a backstop).
     tree: AggTree<Vec<u64>>,
     /// Integrity extension: the server's authenticated aggregation ledger.
     /// Rebuilt from persisted leaf records (`il/` prefix) on open.
-    ledger: StreamLedger,
+    ledger: RwLock<StreamLedger>,
+    /// The per-stream ingest lock: held by `insert`, `rollup`, and
+    /// `delete_range` (exclusive writers). The read path never takes it.
+    ingest: Mutex<()>,
 }
 
 impl StreamState {
@@ -177,13 +214,18 @@ impl StreamState {
     }
 }
 
-/// The server engine. Thread-safe: per-stream writes are serialized by a
-/// per-stream mutex; reads share it briefly (the paper's index updates are
-/// likewise serialized per stream by append order).
+/// The server engine. Thread-safe with a per-stream read/write split:
+/// writes (`insert`, `rollup`, `delete_range`) are serialized by a
+/// per-stream ingest mutex (the paper's index updates are likewise
+/// serialized per stream by append order), while statistical queries, raw
+/// reads, and proof builds take only shared state — so any number of
+/// readers proceed concurrently with each other *and* with an in-flight
+/// insert on the same stream. The crate docs spell out which operation
+/// takes which lock.
 pub struct TimeCryptServer {
     kv: Arc<dyn KvStore>,
     cfg: ServerConfig,
-    streams: RwLock<HashMap<u128, Arc<Mutex<StreamState>>>>,
+    streams: RwLock<HashMap<u128, Arc<StreamState>>>,
     /// Real-time upload buffer (§4.6): per stream, per not-yet-finalized
     /// chunk, the sealed records received so far. Volatile by design — the
     /// durable copy is the finalized chunk that supersedes these records.
@@ -290,13 +332,14 @@ impl TimeCryptServer {
             let ledger = server.rebuild_ledger(stream)?;
             server.streams.write().insert(
                 stream,
-                Arc::new(Mutex::new(StreamState {
+                Arc::new(StreamState {
                     t0,
                     delta_ms,
                     digest_width,
                     tree,
-                    ledger,
-                })),
+                    ledger: RwLock::new(ledger),
+                    ingest: Mutex::new(()),
+                }),
             );
         }
         Ok(server)
@@ -329,13 +372,14 @@ impl TimeCryptServer {
         )?;
         streams.insert(
             stream,
-            Arc::new(Mutex::new(StreamState {
+            Arc::new(StreamState {
                 t0,
                 delta_ms,
                 digest_width,
                 tree,
-                ledger: StreamLedger::new(stream),
-            })),
+                ledger: RwLock::new(StreamLedger::new(stream)),
+                ingest: Mutex::new(()),
+            }),
         );
         Ok(())
     }
@@ -378,7 +422,7 @@ impl TimeCryptServer {
         Ok(())
     }
 
-    fn stream(&self, stream: u128) -> Result<Arc<Mutex<StreamState>>, ServerError> {
+    fn stream(&self, stream: u128) -> Result<Arc<StreamState>, ServerError> {
         self.streams
             .read()
             .get(&stream)
@@ -389,8 +433,11 @@ impl TimeCryptServer {
     /// Ingests one sealed chunk: stores the payload blob and appends the
     /// digest ciphertext to the aggregation index.
     pub fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
-        let state = self.stream(chunk.stream)?;
-        let mut st = state.lock();
+        let st = self.stream(chunk.stream)?;
+        // Exclusive per-stream ingest lock: serializes writers only.
+        // Concurrent statistical/raw reads proceed against the previous
+        // tree-length snapshot.
+        let _ingest = st.ingest.lock();
         if chunk.digest_ct.len() as u32 != st.digest_width {
             return Err(ServerError::WidthMismatch {
                 expected: st.digest_width,
@@ -413,6 +460,7 @@ impl TimeCryptServer {
         )?;
         st.tree.append(chunk.digest_ct.clone())?;
         st.ledger
+            .write()
             .append(commitment, chunk.digest_ct.clone())
             .map_err(|e| ServerError::Integrity(e.to_string()))?;
         // The finalized chunk supersedes its real-time records (§4.6
@@ -428,11 +476,9 @@ impl TimeCryptServer {
     /// that has not been finalized yet; its ciphertext is opaque to the
     /// server.
     pub fn insert_live(&self, record: &SealedRecord) -> Result<(), ServerError> {
-        let state = self.stream(record.stream)?;
-        let next = {
-            let st = state.lock();
-            st.tree.len()
-        };
+        let st = self.stream(record.stream)?;
+        // Lock-free staleness check against the published chunk count.
+        let next = st.tree.len();
         if record.chunk < next {
             return Err(ServerError::StaleLiveRecord {
                 chunk: record.chunk,
@@ -459,11 +505,8 @@ impl TimeCryptServer {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<Vec<Vec<u8>>, ServerError> {
-        let state = self.stream(stream)?;
-        let (t0, delta) = {
-            let st = state.lock();
-            (st.t0, st.delta_ms)
-        };
+        let st = self.stream(stream)?;
+        let (t0, delta) = (st.t0, st.delta_ms);
         if ts_e <= ts_s {
             return Err(ServerError::EmptyRange);
         }
@@ -541,8 +584,7 @@ impl TimeCryptServer {
         let att_bytes = self.get_attestation(stream)?;
         let att = RootAttestation::decode(&att_bytes)
             .ok_or(ServerError::Integrity("stored attestation corrupt".into()))?;
-        let state = self.stream(stream)?;
-        let st = state.lock();
+        let st = self.stream(stream)?;
         let lo = st.first_chunk_at_or_after(ts_s);
         let hi = st
             .chunk_end_at_or_before(ts_e)
@@ -551,8 +593,11 @@ impl TimeCryptServer {
         if lo >= hi {
             return Err(ServerError::EmptyRange);
         }
+        // Shared ledger access: proof builders only exclude the one-push
+        // ledger append inside `insert`, not each other.
         let proof = st
             .ledger
+            .read()
             .prove_range(lo as usize, hi as usize, att.size as usize)
             .map_err(|e| ServerError::Integrity(e.to_string()))?;
         Ok((att_bytes, proof.encode()))
@@ -565,8 +610,7 @@ impl TimeCryptServer {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<Vec<EncryptedChunk>, ServerError> {
-        let state = self.stream(stream)?;
-        let st = state.lock();
+        let st = self.stream(stream)?;
         if ts_e <= ts_s {
             return Err(ServerError::EmptyRange);
         }
@@ -596,14 +640,18 @@ impl TimeCryptServer {
     /// (`timecrypt-service`): [`get_stat_range`](Self::get_stat_range) is a
     /// sequential fold over it, so per-stream results merged in request
     /// order reproduce the single-engine reply exactly.
+    ///
+    /// Takes no exclusive lock: any number of concurrent `stream_stat`
+    /// calls proceed against each other and against an in-flight `insert`
+    /// on the same stream, answering for the chunk prefix published when
+    /// the call began.
     pub fn stream_stat(
         &self,
         stream: u128,
         ts_s: i64,
         ts_e: i64,
     ) -> Result<StreamStat, ServerError> {
-        let state = self.stream(stream)?;
-        let st = state.lock();
+        let st = self.stream(stream)?;
         let lo = st.first_chunk_at_or_after(ts_s);
         let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
         if lo >= hi {
@@ -633,8 +681,9 @@ impl TimeCryptServer {
     /// Deletes raw chunk payloads in `[ts_s, ts_e)` while keeping digests in
     /// the index (Table 1 (7): "while maintaining per-chunk digest").
     pub fn delete_range(&self, stream: u128, ts_s: i64, ts_e: i64) -> Result<usize, ServerError> {
-        let state = self.stream(stream)?;
-        let st = state.lock();
+        let st = self.stream(stream)?;
+        // Deletion is a writer: keep it serialized with inserts/rollups.
+        let _ingest = st.ingest.lock();
         let lo = st.first_chunk_at_or_after(ts_s);
         let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
         let mut n = 0;
@@ -656,8 +705,8 @@ impl TimeCryptServer {
         before_ts: i64,
         keep_level: u8,
     ) -> Result<usize, ServerError> {
-        let state = self.stream(stream)?;
-        let mut st = state.lock();
+        let st = self.stream(stream)?;
+        let _ingest = st.ingest.lock();
         let cutoff = st.chunk_end_at_or_before(before_ts).min(st.tree.len());
         Ok(st.tree.decay(cutoff, keep_level)?)
     }
@@ -676,8 +725,7 @@ impl TimeCryptServer {
         let att_bytes = self.get_attestation(stream)?;
         let att = RootAttestation::decode(&att_bytes)
             .ok_or(ServerError::Integrity("stored attestation corrupt".into()))?;
-        let state = self.stream(stream)?;
-        let st = state.lock();
+        let st = self.stream(stream)?;
         // Raw reads cover every chunk *overlapping* the interval, matching
         // get_range's semantics (not only fully-contained chunks).
         if ts_e <= ts_s {
@@ -693,6 +741,7 @@ impl TimeCryptServer {
         }
         let proof = st
             .ledger
+            .read()
             .prove_range_open(lo as usize, hi as usize, att.size as usize)
             .map_err(|e| ServerError::Integrity(e.to_string()))?;
         let mut chunks = Vec::with_capacity((hi - lo) as usize);
@@ -710,8 +759,7 @@ impl TimeCryptServer {
 
     /// Stream metadata.
     pub fn stream_info(&self, stream: u128) -> Result<StreamInfoWire, ServerError> {
-        let state = self.stream(stream)?;
-        let st = state.lock();
+        let st = self.stream(stream)?;
         Ok(StreamInfoWire {
             stream,
             t0: st.t0,
@@ -1170,5 +1218,95 @@ mod tests {
         let reply = s.get_stat_range(&[1], 0, 640_000).unwrap();
         let dec = decrypt_range_sum(&km.tree, 0, 64, &reply.agg).unwrap();
         assert_eq!(dec[0], (0..64).sum::<u64>());
+        // A fine-grained query below the rolled-up level is a *decay*
+        // error, not corruption: [0s, 10s) needs the level-1 node that
+        // rollup legitimately removed.
+        match s.get_stat_range(&[1], 0, 10_000) {
+            Err(ServerError::RangeDecayed { level: 1, index: 0 }) => {}
+            other => panic!("expected RangeDecayed, got {other:?}"),
+        }
+        let msg = s.get_stat_range(&[1], 0, 10_000).unwrap_err().to_string();
+        assert!(
+            msg.contains("decay") && msg.contains("coarser"),
+            "error must read as an aging condition: {msg}"
+        );
+    }
+
+    #[test]
+    fn queries_stay_exact_while_ingest_holds_the_write_path() {
+        // One ingest thread appends chunks; reader threads continuously run
+        // statistical queries, raw reads, and metadata reads on the same
+        // stream. Every statistical reply must be exact for the chunk
+        // prefix it observed — a torn `len` or partially published index
+        // node would break the decrypted closed-form check.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let s = Arc::new(server());
+        let cfg = StreamConfig {
+            schema: timecrypt_chunk::DigestSchema::sum_count(),
+            ..StreamConfig::new(1, "m", 0, 10_000)
+        };
+        let km = keys();
+        s.create_stream(1, 0, 10_000, 2).unwrap();
+        const N: u64 = 300;
+        let mut rng = SecureRandom::from_seed_insecure(11);
+        let chunks: Vec<EncryptedChunk> = (0..N)
+            .map(|c| {
+                timecrypt_chunk::PlainChunk {
+                    stream: 1,
+                    index: c,
+                    points: vec![DataPoint::new(c as i64 * 10_000, c as i64)],
+                }
+                .seal(&cfg, &km, &mut rng)
+                .unwrap()
+            })
+            .collect();
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            {
+                let s = s.clone();
+                let done = done.clone();
+                scope.spawn(move || {
+                    for c in &chunks {
+                        s.insert(c).unwrap();
+                    }
+                    done.store(true, Ordering::Release);
+                });
+            }
+            for _ in 0..3 {
+                let s = s.clone();
+                let done = done.clone();
+                let km = keys();
+                scope.spawn(move || {
+                    let mut exact_replies = 0u64;
+                    loop {
+                        let stop = done.load(Ordering::Acquire);
+                        match s.get_stat_range(&[1], 0, N as i64 * 10_000) {
+                            Ok(reply) => {
+                                // The reply covers some published prefix
+                                // [0, hi); its sum/count must match the
+                                // closed form for exactly that prefix.
+                                assert_eq!(reply.parts.len(), 1);
+                                let (sid, lo, hi) = reply.parts[0];
+                                assert_eq!((sid, lo), (1, 0));
+                                let dec = decrypt_range_sum(&km.tree, lo, hi, &reply.agg).unwrap();
+                                assert_eq!(dec[0], (0..hi).sum::<u64>(), "sum for [0,{hi})");
+                                assert_eq!(dec[1], hi, "count for [0,{hi})");
+                                exact_replies += 1;
+                            }
+                            // Only acceptable before the first chunk lands.
+                            Err(ServerError::EmptyRange) => {}
+                            Err(e) => panic!("reader failed: {e}"),
+                        }
+                        let info = s.stream_info(1).unwrap();
+                        assert!(info.len <= N);
+                        if stop {
+                            break;
+                        }
+                    }
+                    assert!(exact_replies > 0, "reader never saw a full reply");
+                });
+            }
+        });
+        assert_eq!(s.stream_info(1).unwrap().len, N);
     }
 }

@@ -10,6 +10,30 @@
 //! instances are stateless and therefore horizontally scalable", §3.2):
 //! [`TimeCryptServer::open`] rebuilds all in-memory stream state from the
 //! store.
+//!
+//! # Locking model
+//!
+//! The engine splits each stream's state so the read path never waits on
+//! the write path (§6 sells low-latency queries *concurrent with*
+//! sustained ingest):
+//!
+//! * **Exclusive (per-stream ingest mutex):** `insert`, `rollup`, and
+//!   `delete_range`. Writers serialize against each other only.
+//! * **Shared, lock-free:** `stream_stat` / `get_stat_range`, `get_range`,
+//!   `stream_info`, and `insert_live`'s staleness check — these read the
+//!   immutable stream metadata and query the aggregation tree against an
+//!   atomically published chunk-count snapshot
+//!   (see `timecrypt_index::tree` for the exactness argument).
+//! * **Shared (ledger read lock):** `get_range_proof` and
+//!   `get_verified_range`. Proof builders run concurrently; an in-flight
+//!   insert excludes them only for its single ledger push.
+//!
+//! **Snapshot semantics:** a query observes the chunk prefix `[0, len)`
+//! published when it began; a chunk whose insert races the query appears
+//! in replies that start after the insert's length publication. Replies
+//! are always exact for the prefix they report. Fine-grained queries into
+//! a region aged out by `rollup` surface [`ServerError::RangeDecayed`]
+//! (distinct from corruption).
 
 pub mod engine;
 pub mod keystore;

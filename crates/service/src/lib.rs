@@ -25,6 +25,12 @@
 //!   [`timecrypt_server::merge_stream_stats`], the same fold the
 //!   single-engine path uses. Replies are byte-identical to a
 //!   single-engine deployment on the same workload.
+//! * **Intra-shard read parallelism** — the engine's read path takes no
+//!   exclusive stream lock (queries run against a published chunk-count
+//!   snapshot), so sub-queries of one large leg are split across a shared
+//!   reader pool ([`ServiceConfig::query_readers`]), and any number of
+//!   client threads can query a shard — even one hot stream — concurrently
+//!   with its ingest worker.
 //! * **Metrics** ([`metrics`]) — per-shard ingest/query counters, queue
 //!   depths, and log₂ latency histograms, exposed over the wire through
 //!   `Request::Stats`.

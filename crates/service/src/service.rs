@@ -1,6 +1,6 @@
 //! The sharded service: router + engine shards + ingest workers + metrics.
 
-use crate::fanout::ShardPool;
+use crate::fanout::{ReaderPool, ShardPool};
 use crate::ingest::{IngestWorker, Job};
 use crate::metrics::{ServiceMetrics, ShardMetrics};
 use crate::router::ShardRouter;
@@ -15,28 +15,84 @@ use timecrypt_wire::transport::Handler;
 
 type StreamStatResult = Result<timecrypt_server::StreamStat, ServerError>;
 
-/// Executes one shard's portion of a scatter-gather query, with metrics.
-fn run_query_leg(
+/// Executes one per-stream sub-query with metrics. One latency sample and
+/// one `queries` increment per sub-query, so `Request::Stats` histogram
+/// totals and counters agree by construction.
+fn metered_stat(
     engine: &TimeCryptServer,
     m: &ShardMetrics,
+    sid: u128,
+    ts_s: i64,
+    ts_e: i64,
+) -> StreamStatResult {
+    let t = Instant::now();
+    let r = engine.stream_stat(sid, ts_s, ts_e);
+    m.query_latency.record(t.elapsed());
+    m.queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    if r.is_err() {
+        m.query_errors
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    r
+}
+
+/// Executes one shard's portion of a scatter-gather query.
+///
+/// The engine's read path takes no exclusive stream lock, so the
+/// sub-queries of a large leg are independent: the leg is sliced across
+/// the shared [`ReaderPool`] (the caller keeps the first slice inline).
+/// Small legs (or a zero-reader pool) stay sequential — no handoff cost.
+fn run_query_leg(
+    engine: &Arc<TimeCryptServer>,
+    metrics: &Arc<ServiceMetrics>,
+    shard: usize,
+    readers: &ReaderPool,
     legs: &[(usize, u128)],
     ts_s: i64,
     ts_e: i64,
 ) -> Vec<(usize, StreamStatResult)> {
-    let t = Instant::now();
-    let out = legs
+    let m = metrics.shard(shard);
+    // At most one offloaded slice per reader, and always ≥ 1 sub-query
+    // kept inline so the caller makes progress itself.
+    let offload_slices = readers.len().min(legs.len().saturating_sub(1));
+    if offload_slices == 0 {
+        return legs
+            .iter()
+            .map(|&(pos, sid)| (pos, metered_stat(engine, m, sid, ts_s, ts_e)))
+            .collect();
+    }
+    let per = legs.len().div_ceil(offload_slices + 1);
+    let (reply_tx, reply_rx) = channel();
+    let mut offloaded = 0usize;
+    for slice in legs[per..].chunks(per) {
+        let engine = engine.clone();
+        let metrics = metrics.clone();
+        let slice: Vec<(usize, u128)> = slice.to_vec();
+        let reply = reply_tx.clone();
+        readers.exec(Box::new(move || {
+            let m = metrics.shard(shard);
+            let out: Vec<(usize, StreamStatResult)> = slice
+                .iter()
+                .map(|&(pos, sid)| (pos, metered_stat(&engine, m, sid, ts_s, ts_e)))
+                .collect();
+            // A dropped caller just means nobody wants the result.
+            let _ = reply.send(out);
+        }));
+        offloaded += 1;
+    }
+    drop(reply_tx);
+    let mut out: Vec<(usize, StreamStatResult)> = legs[..per]
         .iter()
-        .map(|&(pos, sid)| {
-            let r = engine.stream_stat(sid, ts_s, ts_e);
-            m.queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if r.is_err() {
-                m.query_errors
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            }
-            (pos, r)
-        })
+        .map(|&(pos, sid)| (pos, metered_stat(engine, m, sid, ts_s, ts_e)))
         .collect();
-    m.query_latency.record(t.elapsed());
+    for _ in 0..offloaded {
+        // A closed channel means a slice was lost to a reader panic; the
+        // affected positions fall through to the caller's "query leg
+        // lost" default instead of stranding anyone. Buffered results are
+        // still delivered before `recv` reports disconnection.
+        let Ok(slice) = reply_rx.recv() else { break };
+        out.extend(slice);
+    }
     out
 }
 
@@ -48,6 +104,11 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Bounded ingest-queue depth per shard (backpressure threshold).
     pub queue_depth: usize,
+    /// Intra-shard reader threads (shared across shards) used to split the
+    /// sub-queries of one large scatter-gather leg. The engine's lock-free
+    /// read path makes those sub-queries independent even on a single hot
+    /// stream's shard. `0` disables intra-leg parallelism.
+    pub query_readers: usize,
     /// Per-shard engine configuration.
     pub engine: ServerConfig,
 }
@@ -57,6 +118,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             shards: 4,
             queue_depth: 1024,
+            query_readers: 4,
             engine: ServerConfig::default(),
         }
     }
@@ -69,6 +131,7 @@ pub struct ShardedService {
     shards: Vec<Arc<TimeCryptServer>>,
     workers: Vec<IngestWorker>,
     query_pool: ShardPool,
+    readers: Arc<ReaderPool>,
     metrics: Arc<ServiceMetrics>,
     kv: Arc<MeteredKv>,
 }
@@ -101,11 +164,13 @@ impl ShardedService {
             })
             .collect();
         let query_pool = ShardPool::new(cfg.shards);
+        let readers = Arc::new(ReaderPool::new(cfg.query_readers));
         Ok(ShardedService {
             router,
             shards,
             workers,
             query_pool,
+            readers,
             metrics,
             kv,
         })
@@ -135,8 +200,9 @@ impl ShardedService {
 
     /// Synchronous single-chunk ingest (the unbatched path), bypassing the
     /// queue: latency-sensitive callers pay no queueing delay, and ordering
-    /// versus batched ingest is preserved because [`submit_batch`]
-    /// (Self::submit_batch) returns only after its jobs completed.
+    /// versus batched ingest is preserved because
+    /// [`submit_batch`](Self::submit_batch) returns only after its jobs
+    /// completed.
     pub fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
         let shard = self.router.shard_of(chunk.stream);
         crate::ingest::metered_insert(&self.shards[shard], self.metrics.shard(shard), chunk)
@@ -176,9 +242,11 @@ impl ShardedService {
 
     /// Scatter-gather statistical query: per-stream sub-queries fan out to
     /// the owning shards in parallel (one gather thread per involved
-    /// shard), then merge in request order with the same fold as the
-    /// single-engine path — so the reply is byte-identical to
-    /// [`TimeCryptServer::get_stat_range`] on the same data.
+    /// shard), large legs are further split across the intra-shard reader
+    /// pool ([`ServiceConfig::query_readers`]), then everything merges in
+    /// request order with the same fold as the single-engine path — so the
+    /// reply is byte-identical to [`TimeCryptServer::get_stat_range`] on
+    /// the same data.
     pub fn get_stat_range(
         &self,
         streams: &[u128],
@@ -206,6 +274,7 @@ impl ShardedService {
             let legs = std::mem::take(&mut by_shard[shard]);
             let engine = self.shards[shard].clone();
             let metrics = self.metrics.clone();
+            let readers = self.readers.clone();
             let reply = reply_tx.clone();
             self.query_pool.exec(
                 shard,
@@ -213,7 +282,7 @@ impl ShardedService {
                     // Contain engine panics so one poisoned query cannot kill
                     // the shard's pool worker or strand the caller.
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_query_leg(&engine, metrics.shard(shard), &legs, ts_s, ts_e)
+                        run_query_leg(&engine, &metrics, shard, &readers, &legs, ts_s, ts_e)
                     }))
                     .unwrap_or_else(|_| {
                         legs.iter()
@@ -232,7 +301,9 @@ impl ShardedService {
             let legs = std::mem::take(&mut by_shard[shard]);
             for (pos, r) in run_query_leg(
                 &self.shards[shard],
-                self.metrics.shard(shard),
+                &self.metrics,
+                shard,
+                &self.readers,
                 &legs,
                 ts_s,
                 ts_e,
@@ -465,6 +536,72 @@ mod tests {
         let streams: u64 = snap.shards.iter().map(|s| s.streams).sum();
         assert_eq!(streams, 8);
         assert!(snap.store_puts > 0, "metered store saw writes");
+    }
+
+    #[test]
+    fn query_latency_samples_agree_with_query_counter() {
+        // One latency sample per sub-query: histogram totals and the
+        // `queries` counter must agree in Request::Stats, including when
+        // sub-queries error.
+        let svc = service(2);
+        for id in 1..=5u128 {
+            svc.create_stream(id, 0, 10_000, 2).unwrap();
+            svc.insert(&sealed_chunk(id, 0, id as i64)).unwrap();
+        }
+        svc.get_stat_range(&[1, 2, 3, 4, 5], 0, 10_000).unwrap();
+        svc.get_stat_range(&[2, 4], 0, 10_000).unwrap();
+        // Unknown stream: the sub-query errors but is still counted+timed.
+        let _ = svc.get_stat_range(&[1, 99], 0, 10_000);
+        let snap = svc.stats();
+        let mut total = 0u64;
+        for shard in &snap.shards {
+            assert_eq!(
+                shard.queries,
+                shard.query_hist_us.iter().sum::<u64>(),
+                "shard {}: counter vs histogram",
+                shard.shard
+            );
+            total += shard.queries;
+        }
+        assert_eq!(total, 9, "5 + 2 + 2 sub-queries");
+    }
+
+    #[test]
+    fn reader_pool_split_leg_matches_single_engine_reply() {
+        // Many streams on few shards with a multi-reader pool: the split
+        // leg must still produce a reply byte-identical to one engine
+        // walking the same store sequentially.
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let svc = ShardedService::open(
+            kv.clone(),
+            ServiceConfig {
+                shards: 2,
+                query_readers: 3,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let ids: Vec<u128> = (1..=12).collect();
+        for &id in &ids {
+            svc.create_stream(id, 0, 10_000, 2).unwrap();
+            let results = svc.submit_batch(vec![
+                sealed_chunk(id, 0, id as i64),
+                sealed_chunk(id, 1, 2 * id as i64),
+            ]);
+            assert!(results.iter().all(|r| r.is_ok()));
+        }
+        let sharded = svc.get_stat_range(&ids, 0, 20_000).unwrap();
+        let single =
+            timecrypt_server::TimeCryptServer::open(kv, timecrypt_server::ServerConfig::default())
+                .unwrap()
+                .get_stat_range(&ids, 0, 20_000)
+                .unwrap();
+        assert_eq!(sharded, single);
+        // Error semantics survive the split too: first bad stream aborts.
+        assert!(matches!(
+            svc.get_stat_range(&[1, 2, 3, 4, 5, 6, 7, 77], 0, 20_000),
+            Err(ServerError::NoSuchStream(77))
+        ));
     }
 
     #[test]

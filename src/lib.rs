@@ -12,25 +12,25 @@
 //!
 //! This facade re-exports the workspace crates:
 //!
-//! * [`core`](timecrypt_core) — HEAC: key-derivation tree, key canceling,
+//! * [`core`] — HEAC: key-derivation tree, key canceling,
 //!   dual key regression, resolution envelopes (the paper's contribution).
-//! * [`crypto`](timecrypt_crypto) — SHA-256/HMAC, AES-128 (+AES-NI),
+//! * [`crypto`] — SHA-256/HMAC, AES-128 (+AES-NI),
 //!   AES-GCM, PRGs (all from scratch).
-//! * [`chunk`](timecrypt_chunk) — data model, digests, compression,
+//! * [`chunk`] — data model, digests, compression,
 //!   chunk sealing.
-//! * [`index`](timecrypt_index) — the k-ary time-partitioned aggregation
+//! * [`index`] — the k-ary time-partitioned aggregation
 //!   tree with LRU node cache.
-//! * [`store`](timecrypt_store) — KV engines (memory / persistent log /
+//! * [`store`] — KV engines (memory / persistent log /
 //!   latency-injected / op-metered).
-//! * [`server`](timecrypt_server) — the untrusted server engine.
-//! * [`service`](timecrypt_service) — the sharded concurrent serving tier:
+//! * [`server`] — the untrusted server engine.
+//! * [`service`] — the sharded concurrent serving tier:
 //!   shard-routed engines, batched ingest workers, scatter-gather
 //!   statistical queries, per-shard metrics.
-//! * [`client`](timecrypt_client) — producer, data owner, consumer.
-//! * [`wire`](timecrypt_wire) — framing + TCP transport.
-//! * [`baselines`](timecrypt_baselines) — Paillier, EC-ElGamal/P-256,
+//! * [`client`] — producer, data owner, consumer.
+//! * [`wire`] — framing + TCP transport.
+//! * [`baselines`] — Paillier, EC-ElGamal/P-256,
 //!   ECIES, ECDSA, ABE cost model.
-//! * [`integrity`](timecrypt_integrity) — the Verena-style extension
+//! * [`integrity`] — the Verena-style extension
 //!   (§3.3): authenticated aggregation proofs and signed root attestations
 //!   giving completeness/correctness on top of confidentiality.
 //!
