@@ -20,13 +20,21 @@
 //! behind the hot stream's ingest lock and `query_ops_s` stayed flat (or
 //! sank) with more query threads; with the split it scales.
 //!
+//! The **remote** phase reruns the ingest+query workload against a
+//! real multi-node cluster on loopback TCP: one `ShardNode` process-alike
+//! per shard (each over its own latency-modelled store) behind a
+//! coordinator with a remote topology. Comparing `service_throughput` and
+//! `remote_throughput` rows at the same shard count isolates the wire
+//! cost (framing + pipelining + pooled connections) of scaling out.
+//!
 //! Env knobs: `TC_SHARDS` (comma list, default `1,2,4,8`), `TC_STREAMS`
 //! (default 32), `TC_CHUNKS` (chunks/stream, default 64), `TC_PRODUCERS`
 //! (default 8), `TC_BATCH` (chunks/batch, default 16), `TC_QUERIES`
 //! (default 200), `TC_STORE_LAT_US` (default 50). Mixed phase:
 //! `TC_QUERY_THREADS` (comma list, default `1,2,4,8`), `TC_MIXED_QUERIES`
 //! (default 400), `TC_READERS` (intra-shard reader pool, default 4),
-//! `TC_MIXED` (`0` skips the phase).
+//! `TC_MIXED` (`0` skips the phase). Remote phase: `TC_REMOTE` (`0`
+//! skips), `TC_REMOTE_SHARDS` (comma list, default `1,4`).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,8 +43,9 @@ use timecrypt_chunk::serialize::EncryptedChunk;
 use timecrypt_chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
 use timecrypt_core::StreamKeyMaterial;
 use timecrypt_crypto::{PrgKind, SecureRandom};
-use timecrypt_service::{ServiceConfig, ShardedService};
+use timecrypt_service::{NodeConfig, ServiceConfig, ShardNode, ShardSpec, ShardedService};
 use timecrypt_store::{KvStore, LatencyKv, MemKv};
+use timecrypt_wire::transport::Server;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -86,6 +95,14 @@ struct Sample {
     query_wall_ms: f64,
 }
 
+fn latency_store(store_latency: Duration) -> Arc<dyn KvStore> {
+    if store_latency.is_zero() {
+        Arc::new(MemKv::new())
+    } else {
+        Arc::new(LatencyKv::new(MemKv::new(), store_latency))
+    }
+}
+
 fn run_one(
     workload: &Workload,
     shards: usize,
@@ -94,20 +111,9 @@ fn run_one(
     queries: usize,
     store_latency: Duration,
 ) -> Sample {
-    let streams = workload.per_stream.len();
-    let chunks = workload
-        .per_stream
-        .first()
-        .map(|v| v.len() as u64)
-        .unwrap_or(0);
-    let kv: Arc<dyn KvStore> = if store_latency.is_zero() {
-        Arc::new(MemKv::new())
-    } else {
-        Arc::new(LatencyKv::new(MemKv::new(), store_latency))
-    };
     let svc = Arc::new(
         ShardedService::open(
-            kv,
+            latency_store(store_latency),
             ServiceConfig {
                 shards,
                 ..ServiceConfig::default()
@@ -115,6 +121,71 @@ fn run_one(
         )
         .unwrap(),
     );
+    measure_workload(&svc, workload, shards, producers, batch, queries)
+}
+
+/// Boots `shards` loopback nodes (each over its own latency-modelled
+/// store) and a coordinator routing every shard to its node. The returned
+/// servers must stay alive for the cluster to serve.
+fn open_remote_cluster(
+    shards: usize,
+    store_latency: Duration,
+) -> (Vec<Server>, Arc<ShardedService>) {
+    let mut servers = Vec::with_capacity(shards);
+    let mut topology = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let node = ShardNode::open(
+            latency_store(store_latency),
+            NodeConfig {
+                total_shards: shards,
+                hosted: vec![shard],
+                engine: Default::default(),
+            },
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", Arc::new(node)).unwrap();
+        topology.push(ShardSpec::remote(server.addr().to_string()));
+        servers.push(server);
+    }
+    let svc = Arc::new(
+        ShardedService::open(
+            Arc::new(MemKv::new()), // coordinator-local store unused: all shards remote
+            ServiceConfig {
+                topology,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    (servers, svc)
+}
+
+fn run_remote(
+    workload: &Workload,
+    shards: usize,
+    producers: usize,
+    batch: usize,
+    queries: usize,
+    store_latency: Duration,
+) -> Sample {
+    let (_servers, svc) = open_remote_cluster(shards, store_latency);
+    measure_workload(&svc, workload, shards, producers, batch, queries)
+}
+
+fn measure_workload(
+    svc: &Arc<ShardedService>,
+    workload: &Workload,
+    shards: usize,
+    producers: usize,
+    batch: usize,
+    queries: usize,
+) -> Sample {
+    let streams = workload.per_stream.len();
+    let chunks = workload
+        .per_stream
+        .first()
+        .map(|v| v.len() as u64)
+        .unwrap_or(0);
     for id in 0..streams as u128 {
         svc.create_stream(id, 0, 10_000, 2).unwrap();
     }
@@ -210,14 +281,9 @@ fn run_mixed(
         .first()
         .map(|v| v.len() as u64)
         .unwrap_or(0);
-    let kv: Arc<dyn KvStore> = if store_latency.is_zero() {
-        Arc::new(MemKv::new())
-    } else {
-        Arc::new(LatencyKv::new(MemKv::new(), store_latency))
-    };
     let svc = Arc::new(
         ShardedService::open(
-            kv,
+            latency_store(store_latency),
             ServiceConfig {
                 shards: 1,
                 query_readers: readers,
@@ -339,6 +405,43 @@ fn main() {
             s.query_ops_s,
             s.query_wall_ms,
         );
+    }
+
+    // Remote phase: the same workload through a loopback multi-node
+    // cluster (one node per shard, each over its own store). The delta
+    // against `service_throughput` at equal shard count is the cost of
+    // going over the wire.
+    if env_usize("TC_REMOTE", 1) != 0 {
+        let remote_sweep: Vec<usize> = std::env::var("TC_REMOTE_SHARDS")
+            .unwrap_or_else(|_| "1,4".into())
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        for &shards in &remote_sweep {
+            let _ = run_remote(
+                &workload,
+                shards,
+                producers,
+                batch,
+                16.min(queries),
+                store_latency,
+            );
+            let s = run_remote(&workload, shards, producers, batch, queries, store_latency);
+            println!(
+                "{{\"bench\":\"remote_throughput\",\"shards\":{},\"nodes\":{},\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"batch\":{},\"ingest_ops_s\":{:.0},\"ingest_wall_ms\":{:.1},\"queries\":{},\"query_ops_s\":{:.0},\"query_wall_ms\":{:.1}}}",
+                s.shards,
+                s.shards,
+                streams,
+                chunks,
+                producers,
+                batch,
+                s.ingest_ops_s,
+                s.ingest_wall_ms,
+                queries,
+                s.query_ops_s,
+                s.query_wall_ms,
+            );
+        }
     }
 
     // Mixed read/write phase: query ops/s vs query-thread count on ONE

@@ -272,6 +272,14 @@ impl SealedRecord {
         out
     }
 
+    /// Reads just the stream id from serialized record bytes, without
+    /// parsing or copying the payload. This is the service tier's
+    /// shard-routing peek: the coordinator needs only the owner shard,
+    /// and the owning engine performs the one full parse + validation.
+    pub fn peek_stream(buf: &[u8]) -> Option<StreamId> {
+        Some(u128::from_le_bytes(buf.get(0..16)?.try_into().ok()?))
+    }
+
     /// Parses bytes produced by [`to_bytes`](Self::to_bytes).
     pub fn from_bytes(buf: &[u8]) -> Result<Self, ChunkError> {
         if buf.len() < 32 {

@@ -180,6 +180,37 @@ impl Producer {
 /// `InsertBatch` round trip — the client side of the service tier's batched
 /// ingest pipeline. Within a batch the chunks stay in seal order, so the
 /// server's per-stream ordering check is preserved.
+///
+/// ```
+/// use std::sync::Arc;
+/// use timecrypt_client::{BatchingProducer, InProc};
+/// use timecrypt_chunk::{DataPoint, StreamConfig};
+/// use timecrypt_core::StreamKeyMaterial;
+/// use timecrypt_crypto::{PrgKind, SecureRandom};
+/// use timecrypt_server::{ServerConfig, TimeCryptServer};
+/// use timecrypt_store::MemKv;
+///
+/// // Δ = 10 s chunks on stream 1; any Handler works as the transport
+/// // (single engine here; a ShardedService coordinator in production).
+/// let cfg = StreamConfig::new(1, "temp", 0, 10_000);
+/// let server = Arc::new(
+///     TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
+/// );
+/// server.create_stream(1, 0, 10_000, cfg.schema.width() as u32).unwrap();
+/// let mut transport = InProc::new(server);
+///
+/// let keys = StreamKeyMaterial::with_params(1, [7; 16], 20, PrgKind::Aes).unwrap();
+/// let mut producer =
+///     BatchingProducer::new(cfg, keys, SecureRandom::from_seed_insecure(1), 4);
+/// // 1 Hz points: every 10th point completes a chunk; chunks ship in
+/// // batches of 4 (one InsertBatch round trip each).
+/// for sec in 0..100i64 {
+///     producer.push(&mut transport, DataPoint::new(sec * 1000, 20)).unwrap();
+/// }
+/// producer.flush(&mut transport).unwrap();
+/// assert_eq!(producer.chunks_sent(), 10);
+/// assert_eq!(producer.batches_sent(), 3, "4 + 4 + flushed 2");
+/// ```
 pub struct BatchingProducer {
     cfg: StreamConfig,
     keys: StreamKeyMaterial,

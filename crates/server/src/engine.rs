@@ -86,6 +86,12 @@ pub enum ServerError {
     /// A service-tier component (e.g. a shard ingest worker) is not
     /// available to process the request.
     Unavailable(&'static str),
+    /// An error reported by a remote shard node, carried verbatim. The
+    /// `Display` impl prints the remote's message unchanged, which is what
+    /// keeps wire replies byte-identical between a single-process service
+    /// and a multi-node cluster: the remote rendered its engine error with
+    /// the same `ServerError::to_string` this process would have used.
+    Remote(String),
 }
 
 impl std::fmt::Display for ServerError {
@@ -126,6 +132,7 @@ impl std::fmt::Display for ServerError {
                 write!(f, "no attestation stored for stream {s:#x}")
             }
             ServerError::Unavailable(what) => write!(f, "service unavailable: {what}"),
+            ServerError::Remote(msg) => write!(f, "{msg}"),
         }
     }
 }

@@ -1,0 +1,747 @@
+//! The shard-backend seam: where a shard's requests are executed.
+//!
+//! The [`crate::ShardRouter`] decides *which* shard owns a stream; a
+//! [`ShardBackend`] decides *where* that shard runs. Two implementations:
+//!
+//! * [`LocalShard`] — an in-process [`TimeCryptServer`] engine (the only
+//!   option before multi-node support; still the default).
+//! * [`RemoteShard`] — a shard hosted by a `timecrypt-node` process,
+//!   reached over the blocking TCP transport through a
+//!   [`ClientPool`] (reconnect-with-backoff). Scatter-gather legs are
+//!   *pipelined*: a leg's per-stream sub-queries stream onto one
+//!   connection with up to `PIPELINE_WINDOW` requests in flight ahead of
+//!   the responses being drained — one round trip of latency per leg,
+//!   without the buffer-deadlock an unbounded send loop would risk.
+//!
+//! [`ShardReplicas`] composes one primary backend with an optional backup
+//! (replication factor R=2): mutations go primary-then-backup, reads fail
+//! over to the backup when the primary is unreachable. Failovers and
+//! backup divergence are counted in the shard's
+//! [`metrics`](crate::metrics::ShardMetrics).
+//!
+//! Error contract: every trait method returns
+//! `Err(`[`ServerError::Unavailable`]`)` **only** for transport-level
+//! failure (the backend cannot be reached at all) — that is the signal
+//! [`ShardReplicas`] fails over on. Application-level errors travel inside
+//! the `Ok` payload: for remote backends as [`ServerError::Remote`], whose
+//! `Display` is the node's message verbatim, so wire replies stay
+//! byte-identical between single-process and multi-node deployments.
+
+use crate::fanout::ReaderPool;
+use crate::metrics::{ServiceMetrics, ShardMetrics};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use timecrypt_chunk::serialize::EncryptedChunk;
+use timecrypt_server::{ServerError, StreamStat, TimeCryptServer};
+use timecrypt_wire::messages::{Request, Response};
+use timecrypt_wire::pool::{ClientPool, PoolConfig};
+
+/// One per-stream statistical sub-query outcome.
+pub(crate) type StreamStatResult = Result<StreamStat, ServerError>;
+
+/// A scatter-gather leg: `(position in the request, stream id)` pairs, all
+/// owned by one shard.
+pub(crate) type Leg = [(usize, u128)];
+
+const UNREACHABLE: ServerError = ServerError::Unavailable("shard node unreachable");
+
+/// Where a shard (or its backup replica) runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// In this process, over the coordinator's shared KV store.
+    Local,
+    /// On a `timecrypt-node` process at `host:port`.
+    Remote(String),
+}
+
+/// One shard's placement: a primary backend and an optional backup
+/// replica (replication factor R=2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Where the shard's primary runs.
+    pub primary: BackendSpec,
+    /// Optional backup replica. Must be remote: a "local" backup would
+    /// share the primary's store and self-corrupt.
+    pub backup: Option<BackendSpec>,
+}
+
+impl ShardSpec {
+    /// An unreplicated in-process shard (the classic deployment).
+    pub fn local() -> Self {
+        ShardSpec {
+            primary: BackendSpec::Local,
+            backup: None,
+        }
+    }
+
+    /// An unreplicated remote shard at `addr` (`host:port`).
+    pub fn remote(addr: impl Into<String>) -> Self {
+        ShardSpec {
+            primary: BackendSpec::Remote(addr.into()),
+            backup: None,
+        }
+    }
+
+    /// Adds a remote backup replica at `addr`.
+    pub fn with_backup(mut self, addr: impl Into<String>) -> Self {
+        self.backup = Some(BackendSpec::Remote(addr.into()));
+        self
+    }
+}
+
+/// Executes one shard's operations, wherever the shard runs. See the
+/// module docs for the error contract.
+pub trait ShardBackend: Send + Sync + 'static {
+    /// Dispatches one wire request and returns the shard's reply.
+    fn call(&self, req: Request) -> Result<Response, ServerError>;
+
+    /// Executes one scatter-gather leg: a per-stream statistical sub-query
+    /// for every `(position, stream)` entry, returned with the positions
+    /// so the caller can merge in request order.
+    fn stat_leg(
+        &self,
+        legs: &Leg,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<(usize, StreamStatResult)>, ServerError>;
+
+    /// Registers a stream. Local backends surface the engine's *typed*
+    /// error (`StreamExists`, …); remote backends wrap the node's message
+    /// in [`ServerError::Remote`].
+    fn create_stream(
+        &self,
+        stream: u128,
+        t0: i64,
+        delta_ms: u64,
+        digest_width: u32,
+    ) -> Result<(), ServerError>;
+
+    /// Ingests `chunks` in order (per-stream submission order is the
+    /// service tier's ordering contract) and reports per-chunk verdicts.
+    fn insert_batch(
+        &self,
+        chunks: &[EncryptedChunk],
+    ) -> Result<Vec<Result<(), ServerError>>, ServerError>;
+
+    /// Streams currently hosted by this shard (occupancy metric).
+    fn stream_count(&self) -> Result<u64, ServerError>;
+}
+
+/// Executes one per-stream sub-query with metrics. One latency sample and
+/// one `queries` increment per sub-query, so `Request::Stats` histogram
+/// totals and counters agree by construction.
+pub(crate) fn metered_stat(
+    engine: &TimeCryptServer,
+    m: &ShardMetrics,
+    sid: u128,
+    ts_s: i64,
+    ts_e: i64,
+) -> StreamStatResult {
+    let t = Instant::now();
+    let r = engine.stream_stat(sid, ts_s, ts_e);
+    m.query_latency.record(t.elapsed());
+    m.queries.fetch_add(1, Ordering::Relaxed);
+    if r.is_err() {
+        m.query_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    r
+}
+
+/// The in-process backend: a filtered engine over the coordinator's
+/// shared store.
+pub struct LocalShard {
+    engine: Arc<TimeCryptServer>,
+    readers: Arc<ReaderPool>,
+    metrics: Arc<ServiceMetrics>,
+    shard: usize,
+}
+
+impl LocalShard {
+    pub(crate) fn new(
+        engine: Arc<TimeCryptServer>,
+        readers: Arc<ReaderPool>,
+        metrics: Arc<ServiceMetrics>,
+        shard: usize,
+    ) -> Self {
+        LocalShard {
+            engine,
+            readers,
+            metrics,
+            shard,
+        }
+    }
+}
+
+impl ShardBackend for LocalShard {
+    fn call(&self, req: Request) -> Result<Response, ServerError> {
+        use timecrypt_wire::transport::Handler;
+        Ok(self.engine.handle(req))
+    }
+
+    /// The engine's read path takes no exclusive stream lock, so the
+    /// sub-queries of a large leg are independent: the leg is sliced
+    /// across the shared reader pool (the caller keeps the first slice
+    /// inline). Small legs (or a zero-reader pool) stay sequential — no
+    /// handoff cost.
+    fn stat_leg(
+        &self,
+        legs: &Leg,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<(usize, StreamStatResult)>, ServerError> {
+        let m = self.metrics.shard(self.shard);
+        // At most one offloaded slice per reader, and always ≥ 1 sub-query
+        // kept inline so the caller makes progress itself.
+        let offload_slices = self.readers.len().min(legs.len().saturating_sub(1));
+        if offload_slices == 0 {
+            return Ok(legs
+                .iter()
+                .map(|&(pos, sid)| (pos, metered_stat(&self.engine, m, sid, ts_s, ts_e)))
+                .collect());
+        }
+        let per = legs.len().div_ceil(offload_slices + 1);
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let mut offloaded = 0usize;
+        for slice in legs[per..].chunks(per) {
+            let engine = self.engine.clone();
+            let metrics = self.metrics.clone();
+            let shard = self.shard;
+            let slice: Vec<(usize, u128)> = slice.to_vec();
+            let reply = reply_tx.clone();
+            self.readers.exec(Box::new(move || {
+                let m = metrics.shard(shard);
+                let out: Vec<(usize, StreamStatResult)> = slice
+                    .iter()
+                    .map(|&(pos, sid)| (pos, metered_stat(&engine, m, sid, ts_s, ts_e)))
+                    .collect();
+                // A dropped caller just means nobody wants the result.
+                let _ = reply.send(out);
+            }));
+            offloaded += 1;
+        }
+        drop(reply_tx);
+        let mut out: Vec<(usize, StreamStatResult)> = legs[..per]
+            .iter()
+            .map(|&(pos, sid)| (pos, metered_stat(&self.engine, m, sid, ts_s, ts_e)))
+            .collect();
+        for _ in 0..offloaded {
+            // A closed channel means a slice was lost to a reader panic; the
+            // affected positions fall through to the caller's "query leg
+            // lost" default instead of stranding anyone. Buffered results are
+            // still delivered before `recv` reports disconnection.
+            let Ok(slice) = reply_rx.recv() else { break };
+            out.extend(slice);
+        }
+        Ok(out)
+    }
+
+    fn create_stream(
+        &self,
+        stream: u128,
+        t0: i64,
+        delta_ms: u64,
+        digest_width: u32,
+    ) -> Result<(), ServerError> {
+        self.engine
+            .create_stream(stream, t0, delta_ms, digest_width)
+    }
+
+    fn insert_batch(
+        &self,
+        chunks: &[EncryptedChunk],
+    ) -> Result<Vec<Result<(), ServerError>>, ServerError> {
+        let m = self.metrics.shard(self.shard);
+        Ok(chunks
+            .iter()
+            .map(|chunk| {
+                // Contain engine panics so one poisoned insert cannot kill
+                // the shard's ingest pipeline.
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::ingest::metered_insert(&self.engine, m, chunk)
+                }))
+                .unwrap_or(Err(ServerError::Unavailable("shard engine panicked")))
+            })
+            .collect())
+    }
+
+    fn stream_count(&self) -> Result<u64, ServerError> {
+        Ok(self.engine.stream_count() as u64)
+    }
+}
+
+/// A shard hosted by a `timecrypt-node` process, reached over TCP.
+pub struct RemoteShard {
+    pool: ClientPool,
+    metrics: Arc<ServiceMetrics>,
+    shard: usize,
+}
+
+impl RemoteShard {
+    pub(crate) fn new(
+        addr: String,
+        pool_cfg: PoolConfig,
+        metrics: Arc<ServiceMetrics>,
+        shard: usize,
+    ) -> Self {
+        RemoteShard {
+            pool: ClientPool::new(addr, pool_cfg),
+            metrics,
+            shard,
+        }
+    }
+}
+
+impl ShardBackend for RemoteShard {
+    fn call(&self, req: Request) -> Result<Response, ServerError> {
+        match self.pool.call(&req) {
+            Ok(resp) => Ok(resp),
+            // `ClientPool::call` surfaces `Response::Error` as a client
+            // error; re-wrap it — the node answered, the transport is fine.
+            Err(timecrypt_wire::transport::ClientError::Server(msg)) => Ok(Response::Error(msg)),
+            Err(_) => Err(UNREACHABLE),
+        }
+    }
+
+    /// Pipelines the whole leg on one pooled connection: every sub-query
+    /// is sent before the first response is read, so the leg pays one
+    /// round-trip of latency, not one per stream. Streams whose window is
+    /// empty need their digest width (the empty/width distinction matters
+    /// to the merge fold), which the `Stat` reply cannot carry — a second
+    /// pipelined round of `StreamInfo` probes resolves those.
+    fn stat_leg(
+        &self,
+        legs: &Leg,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Result<Vec<(usize, StreamStatResult)>, ServerError> {
+        match self.try_stat_leg(legs, ts_s, ts_e, false) {
+            Ok(out) => Ok(out),
+            // The pooled connection was likely stale (node restarted
+            // underneath it); sub-queries are idempotent, so retry the
+            // whole leg once on a freshly dialed connection.
+            Err(_) => self.try_stat_leg(legs, ts_s, ts_e, true),
+        }
+    }
+
+    fn create_stream(
+        &self,
+        stream: u128,
+        t0: i64,
+        delta_ms: u64,
+        digest_width: u32,
+    ) -> Result<(), ServerError> {
+        match self.call(Request::CreateStream {
+            stream,
+            t0,
+            delta_ms,
+            digest_width,
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error(msg) => Err(ServerError::Remote(msg)),
+            _ => Err(ServerError::Unavailable("unexpected create-stream reply")),
+        }
+    }
+
+    fn insert_batch(
+        &self,
+        chunks: &[EncryptedChunk],
+    ) -> Result<Vec<Result<(), ServerError>>, ServerError> {
+        let m = self.metrics.shard(self.shard);
+        let req = Request::InsertBatch {
+            chunks: chunks.iter().map(|c| c.to_bytes()).collect(),
+        };
+        let t = Instant::now();
+        let reply = self.pool.call(&req);
+        let elapsed = t.elapsed();
+        let results: Vec<Result<(), ServerError>> = match reply {
+            Ok(Response::Batch { errors }) => {
+                let mut results: Vec<Result<(), ServerError>> =
+                    chunks.iter().map(|_| Ok(())).collect();
+                for (idx, msg) in errors {
+                    if let Some(slot) = results.get_mut(idx as usize) {
+                        *slot = Err(ServerError::Remote(msg));
+                    }
+                }
+                results
+            }
+            // The node answered, but not with a batch verdict: fail every
+            // chunk with the node's message (transport is still fine).
+            Ok(Response::Error(msg)) | Err(timecrypt_wire::transport::ClientError::Server(msg)) => {
+                chunks
+                    .iter()
+                    .map(|_| Err(ServerError::Remote(msg.clone())))
+                    .collect()
+            }
+            Ok(_) => chunks
+                .iter()
+                .map(|_| Err(ServerError::Unavailable("unexpected remote batch reply")))
+                .collect(),
+            Err(_) => return Err(UNREACHABLE),
+        };
+        for r in &results {
+            m.ingest_latency.record(elapsed);
+            match r {
+                Ok(()) => m.ingested_chunks.fetch_add(1, Ordering::Relaxed),
+                Err(_) => m.ingest_errors.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+        Ok(results)
+    }
+
+    fn stream_count(&self) -> Result<u64, ServerError> {
+        match self.call(Request::Stats)? {
+            Response::ServiceStats(stats) => Ok(stats
+                .shards
+                .iter()
+                .find(|s| s.shard == self.shard as u32)
+                .map(|s| s.streams)
+                .unwrap_or(0)),
+            _ => Ok(0),
+        }
+    }
+}
+
+/// Maximum unanswered pipelined requests per connection. Requests are a
+/// few dozen bytes, so a count-bounded window keeps the request direction
+/// far below socket-buffer capacity while replies are drained
+/// concurrently — the property that makes the strict-FIFO pipeline
+/// deadlock-free even for legs of thousands of sub-queries (an unbounded
+/// send loop could fill both directions' buffers and wedge coordinator
+/// and node against each other).
+const PIPELINE_WINDOW: usize = 128;
+
+impl RemoteShard {
+    /// One pipelined leg attempt on one connection (pooled or fresh).
+    ///
+    /// Metrics are published only when the attempt completes: a discarded
+    /// attempt (stale connection, mid-leg failure) must not skew the
+    /// per-sub-query counter/histogram invariant when the leg is retried
+    /// or failed over.
+    fn try_stat_leg(
+        &self,
+        legs: &Leg,
+        ts_s: i64,
+        ts_e: i64,
+        fresh: bool,
+    ) -> Result<Vec<(usize, StreamStatResult)>, ServerError> {
+        let mut conn = if fresh {
+            self.pool.fresh()
+        } else {
+            self.pool.get()
+        }
+        .map_err(|_| UNREACHABLE)?;
+        // The node renders a per-stream empty window as this exact string
+        // (both sides run the same code); it is the one app-level "error"
+        // that is *not* an error to the merge fold.
+        let empty_range = ServerError::EmptyRange.to_string();
+        let mut out: Vec<(usize, StreamStatResult)> = Vec::with_capacity(legs.len());
+        // Positions (into `out`) that need a follow-up width probe.
+        let mut width_probes: Vec<usize> = Vec::new();
+        // Per-sub-query send timestamps: FIFO pipelining means response i
+        // answers request i, so sampling recv-time − send-time gives each
+        // sub-query its true latency (timing only the recv wait would
+        // credit every reply behind the first with ~0 µs). Recorded on
+        // attempt success.
+        let mut send_times = Vec::with_capacity(legs.len());
+        let mut samples = Vec::with_capacity(legs.len());
+        let mut sent = 0usize;
+        while out.len() < legs.len() {
+            // Top the window up, then drain one response.
+            while sent < legs.len() && sent - out.len() < PIPELINE_WINDOW {
+                let (_, sid) = legs[sent];
+                send_times.push(Instant::now());
+                if conn
+                    .client()
+                    .send(&Request::GetStatRange {
+                        streams: vec![sid],
+                        ts_s,
+                        ts_e,
+                    })
+                    .is_err()
+                {
+                    conn.discard();
+                    return Err(UNREACHABLE);
+                }
+                sent += 1;
+            }
+            let resp = match conn.client().recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    conn.discard();
+                    return Err(UNREACHABLE);
+                }
+            };
+            samples.push(send_times[out.len()].elapsed());
+            // Responses arrive in send order: this one answers `legs[out.len()]`.
+            let (pos, _) = legs[out.len()];
+            let result: StreamStatResult = match resp {
+                Response::Stat(s) => match (s.parts.as_slice(), s.agg) {
+                    ([(_, lo, hi)], agg) => Ok((agg.len() as u32, Some((*lo, *hi, agg)))),
+                    _ => Err(ServerError::Unavailable("malformed remote stat reply")),
+                },
+                Response::Error(msg) if msg == empty_range => {
+                    width_probes.push(out.len());
+                    // Placeholder until the width probe resolves.
+                    Ok((0, None))
+                }
+                Response::Error(msg) => Err(ServerError::Remote(msg)),
+                _ => Err(ServerError::Unavailable("unexpected remote stat reply")),
+            };
+            out.push((pos, result));
+        }
+        // Second pipelined round: width probes for empty-window streams,
+        // same window discipline.
+        let mut probes_sent = 0usize;
+        let mut probes_done = 0usize;
+        while probes_done < width_probes.len() {
+            while probes_sent < width_probes.len() && probes_sent - probes_done < PIPELINE_WINDOW {
+                // `out[i]` was produced from `legs[i]` (pushed in leg order).
+                let (_, sid) = legs[width_probes[probes_sent]];
+                if conn
+                    .client()
+                    .send(&Request::StreamInfo { stream: sid })
+                    .is_err()
+                {
+                    conn.discard();
+                    return Err(UNREACHABLE);
+                }
+                probes_sent += 1;
+            }
+            let resp = match conn.client().recv() {
+                Ok(r) => r,
+                Err(_) => {
+                    conn.discard();
+                    return Err(UNREACHABLE);
+                }
+            };
+            out[width_probes[probes_done]].1 = match resp {
+                Response::Info(info) => Ok((info.digest_width, None)),
+                Response::Error(msg) => Err(ServerError::Remote(msg)),
+                _ => Err(ServerError::Unavailable("unexpected remote info reply")),
+            };
+            probes_done += 1;
+        }
+        // Attempt completed — publish its metrics: one latency sample and
+        // one `queries` tick per sub-query (histogram total == counter).
+        let m = self.metrics.shard(self.shard);
+        for d in samples {
+            m.query_latency.record(d);
+        }
+        m.queries.fetch_add(legs.len() as u64, Ordering::Relaxed);
+        let errors = out.iter().filter(|(_, r)| r.is_err()).count() as u64;
+        if errors > 0 {
+            m.query_errors.fetch_add(errors, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+}
+
+/// One shard's replica set: a primary backend plus an optional backup.
+///
+/// * **Mutations** go primary-then-backup. If the primary is unreachable
+///   the mutation fails *without* touching the backup — the backup only
+///   ever receives writes the primary received, in the same order, which
+///   is the invariant that keeps the replicas byte-identical. Backup
+///   failures (or verdicts diverging from the primary's) do not fail the
+///   operation; they tick `replica_errors`.
+/// * **Reads** go to the primary and fail over to the backup when the
+///   primary is unreachable, ticking `failovers`.
+///
+/// Per-stream write ordering on the backup follows from the service
+/// tier's existing contract: each stream's writes flow through one shard
+/// ingest worker (or one synchronous caller), so primary and backup see
+/// the same per-stream sequence.
+pub struct ShardReplicas {
+    shard: usize,
+    metrics: Arc<ServiceMetrics>,
+    primary: Arc<dyn ShardBackend>,
+    backup: Option<Arc<dyn ShardBackend>>,
+}
+
+impl ShardReplicas {
+    pub(crate) fn new(
+        shard: usize,
+        metrics: Arc<ServiceMetrics>,
+        primary: Arc<dyn ShardBackend>,
+        backup: Option<Arc<dyn ShardBackend>>,
+    ) -> Self {
+        ShardReplicas {
+            shard,
+            metrics,
+            primary,
+            backup,
+        }
+    }
+
+    /// This shard's metrics (shared with the ingest worker).
+    pub(crate) fn metrics(&self) -> &ShardMetrics {
+        self.m()
+    }
+
+    fn m(&self) -> &ShardMetrics {
+        self.metrics.shard(self.shard)
+    }
+
+    /// Dispatches one wire request with replication/failover semantics.
+    /// Infallible at this level: an unreachable shard becomes a
+    /// `Response::Error`, exactly what a wire client would see.
+    pub(crate) fn call(&self, req: Request) -> Response {
+        // Unreplicated shards — the common case — take the request by
+        // move: no payload clone on the ingest hot path.
+        let Some(backup) = &self.backup else {
+            return match self.primary.call(req) {
+                Ok(resp) => resp,
+                Err(e) => Response::Error(e.to_string()),
+            };
+        };
+        if req.is_mutation() {
+            let resp = match self.primary.call(req.clone()) {
+                Ok(resp) => resp,
+                Err(e) => return Response::Error(e.to_string()),
+            };
+            match backup.call(req) {
+                Ok(backup_resp) if backup_resp == resp => {}
+                // Unreachable backup or diverging verdict: the operation
+                // stands (the primary accepted it), but the replicas are
+                // now drifting.
+                _ => {
+                    self.m().replica_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            resp
+        } else {
+            match self.primary.call(req.clone()) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    self.m().failovers.fetch_add(1, Ordering::Relaxed);
+                    match backup.call(req) {
+                        Ok(resp) => resp,
+                        Err(e) => Response::Error(e.to_string()),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one scatter-gather leg, failing over whole-leg when the
+    /// primary is unreachable. Infallible: a fully unreachable shard
+    /// yields per-position `Unavailable` results for the merge fold.
+    pub(crate) fn stat_leg(
+        &self,
+        legs: &Leg,
+        ts_s: i64,
+        ts_e: i64,
+    ) -> Vec<(usize, StreamStatResult)> {
+        match self.primary.stat_leg(legs, ts_s, ts_e) {
+            Ok(out) => out,
+            Err(_) => match &self.backup {
+                Some(backup) => {
+                    self.m().failovers.fetch_add(1, Ordering::Relaxed);
+                    match backup.stat_leg(legs, ts_s, ts_e) {
+                        Ok(out) => out,
+                        Err(e) => legs
+                            .iter()
+                            .map(|&(pos, _)| (pos, Err(clone_unavailable(&e))))
+                            .collect(),
+                    }
+                }
+                None => legs
+                    .iter()
+                    .map(|&(pos, _)| (pos, Err(UNREACHABLE)))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Ingests an ordered batch with replication. Infallible: an
+    /// unreachable primary yields per-chunk `Unavailable` verdicts.
+    pub(crate) fn ingest_batch(&self, chunks: &[EncryptedChunk]) -> Vec<Result<(), ServerError>> {
+        let results = match self.primary.insert_batch(chunks) {
+            Ok(results) => results,
+            Err(_) => {
+                let m = self.m();
+                m.ingest_errors
+                    .fetch_add(chunks.len() as u64, Ordering::Relaxed);
+                return chunks.iter().map(|_| Err(UNREACHABLE)).collect();
+            }
+        };
+        if let Some(backup) = &self.backup {
+            match backup.insert_batch(chunks) {
+                Ok(backup_results) => {
+                    let diverged = results
+                        .iter()
+                        .zip(&backup_results)
+                        .filter(|(a, b)| a.is_ok() != b.is_ok())
+                        .count() as u64;
+                    if diverged > 0 {
+                        self.m()
+                            .replica_errors
+                            .fetch_add(diverged, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    self.m()
+                        .replica_errors
+                        .fetch_add(chunks.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        results
+    }
+
+    /// Synchronous single-chunk ingest (the unbatched path).
+    pub(crate) fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
+        self.ingest_batch(std::slice::from_ref(chunk))
+            .pop()
+            .expect("one verdict per chunk")
+    }
+
+    /// Registers a stream with replication: primary first (typed errors
+    /// pass through — `StreamExists` stays `StreamExists` on a local
+    /// shard), then mirrored to the backup unless the primary was
+    /// unreachable.
+    pub(crate) fn create_stream(
+        &self,
+        stream: u128,
+        t0: i64,
+        delta_ms: u64,
+        digest_width: u32,
+    ) -> Result<(), ServerError> {
+        let result = self
+            .primary
+            .create_stream(stream, t0, delta_ms, digest_width);
+        if matches!(result, Err(ServerError::Unavailable(_))) {
+            // Primary unreachable: leave the backup untouched so it never
+            // holds state the primary lacks.
+            return result;
+        }
+        if let Some(backup) = &self.backup {
+            let mirrored = backup.create_stream(stream, t0, delta_ms, digest_width);
+            if mirrored.is_ok() != result.is_ok() {
+                self.m().replica_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Streams hosted by this shard (primary, falling back to the backup).
+    pub(crate) fn stream_count(&self) -> u64 {
+        self.primary
+            .stream_count()
+            .or_else(|_| match &self.backup {
+                Some(b) => b.stream_count(),
+                None => Ok(0),
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// `ServerError` is not `Clone` (it can carry an `io::Error`); transport
+/// failures are always the static `Unavailable` case, which is.
+fn clone_unavailable(e: &ServerError) -> ServerError {
+    match e {
+        ServerError::Unavailable(what) => ServerError::Unavailable(what),
+        _ => UNREACHABLE,
+    }
+}

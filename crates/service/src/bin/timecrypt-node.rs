@@ -1,0 +1,142 @@
+//! `timecrypt-node` — serve a subset of a cluster's shards over TCP.
+//!
+//! One node process per machine (or per core group); a coordinator
+//! (`ShardedService` with a remote topology) scatter-gathers across them.
+//! Every node and the coordinator must agree on `--shards`, the
+//! cluster-wide shard count — stream → shard assignment is a pure hash
+//! over it (see ARCHITECTURE.md at the repo root).
+//!
+//! ```text
+//! timecrypt-node --listen 127.0.0.1:7070 --shards 4 --host 0,2
+//!     [--store /var/lib/timecrypt/node-a.log]   # persistent LogKv (default: in-memory)
+//!     [--arity 64] [--cache-bytes 67108864]     # engine tuning
+//! ```
+//!
+//! The process runs until killed. Streams of hosted shards are recovered
+//! from the store on startup, so a restart with the same `--store` path
+//! resumes where it left off.
+
+use std::sync::Arc;
+use timecrypt_server::ServerConfig;
+use timecrypt_service::{NodeConfig, ShardNode};
+use timecrypt_store::{KvStore, LogKv, MemKv};
+use timecrypt_wire::transport::Server;
+
+struct Args {
+    listen: String,
+    shards: usize,
+    host: Vec<usize>,
+    store: Option<String>,
+    arity: usize,
+    cache_bytes: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: timecrypt-node --listen HOST:PORT --shards TOTAL --host ID[,ID...] \
+         [--store PATH] [--arity N] [--cache-bytes N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let defaults = ServerConfig::default();
+    let mut args = Args {
+        listen: String::new(),
+        shards: 0,
+        host: Vec::new(),
+        store: None,
+        arity: defaults.arity,
+        cache_bytes: defaults.cache_bytes,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--shards" => {
+                args.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--host" => {
+                args.host = value("--host")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--store" => args.store = Some(value("--store")),
+            "--arity" => args.arity = value("--arity").parse().unwrap_or_else(|_| usage()),
+            "--cache-bytes" => {
+                args.cache_bytes = value("--cache-bytes").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    if args.listen.is_empty() || args.shards == 0 || args.host.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let kv: Arc<dyn KvStore> = match &args.store {
+        Some(path) => match LogKv::open(path) {
+            Ok(kv) => {
+                eprintln!("store: log at {path}");
+                Arc::new(kv)
+            }
+            Err(e) => {
+                eprintln!("cannot open store {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!("store: in-memory (volatile; pass --store PATH for durability)");
+            Arc::new(MemKv::new())
+        }
+    };
+    let node = match ShardNode::open(
+        kv,
+        NodeConfig {
+            total_shards: args.shards,
+            hosted: args.host.clone(),
+            engine: ServerConfig {
+                arity: args.arity,
+                cache_bytes: args.cache_bytes,
+            },
+        },
+    ) {
+        Ok(node) => node,
+        Err(e) => {
+            eprintln!("cannot open node: {e}");
+            std::process::exit(1);
+        }
+    };
+    let hosted = node.hosted();
+    let server = match Server::bind(&args.listen, Arc::new(node)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "timecrypt-node listening on {} — hosting shard(s) {:?} of {}",
+        server.addr(),
+        hosted,
+        args.shards
+    );
+    // Serve until killed; the accept loop runs on its own thread.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

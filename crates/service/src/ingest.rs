@@ -7,19 +7,42 @@
 //! produce. Backpressure: the queue is a `sync_channel`, so submitters
 //! block once a shard is `queue_depth` jobs behind — producers slow down
 //! instead of ballooning memory.
+//!
+//! The worker drains greedily: after blocking for one job it grabs every
+//! already-queued job (up to `GREEDY_BATCH`) and hands the whole run to
+//! the shard backend as one ordered batch. Local backends apply it
+//! sequentially — identical behavior to per-job processing — while remote
+//! backends collapse the run into a single `InsertBatch` round trip, which
+//! is what makes batched ingest efficient over TCP.
 
-use crate::metrics::{ServiceMetrics, ShardMetrics};
+use crate::backend::ShardReplicas;
+use crate::metrics::ShardMetrics;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use timecrypt_chunk::serialize::EncryptedChunk;
 use timecrypt_server::{ServerError, TimeCryptServer};
 
+/// Upper bound on one greedy drain, in jobs.
+pub(crate) const GREEDY_BATCH: usize = 64;
+
+/// Upper bound on one greedy drain, in (approximate) serialized bytes:
+/// a remote backend ships the whole drain as one `InsertBatch` frame, so
+/// the drain must stay well under the transport's 16 MiB frame cap even
+/// when individual chunks are large. 4 MiB leaves a 4× margin for
+/// framing overhead and the occasional oversized straggler chunk.
+const GREEDY_BATCH_BYTES: usize = 4 * 1024 * 1024;
+
+/// Serialized size of one chunk, matching `EncryptedChunk::to_bytes`.
+fn wire_size(chunk: &EncryptedChunk) -> usize {
+    32 + chunk.digest_ct.len() * 8 + chunk.payload.len()
+}
+
 /// Inserts one chunk into `engine`, recording latency and outcome counters
-/// on the shard's metrics. Shared by the queue worker and the synchronous
-/// single-chunk path so both report identically.
+/// on the shard's metrics. Shared by the local backend's batch path and
+/// the shard node's ingest handlers so all report identically.
 pub(crate) fn metered_insert(
     engine: &TimeCryptServer,
     m: &ShardMetrics,
@@ -51,32 +74,12 @@ pub(crate) struct IngestWorker {
 }
 
 impl IngestWorker {
-    /// Spawns the worker for `shard` over `engine`.
-    pub(crate) fn spawn(
-        shard: usize,
-        engine: Arc<TimeCryptServer>,
-        metrics: Arc<ServiceMetrics>,
-        queue_depth: usize,
-    ) -> Self {
+    /// Spawns the worker for `shard` over its replica set.
+    pub(crate) fn spawn(shard: usize, backend: Arc<ShardReplicas>, queue_depth: usize) -> Self {
         let (tx, rx): (SyncSender<Job>, Receiver<Job>) = sync_channel(queue_depth);
         let handle = std::thread::Builder::new()
             .name(format!("tc-ingest-{shard}"))
-            .spawn(move || {
-                let m = metrics.shard(shard);
-                for job in rx {
-                    // Contain engine panics so one poisoned insert cannot
-                    // kill the shard's pipeline (and eat queued replies).
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        metered_insert(&engine, m, &job.chunk)
-                    }))
-                    .unwrap_or(Err(ServerError::Unavailable(
-                        "shard ingest worker panicked",
-                    )));
-                    m.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    // A dropped submitter just means nobody wants the result.
-                    let _ = job.reply.send((job.idx, result));
-                }
-            })
+            .spawn(move || run_worker(rx, backend))
             .expect("spawn ingest worker");
         IngestWorker {
             tx,
@@ -92,6 +95,48 @@ impl IngestWorker {
         if self.tx.send(job).is_err() {
             // Worker gone (service shutting down); undo the gauge.
             metrics_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn run_worker(rx: Receiver<Job>, backend: Arc<ShardReplicas>) {
+    while let Ok(first) = rx.recv() {
+        let mut bytes = wire_size(&first.chunk);
+        let mut jobs = vec![first];
+        loop {
+            if jobs.len() >= GREEDY_BATCH || bytes >= GREEDY_BATCH_BYTES {
+                break;
+            }
+            match rx.try_recv() {
+                Ok(job) => {
+                    bytes += wire_size(&job.chunk);
+                    jobs.push(job);
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+        let mut replies = Vec::with_capacity(jobs.len());
+        let mut chunks = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            replies.push((job.idx, job.reply));
+            chunks.push(job.chunk);
+        }
+        // The backend contains engine panics per chunk; this backstop
+        // covers the dispatch itself so queued replies are never eaten.
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            backend.ingest_batch(&chunks)
+        }))
+        .unwrap_or_else(|_| {
+            chunks
+                .iter()
+                .map(|_| Err(ServerError::Unavailable("shard ingest worker panicked")))
+                .collect()
+        });
+        let m = backend.metrics();
+        for ((idx, reply), result) in replies.into_iter().zip(results) {
+            m.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            // A dropped submitter just means nobody wants the result.
+            let _ = reply.send((idx, result));
         }
     }
 }

@@ -31,13 +31,25 @@
 //!   reader pool ([`ServiceConfig::query_readers`]), and any number of
 //!   client threads can query a shard — even one hot stream — concurrently
 //!   with its ingest worker.
+//! * **Multi-node shard placement** ([`backend`], [`node`]) — the router
+//!   decides *which* shard owns a stream; a [`backend::ShardBackend`]
+//!   decides *where* that shard runs: in-process
+//!   ([`backend::LocalShard`]) or on a `timecrypt-node` process reached
+//!   over the wire protocol ([`backend::RemoteShard`], pipelined +
+//!   pooled TCP). [`ServiceConfig::topology`] maps each shard to
+//!   `local` or `host:port`, optionally with a backup replica (R=2:
+//!   writes go primary-then-backup, reads fail over). Replies stay
+//!   byte-identical however shards are placed.
 //! * **Metrics** ([`metrics`]) — per-shard ingest/query counters, queue
-//!   depths, and log₂ latency histograms, exposed over the wire through
-//!   `Request::Stats`.
+//!   depths, failover/replica-drift counters, and log₂ latency
+//!   histograms, exposed over the wire through `Request::Stats`.
 //!
 //! The service implements [`timecrypt_wire::transport::Handler`], so it
 //! drops into the TCP transport (or the in-process client transport)
-//! anywhere a single engine does.
+//! anywhere a single engine does. The full deployment architecture
+//! (coordinator → nodes → engines → store, with the locking model and
+//! replication invariants) is documented in ARCHITECTURE.md at the repo
+//! root.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -53,12 +65,16 @@
 //! assert_eq!(svc.stats().shards.len(), 4);
 //! ```
 
+pub mod backend;
 pub(crate) mod fanout;
 pub mod ingest;
 pub mod metrics;
+pub mod node;
 pub mod router;
 pub mod service;
 
+pub use backend::{BackendSpec, ShardBackend, ShardSpec};
 pub use metrics::{ServiceMetrics, ShardMetrics};
+pub use node::{NodeConfig, ShardNode};
 pub use router::ShardRouter;
 pub use service::{ServiceConfig, ShardedService};

@@ -41,7 +41,10 @@ impl LatencyHist {
     }
 }
 
-/// One shard's counters.
+/// One shard's counters. Counters track *backend operations performed by
+/// this process*: a coordinator with a backup replica performs (and
+/// counts) one primary write plus one mirror write per chunk, and a shard
+/// node counts only what it hosts.
 #[derive(Default)]
 pub struct ShardMetrics {
     /// Chunks accepted by the engine.
@@ -54,14 +57,21 @@ pub struct ShardMetrics {
     pub query_errors: AtomicU64,
     /// Jobs currently queued for the shard's ingest worker.
     pub queue_depth: AtomicU64,
-    /// Ingest latency (engine insert call).
+    /// Reads served by the backup replica after the primary was
+    /// unreachable (replicated deployments only).
+    pub failovers: AtomicU64,
+    /// Backup-replica operations that failed or returned a verdict
+    /// diverging from the primary's (replicated deployments only). Growth
+    /// means the replicas are drifting and the backup needs rebuilding.
+    pub replica_errors: AtomicU64,
+    /// Ingest latency (engine insert call, or remote batch exchange).
     pub ingest_latency: LatencyHist,
     /// Query latency (per-shard scatter-gather leg).
     pub query_latency: LatencyHist,
 }
 
 impl ShardMetrics {
-    fn snapshot(&self, shard: u32, streams: u64) -> ShardStatsWire {
+    pub(crate) fn snapshot(&self, shard: u32, streams: u64) -> ShardStatsWire {
         ShardStatsWire {
             shard,
             streams,
@@ -70,6 +80,8 @@ impl ShardMetrics {
             queries: self.queries.load(Ordering::Relaxed),
             query_errors: self.query_errors.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            replica_errors: self.replica_errors.load(Ordering::Relaxed),
             ingest_hist_us: self.ingest_latency.snapshot(),
             query_hist_us: self.query_latency.snapshot(),
         }

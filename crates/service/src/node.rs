@@ -1,0 +1,411 @@
+//! A shard node: hosts a subset of the cluster's shards behind the wire
+//! protocol.
+//!
+//! A multi-node TimeCrypt cluster is a coordinator (a
+//! [`crate::ShardedService`] whose [`crate::ServiceConfig::topology`] maps
+//! some shards to `host:port` addresses) plus one `timecrypt-node` process
+//! per address. Each node opens one filtered engine per hosted shard over
+//! the node's own KV store and answers the same Request/Response protocol
+//! a single-process server does — which is what keeps coordinator replies
+//! byte-identical however shards are placed.
+//!
+//! **Topology invariant:** stream → shard assignment is
+//! `ShardRouter::shard_of(stream)` over the *cluster-wide* shard count, so
+//! the coordinator and every node must agree on `total_shards`. A request
+//! for a stream whose shard is not hosted here answers
+//! `service unavailable: stream's shard is not hosted on this node` — it
+//! signals a mis-routed coordinator or a total-shards mismatch, never a
+//! data error.
+
+use crate::backend::metered_stat;
+use crate::ingest::metered_insert;
+use crate::metrics::ServiceMetrics;
+use crate::router::ShardRouter;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
+use timecrypt_server::{merge_stream_stats, ServerConfig, ServerError, TimeCryptServer};
+use timecrypt_store::{KvStore, MeteredKv};
+use timecrypt_wire::messages::{Request, Response};
+use timecrypt_wire::transport::Handler;
+
+const NOT_HOSTED: ServerError =
+    ServerError::Unavailable("stream's shard is not hosted on this node");
+
+/// Configuration of one shard node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Cluster-wide shard count — must match the coordinator's.
+    pub total_shards: usize,
+    /// Shard ids hosted by this node (each `< total_shards`).
+    pub hosted: Vec<usize>,
+    /// Engine configuration for every hosted shard.
+    pub engine: ServerConfig,
+}
+
+/// A node hosting a subset of the cluster's shards over its own store.
+/// Implements [`Handler`], so it drops straight into
+/// [`timecrypt_wire::transport::Server`].
+pub struct ShardNode {
+    router: ShardRouter,
+    engines: BTreeMap<usize, Arc<TimeCryptServer>>,
+    metrics: Arc<ServiceMetrics>,
+    kv: Arc<MeteredKv>,
+}
+
+impl ShardNode {
+    /// Opens one filtered engine per hosted shard over `kv` (wrapped in a
+    /// [`MeteredKv`] so `Request::Stats` reports the node's storage
+    /// traffic), recovering each shard's streams from the store.
+    pub fn open(kv: Arc<dyn KvStore>, cfg: NodeConfig) -> Result<Self, ServerError> {
+        if cfg.total_shards == 0 {
+            return Err(ServerError::Unavailable(
+                "total shard count must be at least 1",
+            ));
+        }
+        if cfg.hosted.is_empty() {
+            return Err(ServerError::Unavailable(
+                "a node must host at least one shard",
+            ));
+        }
+        let router = ShardRouter::new(cfg.total_shards);
+        let kv = Arc::new(MeteredKv::new(kv));
+        let metrics = Arc::new(ServiceMetrics::new(cfg.total_shards));
+        let mut engines = BTreeMap::new();
+        for &shard in &cfg.hosted {
+            if shard >= cfg.total_shards {
+                return Err(ServerError::Unavailable("hosted shard id out of range"));
+            }
+            if engines.contains_key(&shard) {
+                continue;
+            }
+            let shared: Arc<dyn KvStore> = kv.clone();
+            engines.insert(
+                shard,
+                Arc::new(TimeCryptServer::open_filtered(
+                    shared,
+                    cfg.engine.clone(),
+                    |stream| router.shard_of(stream) == shard,
+                )?),
+            );
+        }
+        Ok(ShardNode {
+            router,
+            engines,
+            metrics,
+            kv,
+        })
+    }
+
+    /// The shard ids this node hosts, ascending.
+    pub fn hosted(&self) -> Vec<usize> {
+        self.engines.keys().copied().collect()
+    }
+
+    /// The engine owning `stream`, or [`ServerError::Unavailable`] when
+    /// the stream's shard lives elsewhere.
+    fn engine_for(&self, stream: u128) -> Result<(usize, &Arc<TimeCryptServer>), ServerError> {
+        let shard = self.router.shard_of(stream);
+        match self.engines.get(&shard) {
+            Some(engine) => Ok((shard, engine)),
+            None => Err(NOT_HOSTED),
+        }
+    }
+
+    /// Node metrics snapshot: one entry per *hosted* shard (global shard
+    /// ids), plus the node store's traffic counters.
+    pub fn stats(&self) -> timecrypt_wire::messages::ServiceStatsWire {
+        let mut snap = timecrypt_wire::messages::ServiceStatsWire::default();
+        for (&shard, engine) in &self.engines {
+            snap.shards.push(
+                self.metrics
+                    .shard(shard)
+                    .snapshot(shard as u32, engine.stream_count() as u64),
+            );
+        }
+        let store = self.kv.counters();
+        snap.store_gets = store.gets;
+        snap.store_puts = store.puts;
+        snap.store_deletes = store.deletes;
+        snap.store_scans = store.scans;
+        snap
+    }
+}
+
+impl Handler for ShardNode {
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            // The coordinator pipelines scatter-gather legs as one
+            // single-stream GetStatRange per stream, but any multi-stream
+            // query whose streams are all hosted here works too (same
+            // merge fold ⇒ same bytes as a single engine).
+            Request::GetStatRange {
+                streams,
+                ts_s,
+                ts_e,
+            } => {
+                let merged = merge_stream_stats(streams.iter().map(|&sid| {
+                    (
+                        sid,
+                        match self.engine_for(sid) {
+                            Ok((shard, engine)) => {
+                                metered_stat(engine, self.metrics.shard(shard), sid, ts_s, ts_e)
+                            }
+                            Err(e) => Err(e),
+                        },
+                    )
+                }));
+                match merged {
+                    Ok(reply) => Response::Stat(reply),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Request::Insert { chunk } => match EncryptedChunk::from_bytes(&chunk) {
+                Ok(c) => match self.engine_for(c.stream) {
+                    Ok((shard, engine)) => {
+                        match metered_insert(engine, self.metrics.shard(shard), &c) {
+                            Ok(()) => Response::Ok,
+                            Err(e) => Response::Error(e.to_string()),
+                        }
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(_) => Response::Error(ServerError::BadChunk.to_string()),
+            },
+            // Sequential in-order application preserves the batch's
+            // per-stream order; error strings match the single-engine and
+            // coordinator-local paths (same `ServerError` renderings).
+            Request::InsertBatch { chunks } => {
+                let mut errors = Vec::new();
+                for (i, bytes) in chunks.iter().enumerate() {
+                    let result = match EncryptedChunk::from_bytes(bytes) {
+                        Ok(c) => match self.engine_for(c.stream) {
+                            Ok((shard, engine)) => {
+                                metered_insert(engine, self.metrics.shard(shard), &c)
+                                    .map_err(|e| e.to_string())
+                            }
+                            Err(e) => Err(e.to_string()),
+                        },
+                        Err(_) => Err(ServerError::BadChunk.to_string()),
+                    };
+                    if let Err(msg) = result {
+                        errors.push((i as u32, msg));
+                    }
+                }
+                Response::Batch { errors }
+            }
+            Request::InsertLive { record } => match SealedRecord::from_bytes(&record) {
+                Ok(r) => match self.engine_for(r.stream) {
+                    Ok((_, engine)) => match engine.insert_live(&r) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Error(e.to_string()),
+                    },
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(_) => Response::Error(ServerError::BadRecord.to_string()),
+            },
+            Request::Stats => Response::ServiceStats(self.stats()),
+            Request::Ping => Response::Pong,
+            // Single-stream requests delegate to the owning engine's own
+            // handler — byte-identical to a single-engine server.
+            Request::CreateStream { stream, .. }
+            | Request::DeleteStream { stream }
+            | Request::GetLive { stream, .. }
+            | Request::GetRange { stream, .. }
+            | Request::DeleteRange { stream, .. }
+            | Request::Rollup { stream, .. }
+            | Request::StreamInfo { stream }
+            | Request::PutGrant { stream, .. }
+            | Request::GetGrants { stream, .. }
+            | Request::RevokeGrants { stream, .. }
+            | Request::PutEnvelopes { stream, .. }
+            | Request::GetEnvelopes { stream, .. }
+            | Request::PutAttestation { stream, .. }
+            | Request::GetAttestation { stream }
+            | Request::GetRangeProof { stream, .. }
+            | Request::GetVerifiedRange { stream, .. } => match self.engine_for(stream) {
+                Ok((_, engine)) => engine.handle(req),
+                Err(e) => Response::Error(e.to_string()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timecrypt_chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
+    use timecrypt_core::StreamKeyMaterial;
+    use timecrypt_crypto::{PrgKind, SecureRandom};
+    use timecrypt_store::MemKv;
+
+    fn sealed(id: u128, index: u64, value: i64) -> EncryptedChunk {
+        let cfg = StreamConfig {
+            schema: DigestSchema::sum_count(),
+            ..StreamConfig::new(id, "m", 0, 10_000)
+        };
+        let keys = StreamKeyMaterial::with_params(id, [id as u8; 16], 20, PrgKind::Aes).unwrap();
+        let mut rng = SecureRandom::from_seed_insecure(7);
+        PlainChunk {
+            stream: id,
+            index,
+            points: vec![DataPoint::new(index as i64 * 10_000, value)],
+        }
+        .seal(&cfg, &keys, &mut rng)
+        .unwrap()
+    }
+
+    /// First stream id (searching from `from`) owned by `shard` of `total`.
+    fn stream_on_shard(total: usize, shard: usize, from: u128) -> u128 {
+        let router = ShardRouter::new(total);
+        (from..from + 10_000)
+            .find(|&id| router.shard_of(id) == shard)
+            .expect("a stream id mapping to the shard")
+    }
+
+    fn node(total: usize, hosted: Vec<usize>) -> ShardNode {
+        ShardNode::open(
+            Arc::new(MemKv::new()),
+            NodeConfig {
+                total_shards: total,
+                hosted,
+                engine: ServerConfig::default(),
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hosts_only_requested_shards() {
+        let n = node(4, vec![1, 3, 1]);
+        assert_eq!(n.hosted(), vec![1, 3]);
+        assert!(ShardNode::open(
+            Arc::new(MemKv::new()),
+            NodeConfig {
+                total_shards: 2,
+                hosted: vec![5],
+                engine: ServerConfig::default(),
+            }
+        )
+        .is_err());
+        assert!(ShardNode::open(
+            Arc::new(MemKv::new()),
+            NodeConfig {
+                total_shards: 2,
+                hosted: vec![],
+                engine: ServerConfig::default(),
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn routes_hosted_streams_and_rejects_foreign_ones() {
+        let n = node(2, vec![0]);
+        let mine = stream_on_shard(2, 0, 1);
+        let foreign = stream_on_shard(2, 1, 1);
+        assert_eq!(
+            n.handle(Request::CreateStream {
+                stream: mine,
+                t0: 0,
+                delta_ms: 10_000,
+                digest_width: 2
+            }),
+            Response::Ok
+        );
+        match n.handle(Request::CreateStream {
+            stream: foreign,
+            t0: 0,
+            delta_ms: 10_000,
+            digest_width: 2,
+        }) {
+            Response::Error(msg) => assert!(msg.contains("not hosted"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Ingest + query on the hosted stream.
+        assert_eq!(
+            n.handle(Request::Insert {
+                chunk: sealed(mine, 0, 5).to_bytes()
+            }),
+            Response::Ok
+        );
+        match n.handle(Request::GetStatRange {
+            streams: vec![mine],
+            ts_s: 0,
+            ts_e: 10_000,
+        }) {
+            Response::Stat(s) => assert_eq!(s.parts, vec![(mine, 0, 1)]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reports_hosted_shards_with_global_ids() {
+        let n = node(3, vec![0, 2]);
+        let s0 = stream_on_shard(3, 0, 1);
+        n.handle(Request::CreateStream {
+            stream: s0,
+            t0: 0,
+            delta_ms: 10_000,
+            digest_width: 2,
+        });
+        n.handle(Request::Insert {
+            chunk: sealed(s0, 0, 1).to_bytes(),
+        });
+        let snap = n.stats();
+        assert_eq!(
+            snap.shards.iter().map(|s| s.shard).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(snap.shards[0].streams, 1);
+        assert_eq!(snap.shards[0].ingested_chunks, 1);
+        assert!(snap.store_puts > 0);
+    }
+
+    #[test]
+    fn recovers_hosted_streams_from_the_store() {
+        let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let a = stream_on_shard(2, 0, 1);
+        let b = stream_on_shard(2, 1, 1);
+        {
+            let n = ShardNode::open(
+                kv.clone(),
+                NodeConfig {
+                    total_shards: 2,
+                    hosted: vec![0, 1],
+                    engine: ServerConfig::default(),
+                },
+            )
+            .unwrap();
+            for &id in &[a, b] {
+                n.handle(Request::CreateStream {
+                    stream: id,
+                    t0: 0,
+                    delta_ms: 10_000,
+                    digest_width: 2,
+                });
+                n.handle(Request::Insert {
+                    chunk: sealed(id, 0, 1).to_bytes(),
+                });
+            }
+        }
+        // Reopen hosting only shard 0: stream `a` recovers, `b` does not.
+        let n = ShardNode::open(
+            kv,
+            NodeConfig {
+                total_shards: 2,
+                hosted: vec![0],
+                engine: ServerConfig::default(),
+            },
+        )
+        .unwrap();
+        match n.handle(Request::StreamInfo { stream: a }) {
+            Response::Info(i) => assert_eq!(i.len, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        match n.handle(Request::StreamInfo { stream: b }) {
+            Response::Error(msg) => assert!(msg.contains("not hosted"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -17,6 +17,21 @@
 //!    spread evenly instead of striping.
 
 /// Routes stream ids to shards by stable hash.
+///
+/// ```
+/// use timecrypt_service::ShardRouter;
+///
+/// let router = ShardRouter::new(4);
+/// let shard = router.shard_of(0xBEEF);
+/// assert!(shard < 4);
+/// // Pure function of (stream, shard count): every caller — coordinator,
+/// // node, or test — computes the same owner.
+/// assert_eq!(shard, ShardRouter::new(4).shard_of(0xBEEF));
+/// // Changing the shard count may move streams; that is what lets a
+/// // restarted service re-partition cleanly from the shared store.
+/// let wider = ShardRouter::new(8);
+/// assert!(wider.shard_of(0xBEEF) < 8);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct ShardRouter {
     shards: usize,

@@ -1,115 +1,46 @@
-//! The sharded service: router + engine shards + ingest workers + metrics.
+//! The sharded service: router + shard backends + ingest workers + metrics.
 
+use crate::backend::{
+    BackendSpec, LocalShard, RemoteShard, ShardBackend, ShardReplicas, ShardSpec, StreamStatResult,
+};
 use crate::fanout::{ReaderPool, ShardPool};
 use crate::ingest::{IngestWorker, Job};
-use crate::metrics::{ServiceMetrics, ShardMetrics};
+use crate::metrics::ServiceMetrics;
 use crate::router::ShardRouter;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
-use std::time::Instant;
 use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
 use timecrypt_server::{merge_stream_stats, ServerConfig, ServerError, TimeCryptServer};
 use timecrypt_store::{KvStore, MeteredKv};
 use timecrypt_wire::messages::{Request, Response, StatReply};
+use timecrypt_wire::pool::PoolConfig;
 use timecrypt_wire::transport::Handler;
-
-type StreamStatResult = Result<timecrypt_server::StreamStat, ServerError>;
-
-/// Executes one per-stream sub-query with metrics. One latency sample and
-/// one `queries` increment per sub-query, so `Request::Stats` histogram
-/// totals and counters agree by construction.
-fn metered_stat(
-    engine: &TimeCryptServer,
-    m: &ShardMetrics,
-    sid: u128,
-    ts_s: i64,
-    ts_e: i64,
-) -> StreamStatResult {
-    let t = Instant::now();
-    let r = engine.stream_stat(sid, ts_s, ts_e);
-    m.query_latency.record(t.elapsed());
-    m.queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    if r.is_err() {
-        m.query_errors
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    }
-    r
-}
-
-/// Executes one shard's portion of a scatter-gather query.
-///
-/// The engine's read path takes no exclusive stream lock, so the
-/// sub-queries of a large leg are independent: the leg is sliced across
-/// the shared [`ReaderPool`] (the caller keeps the first slice inline).
-/// Small legs (or a zero-reader pool) stay sequential — no handoff cost.
-fn run_query_leg(
-    engine: &Arc<TimeCryptServer>,
-    metrics: &Arc<ServiceMetrics>,
-    shard: usize,
-    readers: &ReaderPool,
-    legs: &[(usize, u128)],
-    ts_s: i64,
-    ts_e: i64,
-) -> Vec<(usize, StreamStatResult)> {
-    let m = metrics.shard(shard);
-    // At most one offloaded slice per reader, and always ≥ 1 sub-query
-    // kept inline so the caller makes progress itself.
-    let offload_slices = readers.len().min(legs.len().saturating_sub(1));
-    if offload_slices == 0 {
-        return legs
-            .iter()
-            .map(|&(pos, sid)| (pos, metered_stat(engine, m, sid, ts_s, ts_e)))
-            .collect();
-    }
-    let per = legs.len().div_ceil(offload_slices + 1);
-    let (reply_tx, reply_rx) = channel();
-    let mut offloaded = 0usize;
-    for slice in legs[per..].chunks(per) {
-        let engine = engine.clone();
-        let metrics = metrics.clone();
-        let slice: Vec<(usize, u128)> = slice.to_vec();
-        let reply = reply_tx.clone();
-        readers.exec(Box::new(move || {
-            let m = metrics.shard(shard);
-            let out: Vec<(usize, StreamStatResult)> = slice
-                .iter()
-                .map(|&(pos, sid)| (pos, metered_stat(&engine, m, sid, ts_s, ts_e)))
-                .collect();
-            // A dropped caller just means nobody wants the result.
-            let _ = reply.send(out);
-        }));
-        offloaded += 1;
-    }
-    drop(reply_tx);
-    let mut out: Vec<(usize, StreamStatResult)> = legs[..per]
-        .iter()
-        .map(|&(pos, sid)| (pos, metered_stat(engine, m, sid, ts_s, ts_e)))
-        .collect();
-    for _ in 0..offloaded {
-        // A closed channel means a slice was lost to a reader panic; the
-        // affected positions fall through to the caller's "query leg
-        // lost" default instead of stranding anyone. Buffered results are
-        // still delivered before `recv` reports disconnection.
-        let Ok(slice) = reply_rx.recv() else { break };
-        out.extend(slice);
-    }
-    out
-}
 
 /// Service-level tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Number of engine shards (≥ 1). The paper's evaluation machine uses
-    /// one engine per core; 4 is a reasonable laptop default.
+    /// Number of engine shards (≥ 1) when [`topology`](Self::topology) is
+    /// empty. The paper's evaluation machine uses one engine per core; 4
+    /// is a reasonable laptop default.
     pub shards: usize,
+    /// Shard placement for multi-node clusters: one [`ShardSpec`] per
+    /// shard (the cluster-wide shard count is the vector's length, and
+    /// every `timecrypt-node` must agree on it). Empty means `shards`
+    /// in-process shards — the classic single-process deployment.
+    pub topology: Vec<ShardSpec>,
+    /// Connection-pool tuning for remote shards (one pool per remote
+    /// backend; reconnect-with-backoff on failure).
+    pub pool: PoolConfig,
     /// Bounded ingest-queue depth per shard (backpressure threshold).
     pub queue_depth: usize,
     /// Intra-shard reader threads (shared across shards) used to split the
-    /// sub-queries of one large scatter-gather leg. The engine's lock-free
-    /// read path makes those sub-queries independent even on a single hot
-    /// stream's shard. `0` disables intra-leg parallelism.
+    /// sub-queries of one large scatter-gather leg on a *local* shard. The
+    /// engine's lock-free read path makes those sub-queries independent
+    /// even on a single hot stream's shard. `0` disables intra-leg
+    /// parallelism. (Remote legs pipeline instead of splitting.)
     pub query_readers: usize,
-    /// Per-shard engine configuration.
+    /// Per-shard engine configuration (local shards; nodes configure
+    /// their own engines).
     pub engine: ServerConfig,
 }
 
@@ -117,6 +48,8 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             shards: 4,
+            topology: Vec::new(),
+            pool: PoolConfig::default(),
             queue_depth: 1024,
             query_readers: 4,
             engine: ServerConfig::default(),
@@ -124,55 +57,121 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A sharded TimeCrypt service over one shared KV store. See the crate docs
-/// for the architecture; see [`ShardRouter`] for the routing invariants.
+/// A sharded TimeCrypt service over one shared KV store (local shards)
+/// and/or remote shard nodes. See ARCHITECTURE.md at the repo root for
+/// the full deployment picture; see [`ShardRouter`] for the routing
+/// invariants and [`crate::backend`] for backend/replication semantics.
+///
+/// ```
+/// use std::sync::Arc;
+/// use timecrypt_service::{ServiceConfig, ShardedService};
+/// use timecrypt_store::MemKv;
+///
+/// let svc = ShardedService::open(
+///     Arc::new(MemKv::new()),
+///     ServiceConfig { shards: 2, ..ServiceConfig::default() },
+/// )
+/// .unwrap();
+/// svc.create_stream(7, 0, 10_000, 2).unwrap();
+/// let stats = svc.stats();
+/// assert_eq!(stats.shards.len(), 2);
+/// assert_eq!(stats.shards.iter().map(|s| s.streams).sum::<u64>(), 1);
+/// ```
 pub struct ShardedService {
     router: ShardRouter,
-    shards: Vec<Arc<TimeCryptServer>>,
+    backends: Vec<Arc<ShardReplicas>>,
     workers: Vec<IngestWorker>,
     query_pool: ShardPool,
-    readers: Arc<ReaderPool>,
     metrics: Arc<ServiceMetrics>,
     kv: Arc<MeteredKv>,
+    /// Any shard (primary or backup) placed on a remote node — gates the
+    /// parallel stats probe.
+    has_remote: bool,
 }
 
 impl ShardedService {
-    /// Opens `cfg.shards` engine shards over `kv` (wrapped in a
-    /// [`MeteredKv`] so `Request::Stats` can report storage traffic), each
-    /// recovering only the streams it owns, and starts the ingest workers.
+    /// Opens the service. Local shards open filtered engines over `kv`
+    /// (wrapped in a [`MeteredKv`] so `Request::Stats` can report storage
+    /// traffic), each recovering only the streams it owns; remote shards
+    /// get a connection pool to their node. One ingest worker per shard
+    /// starts immediately.
     pub fn open(kv: Arc<dyn KvStore>, cfg: ServiceConfig) -> Result<Self, ServerError> {
-        if cfg.shards == 0 {
+        let specs: Vec<ShardSpec> = if cfg.topology.is_empty() {
+            (0..cfg.shards).map(|_| ShardSpec::local()).collect()
+        } else {
+            cfg.topology.clone()
+        };
+        if specs.is_empty() {
             return Err(ServerError::Unavailable("shard count must be at least 1"));
         }
-        let router = ShardRouter::new(cfg.shards);
+        let router = ShardRouter::new(specs.len());
         let kv = Arc::new(MeteredKv::new(kv));
-        let metrics = Arc::new(ServiceMetrics::new(cfg.shards));
-        let mut shards = Vec::with_capacity(cfg.shards);
-        for i in 0..cfg.shards {
-            let shared: Arc<dyn KvStore> = kv.clone();
-            shards.push(Arc::new(TimeCryptServer::open_filtered(
-                shared,
-                cfg.engine.clone(),
-                |stream| router.shard_of(stream) == i,
-            )?));
+        let metrics = Arc::new(ServiceMetrics::new(specs.len()));
+        let readers = Arc::new(ReaderPool::new(cfg.query_readers));
+        let open_backend =
+            |spec: &BackendSpec, shard: usize| -> Result<Arc<dyn ShardBackend>, ServerError> {
+                match spec {
+                    BackendSpec::Local => {
+                        let shared: Arc<dyn KvStore> = kv.clone();
+                        let engine = Arc::new(TimeCryptServer::open_filtered(
+                            shared,
+                            cfg.engine.clone(),
+                            |stream| router.shard_of(stream) == shard,
+                        )?);
+                        Ok(Arc::new(LocalShard::new(
+                            engine,
+                            readers.clone(),
+                            metrics.clone(),
+                            shard,
+                        )))
+                    }
+                    BackendSpec::Remote(addr) => Ok(Arc::new(RemoteShard::new(
+                        addr.clone(),
+                        cfg.pool.clone(),
+                        metrics.clone(),
+                        shard,
+                    ))),
+                }
+            };
+        let mut backends = Vec::with_capacity(specs.len());
+        for (shard, spec) in specs.iter().enumerate() {
+            let primary = open_backend(&spec.primary, shard)?;
+            let backup = match &spec.backup {
+                None => None,
+                Some(BackendSpec::Local) => {
+                    // Two engines over one store would both own the same
+                    // streams and corrupt each other's index writes.
+                    return Err(ServerError::Unavailable(
+                        "local backup replicas are unsupported; point the backup at its own node",
+                    ));
+                }
+                Some(remote) => Some(open_backend(remote, shard)?),
+            };
+            backends.push(Arc::new(ShardReplicas::new(
+                shard,
+                metrics.clone(),
+                primary,
+                backup,
+            )));
         }
-        let workers = shards
+        let workers = backends
             .iter()
             .enumerate()
-            .map(|(i, engine)| {
-                IngestWorker::spawn(i, engine.clone(), metrics.clone(), cfg.queue_depth)
-            })
+            .map(|(i, backend)| IngestWorker::spawn(i, backend.clone(), cfg.queue_depth))
             .collect();
-        let query_pool = ShardPool::new(cfg.shards);
-        let readers = Arc::new(ReaderPool::new(cfg.query_readers));
+        let query_pool = ShardPool::new(specs.len());
+        let has_remote = specs.iter().any(|s| {
+            matches!(s.primary, BackendSpec::Remote(_))
+                || matches!(s.backup, Some(BackendSpec::Remote(_)))
+        });
         Ok(ShardedService {
             router,
-            shards,
+            backends,
             workers,
             query_pool,
-            readers,
             metrics,
             kv,
+            has_remote,
         })
     }
 
@@ -181,12 +180,15 @@ impl ShardedService {
         self.router
     }
 
-    /// The engine shard owning `stream`.
-    pub fn shard_for(&self, stream: u128) -> &Arc<TimeCryptServer> {
-        &self.shards[self.router.shard_of(stream)]
+    /// The replica set owning `stream`.
+    fn replicas_for(&self, stream: u128) -> &Arc<ShardReplicas> {
+        &self.backends[self.router.shard_of(stream)]
     }
 
-    /// Registers a stream on its owning shard.
+    /// Registers a stream on its owning shard (replicated when the shard
+    /// has a backup). Local shards surface the engine's typed error
+    /// (`StreamExists`, …); remote shards surface the node's message as
+    /// [`ServerError::Remote`].
     pub fn create_stream(
         &self,
         stream: u128,
@@ -194,7 +196,7 @@ impl ShardedService {
         delta_ms: u64,
         digest_width: u32,
     ) -> Result<(), ServerError> {
-        self.shard_for(stream)
+        self.replicas_for(stream)
             .create_stream(stream, t0, delta_ms, digest_width)
     }
 
@@ -204,8 +206,7 @@ impl ShardedService {
     /// [`submit_batch`](Self::submit_batch) returns only after its jobs
     /// completed.
     pub fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
-        let shard = self.router.shard_of(chunk.stream);
-        crate::ingest::metered_insert(&self.shards[shard], self.metrics.shard(shard), chunk)
+        self.replicas_for(chunk.stream).insert(chunk)
     }
 
     /// Batched ingest: partitions `chunks` across shard queues (keeping
@@ -242,11 +243,12 @@ impl ShardedService {
 
     /// Scatter-gather statistical query: per-stream sub-queries fan out to
     /// the owning shards in parallel (one gather thread per involved
-    /// shard), large legs are further split across the intra-shard reader
-    /// pool ([`ServiceConfig::query_readers`]), then everything merges in
-    /// request order with the same fold as the single-engine path — so the
-    /// reply is byte-identical to [`TimeCryptServer::get_stat_range`] on
-    /// the same data.
+    /// shard). Local legs are further split across the intra-shard reader
+    /// pool ([`ServiceConfig::query_readers`]); remote legs are pipelined
+    /// on one node connection. Everything merges in request order with the
+    /// same fold as the single-engine path — so the reply is byte-identical
+    /// to [`TimeCryptServer::get_stat_range`] on the same data, wherever
+    /// the shards run.
     pub fn get_stat_range(
         &self,
         streams: &[u128],
@@ -272,9 +274,7 @@ impl ShardedService {
         let remote_legs = involved.len();
         for &shard in &involved {
             let legs = std::mem::take(&mut by_shard[shard]);
-            let engine = self.shards[shard].clone();
-            let metrics = self.metrics.clone();
-            let readers = self.readers.clone();
+            let backend = self.backends[shard].clone();
             let reply = reply_tx.clone();
             self.query_pool.exec(
                 shard,
@@ -282,7 +282,7 @@ impl ShardedService {
                     // Contain engine panics so one poisoned query cannot kill
                     // the shard's pool worker or strand the caller.
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_query_leg(&engine, &metrics, shard, &readers, &legs, ts_s, ts_e)
+                        backend.stat_leg(&legs, ts_s, ts_e)
                     }))
                     .unwrap_or_else(|_| {
                         legs.iter()
@@ -299,15 +299,7 @@ impl ShardedService {
         drop(reply_tx);
         if let Some(shard) = inline_shard {
             let legs = std::mem::take(&mut by_shard[shard]);
-            for (pos, r) in run_query_leg(
-                &self.shards[shard],
-                &self.metrics,
-                shard,
-                &self.readers,
-                &legs,
-                ts_s,
-                ts_e,
-            ) {
+            for (pos, r) in self.backends[shard].stat_leg(&legs, ts_s, ts_e) {
                 results[pos] = Some(r);
             }
         }
@@ -329,12 +321,28 @@ impl ShardedService {
     }
 
     /// Wire metrics snapshot (per-shard counters + storage traffic).
+    /// Remote shards' stream counts are probed from their nodes — in
+    /// parallel, so an unreachable node costs one backoff'd dial, not one
+    /// per shard in sequence; the store counters cover only this
+    /// process's shared store (each node meters its own).
     pub fn stats(&self) -> timecrypt_wire::messages::ServiceStatsWire {
-        let streams: Vec<u64> = self
-            .shards
-            .iter()
-            .map(|s| s.stream_count() as u64)
-            .collect();
+        // All-local deployments read in-process counters directly; only a
+        // topology with remote nodes pays for probe threads.
+        let streams: Vec<u64> = if self.has_remote {
+            std::thread::scope(|scope| {
+                let probes: Vec<_> = self
+                    .backends
+                    .iter()
+                    .map(|b| scope.spawn(|| b.stream_count()))
+                    .collect();
+                probes
+                    .into_iter()
+                    .map(|p| p.join().unwrap_or_default())
+                    .collect()
+            })
+        } else {
+            self.backends.iter().map(|b| b.stream_count()).collect()
+        };
         let mut snap = self.metrics.snapshot(&streams);
         let store = self.kv.counters();
         snap.store_gets = store.gets;
@@ -344,7 +352,7 @@ impl ShardedService {
         snap
     }
 
-    /// The metered storage handle shared by all shards.
+    /// The metered storage handle shared by all local shards.
     pub fn kv(&self) -> &Arc<MeteredKv> {
         &self.kv
     }
@@ -387,7 +395,8 @@ impl Handler for ShardedService {
             }
             Request::Stats => Response::ServiceStats(self.stats()),
             Request::Ping => Response::Pong,
-            // Ingest singles route to the owning shard with metrics.
+            // Ingest singles route through the replicated ingest path with
+            // metrics (typed errors rendered at this boundary).
             Request::Insert { chunk } => match EncryptedChunk::from_bytes(&chunk) {
                 Ok(c) => match self.insert(&c) {
                     Ok(()) => Response::Ok,
@@ -395,16 +404,16 @@ impl Handler for ShardedService {
                 },
                 Err(_) => Response::Error(ServerError::BadChunk.to_string()),
             },
-            Request::InsertLive { record } => match SealedRecord::from_bytes(&record) {
-                Ok(r) => match self.shard_for(r.stream).insert_live(&r) {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Error(e.to_string()),
-                },
-                Err(_) => Response::Error(ServerError::BadRecord.to_string()),
+            // Routing needs only the record's stream id — peek it without
+            // a full parse; the owning engine performs the one parse +
+            // validation (and rejects what the peek let through).
+            Request::InsertLive { ref record } => match SealedRecord::peek_stream(record) {
+                Some(stream) => self.replicas_for(stream).call(req),
+                None => Response::Error(ServerError::BadRecord.to_string()),
             },
             // Everything else is a single-stream request: delegate the
-            // whole request to the owning shard's engine handler, which
-            // keeps error strings byte-identical to a single-engine server.
+            // whole request to the owning shard's backend, which keeps
+            // error strings byte-identical to a single-engine server.
             Request::CreateStream { stream, .. }
             | Request::DeleteStream { stream }
             | Request::GetLive { stream, .. }
@@ -420,10 +429,7 @@ impl Handler for ShardedService {
             | Request::PutAttestation { stream, .. }
             | Request::GetAttestation { stream }
             | Request::GetRangeProof { stream, .. }
-            | Request::GetVerifiedRange { stream, .. } => {
-                let shard = self.router.shard_of(stream);
-                self.shards[shard].handle(req)
-            }
+            | Request::GetVerifiedRange { stream, .. } => self.replicas_for(stream).call(req),
         }
     }
 }
@@ -431,10 +437,12 @@ impl Handler for ShardedService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::{NodeConfig, ShardNode};
     use timecrypt_chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
     use timecrypt_core::StreamKeyMaterial;
     use timecrypt_crypto::{PrgKind, SecureRandom};
     use timecrypt_store::MemKv;
+    use timecrypt_wire::transport::Server;
 
     fn service(shards: usize) -> ShardedService {
         ShardedService::open(
@@ -467,6 +475,23 @@ mod tests {
         .unwrap()
     }
 
+    /// Binds a node hosting `hosted` of `total` shards over its own store,
+    /// returning the TCP server (keep it alive) and its address.
+    fn spawn_node(total: usize, hosted: Vec<usize>) -> (Server, String) {
+        let node = ShardNode::open(
+            Arc::new(MemKv::new()),
+            NodeConfig {
+                total_shards: total,
+                hosted,
+                engine: ServerConfig::default(),
+            },
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", Arc::new(node)).unwrap();
+        let addr = server.addr().to_string();
+        (server, addr)
+    }
+
     #[test]
     fn zero_shards_is_an_error_not_a_panic() {
         let err = ShardedService::open(
@@ -478,6 +503,23 @@ mod tests {
         )
         .err()
         .expect("zero shards must be rejected");
+        assert!(matches!(err, ServerError::Unavailable(_)), "{err:?}");
+    }
+
+    #[test]
+    fn local_backup_replicas_are_rejected() {
+        let err = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec {
+                    primary: BackendSpec::Local,
+                    backup: Some(BackendSpec::Local),
+                }],
+                ..ServiceConfig::default()
+            },
+        )
+        .err()
+        .expect("a local backup would share the primary's store");
         assert!(matches!(err, ServerError::Unavailable(_)), "{err:?}");
     }
 
@@ -630,13 +672,157 @@ mod tests {
             },
         )
         .unwrap();
-        let per_shard: usize = svc.shards.iter().map(|s| s.stream_count()).sum();
-        assert_eq!(per_shard, 10, "each stream recovered exactly once");
+        let recovered: u64 = svc.stats().shards.iter().map(|s| s.streams).sum();
+        assert_eq!(recovered, 10, "each stream recovered exactly once");
         for id in 0..10u128 {
             match svc.handle(Request::StreamInfo { stream: id }) {
                 Response::Info(i) => assert_eq!(i.len, 1),
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn all_remote_topology_round_trips_through_nodes() {
+        // 2 shards on 2 nodes, nothing local: ingest (sync + batched),
+        // scatter-gather, single-stream delegation, and stats all cross
+        // the wire.
+        let (_node_a, addr_a) = spawn_node(2, vec![0]);
+        let (_node_b, addr_b) = spawn_node(2, vec![1]);
+        let svc = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec::remote(addr_a), ShardSpec::remote(addr_b)],
+                queue_depth: 8,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        for id in 0..6u128 {
+            svc.create_stream(id, 0, 10_000, 2).unwrap();
+            svc.insert(&sealed_chunk(id, 0, id as i64)).unwrap();
+        }
+        let results = svc.submit_batch((0..6u128).map(|id| sealed_chunk(id, 1, 1)).collect());
+        assert!(results.iter().all(|r| r.is_ok()), "{results:?}");
+        let all: Vec<u128> = (0..6).collect();
+        let reply = svc.get_stat_range(&all, 0, 20_000).unwrap();
+        assert_eq!(
+            reply.parts,
+            all.iter().map(|&s| (s, 0, 2)).collect::<Vec<_>>()
+        );
+        // Typed remote error passthrough: unknown stream renders the
+        // node's message verbatim.
+        let err = svc.get_stat_range(&[0, 99], 0, 20_000).unwrap_err();
+        assert_eq!(err.to_string(), ServerError::NoSuchStream(99).to_string());
+        // Single-stream delegation.
+        match svc.handle(Request::StreamInfo { stream: 3 }) {
+            Response::Info(i) => assert_eq!(i.len, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Stats probes the nodes for stream counts.
+        let snap = svc.stats();
+        assert_eq!(snap.shards.iter().map(|s| s.streams).sum::<u64>(), 6);
+        assert_eq!(
+            snap.shards.iter().map(|s| s.ingested_chunks).sum::<u64>(),
+            12
+        );
+    }
+
+    #[test]
+    fn remote_legs_larger_than_the_pipeline_window_complete() {
+        // One shard, one node, 300 streams: a single scatter-gather leg
+        // carries more sub-queries than the pipelining window (128), so
+        // the windowed send/recv interleave is actually exercised.
+        const N: u128 = 300;
+        let (_node, addr) = spawn_node(1, vec![0]);
+        let svc = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec::remote(addr)],
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        for id in 0..N {
+            svc.create_stream(id, 0, 10_000, 2).unwrap();
+        }
+        let all: Vec<u128> = (0..N).collect();
+        // Nothing ingested yet: every sub-query takes the empty-window
+        // path, so the width-probe round *also* exceeds the window.
+        let err = svc.get_stat_range(&all, 0, 10_000).unwrap_err();
+        assert_eq!(err.to_string(), ServerError::EmptyRange.to_string());
+        // With data everywhere, the stat round alone exceeds the window.
+        let results = svc.submit_batch(
+            all.iter()
+                .map(|&id| sealed_chunk(id, 0, id as i64))
+                .collect(),
+        );
+        assert!(results.iter().all(|r| r.is_ok()));
+        let reply = svc.get_stat_range(&all, 0, 10_000).unwrap();
+        assert_eq!(reply.parts.len(), N as usize);
+    }
+
+    #[test]
+    fn mixed_widths_with_empty_window_still_abort_incompatible() {
+        // Regression for the remote width probe: stream B's window is
+        // empty but its width differs from A's — the merge must abort with
+        // IncompatibleStreams (what a single engine does), not EmptyRange.
+        // Streams 0 and 1 land on different shards of 2 (checked below).
+        let (_node_a, addr_a) = spawn_node(2, vec![0]);
+        let (_node_b, addr_b) = spawn_node(2, vec![1]);
+        let svc = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec::remote(addr_a), ShardSpec::remote(addr_b)],
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let router = ShardRouter::new(2);
+        let a = (0..100u128).find(|&id| router.shard_of(id) == 0).unwrap();
+        let b = (0..100u128).find(|&id| router.shard_of(id) == 1).unwrap();
+        svc.create_stream(a, 0, 10_000, 2).unwrap();
+        svc.create_stream(b, 0, 10_000, 3).unwrap(); // wider, never ingested
+        svc.insert(&sealed_chunk(a, 0, 1)).unwrap();
+        let err = svc.get_stat_range(&[a, b], 0, 10_000).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            ServerError::IncompatibleStreams.to_string(),
+            "width conflict must win over the empty window"
+        );
+    }
+
+    #[test]
+    fn replicated_shard_fails_over_and_counts_it() {
+        // Shard 0 of 1 on two nodes (primary + backup). Writes mirror to
+        // both; killing the primary leaves reads served by the backup.
+        let (node_a, addr_a) = spawn_node(1, vec![0]);
+        let (_node_b, addr_b) = spawn_node(1, vec![0]);
+        let svc = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec::remote(addr_a).with_backup(addr_b)],
+                pool: timecrypt_wire::pool::PoolConfig {
+                    connect_attempts: 2,
+                    backoff: std::time::Duration::from_millis(1),
+                    ..Default::default()
+                },
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        svc.create_stream(1, 0, 10_000, 2).unwrap();
+        svc.insert(&sealed_chunk(1, 0, 7)).unwrap();
+        let healthy = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+        let mut node_a = node_a;
+        node_a.shutdown();
+        drop(node_a);
+        // Reads fail over to the backup and return the same data.
+        let after = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+        assert_eq!(healthy, after, "backup serves identical data");
+        let snap = svc.stats();
+        assert!(snap.shards[0].failovers > 0, "failover counted: {snap:?}");
+        // Writes need the primary: they fail while it is down.
+        assert!(svc.insert(&sealed_chunk(1, 1, 8)).is_err());
     }
 }

@@ -3,9 +3,11 @@
 //! The paper's prototype exposes the TimeCrypt API over Netty with protobuf
 //! messages (§5). This crate is the from-scratch substitute: a length-
 //! prefixed binary framing layer ([`frame`]), hand-rolled message codecs
-//! ([`codec`], [`messages`]) mirroring the Table 1 API, and a blocking
-//! thread-per-connection TCP transport ([`transport`]) suitable for the
-//! multi-client load generator.
+//! ([`codec`], [`messages`]) mirroring the Table 1 API, a blocking
+//! thread-per-connection TCP transport ([`transport`]) with request
+//! pipelining, and a client-connection pool with reconnect-and-backoff
+//! ([`pool`]) — enough for both the multi-client load generator and the
+//! sharded service tier's coordinator → node links.
 //!
 //! Framing: every message is `u32 little-endian length || body`, with a hard
 //! frame-size cap to bound allocation from untrusted peers.
@@ -13,6 +15,7 @@
 pub mod codec;
 pub mod frame;
 pub mod messages;
+pub mod pool;
 pub mod transport;
 
 pub use codec::{ByteReader, ByteWriter, WireError};
@@ -20,4 +23,5 @@ pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use messages::{
     Request, Response, ServiceStatsWire, ShardStatsWire, StatReply, StreamInfoWire,
 };
+pub use pool::{ClientPool, PoolConfig};
 pub use transport::{Client, Server};

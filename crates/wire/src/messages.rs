@@ -297,6 +297,13 @@ pub struct ShardStatsWire {
     pub query_errors: u64,
     /// Jobs currently waiting in the shard's ingest queue.
     pub queue_depth: u64,
+    /// Reads served by the backup replica after the primary was
+    /// unreachable (always 0 without replication).
+    pub failovers: u64,
+    /// Backup-replica operations that failed or diverged from the primary
+    /// verdict (always 0 without replication). A growing value means the
+    /// replicas are drifting apart and the backup needs rebuilding.
+    pub replica_errors: u64,
     /// Ingest latency histogram: bucket `i` counts operations that took
     /// `[2^(i-1), 2^i)` microseconds (bucket 0 is sub-microsecond).
     pub ingest_hist_us: Vec<u64>,
@@ -313,6 +320,8 @@ impl ShardStatsWire {
         w.u64(self.queries);
         w.u64(self.query_errors);
         w.u64(self.queue_depth);
+        w.u64(self.failovers);
+        w.u64(self.replica_errors);
         w.u64_vec(&self.ingest_hist_us);
         w.u64_vec(&self.query_hist_us);
     }
@@ -326,6 +335,8 @@ impl ShardStatsWire {
             queries: r.u64()?,
             query_errors: r.u64()?,
             queue_depth: r.u64()?,
+            failovers: r.u64()?,
+            replica_errors: r.u64()?,
             ingest_hist_us: r.u64_vec()?,
             query_hist_us: r.u64_vec()?,
         })
@@ -372,6 +383,38 @@ const REQ_INSERT_BATCH: u8 = 21;
 const REQ_STATS: u8 = 22;
 
 impl Request {
+    /// True for requests that change server state. The distinction drives
+    /// two policies in multi-node deployments: replicated writes go
+    /// primary-then-backup while reads may fail over, and the pooled TCP
+    /// client retries only non-mutating requests on a stale connection
+    /// (a lost mutating exchange may already have been applied).
+    pub fn is_mutation(&self) -> bool {
+        match self {
+            Request::CreateStream { .. }
+            | Request::DeleteStream { .. }
+            | Request::Insert { .. }
+            | Request::InsertLive { .. }
+            | Request::InsertBatch { .. }
+            | Request::DeleteRange { .. }
+            | Request::Rollup { .. }
+            | Request::PutGrant { .. }
+            | Request::RevokeGrants { .. }
+            | Request::PutEnvelopes { .. }
+            | Request::PutAttestation { .. } => true,
+            Request::GetLive { .. }
+            | Request::GetRange { .. }
+            | Request::GetStatRange { .. }
+            | Request::StreamInfo { .. }
+            | Request::GetGrants { .. }
+            | Request::GetEnvelopes { .. }
+            | Request::GetAttestation { .. }
+            | Request::GetRangeProof { .. }
+            | Request::GetVerifiedRange { .. }
+            | Request::Stats
+            | Request::Ping => false,
+        }
+    }
+
     /// Serializes the request body.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
@@ -978,6 +1021,8 @@ mod tests {
                         queries: 7,
                         query_errors: 0,
                         queue_depth: 3,
+                        failovers: 2,
+                        replica_errors: 1,
                         ingest_hist_us: vec![0, 4, 90, 6],
                         query_hist_us: vec![1, 6],
                     },

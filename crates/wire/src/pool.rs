@@ -1,0 +1,282 @@
+//! A blocking client-connection pool with reconnect-and-backoff.
+//!
+//! One [`ClientPool`] fronts one remote endpoint (in the sharded service
+//! tier: one shard node). Callers check a connection out, drive it with
+//! [`Client::call`] or the pipelined [`Client::send`]/[`Client::recv`]
+//! pair, and return it on drop; a connection that saw a transport error is
+//! discarded instead of returned, so one broken socket never poisons later
+//! calls. When no pooled connection is available the pool dials the
+//! endpoint, retrying with exponential backoff up to
+//! [`PoolConfig::connect_attempts`] before reporting the endpoint down.
+//!
+//! The pool deliberately does **not** retry requests: whether a failed
+//! exchange is safe to repeat depends on the request (statistical queries
+//! are idempotent, inserts are not — see
+//! [`Request::is_mutation`](crate::messages::Request::is_mutation)), so
+//! retry policy belongs to the caller.
+
+use crate::messages::Request;
+use crate::transport::{Client, ClientError};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tuning knobs for a [`ClientPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Maximum idle connections retained (checked-out connections are
+    /// unbounded — concurrency is governed by the caller's thread count).
+    pub max_idle: usize,
+    /// Dial attempts per checkout before the endpoint counts as down.
+    pub connect_attempts: u32,
+    /// Backoff before the second dial attempt; doubles per attempt.
+    pub backoff: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_idle: 4,
+            connect_attempts: 4,
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A pool of blocking [`Client`] connections to one endpoint.
+pub struct ClientPool {
+    addr: String,
+    cfg: PoolConfig,
+    idle: Mutex<Vec<Client>>,
+}
+
+impl ClientPool {
+    /// A pool dialing `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>, cfg: PoolConfig) -> Self {
+        ClientPool {
+            addr: addr.into(),
+            cfg,
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The endpoint this pool dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Dials the endpoint, backing off exponentially between attempts.
+    fn connect(&self) -> Result<Client, ClientError> {
+        let mut backoff = self.cfg.backoff;
+        let attempts = self.cfg.connect_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match Client::connect(&self.addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one connect attempt"))
+    }
+
+    /// Checks a connection out: a pooled one if available, else a fresh
+    /// dial (with backoff). The returned guard gives `&mut Client` access
+    /// and returns the connection to the pool on drop unless
+    /// [`PooledConn::discard`] was called.
+    pub fn get(&self) -> Result<PooledConn<'_>, ClientError> {
+        let pooled = self.idle.lock().expect("pool lock").pop();
+        let client = match pooled {
+            Some(c) => c,
+            None => self.connect()?,
+        };
+        Ok(PooledConn {
+            pool: self,
+            client: Some(client),
+        })
+    }
+
+    /// Dials a brand-new connection (with backoff), discarding every idle
+    /// pooled connection first. Use after a transport failure: if the
+    /// peer restarted, *all* pooled connections to it are stale.
+    pub fn fresh(&self) -> Result<PooledConn<'_>, ClientError> {
+        self.idle.lock().expect("pool lock").clear();
+        Ok(PooledConn {
+            pool: self,
+            client: Some(self.connect()?),
+        })
+    }
+
+    /// One request/response exchange on a pooled connection. Pooled
+    /// connections commonly go stale when the peer restarts, so a
+    /// transport failure is retried once on a freshly dialed connection —
+    /// but only for non-mutating requests, where a peer that secretly
+    /// processed the lost exchange changes nothing.
+    pub fn call(&self, req: &Request) -> Result<crate::messages::Response, ClientError> {
+        let mut conn = self.get()?;
+        match conn.client().call(req) {
+            Err(ClientError::Frame(_)) if !req.is_mutation() => {
+                conn.discard();
+                let mut fresh = self.fresh()?;
+                let out = fresh.client().call(req);
+                if out.is_err() {
+                    fresh.discard();
+                }
+                out
+            }
+            Err(e) => {
+                // Mutation or app error: app errors leave the connection
+                // healthy; transport errors poison it.
+                if matches!(e, ClientError::Frame(_)) {
+                    conn.discard();
+                }
+                Err(e)
+            }
+            Ok(resp) => Ok(resp),
+        }
+    }
+
+    fn put_back(&self, client: Client) {
+        let mut idle = self.idle.lock().expect("pool lock");
+        if idle.len() < self.cfg.max_idle {
+            idle.push(client);
+        }
+    }
+}
+
+/// A checked-out pool connection; returns to the pool on drop.
+pub struct PooledConn<'a> {
+    pool: &'a ClientPool,
+    client: Option<Client>,
+}
+
+impl PooledConn<'_> {
+    /// The underlying connection.
+    pub fn client(&mut self) -> &mut Client {
+        self.client.as_mut().expect("connection present until drop")
+    }
+
+    /// Drops the connection instead of returning it to the pool (call
+    /// after any transport-level failure).
+    pub fn discard(&mut self) {
+        self.client = None;
+    }
+}
+
+impl Drop for PooledConn<'_> {
+    fn drop(&mut self) {
+        if let Some(c) = self.client.take() {
+            self.pool.put_back(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{Request, Response};
+    use crate::transport::Server;
+    use std::sync::Arc;
+
+    fn ping_server() -> Server {
+        Server::bind(
+            "127.0.0.1:0",
+            Arc::new(|req: Request| match req {
+                Request::Ping => Response::Pong,
+                Request::Insert { chunk } => Response::Chunks(vec![chunk]),
+                _ => Response::Error("unhandled".into()),
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn connections_are_reused() {
+        let server = ping_server();
+        let pool = ClientPool::new(server.addr().to_string(), PoolConfig::default());
+        for _ in 0..10 {
+            assert_eq!(pool.call(&Request::Ping).unwrap(), Response::Pong);
+        }
+        assert_eq!(
+            pool.idle.lock().unwrap().len(),
+            1,
+            "sequential calls share one pooled connection"
+        );
+    }
+
+    #[test]
+    fn idle_cap_is_enforced() {
+        let server = ping_server();
+        let pool = ClientPool::new(
+            server.addr().to_string(),
+            PoolConfig {
+                max_idle: 2,
+                ..PoolConfig::default()
+            },
+        );
+        // Four concurrently checked-out connections...
+        let conns: Vec<_> = (0..4).map(|_| pool.get().unwrap()).collect();
+        drop(conns);
+        // ...but only two retained.
+        assert_eq!(pool.idle.lock().unwrap().len(), 2);
+    }
+
+    /// A connection whose peer is already gone: it dialed a listener that
+    /// was dropped before accepting, so the first exchange on it fails.
+    fn dead_client() -> Client {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = Client::connect(listener.local_addr().unwrap()).unwrap();
+        drop(listener);
+        client
+    }
+
+    #[test]
+    fn stale_pooled_connection_recovers_for_reads() {
+        // A pooled connection went stale (peer restarted under it): the
+        // exchange fails, and for a non-mutating request the pool retries
+        // once on a freshly dialed connection to the healthy endpoint.
+        let server = ping_server();
+        let pool = ClientPool::new(server.addr().to_string(), PoolConfig::default());
+        pool.idle.lock().unwrap().push(dead_client());
+        assert_eq!(pool.call(&Request::Ping).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn down_endpoint_reports_transport_error() {
+        let server = ping_server();
+        let addr = server.addr();
+        drop(server);
+        let pool = ClientPool::new(
+            addr.to_string(),
+            PoolConfig {
+                connect_attempts: 2,
+                backoff: Duration::from_millis(1),
+                ..PoolConfig::default()
+            },
+        );
+        match pool.call(&Request::Ping) {
+            Err(ClientError::Frame(_)) => {}
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutations_are_not_retried_on_stale_connections() {
+        // Same stale-connection setup, but with a mutation: the failure
+        // must surface instead of being silently retried (the lost
+        // exchange might have been applied by the peer).
+        let server = ping_server();
+        let pool = ClientPool::new(server.addr().to_string(), PoolConfig::default());
+        pool.idle.lock().unwrap().push(dead_client());
+        let req = Request::Insert { chunk: vec![1] };
+        assert!(req.is_mutation());
+        match pool.call(&req) {
+            Err(ClientError::Frame(_)) => {}
+            other => panic!("mutation on a dead socket must fail, got {other:?}"),
+        }
+        // The endpoint itself is healthy: the next call dials fresh.
+        assert_eq!(pool.call(&Request::Ping).unwrap(), Response::Pong);
+    }
+}

@@ -1,8 +1,39 @@
 //! Blocking TCP transport: thread-per-connection server + pipelined client.
 //!
-//! The request/response discipline is strict one-in-one-out per connection;
-//! clients that want parallelism open multiple connections (exactly how the
-//! paper's load generator drives 100 client threads).
+//! The request/response discipline per connection is strict FIFO: the
+//! server answers requests in arrival order, so a client may either run
+//! one-in-one-out ([`Client::call`]) or *pipeline* — issue several
+//! [`Client::send`]s before draining the matching [`Client::recv`]s. The
+//! sharded service tier's `RemoteShard` uses pipelining to pack a whole
+//! scatter-gather leg into one connection; clients that want true
+//! parallelism open multiple connections (exactly how the paper's load
+//! generator drives 100 client threads — see [`crate::pool::ClientPool`]).
+//!
+//! ```rust
+//! use std::sync::Arc;
+//! use timecrypt_wire::messages::{Request, Response};
+//! use timecrypt_wire::transport::{Client, Server};
+//!
+//! // Any `Fn(Request) -> Response` is a handler; real deployments pass an
+//! // `Arc<TimeCryptServer>` or `Arc<ShardedService>` here.
+//! let server = Server::bind(
+//!     "127.0.0.1:0", // port 0: ephemeral
+//!     Arc::new(|req: Request| match req {
+//!         Request::Ping => Response::Pong,
+//!         _ => Response::Error("unhandled".into()),
+//!     }),
+//! )
+//! .unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+//!
+//! // Pipelined: both requests are in flight before the first reply is read.
+//! client.send(&Request::Ping).unwrap();
+//! client.send(&Request::Ping).unwrap();
+//! assert_eq!(client.recv().unwrap(), Response::Pong);
+//! assert_eq!(client.recv().unwrap(), Response::Pong);
+//! ```
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::messages::{Request, Response};
@@ -28,12 +59,15 @@ where
     }
 }
 
-/// A running TCP server. Dropping it (or calling [`Server::shutdown`]) stops
-/// the accept loop; in-flight connections drain on their own threads.
+/// A running TCP server. Dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop *and severs established connections*, so a
+/// dropped server really is gone — which is what lets tests (and the
+/// replication failover path) treat shutdown as a node crash.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<std::sync::Mutex<Vec<std::sync::Weak<TcpStream>>>>,
 }
 
 impl Server {
@@ -44,6 +78,9 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let conns: Arc<std::sync::Mutex<Vec<std::sync::Weak<TcpStream>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let conns2 = conns.clone();
         // A short accept timeout lets the loop observe the stop flag.
         listener.set_nonblocking(true)?;
         let accept_thread = std::thread::spawn(move || {
@@ -51,8 +88,15 @@ impl Server {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let handler = handler.clone();
+                        let stream = Arc::new(stream);
+                        {
+                            let mut conns = conns2.lock().expect("conn registry");
+                            // Drop registry entries whose connection ended.
+                            conns.retain(|w| w.strong_count() > 0);
+                            conns.push(Arc::downgrade(&stream));
+                        }
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, handler);
+                            let _ = serve_connection(&stream, handler);
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -66,6 +110,7 @@ impl Server {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
@@ -74,11 +119,17 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting new connections.
+    /// Stops accepting new connections and severs established ones (their
+    /// threads observe the closed socket and exit).
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        for conn in self.conns.lock().expect("conn registry").drain(..) {
+            if let Some(stream) = conn.upgrade() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
         }
     }
 }
@@ -89,10 +140,10 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>) -> Result<(), FrameError> {
+fn serve_connection(stream: &TcpStream, handler: Arc<dyn Handler>) -> Result<(), FrameError> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::new(stream.try_clone()?);
     loop {
         let body = match read_frame(&mut reader) {
             Ok(b) => b,
@@ -158,15 +209,31 @@ impl Client {
         Ok(Client { reader, writer })
     }
 
-    /// Sends one request and waits for its response.
+    /// Sends one request and waits for its response. An app-level
+    /// [`Response::Error`] is surfaced as [`ClientError::Server`].
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.writer, &req.encode())?;
-        let body = read_frame(&mut self.reader)?;
-        let resp = Response::decode(&body).map_err(FrameError::Wire)?;
-        if let Response::Error(msg) = resp {
-            return Err(ClientError::Server(msg));
+        self.send(req)?;
+        match self.recv()? {
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            resp => Ok(resp),
         }
-        Ok(resp)
+    }
+
+    /// Sends one request without waiting for its response (pipelining).
+    /// The server answers in FIFO order, so after `n` sends exactly `n`
+    /// [`recv`](Self::recv)s drain the matching responses.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        Ok(())
+    }
+
+    /// Receives the next response of a pipelined exchange. Unlike
+    /// [`call`](Self::call), an app-level [`Response::Error`] is returned
+    /// as a *value* — a pipelined caller must keep draining the remaining
+    /// responses even when one request failed.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        let body = read_frame(&mut self.reader)?;
+        Ok(Response::decode(&body).map_err(FrameError::Wire)?)
     }
 }
 
@@ -235,6 +302,23 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn pipelined_responses_arrive_in_request_order() {
+        let server = echo_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        for i in 0..32u8 {
+            client.send(&Request::Insert { chunk: vec![i] }).unwrap();
+        }
+        // An app-level error in the middle must not break the pipeline.
+        client.send(&Request::DeleteStream { stream: 1 }).unwrap();
+        client.send(&Request::Ping).unwrap();
+        for i in 0..32u8 {
+            assert_eq!(client.recv().unwrap(), Response::Chunks(vec![vec![i]]));
+        }
+        assert_eq!(client.recv().unwrap(), Response::Error("unhandled".into()));
+        assert_eq!(client.recv().unwrap(), Response::Pong);
     }
 
     #[test]

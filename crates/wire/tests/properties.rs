@@ -129,6 +129,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 (
                     (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
                     (any::<u64>(), any::<u64>(), any::<u64>()),
+                    (any::<u64>(), any::<u64>()),
                     proptest::collection::vec(any::<u64>(), 0..8),
                     proptest::collection::vec(any::<u64>(), 0..8),
                 ),
@@ -145,6 +146,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                 |(
                                     (shard, streams, ingested_chunks, ingest_errors),
                                     (queries, query_errors, queue_depth),
+                                    (failovers, replica_errors),
                                     ingest_hist_us,
                                     query_hist_us,
                                 )| {
@@ -156,6 +158,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                         queries,
                                         query_errors,
                                         queue_depth,
+                                        failovers,
+                                        replica_errors,
                                         ingest_hist_us,
                                         query_hist_us,
                                     }

@@ -24,8 +24,10 @@
 //!   latency-injected / op-metered).
 //! * [`server`] — the untrusted server engine.
 //! * [`service`] — the sharded concurrent serving tier:
-//!   shard-routed engines, batched ingest workers, scatter-gather
-//!   statistical queries, per-shard metrics.
+//!   shard-routed backends (in-process engines and/or remote
+//!   `timecrypt-node` processes over TCP, with optional R=2
+//!   replication), batched ingest workers, scatter-gather statistical
+//!   queries, per-shard metrics.
 //! * [`client`] — producer, data owner, consumer.
 //! * [`wire`] — framing + TCP transport.
 //! * [`baselines`] — Paillier, EC-ElGamal/P-256,
@@ -37,8 +39,17 @@
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs` for the end-to-end owner → producer →
-//! consumer flow, and EXPERIMENTS.md for reproducing the paper's tables and
-//! figures.
+//! consumer flow, `examples/multi_node_cluster.rs` for a replicated
+//! two-node cluster with failover, and EXPERIMENTS.md for reproducing the
+//! paper's tables and figures.
+//!
+//! ## Architecture
+//!
+//! The full deployment architecture — layer diagram (client → coordinator
+//! → node → engine → store), shard-routing and replication invariants,
+//! and the locking model — is documented in
+//! [ARCHITECTURE.md](https://github.com/timecrypt-rs/timecrypt/blob/main/ARCHITECTURE.md)
+//! at the repository root.
 
 pub use timecrypt_baselines as baselines;
 pub use timecrypt_chunk as chunk;

@@ -1,0 +1,359 @@
+//! End-to-end multi-node cluster tests: a coordinator scatter-gathering
+//! over shard nodes on loopback TCP must produce replies byte-identical
+//! to the single-process sharded service (which is itself byte-identical
+//! to a single engine), including error paths — and must keep doing so
+//! after the primary node of a replicated shard is killed.
+
+use std::sync::Arc;
+use timecrypt::chunk::serialize::EncryptedChunk;
+use timecrypt::chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
+use timecrypt::client::{BatchingProducer, InProc, Transport};
+use timecrypt::core::heac::decrypt_range_sum;
+use timecrypt::core::StreamKeyMaterial;
+use timecrypt::crypto::{PrgKind, SecureRandom};
+use timecrypt::server::ServerConfig;
+use timecrypt::service::{NodeConfig, ServiceConfig, ShardNode, ShardSpec, ShardedService};
+use timecrypt::store::MemKv;
+use timecrypt::wire::messages::{Request, Response};
+use timecrypt::wire::transport::{Handler, Server};
+
+const TOTAL_SHARDS: usize = 2;
+
+fn keys(id: u128) -> StreamKeyMaterial {
+    StreamKeyMaterial::with_params(id, [(id as u8).wrapping_add(9); 16], 22, PrgKind::Aes).unwrap()
+}
+
+fn stream_cfg(id: u128) -> StreamConfig {
+    StreamConfig {
+        schema: DigestSchema::sum_count(),
+        ..StreamConfig::new(id, "m", 0, 10_000)
+    }
+}
+
+fn sealed(id: u128, index: u64, value: i64) -> EncryptedChunk {
+    let mut rng = SecureRandom::from_seed_insecure(7000 + index);
+    PlainChunk {
+        stream: id,
+        index,
+        points: vec![DataPoint::new(index as i64 * 10_000, value)],
+    }
+    .seal(&stream_cfg(id), &keys(id), &mut rng)
+    .unwrap()
+}
+
+/// A node hosting every shard over its own store (primary for some,
+/// backup for the rest), behind a real TCP server.
+fn spawn_node() -> (Server, String) {
+    let node = ShardNode::open(
+        Arc::new(MemKv::new()),
+        NodeConfig {
+            total_shards: TOTAL_SHARDS,
+            hosted: (0..TOTAL_SHARDS).collect(),
+            engine: ServerConfig::default(),
+        },
+    )
+    .unwrap();
+    let server = Server::bind("127.0.0.1:0", Arc::new(node)).unwrap();
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+/// The query battery both deployments must answer identically — happy
+/// paths and error paths.
+fn query_battery(streams: u128, chunks: u64) -> Vec<Request> {
+    let all: Vec<u128> = (0..streams).collect();
+    let window = chunks as i64 * 10_000;
+    vec![
+        Request::GetStatRange {
+            streams: all.clone(),
+            ts_s: 0,
+            ts_e: window,
+        },
+        Request::GetStatRange {
+            streams: all.iter().rev().copied().collect(),
+            ts_s: 0,
+            ts_e: window,
+        },
+        Request::GetStatRange {
+            streams: all.clone(),
+            ts_s: 15_000,
+            ts_e: window - 15_000,
+        },
+        Request::GetStatRange {
+            streams: vec![3],
+            ts_s: 0,
+            ts_e: window / 2,
+        },
+        Request::GetRange {
+            stream: 5,
+            ts_s: 0,
+            ts_e: window,
+        },
+        Request::StreamInfo { stream: 2 },
+        // Error paths.
+        Request::GetStatRange {
+            streams: vec![3, 99],
+            ts_s: 0,
+            ts_e: window,
+        },
+        Request::GetStatRange {
+            streams: vec![],
+            ts_s: 0,
+            ts_e: window,
+        },
+        Request::GetStatRange {
+            streams: all,
+            ts_s: 0,
+            ts_e: 1,
+        },
+        Request::StreamInfo { stream: 77 },
+        Request::Ping,
+    ]
+}
+
+/// A 2-node replicated cluster and a single-process service, fed the same
+/// workload, answer the battery byte-identically — before *and after* one
+/// node is killed (reads fail over to the surviving replicas).
+#[test]
+fn two_node_cluster_replies_match_single_process_even_after_killing_a_node() {
+    const STREAMS: u128 = 8;
+    const CHUNKS: u64 = 10;
+
+    // Single-process reference deployment.
+    let reference = ShardedService::open(
+        Arc::new(MemKv::new()),
+        ServiceConfig {
+            shards: TOTAL_SHARDS,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Cluster: shard 0 primary on node A (backup B), shard 1 primary on
+    // node B (backup A).
+    let (node_a, addr_a) = spawn_node();
+    let (_node_b, addr_b) = spawn_node();
+    let cluster = ShardedService::open(
+        Arc::new(MemKv::new()),
+        ServiceConfig {
+            topology: vec![
+                ShardSpec::remote(&addr_a).with_backup(&addr_b),
+                ShardSpec::remote(&addr_b).with_backup(&addr_a),
+            ],
+            pool: timecrypt::wire::pool::PoolConfig {
+                connect_attempts: 2,
+                backoff: std::time::Duration::from_millis(1),
+                ..Default::default()
+            },
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Identical workload to both (sealing is deterministic per seed/key).
+    for id in 0..STREAMS {
+        reference.create_stream(id, 0, 10_000, 2).unwrap();
+        cluster.create_stream(id, 0, 10_000, 2).unwrap();
+    }
+    for id in 0..STREAMS {
+        let chunks: Vec<EncryptedChunk> = (0..CHUNKS)
+            .map(|i| sealed(id, i, (id as i64) * 3 + i as i64))
+            .collect();
+        for r in reference.submit_batch(chunks.clone()) {
+            r.unwrap();
+        }
+        for r in cluster.submit_batch(chunks) {
+            r.unwrap();
+        }
+    }
+
+    for q in query_battery(STREAMS, CHUNKS) {
+        let a = reference.handle(q.clone()).encode();
+        let b = cluster.handle(q.clone()).encode();
+        assert_eq!(a, b, "reply mismatch for {q:?}");
+    }
+
+    // Kill node A: every shard still has a live replica (shard 0's backup,
+    // shard 1's primary — both on node B).
+    let mut node_a = node_a;
+    node_a.shutdown();
+    drop(node_a);
+
+    for q in query_battery(STREAMS, CHUNKS) {
+        let a = reference.handle(q.clone()).encode();
+        let b = cluster.handle(q.clone()).encode();
+        assert_eq!(a, b, "reply mismatch after node kill for {q:?}");
+    }
+    let stats = cluster.stats();
+    assert!(
+        stats.shards.iter().map(|s| s.failovers).sum::<u64>() > 0,
+        "failovers recorded: {stats:?}"
+    );
+}
+
+/// Mixed placement — one local shard, one remote — behaves exactly like
+/// the all-local service for the same workload, and the batched wire
+/// ingest path reports identical per-chunk error positions.
+#[test]
+fn mixed_local_remote_topology_matches_all_local() {
+    const STREAMS: u128 = 6;
+    const CHUNKS: u64 = 8;
+    let all_local = ShardedService::open(
+        Arc::new(MemKv::new()),
+        ServiceConfig {
+            shards: TOTAL_SHARDS,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let (_node, addr) = spawn_node();
+    let mixed = ShardedService::open(
+        Arc::new(MemKv::new()),
+        ServiceConfig {
+            topology: vec![ShardSpec::local(), ShardSpec::remote(&addr)],
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+
+    for id in 0..STREAMS {
+        all_local.create_stream(id, 0, 10_000, 2).unwrap();
+        mixed.create_stream(id, 0, 10_000, 2).unwrap();
+    }
+    for id in 0..STREAMS {
+        let chunks: Vec<EncryptedChunk> = (0..CHUNKS)
+            .map(|i| sealed(id, i, (id as i64) * 5 + i as i64))
+            .collect();
+        for r in all_local.submit_batch(chunks.clone()) {
+            r.unwrap();
+        }
+        for r in mixed.submit_batch(chunks) {
+            r.unwrap();
+        }
+    }
+    for q in query_battery(STREAMS, CHUNKS) {
+        let a = all_local.handle(q.clone()).encode();
+        let b = mixed.handle(q.clone()).encode();
+        assert_eq!(a, b, "reply mismatch for {q:?}");
+    }
+
+    // Batched wire path with mixed verdicts: positions + strings must
+    // match wherever each chunk's shard runs.
+    let batch = Request::InsertBatch {
+        chunks: vec![
+            sealed(1, CHUNKS, 1).to_bytes(),
+            vec![0xde, 0xad],                    // malformed
+            sealed(2, CHUNKS + 3, 1).to_bytes(), // out of order
+            sealed(99, 0, 1).to_bytes(),         // unknown stream
+            sealed(3, CHUNKS, 1).to_bytes(),
+        ],
+    };
+    let a = all_local.handle(batch.clone());
+    let b = mixed.handle(batch);
+    assert_eq!(
+        a.encode(),
+        b.encode(),
+        "batch verdicts differ: {a:?} vs {b:?}"
+    );
+}
+
+/// The client stack (BatchingProducer + consumer-style decrypt) works
+/// unchanged against a cluster coordinator: ingest crosses the wire to
+/// the owning node, the aggregate decrypts to the right closed form.
+#[test]
+fn batching_producer_roundtrip_through_cluster() {
+    let (_node_a, addr_a) = spawn_node();
+    let (_node_b, addr_b) = spawn_node();
+    let svc = Arc::new(
+        ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec::remote(addr_a), ShardSpec::remote(addr_b)],
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let id = 42u128;
+    svc.create_stream(id, 0, 10_000, 2).unwrap();
+    let mut transport = InProc::new(svc.clone());
+    let mut producer = BatchingProducer::new(
+        stream_cfg(id),
+        keys(id),
+        SecureRandom::from_seed_insecure(5),
+        4,
+    );
+    for i in 0..100i64 {
+        producer
+            .push(&mut transport, DataPoint::new(i * 1000, i))
+            .unwrap();
+    }
+    producer.flush(&mut transport).unwrap();
+    assert_eq!(producer.chunks_sent(), 10);
+    let reply = match transport.call(&Request::GetStatRange {
+        streams: vec![id],
+        ts_s: 0,
+        ts_e: 100_000,
+    }) {
+        Ok(Response::Stat(s)) => s,
+        other => panic!("unexpected {other:?}"),
+    };
+    let dec = decrypt_range_sum(&keys(id).tree, 0, 10, &reply.agg).unwrap();
+    assert_eq!(dec[0] as i64, (0..100i64).sum::<i64>());
+    assert_eq!(dec[1], 100);
+}
+
+/// A node restart with a persistent store recovers its shards' streams;
+/// the coordinator's pooled connections reconnect (with backoff) and keep
+/// serving without being rebuilt.
+#[test]
+fn node_restart_recovers_and_coordinator_reconnects() {
+    let log_path = std::env::temp_dir().join(format!("tc-node-restart-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let open_node = |listen: &str| -> Server {
+        let node = ShardNode::open(
+            Arc::new(timecrypt::store::LogKv::open(&log_path).unwrap()),
+            NodeConfig {
+                total_shards: 1,
+                hosted: vec![0],
+                engine: ServerConfig::default(),
+            },
+        )
+        .unwrap();
+        Server::bind(listen, Arc::new(node)).unwrap()
+    };
+    let node = open_node("127.0.0.1:0");
+    let addr = node.addr().to_string();
+    let svc = ShardedService::open(
+        Arc::new(MemKv::new()),
+        ServiceConfig {
+            topology: vec![ShardSpec::remote(&addr)],
+            pool: timecrypt::wire::pool::PoolConfig {
+                connect_attempts: 8,
+                backoff: std::time::Duration::from_millis(2),
+                ..Default::default()
+            },
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    svc.create_stream(1, 0, 10_000, 2).unwrap();
+    svc.insert(&sealed(1, 0, 11)).unwrap();
+    let before = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+
+    // Restart the node on the same address, recovering from the log.
+    let mut node = node;
+    node.shutdown();
+    drop(node);
+    let _node = open_node(&addr);
+
+    let after = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+    assert_eq!(before, after, "recovered node serves identical data");
+    // Ingest resumes where the stream left off.
+    svc.insert(&sealed(1, 1, 12)).unwrap();
+    match svc.handle(Request::StreamInfo { stream: 1 }) {
+        Response::Info(i) => assert_eq!(i.len, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    let _ = std::fs::remove_file(&log_path);
+}
