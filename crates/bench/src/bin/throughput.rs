@@ -27,6 +27,13 @@
 //! `remote_throughput` rows at the same shard count isolates the wire
 //! cost (framing + pipelining + pooled connections) of scaling out.
 //!
+//! The **failover/rebuild** phase runs a replicated loopback shard
+//! (primary + backup nodes, R=2) and kills the primary mid-ingest:
+//! promotion latency is the wall time until a write is acknowledged
+//! again, rebuild time is `attach_replica` → the replacement verified in
+//! sync, and a final query sweep measures throughput once the shard is
+//! back at R=2.
+//!
 //! Env knobs: `TC_SHARDS` (comma list, default `1,2,4,8`), `TC_STREAMS`
 //! (default 32), `TC_CHUNKS` (chunks/stream, default 64), `TC_PRODUCERS`
 //! (default 8), `TC_BATCH` (chunks/batch, default 16), `TC_QUERIES`
@@ -35,6 +42,7 @@
 //! (default 400), `TC_READERS` (intra-shard reader pool, default 4),
 //! `TC_MIXED` (`0` skips the phase). Remote phase: `TC_REMOTE` (`0`
 //! skips), `TC_REMOTE_SHARDS` (comma list, default `1,4`).
+//! Failover/rebuild phase: `TC_FAILOVER` (`0` skips).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -43,7 +51,9 @@ use timecrypt_chunk::serialize::EncryptedChunk;
 use timecrypt_chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
 use timecrypt_core::StreamKeyMaterial;
 use timecrypt_crypto::{PrgKind, SecureRandom};
-use timecrypt_service::{NodeConfig, ServiceConfig, ShardNode, ShardSpec, ShardedService};
+use timecrypt_service::{
+    BackendSpec, NodeConfig, ServiceConfig, ShardNode, ShardSpec, ShardedService,
+};
 use timecrypt_store::{KvStore, LatencyKv, MemKv};
 use timecrypt_wire::transport::Server;
 
@@ -365,6 +375,148 @@ fn run_mixed(
     }
 }
 
+struct FailoverSample {
+    /// Kill of the primary → first acknowledged write on the promoted
+    /// backup (covers strike accumulation + the internal retry).
+    promotion_ms: f64,
+    /// `attach_replica` → replica verified in sync.
+    rebuild_ms: f64,
+    rebuild_chunks_copied: u64,
+    /// Scatter-gather ops/s served after the rebuild completed.
+    post_rebuild_query_ops_s: f64,
+}
+
+/// The failover/rebuild smoke: a replicated loopback shard loses its
+/// primary mid-ingest; the bench measures how long automatic promotion
+/// takes to restore write availability, how long rebuilding a freshly
+/// attached replacement takes, and what query throughput looks like once
+/// the shard is back at R=2.
+fn run_failover_rebuild(
+    workload: &Workload,
+    producers: usize,
+    queries: usize,
+    store_latency: Duration,
+) -> FailoverSample {
+    let spawn_node = || {
+        let node = ShardNode::open(
+            latency_store(store_latency),
+            NodeConfig {
+                total_shards: 1,
+                hosted: vec![0],
+                engine: Default::default(),
+            },
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", Arc::new(node)).unwrap();
+        let addr = server.addr().to_string();
+        (server, addr)
+    };
+    let (node_a, addr_a) = spawn_node();
+    let (_node_b, addr_b) = spawn_node();
+    let svc = Arc::new(
+        ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec::remote(addr_a).with_backup(addr_b)],
+                pool: timecrypt_wire::pool::PoolConfig {
+                    connect_attempts: 2,
+                    backoff: Duration::from_millis(1),
+                    ..Default::default()
+                },
+                promote_after: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let streams = workload.per_stream.len();
+    for id in 0..streams as u128 {
+        svc.create_stream(id, 0, 10_000, 2).unwrap();
+    }
+    // First half of every stream lands while both replicas are healthy.
+    let half = workload
+        .per_stream
+        .first()
+        .map(|v| v.len() / 2)
+        .unwrap_or(0);
+    for per_stream in &workload.per_stream {
+        for r in svc.submit_batch(per_stream[..half].to_vec()) {
+            r.unwrap();
+        }
+    }
+    // Kill the primary mid-ingest; keep writing until a write is
+    // acknowledged again — that wall time is the promotion latency.
+    let mut node_a = node_a;
+    node_a.shutdown();
+    drop(node_a);
+    let t = Instant::now();
+    let first = &workload.per_stream[0][half];
+    while svc.insert(first).is_err() {
+        assert!(
+            t.elapsed() < Duration::from_secs(60),
+            "promotion never restored write availability"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let promotion_ms = t.elapsed().as_secs_f64() * 1e3;
+    for (id, per_stream) in workload.per_stream.iter().enumerate() {
+        let rest = if id == 0 { half + 1 } else { half };
+        for r in svc.submit_batch(per_stream[rest..].to_vec()) {
+            r.unwrap();
+        }
+    }
+    // Attach a replacement and wait for the background rebuild.
+    let (_node_c, addr_c) = spawn_node();
+    let t = Instant::now();
+    svc.attach_replica(0, BackendSpec::Remote(addr_c)).unwrap();
+    loop {
+        let snap = svc.stats();
+        if snap.shards[0].rebuilds == 1 && snap.shards[0].in_sync {
+            break;
+        }
+        assert!(
+            t.elapsed() < Duration::from_secs(60),
+            "replica rebuild did not complete"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rebuild_chunks_copied = svc.stats().shards[0].rebuild_chunks_copied;
+    // Query throughput with the shard back at R=2.
+    let all: Vec<u128> = (0..streams as u128).collect();
+    let chunks = workload
+        .per_stream
+        .first()
+        .map(|v| v.len() as u64)
+        .unwrap_or(0);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let svc = svc.clone();
+            let all = &all;
+            scope.spawn(move || {
+                for q in (p..queries).step_by(producers) {
+                    let group: Vec<u128> = all
+                        .iter()
+                        .cycle()
+                        .skip(q % all.len())
+                        .take(8.min(all.len()))
+                        .copied()
+                        .collect();
+                    svc.get_stat_range(&group, 0, chunks as i64 * 10_000)
+                        .unwrap();
+                }
+            });
+        }
+    });
+    FailoverSample {
+        promotion_ms,
+        rebuild_ms,
+        rebuild_chunks_copied,
+        post_rebuild_query_ops_s: queries as f64 / t.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let shard_sweep: Vec<usize> = std::env::var("TC_SHARDS")
         .unwrap_or_else(|_| "1,2,4,8".into())
@@ -442,6 +594,24 @@ fn main() {
                 s.query_wall_ms,
             );
         }
+    }
+
+    // Failover/rebuild phase: a replicated loopback shard loses its
+    // primary mid-ingest. Reports promotion latency (write availability
+    // restored), replica-rebuild wall time, and post-rebuild query ops/s.
+    if env_usize("TC_FAILOVER", 1) != 0 {
+        let s = run_failover_rebuild(&workload, producers, queries, store_latency);
+        println!(
+            "{{\"bench\":\"failover_rebuild\",\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"promotion_ms\":{:.1},\"rebuild_ms\":{:.1},\"rebuild_chunks_copied\":{},\"queries\":{},\"post_rebuild_query_ops_s\":{:.0}}}",
+            streams,
+            chunks,
+            producers,
+            s.promotion_ms,
+            s.rebuild_ms,
+            s.rebuild_chunks_copied,
+            queries,
+            s.post_rebuild_query_ops_s,
+        );
     }
 
     // Mixed read/write phase: query ops/s vs query-thread count on ONE

@@ -131,9 +131,19 @@ impl EncryptedChunk {
         compress::decompress(&compressed).map_err(ChunkError::Codec)
     }
 
+    /// Exact length of [`to_bytes`](Self::to_bytes) without serializing:
+    /// fixed header (stream 16 + index 8 + two `u32` length prefixes 8)
+    /// plus the digest words and the payload. Frame-budget math (the
+    /// service tier's greedy ingest drain, export paging) depends on this
+    /// agreeing with the serializer — `encoded_len_matches_to_bytes`
+    /// pins the two together.
+    pub fn encoded_len(&self) -> usize {
+        32 + self.digest_ct.len() * 8 + self.payload.len()
+    }
+
     /// Serializes for storage: all fields length-prefixed, little-endian.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.digest_ct.len() * 8 + self.payload.len());
+        let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&self.stream.to_le_bytes());
         out.extend_from_slice(&self.index.to_le_bytes());
         out.extend_from_slice(&(self.digest_ct.len() as u32).to_le_bytes());
@@ -585,6 +595,25 @@ mod tests {
         let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
         let bytes = sealed.to_bytes();
         assert_eq!(EncryptedChunk::from_bytes(&bytes).unwrap(), sealed);
+    }
+
+    #[test]
+    fn encoded_len_matches_to_bytes() {
+        let (cfg, keys, mut rng) = setup();
+        for (index, n_points) in [(0u64, 1usize), (1, 50), (2, 500)] {
+            let sealed = PlainChunk {
+                stream: 7,
+                index,
+                points: points_for_chunk(index, n_points),
+            }
+            .seal(&cfg, &keys, &mut rng)
+            .unwrap();
+            assert_eq!(
+                sealed.encoded_len(),
+                sealed.to_bytes().len(),
+                "index {index}, {n_points} points"
+            );
+        }
     }
 
     #[test]

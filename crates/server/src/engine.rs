@@ -30,6 +30,12 @@ impl Default for ServerConfig {
     }
 }
 
+/// Byte budget of one [`TimeCryptServer::export_chunks`] page: a replica
+/// rebuild ships each page as one `Response::StreamChunks` frame, so the
+/// page must stay far below the transport's 16 MiB frame cap. 4 MiB leaves
+/// a 4× margin for framing overhead, matching the ingest drain budget.
+pub const EXPORT_PAGE_BYTES: usize = 4 * 1024 * 1024;
+
 /// Engine errors (mapped to `Response::Error` strings at the wire boundary).
 #[derive(Debug)]
 pub enum ServerError {
@@ -781,6 +787,63 @@ impl TimeCryptServer {
         self.streams.read().len()
     }
 
+    /// Ids of every registered stream, ascending (deterministic order for
+    /// replica rebuild and diagnostics).
+    pub fn stream_ids(&self) -> Vec<u128> {
+        let mut ids: Vec<u128> = self.streams.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Metadata of every registered stream, ascending by id — the
+    /// enumeration half of the replica-rebuild protocol, shared by every
+    /// deployment shape (single engine, local shard, shard node) so the
+    /// listing semantics cannot diverge between them.
+    pub fn stream_infos(&self) -> Result<Vec<StreamInfoWire>, ServerError> {
+        self.stream_ids()
+            .into_iter()
+            .map(|sid| self.stream_info(sid))
+            .collect()
+    }
+
+    /// Pages raw sealed chunks for replica rebuild: serialized chunks of
+    /// `stream` starting at index `from_idx`, at most `max_bytes` of
+    /// payload per page (a page always carries at least one chunk when one
+    /// is available, so an oversized chunk cannot stall the export).
+    /// Returns `(chunks, next_idx, done)`; `done` means no further chunks
+    /// are exportable — the page reached the stream's published length, or
+    /// the next payload was deleted (`delete_range` decay) and the
+    /// contiguous exportable prefix ends here.
+    pub fn export_chunks(
+        &self,
+        stream: u128,
+        from_idx: u64,
+        max_bytes: usize,
+    ) -> Result<(Vec<Vec<u8>>, u64, bool), ServerError> {
+        let st = self.stream(stream)?;
+        // Like the read path: answer for the chunk prefix published when
+        // the call began. The rebuild loop re-reads lengths per page, so a
+        // concurrent append is simply picked up by the next page.
+        let len = st.tree.len();
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        let mut idx = from_idx;
+        while idx < len {
+            match self.kv.get(&chunk_key(stream, idx))? {
+                Some(b) => {
+                    if !out.is_empty() && bytes + b.len() > max_bytes {
+                        return Ok((out, idx, false));
+                    }
+                    bytes += b.len();
+                    out.push(b);
+                    idx += 1;
+                }
+                None => return Ok((out, idx, true)),
+            }
+        }
+        Ok((out, idx, true))
+    }
+
     /// Key-store facade.
     pub fn keystore(&self) -> KeyStore<'_> {
         KeyStore::new(self.kv.as_ref())
@@ -955,6 +1018,17 @@ impl Handler for TimeCryptServer {
             Request::Stats => {
                 Response::Error("service stats unavailable: single-engine deployment".into())
             }
+            // A single engine owns every stream: the shard id is a routing
+            // concept of the service tier, so it is ignored here.
+            Request::ListStreams { .. } => ok_or(self.stream_infos(), Response::StreamList),
+            Request::ExportStream { stream, from_idx } => ok_or(
+                self.export_chunks(stream, from_idx, EXPORT_PAGE_BYTES),
+                |(chunks, next_idx, done)| Response::StreamChunks {
+                    chunks,
+                    next_idx,
+                    done,
+                },
+            ),
             Request::Ping => Response::Pong,
         }
     }

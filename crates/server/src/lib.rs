@@ -38,4 +38,6 @@
 pub mod engine;
 pub mod keystore;
 
-pub use engine::{merge_stream_stats, ServerConfig, ServerError, StreamStat, TimeCryptServer};
+pub use engine::{
+    merge_stream_stats, ServerConfig, ServerError, StreamStat, TimeCryptServer, EXPORT_PAGE_BYTES,
+};

@@ -29,12 +29,13 @@
 
 use crate::fanout::ReaderPool;
 use crate::metrics::{ServiceMetrics, ShardMetrics};
-use std::sync::atomic::Ordering;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use timecrypt_chunk::serialize::EncryptedChunk;
-use timecrypt_server::{ServerError, StreamStat, TimeCryptServer};
-use timecrypt_wire::messages::{Request, Response};
+use timecrypt_server::{ServerError, StreamStat, TimeCryptServer, EXPORT_PAGE_BYTES};
+use timecrypt_wire::messages::{Request, Response, StreamInfoWire};
 use timecrypt_wire::pool::{ClientPool, PoolConfig};
 
 /// One per-stream statistical sub-query outcome.
@@ -126,6 +127,41 @@ pub trait ShardBackend: Send + Sync + 'static {
 
     /// Streams currently hosted by this shard (occupancy metric).
     fn stream_count(&self) -> Result<u64, ServerError>;
+
+    /// Metadata of every stream this shard hosts, ascending by stream id
+    /// (the export side of the replica-rebuild seam: the survivor
+    /// enumerates what a replacement must copy).
+    fn list_streams(&self) -> Result<Vec<StreamInfoWire>, ServerError>;
+
+    /// One page of a stream's raw encrypted chunks starting at
+    /// `from_idx`, sized under the wire frame cap (the export side of the
+    /// replica-rebuild seam).
+    fn export_chunks(&self, stream: u128, from_idx: u64) -> Result<ExportPage, ServerError>;
+
+    /// The import side of the rebuild seam: applies a page of exported
+    /// chunks in order and returns how many the shard accepted. Rejected
+    /// chunks (out-of-order against the replica's current length) are
+    /// expected when the copy races live write-mirroring — the rebuild
+    /// loop re-reads the replica's length and converges.
+    fn import_chunks(&self, chunks: &[EncryptedChunk]) -> Result<u64, ServerError> {
+        Ok(self
+            .insert_batch(chunks)?
+            .iter()
+            .filter(|r| r.is_ok())
+            .count() as u64)
+    }
+}
+
+/// One page of a stream export ([`ShardBackend::export_chunks`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportPage {
+    /// Serialized `EncryptedChunk`s, consecutive from the requested index.
+    pub chunks: Vec<Vec<u8>>,
+    /// Index to request the next page from.
+    pub next_idx: u64,
+    /// No further chunks are exportable (end of stream, or the next
+    /// payload was deleted and the contiguous prefix ends here).
+    pub done: bool,
 }
 
 /// Executes one per-stream sub-query with metrics. One latency sample and
@@ -268,6 +304,21 @@ impl ShardBackend for LocalShard {
     fn stream_count(&self) -> Result<u64, ServerError> {
         Ok(self.engine.stream_count() as u64)
     }
+
+    fn list_streams(&self) -> Result<Vec<StreamInfoWire>, ServerError> {
+        self.engine.stream_infos()
+    }
+
+    fn export_chunks(&self, stream: u128, from_idx: u64) -> Result<ExportPage, ServerError> {
+        let (chunks, next_idx, done) =
+            self.engine
+                .export_chunks(stream, from_idx, EXPORT_PAGE_BYTES)?;
+        Ok(ExportPage {
+            chunks,
+            next_idx,
+            done,
+        })
+    }
 }
 
 /// A shard hosted by a `timecrypt-node` process, reached over TCP.
@@ -398,6 +449,32 @@ impl ShardBackend for RemoteShard {
                 .map(|s| s.streams)
                 .unwrap_or(0)),
             _ => Ok(0),
+        }
+    }
+
+    fn list_streams(&self) -> Result<Vec<StreamInfoWire>, ServerError> {
+        match self.call(Request::ListStreams {
+            shard: self.shard as u32,
+        })? {
+            Response::StreamList(infos) => Ok(infos),
+            Response::Error(msg) => Err(ServerError::Remote(msg)),
+            _ => Err(ServerError::Unavailable("unexpected stream-list reply")),
+        }
+    }
+
+    fn export_chunks(&self, stream: u128, from_idx: u64) -> Result<ExportPage, ServerError> {
+        match self.call(Request::ExportStream { stream, from_idx })? {
+            Response::StreamChunks {
+                chunks,
+                next_idx,
+                done,
+            } => Ok(ExportPage {
+                chunks,
+                next_idx,
+                done,
+            }),
+            Response::Error(msg) => Err(ServerError::Remote(msg)),
+            _ => Err(ServerError::Unavailable("unexpected stream-export reply")),
         }
     }
 }
@@ -537,16 +614,74 @@ impl RemoteShard {
     }
 }
 
-/// One shard's replica set: a primary backend plus an optional backup.
+/// Backup replica health. Write mirroring is armed in *every* state —
+/// the replica must not miss writes while it catches up — but only an
+/// in-sync backup serves failover reads and is promotion-eligible:
+/// both require the replica to hold every acknowledged write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ReplicaHealth {
+    /// Has mirrored every acknowledged write since it was last verified:
+    /// serves failover reads, promotion-eligible. A failed or diverging
+    /// mirror write counts drift *and demotes to [`Self::Drifted`]* —
+    /// the replica provably no longer matches acknowledged state.
+    InSync,
+    /// Missed or diverged on at least one acknowledged write: mirror
+    /// outcomes keep counting in `replica_errors`, but the replica is
+    /// untrusted for reads and promotion until a rebuild
+    /// ([`crate::ShardedService::rebuild_replica`]) verifies it again.
+    Drifted,
+    /// Catching up under a rebuild worker: mirrored-write rejections are
+    /// expected (the copy has not reached them yet), not drift.
+    Rebuilding,
+}
+
+/// A backup replica and its lifecycle state.
+#[derive(Clone)]
+struct BackupState {
+    backend: Arc<dyn ShardBackend>,
+    health: ReplicaHealth,
+}
+
+/// The current primary/backup assignment of one shard (swapped by
+/// promotion, extended by [`ShardReplicas::attach_backup`]).
+struct Roles {
+    primary: Arc<dyn ShardBackend>,
+    backup: Option<BackupState>,
+}
+
+/// One shard's replica set: a primary backend plus an optional backup,
+/// with a health state machine that closes the R=2 loop.
 ///
 /// * **Mutations** go primary-then-backup. If the primary is unreachable
 ///   the mutation fails *without* touching the backup — the backup only
 ///   ever receives writes the primary received, in the same order, which
-///   is the invariant that keeps the replicas byte-identical. Backup
-///   failures (or verdicts diverging from the primary's) do not fail the
-///   operation; they tick `replica_errors`.
-/// * **Reads** go to the primary and fail over to the backup when the
-///   primary is unreachable, ticking `failovers`.
+///   is the invariant that keeps the replicas byte-identical. A backup
+///   failure (or a verdict diverging from the primary's) does not fail
+///   the operation; it ticks `replica_errors` and *demotes* an in-sync
+///   backup to the drifted state — a replica that provably missed an
+///   acknowledged write must never be promoted or serve failover reads,
+///   or acknowledged data would silently vanish.
+/// * **Reads** go to the primary and fail over to an *in-sync* backup
+///   when the primary is unreachable, ticking `failovers`. A rebuilding
+///   or drifted replica never serves reads — it would answer from
+///   incomplete data.
+/// * **Promotion.** Every primary transport failure counts a strike
+///   (any success resets them). At `promote_after` consecutive strikes
+///   with an in-sync backup attached, the backup *becomes* the primary:
+///   reads and writes flip to it, `promotions` ticks, and the operation
+///   that crossed the threshold is retried once against the new primary.
+///   Replies stay byte-identical because the backup received every
+///   acknowledged write. The shard then runs un-replicated until a
+///   replacement is attached.
+/// * **Rebuild.** `attach_backup` (driven by
+///   [`crate::ShardedService::attach_replica`]) adds a replacement in
+///   the rebuilding state; a worker then drives `rebuild_backup`, which
+///   copies every hosted stream from the survivor, verifies chunk
+///   counts, and flips the replica to in-sync — closing the loop. The
+///   same worker re-verifies a drifted replica
+///   ([`crate::ShardedService::rebuild_replica`]): strict next-index
+///   ingest means a drifted replica is always a *prefix* of its primary,
+///   so an in-place copy from its current length converges.
 ///
 /// Per-stream write ordering on the backup follows from the service
 /// tier's existing contract: each stream's writes flow through one shard
@@ -555,8 +690,19 @@ impl RemoteShard {
 pub struct ShardReplicas {
     shard: usize,
     metrics: Arc<ServiceMetrics>,
-    primary: Arc<dyn ShardBackend>,
-    backup: Option<Arc<dyn ShardBackend>>,
+    roles: RwLock<Roles>,
+    /// Consecutive primary transport failures; reset by any success.
+    strikes: AtomicU32,
+    /// Strikes required to promote; `0` disables automatic promotion.
+    promote_after: u32,
+    /// Guards against two rebuild workers copying the same shard at once.
+    rebuilding: AtomicBool,
+    /// Generation counter of mirrored writes the backup missed (bumped
+    /// under the roles lock). The rebuild worker compares it across its
+    /// verification pass: a drop in that window means an acknowledged
+    /// write may postdate the verified lengths, so the replica must not
+    /// be marked in sync yet — another pass picks the write up.
+    mirror_drops: AtomicU32,
 }
 
 impl ShardReplicas {
@@ -565,12 +711,28 @@ impl ShardReplicas {
         metrics: Arc<ServiceMetrics>,
         primary: Arc<dyn ShardBackend>,
         backup: Option<Arc<dyn ShardBackend>>,
+        promote_after: u32,
     ) -> Self {
+        metrics
+            .shard(shard)
+            .in_sync
+            .store(backup.is_some(), Ordering::Relaxed);
         ShardReplicas {
             shard,
             metrics,
-            primary,
-            backup,
+            roles: RwLock::new(Roles {
+                primary,
+                // A topology-configured backup mirrors from the first
+                // write, so it starts in sync.
+                backup: backup.map(|backend| BackupState {
+                    backend,
+                    health: ReplicaHealth::InSync,
+                }),
+            }),
+            strikes: AtomicU32::new(0),
+            promote_after,
+            rebuilding: AtomicBool::new(false),
+            mirror_drops: AtomicU32::new(0),
         }
     }
 
@@ -583,111 +745,296 @@ impl ShardReplicas {
         self.metrics.shard(self.shard)
     }
 
-    /// Dispatches one wire request with replication/failover semantics.
-    /// Infallible at this level: an unreachable shard becomes a
-    /// `Response::Error`, exactly what a wire client would see.
-    pub(crate) fn call(&self, req: Request) -> Response {
-        // Unreplicated shards — the common case — take the request by
-        // move: no payload clone on the ingest hot path.
-        let Some(backup) = &self.backup else {
-            return match self.primary.call(req) {
-                Ok(resp) => resp,
-                Err(e) => Response::Error(e.to_string()),
-            };
-        };
-        if req.is_mutation() {
-            let resp = match self.primary.call(req.clone()) {
-                Ok(resp) => resp,
-                Err(e) => return Response::Error(e.to_string()),
-            };
-            match backup.call(req) {
-                Ok(backup_resp) if backup_resp == resp => {}
-                // Unreachable backup or diverging verdict: the operation
-                // stands (the primary accepted it), but the replicas are
-                // now drifting.
-                _ => {
-                    self.m().replica_errors.fetch_add(1, Ordering::Relaxed);
-                }
+    /// A consistent snapshot of the current role assignment. Operations
+    /// run against the snapshot — a concurrent promotion flips *later*
+    /// operations, never one in flight.
+    fn snapshot(&self) -> (Arc<dyn ShardBackend>, Option<BackupState>) {
+        let roles = self.roles.read();
+        (roles.primary.clone(), roles.backup.clone())
+    }
+
+    /// The current primary alone (mutation paths re-read the backup via
+    /// [`Self::mirror_target`] after the primary acknowledged).
+    fn primary(&self) -> Arc<dyn ShardBackend> {
+        self.roles.read().primary.clone()
+    }
+
+    fn note_primary_ok(&self) {
+        self.strikes.store(0, Ordering::Relaxed);
+    }
+
+    /// Counts one primary transport failure and promotes the in-sync
+    /// backup once the strike threshold is reached. Returns `true` when
+    /// the caller should retry against a (possibly concurrently) promoted
+    /// primary.
+    fn note_primary_failure(&self, failed: &Arc<dyn ShardBackend>) -> bool {
+        let strikes = {
+            // Count under the roles read lock, only against the *current*
+            // primary: a stale failure observed before a concurrent
+            // promotion must not leak a phantom strike onto the freshly
+            // promoted primary (promotion resets the counter while
+            // holding the write lock, which this read lock excludes).
+            let roles = self.roles.read();
+            if !Arc::ptr_eq(&roles.primary, failed) {
+                // Already replaced; our operation can retry against the
+                // new primary.
+                return true;
             }
-            resp
-        } else {
-            match self.primary.call(req.clone()) {
-                Ok(resp) => resp,
-                Err(_) => {
-                    self.m().failovers.fetch_add(1, Ordering::Relaxed);
-                    match backup.call(req) {
-                        Ok(resp) => resp,
-                        Err(e) => Response::Error(e.to_string()),
-                    }
-                }
+            self.strikes
+                .fetch_add(1, Ordering::Relaxed)
+                .saturating_add(1)
+        };
+        if self.promote_after == 0 || strikes < self.promote_after {
+            return false;
+        }
+        let mut roles = self.roles.write();
+        if !Arc::ptr_eq(&roles.primary, failed) {
+            return true;
+        }
+        match &roles.backup {
+            Some(b) if b.health == ReplicaHealth::InSync => {
+                let promoted = roles.backup.take().expect("checked above");
+                // The old primary is dropped: it is unreachable, and were
+                // it to come back it would be stale — it must be re-added
+                // via attach + rebuild, never trusted again.
+                roles.primary = promoted.backend;
+                self.strikes.store(0, Ordering::Relaxed);
+                let m = self.m();
+                m.promotions.fetch_add(1, Ordering::Relaxed);
+                m.in_sync.store(false, Ordering::Relaxed);
+                true
+            }
+            // No backup, or one that is rebuilding/drifted: nothing safe
+            // to promote.
+            _ => false,
+        }
+    }
+
+    /// Accounts a failed or diverging mirror write, deciding against the
+    /// backup's health *now*, under the roles lock — not the caller's
+    /// pre-operation snapshot, which a concurrent rebuild completion may
+    /// have outdated. An in-sync backup is *demoted*: a replica that
+    /// provably missed an acknowledged write must not be promoted or
+    /// serve reads (acknowledged data would silently vanish) until a
+    /// rebuild ([`crate::ShardedService::rebuild_replica`]) re-verifies
+    /// it. During a rebuild the rejection is expected (the copy has not
+    /// reached this write yet) and only bumps `mirror_drops`, which the
+    /// rebuild worker checks before trusting its verification.
+    fn note_mirror_drift(&self, drifted: &Arc<dyn ShardBackend>, errors: u64) {
+        if errors == 0 {
+            return;
+        }
+        let mut roles = self.roles.write();
+        self.mirror_drops.fetch_add(1, Ordering::Relaxed);
+        let Some(b) = &mut roles.backup else { return };
+        if !Arc::ptr_eq(&b.backend, drifted) {
+            return;
+        }
+        match b.health {
+            ReplicaHealth::Rebuilding => {}
+            ReplicaHealth::InSync => {
+                self.m().replica_errors.fetch_add(errors, Ordering::Relaxed);
+                b.health = ReplicaHealth::Drifted;
+                self.m().in_sync.store(false, Ordering::Relaxed);
+            }
+            ReplicaHealth::Drifted => {
+                self.m().replica_errors.fetch_add(errors, Ordering::Relaxed);
             }
         }
     }
 
-    /// Executes one scatter-gather leg, failing over whole-leg when the
-    /// primary is unreachable. Infallible: a fully unreachable shard
-    /// yields per-position `Unavailable` results for the merge fold.
+    /// The backup to mirror a just-acknowledged write to, re-read *after*
+    /// the primary call returned: a replica attached (or verified in
+    /// sync) while the slow primary call was in flight must still receive
+    /// — or be held accountable for — this acknowledged write.
+    fn mirror_target(&self) -> Option<BackupState> {
+        self.roles.read().backup.clone()
+    }
+
+    /// Dispatches one wire request with replication/failover/promotion
+    /// semantics. Infallible at this level: an unreachable shard becomes
+    /// a `Response::Error`, exactly what a wire client would see.
+    pub(crate) fn call(&self, req: Request) -> Response {
+        // Every mutation goes through the replicated path, replicated
+        // shard or not: the mirror target must be re-read *after* the
+        // primary acknowledges, so a backup attached (and even armed)
+        // while the call was in flight still receives — or vetoes the
+        // arming of — the acknowledged write. A snapshot-gated fast path
+        // here would let an acked mutation bypass a mid-flight attach.
+        if req.is_mutation() {
+            return self.call_replicated(req);
+        }
+        let primary = {
+            let roles = self.roles.read();
+            if roles.backup.is_some() {
+                None
+            } else {
+                Some(roles.primary.clone())
+            }
+        };
+        let Some(primary) = primary else {
+            return self.call_replicated(req);
+        };
+        // Un-replicated read — the common case: no request clone.
+        match primary.call(req) {
+            Ok(resp) => {
+                self.note_primary_ok();
+                resp
+            }
+            Err(e) => {
+                // Strikes still count: a replica attached later can be
+                // promoted as soon as it is in sync.
+                self.note_primary_failure(&primary);
+                Response::Error(e.to_string())
+            }
+        }
+    }
+
+    /// [`call`](Self::call) for a shard that currently has a backup. At
+    /// most two attempts: the retry runs only when the first attempt's
+    /// failure triggered (or lost the race to) a promotion.
+    fn call_replicated(&self, req: Request) -> Response {
+        for attempt in 0..2 {
+            let (primary, backup) = self.snapshot();
+            if req.is_mutation() {
+                let resp = match primary.call(req.clone()) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        if self.note_primary_failure(&primary) && attempt == 0 {
+                            continue;
+                        }
+                        return Response::Error(e.to_string());
+                    }
+                };
+                self.note_primary_ok();
+                if let Some(b) = self.mirror_target() {
+                    match b.backend.call(req) {
+                        Ok(backup_resp) if backup_resp == resp => {}
+                        // Unreachable backup or diverging verdict: the
+                        // operation stands (the primary accepted it), but
+                        // the replica missed it — `note_mirror_drift`
+                        // decides against its *current* health whether
+                        // that is drift or an expected mid-rebuild
+                        // rejection.
+                        _ => self.note_mirror_drift(&b.backend, 1),
+                    }
+                }
+                return resp;
+            }
+            match primary.call(req.clone()) {
+                Ok(resp) => {
+                    self.note_primary_ok();
+                    return resp;
+                }
+                Err(e) => {
+                    let promoted = self.note_primary_failure(&primary);
+                    // Only an in-sync backup may answer reads.
+                    if let Some(b) = backup.filter(|b| b.health == ReplicaHealth::InSync) {
+                        self.m().failovers.fetch_add(1, Ordering::Relaxed);
+                        return match b.backend.call(req) {
+                            Ok(resp) => resp,
+                            Err(e) => Response::Error(e.to_string()),
+                        };
+                    }
+                    if promoted && attempt == 0 {
+                        continue;
+                    }
+                    return Response::Error(e.to_string());
+                }
+            }
+        }
+        unreachable!("second attempt always returns")
+    }
+
+    /// Executes one scatter-gather leg, failing over whole-leg to an
+    /// in-sync backup when the primary is unreachable (retrying once when
+    /// the failure triggered a promotion). Infallible: a fully
+    /// unreachable shard yields per-position `Unavailable` results for
+    /// the merge fold.
     pub(crate) fn stat_leg(
         &self,
         legs: &Leg,
         ts_s: i64,
         ts_e: i64,
     ) -> Vec<(usize, StreamStatResult)> {
-        match self.primary.stat_leg(legs, ts_s, ts_e) {
-            Ok(out) => out,
-            Err(_) => match &self.backup {
-                Some(backup) => {
-                    self.m().failovers.fetch_add(1, Ordering::Relaxed);
-                    match backup.stat_leg(legs, ts_s, ts_e) {
-                        Ok(out) => out,
-                        Err(e) => legs
-                            .iter()
-                            .map(|&(pos, _)| (pos, Err(clone_unavailable(&e))))
-                            .collect(),
-                    }
+        for attempt in 0..2 {
+            let (primary, backup) = self.snapshot();
+            let err = match primary.stat_leg(legs, ts_s, ts_e) {
+                Ok(out) => {
+                    self.note_primary_ok();
+                    return out;
                 }
-                None => legs
-                    .iter()
-                    .map(|&(pos, _)| (pos, Err(UNREACHABLE)))
-                    .collect(),
-            },
+                Err(e) => e,
+            };
+            let promoted = self.note_primary_failure(&primary);
+            // Only an in-sync backup may answer reads — a rebuilding or
+            // drifted replica would answer from incomplete data.
+            if let Some(b) = backup.filter(|b| b.health == ReplicaHealth::InSync) {
+                self.m().failovers.fetch_add(1, Ordering::Relaxed);
+                return match b.backend.stat_leg(legs, ts_s, ts_e) {
+                    Ok(out) => out,
+                    Err(e) => legs
+                        .iter()
+                        .map(|&(pos, _)| (pos, Err(clone_unavailable(&e))))
+                        .collect(),
+                };
+            }
+            if promoted && attempt == 0 {
+                continue;
+            }
+            return legs
+                .iter()
+                .map(|&(pos, _)| (pos, Err(clone_unavailable(&err))))
+                .collect();
         }
+        unreachable!("second attempt always returns")
     }
 
-    /// Ingests an ordered batch with replication. Infallible: an
+    /// Ingests an ordered batch with replication (retrying once against a
+    /// just-promoted primary — safe, because a batch that failed at the
+    /// transport level was never acknowledged). Infallible: an
     /// unreachable primary yields per-chunk `Unavailable` verdicts.
     pub(crate) fn ingest_batch(&self, chunks: &[EncryptedChunk]) -> Vec<Result<(), ServerError>> {
-        let results = match self.primary.insert_batch(chunks) {
-            Ok(results) => results,
-            Err(_) => {
-                let m = self.m();
-                m.ingest_errors
-                    .fetch_add(chunks.len() as u64, Ordering::Relaxed);
-                return chunks.iter().map(|_| Err(UNREACHABLE)).collect();
-            }
-        };
-        if let Some(backup) = &self.backup {
-            match backup.insert_batch(chunks) {
-                Ok(backup_results) => {
-                    let diverged = results
-                        .iter()
-                        .zip(&backup_results)
-                        .filter(|(a, b)| a.is_ok() != b.is_ok())
-                        .count() as u64;
-                    if diverged > 0 {
-                        self.m()
-                            .replica_errors
-                            .fetch_add(diverged, Ordering::Relaxed);
-                    }
+        for attempt in 0..2 {
+            let primary = self.primary();
+            let results = match primary.insert_batch(chunks) {
+                Ok(results) => {
+                    self.note_primary_ok();
+                    results
                 }
                 Err(_) => {
-                    self.m()
-                        .replica_errors
+                    if self.note_primary_failure(&primary) && attempt == 0 {
+                        continue;
+                    }
+                    let m = self.m();
+                    m.ingest_errors
                         .fetch_add(chunks.len() as u64, Ordering::Relaxed);
+                    return chunks.iter().map(|_| Err(UNREACHABLE)).collect();
+                }
+            };
+            if let Some(b) = self.mirror_target() {
+                match b.backend.insert_batch(chunks) {
+                    Ok(backup_results) => {
+                        let diverged = results
+                            .iter()
+                            .zip(&backup_results)
+                            .filter(|(a, b)| a.is_ok() != b.is_ok())
+                            .count() as u64;
+                        self.note_mirror_drift(&b.backend, diverged);
+                    }
+                    Err(_) => {
+                        // Whole-batch mirror failure: only the chunks the
+                        // primary *accepted* diverge the replicas — chunks
+                        // the primary itself rejected never landed on
+                        // either side.
+                        let accepted = results.iter().filter(|r| r.is_ok()).count() as u64;
+                        self.note_mirror_drift(&b.backend, accepted);
+                    }
                 }
             }
+            return results;
         }
-        results
+        unreachable!("second attempt always returns")
     }
 
     /// Synchronous single-chunk ingest (the unbatched path).
@@ -708,32 +1055,284 @@ impl ShardReplicas {
         delta_ms: u64,
         digest_width: u32,
     ) -> Result<(), ServerError> {
-        let result = self
-            .primary
-            .create_stream(stream, t0, delta_ms, digest_width);
-        if matches!(result, Err(ServerError::Unavailable(_))) {
-            // Primary unreachable: leave the backup untouched so it never
-            // holds state the primary lacks.
+        for attempt in 0..2 {
+            let primary = self.primary();
+            let result = primary.create_stream(stream, t0, delta_ms, digest_width);
+            if matches!(result, Err(ServerError::Unavailable(_))) {
+                if self.note_primary_failure(&primary) && attempt == 0 {
+                    continue;
+                }
+                // Primary unreachable: leave the backup untouched so it
+                // never holds state the primary lacks.
+                return result;
+            }
+            self.note_primary_ok();
+            if let Some(b) = self.mirror_target() {
+                let mirrored = b.backend.create_stream(stream, t0, delta_ms, digest_width);
+                if mirrored.is_ok() != result.is_ok() {
+                    self.note_mirror_drift(&b.backend, 1);
+                }
+            }
             return result;
         }
-        if let Some(backup) = &self.backup {
-            let mirrored = backup.create_stream(stream, t0, delta_ms, digest_width);
-            if mirrored.is_ok() != result.is_ok() {
-                self.m().replica_errors.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-        result
+        unreachable!("second attempt always returns")
     }
 
-    /// Streams hosted by this shard (primary, falling back to the backup).
+    /// Streams hosted by this shard (primary, failing over to an in-sync
+    /// backup — counted like every other failover read).
     pub(crate) fn stream_count(&self) -> u64 {
-        self.primary
-            .stream_count()
-            .or_else(|_| match &self.backup {
-                Some(b) => b.stream_count(),
-                None => Ok(0),
-            })
-            .unwrap_or(0)
+        let (primary, backup) = self.snapshot();
+        match primary.stream_count() {
+            Ok(n) => {
+                self.note_primary_ok();
+                n
+            }
+            Err(_) => {
+                self.note_primary_failure(&primary);
+                match backup.filter(|b| b.health == ReplicaHealth::InSync) {
+                    Some(b) => {
+                        self.m().failovers.fetch_add(1, Ordering::Relaxed);
+                        b.backend.stream_count().unwrap_or(0)
+                    }
+                    None => 0,
+                }
+            }
+        }
+    }
+
+    /// Attaches a replacement backup in the rebuilding state: write
+    /// mirroring arms immediately (the replica must not miss writes while
+    /// it catches up), but the replica serves no reads and is not
+    /// promotion-eligible until [`rebuild_backup`](Self::rebuild_backup)
+    /// verifies the copy. Errors if a backup is already attached.
+    pub(crate) fn attach_backup(&self, backend: Arc<dyn ShardBackend>) -> Result<(), ServerError> {
+        let mut roles = self.roles.write();
+        if roles.backup.is_some() {
+            return Err(ServerError::Unavailable(
+                "shard already has a backup replica",
+            ));
+        }
+        roles.backup = Some(BackupState {
+            backend,
+            health: ReplicaHealth::Rebuilding,
+        });
+        Ok(())
+    }
+
+    /// Marks the attached backup in sync: it now serves failover reads,
+    /// divergence counts in `replica_errors`, and it is promotion-eligible.
+    ///
+    /// The verified lengths are only trustworthy if no mirrored write was
+    /// dropped while they were being read — a write acknowledged during
+    /// verification whose mirror failed may postdate the verified
+    /// lengths. `mirror_drops` is bumped (and checked here) under the
+    /// roles write lock, so a drop either lands before this check and
+    /// vetoes the arm, or after it — against a replica already marked in
+    /// sync, where `note_mirror_drift` demotes it again. Either way no
+    /// in-sync replica is missing an acknowledged write.
+    fn arm_if_no_drops(&self, drops_before: u32) -> bool {
+        let mut roles = self.roles.write();
+        if self.mirror_drops.load(Ordering::Relaxed) != drops_before {
+            return false;
+        }
+        if let Some(b) = &mut roles.backup {
+            b.health = ReplicaHealth::InSync;
+            self.m().in_sync.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Transitions the attached backup's health, returning its backend
+    /// when a transition happened. Used by the rebuild worker to mark the
+    /// replica [`ReplicaHealth::Rebuilding`] while it copies and
+    /// [`ReplicaHealth::Drifted`] when it gives up.
+    fn set_backup_health(&self, health: ReplicaHealth) -> Option<Arc<dyn ShardBackend>> {
+        let mut roles = self.roles.write();
+        let b = roles.backup.as_mut()?;
+        b.health = health;
+        self.m()
+            .in_sync
+            .store(health == ReplicaHealth::InSync, Ordering::Relaxed);
+        Some(b.backend.clone())
+    }
+
+    /// Whether a backup replica is currently attached (whatever its
+    /// health) — the precondition for re-triggering a rebuild.
+    pub(crate) fn has_backup(&self) -> bool {
+        self.roles.read().backup.is_some()
+    }
+
+    /// Copies every hosted stream from the survivor (the current primary)
+    /// into the attached backup, verifies chunk counts, and arms
+    /// mirroring. Works for a freshly attached replacement *and* for
+    /// re-verifying a drifted replica: strict next-index ingest means an
+    /// out-of-sync replica is always a prefix of its primary, so copying
+    /// from its current length converges. Runs on a rebuild worker
+    /// thread; `shutdown` makes it return early (leaving the replica out
+    /// of sync) when the service is dropped mid-rebuild. Re-entrant calls
+    /// are no-ops while a rebuild of this shard is already running.
+    ///
+    /// Convergence: mirroring is already armed, so a page import racing a
+    /// mirrored write can be rejected by the replica's strict next-index
+    /// check — whichever side loses, the loop re-reads the replica's
+    /// length and re-pages, and both sides only ever advance the length
+    /// by exactly the next chunk. Streams whose old payloads were decayed
+    /// by `delete_range` cannot be fully copied; the worker then gives up
+    /// after [`REBUILD_MAX_PASSES`] and leaves the replica *drifted*
+    /// (visible as `in_sync: false` with `rebuilds` not advancing;
+    /// [`crate::ShardedService::rebuild_replica`] retries).
+    pub(crate) fn rebuild_backup(&self, shutdown: &AtomicBool) {
+        if self.rebuilding.swap(true, Ordering::Acquire) {
+            return;
+        }
+        self.rebuild_locked(shutdown);
+        self.rebuilding.store(false, Ordering::Release);
+    }
+
+    fn rebuild_locked(&self, shutdown: &AtomicBool) {
+        {
+            let roles = self.roles.read();
+            match &roles.backup {
+                None => return,
+                Some(b) if b.health == ReplicaHealth::InSync => return,
+                Some(_) => {}
+            }
+        }
+        // Pause drift accounting while the copy is in flight: rejections
+        // of mirrored writes the copy has not reached yet are expected.
+        let Some(replacement) = self.set_backup_health(ReplicaHealth::Rebuilding) else {
+            return;
+        };
+        let survivor = self.roles.read().primary.clone();
+        for _pass in 0..REBUILD_MAX_PASSES {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let Ok(streams) = survivor.list_streams() else {
+                // Survivor unreachable: nothing to copy from right now;
+                // try again next pass (the dial already backed off).
+                continue;
+            };
+            let drops_before = self.mirror_drops.load(Ordering::Relaxed);
+            if self.copy_pass(&*survivor, &*replacement, &streams, shutdown)
+                && self.verify_pass(&*survivor, &*replacement, &streams)
+                && self.arm_if_no_drops(drops_before)
+            {
+                self.m().rebuilds.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        // Gave up (decayed payload gap, unreachable peer): the replica is
+        // visibly untrusted — mirror failures count as drift again, and a
+        // later `rebuild_replica` can retry.
+        self.set_backup_health(ReplicaHealth::Drifted);
+    }
+
+    /// One copy pass: pages every stream from the survivor into the
+    /// replacement until their lengths converge. Returns `false` when any
+    /// stream could not be brought up to date.
+    fn copy_pass(
+        &self,
+        survivor: &dyn ShardBackend,
+        replacement: &dyn ShardBackend,
+        streams: &[StreamInfoWire],
+        shutdown: &AtomicBool,
+    ) -> bool {
+        let mut all_synced = true;
+        for info in streams {
+            // Mirrored creates may have raced ahead: an existing stream
+            // is fine (`StreamExists` / its remote rendering).
+            let _ =
+                replacement.create_stream(info.stream, info.t0, info.delta_ms, info.digest_width);
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    return false;
+                }
+                let replica_len = stream_len(replacement, info.stream).unwrap_or(0);
+                let survivor_len = match stream_len(survivor, info.stream) {
+                    Some(n) => n,
+                    None => {
+                        all_synced = false;
+                        break;
+                    }
+                };
+                if replica_len >= survivor_len {
+                    break;
+                }
+                let Ok(page) = survivor.export_chunks(info.stream, replica_len) else {
+                    all_synced = false;
+                    break;
+                };
+                if page.chunks.is_empty() {
+                    // `done` with nothing at this index: the payload was
+                    // decayed by delete_range — the exportable prefix ends
+                    // short of the survivor's length.
+                    all_synced = false;
+                    break;
+                }
+                let mut parsed = Vec::with_capacity(page.chunks.len());
+                for bytes in &page.chunks {
+                    match EncryptedChunk::from_bytes(bytes) {
+                        Ok(c) => parsed.push(c),
+                        Err(_) => {
+                            all_synced = false;
+                            break;
+                        }
+                    }
+                }
+                if parsed.len() != page.chunks.len() {
+                    break;
+                }
+                let copied = replacement.import_chunks(&parsed).unwrap_or(0);
+                if copied > 0 {
+                    self.m()
+                        .rebuild_chunks_copied
+                        .fetch_add(copied, Ordering::Relaxed);
+                } else if stream_len(replacement, info.stream).unwrap_or(0) <= replica_len {
+                    // No import landed *and* the mirror did not advance
+                    // the replica either: stuck, give this pass up.
+                    all_synced = false;
+                    break;
+                }
+            }
+        }
+        all_synced
+    }
+
+    /// Verifies the copy: every survivor stream exists on the replacement
+    /// with at least the survivor's chunk count (reading the survivor
+    /// first — a mirrored write between the two reads only ever puts the
+    /// replica ahead of the snapshot, never behind).
+    fn verify_pass(
+        &self,
+        survivor: &dyn ShardBackend,
+        replacement: &dyn ShardBackend,
+        streams: &[StreamInfoWire],
+    ) -> bool {
+        streams.iter().all(|info| {
+            let Some(survivor_len) = stream_len(survivor, info.stream) else {
+                return false;
+            };
+            stream_len(replacement, info.stream).is_some_and(|n| n >= survivor_len)
+        })
+    }
+}
+
+/// Copy passes before a rebuild gives up (each pass re-lists streams and
+/// re-pages only what is still behind, so passes after the first are
+/// cheap). Multiple passes paper over transient survivor dial failures
+/// and writes racing the verify read.
+const REBUILD_MAX_PASSES: usize = 16;
+
+/// A stream's chunk count on `backend`, `None` when the stream does not
+/// exist there (or the backend is unreachable — the caller's pass retries
+/// either way).
+fn stream_len(backend: &dyn ShardBackend, stream: u128) -> Option<u64> {
+    match backend.call(Request::StreamInfo { stream }) {
+        Ok(Response::Info(info)) => Some(info.len),
+        _ => None,
     }
 }
 
@@ -743,5 +1342,333 @@ fn clone_unavailable(e: &ServerError) -> ServerError {
     match e {
         ServerError::Unavailable(what) => ServerError::Unavailable(what),
         _ => UNREACHABLE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timecrypt_chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
+    use timecrypt_core::StreamKeyMaterial;
+    use timecrypt_crypto::{PrgKind, SecureRandom};
+    use timecrypt_server::ServerConfig;
+    use timecrypt_store::MemKv;
+    use timecrypt_wire::transport::Handler;
+
+    /// An in-process backend over its own store whose reachability the
+    /// test controls: "down" models the node being unreachable (every
+    /// method returns the transport-level `Unavailable`), exactly the
+    /// signal the replica state machine keys off.
+    struct StubShard {
+        engine: Arc<TimeCryptServer>,
+        up: AtomicBool,
+    }
+
+    impl StubShard {
+        fn new() -> Arc<Self> {
+            Arc::new(StubShard {
+                engine: Arc::new(
+                    TimeCryptServer::open(Arc::new(MemKv::new()), ServerConfig::default()).unwrap(),
+                ),
+                up: AtomicBool::new(true),
+            })
+        }
+
+        fn set_up(&self, up: bool) {
+            self.up.store(up, Ordering::Relaxed);
+        }
+
+        fn ensure_up(&self) -> Result<(), ServerError> {
+            if self.up.load(Ordering::Relaxed) {
+                Ok(())
+            } else {
+                Err(UNREACHABLE)
+            }
+        }
+    }
+
+    impl ShardBackend for StubShard {
+        fn call(&self, req: Request) -> Result<Response, ServerError> {
+            self.ensure_up()?;
+            Ok(self.engine.handle(req))
+        }
+
+        fn stat_leg(
+            &self,
+            legs: &Leg,
+            ts_s: i64,
+            ts_e: i64,
+        ) -> Result<Vec<(usize, StreamStatResult)>, ServerError> {
+            self.ensure_up()?;
+            Ok(legs
+                .iter()
+                .map(|&(pos, sid)| (pos, self.engine.stream_stat(sid, ts_s, ts_e)))
+                .collect())
+        }
+
+        fn create_stream(
+            &self,
+            stream: u128,
+            t0: i64,
+            delta_ms: u64,
+            digest_width: u32,
+        ) -> Result<(), ServerError> {
+            self.ensure_up()?;
+            self.engine
+                .create_stream(stream, t0, delta_ms, digest_width)
+        }
+
+        fn insert_batch(
+            &self,
+            chunks: &[EncryptedChunk],
+        ) -> Result<Vec<Result<(), ServerError>>, ServerError> {
+            self.ensure_up()?;
+            Ok(chunks.iter().map(|c| self.engine.insert(c)).collect())
+        }
+
+        fn stream_count(&self) -> Result<u64, ServerError> {
+            self.ensure_up()?;
+            Ok(self.engine.stream_count() as u64)
+        }
+
+        fn list_streams(&self) -> Result<Vec<StreamInfoWire>, ServerError> {
+            self.ensure_up()?;
+            self.engine.stream_infos()
+        }
+
+        fn export_chunks(&self, stream: u128, from_idx: u64) -> Result<ExportPage, ServerError> {
+            self.ensure_up()?;
+            let (chunks, next_idx, done) =
+                self.engine
+                    .export_chunks(stream, from_idx, EXPORT_PAGE_BYTES)?;
+            Ok(ExportPage {
+                chunks,
+                next_idx,
+                done,
+            })
+        }
+    }
+
+    fn sealed(id: u128, index: u64, value: i64) -> EncryptedChunk {
+        let cfg = StreamConfig {
+            schema: DigestSchema::sum_count(),
+            ..StreamConfig::new(id, "m", 0, 10_000)
+        };
+        let keys = StreamKeyMaterial::with_params(id, [id as u8; 16], 20, PrgKind::Aes).unwrap();
+        let mut rng = SecureRandom::from_seed_insecure(31 + index);
+        PlainChunk {
+            stream: id,
+            index,
+            points: vec![DataPoint::new(index as i64 * 10_000, value)],
+        }
+        .seal(&cfg, &keys, &mut rng)
+        .unwrap()
+    }
+
+    fn replicas(
+        primary: Arc<StubShard>,
+        backup: Option<Arc<StubShard>>,
+        promote_after: u32,
+    ) -> ShardReplicas {
+        ShardReplicas::new(
+            0,
+            Arc::new(ServiceMetrics::new(1)),
+            primary,
+            backup.map(|b| b as Arc<dyn ShardBackend>),
+            promote_after,
+        )
+    }
+
+    #[test]
+    fn stream_count_failover_ticks_the_counter() {
+        // Regression: the stream-count probe used to fall back to the
+        // backup silently, undercounting failovers versus call/stat_leg.
+        let primary = StubShard::new();
+        let backup = StubShard::new();
+        backup.create_stream(7, 0, 10_000, 2).unwrap();
+        let r = replicas(primary.clone(), Some(backup), 0);
+        assert_eq!(r.stream_count(), 0);
+        assert_eq!(r.metrics().failovers.load(Ordering::Relaxed), 0);
+        primary.set_up(false);
+        assert_eq!(r.stream_count(), 1, "served by the backup");
+        assert_eq!(
+            r.metrics().failovers.load(Ordering::Relaxed),
+            1,
+            "the backup-served probe is a failover like any other read"
+        );
+    }
+
+    #[test]
+    fn backup_batch_failure_counts_only_primary_accepted_chunks() {
+        // Regression: a whole-batch mirror failure used to tick
+        // `replica_errors` once per *submitted* chunk — including chunks
+        // the primary itself rejected, which never diverged the replicas.
+        let primary = StubShard::new();
+        let backup = StubShard::new();
+        for b in [&primary, &backup] {
+            b.create_stream(1, 0, 10_000, 2).unwrap();
+        }
+        let r = replicas(primary, Some(backup.clone()), 0);
+        backup.set_up(false);
+        let batch = [sealed(1, 0, 5), sealed(1, 9, 6), sealed(1, 1, 7)];
+        let verdicts = r.ingest_batch(&batch);
+        assert!(verdicts[0].is_ok() && verdicts[2].is_ok());
+        assert!(verdicts[1].is_err(), "out-of-order chunk rejected");
+        assert_eq!(
+            r.metrics().replica_errors.load(Ordering::Relaxed),
+            2,
+            "only the two primary-accepted chunks diverged the replicas"
+        );
+    }
+
+    #[test]
+    fn strikes_promote_the_in_sync_backup_and_restore_writes() {
+        let primary = StubShard::new();
+        let backup = StubShard::new();
+        for b in [&primary, &backup] {
+            b.create_stream(1, 0, 10_000, 2).unwrap();
+        }
+        let r = replicas(primary.clone(), Some(backup), 2);
+        r.insert(&sealed(1, 0, 5)).unwrap();
+        primary.set_up(false);
+        // Strike 1: read fails over, no promotion yet.
+        let leg = [(0usize, 1u128)];
+        assert!(r.stat_leg(&leg, 0, 10_000)[0].1.is_ok());
+        assert_eq!(r.metrics().promotions.load(Ordering::Relaxed), 0);
+        // Strike 2 promotes; the write is retried against the promoted
+        // backup (which mirrored chunk 0) and succeeds.
+        r.insert(&sealed(1, 1, 6)).unwrap();
+        assert_eq!(r.metrics().promotions.load(Ordering::Relaxed), 1);
+        assert!(
+            !r.metrics().in_sync.load(Ordering::Relaxed),
+            "promoted shard runs un-replicated"
+        );
+        // The promoted primary answers reads directly; strikes were reset.
+        assert!(r.stat_leg(&leg, 0, 20_000)[0].1.is_ok());
+        assert_eq!(r.metrics().promotions.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn successes_reset_strikes() {
+        let primary = StubShard::new();
+        let backup = StubShard::new();
+        for b in [&primary, &backup] {
+            b.create_stream(1, 0, 10_000, 2).unwrap();
+        }
+        let r = replicas(primary.clone(), Some(backup), 2);
+        let leg = [(0usize, 1u128)];
+        // One strike, then a recovery: the strike count must restart, so
+        // a single later failure cannot promote.
+        primary.set_up(false);
+        r.stat_leg(&leg, 0, 10_000);
+        primary.set_up(true);
+        r.stat_leg(&leg, 0, 10_000);
+        primary.set_up(false);
+        r.stat_leg(&leg, 0, 10_000);
+        assert_eq!(
+            r.metrics().promotions.load(Ordering::Relaxed),
+            0,
+            "non-consecutive failures must not promote"
+        );
+    }
+
+    #[test]
+    fn rebuilding_backup_serves_no_reads_and_is_not_promoted() {
+        let primary = StubShard::new();
+        primary.create_stream(1, 0, 10_000, 2).unwrap();
+        let r = replicas(primary.clone(), None, 1);
+        r.insert(&sealed(1, 0, 5)).unwrap();
+        let replacement = StubShard::new();
+        r.attach_backup(replacement.clone()).unwrap();
+        // Mirroring is armed (the replica must miss no writes), but its
+        // rejections do not count as drift while rebuilding.
+        r.insert(&sealed(1, 1, 6)).unwrap();
+        assert_eq!(r.metrics().replica_errors.load(Ordering::Relaxed), 0);
+        primary.set_up(false);
+        let leg = [(0usize, 1u128)];
+        // Reads must NOT fail over to incomplete data, and even
+        // promote_after=1 must not promote an out-of-sync replica.
+        assert!(r.stat_leg(&leg, 0, 10_000)[0].1.is_err());
+        assert_eq!(r.metrics().failovers.load(Ordering::Relaxed), 0);
+        assert_eq!(r.metrics().promotions.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn rebuild_copies_verifies_and_arms_the_replica() {
+        let primary = StubShard::new();
+        for id in [1u128, 2] {
+            primary.create_stream(id, 0, 10_000, 2).unwrap();
+            for i in 0..5 {
+                primary.engine.insert(&sealed(id, i, i as i64)).unwrap();
+            }
+        }
+        let r = replicas(primary.clone(), None, 1);
+        let replacement = StubShard::new();
+        r.attach_backup(replacement.clone()).unwrap();
+        r.rebuild_backup(&AtomicBool::new(false));
+        let m = r.metrics();
+        assert_eq!(m.rebuilds.load(Ordering::Relaxed), 1);
+        assert_eq!(m.rebuild_chunks_copied.load(Ordering::Relaxed), 10);
+        assert!(m.in_sync.load(Ordering::Relaxed));
+        assert_eq!(replacement.engine.stream_count(), 2);
+        // The rebuilt replica now serves failover reads byte-identically
+        // and is promotion-eligible.
+        let healthy = r.stat_leg(&[(0, 1)], 0, 50_000);
+        primary.set_up(false);
+        let failed_over = r.stat_leg(&[(0, 1)], 0, 50_000);
+        assert_eq!(format!("{healthy:?}"), format!("{failed_over:?}"));
+        assert_eq!(m.failovers.load(Ordering::Relaxed), 1);
+        assert_eq!(m.promotions.load(Ordering::Relaxed), 1, "promote_after=1");
+    }
+
+    #[test]
+    fn attach_rejects_a_second_backup() {
+        let r = replicas(StubShard::new(), Some(StubShard::new()), 0);
+        assert!(r.attach_backup(StubShard::new()).is_err());
+    }
+
+    #[test]
+    fn drifted_backup_is_demoted_until_rebuilt() {
+        // A backup that misses an acknowledged write is missing data a
+        // client was told is durable: it must stop serving failover
+        // reads and must never be promoted — until a rebuild re-verifies
+        // it against the primary.
+        let primary = StubShard::new();
+        let backup = StubShard::new();
+        for b in [&primary, &backup] {
+            b.create_stream(1, 0, 10_000, 2).unwrap();
+        }
+        let r = replicas(primary.clone(), Some(backup.clone()), 1);
+        r.insert(&sealed(1, 0, 5)).unwrap();
+        assert!(r.metrics().in_sync.load(Ordering::Relaxed));
+        // The backup blips for one acknowledged write: drift is counted
+        // AND the replica is demoted.
+        backup.set_up(false);
+        r.insert(&sealed(1, 1, 6)).unwrap();
+        assert_eq!(r.metrics().replica_errors.load(Ordering::Relaxed), 1);
+        assert!(!r.metrics().in_sync.load(Ordering::Relaxed), "demoted");
+        // Back up but still behind: mirrored writes keep counting drift
+        // (chunk 2 is rejected — the replica never got chunk 1).
+        backup.set_up(true);
+        r.insert(&sealed(1, 2, 7)).unwrap();
+        assert_eq!(r.metrics().replica_errors.load(Ordering::Relaxed), 2);
+        // Even promote_after=1 must not promote the drifted replica, and
+        // reads must not fail over to its incomplete data.
+        primary.set_up(false);
+        assert!(r.stat_leg(&[(0, 1)], 0, 30_000)[0].1.is_err());
+        assert_eq!(r.metrics().promotions.load(Ordering::Relaxed), 0);
+        assert_eq!(r.metrics().failovers.load(Ordering::Relaxed), 0);
+        primary.set_up(true);
+        // A rebuild copies the missed chunks in place (a drifted replica
+        // is always a prefix of its primary) and re-arms the loop.
+        r.rebuild_backup(&AtomicBool::new(false));
+        let m = r.metrics();
+        assert_eq!(m.rebuilds.load(Ordering::Relaxed), 1);
+        assert_eq!(m.rebuild_chunks_copied.load(Ordering::Relaxed), 2);
+        assert!(m.in_sync.load(Ordering::Relaxed));
+        primary.set_up(false);
+        assert!(r.stat_leg(&[(0, 1)], 0, 30_000)[0].1.is_ok());
+        assert_eq!(m.failovers.load(Ordering::Relaxed), 1);
+        assert_eq!(m.promotions.load(Ordering::Relaxed), 1);
     }
 }

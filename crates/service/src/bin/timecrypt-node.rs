@@ -15,6 +15,12 @@
 //! The process runs until killed. Streams of hosted shards are recovered
 //! from the store on startup, so a restart with the same `--store` path
 //! resumes where it left off.
+//!
+//! Nodes also serve the replica-rebuild protocol (`ListStreams` /
+//! `ExportStream`): a node can be attached to a coordinator as a
+//! replacement backup (`ShardedService::attach_replica`) and rebuilt from
+//! the surviving replica, or act as the survivor streaming its chunks
+//! out — no extra flags, every node speaks both sides.
 
 use std::sync::Arc;
 use timecrypt_server::ServerConfig;

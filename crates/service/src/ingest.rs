@@ -35,9 +35,12 @@ pub(crate) const GREEDY_BATCH: usize = 64;
 /// framing overhead and the occasional oversized straggler chunk.
 const GREEDY_BATCH_BYTES: usize = 4 * 1024 * 1024;
 
-/// Serialized size of one chunk, matching `EncryptedChunk::to_bytes`.
+/// Serialized size of one chunk. Delegates to the serializer's own length
+/// accounting (`EncryptedChunk::encoded_len`, test-pinned against
+/// `to_bytes`) instead of duplicating the layout here — a layout change
+/// must not silently break the frame-cap math of the greedy drain.
 fn wire_size(chunk: &EncryptedChunk) -> usize {
-    32 + chunk.digest_ct.len() * 8 + chunk.payload.len()
+    chunk.encoded_len()
 }
 
 /// Inserts one chunk into `engine`, recording latency and outcome counters

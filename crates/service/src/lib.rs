@@ -40,6 +40,13 @@
 //!   `local` or `host:port`, optionally with a backup replica (R=2:
 //!   writes go primary-then-backup, reads fail over). Replies stay
 //!   byte-identical however shards are placed.
+//! * **Replica promotion + rebuild** ([`backend::ShardReplicas`]) — a
+//!   primary that stays unreachable for
+//!   [`ServiceConfig::promote_after`] consecutive operations has its
+//!   in-sync backup *promoted* (reads and writes flip, replies stay
+//!   byte-identical); [`ShardedService::attach_replica`] then attaches a
+//!   replacement that a background worker rebuilds from the survivor
+//!   over chunked `ExportStream` pages before re-arming mirroring.
 //! * **Metrics** ([`metrics`]) — per-shard ingest/query counters, queue
 //!   depths, failover/replica-drift counters, and log₂ latency
 //!   histograms, exposed over the wire through `Request::Stats`.

@@ -4,7 +4,7 @@
 //! `fetch_add`s per chunk. Snapshots are not cross-counter consistent,
 //! which is fine for monitoring.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 use timecrypt_wire::messages::{ServiceStatsWire, ShardStatsWire};
 
@@ -64,6 +64,17 @@ pub struct ShardMetrics {
     /// diverging from the primary's (replicated deployments only). Growth
     /// means the replicas are drifting and the backup needs rebuilding.
     pub replica_errors: AtomicU64,
+    /// Backups promoted to primary after the primary stayed unreachable
+    /// for [`crate::ServiceConfig::promote_after`] consecutive failures.
+    pub promotions: AtomicU64,
+    /// Replica rebuilds completed (copy verified, mirroring re-armed).
+    pub rebuilds: AtomicU64,
+    /// Chunks copied survivor → replacement by rebuild workers.
+    pub rebuild_chunks_copied: AtomicU64,
+    /// Whether a backup replica is attached *and* in sync (maintained by
+    /// [`crate::backend::ShardReplicas`]; false while rebuilding or
+    /// without replication).
+    pub in_sync: AtomicBool,
     /// Ingest latency (engine insert call, or remote batch exchange).
     pub ingest_latency: LatencyHist,
     /// Query latency (per-shard scatter-gather leg).
@@ -82,6 +93,10 @@ impl ShardMetrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             replica_errors: self.replica_errors.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            rebuild_chunks_copied: self.rebuild_chunks_copied.load(Ordering::Relaxed),
+            in_sync: self.in_sync.load(Ordering::Relaxed),
             ingest_hist_us: self.ingest_latency.snapshot(),
             query_hist_us: self.query_latency.snapshot(),
         }

@@ -205,6 +205,32 @@ impl Handler for ShardNode {
                 Err(_) => Response::Error(ServerError::BadRecord.to_string()),
             },
             Request::Stats => Response::ServiceStats(self.stats()),
+            // Replica rebuild: enumerate one hosted shard's streams...
+            Request::ListStreams { shard } => match self.engines.get(&(shard as usize)) {
+                Some(engine) => match engine.stream_infos() {
+                    Ok(infos) => Response::StreamList(infos),
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                None => Response::Error(NOT_HOSTED.to_string()),
+            },
+            // ...and page its raw chunks out to the rebuilding peer.
+            Request::ExportStream { stream, from_idx } => match self.engine_for(stream) {
+                Ok((_, engine)) => {
+                    match engine.export_chunks(
+                        stream,
+                        from_idx,
+                        timecrypt_server::EXPORT_PAGE_BYTES,
+                    ) {
+                        Ok((chunks, next_idx, done)) => Response::StreamChunks {
+                            chunks,
+                            next_idx,
+                            done,
+                        },
+                        Err(e) => Response::Error(e.to_string()),
+                    }
+                }
+                Err(e) => Response::Error(e.to_string()),
+            },
             Request::Ping => Response::Pong,
             // Single-stream requests delegate to the owning engine's own
             // handler — byte-identical to a single-engine server.

@@ -39,6 +39,14 @@ pub struct ServiceConfig {
     /// even on a single hot stream's shard. `0` disables intra-leg
     /// parallelism. (Remote legs pipeline instead of splitting.)
     pub query_readers: usize,
+    /// Consecutive primary transport failures after which a replicated
+    /// shard's in-sync backup is automatically *promoted* to primary
+    /// (reads and writes flip to it; the shard then runs un-replicated
+    /// until a replacement is attached via
+    /// [`ShardedService::attach_replica`]). `0` disables automatic
+    /// promotion — failover reads still work, writes fail until the
+    /// topology is re-pointed by hand.
+    pub promote_after: u32,
     /// Per-shard engine configuration (local shards; nodes configure
     /// their own engines).
     pub engine: ServerConfig,
@@ -52,6 +60,7 @@ impl Default for ServiceConfig {
             pool: PoolConfig::default(),
             queue_depth: 1024,
             query_readers: 4,
+            promote_after: 3,
             engine: ServerConfig::default(),
         }
     }
@@ -87,6 +96,12 @@ pub struct ShardedService {
     /// Any shard (primary or backup) placed on a remote node — gates the
     /// parallel stats probe.
     has_remote: bool,
+    /// Pool tuning, retained for replicas attached after open.
+    pool_cfg: PoolConfig,
+    /// Tells in-flight rebuild workers to stop when the service drops.
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+    /// Background replica-rebuild workers (joined on drop).
+    rebuild_workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl ShardedService {
@@ -152,6 +167,7 @@ impl ShardedService {
                 metrics.clone(),
                 primary,
                 backup,
+                cfg.promote_after,
             )));
         }
         let workers = backends
@@ -172,7 +188,74 @@ impl ShardedService {
             metrics,
             kv,
             has_remote,
+            pool_cfg: cfg.pool,
+            shutdown: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+            rebuild_workers: parking_lot::Mutex::new(Vec::new()),
         })
+    }
+
+    /// Attaches a replacement backup replica to `shard` and starts a
+    /// background rebuild: the replica immediately receives mirrored
+    /// writes, a worker copies every hosted stream from the survivor
+    /// (chunked `ExportStream` pages), verifies chunk counts, and only
+    /// then marks the replica in sync — at which point it serves failover
+    /// reads and is promotion-eligible, and the shard's `rebuilds`
+    /// counter ticks. Progress is observable in [`stats`](Self::stats)
+    /// (`rebuild_chunks_copied`, `in_sync`).
+    ///
+    /// Errors if `shard` is out of range, the spec is not remote (a local
+    /// backup would share the primary's store and self-corrupt), or the
+    /// shard already has a backup.
+    pub fn attach_replica(&self, shard: usize, spec: BackendSpec) -> Result<(), ServerError> {
+        let Some(replicas) = self.backends.get(shard) else {
+            return Err(ServerError::Unavailable("no such shard"));
+        };
+        let BackendSpec::Remote(addr) = spec else {
+            return Err(ServerError::Unavailable(
+                "local backup replicas are unsupported; point the backup at its own node",
+            ));
+        };
+        let backend: Arc<dyn ShardBackend> = Arc::new(RemoteShard::new(
+            addr,
+            self.pool_cfg.clone(),
+            self.metrics.clone(),
+            shard,
+        ));
+        replicas.attach_backup(backend)?;
+        self.spawn_rebuild(shard, replicas.clone());
+        Ok(())
+    }
+
+    /// Re-triggers the background rebuild of an attached backup that is
+    /// not in sync: a rebuild that gave up (survivor unreachable, decayed
+    /// payload gaps) or a replica demoted after drifting on a mirrored
+    /// write. Harmless when a rebuild of the shard is already running
+    /// (the worker exits immediately) or the replica is already in sync.
+    /// Errors if the shard does not exist or has no backup attached.
+    pub fn rebuild_replica(&self, shard: usize) -> Result<(), ServerError> {
+        let Some(replicas) = self.backends.get(shard) else {
+            return Err(ServerError::Unavailable("no such shard"));
+        };
+        if !replicas.has_backup() {
+            return Err(ServerError::Unavailable(
+                "shard has no backup replica to rebuild",
+            ));
+        }
+        self.spawn_rebuild(shard, replicas.clone());
+        Ok(())
+    }
+
+    fn spawn_rebuild(&self, shard: usize, replicas: Arc<ShardReplicas>) {
+        let shutdown = self.shutdown.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("tc-rebuild-{shard}"))
+            .spawn(move || replicas.rebuild_backup(&shutdown))
+            .expect("spawn rebuild worker");
+        let mut workers = self.rebuild_workers.lock();
+        // Reap finished workers so repeated rebuild triggers on a
+        // long-lived coordinator cannot grow the list without bound.
+        workers.retain(|h| !h.is_finished());
+        workers.push(handle);
     }
 
     /// The router (shard-count and assignment probes).
@@ -358,6 +441,19 @@ impl ShardedService {
     }
 }
 
+impl Drop for ShardedService {
+    fn drop(&mut self) {
+        // Stop in-flight replica rebuilds (they check the flag once per
+        // page) and wait for their threads, so a dropped service never
+        // leaves workers writing to a replica behind its back.
+        self.shutdown
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        for handle in self.rebuild_workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 impl Handler for ShardedService {
     fn handle(&self, req: Request) -> Response {
         match req {
@@ -394,6 +490,13 @@ impl Handler for ShardedService {
                 Response::Batch { errors }
             }
             Request::Stats => Response::ServiceStats(self.stats()),
+            // The stream-list probe addresses a shard, not a stream.
+            Request::ListStreams { shard } => match self.backends.get(shard as usize) {
+                Some(replicas) => replicas.call(Request::ListStreams { shard }),
+                None => Response::Error(ServerError::Unavailable("no such shard").to_string()),
+            },
+            // Export routes by stream like any single-stream request.
+            Request::ExportStream { stream, .. } => self.replicas_for(stream).call(req),
             Request::Ping => Response::Pong,
             // Ingest singles route through the replicated ingest path with
             // metrics (typed errors rendered at this boundary).
@@ -793,9 +896,11 @@ mod tests {
     }
 
     #[test]
-    fn replicated_shard_fails_over_and_counts_it() {
+    fn replicated_shard_fails_over_and_promotes() {
         // Shard 0 of 1 on two nodes (primary + backup). Writes mirror to
-        // both; killing the primary leaves reads served by the backup.
+        // both; killing the primary leaves reads served by the backup,
+        // and after `promote_after` consecutive primary failures the
+        // backup is promoted — restoring write availability.
         let (node_a, addr_a) = spawn_node(1, vec![0]);
         let (_node_b, addr_b) = spawn_node(1, vec![0]);
         let svc = ShardedService::open(
@@ -807,6 +912,7 @@ mod tests {
                     backoff: std::time::Duration::from_millis(1),
                     ..Default::default()
                 },
+                promote_after: 3,
                 ..ServiceConfig::default()
             },
         )
@@ -814,15 +920,31 @@ mod tests {
         svc.create_stream(1, 0, 10_000, 2).unwrap();
         svc.insert(&sealed_chunk(1, 0, 7)).unwrap();
         let healthy = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+        assert!(svc.stats().shards[0].in_sync, "backup attached and armed");
         let mut node_a = node_a;
         node_a.shutdown();
         drop(node_a);
-        // Reads fail over to the backup and return the same data.
-        let after = svc.get_stat_range(&[1], 0, 10_000).unwrap();
-        assert_eq!(healthy, after, "backup serves identical data");
+        // Reads fail over to the backup and return the same data; each
+        // primary failure is a strike toward promotion.
+        for _ in 0..2 {
+            let after = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+            assert_eq!(healthy, after, "backup serves identical data");
+        }
+        // The third strike promotes the backup and the striking write is
+        // retried against it: write availability is restored.
+        svc.insert(&sealed_chunk(1, 1, 8)).unwrap();
         let snap = svc.stats();
-        assert!(snap.shards[0].failovers > 0, "failover counted: {snap:?}");
-        // Writes need the primary: they fail while it is down.
-        assert!(svc.insert(&sealed_chunk(1, 1, 8)).is_err());
+        assert!(snap.shards[0].failovers > 0, "failovers counted: {snap:?}");
+        assert_eq!(snap.shards[0].promotions, 1, "promotion counted: {snap:?}");
+        assert!(
+            !snap.shards[0].in_sync,
+            "promoted shard runs un-replicated until a replacement is attached: {snap:?}"
+        );
+        // The promoted primary now serves reads directly (no failover)
+        // and holds both the mirrored and the post-promotion chunk.
+        let failovers_before = snap.shards[0].failovers;
+        let reply = svc.get_stat_range(&[1], 0, 20_000).unwrap();
+        assert_eq!(reply.parts, vec![(1, 0, 2)]);
+        assert_eq!(svc.stats().shards[0].failovers, failovers_before);
     }
 }

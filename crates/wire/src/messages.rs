@@ -224,6 +224,23 @@ pub enum Request {
     /// Service-layer metrics probe (shard counters, queue depths, latency
     /// histograms). Single-engine deployments answer with an error.
     Stats,
+    /// Metadata of every stream owned by one shard (replica rebuild: the
+    /// survivor enumerates what the replacement must copy). A single
+    /// engine answers with all of its streams regardless of `shard`.
+    ListStreams {
+        /// Cluster-wide shard id whose streams to list.
+        shard: u32,
+    },
+    /// Page of a stream's raw encrypted chunks, starting at `from_idx`
+    /// (replica rebuild: chunked so every reply stays far under the
+    /// 16 MiB frame cap however large the stream is). Answered with
+    /// [`Response::StreamChunks`].
+    ExportStream {
+        /// Stream id.
+        stream: u128,
+        /// First chunk index of the page.
+        from_idx: u64,
+    },
     /// Liveness probe.
     Ping,
 }
@@ -276,6 +293,23 @@ pub enum Response {
     },
     /// Service metrics snapshot ([`Request::Stats`]).
     ServiceStats(ServiceStatsWire),
+    /// Per-stream metadata of one shard ([`Request::ListStreams`]),
+    /// ascending by stream id.
+    StreamList(Vec<StreamInfoWire>),
+    /// One page of a stream's raw encrypted chunks
+    /// ([`Request::ExportStream`]): consecutive
+    /// `EncryptedChunk::to_bytes()` payloads starting at the requested
+    /// index.
+    StreamChunks {
+        /// The page's chunk bytes, in index order.
+        chunks: Vec<Vec<u8>>,
+        /// Index to request the next page from.
+        next_idx: u64,
+        /// No further chunks are exportable: the page reached the end of
+        /// the stream, or the next payload has been deleted
+        /// (`DeleteRange` decay) and the exportable prefix ends here.
+        done: bool,
+    },
     /// Ping reply.
     Pong,
 }
@@ -304,6 +338,21 @@ pub struct ShardStatsWire {
     /// verdict (always 0 without replication). A growing value means the
     /// replicas are drifting apart and the backup needs rebuilding.
     pub replica_errors: u64,
+    /// Backups promoted to primary after the primary stayed unreachable
+    /// (the shard then runs un-replicated until a replacement is
+    /// attached and rebuilt).
+    pub promotions: u64,
+    /// Replica rebuilds completed: a freshly attached backup copied every
+    /// hosted stream from the survivor, verified chunk counts, and
+    /// re-armed write mirroring.
+    pub rebuilds: u64,
+    /// Chunks copied survivor → replacement by rebuild workers.
+    pub rebuild_chunks_copied: u64,
+    /// True iff a backup replica is attached and in sync (write-mirrored,
+    /// eligible for read failover and promotion). False while a
+    /// replacement is still rebuilding — and always false without
+    /// replication.
+    pub in_sync: bool,
     /// Ingest latency histogram: bucket `i` counts operations that took
     /// `[2^(i-1), 2^i)` microseconds (bucket 0 is sub-microsecond).
     pub ingest_hist_us: Vec<u64>,
@@ -322,6 +371,10 @@ impl ShardStatsWire {
         w.u64(self.queue_depth);
         w.u64(self.failovers);
         w.u64(self.replica_errors);
+        w.u64(self.promotions);
+        w.u64(self.rebuilds);
+        w.u64(self.rebuild_chunks_copied);
+        w.u8(u8::from(self.in_sync));
         w.u64_vec(&self.ingest_hist_us);
         w.u64_vec(&self.query_hist_us);
     }
@@ -337,6 +390,10 @@ impl ShardStatsWire {
             queue_depth: r.u64()?,
             failovers: r.u64()?,
             replica_errors: r.u64()?,
+            promotions: r.u64()?,
+            rebuilds: r.u64()?,
+            rebuild_chunks_copied: r.u64()?,
+            in_sync: r.u8()? != 0,
             ingest_hist_us: r.u64_vec()?,
             query_hist_us: r.u64_vec()?,
         })
@@ -381,6 +438,8 @@ const REQ_GET_PROOF: u8 = 19;
 const REQ_GET_VRANGE: u8 = 20;
 const REQ_INSERT_BATCH: u8 = 21;
 const REQ_STATS: u8 = 22;
+const REQ_LIST_STREAMS: u8 = 23;
+const REQ_EXPORT_STREAM: u8 = 24;
 
 impl Request {
     /// True for requests that change server state. The distinction drives
@@ -411,6 +470,8 @@ impl Request {
             | Request::GetRangeProof { .. }
             | Request::GetVerifiedRange { .. }
             | Request::Stats
+            | Request::ListStreams { .. }
+            | Request::ExportStream { .. }
             | Request::Ping => false,
         }
     }
@@ -538,6 +599,12 @@ impl Request {
             Request::Stats => {
                 w.u8(REQ_STATS);
             }
+            Request::ListStreams { shard } => {
+                w.u8(REQ_LIST_STREAMS).u32(*shard);
+            }
+            Request::ExportStream { stream, from_idx } => {
+                w.u8(REQ_EXPORT_STREAM).u128(*stream).u64(*from_idx);
+            }
             Request::Ping => {
                 w.u8(REQ_PING);
             }
@@ -658,6 +725,11 @@ impl Request {
                 Request::InsertBatch { chunks }
             }
             REQ_STATS => Request::Stats,
+            REQ_LIST_STREAMS => Request::ListStreams { shard: r.u32()? },
+            REQ_EXPORT_STREAM => Request::ExportStream {
+                stream: r.u128()?,
+                from_idx: r.u64()?,
+            },
             REQ_PING => Request::Ping,
             t => return Err(WireError::BadTag(t)),
         };
@@ -679,6 +751,8 @@ const RESP_ATTESTED: u8 = 10;
 const RESP_VCHUNKS: u8 = 11;
 const RESP_BATCH: u8 = 12;
 const RESP_SERVICE_STATS: u8 = 13;
+const RESP_STREAM_LIST: u8 = 14;
+const RESP_STREAM_CHUNKS: u8 = 15;
 
 impl Response {
     /// Serializes the response body.
@@ -757,6 +831,23 @@ impl Response {
                     .u64(stats.store_puts)
                     .u64(stats.store_deletes)
                     .u64(stats.store_scans);
+            }
+            Response::StreamList(infos) => {
+                w.u8(RESP_STREAM_LIST).u32(infos.len() as u32);
+                for info in infos {
+                    info.encode(&mut w);
+                }
+            }
+            Response::StreamChunks {
+                chunks,
+                next_idx,
+                done,
+            } => {
+                w.u8(RESP_STREAM_CHUNKS).u32(chunks.len() as u32);
+                for c in chunks {
+                    w.bytes(c);
+                }
+                w.u64(*next_idx).u8(u8::from(*done));
             }
             Response::Pong => {
                 w.u8(RESP_PONG);
@@ -881,6 +972,32 @@ impl Response {
                     store_scans: r.u64()?,
                 })
             }
+            RESP_STREAM_LIST => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut infos = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    infos.push(StreamInfoWire::decode(&mut r)?);
+                }
+                Response::StreamList(infos)
+            }
+            RESP_STREAM_CHUNKS => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut chunks = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    chunks.push(r.bytes()?);
+                }
+                Response::StreamChunks {
+                    chunks,
+                    next_idx: r.u64()?,
+                    done: r.u8()? != 0,
+                }
+            }
             RESP_PONG => Response::Pong,
             t => return Err(WireError::BadTag(t)),
         };
@@ -975,6 +1092,11 @@ mod tests {
                 chunks: vec![vec![1, 2, 3], vec![], vec![9; 40]],
             },
             Request::Stats,
+            Request::ListStreams { shard: 3 },
+            Request::ExportStream {
+                stream: 9,
+                from_idx: 4096,
+            },
             Request::Ping,
         ]
     }
@@ -1023,6 +1145,10 @@ mod tests {
                         queue_depth: 3,
                         failovers: 2,
                         replica_errors: 1,
+                        promotions: 1,
+                        rebuilds: 1,
+                        rebuild_chunks_copied: 640,
+                        in_sync: true,
                         ingest_hist_us: vec![0, 4, 90, 6],
                         query_hist_us: vec![1, 6],
                     },
@@ -1036,6 +1162,33 @@ mod tests {
                 store_deletes: 0,
                 store_scans: 5,
             }),
+            Response::StreamList(vec![
+                StreamInfoWire {
+                    stream: 1,
+                    t0: -2,
+                    delta_ms: 10_000,
+                    digest_width: 2,
+                    len: 40,
+                },
+                StreamInfoWire {
+                    stream: 2,
+                    t0: 0,
+                    delta_ms: 1_000,
+                    digest_width: 3,
+                    len: 0,
+                },
+            ]),
+            Response::StreamList(vec![]),
+            Response::StreamChunks {
+                chunks: vec![vec![1, 2, 3], vec![], vec![9; 40]],
+                next_idx: 7,
+                done: false,
+            },
+            Response::StreamChunks {
+                chunks: vec![],
+                next_idx: 0,
+                done: true,
+            },
             Response::Pong,
         ]
     }

@@ -130,6 +130,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()),
                     (any::<u64>(), any::<u64>(), any::<u64>()),
                     (any::<u64>(), any::<u64>()),
+                    (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
                     proptest::collection::vec(any::<u64>(), 0..8),
                     proptest::collection::vec(any::<u64>(), 0..8),
                 ),
@@ -147,6 +148,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                     (shard, streams, ingested_chunks, ingest_errors),
                                     (queries, query_errors, queue_depth),
                                     (failovers, replica_errors),
+                                    (promotions, rebuilds, rebuild_chunks_copied, in_sync),
                                     ingest_hist_us,
                                     query_hist_us,
                                 )| {
@@ -160,6 +162,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                         queue_depth,
                                         failovers,
                                         replica_errors,
+                                        promotions,
+                                        rebuilds,
+                                        rebuild_chunks_copied,
+                                        in_sync,
                                         ingest_hist_us,
                                         query_hist_us,
                                     }

@@ -191,6 +191,114 @@ fn two_node_cluster_replies_match_single_process_even_after_killing_a_node() {
     );
 }
 
+/// Replication metrics are exact, not merely non-zero: a backup outage
+/// ticks `replica_errors` once per *primary-accepted* write (chunks the
+/// primary itself rejected never diverged the replicas), and a primary
+/// outage ticks `failovers` once per backup-served read — including the
+/// stream-count probe behind `stats()`. Promotion is disabled so the
+/// counters keep advancing deterministically.
+#[test]
+fn replication_metrics_are_exact_under_induced_outages() {
+    // Cluster agreement: the coordinator runs one shard, so the nodes
+    // must too (spawn_node's TOTAL_SHARDS=2 nodes would disagree).
+    let spawn_one = || {
+        let node = ShardNode::open(
+            Arc::new(MemKv::new()),
+            NodeConfig {
+                total_shards: 1,
+                hosted: vec![0],
+                engine: ServerConfig::default(),
+            },
+        )
+        .unwrap();
+        let server = Server::bind("127.0.0.1:0", Arc::new(node)).unwrap();
+        let addr = server.addr().to_string();
+        (server, addr)
+    };
+    let replicated_cluster = || {
+        let (node_a, addr_a) = spawn_one();
+        let (node_b, addr_b) = spawn_one();
+        let svc = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                // One replicated shard: every stream lands on it, so
+                // expected counter values follow directly from the ops.
+                topology: vec![ShardSpec::remote(&addr_a).with_backup(&addr_b)],
+                pool: timecrypt::wire::pool::PoolConfig {
+                    connect_attempts: 2,
+                    backoff: std::time::Duration::from_millis(1),
+                    ..Default::default()
+                },
+                promote_after: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        svc.create_stream(1, 0, 10_000, 2).unwrap();
+        svc.insert(&sealed(1, 0, 3)).unwrap();
+        svc.insert(&sealed(1, 1, 4)).unwrap();
+        let snap = svc.stats();
+        assert_eq!(snap.shards[0].failovers, 0, "healthy cluster: {snap:?}");
+        assert_eq!(
+            snap.shards[0].replica_errors, 0,
+            "healthy cluster: {snap:?}"
+        );
+        assert!(snap.shards[0].in_sync, "{snap:?}");
+        (node_a, node_b, svc)
+    };
+
+    // Backup outage: writes keep landing on the primary; every
+    // primary-accepted write counts one replica error, rejected writes
+    // count none, and reads never fail over.
+    let (_node_a, mut node_b, svc) = replicated_cluster();
+    node_b.shutdown();
+    drop(node_b);
+    svc.insert(&sealed(1, 2, 5)).unwrap(); // accepted → +1
+    let err = svc.insert(&sealed(1, 9, 6)); // out of order → rejected → +0
+    assert!(err.is_err());
+    svc.insert(&sealed(1, 3, 7)).unwrap(); // accepted → +1
+    svc.get_stat_range(&[1], 0, 40_000).unwrap(); // primary-served → +0
+    let snap = svc.stats();
+    assert_eq!(
+        snap.shards[0].replica_errors, 2,
+        "exactly the two primary-accepted writes diverged: {snap:?}"
+    );
+    assert_eq!(snap.shards[0].failovers, 0, "no read failed over: {snap:?}");
+    assert!(
+        !snap.shards[0].in_sync,
+        "a backup that missed an acknowledged write is demoted: {snap:?}"
+    );
+    drop(svc);
+
+    // Primary outage: every read (scatter-gather leg or stream-count
+    // probe) fails over and is counted; the backup is never written, so
+    // `replica_errors` stays put while writes fail cleanly.
+    let (mut node_a, _node_b, svc) = replicated_cluster();
+    node_a.shutdown();
+    drop(node_a);
+    for _ in 0..3 {
+        svc.get_stat_range(&[1], 0, 20_000).unwrap(); // backup-served → +1 each
+    }
+    assert!(
+        svc.insert(&sealed(1, 2, 5)).is_err(),
+        "writes need the primary"
+    );
+    let snap = svc.stats();
+    assert_eq!(
+        snap.shards[0].failovers, 4,
+        "3 failover queries + the stats() stream-count probe itself: {snap:?}"
+    );
+    assert_eq!(
+        snap.shards[0].replica_errors, 0,
+        "an untouched backup never drifts: {snap:?}"
+    );
+    assert_eq!(snap.shards[0].promotions, 0, "promotion disabled: {snap:?}");
+    assert!(
+        snap.shards[0].in_sync,
+        "the backup stays in sync — it missed nothing acknowledged: {snap:?}"
+    );
+}
+
 /// Mixed placement — one local shard, one remote — behaves exactly like
 /// the all-local service for the same workload, and the batched wire
 /// ingest path reports identical per-chunk error positions.
