@@ -45,6 +45,7 @@ fn main() {
             TreeConfig {
                 arity,
                 cache_bytes: 512 << 20,
+                ..TreeConfig::default()
             },
         )
         .unwrap();

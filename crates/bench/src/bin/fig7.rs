@@ -84,6 +84,7 @@ fn drive<D: HomDigest>(
                             TreeConfig {
                                 arity: 64,
                                 cache_bytes,
+                                ..TreeConfig::default()
                             },
                         )
                         .unwrap()

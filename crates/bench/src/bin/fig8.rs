@@ -32,6 +32,7 @@ fn build(encrypted: bool, kd: &TreeKd) -> AggTree<Vec<u64>> {
         TreeConfig {
             arity: 64,
             cache_bytes: 1 << 30,
+            ..TreeConfig::default()
         },
     )
     .unwrap();

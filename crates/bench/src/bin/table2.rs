@@ -25,6 +25,7 @@ fn tree_cfg() -> TreeConfig {
     TreeConfig {
         arity: 64,
         cache_bytes: 512 << 20,
+        ..TreeConfig::default()
     }
 }
 

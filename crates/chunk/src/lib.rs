@@ -25,4 +25,6 @@ pub mod serialize;
 pub use compress::Codec;
 pub use model::{ChunkId, DataPoint, StreamConfig, StreamId};
 pub use schema::{DigestOp, DigestSchema, StatSummary};
-pub use serialize::{ChunkBuilder, EncryptedChunk, PlainChunk, SealedRecord};
+pub use serialize::{
+    ChunkBuilder, ChunkRef, ChunkSealer, EncryptedChunk, PlainChunk, SealedRecord,
+};

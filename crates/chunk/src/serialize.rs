@@ -8,11 +8,26 @@
 
 use crate::compress::{self, CodecError};
 use crate::model::{ChunkId, DataPoint, StreamConfig, StreamId};
-use timecrypt_core::heac::{HeacEncryptor, KeySource};
-use timecrypt_core::keys::payload_key;
+use std::sync::OnceLock;
+use timecrypt_core::heac::{encrypt_digest_with, ElementKeys, HeacEncryptor, KeySource};
+use timecrypt_core::keys::{payload_key, payload_key_from_leaves};
 use timecrypt_core::{CoreError, StreamKeyMaterial};
 use timecrypt_crypto::gcm::NONCE_LEN;
-use timecrypt_crypto::{AesGcm128, SecureRandom};
+use timecrypt_crypto::{AesGcm128, GcmKeyCache, SecureRandom};
+
+/// Process-wide cache of payload-key GCM instances.
+///
+/// Payload keys are per-chunk, but one chunk's key is reused many times in
+/// the hot paths: every real-time record targeting an open chunk is sealed
+/// (and later opened) under the same key, and consumers walking a range
+/// revisit each chunk's cipher for its live records. Caching the expanded
+/// round keys + GHASH table makes those repeats a map lookup instead of a
+/// key schedule. The cache holds cipher state only (never plaintext), and
+/// an evicted key is simply re-derived — so the bound is a pure perf knob.
+fn payload_ciphers() -> &'static GcmKeyCache {
+    static CACHE: OnceLock<GcmKeyCache> = OnceLock::new();
+    CACHE.get_or_init(|| GcmKeyCache::new(64))
+}
 
 /// A chunk before encryption: the producer-side in-memory form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,26 +82,7 @@ impl PlainChunk {
         keys: &StreamKeyMaterial,
         rng: &mut SecureRandom,
     ) -> Result<EncryptedChunk, ChunkError> {
-        let digest = cfg.schema.compute(&self.points);
-        let enc = HeacEncryptor::new(&keys.tree);
-        let digest_ct = enc.encrypt_digest(self.index, &digest)?;
-        let compressed = compress::compress(cfg.codec, &self.points);
-        let key = keys.payload_key(self.index)?;
-        let gcm = AesGcm128::new(&key);
-        let mut nonce = [0u8; NONCE_LEN];
-        rng.fill(&mut nonce);
-        let mut payload = nonce.to_vec();
-        payload.extend_from_slice(&gcm.seal(
-            &nonce,
-            &Self::aad(self.stream, self.index),
-            &compressed,
-        ));
-        Ok(EncryptedChunk {
-            stream: self.stream,
-            index: self.index,
-            digest_ct,
-            payload,
-        })
+        ChunkSealer::new(cfg, keys).seal(self, rng)
     }
 
     fn aad(stream: StreamId, index: ChunkId) -> [u8; 24] {
@@ -94,6 +90,66 @@ impl PlainChunk {
         aad[..16].copy_from_slice(&stream.to_be_bytes());
         aad[16..].copy_from_slice(&index.to_be_bytes());
         aad
+    }
+}
+
+/// A reusable chunk sealer for one stream.
+///
+/// [`PlainChunk::seal`] is correct but pays the full key-derivation cost per
+/// call; a sealer amortizes the producer hot path across a run of chunks:
+///
+/// * one tree walk per chunk instead of two — the boundary leaves derived
+///   for the HEAC digest are reused for the payload key
+///   ([`payload_key_from_leaves`]);
+/// * sequential sealing reuses chunk `i+1`'s leaf from chunk `i` via the
+///   encryptor's leaf cache, halving the remaining derivation cost;
+/// * the `nonce || ct || tag` payload is assembled in place
+///   ([`AesGcm128::seal_into`]) instead of through intermediate vectors.
+///
+/// Output is byte-identical to [`PlainChunk::seal`] driven by the same RNG
+/// stream (pinned by `sealer_matches_plain_seal`).
+pub struct ChunkSealer<'a> {
+    cfg: &'a StreamConfig,
+    enc: HeacEncryptor<'a>,
+}
+
+impl<'a> ChunkSealer<'a> {
+    /// A sealer for `cfg`'s stream over the owner key material.
+    pub fn new(cfg: &'a StreamConfig, keys: &'a StreamKeyMaterial) -> Self {
+        ChunkSealer {
+            cfg,
+            enc: HeacEncryptor::new(&keys.tree),
+        }
+    }
+
+    /// Seals one chunk (any index; sequential indices are the fast path).
+    pub fn seal(
+        &mut self,
+        chunk: &PlainChunk,
+        rng: &mut SecureRandom,
+    ) -> Result<EncryptedChunk, ChunkError> {
+        let digest = self.cfg.schema.compute(&chunk.points);
+        let (l0, l1) = self.enc.boundary_leaves(chunk.index)?;
+        let digest_ct =
+            encrypt_digest_with(&ElementKeys::new(&l0), &ElementKeys::new(&l1), &digest);
+        let compressed = compress::compress(self.cfg.codec, &chunk.points);
+        let gcm = AesGcm128::new(&payload_key_from_leaves(&l0, &l1));
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill(&mut nonce);
+        let mut payload = Vec::with_capacity(NONCE_LEN + compressed.len() + 16);
+        payload.extend_from_slice(&nonce);
+        gcm.seal_into(
+            &nonce,
+            &PlainChunk::aad(chunk.stream, chunk.index),
+            &compressed,
+            &mut payload,
+        );
+        Ok(EncryptedChunk {
+            stream: chunk.stream,
+            index: chunk.index,
+            digest_ct,
+            payload,
+        })
     }
 }
 
@@ -119,7 +175,7 @@ impl EncryptedChunk {
             return Err(ChunkError::Malformed("payload shorter than nonce"));
         }
         let key = payload_key(keys, self.index)?;
-        let gcm = AesGcm128::new(&key);
+        let gcm = payload_ciphers().get(&key);
         let nonce: [u8; NONCE_LEN] = self.payload[..NONCE_LEN].try_into().unwrap();
         let compressed = gcm
             .open(
@@ -144,6 +200,16 @@ impl EncryptedChunk {
     /// Serializes for storage: all fields length-prefixed, little-endian.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends [`to_bytes`](Self::to_bytes) into a caller-provided buffer —
+    /// the allocation-free path for frame assembly, where a whole ingest
+    /// drain is encoded into one reused per-connection buffer. Byte-
+    /// identical to `to_bytes` (pinned by the chunk property tests).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
         out.extend_from_slice(&self.stream.to_le_bytes());
         out.extend_from_slice(&self.index.to_le_bytes());
         out.extend_from_slice(&(self.digest_ct.len() as u32).to_le_bytes());
@@ -152,11 +218,39 @@ impl EncryptedChunk {
         }
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Parses bytes produced by [`to_bytes`](Self::to_bytes).
     pub fn from_bytes(buf: &[u8]) -> Result<Self, ChunkError> {
+        Ok(ChunkRef::parse(buf)?.to_owned())
+    }
+}
+
+/// A zero-copy parse of serialized [`EncryptedChunk`] bytes: the (small)
+/// digest vector is decoded, the (large) payload stays a borrow of the
+/// input buffer. The serialization is canonical — exactly one byte string
+/// parses to a given chunk — so storing the *input bytes* of a validated
+/// `ChunkRef` is byte-identical to re-serializing the parsed chunk; the
+/// server's ingest path relies on this to index and store a chunk without
+/// ever copying its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRef<'a> {
+    /// Owning stream.
+    pub stream: StreamId,
+    /// Chunk index.
+    pub index: ChunkId,
+    /// Element-wise HEAC ciphertext of the digest vector.
+    pub digest_ct: Vec<u64>,
+    /// `nonce || AES-GCM(compressed payload)`, borrowed from the input.
+    pub payload: &'a [u8],
+}
+
+impl<'a> ChunkRef<'a> {
+    /// Parses bytes produced by [`EncryptedChunk::to_bytes`] without
+    /// copying the payload. Same strictness as
+    /// [`EncryptedChunk::from_bytes`] (which delegates here): truncated or
+    /// trailing bytes are rejected.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, ChunkError> {
         let need = |ok: bool| {
             if ok {
                 Ok(())
@@ -178,12 +272,22 @@ impl EncryptedChunk {
         let pn = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 4;
         need(buf.len() == pos + pn)?;
-        Ok(EncryptedChunk {
+        Ok(ChunkRef {
             stream,
             index,
             digest_ct,
-            payload: buf[pos..].to_vec(),
+            payload: &buf[pos..],
         })
+    }
+
+    /// Copies the borrow into an owned [`EncryptedChunk`].
+    pub fn to_owned(self) -> EncryptedChunk {
+        EncryptedChunk {
+            stream: self.stream,
+            index: self.index,
+            digest_ct: self.digest_ct,
+            payload: self.payload.to_vec(),
+        }
     }
 }
 
@@ -231,14 +335,22 @@ impl SealedRecord {
         rng: &mut SecureRandom,
     ) -> Result<Self, ChunkError> {
         let key = payload_key(keys, chunk)?;
-        let gcm = AesGcm128::new(&key);
+        // Every record of one open chunk reuses this key: the cache makes
+        // the per-record cost one AES-GCM pass, not a key schedule + pass.
+        let gcm = payload_ciphers().get(&key);
         let mut nonce = [0u8; NONCE_LEN];
         rng.fill(&mut nonce);
         let mut plain = [0u8; 16];
         plain[..8].copy_from_slice(&point.ts.to_le_bytes());
         plain[8..].copy_from_slice(&point.value.to_le_bytes());
-        let mut payload = nonce.to_vec();
-        payload.extend_from_slice(&gcm.seal(&nonce, &Self::live_aad(stream, chunk, seq), &plain));
+        let mut payload = Vec::with_capacity(NONCE_LEN + 32);
+        payload.extend_from_slice(&nonce);
+        gcm.seal_into(
+            &nonce,
+            &Self::live_aad(stream, chunk, seq),
+            &plain,
+            &mut payload,
+        );
         Ok(SealedRecord {
             stream,
             chunk,
@@ -253,7 +365,7 @@ impl SealedRecord {
             return Err(ChunkError::Malformed("record shorter than nonce"));
         }
         let key = payload_key(keys, self.chunk)?;
-        let gcm = AesGcm128::new(&key);
+        let gcm = payload_ciphers().get(&key);
         let nonce: [u8; NONCE_LEN] = self.payload[..NONCE_LEN].try_into().unwrap();
         let plain = gcm
             .open(
@@ -595,6 +707,75 @@ mod tests {
         let sealed = chunk.seal(&cfg, &keys, &mut rng).unwrap();
         let bytes = sealed.to_bytes();
         assert_eq!(EncryptedChunk::from_bytes(&bytes).unwrap(), sealed);
+    }
+
+    #[test]
+    fn sealer_matches_plain_seal() {
+        // The amortized sealer must be byte-identical to the one-shot path
+        // when driven by the same RNG stream — sequential and gappy indices.
+        let (cfg, keys, _) = setup();
+        let chunks: Vec<PlainChunk> = [0u64, 1, 2, 5, 6, 40]
+            .iter()
+            .map(|&i| PlainChunk {
+                stream: 7,
+                index: i,
+                points: points_for_chunk(i, (i as usize % 7) * 30),
+            })
+            .collect();
+        let mut rng_a = SecureRandom::from_seed_insecure(42);
+        let mut rng_b = SecureRandom::from_seed_insecure(42);
+        let mut sealer = ChunkSealer::new(&cfg, &keys);
+        for c in &chunks {
+            let one_shot = c.seal(&cfg, &keys, &mut rng_a).unwrap();
+            let amortized = sealer.seal(c, &mut rng_b).unwrap();
+            assert_eq!(one_shot, amortized, "chunk {}", c.index);
+            assert_eq!(amortized.open_payload(&keys.tree).unwrap(), c.points);
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_to_bytes() {
+        let (cfg, keys, mut rng) = setup();
+        for n_points in [0usize, 1, 50, 500] {
+            let sealed = PlainChunk {
+                stream: 7,
+                index: 0,
+                points: points_for_chunk(0, n_points),
+            }
+            .seal(&cfg, &keys, &mut rng)
+            .unwrap();
+            // encode_into appends after existing content, byte-identically.
+            let mut buf = vec![0xaa, 0xbb];
+            sealed.encode_into(&mut buf);
+            assert_eq!(&buf[..2], &[0xaa, 0xbb]);
+            assert_eq!(&buf[2..], &sealed.to_bytes()[..], "{n_points} points");
+        }
+    }
+
+    #[test]
+    fn chunk_ref_parse_matches_from_bytes() {
+        let (cfg, keys, mut rng) = setup();
+        let sealed = PlainChunk {
+            stream: 7,
+            index: 3,
+            points: points_for_chunk(3, 80),
+        }
+        .seal(&cfg, &keys, &mut rng)
+        .unwrap();
+        let bytes = sealed.to_bytes();
+        let parsed = ChunkRef::parse(&bytes).unwrap();
+        assert_eq!(parsed.stream, sealed.stream);
+        assert_eq!(parsed.index, sealed.index);
+        assert_eq!(parsed.digest_ct, sealed.digest_ct);
+        assert_eq!(parsed.payload, &sealed.payload[..], "payload borrows");
+        assert_eq!(parsed.to_owned(), sealed);
+        // Same strictness as the owned parse.
+        for cut in [0usize, 10, 27, bytes.len() - 1] {
+            assert!(ChunkRef::parse(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ChunkRef::parse(&trailing).is_err());
     }
 
     #[test]

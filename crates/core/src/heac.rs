@@ -111,25 +111,47 @@ impl<'a> HeacEncryptor<'a> {
         Ok(leaf)
     }
 
+    /// The boundary leaves `(leaf_i, leaf_{i+1})` of chunk `i`, going
+    /// through (and refreshing) the sequential leaf cache. Sealing code
+    /// uses this to derive the digest element keys *and* the payload key
+    /// from one tree walk per chunk.
+    pub fn boundary_leaves(&self, chunk: u64) -> Result<(Seed128, Seed128), CoreError> {
+        let l0 = self.leaf_cached(chunk)?;
+        let l1 = self.tree.leaf(chunk + 1)?;
+        *self.leaf_cache.borrow_mut() = Some((chunk + 1, l1));
+        Ok((l0, l1))
+    }
+
     /// Encrypts the digest vector of chunk `i`:
     /// `c_j = m_j + k_{i,j} − k_{i+1,j} (mod 2^64)`.
     ///
     /// Requires leaf `i+1` to exist (the stream must not exhaust the
     /// keystream; with height 30+ this is never a practical concern).
     pub fn encrypt_digest(&self, chunk: u64, plain: &[u64]) -> Result<Vec<Ciphertext>, CoreError> {
-        let k_i = ElementKeys::new(&self.leaf_cached(chunk)?);
-        let next_leaf = self.tree.leaf(chunk + 1)?;
-        let k_next = ElementKeys::new(&next_leaf);
-        *self.leaf_cache.borrow_mut() = Some((chunk + 1, next_leaf));
-        Ok(plain
-            .iter()
-            .enumerate()
-            .map(|(j, &m)| {
-                let j = j as u32;
-                m.wrapping_add(k_i.key(j)).wrapping_sub(k_next.key(j))
-            })
-            .collect())
+        let (l0, l1) = self.boundary_leaves(chunk)?;
+        Ok(encrypt_digest_with(
+            &ElementKeys::new(&l0),
+            &ElementKeys::new(&l1),
+            plain,
+        ))
     }
+}
+
+/// [`HeacEncryptor::encrypt_digest`] when the caller already expanded the
+/// boundary element-key PRFs.
+pub fn encrypt_digest_with(
+    k_i: &ElementKeys,
+    k_next: &ElementKeys,
+    plain: &[u64],
+) -> Vec<Ciphertext> {
+    plain
+        .iter()
+        .enumerate()
+        .map(|(j, &m)| {
+            let j = j as u32;
+            m.wrapping_add(k_i.key(j)).wrapping_sub(k_next.key(j))
+        })
+        .collect()
 }
 
 /// Decrypts an in-range aggregate over chunks `[a, b)` using boundary keys

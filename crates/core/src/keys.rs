@@ -22,14 +22,23 @@ use timecrypt_crypto::{PrgKind, Seed128};
 pub fn payload_key<K: KeySource>(keys: &K, chunk: u64) -> Result<[u8; 16], CoreError> {
     let l0 = keys.leaf(chunk)?;
     let l1 = keys.leaf(chunk + 1)?;
+    Ok(payload_key_from_leaves(&l0, &l1))
+}
+
+/// [`payload_key`] when the caller already holds the boundary leaves.
+///
+/// Sequential chunk sealing derives leaves `i` and `i+1` once for the
+/// digest encryption; this entry point lets it reuse them for the payload
+/// key instead of walking the derivation tree a second time per chunk.
+pub fn payload_key_from_leaves(l0: &Seed128, l1: &Seed128) -> [u8; 16] {
     let mut h = Sha256::new();
-    h.update(&l0);
-    h.update(&l1);
+    h.update(l0);
+    h.update(l1);
     h.update(b"tc-payload");
     let d = h.finalize();
     let mut k = [0u8; 16];
     k.copy_from_slice(&d[..16]);
-    Ok(k)
+    k
 }
 
 /// The complete owner-side secret material for one stream.

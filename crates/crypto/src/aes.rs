@@ -159,6 +159,25 @@ impl Aes128 {
         self.encrypt_block(&mut out);
         out
     }
+
+    /// Encrypts a run of blocks in place. On AES-NI hardware the blocks are
+    /// interleaved eight at a time, so the per-round `aesenc` latency of one
+    /// block is hidden behind the other seven — the throughput win that makes
+    /// batched CTR keystream generation (GCM bulk encryption) several times
+    /// faster than block-at-a-time calls. The result is bit-identical to
+    /// calling [`encrypt_block`](Self::encrypt_block) per block.
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        #[cfg(target_arch = "x86_64")]
+        if self.use_aesni {
+            // SAFETY: `use_aesni` is only set when the `aes` feature was
+            // detected at construction time.
+            unsafe { aesni::encrypt_blocks(&self.round_keys, blocks) };
+            return;
+        }
+        for block in blocks {
+            soft_encrypt_block(&self.round_keys, block);
+        }
+    }
 }
 
 /// FIPS-197 key expansion for AES-128 (software; also feeds the AES-NI path —
@@ -319,6 +338,41 @@ mod aesni {
         b = _mm_aesenclast_si128(b, _mm_loadu_si128(rk[10].as_ptr() as *const __m128i));
         _mm_storeu_si128(block.as_mut_ptr() as *mut __m128i, b);
     }
+
+    /// Encrypts blocks eight-wide interleaved: each round's `aesenc` is
+    /// issued for all eight blocks before the next round, so the ~4-cycle
+    /// instruction latency overlaps across blocks instead of stalling a
+    /// single dependency chain.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports the `aes` target feature.
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_blocks(rk: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
+        let keys: [__m128i; 11] =
+            std::array::from_fn(|i| _mm_loadu_si128(rk[i].as_ptr() as *const __m128i));
+        let mut chunks = blocks.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            let mut b: [__m128i; 8] =
+                std::array::from_fn(|i| _mm_loadu_si128(chunk[i].as_ptr() as *const __m128i));
+            for x in &mut b {
+                *x = _mm_xor_si128(*x, keys[0]);
+            }
+            for key in &keys[1..10] {
+                for x in &mut b {
+                    *x = _mm_aesenc_si128(*x, *key);
+                }
+            }
+            for x in &mut b {
+                *x = _mm_aesenclast_si128(*x, keys[10]);
+            }
+            for i in 0..8 {
+                _mm_storeu_si128(chunk[i].as_mut_ptr() as *mut __m128i, b[i]);
+            }
+        }
+        for block in chunks.into_remainder() {
+            encrypt_block(rk, block);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -400,6 +454,22 @@ mod tests {
             0xef, 0x97,
         ];
         assert_eq!(Aes128::with_force_software(&key, true).encrypt(&pt), ct);
+    }
+
+    #[test]
+    fn encrypt_blocks_matches_per_block() {
+        // Equivalence across lengths that hit the 8-wide interleave, its
+        // remainder path, and the empty case — for both implementations.
+        for force_soft in [false, true] {
+            let c = Aes128::with_force_software(&[0x2cu8; 16], force_soft);
+            for n in [0usize, 1, 7, 8, 9, 16, 23, 64] {
+                let mut batched: Vec<[u8; 16]> =
+                    (0..n).map(|i| [(i as u8).wrapping_mul(29); 16]).collect();
+                let singly: Vec<[u8; 16]> = batched.iter().map(|b| c.encrypt(b)).collect();
+                c.encrypt_blocks(&mut batched);
+                assert_eq!(batched, singly, "n={n} soft={force_soft}");
+            }
+        }
     }
 
     #[test]

@@ -37,6 +37,11 @@ impl std::error::Error for GcmError {}
 /// Multiplication in GF(2^128) using the GCM bit convention
 /// (block bytes loaded big-endian, reduction polynomial
 /// x^128 + x^7 + x^2 + x + 1, bit 0 = most significant).
+///
+/// Reference implementation: the hot path uses the per-key precomputed
+/// table in [`GhashKey`]; this bitwise version remains the ground truth the
+/// table path is tested against.
+#[cfg(test)]
 fn gf128_mul(x: u128, y: u128) -> u128 {
     let mut z = 0u128;
     let mut v = x;
@@ -59,24 +64,107 @@ fn block_to_u128(b: &[u8]) -> u128 {
     u128::from_be_bytes(buf)
 }
 
-/// GHASH over AAD and ciphertext with hash subkey `h`.
-fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
-    let mut y = 0u128;
-    for chunk in aad.chunks(16) {
-        y = gf128_mul(y ^ block_to_u128(chunk), h);
-    }
-    for chunk in ct.chunks(16) {
-        y = gf128_mul(y ^ block_to_u128(chunk), h);
-    }
-    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
-    gf128_mul(y ^ lens, h)
+/// Multiplication by `x` in the GCM bit convention (one right shift with
+/// conditional reduction) — the primitive both [`gf128_mul`] and the
+/// precomputed-table path are built from.
+#[inline]
+const fn mulx(v: u128) -> u128 {
+    (v >> 1) ^ ((v & 1) * (0xe1u128 << 120))
 }
 
+/// `REM4[r] = mulx^4(r)`: the reduction terms produced by shifting a value
+/// whose low nibble is `r` right by four bits. Key-independent, so computed
+/// once at compile time.
+const REM4: [u128; 16] = {
+    let mut t = [0u128; 16];
+    let mut r = 0usize;
+    while r < 16 {
+        t[r] = mulx(mulx(mulx(mulx(r as u128))));
+        r += 1;
+    }
+    t
+};
+
+/// Multiplies by `x^4`: shift right one nibble, folding the shifted-out bits
+/// back via the constant reduction table.
+#[inline]
+fn mulx4(z: u128) -> u128 {
+    (z >> 4) ^ REM4[(z & 0xf) as usize]
+}
+
+/// The per-key GHASH state: `table[n] = n·H` for every 4-bit pattern `n`
+/// (placed in the top nibble of the u128, i.e. the lowest-degree
+/// coefficients of the field element). One block multiplication then costs
+/// 32 table lookups instead of 128 shift/xor rounds — GHASH is the
+/// serial half of GCM, so this is the difference between the tag
+/// computation dominating bulk encryption and disappearing behind it.
+///
+/// The table is built from three `mulx` applications plus xors, so
+/// constructing an instance stays cheap even for the per-chunk keys the
+/// payload cipher uses.
+#[derive(Clone)]
+struct GhashKey {
+    table: [u128; 16],
+}
+
+impl GhashKey {
+    fn new(h: u128) -> Self {
+        let mut table = [0u128; 16];
+        // Top nibble bit 3 (u128 bit 127) is the coefficient of x^0, so
+        // pattern 8 is the multiplicative identity times H.
+        table[8] = h;
+        table[4] = mulx(h);
+        table[2] = mulx(table[4]);
+        table[1] = mulx(table[2]);
+        for n in [3, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15] {
+            table[n] = table[n & 8] ^ table[n & 4] ^ table[n & 2] ^ table[n & 1];
+        }
+        GhashKey { table }
+    }
+
+    /// `x · H` via the precomputed table (Horner over the 32 nibbles of
+    /// `x`, highest-degree nibble first). Bit-identical to
+    /// `gf128_mul(x, h)`.
+    #[inline]
+    fn mul(&self, x: u128) -> u128 {
+        let mut z = 0u128;
+        let mut k = 0;
+        while k < 128 {
+            z = mulx4(z) ^ self.table[((x >> k) & 0xf) as usize];
+            k += 4;
+        }
+        z
+    }
+
+    /// GHASH over AAD and ciphertext.
+    fn ghash(&self, aad: &[u8], ct: &[u8]) -> u128 {
+        let mut y = 0u128;
+        for chunk in aad.chunks(16) {
+            y = self.mul(y ^ block_to_u128(chunk));
+        }
+        for chunk in ct.chunks(16) {
+            y = self.mul(y ^ block_to_u128(chunk));
+        }
+        let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+        self.mul(y ^ lens)
+    }
+}
+
+/// Keystream blocks generated per batched AES call: enough to feed the
+/// eight-wide AES-NI interleave in [`Aes128::encrypt_blocks`].
+const CTR_BATCH: usize = 8;
+
 /// AES-128-GCM instance bound to one key.
+///
+/// Construction expands the AES round keys and precomputes the GHASH
+/// table once; every `seal`/`open` under the same key reuses both. Callers
+/// that encrypt many items under one key (live-record batches, chunk
+/// sealing) should construct the instance once — or use a key cache —
+/// instead of re-deriving per item.
 #[derive(Clone)]
 pub struct AesGcm128 {
     cipher: Aes128,
-    h: u128,
+    ghash: GhashKey,
 }
 
 impl AesGcm128 {
@@ -84,7 +172,10 @@ impl AesGcm128 {
     pub fn new(key: &[u8; 16]) -> Self {
         let cipher = Aes128::new(key);
         let h = u128::from_be_bytes(cipher.encrypt(&[0u8; 16]));
-        AesGcm128 { cipher, h }
+        AesGcm128 {
+            cipher,
+            ghash: GhashKey::new(h),
+        }
     }
 
     fn counter_block(nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; 16] {
@@ -96,17 +187,24 @@ impl AesGcm128 {
 
     fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
         let mut counter = 2u32; // Counter 1 is reserved for the tag mask.
-        for chunk in data.chunks_mut(16) {
-            let ks = self.cipher.encrypt(&Self::counter_block(nonce, counter));
-            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-                *b ^= k;
+        let mut ks = [[0u8; 16]; CTR_BATCH];
+        for run in data.chunks_mut(16 * CTR_BATCH) {
+            let nblocks = run.len().div_ceil(16);
+            for (i, block) in ks[..nblocks].iter_mut().enumerate() {
+                *block = Self::counter_block(nonce, counter.wrapping_add(i as u32));
             }
-            counter = counter.wrapping_add(1);
+            counter = counter.wrapping_add(nblocks as u32);
+            self.cipher.encrypt_blocks(&mut ks[..nblocks]);
+            for (chunk, key) in run.chunks_mut(16).zip(ks.iter()) {
+                for (b, k) in chunk.iter_mut().zip(key.iter()) {
+                    *b ^= k;
+                }
+            }
         }
     }
 
     fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
-        let s = ghash(self.h, aad, ct);
+        let s = self.ghash.ghash(aad, ct);
         let j0 = Self::counter_block(nonce, 1);
         let ek_j0 = u128::from_be_bytes(self.cipher.encrypt(&j0));
         (s ^ ek_j0).to_be_bytes()
@@ -115,11 +213,26 @@ impl AesGcm128 {
     /// Encrypts `plaintext` with associated data `aad`, appending the 16-byte
     /// tag. Output layout: `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-        let mut out = plaintext.to_vec();
-        self.ctr_xor(nonce, &mut out);
-        let tag = self.tag(nonce, aad, &out);
-        out.extend_from_slice(&tag);
+        let mut out = Vec::new();
+        self.seal_into(nonce, aad, plaintext, &mut out);
         out
+    }
+
+    /// [`seal`](Self::seal) appending into a caller-provided buffer: the
+    /// allocation-free path for callers that assemble `nonce || ct || tag`
+    /// payloads (chunk sealing reuses one buffer per chunk run).
+    pub fn seal_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        self.ctr_xor(nonce, &mut out[start..]);
+        let tag = self.tag(nonce, aad, &out[start..]);
+        out.extend_from_slice(&tag);
     }
 
     /// Verifies and decrypts `ciphertext || tag` produced by [`seal`].
@@ -131,6 +244,20 @@ impl AesGcm128 {
         aad: &[u8],
         ciphertext: &[u8],
     ) -> Result<Vec<u8>, GcmError> {
+        let mut out = Vec::new();
+        self.open_into(nonce, aad, ciphertext, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`open`](Self::open) appending the plaintext into a caller-provided
+    /// buffer. Nothing is appended when authentication fails.
+    pub fn open_into(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), GcmError> {
         if ciphertext.len() < TAG_LEN {
             return Err(GcmError::TooShort);
         }
@@ -139,9 +266,65 @@ impl AesGcm128 {
         if !ct_eq(&expected, tag) {
             return Err(GcmError::TagMismatch);
         }
-        let mut out = ct.to_vec();
-        self.ctr_xor(nonce, &mut out);
-        Ok(out)
+        let start = out.len();
+        out.extend_from_slice(ct);
+        self.ctr_xor(nonce, &mut out[start..]);
+        Ok(())
+    }
+}
+
+/// A small thread-safe cache of [`AesGcm128`] instances keyed by key bytes.
+///
+/// The chunk layer derives a fresh payload key per chunk, but several
+/// operations reuse one chunk's key many times — every real-time record of
+/// an open chunk is sealed/opened under the same key, and a consumer
+/// decrypting a range revisits boundary chunks. Caching the expanded round
+/// keys + GHASH table turns those repeats into a lookup. Bounded LRU-ish
+/// (insertion order, moves hits to the back) so long-lived processes cannot
+/// accumulate unbounded key material.
+pub struct GcmKeyCache {
+    slots: std::sync::Mutex<std::collections::VecDeque<([u8; 16], std::sync::Arc<AesGcm128>)>>,
+    cap: usize,
+}
+
+impl GcmKeyCache {
+    /// A cache retaining at most `cap` keys (`cap == 0` disables caching).
+    pub fn new(cap: usize) -> Self {
+        GcmKeyCache {
+            slots: std::sync::Mutex::new(std::collections::VecDeque::new()),
+            cap,
+        }
+    }
+
+    /// The cipher for `key`, constructed on first use.
+    pub fn get(&self, key: &[u8; 16]) -> std::sync::Arc<AesGcm128> {
+        if self.cap == 0 {
+            return std::sync::Arc::new(AesGcm128::new(key));
+        }
+        {
+            let mut slots = self.slots.lock().expect("gcm cache lock");
+            if let Some(pos) = slots.iter().position(|(k, _)| k == key) {
+                let hit = slots.remove(pos).expect("position just found");
+                let cipher = hit.1.clone();
+                slots.push_back(hit);
+                return cipher;
+            }
+        }
+        // Miss: derive *outside* the lock — the key schedule + GHASH table
+        // is the expensive part, and concurrent readers on distinct keys
+        // must not serialize behind it. Two racing misses both derive;
+        // the loser's insert just refreshes the same (deterministic)
+        // cipher state, so correctness is unaffected.
+        let cipher = std::sync::Arc::new(AesGcm128::new(key));
+        let mut slots = self.slots.lock().expect("gcm cache lock");
+        if let Some(pos) = slots.iter().position(|(k, _)| k == key) {
+            slots.remove(pos);
+        }
+        if slots.len() >= self.cap {
+            slots.pop_front();
+        }
+        slots.push_back((*key, cipher.clone()));
+        cipher
     }
 }
 
@@ -267,6 +450,78 @@ mod tests {
             assert_eq!(sealed.len(), len + TAG_LEN);
             assert_eq!(gcm.open(&nonce, b"meta", &sealed).unwrap(), pt);
         }
+    }
+
+    #[test]
+    fn table_mul_matches_bitwise_gf128_mul() {
+        // The precomputed-table path must agree with the reference bitwise
+        // multiplication for structured and pseudo-random operands.
+        let mut xs = vec![
+            0u128,
+            1,
+            1 << 127,
+            u128::MAX,
+            0x0123456789abcdef0011223344556677,
+        ];
+        let mut v = 0x9e3779b97f4a7c15f39cc0605cedc834u128;
+        for _ in 0..64 {
+            v = v.wrapping_mul(0x2545f4914f6cdd1d).rotate_left(23) ^ 0xa5a5;
+            xs.push(v);
+        }
+        for &h in &[1u128 << 127, 0xdeadbeefcafebabe1122334455667788, v] {
+            let key = GhashKey::new(h);
+            for &x in &xs {
+                assert_eq!(key.mul(x), gf128_mul(x, h), "x={x:#x} h={h:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn seal_into_and_open_into_match_owned_paths() {
+        let gcm = AesGcm128::new(&[0x42u8; 16]);
+        let nonce = [7u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 127, 128, 129, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            let owned = gcm.seal(&nonce, b"aad", &pt);
+            // seal_into appends after existing content.
+            let mut buf = vec![0xee, 0xff];
+            gcm.seal_into(&nonce, b"aad", &pt, &mut buf);
+            assert_eq!(&buf[..2], &[0xee, 0xff]);
+            assert_eq!(&buf[2..], &owned[..], "len {len}");
+            let mut out = vec![0x11];
+            gcm.open_into(&nonce, b"aad", &owned, &mut out).unwrap();
+            assert_eq!(&out[..1], &[0x11]);
+            assert_eq!(&out[1..], &pt[..], "len {len}");
+            // Failed auth appends nothing.
+            let mut out = vec![0x22];
+            let mut bad = owned.clone();
+            *bad.last_mut().unwrap() ^= 1;
+            assert!(gcm.open_into(&nonce, b"aad", &bad, &mut out).is_err());
+            assert_eq!(out, vec![0x22]);
+        }
+    }
+
+    #[test]
+    fn key_cache_returns_equivalent_ciphers_and_honors_cap() {
+        let cache = GcmKeyCache::new(2);
+        let k1 = [1u8; 16];
+        let a = cache.get(&k1);
+        let b = cache.get(&k1);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "second lookup is a hit");
+        let sealed = a.seal(&[0u8; 12], b"x", b"payload");
+        assert_eq!(
+            AesGcm128::new(&k1).open(&[0u8; 12], b"x", &sealed).unwrap(),
+            b"payload"
+        );
+        // Fill past the cap: k1 (front) is evicted, a fresh instance returns.
+        cache.get(&[2u8; 16]);
+        cache.get(&[3u8; 16]);
+        let c = cache.get(&k1);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c), "evicted key re-derives");
+        // Disabled cache still works.
+        let off = GcmKeyCache::new(0);
+        let d = off.get(&k1);
+        assert_eq!(d.seal(&[0u8; 12], b"", b"p"), a.seal(&[0u8; 12], b"", b"p"));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod rng;
 pub mod sha256;
 
 pub use aes::Aes128;
-pub use gcm::AesGcm128;
+pub use gcm::{AesGcm128, GcmKeyCache};
 pub use lmh::fold_u64;
 pub use prg::{AesNiPrg, AesSoftPrg, Prg, PrgKind, Sha256Prg};
 pub use rng::SecureRandom;

@@ -9,6 +9,11 @@ use std::collections::HashMap;
 use std::hash::Hash;
 
 /// An LRU cache bounded by the total byte weight of its values.
+///
+/// Keys must be `Copy`: the recency index stores a second copy of every
+/// key, and the hot paths (`get` refreshes recency on every index-node
+/// touch) must not pay a heap clone per lookup. The index keys are
+/// `(level, index)` pairs, which are naturally copyable.
 pub struct LruCache<K, V> {
     map: HashMap<K, Entry<V>>,
     /// Recency: logical clock per entry; eviction removes the minimum.
@@ -27,7 +32,7 @@ struct Entry<V> {
     tick: u64,
 }
 
-impl<K: Eq + Hash + Clone + Ord, V> LruCache<K, V> {
+impl<K: Eq + Hash + Copy + Ord, V> LruCache<K, V> {
     /// Creates a cache holding at most `budget` bytes of value weight.
     pub fn new(budget: usize) -> Self {
         LruCache {
@@ -70,7 +75,7 @@ impl<K: Eq + Hash + Clone + Ord, V> LruCache<K, V> {
                 self.hits += 1;
                 self.order.remove(&e.tick);
                 e.tick = tick;
-                self.order.insert(tick, key.clone());
+                self.order.insert(tick, *key);
                 Some(&e.value)
             }
             None => {
@@ -98,7 +103,7 @@ impl<K: Eq + Hash + Clone + Ord, V> LruCache<K, V> {
             }
         }
         self.used += weight;
-        self.order.insert(self.tick, key.clone());
+        self.order.insert(self.tick, key);
         self.map.insert(
             key,
             Entry {

@@ -53,9 +53,14 @@ use timecrypt_store::{KvStore, StoreError};
 pub struct TreeConfig {
     /// Fan-out k. The paper's evaluation instantiates 64-ary trees.
     pub arity: usize,
-    /// LRU cache budget in bytes for index nodes. Fig. 7's "small cache"
-    /// variant uses 1 MB; the default is generous.
+    /// LRU cache budget in bytes for index nodes (split evenly across the
+    /// cache's lock stripes). Fig. 7's "small cache" variant uses 1 MB;
+    /// the default is generous.
     pub cache_bytes: usize,
+    /// Recurse the two partially-covered edges of one deep query in
+    /// parallel (see [`AggTree::query`]). On by default; benchmarks
+    /// disable it to measure the sequential baseline.
+    pub parallel_edges: bool,
 }
 
 impl Default for TreeConfig {
@@ -63,6 +68,7 @@ impl Default for TreeConfig {
         TreeConfig {
             arity: 64,
             cache_bytes: 256 * 1024 * 1024,
+            parallel_edges: true,
         }
     }
 }
@@ -206,7 +212,67 @@ pub struct AggTree<D: HomDigest> {
     /// later cached read. Stale bytes are still fine for the reader's own
     /// snapshot-consistent query; they just must not poison the cache.
     cache_gen: AtomicU64,
-    cache: Mutex<LruCache<(u8, u64), Node<D>>>,
+    cache: NodeCache<D>,
+}
+
+/// Lock stripes in the node cache. Parallel edge recursion means one query
+/// takes node-cache locks from two threads at once (and concurrent queries
+/// multiply that); striping by node key keeps them off one global mutex.
+/// Eight stripes cover the practical parallelism (two edges per query × a
+/// handful of concurrent readers) without fragmenting the byte budget.
+const CACHE_STRIPES: usize = 8;
+
+/// The striped node cache: an LRU per stripe, each holding `Arc`ed nodes so
+/// a cache hit hands back a reference-count bump instead of deep-cloning
+/// the node's digest entries (the former per-visit clone was the single
+/// largest allocation source in the query hot loop).
+struct NodeCache<D> {
+    stripes: Vec<Stripe<D>>,
+}
+
+/// One stripe: an independently locked LRU over `Arc`ed nodes.
+type Stripe<D> = Mutex<LruCache<(u8, u64), Arc<Node<D>>>>;
+
+impl<D: HomDigest> NodeCache<D> {
+    fn new(budget_bytes: usize) -> Self {
+        // Round the per-stripe budget up so tiny test budgets don't become
+        // zero-capacity stripes; the aggregate overshoot is ≤ 7 bytes.
+        let per_stripe = budget_bytes.div_ceil(CACHE_STRIPES);
+        NodeCache {
+            stripes: (0..CACHE_STRIPES)
+                .map(|_| Mutex::new(LruCache::new(per_stripe)))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, key: &(u8, u64)) -> &Stripe<D> {
+        // Consecutive node indexes (the common locality pattern) land on
+        // different stripes; mixing the level in (un-shifted — stripe
+        // selection keeps only the low bits) keeps a node and its parent
+        // at the same index from colliding systematically.
+        let h = key.1 ^ (key.0 as u64);
+        &self.stripes[(h % CACHE_STRIPES as u64) as usize]
+    }
+
+    fn get(&self, key: &(u8, u64)) -> Option<Arc<Node<D>>> {
+        self.stripe(key).lock().get(key).cloned()
+    }
+
+    fn put(&self, key: (u8, u64), node: Arc<Node<D>>, weight: usize) {
+        self.stripe(&key).lock().put(key, node, weight);
+    }
+
+    fn remove(&self, key: &(u8, u64)) {
+        self.stripe(key).lock().remove(key);
+    }
+
+    /// Aggregate (hits, misses) across stripes.
+    fn stats(&self) -> (u64, u64) {
+        self.stripes.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.lock().stats();
+            (h + sh, m + sm)
+        })
+    }
 }
 
 /// RAII end-bump for `cache_gen`: makes the odd→even transition
@@ -231,7 +297,7 @@ impl<D: HomDigest> AggTree<D> {
             Some(_) => return Err(IndexError::CorruptNode { level: 0, index: 0 }),
             None => 0,
         };
-        let cache = Mutex::new(LruCache::new(cfg.cache_bytes));
+        let cache = NodeCache::new(cfg.cache_bytes);
         Ok(AggTree {
             kv,
             stream,
@@ -275,67 +341,140 @@ impl<D: HomDigest> AggTree<D> {
     /// serialized internally; concurrent queries proceed against the
     /// previous `len` snapshot and stay exact (see module docs).
     pub fn append(&self, digest: D) -> Result<(), IndexError> {
+        self.append_batch(std::slice::from_ref(&digest))
+    }
+
+    /// Appends a run of consecutive chunk digests (starting at the current
+    /// `len`) with **one store write per touched node** instead of one per
+    /// chunk per level: the run is applied to an in-memory overlay of the
+    /// touched nodes, which is flushed node-by-node at the end, followed by
+    /// a single length-metadata write. For a k-chunk run landing in one
+    /// leaf node this turns `2k` index puts into `~2` — the dominant cost
+    /// of ingest when the store has per-operation latency.
+    ///
+    /// The final store/cache state is byte-identical to `k` sequential
+    /// [`append`](Self::append)s (pinned by `append_batch_matches_
+    /// sequential_appends`): the overlay applies exactly the per-chunk
+    /// operations in the same order, only the persistence is coalesced.
+    /// `len` is published once, after every flush write — readers observe
+    /// either the pre-batch or the post-batch length, never a torn middle,
+    /// by the same Release/Acquire argument as single appends. A store
+    /// failure mid-flush leaves `len` unpublished and surfaces
+    /// [`IndexError::TornAppend`] on retry, the same contract as an
+    /// interrupted single append.
+    pub fn append_batch(&self, digests: &[D]) -> Result<(), IndexError> {
+        if digests.is_empty() {
+            return Ok(());
+        }
         let _write = self.write.lock();
         // Generation goes odd for the whole node-write window (see
         // `cache_gen`); the guard restores even parity on every exit path.
         self.cache_gen.fetch_add(1, Ordering::SeqCst);
         let _gen = GenGuard(&self.cache_gen);
-        let i = self.len.load(Ordering::Relaxed); // stable: we hold `write`
+        let base = self.len.load(Ordering::Relaxed); // stable: we hold `write`
         let k = self.cfg.arity as u64;
-        // Ripple into each ancestor: at level ℓ the digest lands in node
-        // i / k^ℓ, slot (i / k^(ℓ-1)) % k. We stop one level above the
-        // highest level whose node would have only one child ever — but to
-        // keep queries simple we always maintain levels up to levels().
-        let mut level = 1u8;
-        let mut child_index = i; // index at level-1 (ℓ-1)
-        loop {
-            let node_index = child_index / k;
-            let slot = (child_index % k) as usize;
-            let mut node = self.load(level, node_index)?.unwrap_or(Node {
-                entries: Vec::new(),
-            });
-            if slot < node.entries.len() {
-                // At the leaf level a fresh append always lands in a new
-                // slot (chunks fill a node left to right, and `len` only
-                // advances after all node writes). An already-filled slot
-                // therefore means a previous append of this very chunk
-                // stored the leaf node and then failed higher up; adding
-                // again would silently double-count, so fail loudly.
-                if level == 1 {
-                    return Err(IndexError::TornAppend { chunk: i });
+        // Overlay of nodes touched by this run. BTreeMap so the flush
+        // below writes in deterministic (level, index) order.
+        let mut dirty: std::collections::BTreeMap<(u8, u64), Node<D>> =
+            std::collections::BTreeMap::new();
+        for (off, digest) in digests.iter().enumerate() {
+            let i = base + off as u64;
+            // Ripple into each ancestor: at level ℓ the digest lands in
+            // node i / k^ℓ, slot (i / k^(ℓ-1)) % k. We stop one level above
+            // the highest level whose node would have only one child ever —
+            // but to keep queries simple we always maintain levels up to
+            // levels().
+            let mut level = 1u8;
+            let mut child_index = i; // index at level-1 (ℓ-1)
+            loop {
+                let node_index = child_index / k;
+                let slot = (child_index % k) as usize;
+                let key = (level, node_index);
+                if let std::collections::btree_map::Entry::Vacant(vacant) = dirty.entry(key) {
+                    let loaded = self
+                        .load(level, node_index)?
+                        .map(|a| (*a).clone())
+                        .unwrap_or(Node {
+                            entries: Vec::new(),
+                        });
+                    vacant.insert(loaded);
                 }
-                node.entries[slot].add_assign(&digest);
-            } else {
-                // When the tree grows a new top level, the fresh node must
-                // first absorb the aggregates of the already-completed child
-                // subtrees to its left (they were roots until now).
-                while node.entries.len() < slot {
-                    let c = node.entries.len() as u64;
-                    let child_total = self.node_total(level - 1, node_index * k + c)?;
-                    node.entries.push(child_total);
+                let filled = dirty[&key].entries.len();
+                if slot < filled {
+                    // At the leaf level a fresh append always lands in a
+                    // new slot (chunks fill a node left to right, and `len`
+                    // only advances after all node writes). An
+                    // already-filled slot therefore means a previous append
+                    // of this very chunk stored the leaf node and then
+                    // failed higher up; adding again would silently
+                    // double-count, so fail loudly. Only the run's first
+                    // digest can hit this — later digests extend slots the
+                    // overlay itself grew. Nothing has been flushed yet, so
+                    // the refusal leaves the store untouched.
+                    if level == 1 {
+                        return Err(IndexError::TornAppend { chunk: i });
+                    }
+                    dirty.get_mut(&key).expect("inserted above").entries[slot].add_assign(digest);
+                } else {
+                    // When the tree grows a new top level, the fresh node
+                    // must first absorb the aggregates of the already-
+                    // completed child subtrees to its left (they were roots
+                    // until now). Those children may themselves be dirty
+                    // from this very run, so totals consult the overlay.
+                    let mut backfill = Vec::with_capacity(slot - filled);
+                    for c in filled..slot {
+                        backfill.push(self.node_total_overlay(
+                            &dirty,
+                            level - 1,
+                            node_index * k + c as u64,
+                        )?);
+                    }
+                    let node = dirty.get_mut(&key).expect("inserted above");
+                    node.entries.extend(backfill);
+                    node.entries.push(digest.clone());
                 }
-                node.entries.push(digest.clone());
+                // Continue while there is (or will be) a higher level: stop
+                // when this node is the lone root-level node and covers
+                // everything.
+                if node_index == 0 && (i + 1) <= span_at(level, k) {
+                    break;
+                }
+                child_index = node_index;
+                level += 1;
             }
-            self.store(level, node_index, node)?;
-            // Continue while there is (or will be) a higher level: stop when
-            // this node is the lone root-level node and covers everything.
-            if node_index == 0 && (i + 1) <= span_at(level, k) {
-                break;
-            }
-            child_index = node_index;
-            level += 1;
         }
+        // Flush: each touched node exactly once, then the length metadata.
+        for ((level, node_index), node) in dirty {
+            self.store(level, node_index, node)?;
+        }
+        let new_len = base + digests.len() as u64;
         self.kv
-            .put(&meta_key(self.stream), &(i + 1).to_le_bytes())?;
+            .put(&meta_key(self.stream), &new_len.to_le_bytes())?;
         // Publish last: a reader that observes the new length is
         // guaranteed (Release/Acquire) to see every node write above.
-        self.len.store(i + 1, Ordering::Release);
+        self.len.store(new_len, Ordering::Release);
         Ok(())
     }
 
     /// Statistical range query over chunks `[start, end)`: the homomorphic
     /// sum of their digests. Runs against a single `len` snapshot taken at
     /// entry, so it is exact even while an append is in flight.
+    ///
+    /// # Parallel edge recursion
+    ///
+    /// A misaligned range drills down two independent edge chains (the
+    /// start edge and the end edge), each paying one node load per level —
+    /// for a deep tree over a latency-bearing store that serial chain *is*
+    /// the query latency. When [`TreeConfig::parallel_edges`] is set and
+    /// the edges split high enough to amortize a thread spawn
+    /// (`MIN_PARALLEL_LEVEL`), the two edges below the split node recurse
+    /// on two threads, overlapping their store waits. Correctness follows
+    /// from the same consistent-`len`-snapshot argument as sequential
+    /// reads — both threads resolve nodes for the one snapshot taken at
+    /// entry and take no locks beyond per-stripe cache mutexes — and the
+    /// merged result is identical because digest addition is commutative
+    /// (see [`HomDigest::add_assign`]); `parallel_query_matches_sequential`
+    /// pins the equivalence.
     pub fn query(&self, start: u64, end: u64) -> Result<D, IndexError> {
         let len = self.len();
         if start >= end || end > len {
@@ -353,7 +492,9 @@ impl<D: HomDigest> AggTree<D> {
     }
 
     /// Recursive combine: add fully-covered entries of `(level, index)`;
-    /// recurse into the (at most two) partially-covered children.
+    /// recurse into the (at most two) partially-covered children —
+    /// in parallel when both edges are present and deep (see
+    /// [`query`](Self::query)).
     fn query_node(
         &self,
         level: u8,
@@ -372,6 +513,9 @@ impl<D: HomDigest> AggTree<D> {
             .load(level, index)?
             .ok_or(IndexError::Decayed { level, index })?;
         let base = index * span_at(level, k);
+        // At most two children partially overlap a contiguous range: the
+        // slot containing `start` and the slot containing `end`.
+        let mut partial: [Option<u64>; 2] = [None, None];
         for (slot, entry) in node.entries.iter().enumerate() {
             let c_lo = base + slot as u64 * child_span;
             let c_hi = c_lo + child_span;
@@ -388,10 +532,51 @@ impl<D: HomDigest> AggTree<D> {
                 // chunks, which can't partially overlap a chunk-aligned
                 // range, so level > 1 here.
                 debug_assert!(level > 1, "partial overlap at chunk level");
-                self.query_node(level - 1, index * k + slot as u64, start, end, acc)?;
+                let child = index * k + slot as u64;
+                if partial[0].is_none() {
+                    partial[0] = Some(child);
+                } else {
+                    partial[1] = Some(child);
+                }
             }
         }
-        Ok(())
+        match partial {
+            [None, None] => Ok(()),
+            [Some(child), None] => self.query_node(level - 1, child, start, end, acc),
+            [Some(left), Some(right)] => {
+                if self.cfg.parallel_edges && level > MIN_PARALLEL_LEVEL {
+                    // Below the split node each edge is a pure chain (one
+                    // partial child per level), so the two subtrees never
+                    // split again — two threads cover all the parallelism
+                    // there is.
+                    let (left_acc, right_result) = std::thread::scope(|scope| {
+                        let left_edge = scope.spawn(move || {
+                            let mut edge_acc: Option<D> = None;
+                            self.query_node(level - 1, left, start, end, &mut edge_acc)
+                                .map(|()| edge_acc)
+                        });
+                        let right_result = self.query_node(level - 1, right, start, end, acc);
+                        let left_acc = match left_edge.join() {
+                            Ok(result) => result,
+                            Err(panic) => std::panic::resume_unwind(panic),
+                        };
+                        (left_acc, right_result)
+                    });
+                    right_result?;
+                    if let Some(left) = left_acc? {
+                        match acc {
+                            Some(a) => a.add_assign(&left),
+                            None => *acc = Some(left),
+                        }
+                    }
+                    Ok(())
+                } else {
+                    self.query_node(level - 1, left, start, end, acc)?;
+                    self.query_node(level - 1, right, start, end, acc)
+                }
+            }
+            [None, Some(_)] => unreachable!("partial slots fill in order"),
+        }
     }
 
     /// Data decay (§4.5): drops all *fully covered* index nodes at levels
@@ -418,9 +603,10 @@ impl<D: HomDigest> AggTree<D> {
                 let key = node_key(self.stream, level, n);
                 if self.kv.get(&key)?.is_some() {
                     self.kv.delete(&key)?;
-                    // Per-node cache locking: concurrent readers only ever
-                    // wait one removal, not the whole decay scan.
-                    self.cache.lock().remove(&(level, n));
+                    // Per-node cache locking (one stripe per removal):
+                    // concurrent readers only ever wait one removal, not
+                    // the whole decay scan.
+                    self.cache.remove(&(level, n));
                     removed += 1;
                 }
             }
@@ -430,7 +616,7 @@ impl<D: HomDigest> AggTree<D> {
 
     /// Cache and size statistics.
     pub fn stats(&self) -> Result<TreeStats, IndexError> {
-        let (hits, misses) = self.cache.lock().stats();
+        let (hits, misses) = self.cache.stats();
         let nodes = self.kv.scan_prefix(&node_prefix(self.stream))?;
         Ok(TreeStats {
             cache_hits: hits,
@@ -440,26 +626,41 @@ impl<D: HomDigest> AggTree<D> {
         })
     }
 
-    /// The homomorphic total of one (complete) node: the sum of its entries.
-    fn node_total(&self, level: u8, index: u64) -> Result<D, IndexError> {
+    /// The homomorphic total of one (complete) node: the sum of its
+    /// entries, preferring the batch overlay over the persisted state (a
+    /// run crossing a level boundary backfills from nodes the same run
+    /// just grew).
+    fn node_total_overlay(
+        &self,
+        dirty: &std::collections::BTreeMap<(u8, u64), Node<D>>,
+        level: u8,
+        index: u64,
+    ) -> Result<D, IndexError> {
+        let sum = |entries: &[D]| {
+            let mut acc = entries[0].clone();
+            for e in &entries[1..] {
+                acc.add_assign(e);
+            }
+            acc
+        };
+        if let Some(node) = dirty.get(&(level, index)) {
+            return Ok(sum(&node.entries));
+        }
         let node = self
             .load(level, index)?
             .ok_or(IndexError::CorruptNode { level, index })?;
-        let mut acc = node.entries[0].clone();
-        for e in &node.entries[1..] {
-            acc.add_assign(e);
-        }
-        Ok(acc)
+        Ok(sum(&node.entries))
     }
 
-    fn load(&self, level: u8, index: u64) -> Result<Option<Node<D>>, IndexError> {
-        if let Some(n) = self.cache.lock().get(&(level, index)) {
-            return Ok(Some(n.clone()));
+    fn load(&self, level: u8, index: u64) -> Result<Option<Arc<Node<D>>>, IndexError> {
+        if let Some(n) = self.cache.get(&(level, index)) {
+            return Ok(Some(n));
         }
         let gen_before = self.cache_gen.load(Ordering::SeqCst);
         match self.kv.get(&node_key(self.stream, level, index))? {
             Some(bytes) => {
-                let node = Node::decode(&bytes).ok_or(IndexError::CorruptNode { level, index })?;
+                let node =
+                    Arc::new(Node::decode(&bytes).ok_or(IndexError::CorruptNode { level, index })?);
                 // Read-aside fill, guarded by the seqlock generation: only
                 // cache if no writer critical section overlapped the KV
                 // read (even and unchanged generation), otherwise these
@@ -467,7 +668,8 @@ impl<D: HomDigest> AggTree<D> {
                 // (snapshot semantics), caching them is not.
                 if gen_before.is_multiple_of(2) {
                     let w = node.weight();
-                    let mut cache = self.cache.lock();
+                    let stripe = self.cache.stripe(&(level, index));
+                    let mut cache = stripe.lock();
                     if self.cache_gen.load(Ordering::SeqCst) == gen_before {
                         cache.put((level, index), node.clone(), w);
                     }
@@ -482,10 +684,17 @@ impl<D: HomDigest> AggTree<D> {
         self.kv
             .put(&node_key(self.stream, level, index), &node.encode())?;
         let w = node.weight();
-        self.cache.lock().put((level, index), node, w);
+        self.cache.put((level, index), Arc::new(node), w);
         Ok(())
     }
 }
+
+/// Minimum split-node level for parallel edge recursion: below this the
+/// edge chains are one or two loads each and a thread spawn costs more
+/// than it hides. At a split level of 4 each edge still descends ≥ 3
+/// levels — with a latency-bearing store that is comfortably worth one
+/// spawn.
+const MIN_PARALLEL_LEVEL: u8 = 3;
 
 /// Chunks covered by one node at `level` (k^level).
 fn span_at(level: u8, k: u64) -> u64 {
@@ -527,6 +736,7 @@ mod tests {
             TreeConfig {
                 arity,
                 cache_bytes: 1 << 20,
+                ..TreeConfig::default()
             },
         )
         .unwrap()
@@ -600,6 +810,7 @@ mod tests {
                 TreeConfig {
                     arity: 8,
                     cache_bytes: 1 << 20,
+                    ..TreeConfig::default()
                 },
             )
             .unwrap();
@@ -613,6 +824,7 @@ mod tests {
             TreeConfig {
                 arity: 8,
                 cache_bytes: 1 << 20,
+                ..TreeConfig::default()
             },
         )
         .unwrap();
@@ -643,6 +855,7 @@ mod tests {
             TreeConfig {
                 arity: 4,
                 cache_bytes: 200,
+                ..TreeConfig::default()
             },
         )
         .unwrap();
@@ -745,6 +958,7 @@ mod tests {
             TreeConfig {
                 arity: 4,
                 cache_bytes: 1 << 20,
+                ..TreeConfig::default()
             },
         )
         .unwrap();
@@ -776,6 +990,7 @@ mod tests {
                 TreeConfig {
                     arity: 4,
                     cache_bytes: 1 << 20,
+                    ..TreeConfig::default()
                 },
             )
             .unwrap();
@@ -791,6 +1006,7 @@ mod tests {
             TreeConfig {
                 arity: 4,
                 cache_bytes: 1 << 20,
+                ..TreeConfig::default()
             },
         )
         .unwrap();
@@ -831,6 +1047,7 @@ mod tests {
                 TreeConfig {
                     arity: 4,
                     cache_bytes: 512,
+                    ..TreeConfig::default()
                 },
             )
             .unwrap(),
@@ -887,6 +1104,138 @@ mod tests {
         for n in 1..=70u64 {
             t.append(vec![n - 1, 1]).unwrap();
             assert_eq!(t.query(0, n).unwrap(), naive_sum(0, n), "after {n} appends");
+        }
+    }
+
+    /// Full store dump (every key under the stream's index prefixes),
+    /// sorted — the byte-identity probe for equivalence tests.
+    fn dump(kv: &dyn KvStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all = kv.scan_prefix(b"").unwrap();
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn append_batch_matches_sequential_appends() {
+        // Batch sizes that land inside one leaf node, exactly fill one,
+        // cross node boundaries, and cross level-growth boundaries — the
+        // final store bytes must equal sequential appends exactly.
+        for (arity, batches) in [
+            (4usize, vec![1usize, 3, 4, 5, 16, 17, 64, 30]),
+            (64, vec![64, 1, 63, 128, 200]),
+            (2, vec![7, 9, 1, 15]),
+        ] {
+            let kv_seq = Arc::new(MemKv::new());
+            let kv_batch = Arc::new(MemKv::new());
+            let seq: AggTree<Vec<u64>> = AggTree::open(
+                kv_seq.clone(),
+                1,
+                TreeConfig {
+                    arity,
+                    cache_bytes: 1 << 20,
+                    ..TreeConfig::default()
+                },
+            )
+            .unwrap();
+            let batch: AggTree<Vec<u64>> = AggTree::open(
+                kv_batch.clone(),
+                1,
+                TreeConfig {
+                    arity,
+                    cache_bytes: 1 << 20,
+                    ..TreeConfig::default()
+                },
+            )
+            .unwrap();
+            let mut i = 0u64;
+            for n in batches {
+                let digests: Vec<Vec<u64>> = (0..n as u64).map(|j| vec![i + j, 1]).collect();
+                for d in &digests {
+                    seq.append(d.clone()).unwrap();
+                }
+                batch.append_batch(&digests).unwrap();
+                i += n as u64;
+                assert_eq!(seq.len(), batch.len());
+                assert_eq!(
+                    dump(kv_seq.as_ref()),
+                    dump(kv_batch.as_ref()),
+                    "arity {arity}, after {i} chunks: stores diverge"
+                );
+            }
+            assert_eq!(batch.query(0, i).unwrap(), naive_sum(0, i));
+        }
+    }
+
+    #[test]
+    fn append_batch_refuses_torn_state_without_writing() {
+        // Same torn-state setup as the single-append test: chunk 4's first
+        // append died after the leaf write. A later *batch* starting at
+        // chunk 4 must refuse with TornAppend and leave the store exactly
+        // as it found it.
+        let kv = Arc::new(FailNthPut::new(10));
+        let t: AggTree<Vec<u64>> = AggTree::open(
+            kv.clone(),
+            1,
+            TreeConfig {
+                arity: 4,
+                cache_bytes: 1 << 20,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        fill(&t, 4);
+        assert!(t.append(vec![4, 1]).is_err());
+        let before = dump(kv.as_ref());
+        match t.append_batch(&[vec![4, 1], vec![5, 1]]) {
+            Err(IndexError::TornAppend { chunk: 4 }) => {}
+            other => panic!("expected TornAppend, got {other:?}"),
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(dump(kv.as_ref()), before, "refusal must not write");
+    }
+
+    #[test]
+    fn parallel_query_matches_sequential() {
+        // A deep arity-2 tree (600 chunks ⇒ 10 levels) so misaligned
+        // ranges split high enough to take the parallel-edge path; every
+        // reply must equal the sequential tree's byte-for-byte.
+        let kv = Arc::new(MemKv::new());
+        let par: AggTree<Vec<u64>> = AggTree::open(
+            kv.clone(),
+            1,
+            TreeConfig {
+                arity: 2,
+                cache_bytes: 512, // tiny: exercise the store-miss path too
+                parallel_edges: true,
+            },
+        )
+        .unwrap();
+        fill(&par, 600);
+        let seq: AggTree<Vec<u64>> = AggTree::open(
+            kv,
+            1,
+            TreeConfig {
+                arity: 2,
+                cache_bytes: 512,
+                parallel_edges: false,
+            },
+        )
+        .unwrap();
+        for (a, b) in [
+            (1u64, 599u64),
+            (1, 600),
+            (0, 599),
+            (3, 517),
+            (255, 257),
+            (0, 600),
+            (299, 300),
+        ] {
+            assert_eq!(
+                par.query(a, b).unwrap(),
+                seq.query(a, b).unwrap(),
+                "[{a},{b})"
+            );
+            assert_eq!(par.query(a, b).unwrap(), naive_sum(a, b), "[{a},{b})");
         }
     }
 }

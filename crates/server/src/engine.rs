@@ -4,11 +4,11 @@ use crate::keystore::KeyStore;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
+use timecrypt_chunk::serialize::{ChunkRef, EncryptedChunk, SealedRecord};
 use timecrypt_index::{AggTree, IndexError, TreeConfig};
 use timecrypt_integrity::{chunk_commitment, RootAttestation, StreamLedger};
 use timecrypt_store::{KvStore, StoreError};
-use timecrypt_wire::messages::{Request, Response, StatReply, StreamInfoWire};
+use timecrypt_wire::messages::{Request, RequestRef, Response, StatReply, StreamInfoWire};
 use timecrypt_wire::transport::Handler;
 
 /// Server-side tuning knobs.
@@ -19,6 +19,11 @@ pub struct ServerConfig {
     /// Per-stream index-node cache budget in bytes (Fig. 7 "small cache"
     /// sets this to 1 MB).
     pub cache_bytes: usize,
+    /// Recurse the two partial edges of one deep index query in parallel
+    /// (see `timecrypt_index::TreeConfig::parallel_edges`). On by
+    /// default; the `deep_tree` bench phase disables it to measure the
+    /// sequential baseline.
+    pub parallel_query: bool,
 }
 
 impl Default for ServerConfig {
@@ -26,6 +31,7 @@ impl Default for ServerConfig {
         ServerConfig {
             arity: 64,
             cache_bytes: 64 * 1024 * 1024,
+            parallel_query: true,
         }
     }
 }
@@ -166,6 +172,16 @@ impl From<IndexError> for ServerError {
 /// One stream's digest width plus, when the queried range covers at least
 /// one full chunk, the covered window and the homomorphic sum over it.
 pub type StreamStat = (u32, Option<(u64, u64, Vec<u64>)>);
+
+/// One chunk of an ingest run: the parsed header fields the validations
+/// need, plus the serialized bytes to store verbatim. Borrowing both keeps
+/// the run path payload-copy-free whether the chunks arrived parsed
+/// (in-process) or as wire bytes (zero-copy).
+struct RunItem<'a> {
+    index: u64,
+    digest_ct: &'a [u64],
+    bytes: &'a [u8],
+}
 
 /// Buffered real-time records of one stream: per open chunk, the `(seq,
 /// sealed bytes)` records received so far.
@@ -340,6 +356,7 @@ impl TimeCryptServer {
                 TreeConfig {
                     arity: server.cfg.arity,
                     cache_bytes: server.cfg.cache_bytes,
+                    parallel_edges: server.cfg.parallel_query,
                 },
             )?;
             let ledger = server.rebuild_ledger(stream)?;
@@ -381,6 +398,7 @@ impl TimeCryptServer {
             TreeConfig {
                 arity: self.cfg.arity,
                 cache_bytes: self.cfg.cache_bytes,
+                parallel_edges: self.cfg.parallel_query,
             },
         )?;
         streams.insert(
@@ -446,43 +464,266 @@ impl TimeCryptServer {
     /// Ingests one sealed chunk: stores the payload blob and appends the
     /// digest ciphertext to the aggregation index.
     pub fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
-        let st = self.stream(chunk.stream)?;
+        let mut scratch = Vec::with_capacity(chunk.encoded_len());
+        chunk.encode_into(&mut scratch);
+        let items = [RunItem {
+            index: chunk.index,
+            digest_ct: &chunk.digest_ct,
+            bytes: &scratch,
+        }];
+        self.insert_stream_run(chunk.stream, &items)
+            .pop()
+            .expect("one verdict per chunk")
+    }
+
+    /// Zero-copy single-chunk ingest from serialized bytes (the wire
+    /// path): the chunk is validated through a borrowed parse and the
+    /// *input bytes* are stored directly — the serialization is canonical
+    /// (see [`timecrypt_chunk::ChunkRef`]), so the stored value is
+    /// byte-identical to re-serializing a parsed chunk, without ever
+    /// copying the payload through an intermediate `EncryptedChunk`.
+    pub fn insert_bytes(&self, bytes: &[u8]) -> Result<(), ServerError> {
+        let chunk = ChunkRef::parse(bytes).map_err(|_| ServerError::BadChunk)?;
+        let items = [RunItem {
+            index: chunk.index,
+            digest_ct: &chunk.digest_ct,
+            bytes,
+        }];
+        self.insert_stream_run(chunk.stream, &items)
+            .pop()
+            .expect("one verdict per chunk")
+    }
+
+    /// Batched ingest of parsed chunks (any stream mix; per-stream order
+    /// is the caller's submission order). Verdicts come back in input
+    /// order and match what per-chunk [`insert`](Self::insert) calls would
+    /// produce; the final store/index state is byte-identical (pinned by
+    /// `insert_run_matches_sequential_inserts`). Each stream's run takes
+    /// its ingest lock once and coalesces index writes via
+    /// `AggTree::append_batch` — the whole-drain entry point of the
+    /// service tier's ingest workers.
+    pub fn insert_run(&self, chunks: &[EncryptedChunk]) -> Vec<Result<(), ServerError>> {
+        self.insert_run_refs(&chunks.iter().collect::<Vec<_>>())
+    }
+
+    /// [`insert_run`](Self::insert_run) over a reference slice — for
+    /// callers that regroup chunks (e.g. per-stream panic containment in
+    /// the service tier) without cloning payloads into contiguous runs.
+    pub fn insert_run_refs(&self, chunks: &[&EncryptedChunk]) -> Vec<Result<(), ServerError>> {
+        let mut scratch = Vec::new();
+        let mut encoded: Vec<(usize, usize)> = Vec::with_capacity(chunks.len());
+        for chunk in chunks {
+            let start = scratch.len();
+            chunk.encode_into(&mut scratch);
+            encoded.push((start, scratch.len()));
+        }
+        let items: Vec<RunItem<'_>> = chunks
+            .iter()
+            .zip(&encoded)
+            .map(|(chunk, &(start, end))| RunItem {
+                index: chunk.index,
+                digest_ct: &chunk.digest_ct,
+                bytes: &scratch[start..end],
+            })
+            .collect();
+        self.insert_grouped(chunks.iter().map(|c| c.stream).collect::<Vec<_>>(), items)
+    }
+
+    /// [`insert_run`](Self::insert_run) over serialized chunk bytes (the
+    /// wire batch path): chunks are validated through borrowed parses and
+    /// stored from the input slices — no payload copies. Unparseable
+    /// entries report [`ServerError::BadChunk`] at their position.
+    pub fn insert_bytes_run(&self, chunks: &[&[u8]]) -> Vec<Result<(), ServerError>> {
+        let mut verdicts: Vec<Option<ServerError>> = Vec::with_capacity(chunks.len());
+        let mut parsed: Vec<Option<ChunkRef<'_>>> = Vec::with_capacity(chunks.len());
+        for &bytes in chunks {
+            match ChunkRef::parse(bytes) {
+                Ok(c) => {
+                    parsed.push(Some(c));
+                    verdicts.push(None);
+                }
+                Err(_) => {
+                    parsed.push(None);
+                    verdicts.push(Some(ServerError::BadChunk));
+                }
+            }
+        }
+        let mut streams = Vec::new();
+        let mut items = Vec::new();
+        let mut positions = Vec::new();
+        for (pos, (entry, &bytes)) in parsed.iter().zip(chunks).enumerate() {
+            if let Some(c) = entry {
+                streams.push(c.stream);
+                items.push(RunItem {
+                    index: c.index,
+                    digest_ct: &c.digest_ct,
+                    bytes,
+                });
+                positions.push(pos);
+            }
+        }
+        let run_verdicts = self.insert_grouped(streams, items);
+        let mut out: Vec<Result<(), ServerError>> = verdicts
+            .into_iter()
+            .map(|v| match v {
+                Some(e) => Err(e),
+                None => Ok(()),
+            })
+            .collect();
+        for (pos, verdict) in positions.into_iter().zip(run_verdicts) {
+            out[pos] = verdict;
+        }
+        out
+    }
+
+    /// Groups `items` by stream (preserving each stream's submission
+    /// order) and applies one locked run per stream. `streams[i]` is the
+    /// owning stream of `items[i]`.
+    fn insert_grouped(
+        &self,
+        streams: Vec<u128>,
+        items: Vec<RunItem<'_>>,
+    ) -> Vec<Result<(), ServerError>> {
+        let mut order: Vec<u128> = Vec::new();
+        let mut groups: HashMap<u128, (Vec<RunItem<'_>>, Vec<usize>)> = HashMap::new();
+        for (pos, (stream, item)) in streams.into_iter().zip(items).enumerate() {
+            let entry = groups.entry(stream).or_insert_with(|| {
+                order.push(stream);
+                (Vec::new(), Vec::new())
+            });
+            entry.0.push(item);
+            entry.1.push(pos);
+        }
+        let mut out: Vec<Option<Result<(), ServerError>>> = Vec::new();
+        out.resize_with(order.iter().map(|s| groups[s].1.len()).sum(), || None);
+        for stream in order {
+            let (run, positions) = groups.remove(&stream).expect("grouped above");
+            for (pos, verdict) in positions
+                .into_iter()
+                .zip(self.insert_stream_run(stream, &run))
+            {
+                out[pos] = Some(verdict);
+            }
+        }
+        out.into_iter()
+            .map(|v| v.expect("every position receives a verdict"))
+            .collect()
+    }
+
+    /// One stream's ordered ingest run under a single ingest-lock
+    /// acquisition. Per-chunk semantics mirror sequential
+    /// [`insert`](Self::insert): width and next-index validation per
+    /// chunk (a rejected chunk does not advance the expected index),
+    /// payload + ledger-leaf writes per accepted chunk, then **one**
+    /// coalesced index append for the accepted run, ledger appends, and
+    /// live-buffer cleanup. If the coalesced index append itself fails —
+    /// a store fault, not a validation outcome — the first pending chunk
+    /// reports the real error and the rest report `Unavailable`, and
+    /// `len` was never advanced (the torn-append contract of
+    /// `AggTree::append_batch`).
+    fn insert_stream_run(
+        &self,
+        stream: u128,
+        items: &[RunItem<'_>],
+    ) -> Vec<Result<(), ServerError>> {
+        let st = match self.stream(stream) {
+            Ok(st) => st,
+            Err(_) => {
+                return items
+                    .iter()
+                    .map(|_| Err(ServerError::NoSuchStream(stream)))
+                    .collect()
+            }
+        };
         // Exclusive per-stream ingest lock: serializes writers only.
         // Concurrent statistical/raw reads proceed against the previous
         // tree-length snapshot.
         let _ingest = st.ingest.lock();
-        if chunk.digest_ct.len() as u32 != st.digest_width {
-            return Err(ServerError::WidthMismatch {
-                expected: st.digest_width,
-                got: chunk.digest_ct.len() as u32,
-            });
+        let mut expected = st.tree.len();
+        let mut verdicts: Vec<Option<ServerError>> = Vec::with_capacity(items.len());
+        // (input position, commitment) per accepted chunk, in run order.
+        let mut accepted: Vec<(usize, [u8; 32])> = Vec::new();
+        let mut digests: Vec<Vec<u64>> = Vec::new();
+        for (pos, item) in items.iter().enumerate() {
+            if item.digest_ct.len() as u32 != st.digest_width {
+                verdicts.push(Some(ServerError::WidthMismatch {
+                    expected: st.digest_width,
+                    got: item.digest_ct.len() as u32,
+                }));
+                continue;
+            }
+            if item.index != expected {
+                verdicts.push(Some(ServerError::OutOfOrderChunk {
+                    expected,
+                    got: item.index,
+                }));
+                continue;
+            }
+            let commitment = chunk_commitment(item.bytes);
+            let stored = self
+                .kv
+                .put(&chunk_key(stream, item.index), item.bytes)
+                .and_then(|()| {
+                    self.kv.put(
+                        &ledger_key(stream, item.index),
+                        &encode_ledger_leaf(&commitment, item.digest_ct),
+                    )
+                });
+            if let Err(e) = stored {
+                // Mirrors a sequential insert dying before the index
+                // append: this chunk fails, `expected` does not advance,
+                // so later chunks of the run report out-of-order.
+                verdicts.push(Some(ServerError::Store(e)));
+                continue;
+            }
+            accepted.push((pos, commitment));
+            digests.push(item.digest_ct.to_vec());
+            verdicts.push(None);
+            expected += 1;
         }
-        let expected = st.tree.len();
-        if chunk.index != expected {
-            return Err(ServerError::OutOfOrderChunk {
-                expected,
-                got: chunk.index,
-            });
+        if let Err(e) = st.tree.append_batch(&digests) {
+            let mut first = Some(ServerError::from(e));
+            for &(pos, _) in &accepted {
+                verdicts[pos] = Some(first.take().unwrap_or(ServerError::Unavailable(
+                    "batched index append failed for an earlier chunk of this run",
+                )));
+            }
+            return verdicts
+                .into_iter()
+                .map(|v| match v {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                })
+                .collect();
         }
-        let bytes = chunk.to_bytes();
-        let commitment = chunk_commitment(&bytes);
-        self.kv.put(&chunk_key(chunk.stream, chunk.index), &bytes)?;
-        self.kv.put(
-            &ledger_key(chunk.stream, chunk.index),
-            &encode_ledger_leaf(&commitment, &chunk.digest_ct),
-        )?;
-        st.tree.append(chunk.digest_ct.clone())?;
-        st.ledger
-            .write()
-            .append(commitment, chunk.digest_ct.clone())
-            .map_err(|e| ServerError::Integrity(e.to_string()))?;
-        // The finalized chunk supersedes its real-time records (§4.6
-        // "dropping the encrypted records once the corresponding chunk is
-        // stored").
-        if let Some(buf) = self.live.lock().get_mut(&chunk.stream) {
-            buf.remove(&chunk.index);
+        if !accepted.is_empty() {
+            let mut ledger = st.ledger.write();
+            for (&(pos, commitment), digest) in accepted.iter().zip(&digests) {
+                if let Err(e) = ledger.append(commitment, digest.clone()) {
+                    verdicts[pos] = Some(ServerError::Integrity(e.to_string()));
+                }
+            }
+            // The finalized chunks supersede their real-time records (§4.6
+            // "dropping the encrypted records once the corresponding chunk
+            // is stored") — but only chunks whose verdict stayed Ok: a
+            // chunk that failed its ledger append keeps its live records,
+            // exactly as a sequential insert erroring out would.
+            let mut live = self.live.lock();
+            if let Some(buf) = live.get_mut(&stream) {
+                for (pos, _) in &accepted {
+                    if verdicts[*pos].is_none() {
+                        buf.remove(&items[*pos].index);
+                    }
+                }
+            }
         }
-        Ok(())
+        verdicts
+            .into_iter()
+            .map(|v| match v {
+                Some(e) => Err(e),
+                None => Ok(()),
+            })
+            .collect()
     }
 
     /// Buffers one real-time record (§4.6). The record must target a chunk
@@ -891,7 +1132,37 @@ pub fn merge_stream_stats(
     }
 }
 
+/// Renders per-chunk batch verdicts into the wire's `(position, message)`
+/// error list (successes are implicit). Shared by every `InsertBatch`
+/// handler so error strings cannot diverge between deployment shapes.
+pub fn batch_errors(verdicts: Vec<Result<(), ServerError>>) -> Vec<(u32, String)> {
+    verdicts
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.err().map(|e| (i as u32, e.to_string())))
+        .collect()
+}
+
 impl Handler for TimeCryptServer {
+    /// Zero-copy frame entry point: ingest requests are parsed as borrows
+    /// of the frame buffer and stored without payload copies
+    /// ([`TimeCryptServer::insert_bytes`]); everything else takes the
+    /// owned path. Replies are byte-identical to the default
+    /// decode-then-`handle` route (same validations, same error strings).
+    fn handle_frame(&self, body: &[u8]) -> Response {
+        match RequestRef::decode(body) {
+            Ok(RequestRef::Insert { chunk }) => match self.insert_bytes(chunk) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Ok(RequestRef::InsertBatch { chunks }) => Response::Batch {
+                errors: batch_errors(self.insert_bytes_run(&chunks)),
+            },
+            Ok(other) => self.handle(other.to_owned()),
+            Err(e) => Response::Error(format!("bad request: {e}")),
+        }
+    }
+
     fn handle(&self, req: Request) -> Response {
         fn ok_or<T>(r: Result<T, ServerError>, f: impl FnOnce(T) -> Response) -> Response {
             match r {
@@ -1003,17 +1274,10 @@ impl Handler for TimeCryptServer {
                 },
             ),
             Request::InsertBatch { chunks } => {
-                let mut errors = Vec::new();
-                for (i, bytes) in chunks.iter().enumerate() {
-                    let result = match EncryptedChunk::from_bytes(bytes) {
-                        Ok(c) => self.insert(&c).map_err(|e| e.to_string()),
-                        Err(_) => Err(ServerError::BadChunk.to_string()),
-                    };
-                    if let Err(msg) = result {
-                        errors.push((i as u32, msg));
-                    }
+                let views: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+                Response::Batch {
+                    errors: batch_errors(self.insert_bytes_run(&views)),
                 }
-                Response::Batch { errors }
             }
             Request::Stats => {
                 Response::Error("service stats unavailable: single-engine deployment".into())
@@ -1275,6 +1539,7 @@ mod tests {
             ServerConfig {
                 arity: 4,
                 cache_bytes: 1 << 20,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -1389,5 +1654,142 @@ mod tests {
             }
         });
         assert_eq!(s.stream_info(1).unwrap().len, N);
+    }
+
+    /// Seals one chunk of stream `id` for the equivalence tests.
+    fn sealed(id: u128, index: u64, seed: u64) -> EncryptedChunk {
+        let cfg = StreamConfig {
+            schema: timecrypt_chunk::DigestSchema::sum_count(),
+            ..StreamConfig::new(id, "m", 0, 10_000)
+        };
+        let km = StreamKeyMaterial::with_params(id, [id as u8; 16], 20, PrgKind::Aes).unwrap();
+        let mut rng = SecureRandom::from_seed_insecure(seed);
+        timecrypt_chunk::PlainChunk {
+            stream: id,
+            index,
+            points: vec![DataPoint::new(index as i64 * 10_000, seed as i64)],
+        }
+        .seal(&cfg, &km, &mut rng)
+        .unwrap()
+    }
+
+    fn dump(kv: &dyn KvStore) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut all = kv.scan_prefix(b"").unwrap();
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn insert_run_matches_sequential_inserts() {
+        // A mixed-stream batch with every validation failure mode: the
+        // batched path must produce identical per-chunk verdicts AND a
+        // byte-identical store to sequential inserts.
+        let kv_seq: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let kv_run: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let seq = TimeCryptServer::open(kv_seq.clone(), ServerConfig::default()).unwrap();
+        let run = TimeCryptServer::open(kv_run.clone(), ServerConfig::default()).unwrap();
+        for s in [&seq, &run] {
+            s.create_stream(1, 0, 10_000, 2).unwrap();
+            s.create_stream(2, 0, 10_000, 2).unwrap();
+        }
+        let mut batch = vec![
+            sealed(1, 0, 10),
+            sealed(2, 0, 20),
+            sealed(1, 1, 11),
+            sealed(1, 5, 99), // out of order
+            sealed(2, 1, 21),
+            sealed(3, 0, 1), // unknown stream
+        ];
+        // Width mismatch.
+        batch.push(EncryptedChunk {
+            stream: 1,
+            index: 2,
+            digest_ct: vec![0],
+            payload: vec![],
+        });
+        let seq_verdicts: Vec<Result<(), ServerError>> =
+            batch.iter().map(|c| seq.insert(c)).collect();
+        let run_verdicts = run.insert_run(&batch);
+        assert_eq!(seq_verdicts.len(), run_verdicts.len());
+        for (i, (a, b)) in seq_verdicts.iter().zip(&run_verdicts).enumerate() {
+            match (a, b) {
+                (Ok(()), Ok(())) => {}
+                (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string(), "chunk {i}"),
+                other => panic!("verdicts diverge at {i}: {other:?}"),
+            }
+        }
+        assert_eq!(
+            dump(kv_seq.as_ref()),
+            dump(kv_run.as_ref()),
+            "stores must be byte-identical"
+        );
+        // And the bytes path over the same input is identical again.
+        let kv_bytes: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let by_bytes = TimeCryptServer::open(kv_bytes.clone(), ServerConfig::default()).unwrap();
+        by_bytes.create_stream(1, 0, 10_000, 2).unwrap();
+        by_bytes.create_stream(2, 0, 10_000, 2).unwrap();
+        let encoded: Vec<Vec<u8>> = batch.iter().map(|c| c.to_bytes()).collect();
+        let views: Vec<&[u8]> = encoded.iter().map(Vec::as_slice).collect();
+        let bytes_verdicts = by_bytes.insert_bytes_run(&views);
+        for (a, b) in run_verdicts.iter().zip(&bytes_verdicts) {
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
+        assert_eq!(dump(kv_run.as_ref()), dump(kv_bytes.as_ref()));
+    }
+
+    #[test]
+    fn handle_frame_matches_handle() {
+        // The zero-copy frame path must answer byte-identically to the
+        // decode-then-handle default, for ingest and non-ingest requests,
+        // success and failure alike.
+        let kv_a: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let kv_b: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let a = TimeCryptServer::open(kv_a.clone(), ServerConfig::default()).unwrap();
+        let b = TimeCryptServer::open(kv_b.clone(), ServerConfig::default()).unwrap();
+        let requests = vec![
+            Request::CreateStream {
+                stream: 1,
+                t0: 0,
+                delta_ms: 10_000,
+                digest_width: 2,
+            },
+            Request::Insert {
+                chunk: sealed(1, 0, 5).to_bytes(),
+            },
+            Request::InsertBatch {
+                chunks: vec![
+                    sealed(1, 1, 6).to_bytes(),
+                    sealed(1, 9, 7).to_bytes(), // out of order
+                    vec![1, 2, 3],              // malformed
+                ],
+            },
+            Request::Insert {
+                chunk: vec![9, 9], // malformed
+            },
+            Request::GetStatRange {
+                streams: vec![1],
+                ts_s: 0,
+                ts_e: 20_000,
+            },
+            Request::StreamInfo { stream: 1 },
+            Request::StreamInfo { stream: 42 },
+            Request::Ping,
+        ];
+        for req in requests {
+            let frame = req.encode();
+            let via_frame = a.handle_frame(&frame);
+            let via_handle = b.handle(req);
+            assert_eq!(
+                via_frame.encode(),
+                via_handle.encode(),
+                "replies diverge for {via_handle:?}"
+            );
+        }
+        assert_eq!(dump(kv_a.as_ref()), dump(kv_b.as_ref()));
+        // Undecodable frames render the same error as the default path.
+        assert_eq!(
+            a.handle_frame(&[200]).encode(),
+            Handler::handle_frame(&|_req: Request| Response::Pong, &[200]).encode(),
+        );
     }
 }

@@ -288,17 +288,47 @@ impl ShardBackend for LocalShard {
         chunks: &[EncryptedChunk],
     ) -> Result<Vec<Result<(), ServerError>>, ServerError> {
         let m = self.metrics.shard(self.shard);
-        Ok(chunks
-            .iter()
-            .map(|chunk| {
-                // Contain engine panics so one poisoned insert cannot kill
-                // the shard's ingest pipeline.
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    crate::ingest::metered_insert(&self.engine, m, chunk)
-                }))
-                .unwrap_or(Err(ServerError::Unavailable("shard engine panicked")))
-            })
-            .collect())
+        // Each stream's chunks go to the engine as one run (one
+        // ingest-lock acquisition and one coalesced index append instead
+        // of per-chunk lock/append/store cycles). Panic containment is
+        // per stream run: a poisoned stream must not make chunks of
+        // *other* streams — possibly already durably committed by their
+        // own runs — report failure, or a replica mirror would skip
+        // writes the primary actually holds.
+        let t = std::time::Instant::now();
+        let mut verdicts: Vec<Option<Result<(), ServerError>>> = Vec::new();
+        verdicts.resize_with(chunks.len(), || None);
+        let mut order: Vec<u128> = Vec::new();
+        let mut groups: std::collections::HashMap<u128, (Vec<&EncryptedChunk>, Vec<usize>)> =
+            std::collections::HashMap::new();
+        for (pos, chunk) in chunks.iter().enumerate() {
+            let entry = groups.entry(chunk.stream).or_insert_with(|| {
+                order.push(chunk.stream);
+                (Vec::new(), Vec::new())
+            });
+            entry.0.push(chunk);
+            entry.1.push(pos);
+        }
+        for stream in order {
+            let (run, positions) = groups.remove(&stream).expect("grouped above");
+            let run_verdicts = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.engine.insert_run_refs(&run)
+            }))
+            .unwrap_or_else(|_| {
+                run.iter()
+                    .map(|_| Err(ServerError::Unavailable("shard engine panicked")))
+                    .collect()
+            });
+            for (pos, verdict) in positions.into_iter().zip(run_verdicts) {
+                verdicts[pos] = Some(verdict);
+            }
+        }
+        let verdicts: Vec<Result<(), ServerError>> = verdicts
+            .into_iter()
+            .map(|v| v.expect("every chunk receives a verdict"))
+            .collect();
+        crate::ingest::record_run_metrics(m, t.elapsed(), &verdicts);
+        Ok(verdicts)
     }
 
     fn stream_count(&self) -> Result<u64, ServerError> {
@@ -399,11 +429,18 @@ impl ShardBackend for RemoteShard {
         chunks: &[EncryptedChunk],
     ) -> Result<Vec<Result<(), ServerError>>, ServerError> {
         let m = self.metrics.shard(self.shard);
-        let req = Request::InsertBatch {
-            chunks: chunks.iter().map(|c| c.to_bytes()).collect(),
-        };
         let t = Instant::now();
-        let reply = self.pool.call(&req);
+        // Frame assembly without intermediate copies: each chunk is
+        // serialized once, straight into the connection's scratch buffer
+        // (no per-chunk `Vec<u8>`, no owned `Request`), and the buffer's
+        // capacity is reused across drains on the pooled connection.
+        let reply = self.pool.call_with(|buf| {
+            let mut enc = timecrypt_wire::messages::BatchEncoder::begin(buf);
+            for c in chunks {
+                enc.append_with(c.encoded_len(), |out| c.encode_into(out));
+            }
+            enc.finish();
+        });
         let elapsed = t.elapsed();
         let results: Vec<Result<(), ServerError>> = match reply {
             Ok(Response::Batch { errors }) => {

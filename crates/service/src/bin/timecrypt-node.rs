@@ -118,6 +118,7 @@ fn main() {
             engine: ServerConfig {
                 arity: args.arity,
                 cache_bytes: args.cache_bytes,
+                ..ServerConfig::default()
             },
         },
     ) {

@@ -61,6 +61,55 @@ pub(crate) fn metered_insert(
     result
 }
 
+/// Records one batched-run outcome on the shard metrics: the run's wall
+/// time is sampled once per chunk (the same convention the remote batch
+/// path uses — histogram totals and the `ingested_chunks`/`ingest_errors`
+/// counters stay in agreement), counters tick per verdict.
+pub(crate) fn record_run_metrics(
+    m: &ShardMetrics,
+    elapsed: std::time::Duration,
+    verdicts: &[Result<(), ServerError>],
+) {
+    for v in verdicts {
+        m.ingest_latency.record(elapsed);
+        match v {
+            Ok(()) => m.ingested_chunks.fetch_add(1, Ordering::Relaxed),
+            Err(_) => m.ingest_errors.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// Zero-copy single-chunk ingest from serialized bytes with metrics —
+/// the frame-path sibling of [`metered_insert`].
+pub(crate) fn metered_insert_bytes(
+    engine: &TimeCryptServer,
+    m: &ShardMetrics,
+    bytes: &[u8],
+) -> Result<(), ServerError> {
+    let t = Instant::now();
+    let result = engine.insert_bytes(bytes);
+    m.ingest_latency.record(t.elapsed());
+    match &result {
+        Ok(()) => m.ingested_chunks.fetch_add(1, Ordering::Relaxed),
+        Err(_) => m.ingest_errors.fetch_add(1, Ordering::Relaxed),
+    };
+    result
+}
+
+/// Batched zero-copy ingest of serialized chunks into `engine` with run
+/// metrics. Shared by the shard node's `InsertBatch` frame path and the
+/// single engine's — one implementation, identical accounting.
+pub(crate) fn metered_insert_bytes_run(
+    engine: &TimeCryptServer,
+    m: &ShardMetrics,
+    chunks: &[&[u8]],
+) -> Vec<Result<(), ServerError>> {
+    let t = Instant::now();
+    let verdicts = engine.insert_bytes_run(chunks);
+    record_run_metrics(m, t.elapsed(), &verdicts);
+    verdicts
+}
+
 /// One queued chunk insert; `reply` carries the original batch position so
 /// the submitter can reassemble results in input order.
 pub(crate) struct Job {

@@ -18,15 +18,15 @@
 //! data error.
 
 use crate::backend::metered_stat;
-use crate::ingest::metered_insert;
+use crate::ingest::{metered_insert, metered_insert_bytes, metered_insert_bytes_run};
 use crate::metrics::ServiceMetrics;
 use crate::router::ShardRouter;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
+use timecrypt_chunk::serialize::{ChunkRef, EncryptedChunk, SealedRecord};
 use timecrypt_server::{merge_stream_stats, ServerConfig, ServerError, TimeCryptServer};
 use timecrypt_store::{KvStore, MeteredKv};
-use timecrypt_wire::messages::{Request, Response};
+use timecrypt_wire::messages::{Request, RequestRef, Response};
 use timecrypt_wire::transport::Handler;
 
 const NOT_HOSTED: ServerError =
@@ -112,6 +112,50 @@ impl ShardNode {
         }
     }
 
+    /// Batched ingest over serialized chunk views: chunks are routed to
+    /// their owning engine by a borrowed header parse (payloads are never
+    /// copied), each engine gets its sub-batch as one zero-copy run, and
+    /// verdicts come back in batch order with the same error strings as
+    /// per-chunk inserts. Shared by the owned `InsertBatch` handler and
+    /// the zero-copy frame path.
+    fn insert_batch_views(&self, chunks: &[&[u8]]) -> Response {
+        let mut verdict_msgs: Vec<Option<String>> = Vec::new();
+        verdict_msgs.resize_with(chunks.len(), || None);
+        // Per-shard sub-batches, each preserving batch order.
+        let mut by_shard: BTreeMap<usize, (Vec<&[u8]>, Vec<usize>)> = BTreeMap::new();
+        for (pos, &bytes) in chunks.iter().enumerate() {
+            match ChunkRef::parse(bytes) {
+                Ok(c) => {
+                    let shard = self.router.shard_of(c.stream);
+                    if self.engines.contains_key(&shard) {
+                        let entry = by_shard.entry(shard).or_default();
+                        entry.0.push(bytes);
+                        entry.1.push(pos);
+                    } else {
+                        verdict_msgs[pos] = Some(NOT_HOSTED.to_string());
+                    }
+                }
+                Err(_) => verdict_msgs[pos] = Some(ServerError::BadChunk.to_string()),
+            }
+        }
+        for (shard, (views, positions)) in by_shard {
+            let engine = &self.engines[&shard];
+            let verdicts = metered_insert_bytes_run(engine, self.metrics.shard(shard), &views);
+            for (pos, verdict) in positions.into_iter().zip(verdicts) {
+                if let Err(e) = verdict {
+                    verdict_msgs[pos] = Some(e.to_string());
+                }
+            }
+        }
+        Response::Batch {
+            errors: verdict_msgs
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, m)| m.map(|msg| (i as u32, msg)))
+                .collect(),
+        }
+    }
+
     /// Node metrics snapshot: one entry per *hosted* shard (global shard
     /// ids), plus the node store's traffic counters.
     pub fn stats(&self) -> timecrypt_wire::messages::ServiceStatsWire {
@@ -133,6 +177,29 @@ impl ShardNode {
 }
 
 impl Handler for ShardNode {
+    /// Zero-copy frame entry point: ingest payloads are parsed and stored
+    /// as borrows of the frame buffer, batches as per-engine runs. Replies
+    /// are byte-identical to the decode-then-`handle` default.
+    fn handle_frame(&self, body: &[u8]) -> Response {
+        match RequestRef::decode(body) {
+            Ok(RequestRef::Insert { chunk }) => match ChunkRef::parse(chunk) {
+                Ok(c) => match self.engine_for(c.stream) {
+                    Ok((shard, engine)) => {
+                        match metered_insert_bytes(engine, self.metrics.shard(shard), chunk) {
+                            Ok(()) => Response::Ok,
+                            Err(e) => Response::Error(e.to_string()),
+                        }
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(_) => Response::Error(ServerError::BadChunk.to_string()),
+            },
+            Ok(RequestRef::InsertBatch { chunks }) => self.insert_batch_views(&chunks),
+            Ok(other) => self.handle(other.to_owned()),
+            Err(e) => Response::Error(format!("bad request: {e}")),
+        }
+    }
+
     fn handle(&self, req: Request) -> Response {
         match req {
             // The coordinator pipelines scatter-gather legs as one
@@ -172,27 +239,12 @@ impl Handler for ShardNode {
                 },
                 Err(_) => Response::Error(ServerError::BadChunk.to_string()),
             },
-            // Sequential in-order application preserves the batch's
+            // Batched runs per owning engine preserve the batch's
             // per-stream order; error strings match the single-engine and
             // coordinator-local paths (same `ServerError` renderings).
             Request::InsertBatch { chunks } => {
-                let mut errors = Vec::new();
-                for (i, bytes) in chunks.iter().enumerate() {
-                    let result = match EncryptedChunk::from_bytes(bytes) {
-                        Ok(c) => match self.engine_for(c.stream) {
-                            Ok((shard, engine)) => {
-                                metered_insert(engine, self.metrics.shard(shard), &c)
-                                    .map_err(|e| e.to_string())
-                            }
-                            Err(e) => Err(e.to_string()),
-                        },
-                        Err(_) => Err(ServerError::BadChunk.to_string()),
-                    };
-                    if let Err(msg) = result {
-                        errors.push((i as u32, msg));
-                    }
-                }
-                Response::Batch { errors }
+                let views: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+                self.insert_batch_views(&views)
             }
             Request::InsertLive { record } => match SealedRecord::from_bytes(&record) {
                 Ok(r) => match self.engine_for(r.stream) {

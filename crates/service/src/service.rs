@@ -439,6 +439,32 @@ impl ShardedService {
     pub fn kv(&self) -> &Arc<MeteredKv> {
         &self.kv
     }
+
+    /// One `InsertBatch` over serialized chunk views: parse failures keep
+    /// their batch position; parsed chunks go through the sharded
+    /// pipeline. Shared by the owned and frame entry points so their
+    /// replies cannot diverge (`handle_frame_matches_handle` pins it).
+    fn insert_batch_bytes(&self, chunks: &[&[u8]]) -> Response {
+        let mut errors = Vec::new();
+        let mut parsed = Vec::with_capacity(chunks.len());
+        let mut positions = Vec::with_capacity(chunks.len());
+        for (i, bytes) in chunks.iter().enumerate() {
+            match EncryptedChunk::from_bytes(bytes) {
+                Ok(c) => {
+                    parsed.push(c);
+                    positions.push(i as u32);
+                }
+                Err(_) => errors.push((i as u32, ServerError::BadChunk.to_string())),
+            }
+        }
+        for (pos, result) in positions.into_iter().zip(self.submit_batch(parsed)) {
+            if let Err(e) = result {
+                errors.push((pos, e.to_string()));
+            }
+        }
+        errors.sort_by_key(|&(i, _)| i);
+        Response::Batch { errors }
+    }
 }
 
 impl Drop for ShardedService {
@@ -455,6 +481,27 @@ impl Drop for ShardedService {
 }
 
 impl Handler for ShardedService {
+    /// Frame entry point: ingest payloads are parsed once, straight from
+    /// the frame buffer into the owned chunks the shard queues need —
+    /// instead of first copying every payload into an owned `Request` and
+    /// then parsing (two copies per chunk). Replies are byte-identical to
+    /// the decode-then-`handle` default.
+    fn handle_frame(&self, body: &[u8]) -> Response {
+        use timecrypt_wire::messages::RequestRef;
+        match RequestRef::decode(body) {
+            Ok(RequestRef::Insert { chunk }) => match EncryptedChunk::from_bytes(chunk) {
+                Ok(c) => match self.insert(&c) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Error(e.to_string()),
+                },
+                Err(_) => Response::Error(ServerError::BadChunk.to_string()),
+            },
+            Ok(RequestRef::InsertBatch { chunks }) => self.insert_batch_bytes(&chunks),
+            Ok(other) => self.handle(other.to_owned()),
+            Err(e) => Response::Error(format!("bad request: {e}")),
+        }
+    }
+
     fn handle(&self, req: Request) -> Response {
         match req {
             // Multi-stream and service-level requests are handled here.
@@ -467,27 +514,8 @@ impl Handler for ShardedService {
                 Err(e) => Response::Error(e.to_string()),
             },
             Request::InsertBatch { chunks } => {
-                // Parse failures keep their batch position; parsed chunks
-                // go through the sharded pipeline.
-                let mut errors = Vec::new();
-                let mut parsed = Vec::with_capacity(chunks.len());
-                let mut positions = Vec::with_capacity(chunks.len());
-                for (i, bytes) in chunks.iter().enumerate() {
-                    match EncryptedChunk::from_bytes(bytes) {
-                        Ok(c) => {
-                            parsed.push(c);
-                            positions.push(i as u32);
-                        }
-                        Err(_) => errors.push((i as u32, ServerError::BadChunk.to_string())),
-                    }
-                }
-                for (pos, result) in positions.into_iter().zip(self.submit_batch(parsed)) {
-                    if let Err(e) = result {
-                        errors.push((pos, e.to_string()));
-                    }
-                }
-                errors.sort_by_key(|&(i, _)| i);
-                Response::Batch { errors }
+                let views: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+                self.insert_batch_bytes(&views)
             }
             Request::Stats => Response::ServiceStats(self.stats()),
             // The stream-list probe addresses a shard, not a stream.
@@ -893,6 +921,50 @@ mod tests {
             ServerError::IncompatibleStreams.to_string(),
             "width conflict must win over the empty window"
         );
+    }
+
+    #[test]
+    fn handle_frame_matches_handle() {
+        // The coordinator's zero-copy frame path must answer
+        // byte-identically to the decode-then-handle default — ingest
+        // (single, batched, malformed, out-of-order) and non-ingest alike.
+        let a = service(2);
+        let b = service(2);
+        let requests = vec![
+            Request::CreateStream {
+                stream: 1,
+                t0: 0,
+                delta_ms: 10_000,
+                digest_width: 2,
+            },
+            Request::Insert {
+                chunk: sealed_chunk(1, 0, 5).to_bytes(),
+            },
+            Request::InsertBatch {
+                chunks: vec![
+                    sealed_chunk(1, 1, 6).to_bytes(),
+                    sealed_chunk(1, 9, 7).to_bytes(), // out of order
+                    vec![1, 2, 3],                    // malformed
+                    sealed_chunk(2, 0, 8).to_bytes(), // unknown stream
+                ],
+            },
+            Request::Insert { chunk: vec![9] }, // malformed
+            Request::GetStatRange {
+                streams: vec![1],
+                ts_s: 0,
+                ts_e: 20_000,
+            },
+            Request::StreamInfo { stream: 1 },
+            Request::Ping,
+        ];
+        for req in requests {
+            let frame = req.encode();
+            assert_eq!(
+                a.handle_frame(&frame).encode(),
+                b.handle(req.clone()).encode(),
+                "replies diverge for {req:?}"
+            );
+        }
     }
 
     #[test]

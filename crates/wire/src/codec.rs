@@ -44,6 +44,13 @@ impl ByteWriter {
         Self::default()
     }
 
+    /// A writer appending to an existing buffer — the reuse path: callers
+    /// that encode many messages (one frame per request on a connection)
+    /// pass the same vector back in and keep its capacity.
+    pub fn with_vec(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
+    }
+
     /// Consumes the writer, returning the bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -163,11 +170,17 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a length-prefixed byte string.
     pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        Ok(self.bytes_borrowed()?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte string as a borrow of the input buffer
+    /// (no copy) — the zero-copy decode path for large payload fields.
+    pub fn bytes_borrowed(&mut self) -> Result<&'a [u8], WireError> {
         let n = self.u32()? as usize;
         if n > self.remaining() {
             return Err(WireError::Truncated);
         }
-        Ok(self.take(n)?.to_vec())
+        self.take(n)
     }
 
     /// Reads a length-prefixed UTF-8 string.

@@ -478,7 +478,16 @@ impl Request {
 
     /// Serializes the request body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = ByteWriter::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the serialized request to `out`, reusing its capacity —
+    /// the per-connection scratch-buffer path (byte-identical to
+    /// [`encode`](Self::encode), pinned by the wire property tests).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::with_vec(std::mem::take(out));
         match self {
             Request::CreateStream {
                 stream,
@@ -609,7 +618,7 @@ impl Request {
                 w.u8(REQ_PING);
             }
         }
-        w.into_bytes()
+        *out = w.into_bytes();
     }
 
     /// Parses a request body.
@@ -757,7 +766,15 @@ const RESP_STREAM_CHUNKS: u8 = 15;
 impl Response {
     /// Serializes the response body.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = ByteWriter::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the serialized response to `out`, reusing its capacity
+    /// (byte-identical to [`encode`](Self::encode)).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::with_vec(std::mem::take(out));
         match self {
             Response::Ok => {
                 w.u8(RESP_OK);
@@ -853,7 +870,7 @@ impl Response {
                 w.u8(RESP_PONG);
             }
         }
-        w.into_bytes()
+        *out = w.into_bytes();
     }
 
     /// Parses a response body.
@@ -1003,6 +1020,246 @@ impl Response {
         };
         r.finish()?;
         Ok(resp)
+    }
+}
+
+/// A zero-copy decode of a [`Request`]: the bulk-payload-carrying ingest
+/// variants borrow their byte fields straight from the frame buffer; every
+/// other variant decodes to its owned form (their fields are a few dozen
+/// bytes — borrowing them buys nothing). `decode` + [`to_owned`]
+/// is equivalent to [`Request::decode`] for every variant (pinned by the
+/// wire property tests), so handlers can opt into the borrowed path for
+/// exactly the requests where it pays.
+///
+/// [`to_owned`]: RequestRef::to_owned
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// [`Request::Insert`] with the chunk bytes borrowed from the frame.
+    Insert {
+        /// `EncryptedChunk::to_bytes()` payload.
+        chunk: &'a [u8],
+    },
+    /// [`Request::InsertLive`] with the record bytes borrowed.
+    InsertLive {
+        /// `SealedRecord::to_bytes()` payload.
+        record: &'a [u8],
+    },
+    /// [`Request::InsertBatch`] with every chunk borrowed.
+    InsertBatch {
+        /// `EncryptedChunk::to_bytes()` payloads.
+        chunks: Vec<&'a [u8]>,
+    },
+    /// Any other request, decoded owned.
+    Other(Request),
+}
+
+impl<'a> RequestRef<'a> {
+    /// Parses a request body without copying ingest payloads.
+    pub fn decode(buf: &'a [u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(buf);
+        let req = match r.u8()? {
+            REQ_INSERT => RequestRef::Insert {
+                chunk: r.bytes_borrowed()?,
+            },
+            REQ_INSERT_LIVE => RequestRef::InsertLive {
+                record: r.bytes_borrowed()?,
+            },
+            REQ_INSERT_BATCH => {
+                let n = r.u32()? as usize;
+                if n > MAX_REPEATED {
+                    return Err(WireError::TooLarge(n));
+                }
+                let mut chunks = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    chunks.push(r.bytes_borrowed()?);
+                }
+                RequestRef::InsertBatch { chunks }
+            }
+            // Every other variant has no bulk payload: reuse the owned
+            // decoder so the two paths cannot drift.
+            _ => return Request::decode(buf).map(RequestRef::Other),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+
+    /// Copies the borrows into an owned [`Request`].
+    pub fn to_owned(self) -> Request {
+        match self {
+            RequestRef::Insert { chunk } => Request::Insert {
+                chunk: chunk.to_vec(),
+            },
+            RequestRef::InsertLive { record } => Request::InsertLive {
+                record: record.to_vec(),
+            },
+            RequestRef::InsertBatch { chunks } => Request::InsertBatch {
+                chunks: chunks.into_iter().map(<[u8]>::to_vec).collect(),
+            },
+            RequestRef::Other(req) => req,
+        }
+    }
+}
+
+/// A zero-copy decode of a [`Response`]: the chunk/record/blob-carrying
+/// variants borrow their payloads from the frame buffer, everything else
+/// decodes owned. `decode` + [`to_owned`](ResponseRef::to_owned) is
+/// equivalent to [`Response::decode`] for every variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseRef<'a> {
+    /// [`Response::Chunks`] with every chunk borrowed.
+    Chunks(Vec<&'a [u8]>),
+    /// [`Response::Records`] with every record borrowed.
+    Records(Vec<&'a [u8]>),
+    /// [`Response::Blobs`] with every blob borrowed.
+    Blobs(Vec<&'a [u8]>),
+    /// [`Response::VerifiedChunks`] with proof material and chunks borrowed.
+    VerifiedChunks {
+        /// `RootAttestation::encode()` bytes.
+        attestation: &'a [u8],
+        /// Open `RangeProof::encode()` bytes.
+        proof: &'a [u8],
+        /// The chunk bytes, in chunk order.
+        chunks: Vec<&'a [u8]>,
+    },
+    /// [`Response::StreamChunks`] with every chunk borrowed.
+    StreamChunks {
+        /// The page's chunk bytes, in index order.
+        chunks: Vec<&'a [u8]>,
+        /// Index to request the next page from.
+        next_idx: u64,
+        /// No further chunks are exportable.
+        done: bool,
+    },
+    /// Any other response, decoded owned.
+    Other(Response),
+}
+
+impl<'a> ResponseRef<'a> {
+    /// Parses a response body without copying bulk payloads.
+    pub fn decode(buf: &'a [u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(buf);
+        let read_list = |r: &mut ByteReader<'a>| -> Result<Vec<&'a [u8]>, WireError> {
+            let n = r.u32()? as usize;
+            if n > MAX_REPEATED {
+                return Err(WireError::TooLarge(n));
+            }
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(r.bytes_borrowed()?);
+            }
+            Ok(items)
+        };
+        let resp = match r.u8()? {
+            RESP_CHUNKS => ResponseRef::Chunks(read_list(&mut r)?),
+            RESP_RECORDS => ResponseRef::Records(read_list(&mut r)?),
+            RESP_BLOBS => ResponseRef::Blobs(read_list(&mut r)?),
+            RESP_VCHUNKS => ResponseRef::VerifiedChunks {
+                attestation: r.bytes_borrowed()?,
+                proof: r.bytes_borrowed()?,
+                chunks: read_list(&mut r)?,
+            },
+            RESP_STREAM_CHUNKS => ResponseRef::StreamChunks {
+                chunks: read_list(&mut r)?,
+                next_idx: r.u64()?,
+                done: r.u8()? != 0,
+            },
+            _ => return Response::decode(buf).map(ResponseRef::Other),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// Copies the borrows into an owned [`Response`].
+    pub fn to_owned(self) -> Response {
+        let own = |items: Vec<&[u8]>| items.into_iter().map(<[u8]>::to_vec).collect();
+        match self {
+            ResponseRef::Chunks(c) => Response::Chunks(own(c)),
+            ResponseRef::Records(c) => Response::Records(own(c)),
+            ResponseRef::Blobs(c) => Response::Blobs(own(c)),
+            ResponseRef::VerifiedChunks {
+                attestation,
+                proof,
+                chunks,
+            } => Response::VerifiedChunks {
+                attestation: attestation.to_vec(),
+                proof: proof.to_vec(),
+                chunks: own(chunks),
+            },
+            ResponseRef::StreamChunks {
+                chunks,
+                next_idx,
+                done,
+            } => Response::StreamChunks {
+                chunks: own(chunks),
+                next_idx,
+                done,
+            },
+            ResponseRef::Other(resp) => resp,
+        }
+    }
+}
+
+/// Streaming encoder for an [`Request::InsertBatch`] body: callers append
+/// each chunk's serialized form straight into the frame buffer instead of
+/// first collecting a `Vec<Vec<u8>>` of copies. The produced bytes are
+/// identical to encoding the equivalent owned request.
+///
+/// ```
+/// use timecrypt_wire::messages::{BatchEncoder, Request};
+///
+/// let mut frame = Vec::new();
+/// let mut enc = BatchEncoder::begin(&mut frame);
+/// for part in [&b"abc"[..], &b""[..]] {
+///     enc.append_with(part.len(), |buf| buf.extend_from_slice(part));
+/// }
+/// enc.finish();
+/// assert_eq!(
+///     frame,
+///     Request::InsertBatch { chunks: vec![b"abc".to_vec(), vec![]] }.encode(),
+/// );
+/// ```
+pub struct BatchEncoder<'a> {
+    buf: &'a mut Vec<u8>,
+    count_pos: usize,
+    count: u32,
+}
+
+impl<'a> BatchEncoder<'a> {
+    /// Starts an `InsertBatch` body in `buf` (appending; existing content
+    /// is preserved).
+    pub fn begin(buf: &'a mut Vec<u8>) -> Self {
+        buf.push(REQ_INSERT_BATCH);
+        let count_pos = buf.len();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        BatchEncoder {
+            buf,
+            count_pos,
+            count: 0,
+        }
+    }
+
+    /// Appends one length-prefixed chunk of exactly `len` bytes, produced
+    /// by `write` appending into the buffer (e.g.
+    /// `EncryptedChunk::encode_into`).
+    ///
+    /// # Panics
+    /// When `write` appends a different number of bytes than `len` — the
+    /// length prefix would lie and the frame would be unparseable.
+    pub fn append_with(&mut self, len: usize, write: impl FnOnce(&mut Vec<u8>)) {
+        self.buf.extend_from_slice(&(len as u32).to_le_bytes());
+        let start = self.buf.len();
+        write(self.buf);
+        assert_eq!(
+            self.buf.len() - start,
+            len,
+            "batch entry length prefix must match the bytes written"
+        );
+        self.count += 1;
+    }
+
+    /// Patches the element count in. The body is complete afterwards.
+    pub fn finish(self) {
+        self.buf[self.count_pos..self.count_pos + 4].copy_from_slice(&self.count.to_le_bytes());
     }
 }
 
@@ -1199,6 +1456,94 @@ mod tests {
             let bytes = req.encode();
             assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        for req in all_requests() {
+            let mut buf = vec![0x77];
+            req.encode_into(&mut buf);
+            assert_eq!(buf[0], 0x77, "{req:?}: existing content preserved");
+            assert_eq!(&buf[1..], &req.encode()[..], "{req:?}");
+        }
+        for resp in all_responses() {
+            let mut buf = vec![0x77];
+            resp.encode_into(&mut buf);
+            assert_eq!(&buf[1..], &resp.encode()[..], "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_decode() {
+        // Every variant: the borrowed decoder round-trips to exactly what
+        // the owned decoder produces, and the bulk variants really borrow.
+        for req in all_requests() {
+            let bytes = req.encode();
+            let borrowed = RequestRef::decode(&bytes).unwrap();
+            if let RequestRef::Insert { chunk } = &borrowed {
+                let range = bytes.as_ptr_range();
+                assert!(range.contains(&chunk.as_ptr()), "chunk borrows the frame");
+            }
+            assert_eq!(borrowed.to_owned(), req, "{req:?}");
+        }
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            assert_eq!(
+                ResponseRef::decode(&bytes).unwrap().to_owned(),
+                resp,
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_rejects_what_owned_rejects() {
+        for req in all_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    RequestRef::decode(&bytes[..cut]).is_err(),
+                    "{req:?} cut {cut}"
+                );
+            }
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            assert!(RequestRef::decode(&trailing).is_err(), "{req:?} trailing");
+        }
+        for resp in all_responses() {
+            let bytes = resp.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    ResponseRef::decode(&bytes[..cut]).is_err(),
+                    "{resp:?} cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_encoder_matches_owned_request_encoding() {
+        let chunks: Vec<Vec<u8>> = vec![vec![1, 2, 3], vec![], vec![9; 300]];
+        let mut frame = vec![0xab]; // pre-existing content survives
+        let mut enc = BatchEncoder::begin(&mut frame);
+        for c in &chunks {
+            enc.append_with(c.len(), |buf| buf.extend_from_slice(c));
+        }
+        enc.finish();
+        assert_eq!(frame[0], 0xab);
+        assert_eq!(&frame[1..], &Request::InsertBatch { chunks }.encode()[..]);
+        // Empty batch.
+        let mut frame = Vec::new();
+        BatchEncoder::begin(&mut frame).finish();
+        assert_eq!(frame, Request::InsertBatch { chunks: vec![] }.encode());
+    }
+
+    #[test]
+    #[should_panic(expected = "length prefix")]
+    fn batch_encoder_rejects_lying_length() {
+        let mut frame = Vec::new();
+        let mut enc = BatchEncoder::begin(&mut frame);
+        enc.append_with(4, |buf| buf.push(0));
     }
 
     #[test]

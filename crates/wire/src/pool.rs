@@ -138,6 +138,33 @@ impl ClientPool {
         }
     }
 
+    /// One exchange whose request body is written by `fill` directly into
+    /// the connection's scratch buffer ([`Client::send_with`]) — the
+    /// zero-copy path for bodies assembled from parts, e.g. a
+    /// [`BatchEncoder`](crate::messages::BatchEncoder) over serialized
+    /// chunks. No stale-connection retry is attempted: the primary user is
+    /// batched ingest, a mutation (see the module docs on retry policy).
+    /// An app-level `Response::Error` surfaces as [`ClientError::Server`],
+    /// matching [`call`](Self::call).
+    pub fn call_with(
+        &self,
+        fill: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<crate::messages::Response, ClientError> {
+        let mut conn = self.get()?;
+        let client = conn.client();
+        let result = client.send_with(fill).and_then(|()| client.recv());
+        match result {
+            Ok(crate::messages::Response::Error(msg)) => Err(ClientError::Server(msg)),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                if matches!(e, ClientError::Frame(_)) {
+                    conn.discard();
+                }
+                Err(e)
+            }
+        }
+    }
+
     fn put_back(&self, client: Client) {
         let mut idle = self.idle.lock().expect("pool lock");
         if idle.len() < self.cfg.max_idle {

@@ -43,11 +43,38 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Retained capacity cap for per-connection scratch buffers. Reuse keeps
+/// steady-state serving allocation-free, but one oversized frame (a 4 MiB
+/// rebuild page, a large batch) must not pin multi-MiB buffers on every
+/// long-lived connection forever — after such a frame the buffer shrinks
+/// back to this bound.
+const SCRATCH_RETAIN_BYTES: usize = 256 * 1024;
+
+/// Shrinks a scratch buffer that ballooned past the retain bound.
+fn bound_scratch(buf: &mut Vec<u8>) {
+    if buf.capacity() > SCRATCH_RETAIN_BYTES {
+        buf.truncate(0);
+        buf.shrink_to(SCRATCH_RETAIN_BYTES);
+    }
+}
+
 /// A request handler: maps each decoded request to a response. Shared across
 /// connection threads.
 pub trait Handler: Send + Sync + 'static {
     /// Handles one request.
     fn handle(&self, req: Request) -> Response;
+
+    /// Handles one raw frame body. The default decodes owned and delegates
+    /// to [`handle`](Self::handle); handlers with a zero-copy ingest path
+    /// (the server engine, shard nodes) override this to parse bulk
+    /// payloads as borrows of the frame buffer — replies must stay
+    /// byte-identical to the default path.
+    fn handle_frame(&self, body: &[u8]) -> Response {
+        match Request::decode(body) {
+            Ok(req) => self.handle(req),
+            Err(e) => Response::Error(format!("bad request: {e}")),
+        }
+    }
 }
 
 impl<F> Handler for F
@@ -144,17 +171,21 @@ fn serve_connection(stream: &TcpStream, handler: Arc<dyn Handler>) -> Result<(),
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream.try_clone()?);
+    // Per-connection reply scratch: every response on this connection is
+    // encoded into the same buffer, so steady-state serving allocates only
+    // what the messages themselves own.
+    let mut out = Vec::new();
     loop {
         let body = match read_frame(&mut reader) {
             Ok(b) => b,
             Err(FrameError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let resp = match Request::decode(&body) {
-            Ok(req) => handler.handle(req),
-            Err(e) => Response::Error(format!("bad request: {e}")),
-        };
-        write_frame(&mut writer, &resp.encode())?;
+        let resp = handler.handle_frame(&body);
+        out.clear();
+        resp.encode_into(&mut out);
+        write_frame(&mut writer, &out)?;
+        bound_scratch(&mut out);
     }
 }
 
@@ -197,6 +228,9 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Per-connection request scratch: every frame sent on this connection
+    /// is encoded into the same buffer (capacity persists across sends).
+    scratch: Vec<u8>,
 }
 
 impl Client {
@@ -206,7 +240,11 @@ impl Client {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         let writer = BufWriter::new(stream);
-        Ok(Client { reader, writer })
+        Ok(Client {
+            reader,
+            writer,
+            scratch: Vec::new(),
+        })
     }
 
     /// Sends one request and waits for its response. An app-level
@@ -223,8 +261,22 @@ impl Client {
     /// The server answers in FIFO order, so after `n` sends exactly `n`
     /// [`recv`](Self::recv)s drain the matching responses.
     pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
-        write_frame(&mut self.writer, &req.encode())?;
-        Ok(())
+        self.send_with(|body| req.encode_into(body))
+    }
+
+    /// Like [`send`](Self::send), but the caller writes the request body
+    /// directly into the connection's scratch buffer — the zero-copy frame
+    /// assembly path for bodies built from parts (e.g. a
+    /// [`BatchEncoder`](crate::messages::BatchEncoder) over serialized
+    /// chunks). `fill` must append exactly one valid encoded request.
+    pub fn send_with(&mut self, fill: impl FnOnce(&mut Vec<u8>)) -> Result<(), ClientError> {
+        let mut body = std::mem::take(&mut self.scratch);
+        body.clear();
+        fill(&mut body);
+        let result = write_frame(&mut self.writer, &body);
+        bound_scratch(&mut body);
+        self.scratch = body;
+        Ok(result?)
     }
 
     /// Receives the next response of a pipelined exchange. Unlike

@@ -72,6 +72,7 @@ fn engine_readers_stay_exact_and_monotone_during_ingest() {
                 arity: 8,
                 // Small cache: readers also take the store miss path.
                 cache_bytes: 8 * 1024,
+                ..ServerConfig::default()
             },
         )
         .unwrap(),
