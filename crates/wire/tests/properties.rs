@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use timecrypt_wire::messages::{
-    Request, Response, ServiceStatsWire, ShardStatsWire, StatReply, StreamInfoWire,
+    Request, RequestRef, Response, ResponseRef, ServiceStatsWire, ShardStatsWire, StatReply,
+    StreamInfoWire,
 };
 
 fn arb_request() -> impl Strategy<Value = Request> {
@@ -195,11 +196,46 @@ proptest! {
         prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
     }
 
+    /// `encode_into` is byte-identical to `encode` and appends after any
+    /// existing content (the scratch-buffer reuse contract).
+    #[test]
+    fn encode_into_matches_encode(req in arb_request(), resp in arb_response(), prefix in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let mut buf = prefix.clone();
+        req.encode_into(&mut buf);
+        prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&buf[prefix.len()..], &req.encode()[..]);
+        let mut buf = prefix.clone();
+        resp.encode_into(&mut buf);
+        prop_assert_eq!(&buf[prefix.len()..], &resp.encode()[..]);
+    }
+
+    /// Borrowed decode == owned decode for every message variant, in both
+    /// the success and the reject direction.
+    #[test]
+    fn borrowed_decode_matches_owned(req in arb_request(), resp in arb_response(), cut_basis in 0usize..10_000) {
+        let bytes = req.encode();
+        prop_assert_eq!(RequestRef::decode(&bytes).unwrap().to_owned(), req);
+        let cut = cut_basis % (bytes.len() + 1);
+        prop_assert_eq!(
+            RequestRef::decode(&bytes[..cut]).is_ok(),
+            Request::decode(&bytes[..cut]).is_ok()
+        );
+        let bytes = resp.encode();
+        prop_assert_eq!(ResponseRef::decode(&bytes).unwrap().to_owned(), resp);
+        let cut = cut_basis % (bytes.len() + 1);
+        prop_assert_eq!(
+            ResponseRef::decode(&bytes[..cut]).is_ok(),
+            Response::decode(&bytes[..cut]).is_ok()
+        );
+    }
+
     /// Arbitrary bytes never panic the decoders (hostile peers).
     #[test]
     fn decoders_survive_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
         let _ = Request::decode(&bytes);
         let _ = Response::decode(&bytes);
+        let _ = RequestRef::decode(&bytes);
+        let _ = ResponseRef::decode(&bytes);
     }
 
     /// Mutating any single byte of a valid message never panics, and if it
