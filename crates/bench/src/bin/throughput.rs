@@ -51,6 +51,11 @@
 //! Failover/rebuild phase: `TC_FAILOVER` (`0` skips). Deep-tree phase:
 //! `TC_DEEP` (`0` skips), `TC_DEEP_CHUNKS` (default 8192),
 //! `TC_DEEP_ARITY` (default 4), `TC_DEEP_QUERIES` (default 30).
+//! Tracing-overhead phase: `TC_TRACING` (`0` skips) — reruns the
+//! ingest and query workload with request tracing enabled and reports
+//! both. Throughput rows also carry per-op p50/p95/p99 latency
+//! percentiles (`ingest_p50_ms`, `query_p99_ms`, ...) derived from the
+//! service's log₂ histograms.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -117,6 +122,29 @@ struct Sample {
     ingest_wall_ms: f64,
     query_ops_s: f64,
     query_wall_ms: f64,
+    /// Per-operation latency percentiles (ms) from the service tier's
+    /// log₂ histograms, aggregated across shards.
+    ingest_p: [f64; 3],
+    query_p: [f64; 3],
+}
+
+/// p50/p95/p99 in **milliseconds** of the summed per-shard log₂ latency
+/// histograms picked by `pick` from a stats snapshot.
+fn latency_percentiles_ms(
+    stats: &timecrypt_wire::messages::ServiceStatsWire,
+    pick: impl Fn(&timecrypt_wire::messages::ShardStatsWire) -> &Vec<u64>,
+) -> [f64; 3] {
+    let mut total: Vec<u64> = Vec::new();
+    for shard in &stats.shards {
+        let hist = pick(shard);
+        if hist.len() > total.len() {
+            total.resize(hist.len(), 0);
+        }
+        for (t, &c) in total.iter_mut().zip(hist.iter()) {
+            *t += c;
+        }
+    }
+    timecrypt_obs::prom::p50_p95_p99(&total).map(|us| us / 1e3)
 }
 
 fn latency_store(store_latency: Duration) -> Arc<dyn KvStore> {
@@ -134,12 +162,14 @@ fn run_one(
     batch: usize,
     queries: usize,
     store_latency: Duration,
+    tracing: bool,
 ) -> Sample {
     let svc = Arc::new(
         ShardedService::open(
             latency_store(store_latency),
             ServiceConfig {
                 shards,
+                tracing,
                 ..ServiceConfig::default()
             },
         )
@@ -265,12 +295,15 @@ fn measure_workload(
     });
     let query_wall = t.elapsed();
 
+    let stats = svc.stats();
     Sample {
         shards,
         ingest_ops_s: total_chunks as f64 / ingest_wall.as_secs_f64(),
         ingest_wall_ms: ingest_wall.as_secs_f64() * 1e3,
         query_ops_s: queries as f64 / query_wall.as_secs_f64(),
         query_wall_ms: query_wall.as_secs_f64() * 1e3,
+        ingest_p: latency_percentiles_ms(&stats, |s| &s.ingest_hist_us),
+        query_p: latency_percentiles_ms(&stats, |s| &s.query_hist_us),
     }
 }
 
@@ -663,10 +696,19 @@ fn main() {
             batch,
             16.min(queries),
             store_latency,
+            false,
         );
-        let s = run_one(&workload, shards, producers, batch, queries, store_latency);
+        let s = run_one(
+            &workload,
+            shards,
+            producers,
+            batch,
+            queries,
+            store_latency,
+            false,
+        );
         println!(
-            "{{\"bench\":\"service_throughput\",\"shards\":{},\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"batch\":{},\"ingest_ops_s\":{:.0},\"ingest_wall_ms\":{:.1},\"queries\":{},\"query_ops_s\":{:.0},\"query_wall_ms\":{:.1}}}",
+            "{{\"bench\":\"service_throughput\",\"shards\":{},\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"batch\":{},\"ingest_ops_s\":{:.0},\"ingest_wall_ms\":{:.1},\"ingest_p50_ms\":{:.3},\"ingest_p95_ms\":{:.3},\"ingest_p99_ms\":{:.3},\"queries\":{},\"query_ops_s\":{:.0},\"query_wall_ms\":{:.1},\"query_p50_ms\":{:.3},\"query_p95_ms\":{:.3},\"query_p99_ms\":{:.3}}}",
             s.shards,
             streams,
             chunks,
@@ -674,9 +716,55 @@ fn main() {
             batch,
             s.ingest_ops_s,
             s.ingest_wall_ms,
+            s.ingest_p[0],
+            s.ingest_p[1],
+            s.ingest_p[2],
             queries,
             s.query_ops_s,
             s.query_wall_ms,
+            s.query_p[0],
+            s.query_p[1],
+            s.query_p[2],
+        );
+    }
+
+    // Tracing-overhead phase: the same single-shard-count workload with
+    // request tracing *disabled* (the default) and *enabled*. The `off`
+    // run is the one every other phase measures — this row exists so the
+    // <2% disabled-cost claim and the enabled cost are both visible in
+    // the perf trajectory.
+    if env_usize("TC_TRACING", 1) != 0 {
+        let shards = shard_sweep.last().copied().unwrap_or(4);
+        let off = run_one(
+            &workload,
+            shards,
+            producers,
+            batch,
+            queries,
+            store_latency,
+            false,
+        );
+        let on = run_one(
+            &workload,
+            shards,
+            producers,
+            batch,
+            queries,
+            store_latency,
+            true,
+        );
+        println!(
+            "{{\"bench\":\"tracing_overhead\",\"shards\":{},\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"batch\":{},\"queries\":{},\"ingest_ops_s\":{:.0},\"query_ops_s\":{:.0},\"traced_ingest_ops_s\":{:.0},\"traced_query_ops_s\":{:.0}}}",
+            shards,
+            streams,
+            chunks,
+            producers,
+            batch,
+            queries,
+            off.ingest_ops_s,
+            off.query_ops_s,
+            on.ingest_ops_s,
+            on.query_ops_s,
         );
     }
 
@@ -701,7 +789,7 @@ fn main() {
             );
             let s = run_remote(&workload, shards, producers, batch, queries, store_latency);
             println!(
-                "{{\"bench\":\"remote_throughput\",\"shards\":{},\"nodes\":{},\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"batch\":{},\"ingest_ops_s\":{:.0},\"ingest_wall_ms\":{:.1},\"queries\":{},\"query_ops_s\":{:.0},\"query_wall_ms\":{:.1}}}",
+                "{{\"bench\":\"remote_throughput\",\"shards\":{},\"nodes\":{},\"streams\":{},\"chunks_per_stream\":{},\"producers\":{},\"batch\":{},\"ingest_ops_s\":{:.0},\"ingest_wall_ms\":{:.1},\"ingest_p50_ms\":{:.3},\"ingest_p95_ms\":{:.3},\"ingest_p99_ms\":{:.3},\"queries\":{},\"query_ops_s\":{:.0},\"query_wall_ms\":{:.1},\"query_p50_ms\":{:.3},\"query_p95_ms\":{:.3},\"query_p99_ms\":{:.3}}}",
                 s.shards,
                 s.shards,
                 streams,
@@ -710,9 +798,15 @@ fn main() {
                 batch,
                 s.ingest_ops_s,
                 s.ingest_wall_ms,
+                s.ingest_p[0],
+                s.ingest_p[1],
+                s.ingest_p[2],
                 queries,
                 s.query_ops_s,
                 s.query_wall_ms,
+                s.query_p[0],
+                s.query_p[1],
+                s.query_p[2],
             );
         }
     }

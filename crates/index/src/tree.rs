@@ -476,6 +476,7 @@ impl<D: HomDigest> AggTree<D> {
     /// (see [`HomDigest::add_assign`]); `parallel_query_matches_sequential`
     /// pins the equivalence.
     pub fn query(&self, start: u64, end: u64) -> Result<D, IndexError> {
+        let _span = timecrypt_obs::trace::stage("index.walk");
         let len = self.len();
         if start >= end || end > len {
             return Err(IndexError::BadRange { start, end, len });

@@ -34,8 +34,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use timecrypt_chunk::serialize::EncryptedChunk;
+use timecrypt_obs::{tc_debug, trace, TraceContext};
 use timecrypt_server::{ServerError, StreamStat, TimeCryptServer, EXPORT_PAGE_BYTES};
-use timecrypt_wire::messages::{Request, Response, StreamInfoWire};
+use timecrypt_wire::messages::{peer_lacks_trace_support, Request, Response, StreamInfoWire};
 use timecrypt_wire::pool::{ClientPool, PoolConfig};
 
 /// One per-stream statistical sub-query outcome.
@@ -150,6 +151,20 @@ pub trait ShardBackend: Send + Sync + 'static {
             .filter(|r| r.is_ok())
             .count() as u64)
     }
+
+    /// The remote endpoint (`host:port`) this backend dials, `None` for
+    /// in-process backends. Lets the coordinator's stats aggregation
+    /// dedup per-node probes when one node hosts several shards.
+    fn endpoint(&self) -> Option<&str> {
+        None
+    }
+
+    /// Full stats snapshot of the hosting node, for remote backends.
+    /// In-process backends return `None`: the coordinator reads its own
+    /// counters directly, and summing them here would double-count.
+    fn node_stats(&self) -> Option<timecrypt_wire::messages::ServiceStatsWire> {
+        None
+    }
 }
 
 /// One page of a stream export ([`ShardBackend::export_chunks`]).
@@ -174,6 +189,7 @@ pub(crate) fn metered_stat(
     ts_s: i64,
     ts_e: i64,
 ) -> StreamStatResult {
+    let _span = trace::stage("engine.query");
     let t = Instant::now();
     let r = engine.stream_stat(sid, ts_s, ts_e);
     m.query_latency.record(t.elapsed());
@@ -239,6 +255,9 @@ impl ShardBackend for LocalShard {
         let per = legs.len().div_ceil(offload_slices + 1);
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         let mut offloaded = 0usize;
+        // Reader threads are shared across requests: each slice carries
+        // the submitting request's trace context across the handoff.
+        let ctx = trace::current();
         for slice in legs[per..].chunks(per) {
             let engine = self.engine.clone();
             let metrics = self.metrics.clone();
@@ -246,6 +265,7 @@ impl ShardBackend for LocalShard {
             let slice: Vec<(usize, u128)> = slice.to_vec();
             let reply = reply_tx.clone();
             self.readers.exec(Box::new(move || {
+                let _trace = trace::set_current(ctx);
                 let m = metrics.shard(shard);
                 let out: Vec<(usize, StreamStatResult)> = slice
                     .iter()
@@ -356,6 +376,11 @@ pub struct RemoteShard {
     pool: ClientPool,
     metrics: Arc<ServiceMetrics>,
     shard: usize,
+    /// Latched when the node rejected a trace-context envelope (an older
+    /// build): every later request from this backend goes out untraced,
+    /// so a mixed-version cluster interoperates at full speed after one
+    /// probe per backend.
+    peer_legacy: AtomicBool,
 }
 
 impl RemoteShard {
@@ -369,18 +394,58 @@ impl RemoteShard {
             pool: ClientPool::new(addr, pool_cfg),
             metrics,
             shard,
+            peer_legacy: AtomicBool::new(false),
         }
+    }
+
+    /// The trace context to stamp on the next outgoing request: a child
+    /// of the caller's current context, unless the peer is known to
+    /// predate the envelope.
+    fn trace_ctx(&self) -> Option<TraceContext> {
+        if self.peer_legacy.load(Ordering::Relaxed) {
+            return None;
+        }
+        trace::current().map(|c| c.child())
+    }
+
+    /// Latches the legacy-peer flag when `msg` is the decode error an old
+    /// node answers a trace envelope with. Safe to retry even mutations
+    /// afterwards: the rejection happened at decode, before dispatch, so
+    /// the node applied nothing.
+    fn note_trace_reject(&self, msg: &str) -> bool {
+        if peer_lacks_trace_support(msg) {
+            if !self.peer_legacy.swap(true, Ordering::Relaxed) {
+                tc_debug!(
+                    "service",
+                    "peer {} rejected trace envelope; falling back to untraced requests",
+                    self.pool.addr()
+                );
+            }
+            return true;
+        }
+        false
     }
 }
 
 impl ShardBackend for RemoteShard {
     fn call(&self, req: Request) -> Result<Response, ServerError> {
-        match self.pool.call(&req) {
-            Ok(resp) => Ok(resp),
-            // `ClientPool::call` surfaces `Response::Error` as a client
-            // error; re-wrap it — the node answered, the transport is fine.
-            Err(timecrypt_wire::transport::ClientError::Server(msg)) => Ok(Response::Error(msg)),
-            Err(_) => Err(UNREACHABLE),
+        let _span = trace::stage("backend.exchange");
+        loop {
+            let ctx = self.trace_ctx();
+            return match self.pool.call_traced(ctx, &req) {
+                Ok(resp) => Ok(resp),
+                // `ClientPool::call` surfaces `Response::Error` as a client
+                // error; re-wrap it — the node answered, the transport is
+                // fine. A trace-envelope rejection from an old node retries
+                // once untraced (nothing was applied; see `note_trace_reject`).
+                Err(timecrypt_wire::transport::ClientError::Server(msg)) => {
+                    if ctx.is_some() && self.note_trace_reject(&msg) {
+                        continue;
+                    }
+                    Ok(Response::Error(msg))
+                }
+                Err(_) => Err(UNREACHABLE),
+            };
         }
     }
 
@@ -396,11 +461,14 @@ impl ShardBackend for RemoteShard {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<Vec<(usize, StreamStatResult)>, ServerError> {
+        let _span = trace::stage("backend.exchange");
         match self.try_stat_leg(legs, ts_s, ts_e, false) {
             Ok(out) => Ok(out),
             // The pooled connection was likely stale (node restarted
-            // underneath it); sub-queries are idempotent, so retry the
-            // whole leg once on a freshly dialed connection.
+            // underneath it) — or an old node rejected the trace envelope,
+            // which latches the legacy flag; sub-queries are idempotent, so
+            // retry the whole leg once on a freshly dialed connection
+            // (untraced, when the flag latched).
             Err(_) => self.try_stat_leg(legs, ts_s, ts_e, true),
         }
     }
@@ -428,13 +496,18 @@ impl ShardBackend for RemoteShard {
         &self,
         chunks: &[EncryptedChunk],
     ) -> Result<Vec<Result<(), ServerError>>, ServerError> {
+        let _span = trace::stage("backend.exchange");
         let m = self.metrics.shard(self.shard);
+        let ctx = self.trace_ctx();
         let t = Instant::now();
         // Frame assembly without intermediate copies: each chunk is
         // serialized once, straight into the connection's scratch buffer
         // (no per-chunk `Vec<u8>`, no owned `Request`), and the buffer's
         // capacity is reused across drains on the pooled connection.
         let reply = self.pool.call_with(|buf| {
+            if let Some(ctx) = ctx {
+                timecrypt_wire::messages::encode_trace_prefix(ctx, buf);
+            }
             let mut enc = timecrypt_wire::messages::BatchEncoder::begin(buf);
             for c in chunks {
                 enc.append_with(c.encoded_len(), |out| c.encode_into(out));
@@ -454,8 +527,13 @@ impl ShardBackend for RemoteShard {
                 results
             }
             // The node answered, but not with a batch verdict: fail every
-            // chunk with the node's message (transport is still fine).
+            // chunk with the node's message (transport is still fine). An
+            // old node rejecting the trace envelope did so at decode —
+            // nothing was applied — so the whole batch retries untraced.
             Ok(Response::Error(msg)) | Err(timecrypt_wire::transport::ClientError::Server(msg)) => {
+                if ctx.is_some() && self.note_trace_reject(&msg) {
+                    return self.insert_batch(chunks);
+                }
                 chunks
                     .iter()
                     .map(|_| Err(ServerError::Remote(msg.clone())))
@@ -514,6 +592,17 @@ impl ShardBackend for RemoteShard {
             _ => Err(ServerError::Unavailable("unexpected stream-export reply")),
         }
     }
+
+    fn endpoint(&self) -> Option<&str> {
+        Some(self.pool.addr())
+    }
+
+    fn node_stats(&self) -> Option<timecrypt_wire::messages::ServiceStatsWire> {
+        match self.call(Request::Stats) {
+            Ok(Response::ServiceStats(stats)) => Some(stats),
+            _ => None,
+        }
+    }
 }
 
 /// Maximum unanswered pipelined requests per connection. Requests are a
@@ -545,6 +634,7 @@ impl RemoteShard {
             self.pool.get()
         }
         .map_err(|_| UNREACHABLE)?;
+        let ctx = self.trace_ctx();
         // The node renders a per-stream empty window as this exact string
         // (both sides run the same code); it is the one app-level "error"
         // that is *not* an error to the merge fold.
@@ -567,11 +657,14 @@ impl RemoteShard {
                 send_times.push(Instant::now());
                 if conn
                     .client()
-                    .send(&Request::GetStatRange {
-                        streams: vec![sid],
-                        ts_s,
-                        ts_e,
-                    })
+                    .send_traced(
+                        ctx,
+                        &Request::GetStatRange {
+                            streams: vec![sid],
+                            ts_s,
+                            ts_e,
+                        },
+                    )
                     .is_err()
                 {
                     conn.discard();
@@ -599,7 +692,18 @@ impl RemoteShard {
                     // Placeholder until the width probe resolves.
                     Ok((0, None))
                 }
-                Response::Error(msg) => Err(ServerError::Remote(msg)),
+                Response::Error(msg) => {
+                    // An old node rejects every traced sub-query at decode:
+                    // latch the legacy flag and fail the attempt so the
+                    // caller's retry re-runs the whole leg untraced. The
+                    // connection still has pipelined rejections in flight —
+                    // discard it rather than resynchronize.
+                    if ctx.is_some() && self.note_trace_reject(&msg) {
+                        conn.discard();
+                        return Err(UNREACHABLE);
+                    }
+                    Err(ServerError::Remote(msg))
+                }
                 _ => Err(ServerError::Unavailable("unexpected remote stat reply")),
             };
             out.push((pos, result));
@@ -614,7 +718,7 @@ impl RemoteShard {
                 let (_, sid) = legs[width_probes[probes_sent]];
                 if conn
                     .client()
-                    .send(&Request::StreamInfo { stream: sid })
+                    .send_traced(ctx, &Request::StreamInfo { stream: sid })
                     .is_err()
                 {
                     conn.discard();
@@ -1199,6 +1303,19 @@ impl ShardReplicas {
     /// health) — the precondition for re-triggering a rebuild.
     pub(crate) fn has_backup(&self) -> bool {
         self.roles.read().backup.is_some()
+    }
+
+    /// Every backend currently attached to this shard (primary first,
+    /// then the backup when present). The coordinator's stats
+    /// aggregation walks these to find the distinct remote nodes whose
+    /// store counters it should fold in.
+    pub(crate) fn attached_backends(&self) -> Vec<Arc<dyn ShardBackend>> {
+        let roles = self.roles.read();
+        let mut out = vec![roles.primary.clone()];
+        if let Some(b) = &roles.backup {
+            out.push(b.backend.clone());
+        }
+        out
     }
 
     /// Copies every hosted stream from the survivor (the current primary)

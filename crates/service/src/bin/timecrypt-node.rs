@@ -10,7 +10,13 @@
 //! timecrypt-node --listen 127.0.0.1:7070 --shards 4 --host 0,2
 //!     [--store /var/lib/timecrypt/node-a.log]   # persistent LogKv (default: in-memory)
 //!     [--arity 64] [--cache-bytes 67108864]     # engine tuning
+//!     [--metrics-addr 127.0.0.1:9090]           # Prometheus /metrics + /events
 //! ```
+//!
+//! Logging goes through the structured logger (`timecrypt-obs`): set
+//! `TC_LOG=debug` (or `target=level` pairs) to adjust stderr verbosity;
+//! recent events are kept in an in-memory ring dumped on panic and via
+//! the metrics listener's `/events` route.
 //!
 //! The process runs until killed. Streams of hosted shards are recovered
 //! from the store on startup, so a restart with the same `--store` path
@@ -23,6 +29,7 @@
 //! out — no extra flags, every node speaks both sides.
 
 use std::sync::Arc;
+use timecrypt_obs::{tc_error, tc_info};
 use timecrypt_server::ServerConfig;
 use timecrypt_service::{NodeConfig, ShardNode};
 use timecrypt_store::{KvStore, LogKv, MemKv};
@@ -35,12 +42,13 @@ struct Args {
     store: Option<String>,
     arity: usize,
     cache_bytes: usize,
+    metrics_addr: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: timecrypt-node --listen HOST:PORT --shards TOTAL --host ID[,ID...] \
-         [--store PATH] [--arity N] [--cache-bytes N]"
+         [--store PATH] [--arity N] [--cache-bytes N] [--metrics-addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -54,6 +62,7 @@ fn parse_args() -> Args {
         store: None,
         arity: defaults.arity,
         cache_bytes: defaults.cache_bytes,
+        metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +88,7 @@ fn parse_args() -> Args {
             "--cache-bytes" => {
                 args.cache_bytes = value("--cache-bytes").parse().unwrap_or_else(|_| usage());
             }
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -93,20 +103,26 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // Dump the flight recorder to stderr if the process panics — the
+    // last moments before a crash are exactly what the ring is for.
+    timecrypt_obs::log::install_panic_hook();
     let args = parse_args();
     let kv: Arc<dyn KvStore> = match &args.store {
         Some(path) => match LogKv::open(path) {
             Ok(kv) => {
-                eprintln!("store: log at {path}");
+                tc_info!("node", "store: log at {path}");
                 Arc::new(kv)
             }
             Err(e) => {
-                eprintln!("cannot open store {path}: {e}");
+                tc_error!("node", "cannot open store {path}: {e}");
                 std::process::exit(1);
             }
         },
         None => {
-            eprintln!("store: in-memory (volatile; pass --store PATH for durability)");
+            tc_info!(
+                "node",
+                "store: in-memory (volatile; pass --store PATH for durability)"
+            );
             Arc::new(MemKv::new())
         }
     };
@@ -124,19 +140,40 @@ fn main() {
     ) {
         Ok(node) => node,
         Err(e) => {
-            eprintln!("cannot open node: {e}");
+            tc_error!("node", "cannot open node: {e}");
             std::process::exit(1);
         }
     };
     let hosted = node.hosted();
-    let server = match Server::bind(&args.listen, Arc::new(node)) {
+    let node = Arc::new(node);
+    // The metrics listener holds its own handle to the node and renders
+    // a fresh stats snapshot per scrape.
+    let _metrics = args
+        .metrics_addr
+        .as_deref()
+        .map(|addr| match node.serve_metrics(addr) {
+            Ok(server) => {
+                tc_info!(
+                    "node",
+                    "metrics listener on http://{}/metrics",
+                    server.addr()
+                );
+                server
+            }
+            Err(e) => {
+                tc_error!("node", "cannot bind metrics listener {addr}: {e}");
+                std::process::exit(1);
+            }
+        });
+    let server = match Server::bind(&args.listen, node) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot bind {}: {e}", args.listen);
+            tc_error!("node", "cannot bind {}: {e}", args.listen);
             std::process::exit(1);
         }
     };
-    eprintln!(
+    tc_info!(
+        "node",
         "timecrypt-node listening on {} — hosting shard(s) {:?} of {}",
         server.addr(),
         hosted,

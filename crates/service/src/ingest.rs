@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 use timecrypt_chunk::serialize::EncryptedChunk;
+use timecrypt_obs::{trace, TraceContext};
 use timecrypt_server::{ServerError, TimeCryptServer};
 
 /// Upper bound on one greedy drain, in jobs.
@@ -51,6 +52,7 @@ pub(crate) fn metered_insert(
     m: &ShardMetrics,
     chunk: &EncryptedChunk,
 ) -> Result<(), ServerError> {
+    let _span = trace::stage("engine.ingest");
     let t = Instant::now();
     let result = engine.insert(chunk);
     m.ingest_latency.record(t.elapsed());
@@ -86,6 +88,7 @@ pub(crate) fn metered_insert_bytes(
     m: &ShardMetrics,
     bytes: &[u8],
 ) -> Result<(), ServerError> {
+    let _span = trace::stage("engine.ingest");
     let t = Instant::now();
     let result = engine.insert_bytes(bytes);
     m.ingest_latency.record(t.elapsed());
@@ -104,6 +107,7 @@ pub(crate) fn metered_insert_bytes_run(
     m: &ShardMetrics,
     chunks: &[&[u8]],
 ) -> Vec<Result<(), ServerError>> {
+    let _span = trace::stage("engine.ingest");
     let t = Instant::now();
     let verdicts = engine.insert_bytes_run(chunks);
     record_run_metrics(m, t.elapsed(), &verdicts);
@@ -116,6 +120,9 @@ pub(crate) struct Job {
     pub(crate) chunk: EncryptedChunk,
     pub(crate) idx: usize,
     pub(crate) reply: Sender<(usize, Result<(), ServerError>)>,
+    /// The submitter's trace context, restored on the worker thread for
+    /// the drain containing this job.
+    pub(crate) trace: Option<TraceContext>,
 }
 
 /// Handle to one shard's ingest worker. Dropping it closes the queue; the
@@ -169,10 +176,15 @@ fn run_worker(rx: Receiver<Job>, backend: Arc<ShardReplicas>) {
         }
         let mut replies = Vec::with_capacity(jobs.len());
         let mut chunks = Vec::with_capacity(jobs.len());
+        // A greedy drain can coalesce jobs from concurrent submitters;
+        // the whole drain is attributed to the oldest job's trace (the
+        // one whose wait the drain actually serves).
+        let drain_trace = jobs[0].trace;
         for job in jobs {
             replies.push((job.idx, job.reply));
             chunks.push(job.chunk);
         }
+        let _trace = trace::set_current(drain_trace);
         // The backend contains engine panics per chunk; this backstop
         // covers the dispatch itself so queued replies are never eaten.
         let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -73,6 +73,7 @@
 //! ```
 
 pub mod backend;
+pub mod expose;
 pub(crate) mod fanout;
 pub mod ingest;
 pub mod metrics;
@@ -81,6 +82,7 @@ pub mod router;
 pub mod service;
 
 pub use backend::{BackendSpec, ShardBackend, ShardSpec};
+pub use expose::{render_stats, serve_stats};
 pub use metrics::{ServiceMetrics, ShardMetrics};
 pub use node::{NodeConfig, ShardNode};
 pub use router::ShardRouter;

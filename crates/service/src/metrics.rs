@@ -157,6 +157,43 @@ mod tests {
     }
 
     #[test]
+    fn bucketing_agrees_with_the_exposition_layer() {
+        // The metrics exposition derives p50/p95/p99 from these buckets
+        // with `timecrypt_obs::prom` — its bucketing rule must match
+        // `record`'s exactly, or the reported percentiles silently skew.
+        assert_eq!(HIST_BUCKETS, timecrypt_obs::prom::LOG2_BUCKETS);
+        for us in [0u64, 1, 2, 3, 4, 7, 8, 1000, 1 << 20, u64::MAX >> 1] {
+            let h = LatencyHist::default();
+            h.record(Duration::from_micros(us));
+            let snap = h.snapshot();
+            assert_eq!(
+                snap.len() - 1,
+                timecrypt_obs::prom::bucket_of(us),
+                "bucket mismatch for {us}us"
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_samples_produce_exact_percentiles() {
+        // End to end: record a known sample set, trim-snapshot it (the
+        // wire form), and pin the derived percentiles against hand
+        // computation. 90 samples in [16,32) µs, 10 in [256,512) µs.
+        let h = LatencyHist::default();
+        for _ in 0..90 {
+            h.record(Duration::from_micros(20));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(300));
+        }
+        let snap = h.snapshot();
+        let [p50, p95, p99] = timecrypt_obs::prom::p50_p95_p99(&snap);
+        assert!((p50 - (16.0 + (50.0 / 90.0) * 16.0)).abs() < 1e-9, "{p50}");
+        assert!((p95 - (256.0 + 0.5 * 256.0)).abs() < 1e-9, "{p95}");
+        assert!((p99 - (256.0 + 0.9 * 256.0)).abs() < 1e-9, "{p99}");
+    }
+
+    #[test]
     fn snapshot_reports_all_shards() {
         let m = ServiceMetrics::new(3);
         m.shard(1).ingested_chunks.fetch_add(5, Ordering::Relaxed);

@@ -172,7 +172,20 @@ impl ShardNode {
         snap.store_puts = store.puts;
         snap.store_deletes = store.deletes;
         snap.store_scans = store.scans;
+        snap.store_bytes_read = store.bytes_read;
+        snap.store_bytes_written = store.bytes_written;
         snap
+    }
+
+    /// Starts a Prometheus `/metrics` listener on `addr` (port 0 for
+    /// ephemeral) rendering this node's [`stats`](Self::stats) per
+    /// scrape. The listener holds its own `Arc` and stops on drop.
+    pub fn serve_metrics(
+        self: &std::sync::Arc<Self>,
+        addr: &str,
+    ) -> std::io::Result<timecrypt_obs::HttpServer> {
+        let node = self.clone();
+        crate::expose::serve_stats(addr, move || node.stats())
     }
 }
 

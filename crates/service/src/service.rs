@@ -10,6 +10,7 @@ use crate::router::ShardRouter;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 use timecrypt_chunk::serialize::{EncryptedChunk, SealedRecord};
+use timecrypt_obs::{trace, TraceContext};
 use timecrypt_server::{merge_stream_stats, ServerConfig, ServerError, TimeCryptServer};
 use timecrypt_store::{KvStore, MeteredKv};
 use timecrypt_wire::messages::{Request, Response, StatReply};
@@ -47,6 +48,14 @@ pub struct ServiceConfig {
     /// promotion — failover reads still work, writes fail until the
     /// topology is re-pointed by hand.
     pub promote_after: u32,
+    /// Mint a root trace context for requests that arrive without one
+    /// (library calls, untraced wire requests), so every scatter-gather
+    /// leg and mirror write of one request shares one trace id across
+    /// the cluster. Off by default: untraced operation keeps the wire
+    /// bytes identical to a build without tracing and adds no
+    /// per-request work. Requests arriving with a trace-context
+    /// envelope are propagated regardless of this flag.
+    pub tracing: bool,
     /// Per-shard engine configuration (local shards; nodes configure
     /// their own engines).
     pub engine: ServerConfig,
@@ -61,6 +70,7 @@ impl Default for ServiceConfig {
             queue_depth: 1024,
             query_readers: 4,
             promote_after: 3,
+            tracing: false,
             engine: ServerConfig::default(),
         }
     }
@@ -96,6 +106,8 @@ pub struct ShardedService {
     /// Any shard (primary or backup) placed on a remote node — gates the
     /// parallel stats probe.
     has_remote: bool,
+    /// Mint root trace contexts for otherwise-untraced requests.
+    tracing: bool,
     /// Pool tuning, retained for replicas attached after open.
     pool_cfg: PoolConfig,
     /// Tells in-flight rebuild workers to stop when the service drops.
@@ -188,6 +200,7 @@ impl ShardedService {
             metrics,
             kv,
             has_remote,
+            tracing: cfg.tracing,
             pool_cfg: cfg.pool,
             shutdown: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             rebuild_workers: parking_lot::Mutex::new(Vec::new()),
@@ -268,6 +281,18 @@ impl ShardedService {
         &self.backends[self.router.shard_of(stream)]
     }
 
+    /// Mints a root trace context when [`ServiceConfig::tracing`] is on
+    /// and the caller brought none (library use, untraced wire request) —
+    /// so the request's scatter-gather legs, ingest jobs, and mirror
+    /// writes all share one trace id. The guard restores the previous
+    /// context on drop.
+    fn trace_root(&self) -> Option<trace::TraceGuard> {
+        if self.tracing && trace::current().is_none() {
+            return Some(trace::set_current(Some(TraceContext::new_root())));
+        }
+        None
+    }
+
     /// Registers a stream on its owning shard (replicated when the shard
     /// has a backup). Local shards surface the engine's typed error
     /// (`StreamExists`, …); remote shards surface the node's message as
@@ -279,6 +304,7 @@ impl ShardedService {
         delta_ms: u64,
         digest_width: u32,
     ) -> Result<(), ServerError> {
+        let _trace = self.trace_root();
         self.replicas_for(stream)
             .create_stream(stream, t0, delta_ms, digest_width)
     }
@@ -289,6 +315,7 @@ impl ShardedService {
     /// [`submit_batch`](Self::submit_batch) returns only after its jobs
     /// completed.
     pub fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
+        let _trace = self.trace_root();
         self.replicas_for(chunk.stream).insert(chunk)
     }
 
@@ -298,8 +325,11 @@ impl ShardedService {
     /// input order. Blocks while queues are full — that is the
     /// backpressure contract.
     pub fn submit_batch(&self, chunks: Vec<EncryptedChunk>) -> Vec<Result<(), ServerError>> {
+        let _trace = self.trace_root();
+        let ctx = trace::current();
         let n = chunks.len();
         let (reply_tx, reply_rx) = channel();
+        let route = trace::stage("route");
         for (idx, chunk) in chunks.into_iter().enumerate() {
             let shard = self.router.shard_of(chunk.stream);
             self.workers[shard].submit(
@@ -308,9 +338,11 @@ impl ShardedService {
                     chunk,
                     idx,
                     reply: reply_tx.clone(),
+                    trace: ctx,
                 },
             );
         }
+        drop(route);
         drop(reply_tx);
         // Placeholder for jobs whose worker never replied (only possible if
         // a shard pipeline died): distinct from any engine verdict.
@@ -338,6 +370,9 @@ impl ShardedService {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<StatReply, ServerError> {
+        let _trace = self.trace_root();
+        let ctx = trace::current();
+        let route = trace::stage("route");
         // Partition `(position, stream)` pairs by owning shard.
         let mut by_shard: Vec<Vec<(usize, u128)>> = vec![Vec::new(); self.router.shards()];
         for (pos, &sid) in streams.iter().enumerate() {
@@ -351,6 +386,7 @@ impl ShardedService {
         // crosses a thread boundary.
         involved.sort_by_key(|&s| by_shard[s].len());
         let inline_shard = involved.pop();
+        drop(route);
         let mut results: Vec<Option<StreamStatResult>> = Vec::with_capacity(streams.len());
         results.resize_with(streams.len(), || None);
         let (reply_tx, reply_rx) = channel();
@@ -362,6 +398,9 @@ impl ShardedService {
             self.query_pool.exec(
                 shard,
                 Box::new(move || {
+                    // Pool workers are shared across requests: restore the
+                    // submitting request's trace context for this leg.
+                    let _trace = trace::set_current(ctx);
                     // Contain engine panics so one poisoned query cannot kill
                     // the shard's pool worker or strand the caller.
                     let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -432,12 +471,67 @@ impl ShardedService {
         snap.store_puts = store.puts;
         snap.store_deletes = store.deletes;
         snap.store_scans = store.scans;
+        snap.store_bytes_read = store.bytes_read;
+        snap.store_bytes_written = store.bytes_written;
+        if self.has_remote {
+            self.aggregate_remote_store(&mut snap);
+        }
         snap
+    }
+
+    /// Folds the store counters of every distinct remote node into `snap`,
+    /// so coordinator stats cover cluster-wide storage traffic. Endpoints
+    /// are deduplicated first — a node hosting several shards (or serving
+    /// as both primary and mirror) is probed and counted exactly once.
+    /// In-process backends report no endpoint and are skipped (the local
+    /// store is already counted above).
+    fn aggregate_remote_store(&self, snap: &mut timecrypt_wire::messages::ServiceStatsWire) {
+        let mut seen = std::collections::HashSet::new();
+        let mut nodes: Vec<Arc<dyn ShardBackend>> = Vec::new();
+        for replicas in &self.backends {
+            for backend in replicas.attached_backends() {
+                if let Some(ep) = backend.endpoint() {
+                    if seen.insert(ep.to_string()) {
+                        nodes.push(backend);
+                    }
+                }
+            }
+        }
+        let remote: Vec<_> = std::thread::scope(|scope| {
+            let probes: Vec<_> = nodes
+                .iter()
+                .map(|b| scope.spawn(|| b.node_stats()))
+                .collect();
+            probes
+                .into_iter()
+                .map(|p| p.join().unwrap_or_default())
+                .collect()
+        });
+        for stats in remote.into_iter().flatten() {
+            snap.store_gets += stats.store_gets;
+            snap.store_puts += stats.store_puts;
+            snap.store_deletes += stats.store_deletes;
+            snap.store_scans += stats.store_scans;
+            snap.store_bytes_read += stats.store_bytes_read;
+            snap.store_bytes_written += stats.store_bytes_written;
+        }
     }
 
     /// The metered storage handle shared by all local shards.
     pub fn kv(&self) -> &Arc<MeteredKv> {
         &self.kv
+    }
+
+    /// Starts a Prometheus `/metrics` listener on `addr` (port 0 for
+    /// ephemeral) rendering this coordinator's [`stats`](Self::stats) —
+    /// including aggregated remote-node store counters — per scrape.
+    /// The listener holds its own `Arc` and stops on drop.
+    pub fn serve_metrics(
+        self: &Arc<Self>,
+        addr: &str,
+    ) -> std::io::Result<timecrypt_obs::HttpServer> {
+        let svc = self.clone();
+        crate::expose::serve_stats(addr, move || svc.stats())
     }
 
     /// One `InsertBatch` over serialized chunk views: parse failures keep
@@ -503,6 +597,10 @@ impl Handler for ShardedService {
     }
 
     fn handle(&self, req: Request) -> Response {
+        // Mint a root trace for requests that bypass the methods above
+        // (single-stream delegations); a no-op unless tracing is enabled
+        // and no envelope-supplied context is already current.
+        let _trace = self.trace_root();
         match req {
             // Multi-stream and service-level requests are handled here.
             Request::GetStatRange {
@@ -709,6 +807,37 @@ mod tests {
         let streams: u64 = snap.shards.iter().map(|s| s.streams).sum();
         assert_eq!(streams, 8);
         assert!(snap.store_puts > 0, "metered store saw writes");
+        assert!(snap.store_bytes_written > 0, "byte traffic surfaced");
+    }
+
+    #[test]
+    fn stats_aggregate_remote_node_store_counters() {
+        // The coordinator's own store is idle (all shards remote), so
+        // every store op in its stats must come from probing the nodes —
+        // with the replicated pair, both the primary's and the mirror's
+        // stores count (distinct endpoints), exactly once each.
+        let (_na, addr_a) = spawn_node(1, vec![0]);
+        let (_nb, addr_b) = spawn_node(1, vec![0]);
+        let svc = ShardedService::open(
+            Arc::new(MemKv::new()),
+            ServiceConfig {
+                topology: vec![ShardSpec::remote(addr_a).with_backup(addr_b)],
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        svc.create_stream(7, 0, 10_000, 2).unwrap();
+        svc.insert(&sealed_chunk(7, 0, 5)).unwrap();
+        let snap = svc.stats();
+        // One write mirrored to two nodes: both stores saw puts.
+        assert!(snap.store_puts >= 2, "puts={}", snap.store_puts);
+        assert!(snap.store_bytes_written > 0);
+        // Local-only deployments are unchanged: no remote probe, counters
+        // straight from the in-process metered store.
+        let local = service(1);
+        local.create_stream(1, 0, 10_000, 2).unwrap();
+        local.insert(&sealed_chunk(1, 0, 1)).unwrap();
+        assert!(local.stats().store_bytes_written > 0);
     }
 
     #[test]

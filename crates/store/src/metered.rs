@@ -4,10 +4,17 @@
 //! in a [`MeteredKv`] so `Request::Stats` can report how hard the storage
 //! tier is being driven — the reproduction's stand-in for the Cassandra-side
 //! metrics the paper's deployment would export (§4.6).
+//!
+//! The decorator also feeds per-request tracing: each operation opens a
+//! `timecrypt-obs` stage span (`store.get`, `store.put`, ...), which
+//! aggregates store time into the active request scope's breakdown. With
+//! no scope active on the thread the span is free (no clock read), so
+//! the hot path stays untouched when tracing is idle.
 
 use crate::{KvStore, StoreError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use timecrypt_obs::trace;
 
 /// Point-in-time snapshot of a [`MeteredKv`]'s counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +80,7 @@ impl MeteredKv {
 
 impl KvStore for MeteredKv {
     fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let _span = trace::stage("store.get");
         self.gets.fetch_add(1, Ordering::Relaxed);
         let v = self.inner.get(key)?;
         if let Some(v) = &v {
@@ -82,6 +90,7 @@ impl KvStore for MeteredKv {
     }
 
     fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let _span = trace::stage("store.put");
         self.puts.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
             .fetch_add(value.len() as u64, Ordering::Relaxed);
@@ -89,11 +98,13 @@ impl KvStore for MeteredKv {
     }
 
     fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        let _span = trace::stage("store.delete");
         self.deletes.fetch_add(1, Ordering::Relaxed);
         self.inner.delete(key)
     }
 
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>, StoreError> {
+        let _span = trace::stage("store.scan");
         self.scans.fetch_add(1, Ordering::Relaxed);
         self.inner.scan_prefix(prefix)
     }

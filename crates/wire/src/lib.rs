@@ -11,6 +11,12 @@
 //!
 //! Framing: every message is `u32 little-endian length || body`, with a hard
 //! frame-size cap to bound allocation from untrusted peers.
+//!
+//! Tracing: a request may arrive wrapped in an optional trace-context
+//! envelope ([`messages::split_trace`]); the server loop peels it off,
+//! stamps the context into the thread-local used by `timecrypt-obs`
+//! spans, and hands the handler exactly the pre-envelope bytes —
+//! untraced traffic is byte-identical to a build without tracing.
 
 pub mod codec;
 pub mod frame;
@@ -24,4 +30,5 @@ pub use messages::{
     Request, Response, ServiceStatsWire, ShardStatsWire, StatReply, StreamInfoWire,
 };
 pub use pool::{ClientPool, PoolConfig};
+pub use timecrypt_obs::TraceContext;
 pub use transport::{Client, Server};

@@ -5,6 +5,7 @@
 //! blobs (grants, envelopes) are opaque bytes sealed for the principal.
 
 use crate::codec::{ByteReader, ByteWriter, WireError, MAX_REPEATED};
+use timecrypt_obs::TraceContext;
 
 /// Server-side per-stream metadata (non-secret: the paper's server knows
 /// chunk boundaries because index keys encode temporal ranges, §4.6).
@@ -414,6 +415,11 @@ pub struct ServiceStatsWire {
     pub store_deletes: u64,
     /// KV `scan_prefix` operations.
     pub store_scans: u64,
+    /// Value bytes returned by `get`/`scan_prefix` (the paper's
+    /// Cassandra-side read traffic, §4.6).
+    pub store_bytes_read: u64,
+    /// Key+value bytes written by `put`.
+    pub store_bytes_written: u64,
 }
 
 const REQ_CREATE: u8 = 1;
@@ -440,6 +446,55 @@ const REQ_INSERT_BATCH: u8 = 21;
 const REQ_STATS: u8 = 22;
 const REQ_LIST_STREAMS: u8 = 23;
 const REQ_EXPORT_STREAM: u8 = 24;
+/// Trace-context envelope: `[tag][u128 trace id][u64 span id][inner
+/// request]`. Not a [`Request`] variant — the envelope is peeled off by
+/// [`split_trace`] at the transport boundary before request decoding, so
+/// handlers (and replies) are identical whether or not a request arrived
+/// traced.
+const REQ_TRACED: u8 = 25;
+
+/// Encoded size of the trace envelope prefix.
+pub const TRACE_PREFIX_LEN: usize = 1 + 16 + 8;
+
+/// Appends the trace-context envelope prefix to `out`; the encoded inner
+/// request must follow. Requests sent *without* a context are encoded
+/// exactly as before this envelope existed — that is the
+/// backward-compatibility story: an untraced sender interops with any
+/// peer, and a traced sender can detect a legacy peer (see
+/// [`peer_lacks_trace_support`]) and fall back to untraced encoding.
+pub fn encode_trace_prefix(ctx: TraceContext, out: &mut Vec<u8>) {
+    let mut w = ByteWriter::with_vec(std::mem::take(out));
+    w.u8(REQ_TRACED).u128(ctx.trace_id).u64(ctx.span_id);
+    *out = w.into_bytes();
+}
+
+/// Peels an optional trace-context envelope off a request body: returns
+/// the context (if the body is enveloped) and the inner request bytes.
+/// Bodies that don't start with the envelope tag pass through untouched
+/// — every pre-envelope peer's bytes take that path. Nested envelopes
+/// are not a thing; the inner bytes must decode as a plain request.
+pub fn split_trace(body: &[u8]) -> Result<(Option<TraceContext>, &[u8]), WireError> {
+    if body.first() != Some(&REQ_TRACED) {
+        return Ok((None, body));
+    }
+    if body.len() < TRACE_PREFIX_LEN {
+        return Err(WireError::Truncated);
+    }
+    let mut r = ByteReader::new(&body[1..TRACE_PREFIX_LEN]);
+    let ctx = TraceContext {
+        trace_id: r.u128()?,
+        span_id: r.u64()?,
+    };
+    Ok((Some(ctx), &body[TRACE_PREFIX_LEN..]))
+}
+
+/// Does this app-level error text mean the peer rejected the trace
+/// envelope because it predates it? A decode-level rejection happens
+/// before any dispatch — the peer applied nothing — so the sender may
+/// safely retry the same request untraced, even a mutation.
+pub fn peer_lacks_trace_support(msg: &str) -> bool {
+    msg.contains("unknown message tag 25")
+}
 
 impl Request {
     /// True for requests that change server state. The distinction drives
@@ -847,7 +902,9 @@ impl Response {
                 w.u64(stats.store_gets)
                     .u64(stats.store_puts)
                     .u64(stats.store_deletes)
-                    .u64(stats.store_scans);
+                    .u64(stats.store_scans)
+                    .u64(stats.store_bytes_read)
+                    .u64(stats.store_bytes_written);
             }
             Response::StreamList(infos) => {
                 w.u8(RESP_STREAM_LIST).u32(infos.len() as u32);
@@ -987,6 +1044,8 @@ impl Response {
                     store_puts: r.u64()?,
                     store_deletes: r.u64()?,
                     store_scans: r.u64()?,
+                    store_bytes_read: r.u64()?,
+                    store_bytes_written: r.u64()?,
                 })
             }
             RESP_STREAM_LIST => {
@@ -1418,6 +1477,8 @@ mod tests {
                 store_puts: 22,
                 store_deletes: 0,
                 store_scans: 5,
+                store_bytes_read: 4096,
+                store_bytes_written: 65_536,
             }),
             Response::StreamList(vec![
                 StreamInfoWire {
@@ -1576,5 +1637,85 @@ mod tests {
         assert_eq!(Request::decode(&[200]), Err(WireError::BadTag(200)));
         assert_eq!(Response::decode(&[200]), Err(WireError::BadTag(200)));
         assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn trace_envelope_roundtrips_every_request() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_dead_beef_dead_beef_dead_beef,
+            span_id: 0x1234_5678_9abc_def0,
+        };
+        for req in all_requests() {
+            let mut body = Vec::new();
+            encode_trace_prefix(ctx, &mut body);
+            req.encode_into(&mut body);
+            let (got_ctx, inner) = split_trace(&body).unwrap();
+            assert_eq!(got_ctx, Some(ctx), "{req:?}");
+            assert_eq!(Request::decode(inner).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn untraced_bodies_pass_through_split_unchanged() {
+        // The compat direction: bytes from a pre-envelope encoder reach
+        // the handler exactly as sent.
+        for req in all_requests() {
+            let bytes = req.encode();
+            let (ctx, inner) = split_trace(&bytes).unwrap();
+            assert_eq!(ctx, None, "{req:?}");
+            assert_eq!(inner, &bytes[..], "{req:?}");
+        }
+    }
+
+    #[test]
+    fn untraced_encoding_is_byte_identical_to_pre_envelope_wire() {
+        // With no context attached nothing about request encoding
+        // changed: a legacy decoder accepts every new encoder's output.
+        // (The legacy decoder is `Request::decode` itself — it still
+        // rejects the envelope tag, which is what a legacy peer does.)
+        for req in all_requests() {
+            assert!(Request::decode(&req.encode()).is_ok(), "{req:?}");
+        }
+        let mut traced = Vec::new();
+        encode_trace_prefix(
+            TraceContext {
+                trace_id: 1,
+                span_id: 2,
+            },
+            &mut traced,
+        );
+        Request::Ping.encode_into(&mut traced);
+        assert_eq!(Request::decode(&traced), Err(WireError::BadTag(REQ_TRACED)));
+        // ...and that rejection is exactly what the sender-side legacy
+        // detection keys on.
+        let reply = format!("bad request: {}", WireError::BadTag(REQ_TRACED));
+        assert!(peer_lacks_trace_support(&reply));
+        assert!(!peer_lacks_trace_support("stream 7 not found"));
+    }
+
+    #[test]
+    fn truncated_trace_envelope_rejected() {
+        let ctx = TraceContext {
+            trace_id: 9,
+            span_id: 9,
+        };
+        let mut body = Vec::new();
+        encode_trace_prefix(ctx, &mut body);
+        Request::Ping.encode_into(&mut body);
+        for cut in 1..TRACE_PREFIX_LEN {
+            assert_eq!(split_trace(&body[..cut]), Err(WireError::Truncated));
+        }
+        // A bare envelope with no inner request splits fine but the inner
+        // decode fails — no request materializes out of nothing.
+        let (_, inner) = split_trace(&body[..TRACE_PREFIX_LEN]).unwrap();
+        assert!(Request::decode(inner).is_err());
+        // Nested envelopes don't decode: the inner bytes must be a plain
+        // request.
+        let mut nested = Vec::new();
+        encode_trace_prefix(ctx, &mut nested);
+        encode_trace_prefix(ctx, &mut nested);
+        Request::Ping.encode_into(&mut nested);
+        let (_, inner) = split_trace(&nested).unwrap();
+        assert_eq!(Request::decode(inner), Err(WireError::BadTag(REQ_TRACED)));
     }
 }

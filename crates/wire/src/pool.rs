@@ -115,12 +115,30 @@ impl ClientPool {
     /// but only for non-mutating requests, where a peer that secretly
     /// processed the lost exchange changes nothing.
     pub fn call(&self, req: &Request) -> Result<crate::messages::Response, ClientError> {
+        self.call_traced(None, req)
+    }
+
+    /// [`call`](Self::call) with an optional trace-context envelope on
+    /// the request (`None` is byte-identical to `call`). The retry on a
+    /// stale connection re-sends with the same context.
+    pub fn call_traced(
+        &self,
+        ctx: Option<timecrypt_obs::TraceContext>,
+        req: &Request,
+    ) -> Result<crate::messages::Response, ClientError> {
+        let exchange = |client: &mut Client| -> Result<crate::messages::Response, ClientError> {
+            client.send_traced(ctx, req)?;
+            match client.recv()? {
+                crate::messages::Response::Error(msg) => Err(ClientError::Server(msg)),
+                resp => Ok(resp),
+            }
+        };
         let mut conn = self.get()?;
-        match conn.client().call(req) {
+        match exchange(conn.client()) {
             Err(ClientError::Frame(_)) if !req.is_mutation() => {
                 conn.discard();
                 let mut fresh = self.fresh()?;
-                let out = fresh.client().call(req);
+                let out = exchange(fresh.client());
                 if out.is_err() {
                     fresh.discard();
                 }

@@ -36,12 +36,14 @@
 //! ```
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::messages::{Request, Response};
+use crate::messages::{split_trace, Request, Response};
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
+use timecrypt_obs::{tc_warn, trace, TraceContext};
 
 /// Retained capacity cap for per-connection scratch buffers. Reuse keeps
 /// steady-state serving allocation-free, but one oversized frame (a 4 MiB
@@ -167,6 +169,68 @@ impl Drop for Server {
     }
 }
 
+/// The slow-request threshold: requests whose server-side handling takes
+/// at least this long are logged at `Warn` with their per-stage
+/// breakdown. Configured by the `TC_SLOW_MS` environment variable
+/// (milliseconds; `0` disables the slow log *and* per-request stage
+/// accounting); defaults to 1000 ms.
+fn slow_threshold() -> Option<Duration> {
+    static THRESHOLD: OnceLock<Option<Duration>> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        let ms = std::env::var("TC_SLOW_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1000);
+        (ms > 0).then(|| Duration::from_millis(ms))
+    })
+}
+
+/// Renders a stage breakdown for the slow-request log.
+fn render_stages(stages: &[trace::StageTotal]) -> String {
+    let mut out = String::new();
+    for t in stages {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&format!("{}={}us/{}", t.stage, t.total_us, t.count));
+    }
+    out
+}
+
+/// Handles one decoded frame: peels the optional trace envelope (so the
+/// handler sees exactly the pre-envelope bytes), stamps the context into
+/// the thread-local for the handler's spans, and accounts stage timings
+/// for the slow-request log. Shared by the TCP server loop; exposed so
+/// alternative transports (in-process loopback, tests) serve traced
+/// frames identically.
+pub fn handle_frame_traced(handler: &dyn Handler, body: &[u8]) -> Response {
+    let (ctx, inner) = match split_trace(body) {
+        Ok(split) => split,
+        Err(e) => return Response::Error(format!("bad request: {e}")),
+    };
+    let _trace_guard = ctx.map(|c| trace::set_current(Some(c)));
+    let scope = slow_threshold().map(|_| trace::begin_request());
+    let resp = {
+        // One span event per served request when traced: this is the
+        // node-side record a scatter-gather leg leaves in the flight
+        // recorder under the coordinator's trace id.
+        let _serve_span = ctx.is_some().then(|| trace::span("wire", "serve"));
+        handler.handle_frame(inner)
+    };
+    if let (Some(scope), Some(limit)) = (scope, slow_threshold()) {
+        let (total, stages) = scope.finish();
+        if total >= limit {
+            tc_warn!(
+                "wire",
+                "slow request total_ms={} {}",
+                total.as_millis(),
+                render_stages(&stages)
+            );
+        }
+    }
+    resp
+}
+
 fn serve_connection(stream: &TcpStream, handler: Arc<dyn Handler>) -> Result<(), FrameError> {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -181,7 +245,7 @@ fn serve_connection(stream: &TcpStream, handler: Arc<dyn Handler>) -> Result<(),
             Err(FrameError::Closed) => return Ok(()),
             Err(e) => return Err(e),
         };
-        let resp = handler.handle_frame(&body);
+        let resp = handle_frame_traced(&*handler, &body);
         out.clear();
         resp.encode_into(&mut out);
         write_frame(&mut writer, &out)?;
@@ -262,6 +326,23 @@ impl Client {
     /// [`recv`](Self::recv)s drain the matching responses.
     pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
         self.send_with(|body| req.encode_into(body))
+    }
+
+    /// Like [`send`](Self::send), but wraps the request in a
+    /// trace-context envelope when `ctx` is present. With `ctx == None`
+    /// the frame is byte-identical to [`send`](Self::send) — the
+    /// tracing-off path costs nothing on the wire.
+    pub fn send_traced(
+        &mut self,
+        ctx: Option<TraceContext>,
+        req: &Request,
+    ) -> Result<(), ClientError> {
+        self.send_with(|body| {
+            if let Some(c) = ctx {
+                crate::messages::encode_trace_prefix(c, body);
+            }
+            req.encode_into(body)
+        })
     }
 
     /// Like [`send`](Self::send), but the caller writes the request body

@@ -3,9 +3,10 @@
 
 use proptest::prelude::*;
 use timecrypt_wire::messages::{
-    Request, RequestRef, Response, ResponseRef, ServiceStatsWire, ShardStatsWire, StatReply,
-    StreamInfoWire,
+    encode_trace_prefix, split_trace, Request, RequestRef, Response, ResponseRef, ServiceStatsWire,
+    ShardStatsWire, StatReply, StreamInfoWire, TRACE_PREFIX_LEN,
 };
+use timecrypt_wire::TraceContext;
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
@@ -138,9 +139,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 0..4,
             ),
             (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>()),
         )
             .prop_map(
-                |(shards, (store_gets, store_puts, store_deletes, store_scans))| {
+                |(
+                    shards,
+                    (store_gets, store_puts, store_deletes, store_scans),
+                    (store_bytes_read, store_bytes_written),
+                )| {
                     Response::ServiceStats(ServiceStatsWire {
                         shards: shards
                             .into_iter()
@@ -177,6 +183,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         store_puts,
                         store_deletes,
                         store_scans,
+                        store_bytes_read,
+                        store_bytes_written,
                     })
                 }
             ),
@@ -197,7 +205,8 @@ proptest! {
     }
 
     /// `encode_into` is byte-identical to `encode` and appends after any
-    /// existing content (the scratch-buffer reuse contract).
+    /// existing content (the scratch-buffer reuse contract) — including
+    /// after a trace-context envelope prefix, the traced-send path.
     #[test]
     fn encode_into_matches_encode(req in arb_request(), resp in arb_response(), prefix in proptest::collection::vec(any::<u8>(), 0..8)) {
         let mut buf = prefix.clone();
@@ -207,6 +216,36 @@ proptest! {
         let mut buf = prefix.clone();
         resp.encode_into(&mut buf);
         prop_assert_eq!(&buf[prefix.len()..], &resp.encode()[..]);
+        let ctx = TraceContext { trace_id: 7, span_id: 9 };
+        let mut buf = Vec::new();
+        encode_trace_prefix(ctx, &mut buf);
+        prop_assert_eq!(buf.len(), TRACE_PREFIX_LEN);
+        req.encode_into(&mut buf);
+        prop_assert_eq!(&buf[TRACE_PREFIX_LEN..], &req.encode()[..]);
+    }
+
+    /// The trace envelope round-trips over any request, and untraced
+    /// bodies pass through `split_trace` unchanged (old-peer interop:
+    /// a pre-envelope encoder's bytes reach the handler byte-identical).
+    #[test]
+    fn trace_envelope_roundtrip(req in arb_request(), trace_id in any::<u128>(), span_id in any::<u64>()) {
+        let ctx = TraceContext { trace_id, span_id };
+        let mut body = Vec::new();
+        encode_trace_prefix(ctx, &mut body);
+        req.encode_into(&mut body);
+        let (got, inner) = split_trace(&body).unwrap();
+        prop_assert_eq!(got, Some(ctx));
+        prop_assert_eq!(Request::decode(inner).unwrap(), req.clone());
+        let plain = req.encode();
+        let (got, inner) = split_trace(&plain).unwrap();
+        prop_assert_eq!(got, None);
+        prop_assert_eq!(inner, &plain[..]);
+    }
+
+    /// `split_trace` never panics on arbitrary bytes.
+    #[test]
+    fn split_trace_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = split_trace(&bytes);
     }
 
     /// Borrowed decode == owned decode for every message variant, in both
