@@ -1,0 +1,215 @@
+//! Loader for `analyzer.toml` — the checked-in policy the rules run
+//! against (lock order, hot-path crate list, reserved wire tags).
+//!
+//! The file is a deliberately tiny TOML subset so the analyzer stays
+//! dependency-free: `[dotted.section]` headers, `key = "string"`,
+//! `key = ["a", "b"]`, integer keys for the reserved-tag tables, and `#`
+//! comments. Anything outside that subset is a hard error — the config is
+//! part of the gate, so a silently ignored line would be a silently
+//! disabled check.
+
+use std::collections::BTreeMap;
+
+/// Parsed analyzer policy.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Lock classes in acquisition order (outermost first). Each entry is
+    /// `(class name, receiver identifiers that acquire it)`.
+    pub lock_order: Vec<(String, Vec<String>)>,
+    /// Crate names whose non-test code must be panic-free.
+    pub panic_free_crates: Vec<String>,
+    /// Reserved request tags: tag value → owning const name.
+    pub reserved_request_tags: BTreeMap<u32, String>,
+    /// Reserved response tags: tag value → owning const name.
+    pub reserved_response_tags: BTreeMap<u32, String>,
+}
+
+/// A config-file syntax or consistency error.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analyzer.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError(msg.into()))
+}
+
+/// Strips surrounding quotes from a TOML string value.
+fn unquote(v: &str, line_no: usize) -> Result<String, ConfigError> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        err(format!(
+            "line {line_no}: expected a quoted string, got `{v}`"
+        ))
+    }
+}
+
+/// Parses `["a", "b"]` into its elements.
+fn parse_list(v: &str, line_no: usize) -> Result<Vec<String>, ConfigError> {
+    let v = v.trim();
+    if !(v.starts_with('[') && v.ends_with(']')) {
+        return err(format!("line {line_no}: expected a [list]"));
+    }
+    let inner = v[1..v.len() - 1].trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| unquote(s, line_no))
+        .collect()
+}
+
+/// Parses the config text.
+pub fn parse(src: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    // Accumulates [locks.class.<name>] receiver lists until the order list
+    // stitches them together.
+    let mut classes: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            // `#` only starts a comment outside strings; our subset never
+            // puts `#` inside one, so a simple cut is exact.
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if !line.ends_with(']') {
+                return err(format!("line {line_no}: unterminated section header"));
+            }
+            section = line[1..line.len() - 1].trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err(format!("line {line_no}: expected `key = value`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match section.as_str() {
+            "locks" if key == "order" => order = parse_list(value, line_no)?,
+            s if s.starts_with("locks.class.") => {
+                let class = s["locks.class.".len()..].to_string();
+                if key != "receivers" {
+                    return err(format!("line {line_no}: unknown lock-class key `{key}`"));
+                }
+                classes.insert(class, parse_list(value, line_no)?);
+            }
+            "panic_freedom" if key == "crates" => {
+                cfg.panic_free_crates = parse_list(value, line_no)?;
+            }
+            "wire.reserved.request" | "wire.reserved.response" => {
+                let tag: u32 = key.parse().map_err(|_| {
+                    ConfigError(format!("line {line_no}: tag `{key}` not a number"))
+                })?;
+                let name = unquote(value, line_no)?;
+                let table = if section == "wire.reserved.request" {
+                    &mut cfg.reserved_request_tags
+                } else {
+                    &mut cfg.reserved_response_tags
+                };
+                if let Some(prev) = table.insert(tag, name) {
+                    return err(format!(
+                        "line {line_no}: tag {key} reserved twice (first for {prev})"
+                    ));
+                }
+            }
+            _ => {
+                return err(format!(
+                    "line {line_no}: unknown entry `{key}` in section `[{section}]`"
+                ));
+            }
+        }
+    }
+    for class in order {
+        let Some(receivers) = classes.remove(&class) else {
+            return err(format!(
+                "lock order names class `{class}` but [locks.class.{class}] is missing"
+            ));
+        };
+        cfg.lock_order.push((class, receivers));
+    }
+    if let Some(orphan) = classes.keys().next() {
+        return err(format!(
+            "[locks.class.{orphan}] is not listed in the lock order"
+        ));
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[locks]
+order = ["roles", "ingest"]
+
+[locks.class.roles]
+receivers = ["roles"]
+
+[locks.class.ingest]
+receivers = ["ingest", "ingest_for"]
+
+[panic_freedom]
+crates = ["wire", "store"]
+
+[wire.reserved.request]
+1 = "REQ_CREATE"
+25 = "REQ_TRACED"
+
+[wire.reserved.response]
+1 = "RESP_OK"
+"#;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = parse(SAMPLE).unwrap();
+        assert_eq!(
+            cfg.lock_order,
+            vec![
+                ("roles".into(), vec!["roles".into()]),
+                ("ingest".into(), vec!["ingest".into(), "ingest_for".into()]),
+            ]
+        );
+        assert_eq!(cfg.panic_free_crates, vec!["wire", "store"]);
+        assert_eq!(cfg.reserved_request_tags[&25], "REQ_TRACED");
+        assert_eq!(cfg.reserved_response_tags[&1], "RESP_OK");
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors() {
+        assert!(parse("[locks]\nordr = [\"a\"]").is_err());
+        assert!(parse("[mystery]\nx = \"y\"").is_err());
+    }
+
+    #[test]
+    fn order_and_classes_must_agree() {
+        let missing = "[locks]\norder = [\"a\"]";
+        assert!(parse(missing).is_err());
+        let orphan = "[locks.class.b]\nreceivers = [\"b\"]";
+        assert!(parse(orphan).is_err());
+    }
+
+    #[test]
+    fn duplicate_reserved_tags_rejected() {
+        let dup = "[wire.reserved.request]\n1 = \"A\"\n1 = \"B\"";
+        assert!(parse(dup).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! A comment/string-aware line lexer for Rust sources.
+//!
+//! The analyzer does not need a full parser: every rule operates on
+//! *code text with string/char contents blanked and comments split out*.
+//! This module produces that view. The tricky cases are exactly the ones
+//! that would make a naive `grep` lie: `"no .unwrap() here"` inside a
+//! string, `unsafe` inside a doc comment, raw strings `r#"…"#` containing
+//! quotes, nested block comments, and lifetimes (`'a`) that look like the
+//! start of a char literal.
+
+/// One source line, split into its code part and its comment part.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// The line's code with comments removed and string/char literal
+    /// *contents* dropped (delimiters are kept, so `"abc"` becomes `""` —
+    /// tokens on either side never merge).
+    pub code: String,
+    /// The line's comment text (line comments, doc comments, and any part
+    /// of a block comment on this line), without the `//`/`/*` markers.
+    pub comment: String,
+}
+
+impl Line {
+    /// True if the line holds no code tokens (blank or comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    /// Inside `/* … */`, tracking nesting depth (Rust block comments nest).
+    Block(u32),
+    /// Inside a `"…"` string literal.
+    Str,
+    /// Inside a raw string; the payload is the number of `#`s in the
+    /// opening delimiter.
+    RawStr(u32),
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Lexes `src` into per-line code/comment views. Operates on bytes:
+/// non-ASCII text only ever appears inside strings and comments, which are
+/// carried over verbatim (comments) or dropped (string contents).
+pub fn lex(src: &str) -> Vec<Line> {
+    let b = src.as_bytes();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    // Line comment (incl. `///` and `//!`): runs to newline.
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\n' {
+                        j += 1;
+                    }
+                    cur.comment.push_str(&src[i + 2..j]);
+                    i = j;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    state = State::Block(1);
+                    i += 2;
+                } else if c == b'"' {
+                    // A `"` opens either a plain string or — when directly
+                    // preceded by `r`/`br` plus `#`s that are not part of a
+                    // longer identifier — a raw string.
+                    let mut k = i;
+                    while k > 0 && b[k - 1] == b'#' {
+                        k -= 1;
+                    }
+                    let hashes = (i - k) as u32;
+                    let is_raw = k > 0
+                        && b[k - 1] == b'r'
+                        && !(k >= 2 && is_ident(b[k - 2]) && b[k - 2] != b'b')
+                        && !(k >= 3 && b[k - 2] == b'b' && is_ident(b[k - 3]));
+                    if is_raw {
+                        // The `#`s were already pushed as code; drop them so
+                        // the blanked literal reads `r""` regardless of the
+                        // delimiter arity.
+                        for _ in 0..hashes {
+                            cur.code.pop();
+                        }
+                        state = State::RawStr(hashes);
+                    } else {
+                        state = State::Str;
+                    }
+                    cur.code.push('"');
+                    i += 1;
+                } else if c == b'\'' {
+                    // Char literal vs lifetime/loop label. `'\…'` and `'x'`
+                    // are literals; `'ident` with no closing quote is a
+                    // lifetime. (After an identifier or `]`/`)`/`"` the `'`
+                    // can't start a literal at all, but the cases below
+                    // already classify correctly without that check.)
+                    if b.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        if j < b.len() {
+                            j += 1; // the escaped character itself
+                        }
+                        if b.get(i + 2) == Some(&b'u') {
+                            while j < b.len() && b[j] != b'}' && b[j] != b'\n' {
+                                j += 1;
+                            }
+                            j += 1;
+                        }
+                        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+                            j += 1;
+                        }
+                        cur.code.push_str("''");
+                        i = (j + 1).min(b.len());
+                    } else if b.get(i + 2) == Some(&b'\'') {
+                        // 'x'
+                        cur.code.push_str("''");
+                        i += 3;
+                    } else {
+                        // Lifetime or label: keep it as code verbatim.
+                        cur.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    // Keep code ASCII-only (non-ASCII identifiers become
+                    // `?`): rules slice the code text by byte index, and
+                    // no rule matches a non-ASCII token.
+                    cur.code.push(if c.is_ascii() { c as char } else { '?' });
+                    i += 1;
+                }
+            }
+            State::Block(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    state = State::Block(depth + 1);
+                    i += 2;
+                } else {
+                    // Byte-wise carry-over: non-ASCII bytes land as
+                    // mojibake, which is fine — rules only match ASCII
+                    // markers (`SAFETY:`, `lint:`) in comment text.
+                    cur.comment.push(c as char);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == b'\\' {
+                    i += 2; // skip the escaped byte (incl. `\"` and `\\`)
+                } else if c == b'"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == b'"' {
+                    let end = i + 1 + hashes as usize;
+                    if end <= b.len() && b[i + 1..end].iter().all(|&h| h == b'#') {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i = end;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// True if `needle` occurs in `hay` as a whole word (not embedded in a
+/// longer identifier).
+pub fn has_word(hay: &str, needle: &str) -> bool {
+    let h = hay.as_bytes();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let start = from + p;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident(h[start - 1]);
+        let right_ok = end == h.len() || !is_ident(h[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let lines = lex(r#"let x = "contains .unwrap() and unsafe";"#);
+        assert_eq!(lines[0].code, r#"let x = "";"#);
+        assert!(!lines[0].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn line_comments_are_split_out() {
+        let lines = lex("let a = 1; // calls .lock() here\nlet b = 2;");
+        assert_eq!(lines[0].code, "let a = 1; ");
+        assert!(lines[0].comment.contains(".lock()"));
+        assert_eq!(lines[1].code, "let b = 2;");
+    }
+
+    #[test]
+    fn doc_comments_mentioning_unsafe_are_not_code() {
+        let lines = lex("/// uses unsafe internally\nfn f() {}");
+        assert!(lines[0].is_code_blank());
+        assert!(lines[0].comment.contains("unsafe"));
+        assert_eq!(lines[1].code, "fn f() {}");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\n unsafe here\n*/ c";
+        let lines = lex(src);
+        assert_eq!(lines[0].code, "a  b");
+        assert!(lines[1].is_code_blank());
+        assert!(lines[2].comment.contains("unsafe"));
+        assert_eq!(lines[3].code, " c");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r###"let s = r#"quote " and .lock() inside"#; let t = 1;"###;
+        let lines = lex(src);
+        assert_eq!(lines[0].code, r#"let s = r""; let t = 1;"#);
+    }
+
+    #[test]
+    fn raw_string_marker_not_confused_with_identifier_tail() {
+        // `writer"x"` — the `r` belongs to the identifier, the string is
+        // plain, and the closing quote really closes it.
+        let lines = lex(r#"writer"x".push(1);"#);
+        assert_eq!(lines[0].code, r#"writer"".push(1);"#);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(code_of(r#"let x = b"ab\"cd";"#)[0], r#"let x = b"";"#);
+        assert_eq!(code_of(r##"let x = br#"a"b"#;"##)[0], r#"let x = br"";"#);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(code_of("let c = 'x';")[0], "let c = '';");
+        assert_eq!(code_of(r"let c = '\n';")[0], "let c = '';");
+        assert_eq!(code_of(r"let c = '\u{1F600}';")[0], "let c = '';");
+        assert_eq!(
+            code_of("fn f<'a>(x: &'a str) {}")[0],
+            "fn f<'a>(x: &'a str) {}"
+        );
+        assert_eq!(
+            code_of("'outer: loop { break 'outer; }")[0],
+            "'outer: loop { break 'outer; }"
+        );
+        // A quote char literal.
+        assert_eq!(code_of(r"let q = '\'';")[0], "let q = '';");
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        assert_eq!(code_of(r#"let s = "a\"b.unwrap()";"#)[0], r#"let s = "";"#);
+    }
+
+    #[test]
+    fn strings_containing_comment_markers_stay_strings() {
+        assert_eq!(
+            code_of(r#"let s = "// not a comment";"#)[0],
+            r#"let s = "";"#
+        );
+        let lines = lex(r#"let s = "/* not open"; real();"#);
+        assert_eq!(lines[0].code, r#"let s = ""; real();"#);
+    }
+
+    #[test]
+    fn comments_containing_quotes_stay_comments() {
+        let lines = lex(r#"f(); // a stray " quote
+g();"#);
+        assert_eq!(lines[0].code, "f(); ");
+        assert_eq!(lines[1].code, "g();");
+    }
+
+    #[test]
+    fn has_word_respects_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafe_fn()", "unsafe"));
+        assert!(!has_word("not_unsafe", "unsafe"));
+        assert!(has_word("x unsafe", "unsafe"));
+    }
+}

@@ -1,0 +1,64 @@
+//! CI gate entry point: analyze the workspace, print `file:line` diagnostics,
+//! exit nonzero on any violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                eprintln!("usage: timecrypt-analyzer [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no analyzer.toml found walking up from the current directory");
+            return ExitCode::FAILURE;
+        }
+    };
+    match timecrypt_analyzer::analyze(&root) {
+        Ok(report) if report.violations.is_empty() => {
+            println!("timecrypt-analyzer: clean ({} files)", report.files);
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            eprintln!(
+                "timecrypt-analyzer: {} violation(s) in {} files",
+                report.violations.len(),
+                report.files
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("timecrypt-analyzer: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `analyzer.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("analyzer.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

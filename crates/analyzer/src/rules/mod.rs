@@ -1,0 +1,28 @@
+//! The five repo-specific rules. Each exposes `NAME` (the identifier used
+//! in `lint: allow(...)`) and a `check` that appends [`Violation`]s.
+
+pub mod lock_order;
+pub mod no_alloc;
+pub mod panic_freedom;
+pub mod unsafe_hygiene;
+pub mod wire_tags;
+
+use crate::config::Config;
+use crate::scan::SourceFile;
+use crate::Violation;
+
+/// Runs every rule over every file, including malformed-directive
+/// diagnostics, and returns the violations sorted by path and line.
+pub fn run_all(cfg: &Config, files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        out.extend(f.directive_errors.iter().cloned());
+        unsafe_hygiene::check(f, &mut out);
+        panic_freedom::check(cfg, f, &mut out);
+        lock_order::check(cfg, f, &mut out);
+        wire_tags::check(cfg, f, &mut out);
+        no_alloc::check(f, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}

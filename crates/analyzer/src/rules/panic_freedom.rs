@@ -1,0 +1,133 @@
+//! Rule `panic-freedom`: non-test code in the hot-path crates (the list
+//! lives in `analyzer.toml`) must not call `.unwrap()`, `.expect(…)`, or
+//! the panicking macros. Failures on those paths must propagate as `Err`
+//! or be allowlisted with a written proof of unreachability.
+
+use crate::config::Config;
+use crate::scan::SourceFile;
+use crate::Violation;
+
+pub const NAME: &str = "panic-freedom";
+
+/// Panicking macros; matched as `name!` not preceded by an ident char, so
+/// `dont_panic!()` or a method named `expect_len` never trips.
+const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+    if !cfg.panic_free_crates.iter().any(|c| c == &f.crate_name) {
+        return;
+    }
+    for (idx, l) in f.lines.iter().enumerate() {
+        if f.in_test[idx] || f.allowed(idx, NAME) {
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        if l.code.contains(".unwrap()") {
+            hit = Some(".unwrap()".into());
+        } else if l.code.contains(".expect(") {
+            hit = Some(".expect(…)".into());
+        } else {
+            for m in MACROS {
+                if macro_call(&l.code, m) {
+                    hit = Some(format!("{m}!"));
+                    break;
+                }
+            }
+        }
+        if let Some(what) = hit {
+            out.push(Violation {
+                rule: NAME,
+                path: f.rel_path.clone(),
+                line: idx + 1,
+                msg: format!(
+                    "{what} in non-test code of hot-path crate `{}`",
+                    f.crate_name
+                ),
+            });
+        }
+    }
+}
+
+/// True if `code` invokes the macro `name!`.
+fn macro_call(code: &str, name: &str) -> bool {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(name) {
+        let at = from + p;
+        let end = at + name.len();
+        let left_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        if left_ok && b.get(end) == Some(&b'!') {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(crate_name: &str, src: &str) -> Vec<Violation> {
+        let cfg = Config {
+            panic_free_crates: vec!["wire".into()],
+            ..Config::default()
+        };
+        let f = SourceFile::parse("fixture.rs", crate_name, src);
+        let mut v = Vec::new();
+        check(&cfg, &f, &mut v);
+        v
+    }
+
+    #[test]
+    fn fires_on_unwrap_expect_and_macros() {
+        let v = run(
+            "wire",
+            "fn f() {\n  x.unwrap();\n  y.expect(\"msg\");\n  panic!(\"boom\");\n  unreachable!();\n}\n",
+        );
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.iter().map(|x| x.line).collect::<Vec<_>>(), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let v = run(
+            "wire",
+            "fn f() {\n  x.unwrap_or(0);\n  y.unwrap_or_else(|e| e.into_inner());\n  z.unwrap_or_default();\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn test_code_and_other_crates_are_exempt() {
+        assert!(run(
+            "wire",
+            "#[cfg(test)]\nmod t {\n  fn f() { x.unwrap(); }\n}\n"
+        )
+        .is_empty());
+        assert!(run("bench", "fn f() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let v = run(
+            "wire",
+            "fn f() {\n  let s = \".unwrap()\";\n  // calls .expect( here\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn allowlisted_site_passes() {
+        let v = run(
+            "wire",
+            "fn f() {\n  x.unwrap(); // lint: allow(panic-freedom) — len checked two lines up\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn similarly_named_macros_do_not_fire() {
+        assert!(run("wire", "fn f() { dont_panic!(); }\n").is_empty());
+    }
+}

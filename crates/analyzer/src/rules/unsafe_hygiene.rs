@@ -1,0 +1,113 @@
+//! Rule `unsafe-hygiene`: every `unsafe` occurrence (block, fn, impl)
+//! must be immediately preceded by a comment stating the invariant —
+//! `// SAFETY:` for blocks, or a `# Safety` doc section for `unsafe fn`s.
+//! "Immediately" means the comment block directly above the line (doc
+//! comments and attributes may sit in between), or a trailing comment on
+//! the line itself.
+
+use crate::lexer::has_word;
+use crate::scan::SourceFile;
+use crate::Violation;
+
+pub const NAME: &str = "unsafe-hygiene";
+
+pub fn check(f: &SourceFile, out: &mut Vec<Violation>) {
+    for idx in 0..f.lines.len() {
+        if !has_word(&f.lines[idx].code, "unsafe") {
+            continue;
+        }
+        if f.allowed(idx, NAME) || documented(f, idx) {
+            continue;
+        }
+        out.push(Violation {
+            rule: NAME,
+            path: f.rel_path.clone(),
+            line: idx + 1,
+            msg: "`unsafe` without an immediately preceding `// SAFETY:` comment \
+                  (or `# Safety` doc section)"
+                .to_string(),
+        });
+    }
+}
+
+/// True if the `unsafe` on line `idx` carries a safety comment: on the
+/// line itself, or in the contiguous comment/attribute block above it.
+fn documented(f: &SourceFile, idx: usize) -> bool {
+    if is_safety(&f.lines[idx].comment) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &f.lines[j];
+        let code = l.code.trim();
+        // Attributes (`#[target_feature(...)]`) and blank/comment-only
+        // lines keep the comment block "immediately preceding"; anything
+        // else breaks adjacency.
+        let pass_through = code.is_empty() || code.starts_with("#[") || code.starts_with("#!");
+        if is_safety(&l.comment) {
+            return true;
+        }
+        if !pass_through {
+            return false;
+        }
+    }
+    false
+}
+
+fn is_safety(comment: &str) -> bool {
+    comment.contains("SAFETY:") || comment.contains("# Safety")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let f = SourceFile::parse("fixture.rs", "crypto", src);
+        let mut v = Vec::new();
+        check(&f, &mut v);
+        v
+    }
+
+    #[test]
+    fn fires_on_undocumented_unsafe_block() {
+        let v = run("fn f() {\n    let x = unsafe { intrinsic() };\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, NAME);
+    }
+
+    #[test]
+    fn safety_comment_directly_above_passes() {
+        let v = run("fn f() {\n    // SAFETY: aes checked at startup\n    let x = unsafe { intrinsic() };\n}\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_covers_unsafe_fn_through_attributes() {
+        let v = run(
+            "/// # Safety\n/// Caller must have verified the `aes` feature.\n#[target_feature(enable = \"aes\")]\npub unsafe fn expand(k: &[u8]) {}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn intervening_code_breaks_adjacency() {
+        let v = run("// SAFETY: stale comment\nlet y = 1;\nlet x = unsafe { f() };\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_in_comment_or_string_is_ignored() {
+        let v = run("/// not unsafe at all\nlet s = \"unsafe\";\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn allowlisted_unsafe_passes() {
+        let v = run("// lint: allow(unsafe-hygiene) — documented at module level\nlet x = unsafe { f() };\n");
+        assert!(v.is_empty());
+    }
+}

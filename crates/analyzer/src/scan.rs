@@ -1,0 +1,350 @@
+//! Shared per-file analysis state: lexed lines plus the derived views the
+//! rules need — `#[cfg(test)]` regions, allowlist directives, `deny(alloc)`
+//! zone markers, and function-span extraction.
+
+use crate::lexer::{self, Line};
+use crate::Violation;
+
+/// Rule identifiers, exactly as they appear in `lint: allow(<rule>)`.
+pub const RULES: [&str; 5] = [
+    "unsafe-hygiene",
+    "panic-freedom",
+    "lock-ordering",
+    "wire-tags",
+    "no-alloc",
+];
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Path relative to the repo root, as printed in diagnostics.
+    pub rel_path: String,
+    /// Owning crate (directory name under `crates/`, or `timecrypt` for
+    /// the facade's `src/`).
+    pub crate_name: String,
+    /// Lexed code/comment views, one per source line.
+    pub lines: Vec<Line>,
+    /// Per line: true when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// Per line: rules allowlisted for that line via `lint: allow(...)`.
+    pub allows: Vec<Vec<String>>,
+    /// Line indices carrying a `lint: deny(alloc)` marker: the next
+    /// function (or one starting on the same line) is a no-alloc zone.
+    pub deny_alloc: Vec<usize>,
+    /// Malformed directives found while scanning (reported as violations
+    /// so a typo can't silently disable a check).
+    pub directive_errors: Vec<Violation>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, crate_name: &str, src: &str) -> SourceFile {
+        let lines = lexer::lex(src);
+        let in_test = test_mask(&lines);
+        let mut f = SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            in_test,
+            allows: vec![Vec::new(); lines.len()],
+            deny_alloc: Vec::new(),
+            directive_errors: Vec::new(),
+            lines,
+        };
+        f.collect_directives();
+        f
+    }
+
+    /// True if `rule` is allowlisted on 0-based line `idx`.
+    pub fn allowed(&self, idx: usize, rule: &str) -> bool {
+        self.allows
+            .get(idx)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+    }
+
+    fn collect_directives(&mut self) {
+        for idx in 0..self.lines.len() {
+            let comment = self.lines[idx].comment.clone();
+            // A directive must open the comment: `// lint: ...`. Doc
+            // comments (`///`, `//!`) lex with a leading `/`/`!` in their
+            // text, so prose *describing* the syntax never parses as a
+            // directive.
+            let Some(rest) = comment.trim_start().strip_prefix("lint:") else {
+                continue;
+            };
+            let directive = rest.trim();
+            if let Some(rest) = directive.strip_prefix("allow(") {
+                let Some((rule, tail)) = rest.split_once(')') else {
+                    self.directive_error(idx, "unterminated `lint: allow(`");
+                    continue;
+                };
+                let rule = rule.trim().to_string();
+                if !RULES.contains(&rule.as_str()) {
+                    self.directive_error(idx, &format!("unknown rule `{rule}` in allow()"));
+                    continue;
+                }
+                // The reason is mandatory: `— why this is sound`, after a
+                // dash of some kind.
+                let reason = tail.trim_start().trim_start_matches(['—', '-', '–']).trim();
+                if reason.is_empty() {
+                    self.directive_error(
+                        idx,
+                        &format!("allow({rule}) needs a reason: `// lint: allow({rule}) — why`"),
+                    );
+                    continue;
+                }
+                let target = self.directive_target(idx);
+                self.allows[target].push(rule);
+            } else if directive.starts_with("deny(alloc)") {
+                self.deny_alloc.push(idx);
+            } else {
+                self.directive_error(idx, &format!("unrecognized directive `lint: {directive}`"));
+            }
+        }
+    }
+
+    /// A directive on a comment-only line governs the next code line; on a
+    /// trailing comment it governs its own line.
+    fn directive_target(&self, idx: usize) -> usize {
+        if !self.lines[idx].is_code_blank() {
+            return idx;
+        }
+        (idx + 1..self.lines.len())
+            .find(|&j| !self.lines[j].is_code_blank())
+            .unwrap_or(idx)
+    }
+
+    fn directive_error(&mut self, idx: usize, msg: &str) {
+        self.directive_errors.push(Violation {
+            rule: "directive",
+            path: self.rel_path.clone(),
+            line: idx + 1,
+            msg: msg.to_string(),
+        });
+    }
+
+    /// Extracts every function span in the file (header line, body braces).
+    pub fn functions(&self) -> Vec<FnSpan> {
+        let mut spans = Vec::new();
+        let mut idx = 0;
+        while idx < self.lines.len() {
+            let code = &self.lines[idx].code;
+            let Some(name_at) = fn_name_pos(code) else {
+                idx += 1;
+                continue;
+            };
+            let name: String = code[name_at..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            match self.body_after(idx, name_at) {
+                Some((open, close)) => {
+                    spans.push(FnSpan {
+                        name,
+                        header: idx,
+                        body_open: open,
+                        body_close: close,
+                    });
+                    // Scan on from the line after the header so nested fns
+                    // declared further down are still found.
+                    idx += 1;
+                }
+                None => idx += 1,
+            }
+        }
+        spans
+    }
+
+    /// From the `fn` header at `line`/`col`, finds the body's `{ … }` as
+    /// ((line, col), (line, col)); `None` for bodyless trait signatures.
+    fn body_after(&self, line: usize, col: usize) -> Option<(Pos, Pos)> {
+        let mut paren = 0i32;
+        let mut open: Option<Pos> = None;
+        let mut depth = 0i32;
+        for (li, l) in self.lines.iter().enumerate().skip(line) {
+            let start = if li == line { col } else { 0 };
+            for (ci, c) in l.code.char_indices().skip_while(|(ci, _)| *ci < start) {
+                match (open, c) {
+                    (None, '(' | '[') => paren += 1,
+                    (None, ')' | ']') => paren -= 1,
+                    (None, ';') if paren == 0 => return None,
+                    (None, '{') if paren == 0 => {
+                        open = Some(Pos { line: li, col: ci });
+                        depth = 1;
+                    }
+                    (Some(_), '{') => depth += 1,
+                    (Some(o), '}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((o, Pos { line: li, col: ci }));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A (line, column) position in a file, 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One function's location: header line plus body brace positions.
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// Line holding the `fn` keyword.
+    pub header: usize,
+    /// Position of the body's `{`.
+    pub body_open: Pos,
+    /// Position of the body's matching `}`.
+    pub body_close: Pos,
+}
+
+/// Column of a function's name on a header line, if the line declares one.
+fn fn_name_pos(code: &str) -> Option<usize> {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(p) = code[from..].find("fn ") {
+        let at = from + p;
+        let left_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        if left_ok {
+            let name_at = at + 3 + code[at + 3..].len() - code[at + 3..].trim_start().len();
+            if b.get(name_at)
+                .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+            {
+                return Some(name_at);
+            }
+        }
+        from = at + 3;
+    }
+    None
+}
+
+/// Marks lines covered by `#[cfg(test)]` items (the attribute, the item
+/// header, and the brace-matched body).
+fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i32;
+    // When a `#[cfg(test)]` attribute has been seen: the depth at which it
+    // appeared, so an intervening `;` (attr on a `use`) can cancel it.
+    let mut pending: Option<i32> = None;
+    // When inside a test item: the depth just outside its `{`.
+    let mut test_until: Option<i32> = None;
+    for (idx, l) in lines.iter().enumerate() {
+        if l.code.contains("#[cfg(test)]") && test_until.is_none() {
+            pending = Some(depth);
+            mask[idx] = true;
+        }
+        for c in l.code.chars() {
+            match c {
+                '{' => {
+                    if let Some(p) = pending.take() {
+                        test_until = Some(p);
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_until.is_some_and(|t| depth <= t) {
+                        test_until = None;
+                        mask[idx] = true;
+                    }
+                }
+                ';' if pending.is_some_and(|p| p == depth) => pending = None,
+                _ => {}
+            }
+        }
+        if test_until.is_some() || pending.is_some() {
+            mask[idx] = true;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs", "test", src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let f = file(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn live2() {}\n",
+        );
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_swallow_following_code() {
+        let f = file("#[cfg(test)]\nuse std::fmt;\nfn live() {}\n");
+        assert!(!f.in_test[2]);
+    }
+
+    #[test]
+    fn allow_directive_targets_same_or_next_line() {
+        let f = file(
+            "x.unwrap(); // lint: allow(panic-freedom) — provable\n// lint: allow(no-alloc) — cold path\ny();\n",
+        );
+        assert!(f.allowed(0, "panic-freedom"));
+        assert!(!f.allowed(1, "no-alloc"));
+        assert!(f.allowed(2, "no-alloc"));
+        assert!(f.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let f = file("x.unwrap(); // lint: allow(panic-freedom)\n");
+        assert_eq!(f.directive_errors.len(), 1);
+        assert!(!f.allowed(0, "panic-freedom"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let f = file("x(); // lint: allow(made-up) — whatever\n");
+        assert_eq!(f.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn deny_alloc_marker_recorded() {
+        let f = file("// lint: deny(alloc)\nfn hot() {}\n");
+        assert_eq!(f.deny_alloc, vec![0]);
+    }
+
+    #[test]
+    fn functions_are_spanned() {
+        let f = file("fn a() {\n  inner();\n}\npub fn b(x: i32) -> i32 { x }\n");
+        let fns = f.functions();
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[0].body_open.line, 0);
+        assert_eq!(fns[0].body_close.line, 2);
+        assert_eq!(fns[1].name, "b");
+        assert_eq!(fns[1].body_close.line, 3);
+    }
+
+    #[test]
+    fn trait_signatures_without_body_are_skipped() {
+        let f =
+            file("trait T {\n  fn sig(&self) -> u32;\n  fn with_default(&self) { body(); }\n}\n");
+        let fns = f.functions();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn multiline_signatures_find_their_body() {
+        let f = file("fn long(\n  a: i32,\n  b: i32,\n) -> i32 {\n  a + b\n}\n");
+        let fns = f.functions();
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].body_open.line, 3);
+        assert_eq!(fns[0].body_close.line, 5);
+    }
+}

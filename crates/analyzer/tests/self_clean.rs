@@ -1,0 +1,35 @@
+//! The analyzer's own acceptance gate: the live workspace must be clean.
+//!
+//! This is the same check CI runs via the `timecrypt-analyzer` binary, but
+//! wired into `cargo test` so a violation introduced alongside a code change
+//! fails the ordinary test run too — not just the dedicated CI step.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/analyzer -> crates -> workspace root.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    assert!(
+        dir.join("analyzer.toml").is_file(),
+        "workspace root not found from CARGO_MANIFEST_DIR"
+    );
+    dir
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    let report = timecrypt_analyzer::analyze(&workspace_root()).expect("analysis runs");
+    assert!(
+        report.files > 0,
+        "analyzer found no source files — collection is broken"
+    );
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has {} violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

@@ -27,8 +27,11 @@ impl BitWriter {
             self.used = 8;
         }
         if bit {
-            let last = self.buf.last_mut().expect("just ensured non-empty");
-            *last |= 1 << (self.used - 1);
+            // `used > 0` implies the last byte exists (pushed above or by a
+            // previous call).
+            if let Some(last) = self.buf.last_mut() {
+                *last |= 1 << (self.used - 1);
+            }
         }
         self.used -= 1;
     }

@@ -41,6 +41,7 @@ impl Codec {
             Codec::Delta => 1,
             Codec::DeltaRle => 2,
             Codec::Gorilla => 3,
+            // lint: allow(panic-freedom) — private helper; every caller resolves `Auto` (via `compress_best`) before asking for a wire id, and `from_id` never yields it
             Codec::Auto => unreachable!("Auto is resolved before serialization"),
         }
     }
@@ -162,6 +163,7 @@ pub fn compress(codec: Codec, points: &[DataPoint]) -> Vec<u8> {
             encode_rle(&mut out, points.iter().map(|p| p.value));
         }
         Codec::Gorilla => encode_gorilla(&mut out, points),
+        // lint: allow(panic-freedom) — `Auto` returned early via `compress_best` at the top of this function
         Codec::Auto => unreachable!("handled above"),
     }
     out
@@ -170,11 +172,14 @@ pub fn compress(codec: Codec, points: &[DataPoint]) -> Vec<u8> {
 /// Compresses with every concrete codec and returns the winner and its
 /// (smallest) encoding. Ties go to the earlier codec in [`Codec::CONCRETE`].
 pub fn compress_best(points: &[DataPoint]) -> (Codec, Vec<u8>) {
-    Codec::CONCRETE
-        .iter()
-        .map(|&c| (c, compress(c, points)))
-        .min_by_key(|(_, enc)| enc.len())
-        .expect("CONCRETE is non-empty")
+    let mut best = (Codec::CONCRETE[0], compress(Codec::CONCRETE[0], points));
+    for &c in &Codec::CONCRETE[1..] {
+        let enc = compress(c, points);
+        if enc.len() < best.1.len() {
+            best = (c, enc);
+        }
+    }
+    best
 }
 
 // --- Gorilla (delta-of-delta timestamps + XOR values, bit-packed) ---------
@@ -246,11 +251,8 @@ fn encode_gorilla(out: &mut Vec<u8>, points: &[DataPoint]) {
             w.write_bit(true);
             let lz = xor.leading_zeros() as u8;
             let tz = xor.trailing_zeros() as u8;
-            let fits_window = window
-                .map(|(wlz, wlen)| lz >= wlz && tz >= 64 - wlz - wlen)
-                .unwrap_or(false);
-            if fits_window {
-                let (wlz, wlen) = window.expect("fits_window implies Some");
+            let fits = window.filter(|&(wlz, wlen)| lz >= wlz && tz >= 64 - wlz - wlen);
+            if let Some((wlz, wlen)) = fits {
                 w.write_bit(false);
                 w.write_bits(xor >> (64 - wlz - wlen), wlen);
             } else {
@@ -352,7 +354,8 @@ fn decode_rle(buf: &[u8], pos: &mut usize, n: usize) -> Result<Vec<i64>, CodecEr
 /// Decompresses a payload produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<DataPoint>, CodecError> {
     let mut pos = 0usize;
-    let codec = Codec::from_id(*data.first().ok_or(CodecError::Truncated)?)?;
+    let id = *data.first().ok_or(CodecError::Truncated)?;
+    let codec = Codec::from_id(id)?;
     pos += 1;
     let n = get_uvarint(data, &mut pos)? as usize;
     // Cheap corruption check before reserving memory: each codec has a hard
@@ -365,7 +368,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<DataPoint>, CodecError> {
         // 16-byte first point, then ≥2 bits per point.
         Codec::Gorilla => n <= 1 || remaining.saturating_sub(16).saturating_mul(4) >= n - 1,
         Codec::DeltaRle => true,
-        Codec::Auto => unreachable!("from_id never yields Auto"),
+        // `from_id` never yields `Auto`; a graceful error beats a panic on
+        // the impossible path.
+        Codec::Auto => return Err(CodecError::UnknownCodec(id)),
     };
     if !plausible {
         return Err(CodecError::Truncated);
@@ -377,8 +382,11 @@ pub fn decompress(data: &[u8]) -> Result<Vec<DataPoint>, CodecError> {
                 if pos + 16 > data.len() {
                     return Err(CodecError::Truncated);
                 }
-                let ts = i64::from_le_bytes(data[pos..pos + 8].try_into().unwrap());
-                let value = i64::from_le_bytes(data[pos + 8..pos + 16].try_into().unwrap());
+                let mut word = [0u8; 8];
+                word.copy_from_slice(&data[pos..pos + 8]);
+                let ts = i64::from_le_bytes(word);
+                word.copy_from_slice(&data[pos + 8..pos + 16]);
+                let value = i64::from_le_bytes(word);
                 pos += 16;
                 out.push(DataPoint { ts, value });
             }
@@ -408,7 +416,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<DataPoint>, CodecError> {
                 .collect())
         }
         Codec::Gorilla => decode_gorilla(data, pos, n),
-        Codec::Auto => unreachable!("from_id never yields Auto"),
+        // `from_id` never yields `Auto` (and the plausibility check above
+        // already rejected it).
+        Codec::Auto => Err(CodecError::UnknownCodec(id)),
     }
 }
 

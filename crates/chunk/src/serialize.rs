@@ -29,6 +29,18 @@ fn payload_ciphers() -> &'static GcmKeyCache {
     CACHE.get_or_init(|| GcmKeyCache::new(64))
 }
 
+/// Reads `N` bytes of `buf` starting at `at` into a fixed array without
+/// panicking: short input zero-pads the tail. Every caller length-checks
+/// `buf` first, so the pad never engages in practice — it just keeps the
+/// parse paths free of unwraps.
+fn take_arr<const N: usize>(buf: &[u8], at: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (o, b) in out.iter_mut().zip(buf.iter().skip(at)) {
+        *o = *b;
+    }
+    out
+}
+
 /// A chunk before encryption: the producer-side in-memory form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlainChunk {
@@ -176,7 +188,7 @@ impl EncryptedChunk {
         }
         let key = payload_key(keys, self.index)?;
         let gcm = payload_ciphers().get(&key);
-        let nonce: [u8; NONCE_LEN] = self.payload[..NONCE_LEN].try_into().unwrap();
+        let nonce: [u8; NONCE_LEN] = take_arr(&self.payload, 0);
         let compressed = gcm
             .open(
                 &nonce,
@@ -208,6 +220,7 @@ impl EncryptedChunk {
     /// the allocation-free path for frame assembly, where a whole ingest
     /// drain is encoded into one reused per-connection buffer. Byte-
     /// identical to `to_bytes` (pinned by the chunk property tests).
+    // lint: deny(alloc)
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.reserve(self.encoded_len());
         out.extend_from_slice(&self.stream.to_le_bytes());
@@ -259,17 +272,17 @@ impl<'a> ChunkRef<'a> {
             }
         };
         need(buf.len() >= 28)?;
-        let stream = u128::from_le_bytes(buf[0..16].try_into().unwrap());
-        let index = u64::from_le_bytes(buf[16..24].try_into().unwrap());
-        let dn = u32::from_le_bytes(buf[24..28].try_into().unwrap()) as usize;
+        let stream = u128::from_le_bytes(take_arr(buf, 0));
+        let index = u64::from_le_bytes(take_arr(buf, 16));
+        let dn = u32::from_le_bytes(take_arr(buf, 24)) as usize;
         let mut pos = 28;
         need(buf.len() >= pos + dn * 8 + 4)?;
         let mut digest_ct = Vec::with_capacity(dn);
         for _ in 0..dn {
-            digest_ct.push(u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()));
+            digest_ct.push(u64::from_le_bytes(take_arr(buf, pos)));
             pos += 8;
         }
-        let pn = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let pn = u32::from_le_bytes(take_arr(buf, pos)) as usize;
         pos += 4;
         need(buf.len() == pos + pn)?;
         Ok(ChunkRef {
@@ -366,7 +379,7 @@ impl SealedRecord {
         }
         let key = payload_key(keys, self.chunk)?;
         let gcm = payload_ciphers().get(&key);
-        let nonce: [u8; NONCE_LEN] = self.payload[..NONCE_LEN].try_into().unwrap();
+        let nonce: [u8; NONCE_LEN] = take_arr(&self.payload, 0);
         let plain = gcm
             .open(
                 &nonce,
@@ -378,8 +391,8 @@ impl SealedRecord {
             return Err(ChunkError::Malformed("record plaintext size"));
         }
         Ok(DataPoint {
-            ts: i64::from_le_bytes(plain[..8].try_into().unwrap()),
-            value: i64::from_le_bytes(plain[8..].try_into().unwrap()),
+            ts: i64::from_le_bytes(take_arr(&plain, 0)),
+            value: i64::from_le_bytes(take_arr(&plain, 8)),
         })
     }
 
@@ -407,10 +420,10 @@ impl SealedRecord {
         if buf.len() < 32 {
             return Err(ChunkError::Malformed("truncated record"));
         }
-        let stream = u128::from_le_bytes(buf[0..16].try_into().unwrap());
-        let chunk = u64::from_le_bytes(buf[16..24].try_into().unwrap());
-        let seq = u32::from_le_bytes(buf[24..28].try_into().unwrap());
-        let pn = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+        let stream = u128::from_le_bytes(take_arr(buf, 0));
+        let chunk = u64::from_le_bytes(take_arr(buf, 16));
+        let seq = u32::from_le_bytes(take_arr(buf, 24));
+        let pn = u32::from_le_bytes(take_arr(buf, 28)) as usize;
         if buf.len() != 32 + pn {
             return Err(ChunkError::Malformed("truncated record payload"));
         }
@@ -459,22 +472,22 @@ impl ChunkBuilder {
             .chunk_of(p.ts)
             .ok_or(ChunkError::Malformed("timestamp before stream epoch"))?;
         let mut emitted = Vec::new();
-        match &mut self.current {
-            Some((cur, points)) => {
-                if chunk < *cur {
+        match self.current.take() {
+            Some((cur, mut points)) => {
+                if chunk < cur {
+                    self.current = Some((cur, points));
                     return Err(ChunkError::Malformed("out-of-order point"));
                 }
-                if chunk == *cur {
-                    if let Some(last) = points.last() {
-                        if p.ts < last.ts {
-                            return Err(ChunkError::Malformed("out-of-order point"));
-                        }
+                if chunk == cur {
+                    if points.last().is_some_and(|last| p.ts < last.ts) {
+                        self.current = Some((cur, points));
+                        return Err(ChunkError::Malformed("out-of-order point"));
                     }
                     points.push(p);
+                    self.current = Some((cur, points));
                     return Ok(emitted);
                 }
                 // Crossed a boundary: seal current, emit empties for gaps.
-                let (cur, points) = self.current.take().unwrap();
                 emitted.push(PlainChunk {
                     stream: self.cfg.id,
                     index: cur,

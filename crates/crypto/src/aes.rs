@@ -107,8 +107,10 @@ impl Aes128 {
         #[cfg(target_arch = "x86_64")]
         {
             let use_aesni = !force_software && std::arch::is_x86_feature_detected!("aes");
-            // SAFETY: feature detected above.
             let round_keys = if use_aesni {
+                // SAFETY: `use_aesni` implies `is_x86_feature_detected!("aes")`
+                // returned true on this line's path, so the `aes` target
+                // feature required by `expand_key` is present on this CPU.
                 unsafe { aesni::expand_key(key) }
             } else {
                 expand_key(key)
@@ -285,6 +287,12 @@ mod aesni {
 
     /// One key-expansion round: folds the `aeskeygenassist` result into the
     /// previous round key (FIPS-197 expansion, vectorized).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports the `aes` target feature; the
+    /// intrinsics fault as undefined instructions otherwise. All callers
+    /// sit behind the runtime `is_x86_feature_detected!("aes")` check in
+    /// [`Aes128::with_force_software`](super::Aes128::with_force_software).
     #[inline]
     #[target_feature(enable = "aes")]
     unsafe fn expand_step(prev: __m128i, assist: __m128i) -> __m128i {

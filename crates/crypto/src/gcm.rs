@@ -221,6 +221,7 @@ impl AesGcm128 {
     /// [`seal`](Self::seal) appending into a caller-provided buffer: the
     /// allocation-free path for callers that assemble `nonce || ct || tag`
     /// payloads (chunk sealing reuses one buffer per chunk run).
+    // lint: deny(alloc)
     pub fn seal_into(
         &self,
         nonce: &[u8; NONCE_LEN],
@@ -251,6 +252,7 @@ impl AesGcm128 {
 
     /// [`open`](Self::open) appending the plaintext into a caller-provided
     /// buffer. Nothing is appended when authentication fails.
+    // lint: deny(alloc)
     pub fn open_into(
         &self,
         nonce: &[u8; NONCE_LEN],
@@ -302,9 +304,14 @@ impl GcmKeyCache {
             return std::sync::Arc::new(AesGcm128::new(key));
         }
         {
-            let mut slots = self.slots.lock().expect("gcm cache lock");
-            if let Some(pos) = slots.iter().position(|(k, _)| k == key) {
-                let hit = slots.remove(pos).expect("position just found");
+            // The deque stays valid at every panic point, so poisoning is
+            // recoverable here and below.
+            let mut slots = self
+                .slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let pos = slots.iter().position(|(k, _)| k == key);
+            if let Some(hit) = pos.and_then(|p| slots.remove(p)) {
                 let cipher = hit.1.clone();
                 slots.push_back(hit);
                 return cipher;
@@ -316,7 +323,10 @@ impl GcmKeyCache {
         // the loser's insert just refreshes the same (deterministic)
         // cipher state, so correctness is unaffected.
         let cipher = std::sync::Arc::new(AesGcm128::new(key));
-        let mut slots = self.slots.lock().expect("gcm cache lock");
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(pos) = slots.iter().position(|(k, _)| k == key) {
             slots.remove(pos);
         }

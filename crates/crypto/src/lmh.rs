@@ -14,9 +14,8 @@ use crate::Seed128;
 /// Folds a 128-bit pseudorandom value to 64 bits by XORing its two halves.
 #[inline]
 pub fn fold_u64(x: &Seed128) -> u64 {
-    let hi = u64::from_be_bytes(x[..8].try_into().expect("8 bytes"));
-    let lo = u64::from_be_bytes(x[8..].try_into().expect("8 bytes"));
-    hi ^ lo
+    let v = u128::from_be_bytes(*x);
+    ((v >> 64) as u64) ^ (v as u64)
 }
 
 /// Folds a 256-bit value (e.g. a SHA-256 digest) to 64 bits by XORing all
@@ -24,8 +23,10 @@ pub fn fold_u64(x: &Seed128) -> u64 {
 #[inline]
 pub fn fold_u64_wide(x: &[u8; 32]) -> u64 {
     let mut acc = 0u64;
-    for chunk in x.chunks(8) {
-        acc ^= u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+    let mut word = [0u8; 8];
+    for chunk in x.chunks_exact(8) {
+        word.copy_from_slice(chunk);
+        acc ^= u64::from_be_bytes(word);
     }
     acc
 }

@@ -95,9 +95,16 @@ impl<K: Eq + Hash + Copy + Ord, V> LruCache<K, V> {
             self.order.remove(&old.tick);
             self.used -= old.weight;
         }
-        while self.used + weight > self.budget && !self.map.is_empty() {
-            let (&t, _) = self.order.iter().next().expect("non-empty order map");
-            let victim = self.order.remove(&t).expect("victim key");
+        while self.used + weight > self.budget {
+            // The two maps move in lock-step: an exhausted order map means
+            // nothing is left to evict, so the oversized value is admitted
+            // alone.
+            let Some((&t, _)) = self.order.iter().next() else {
+                break;
+            };
+            let Some(victim) = self.order.remove(&t) else {
+                break;
+            };
             if let Some(e) = self.map.remove(&victim) {
                 self.used -= e.weight;
             }

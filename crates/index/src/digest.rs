@@ -58,7 +58,7 @@ impl HomDigest for Vec<u64> {
         if buf.len() < 4 {
             return None;
         }
-        let n = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        let n = u32::from_le_bytes(buf[..4].try_into().ok()?) as usize;
         let total = 4 + n * 8;
         if buf.len() < total {
             return None;
@@ -66,7 +66,7 @@ impl HomDigest for Vec<u64> {
         let mut v = Vec::with_capacity(n);
         for i in 0..n {
             v.push(u64::from_le_bytes(
-                buf[4 + i * 8..12 + i * 8].try_into().unwrap(),
+                buf[4 + i * 8..12 + i * 8].try_into().ok()?,
             ));
         }
         Some((v, total))

@@ -310,10 +310,12 @@ fn decode_ledger_leaf(bytes: &[u8]) -> Option<([u8; 32], Vec<u64>)> {
         return None;
     }
     let commitment: [u8; 32] = bytes[..32].try_into().ok()?;
-    let sum = bytes[32..]
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
-        .collect();
+    let mut sum = Vec::with_capacity((bytes.len() - 32) / 8);
+    let mut word = [0u8; 8];
+    for c in bytes[32..].chunks_exact(8) {
+        word.copy_from_slice(c);
+        sum.push(u64::from_le_bytes(word));
+    }
     Some((commitment, sum))
 }
 
@@ -343,13 +345,23 @@ impl TimeCryptServer {
             if key.len() != 18 || meta.len() != 20 {
                 continue;
             }
-            let stream = u128::from_be_bytes(key[2..18].try_into().unwrap());
+            // The guard above makes every conversion exact; a mismatch is
+            // skipped like any other malformed record rather than panicking.
+            let (Ok(sid), Ok(t0), Ok(delta), Ok(width)) = (
+                <[u8; 16]>::try_from(&key[2..]),
+                <[u8; 8]>::try_from(&meta[..8]),
+                <[u8; 8]>::try_from(&meta[8..16]),
+                <[u8; 4]>::try_from(&meta[16..]),
+            ) else {
+                continue;
+            };
+            let stream = u128::from_be_bytes(sid);
             if !owns(stream) {
                 continue;
             }
-            let t0 = i64::from_le_bytes(meta[0..8].try_into().unwrap());
-            let delta_ms = u64::from_le_bytes(meta[8..16].try_into().unwrap());
-            let digest_width = u32::from_le_bytes(meta[16..20].try_into().unwrap());
+            let t0 = i64::from_le_bytes(t0);
+            let delta_ms = u64::from_le_bytes(delta);
+            let digest_width = u32::from_le_bytes(width);
             let tree = AggTree::open(
                 server.kv.clone(),
                 stream,
@@ -473,6 +485,7 @@ impl TimeCryptServer {
         }];
         self.insert_stream_run(chunk.stream, &items)
             .pop()
+            // lint: allow(panic-freedom) — `insert_stream_run` returns one verdict per item and `items` has length 1
             .expect("one verdict per chunk")
     }
 
@@ -491,6 +504,7 @@ impl TimeCryptServer {
         }];
         self.insert_stream_run(chunk.stream, &items)
             .pop()
+            // lint: allow(panic-freedom) — `insert_stream_run` returns one verdict per item and `items` has length 1
             .expect("one verdict per chunk")
     }
 
@@ -597,7 +611,10 @@ impl TimeCryptServer {
         let mut out: Vec<Option<Result<(), ServerError>>> = Vec::new();
         out.resize_with(order.iter().map(|s| groups[s].1.len()).sum(), || None);
         for stream in order {
-            let (run, positions) = groups.remove(&stream).expect("grouped above");
+            // `order` records each stream exactly once, when its group is created.
+            let Some((run, positions)) = groups.remove(&stream) else {
+                continue;
+            };
             for (pos, verdict) in positions
                 .into_iter()
                 .zip(self.insert_stream_run(stream, &run))
@@ -606,6 +623,7 @@ impl TimeCryptServer {
             }
         }
         out.into_iter()
+            // lint: allow(panic-freedom) — every input position was pushed into exactly one group's position list, and `insert_stream_run` yields one verdict per item
             .map(|v| v.expect("every position receives a verdict"))
             .collect()
     }
@@ -1149,16 +1167,20 @@ impl Handler for TimeCryptServer {
     /// ([`TimeCryptServer::insert_bytes`]); everything else takes the
     /// owned path. Replies are byte-identical to the default
     /// decode-then-`handle` route (same validations, same error strings).
+    // lint: deny(alloc)
     fn handle_frame(&self, body: &[u8]) -> Response {
         match RequestRef::decode(body) {
             Ok(RequestRef::Insert { chunk }) => match self.insert_bytes(chunk) {
                 Ok(()) => Response::Ok,
+                // lint: allow(no-alloc) — error formatting on the rejection path only; accepted chunks stay allocation-free
                 Err(e) => Response::Error(e.to_string()),
             },
             Ok(RequestRef::InsertBatch { chunks }) => Response::Batch {
                 errors: batch_errors(self.insert_bytes_run(&chunks)),
             },
+            // lint: allow(no-alloc) — non-ingest requests take the owned decode path by design
             Ok(other) => self.handle(other.to_owned()),
+            // lint: allow(no-alloc) — malformed-frame rejection path
             Err(e) => Response::Error(format!("bad request: {e}")),
         }
     }

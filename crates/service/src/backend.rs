@@ -330,7 +330,10 @@ impl ShardBackend for LocalShard {
             entry.1.push(pos);
         }
         for stream in order {
-            let (run, positions) = groups.remove(&stream).expect("grouped above");
+            // `order` records each stream exactly once, when its group is created.
+            let Some((run, positions)) = groups.remove(&stream) else {
+                continue;
+            };
             let run_verdicts = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.engine.insert_run_refs(&run)
             }))
@@ -345,7 +348,7 @@ impl ShardBackend for LocalShard {
         }
         let verdicts: Vec<Result<(), ServerError>> = verdicts
             .into_iter()
-            .map(|v| v.expect("every chunk receives a verdict"))
+            .map(|v| v.unwrap_or(Err(ServerError::Unavailable("chunk received no verdict"))))
             .collect();
         crate::ingest::record_run_metrics(m, t.elapsed(), &verdicts);
         Ok(verdicts)
@@ -932,9 +935,8 @@ impl ShardReplicas {
         if !Arc::ptr_eq(&roles.primary, failed) {
             return true;
         }
-        match &roles.backup {
-            Some(b) if b.health == ReplicaHealth::InSync => {
-                let promoted = roles.backup.take().expect("checked above");
+        match roles.backup.take() {
+            Some(promoted) if promoted.health == ReplicaHealth::InSync => {
                 // The old primary is dropped: it is unreachable, and were
                 // it to come back it would be stale — it must be re-added
                 // via attach + rebuild, never trusted again.
@@ -946,8 +948,11 @@ impl ShardReplicas {
                 true
             }
             // No backup, or one that is rebuilding/drifted: nothing safe
-            // to promote.
-            _ => false,
+            // to promote — put it back untouched.
+            other => {
+                roles.backup = other;
+                false
+            }
         }
     }
 
@@ -1035,13 +1040,15 @@ impl ShardReplicas {
     /// most two attempts: the retry runs only when the first attempt's
     /// failure triggered (or lost the race to) a promotion.
     fn call_replicated(&self, req: Request) -> Response {
-        for attempt in 0..2 {
+        let mut retried = false;
+        loop {
             let (primary, backup) = self.snapshot();
             if req.is_mutation() {
                 let resp = match primary.call(req.clone()) {
                     Ok(resp) => resp,
                     Err(e) => {
-                        if self.note_primary_failure(&primary) && attempt == 0 {
+                        if self.note_primary_failure(&primary) && !retried {
+                            retried = true;
                             continue;
                         }
                         return Response::Error(e.to_string());
@@ -1077,14 +1084,14 @@ impl ShardReplicas {
                             Err(e) => Response::Error(e.to_string()),
                         };
                     }
-                    if promoted && attempt == 0 {
+                    if promoted && !retried {
+                        retried = true;
                         continue;
                     }
                     return Response::Error(e.to_string());
                 }
             }
         }
-        unreachable!("second attempt always returns")
     }
 
     /// Executes one scatter-gather leg, failing over whole-leg to an
@@ -1098,7 +1105,8 @@ impl ShardReplicas {
         ts_s: i64,
         ts_e: i64,
     ) -> Vec<(usize, StreamStatResult)> {
-        for attempt in 0..2 {
+        let mut retried = false;
+        loop {
             let (primary, backup) = self.snapshot();
             let err = match primary.stat_leg(legs, ts_s, ts_e) {
                 Ok(out) => {
@@ -1120,7 +1128,8 @@ impl ShardReplicas {
                         .collect(),
                 };
             }
-            if promoted && attempt == 0 {
+            if promoted && !retried {
+                retried = true;
                 continue;
             }
             return legs
@@ -1128,7 +1137,6 @@ impl ShardReplicas {
                 .map(|&(pos, _)| (pos, Err(clone_unavailable(&err))))
                 .collect();
         }
-        unreachable!("second attempt always returns")
     }
 
     /// Ingests an ordered batch with replication (retrying once against a
@@ -1136,7 +1144,8 @@ impl ShardReplicas {
     /// transport level was never acknowledged). Infallible: an
     /// unreachable primary yields per-chunk `Unavailable` verdicts.
     pub(crate) fn ingest_batch(&self, chunks: &[EncryptedChunk]) -> Vec<Result<(), ServerError>> {
-        for attempt in 0..2 {
+        let mut retried = false;
+        loop {
             let primary = self.primary();
             let results = match primary.insert_batch(chunks) {
                 Ok(results) => {
@@ -1144,7 +1153,8 @@ impl ShardReplicas {
                     results
                 }
                 Err(_) => {
-                    if self.note_primary_failure(&primary) && attempt == 0 {
+                    if self.note_primary_failure(&primary) && !retried {
+                        retried = true;
                         continue;
                     }
                     let m = self.m();
@@ -1175,14 +1185,13 @@ impl ShardReplicas {
             }
             return results;
         }
-        unreachable!("second attempt always returns")
     }
 
     /// Synchronous single-chunk ingest (the unbatched path).
     pub(crate) fn insert(&self, chunk: &EncryptedChunk) -> Result<(), ServerError> {
         self.ingest_batch(std::slice::from_ref(chunk))
             .pop()
-            .expect("one verdict per chunk")
+            .unwrap_or(Err(UNREACHABLE))
     }
 
     /// Registers a stream with replication: primary first (typed errors
@@ -1196,11 +1205,13 @@ impl ShardReplicas {
         delta_ms: u64,
         digest_width: u32,
     ) -> Result<(), ServerError> {
-        for attempt in 0..2 {
+        let mut retried = false;
+        loop {
             let primary = self.primary();
             let result = primary.create_stream(stream, t0, delta_ms, digest_width);
             if matches!(result, Err(ServerError::Unavailable(_))) {
-                if self.note_primary_failure(&primary) && attempt == 0 {
+                if self.note_primary_failure(&primary) && !retried {
+                    retried = true;
                     continue;
                 }
                 // Primary unreachable: leave the backup untouched so it
@@ -1216,7 +1227,6 @@ impl ShardReplicas {
             }
             return result;
         }
-        unreachable!("second attempt always returns")
     }
 
     /// Streams hosted by this shard (primary, failing over to an in-sync

@@ -47,6 +47,7 @@ impl ShardPool {
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
                         }
                     })
+                    // lint: allow(panic-freedom) — one-time pool construction at service startup; spawn failure here means the process cannot run at all
                     .expect("spawn query worker");
                 PoolWorker {
                     tx,
@@ -108,6 +109,7 @@ impl ReaderPool {
                             Err(_) => break,
                         }
                     })
+                    // lint: allow(panic-freedom) — one-time pool construction at service startup; spawn failure here means the process cannot run at all
                     .expect("spawn reader worker")
             })
             .collect();

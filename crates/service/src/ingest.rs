@@ -139,6 +139,7 @@ impl IngestWorker {
         let handle = std::thread::Builder::new()
             .name(format!("tc-ingest-{shard}"))
             .spawn(move || run_worker(rx, backend))
+            // lint: allow(panic-freedom) — one-time worker construction at service startup; spawn failure here means the process cannot run at all
             .expect("spawn ingest worker");
         IngestWorker {
             tx,

@@ -193,6 +193,7 @@ impl Handler for ShardNode {
     /// Zero-copy frame entry point: ingest payloads are parsed and stored
     /// as borrows of the frame buffer, batches as per-engine runs. Replies
     /// are byte-identical to the decode-then-`handle` default.
+    // lint: deny(alloc)
     fn handle_frame(&self, body: &[u8]) -> Response {
         match RequestRef::decode(body) {
             Ok(RequestRef::Insert { chunk }) => match ChunkRef::parse(chunk) {
@@ -200,15 +201,20 @@ impl Handler for ShardNode {
                     Ok((shard, engine)) => {
                         match metered_insert_bytes(engine, self.metrics.shard(shard), chunk) {
                             Ok(()) => Response::Ok,
+                            // lint: allow(no-alloc) — error formatting on the rejection path only; accepted chunks stay allocation-free
                             Err(e) => Response::Error(e.to_string()),
                         }
                     }
+                    // lint: allow(no-alloc) — error formatting on the rejection path only
                     Err(e) => Response::Error(e.to_string()),
                 },
+                // lint: allow(no-alloc) — error formatting on the rejection path only
                 Err(_) => Response::Error(ServerError::BadChunk.to_string()),
             },
             Ok(RequestRef::InsertBatch { chunks }) => self.insert_batch_views(&chunks),
+            // lint: allow(no-alloc) — non-ingest requests take the owned decode path by design
             Ok(other) => self.handle(other.to_owned()),
+            // lint: allow(no-alloc) — malformed-frame rejection path
             Err(e) => Response::Error(format!("bad request: {e}")),
         }
     }

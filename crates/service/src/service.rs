@@ -263,6 +263,7 @@ impl ShardedService {
         let handle = std::thread::Builder::new()
             .name(format!("tc-rebuild-{shard}"))
             .spawn(move || replicas.rebuild_backup(&shutdown))
+            // lint: allow(panic-freedom) — rebuild workers are rare operator-triggered spawns; a spawn failure indicates resource exhaustion no error path could service
             .expect("spawn rebuild worker");
         let mut workers = self.rebuild_workers.lock();
         // Reap finished workers so repeated rebuild triggers on a
@@ -580,18 +581,23 @@ impl Handler for ShardedService {
     /// instead of first copying every payload into an owned `Request` and
     /// then parsing (two copies per chunk). Replies are byte-identical to
     /// the decode-then-`handle` default.
+    // lint: deny(alloc)
     fn handle_frame(&self, body: &[u8]) -> Response {
         use timecrypt_wire::messages::RequestRef;
         match RequestRef::decode(body) {
             Ok(RequestRef::Insert { chunk }) => match EncryptedChunk::from_bytes(chunk) {
                 Ok(c) => match self.insert(&c) {
                     Ok(()) => Response::Ok,
+                    // lint: allow(no-alloc) — error formatting on the rejection path only; accepted chunks stay allocation-free
                     Err(e) => Response::Error(e.to_string()),
                 },
+                // lint: allow(no-alloc) — error formatting on the rejection path only
                 Err(_) => Response::Error(ServerError::BadChunk.to_string()),
             },
             Ok(RequestRef::InsertBatch { chunks }) => self.insert_batch_bytes(&chunks),
+            // lint: allow(no-alloc) — non-ingest requests take the owned decode path by design
             Ok(other) => self.handle(other.to_owned()),
+            // lint: allow(no-alloc) — malformed-frame rejection path
             Err(e) => Response::Error(format!("bad request: {e}")),
         }
     }

@@ -76,8 +76,8 @@ impl LogKv {
             return None;
         }
         let op = buf[0];
-        let klen = u32::from_le_bytes(buf[1..5].try_into().unwrap()) as usize;
-        let vlen = u32::from_le_bytes(buf[5..9].try_into().unwrap()) as usize;
+        let klen = u32::from_le_bytes(buf[1..5].try_into().ok()?) as usize;
+        let vlen = u32::from_le_bytes(buf[5..9].try_into().ok()?) as usize;
         let total = 9usize.checked_add(klen)?.checked_add(vlen)?;
         if buf.len() < total {
             return None;

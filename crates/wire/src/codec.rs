@@ -143,6 +143,15 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// Like [`take`](Self::take) but yields a fixed-size array, so the
+    /// integer readers below need no fallible slice-to-array conversion.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
@@ -150,22 +159,22 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a little-endian u32.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     /// Reads a little-endian u64.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 
     /// Reads a little-endian i64.
     pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_arr()?))
     }
 
     /// Reads a little-endian u128.
     pub fn u128(&mut self) -> Result<u128, WireError> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        Ok(u128::from_le_bytes(self.take_arr()?))
     }
 
     /// Reads a length-prefixed byte string.

@@ -541,6 +541,7 @@ impl Request {
     /// Appends the serialized request to `out`, reusing its capacity —
     /// the per-connection scratch-buffer path (byte-identical to
     /// [`encode`](Self::encode), pinned by the wire property tests).
+    // lint: deny(alloc)
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut w = ByteWriter::with_vec(std::mem::take(out));
         match self {
@@ -828,6 +829,7 @@ impl Response {
 
     /// Appends the serialized response to `out`, reusing its capacity
     /// (byte-identical to [`encode`](Self::encode)).
+    // lint: deny(alloc)
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut w = ByteWriter::with_vec(std::mem::take(out));
         match self {

@@ -67,19 +67,19 @@ impl ClientPool {
     /// Dials the endpoint, backing off exponentially between attempts.
     fn connect(&self) -> Result<Client, ClientError> {
         let mut backoff = self.cfg.backoff;
-        let attempts = self.cfg.connect_attempts.max(1);
-        let mut last_err = None;
-        for attempt in 0..attempts {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
-            }
+        let mut last_err = match Client::connect(&self.addr) {
+            Ok(c) => return Ok(c),
+            Err(e) => e,
+        };
+        for _ in 1..self.cfg.connect_attempts.max(1) {
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
             match Client::connect(&self.addr) {
                 Ok(c) => return Ok(c),
-                Err(e) => last_err = Some(e),
+                Err(e) => last_err = e,
             }
         }
-        Err(last_err.expect("at least one connect attempt"))
+        Err(last_err)
     }
 
     /// Checks a connection out: a pooled one if available, else a fresh
@@ -87,7 +87,13 @@ impl ClientPool {
     /// and returns the connection to the pool on drop unless
     /// [`PooledConn::discard`] was called.
     pub fn get(&self) -> Result<PooledConn<'_>, ClientError> {
-        let pooled = self.idle.lock().expect("pool lock").pop();
+        // A poisoning panic can only leave the idle vec mid-push/pop,
+        // both of which keep it valid — recover rather than propagate.
+        let pooled = self
+            .idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop();
         let client = match pooled {
             Some(c) => c,
             None => self.connect()?,
@@ -102,7 +108,10 @@ impl ClientPool {
     /// pooled connection first. Use after a transport failure: if the
     /// peer restarted, *all* pooled connections to it are stale.
     pub fn fresh(&self) -> Result<PooledConn<'_>, ClientError> {
-        self.idle.lock().expect("pool lock").clear();
+        self.idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
         Ok(PooledConn {
             pool: self,
             client: Some(self.connect()?),
@@ -164,6 +173,7 @@ impl ClientPool {
     /// batched ingest, a mutation (see the module docs on retry policy).
     /// An app-level `Response::Error` surfaces as [`ClientError::Server`],
     /// matching [`call`](Self::call).
+    // lint: deny(alloc)
     pub fn call_with(
         &self,
         fill: impl FnOnce(&mut Vec<u8>),
@@ -184,7 +194,10 @@ impl ClientPool {
     }
 
     fn put_back(&self, client: Client) {
-        let mut idle = self.idle.lock().expect("pool lock");
+        let mut idle = self
+            .idle
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if idle.len() < self.cfg.max_idle {
             idle.push(client);
         }
@@ -200,12 +213,14 @@ pub struct PooledConn<'a> {
 impl PooledConn<'_> {
     /// The underlying connection.
     pub fn client(&mut self) -> &mut Client {
+        // lint: allow(panic-freedom) — `client` is `Some` from construction until drop; `discard` consumes the guard, so no caller can observe `None`
         self.client.as_mut().expect("connection present until drop")
     }
 
     /// Drops the connection instead of returning it to the pool (call
-    /// after any transport-level failure).
-    pub fn discard(&mut self) {
+    /// after any transport-level failure). Consumes the guard: a
+    /// discarded connection cannot be touched again.
+    pub fn discard(mut self) {
         self.client = None;
     }
 }

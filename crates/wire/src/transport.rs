@@ -71,9 +71,11 @@ pub trait Handler: Send + Sync + 'static {
     /// (the server engine, shard nodes) override this to parse bulk
     /// payloads as borrows of the frame buffer — replies must stay
     /// byte-identical to the default path.
+    // lint: deny(alloc)
     fn handle_frame(&self, body: &[u8]) -> Response {
         match Request::decode(body) {
             Ok(req) => self.handle(req),
+            // lint: allow(no-alloc) — malformed-frame rejection path
             Err(e) => Response::Error(format!("bad request: {e}")),
         }
     }
@@ -119,7 +121,11 @@ impl Server {
                         let handler = handler.clone();
                         let stream = Arc::new(stream);
                         {
-                            let mut conns = conns2.lock().expect("conn registry");
+                            // Registry mutations keep the vec valid at
+                            // every panic point — recover from poisoning.
+                            let mut conns = conns2
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
                             // Drop registry entries whose connection ended.
                             conns.retain(|w| w.strong_count() > 0);
                             conns.push(Arc::downgrade(&stream));
@@ -155,7 +161,12 @@ impl Server {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for conn in self.conns.lock().expect("conn registry").drain(..) {
+        for conn in self
+            .conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+        {
             if let Some(stream) = conn.upgrade() {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             }
@@ -350,6 +361,7 @@ impl Client {
     /// assembly path for bodies built from parts (e.g. a
     /// [`BatchEncoder`](crate::messages::BatchEncoder) over serialized
     /// chunks). `fill` must append exactly one valid encoded request.
+    // lint: deny(alloc)
     pub fn send_with(&mut self, fill: impl FnOnce(&mut Vec<u8>)) -> Result<(), ClientError> {
         let mut body = std::mem::take(&mut self.scratch);
         body.clear();
