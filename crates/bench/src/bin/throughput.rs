@@ -53,7 +53,11 @@
 //! `TC_DEEP_ARITY` (default 4), `TC_DEEP_QUERIES` (default 30).
 //! Tracing-overhead phase: `TC_TRACING` (`0` skips) — reruns the
 //! ingest and query workload with request tracing enabled and reports
-//! both. Throughput rows also carry per-op p50/p95/p99 latency
+//! both. Many-streams phase: `TC_MANY` (`0` skips), `TC_MANY_STREAMS`
+//! (comma sweep of stored stream counts, default `10000,100000,1000000`),
+//! `TC_MAX_RESIDENT` (resident LRU cap, default 1024), `TC_MANY_HOT`
+//! (hot working set, default 32), `TC_MANY_QUERIES` (default 200000).
+//! Throughput rows also carry per-op p50/p95/p99 latency
 //! percentiles (`ingest_p50_ms`, `query_p99_ms`, ...) derived from the
 //! service's log₂ histograms.
 
@@ -481,6 +485,7 @@ fn run_deep_tree(
                     // parallelism pays.
                     cache_bytes: 1024,
                     parallel_query: parallel,
+                    ..timecrypt_server::ServerConfig::default()
                 },
                 ..ServiceConfig::default()
             },
@@ -526,6 +531,81 @@ fn run_deep_tree(
         query_ms_par: par_ms,
         speedup: seq_ms / par_ms,
         query_ops_s_par: 1e3 / par_ms,
+    }
+}
+
+struct ManyStreamsSample {
+    /// Wall time of `TimeCryptServer::open` over the seeded store.
+    open_ms: f64,
+    /// Resident stream states observed after the capped query run.
+    resident_max: u64,
+    capped_ops_s: f64,
+    uncapped_ops_s: f64,
+}
+
+/// The many-streams phase: an engine over a store holding `n` registered
+/// streams, only `hot` of which carry chunks. Lazy hydration makes open
+/// a single directory scan (`open_ms` must scale with the directory, not
+/// the per-stream tree state) and bounds resident RAM at `cap` streams;
+/// the steady-state query loop (working set inside the cap) compares a
+/// capped engine against an uncapped one over the same store — the LRU
+/// bookkeeping must be noise once the working set is resident.
+fn run_many_streams(n: usize, cap: usize, hot: usize, queries: usize) -> ManyStreamsSample {
+    use timecrypt_server::{ServerConfig, TimeCryptServer};
+    const HOT_CHUNKS: u64 = 4;
+    let hot = hot.min(n).max(1);
+    let kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+    {
+        let seeder = TimeCryptServer::open(kv.clone(), ServerConfig::default()).unwrap();
+        for id in 0..n as u128 {
+            seeder.create_stream(id, 0, 10_000, 2).unwrap();
+        }
+        for per_stream in &build_workload(hot, HOT_CHUNKS).per_stream {
+            for c in per_stream {
+                seeder.insert(c).unwrap();
+            }
+        }
+    }
+    let t = Instant::now();
+    let capped = TimeCryptServer::open(
+        kv.clone(),
+        ServerConfig {
+            max_resident_streams: Some(cap),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(capped.stream_count(), n);
+    assert_eq!(
+        capped.residency().resident,
+        0,
+        "open must not hydrate anything"
+    );
+    let window = HOT_CHUNKS as i64 * 10_000;
+    let measure = |engine: &TimeCryptServer| {
+        for id in 0..hot as u128 {
+            engine.stream_stat(id, 0, window).unwrap(); // warm-up / hydrate
+        }
+        let t = Instant::now();
+        for q in 0..queries {
+            engine.stream_stat((q % hot) as u128, 0, window).unwrap();
+        }
+        queries as f64 / t.elapsed().as_secs_f64()
+    };
+    let capped_ops_s = measure(&capped);
+    let resident_max = capped.residency().resident;
+    assert!(
+        resident_max <= cap as u64,
+        "resident {resident_max} exceeded cap {cap}"
+    );
+    let uncapped = TimeCryptServer::open(kv, ServerConfig::default()).unwrap();
+    let uncapped_ops_s = measure(&uncapped);
+    ManyStreamsSample {
+        open_ms,
+        resident_max,
+        capped_ops_s,
+        uncapped_ops_s,
     }
 }
 
@@ -841,6 +921,35 @@ fn main() {
             "{{\"bench\":\"deep_tree\",\"chunks\":{},\"arity\":{},\"queries\":{},\"query_ms_seq\":{:.3},\"query_ms_par\":{:.3},\"speedup\":{:.2},\"query_ops_s_par\":{:.0}}}",
             s.chunks, s.arity, deep_queries, s.query_ms_seq, s.query_ms_par, s.speedup, s.query_ops_s_par,
         );
+    }
+
+    // Many-streams phase: open time and steady-state query throughput of
+    // a bounded-residency engine as stored stream counts grow far past
+    // the cap — the lazy-hydration claim, measured.
+    if env_usize("TC_MANY", 1) != 0 {
+        let many_sweep: Vec<usize> = std::env::var("TC_MANY_STREAMS")
+            .unwrap_or_else(|_| "10000,100000,1000000".into())
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        let cap = env_usize("TC_MAX_RESIDENT", 1024).max(1);
+        let hot = env_usize("TC_MANY_HOT", 32);
+        let many_queries = env_usize("TC_MANY_QUERIES", 200_000);
+        for &n in &many_sweep {
+            eprintln!("many-streams: seeding {n} streams (cap {cap}) ...");
+            let s = run_many_streams(n, cap, hot, many_queries);
+            println!(
+                "{{\"bench\":\"many_streams\",\"streams\":{},\"cap\":{},\"hot\":{},\"queries\":{},\"open_ms\":{:.1},\"resident_max\":{},\"capped_ops_s\":{:.0},\"uncapped_ops_s\":{:.0}}}",
+                n,
+                cap,
+                hot.min(n).max(1),
+                many_queries,
+                s.open_ms,
+                s.resident_max,
+                s.capped_ops_s,
+                s.uncapped_ops_s,
+            );
+        }
     }
 
     // Mixed read/write phase: query ops/s vs query-thread count on ONE

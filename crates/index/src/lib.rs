@@ -32,4 +32,4 @@ pub mod tree;
 
 pub use cache::LruCache;
 pub use digest::HomDigest;
-pub use tree::{AggTree, IndexError, TreeConfig, TreeStats};
+pub use tree::{stored_chunk_count, AggTree, IndexError, TreeConfig, TreeStats};

@@ -287,18 +287,28 @@ impl Drop for GenGuard<'_> {
     }
 }
 
+/// The chunk count persisted for `stream`, read straight from the index's
+/// meta record without building a tree handle (no record stored means an
+/// empty stream). This is exactly the length a fresh [`AggTree::open`]
+/// would recover — the cheap answer for callers that need a cold stream's
+/// published length without hydrating its state (lazy stream directories,
+/// live-record staleness checks).
+pub fn stored_chunk_count(kv: &dyn KvStore, stream: u128) -> Result<u64, IndexError> {
+    match kv.get(&meta_key(stream))? {
+        Some(bytes) => match <[u8; 8]>::try_from(bytes.as_slice()) {
+            Ok(arr) => Ok(u64::from_le_bytes(arr)),
+            Err(_) => Err(IndexError::CorruptNode { level: 0, index: 0 }),
+        },
+        None => Ok(0),
+    }
+}
+
 impl<D: HomDigest> AggTree<D> {
     /// Opens (or creates) the tree for `stream` on `kv`, recovering the
     /// chunk count from the store.
     pub fn open(kv: Arc<dyn KvStore>, stream: u128, cfg: TreeConfig) -> Result<Self, IndexError> {
         assert!(cfg.arity >= 2, "arity must be at least 2");
-        let len = match kv.get(&meta_key(stream))? {
-            Some(bytes) => match <[u8; 8]>::try_from(bytes.as_slice()) {
-                Ok(arr) => u64::from_le_bytes(arr),
-                Err(_) => return Err(IndexError::CorruptNode { level: 0, index: 0 }),
-            },
-            None => 0,
-        };
+        let len = stored_chunk_count(kv.as_ref(), stream)?;
         let cache = NodeCache::new(cfg.cache_bytes);
         Ok(AggTree {
             kv,

@@ -1,12 +1,32 @@
-//! The server engine: stream registry, ingest path, query engine.
+//! The server engine: stream directory, lazy-hydrated stream state,
+//! ingest path, query engine.
+//!
+//! # Stream lifecycle (lazy hydration)
+//!
+//! The engine never keeps every stream's state in memory. Opening a store
+//! builds only a *directory* — one small metadata record per registered
+//! stream — so open time is O(streams' meta records), not O(history).
+//! A stream's heavy state (`StreamState`: tree handle, replayed integrity
+//! ledger, ingest mutex) is *hydrated* from the store on first touch and
+//! parked in a recency-ordered resident set bounded by
+//! [`ServerConfig::max_resident_streams`]. Hydration is single-flight:
+//! concurrent cold touches of one stream replay the store exactly once
+//! (the winner holds the stream's hydration gate; losers queue on it and
+//! then take the resident hit). Eviction only removes a resident entry
+//! whose `Arc` has no in-flight references, so an operation holding a
+//! handle keeps using it safely even after the stream leaves the resident
+//! set — and no stream ever has two live `StreamState`s (which would
+//! split its ingest mutex). See ARCHITECTURE.md "Stream lifecycle".
 
 use crate::keystore::KeyStore;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use timecrypt_chunk::serialize::{ChunkRef, EncryptedChunk, SealedRecord};
-use timecrypt_index::{AggTree, IndexError, TreeConfig};
+use timecrypt_index::{stored_chunk_count, AggTree, IndexError, TreeConfig};
 use timecrypt_integrity::{chunk_commitment, RootAttestation, StreamLedger};
+use timecrypt_obs::trace;
 use timecrypt_store::{KvStore, StoreError};
 use timecrypt_wire::messages::{Request, RequestRef, Response, StatReply, StreamInfoWire};
 use timecrypt_wire::transport::Handler;
@@ -24,6 +44,13 @@ pub struct ServerConfig {
     /// default; the `deep_tree` bench phase disables it to measure the
     /// sequential baseline.
     pub parallel_query: bool,
+    /// Upper bound on hydrated stream states held resident at once
+    /// (`None` = unbounded, the compatibility default). When the resident
+    /// set exceeds the cap, the coldest streams with no in-flight
+    /// references are evicted; their state rehydrates from the store on
+    /// the next touch. The stream *directory* (ids + registration
+    /// metadata) is never evicted.
+    pub max_resident_streams: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -32,6 +59,7 @@ impl Default for ServerConfig {
             arity: 64,
             cache_bytes: 64 * 1024 * 1024,
             parallel_query: true,
+            max_resident_streams: None,
         }
     }
 }
@@ -192,32 +220,16 @@ type LiveBuffer = BTreeMap<u64, Vec<(u32, Vec<u8>)>>;
 /// [`TimeCryptServer::get_verified_range`].
 pub type VerifiedRange = (Vec<u8>, Vec<u8>, Vec<Vec<u8>>);
 
-/// Per-stream server state.
-///
-/// Read/write split: the timing metadata (`t0`, `delta_ms`,
-/// `digest_width`) is immutable after registration; the aggregation tree
-/// is a shared handle whose queries run lock-free against a published
-/// `len` snapshot; the integrity ledger sits behind an `RwLock` (proof
-/// builders share it, ingest appends take it exclusively for one push);
-/// and the `ingest` mutex serializes the write path only. Statistical
-/// and raw reads therefore never wait on an in-flight insert.
-struct StreamState {
+/// A stream's immutable registration metadata: the directory entry kept
+/// in memory for every stream whether or not its state is resident.
+#[derive(Debug, Clone, Copy)]
+struct StreamMeta {
     t0: i64,
     delta_ms: u64,
     digest_width: u32,
-    /// Shared-read aggregation tree: queries take `&self` and snapshot a
-    /// consistent length; appends are serialized by `ingest` (plus the
-    /// tree's own writer mutex as a backstop).
-    tree: AggTree<Vec<u64>>,
-    /// Integrity extension: the server's authenticated aggregation ledger.
-    /// Rebuilt from persisted leaf records (`il/` prefix) on open.
-    ledger: RwLock<StreamLedger>,
-    /// The per-stream ingest lock: held by `insert`, `rollup`, and
-    /// `delete_range` (exclusive writers). The read path never takes it.
-    ingest: Mutex<()>,
 }
 
-impl StreamState {
+impl StreamMeta {
     /// First chunk whose interval starts at or after `ts`.
     fn first_chunk_at_or_after(&self, ts: i64) -> u64 {
         if ts <= self.t0 {
@@ -243,22 +255,132 @@ impl StreamState {
     }
 }
 
+/// Per-stream server state (the hydrated, resident part).
+///
+/// Read/write split: the registration metadata is immutable; the
+/// aggregation tree is a shared handle whose queries run lock-free
+/// against a published `len` snapshot; the integrity ledger sits behind
+/// an `RwLock` (proof builders share it, ingest appends take it
+/// exclusively for one push); and the `ingest` mutex serializes the
+/// write path only. Statistical and raw reads therefore never wait on an
+/// in-flight insert.
+struct StreamState {
+    meta: StreamMeta,
+    /// Shared-read aggregation tree: queries take `&self` and snapshot a
+    /// consistent length; appends are serialized by `ingest` (plus the
+    /// tree's own writer mutex as a backstop).
+    tree: AggTree<Vec<u64>>,
+    /// Integrity extension: the server's authenticated aggregation ledger.
+    /// Rebuilt from persisted leaf records (`il/` prefix) on hydration.
+    ledger: RwLock<StreamLedger>,
+    /// The per-stream ingest lock: held by `insert`, `rollup`, and
+    /// `delete_range` (exclusive writers). The read path never takes it.
+    ingest: Mutex<()>,
+}
+
+/// One resident stream: its state handle plus the recency tick mirrored
+/// in [`StreamRegistry::order`].
+struct Resident {
+    state: Arc<StreamState>,
+    tick: u64,
+}
+
+/// The stream registry: the always-complete directory plus the bounded
+/// resident set, all behind one mutex (`registry` in the documented lock
+/// order). Holders never block on the store — hydration replays run
+/// outside this lock, serialized per stream by a `hydrating` gate.
+#[derive(Default)]
+struct StreamRegistry {
+    /// Every registered stream's metadata. Never evicted; this is what
+    /// makes existence checks and chunk-window math O(1) without I/O.
+    directory: HashMap<u128, StreamMeta>,
+    /// Hydrated streams by id; `Resident::tick` mirrors `order`.
+    resident: HashMap<u128, Resident>,
+    /// Recency order: tick → stream id, coldest first (ticks are unique,
+    /// so a `BTreeMap` gives O(log n) touch and cold-end sweeps).
+    order: BTreeMap<u64, u128>,
+    /// Monotonic recency clock.
+    tick: u64,
+    /// Per-stream single-flight hydration gates (lock class `hydrate`,
+    /// taken *before* `registry`): the winner holds its stream's gate
+    /// while replaying the store; concurrent cold touches queue on the
+    /// gate instead of replaying again.
+    hydrating: HashMap<u128, Arc<Mutex<()>>>,
+}
+
+impl StreamRegistry {
+    /// Resident lookup; a hit refreshes recency and clones the handle.
+    /// Every outstanding clone of a resident handle originates here or in
+    /// the publish path — always under the registry lock — which is what
+    /// makes the strong-count eviction gate in `sweep_to` sound.
+    fn touch(&mut self, stream: u128) -> Option<Arc<StreamState>> {
+        let r = self.resident.get_mut(&stream)?;
+        self.order.remove(&r.tick);
+        self.tick += 1;
+        r.tick = self.tick;
+        self.order.insert(self.tick, stream);
+        Some(r.state.clone())
+    }
+
+    /// Publishes a hydrated stream as the most recently used entry.
+    fn insert_resident(&mut self, stream: u128, state: Arc<StreamState>) {
+        if let Some(prev) = self.resident.remove(&stream) {
+            self.order.remove(&prev.tick);
+        }
+        self.tick += 1;
+        self.order.insert(self.tick, stream);
+        self.resident.insert(
+            stream,
+            Resident {
+                state,
+                tick: self.tick,
+            },
+        );
+    }
+
+    /// Drops a stream from the resident set (unconditionally — callers on
+    /// the delete path intend to orphan in-flight references).
+    fn remove_resident(&mut self, stream: u128) -> Option<Arc<StreamState>> {
+        let r = self.resident.remove(&stream)?;
+        self.order.remove(&r.tick);
+        Some(r.state)
+    }
+}
+
+/// Point-in-time counters for the lazy-hydration layer (surfaced through
+/// the service tier's `ShardStatsWire`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Streams currently hydrated.
+    pub resident: u64,
+    /// Hydrations performed since open (cold-touch store replays).
+    pub hydrations: u64,
+    /// Resident streams evicted since open.
+    pub evictions: u64,
+}
+
 /// The server engine. Thread-safe with a per-stream read/write split:
 /// writes (`insert`, `rollup`, `delete_range`) are serialized by a
 /// per-stream ingest mutex (the paper's index updates are likewise
 /// serialized per stream by append order), while statistical queries, raw
 /// reads, and proof builds take only shared state — so any number of
 /// readers proceed concurrently with each other *and* with an in-flight
-/// insert on the same stream. The crate docs spell out which operation
-/// takes which lock.
+/// insert on the same stream. Stream state is demand-loaded behind a
+/// bounded resident LRU (see the module docs); the crate docs spell out
+/// which operation takes which lock.
 pub struct TimeCryptServer {
     kv: Arc<dyn KvStore>,
     cfg: ServerConfig,
-    streams: RwLock<HashMap<u128, Arc<StreamState>>>,
+    /// Stream directory + resident set + hydration gates.
+    registry: Mutex<StreamRegistry>,
     /// Real-time upload buffer (§4.6): per stream, per not-yet-finalized
     /// chunk, the sealed records received so far. Volatile by design — the
     /// durable copy is the finalized chunk that supersedes these records.
     live: Mutex<HashMap<u128, LiveBuffer>>,
+    /// Cold-touch store replays since open.
+    hydrations: AtomicU64,
+    /// Resident streams evicted since open.
+    evictions: AtomicU64,
 }
 
 fn stream_meta_key(stream: u128) -> Vec<u8> {
@@ -330,6 +452,12 @@ impl TimeCryptServer {
     /// share one KV store as long as their filters partition the stream-id
     /// space, so each stream's state (index tree, ledger, live buffer) lives
     /// in exactly one engine.
+    ///
+    /// Opening replays *nothing*: one scan of the stream-meta prefix
+    /// builds the directory, and per-stream state (tree handle, ledger)
+    /// hydrates lazily on first touch. Open cost is therefore
+    /// O(registered streams' meta records), independent of history size —
+    /// pinned by the `lazy_open` regression test.
     pub fn open_filtered(
         kv: Arc<dyn KvStore>,
         cfg: ServerConfig,
@@ -338,9 +466,12 @@ impl TimeCryptServer {
         let server = TimeCryptServer {
             kv,
             cfg,
-            streams: RwLock::new(HashMap::new()),
+            registry: Mutex::new(StreamRegistry::default()),
             live: Mutex::new(HashMap::new()),
+            hydrations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         };
+        let mut directory: HashMap<u128, StreamMeta> = HashMap::new();
         for (key, meta) in server.kv.scan_prefix(b"s/")? {
             if key.len() != 18 || meta.len() != 20 {
                 continue;
@@ -359,35 +490,21 @@ impl TimeCryptServer {
             if !owns(stream) {
                 continue;
             }
-            let t0 = i64::from_le_bytes(t0);
-            let delta_ms = u64::from_le_bytes(delta);
-            let digest_width = u32::from_le_bytes(width);
-            let tree = AggTree::open(
-                server.kv.clone(),
+            directory.insert(
                 stream,
-                TreeConfig {
-                    arity: server.cfg.arity,
-                    cache_bytes: server.cfg.cache_bytes,
-                    parallel_edges: server.cfg.parallel_query,
+                StreamMeta {
+                    t0: i64::from_le_bytes(t0),
+                    delta_ms: u64::from_le_bytes(delta),
+                    digest_width: u32::from_le_bytes(width),
                 },
-            )?;
-            let ledger = server.rebuild_ledger(stream)?;
-            server.streams.write().insert(
-                stream,
-                Arc::new(StreamState {
-                    t0,
-                    delta_ms,
-                    digest_width,
-                    tree,
-                    ledger: RwLock::new(ledger),
-                    ingest: Mutex::new(()),
-                }),
             );
         }
+        server.registry.lock().directory = directory;
         Ok(server)
     }
 
-    /// Registers a stream.
+    /// Registers a stream. Registration writes the durable meta record and
+    /// the directory entry only; the stream's state hydrates on first use.
     pub fn create_stream(
         &self,
         stream: u128,
@@ -395,8 +512,8 @@ impl TimeCryptServer {
         delta_ms: u64,
         digest_width: u32,
     ) -> Result<(), ServerError> {
-        let mut streams = self.streams.write();
-        if streams.contains_key(&stream) {
+        let mut reg = self.registry.lock();
+        if reg.directory.contains_key(&stream) {
             return Err(ServerError::StreamExists(stream));
         }
         let mut meta = Vec::with_capacity(20);
@@ -404,25 +521,13 @@ impl TimeCryptServer {
         meta.extend_from_slice(&delta_ms.to_le_bytes());
         meta.extend_from_slice(&digest_width.to_le_bytes());
         self.kv.put(&stream_meta_key(stream), &meta)?;
-        let tree = AggTree::open(
-            self.kv.clone(),
+        reg.directory.insert(
             stream,
-            TreeConfig {
-                arity: self.cfg.arity,
-                cache_bytes: self.cfg.cache_bytes,
-                parallel_edges: self.cfg.parallel_query,
-            },
-        )?;
-        streams.insert(
-            stream,
-            Arc::new(StreamState {
+            StreamMeta {
                 t0,
                 delta_ms,
                 digest_width,
-                tree,
-                ledger: RwLock::new(StreamLedger::new(stream)),
-                ingest: Mutex::new(()),
-            }),
+            },
         );
         Ok(())
     }
@@ -447,10 +552,16 @@ impl TimeCryptServer {
 
     /// Deletes a stream with all chunks, index nodes, and key-store entries.
     pub fn delete_stream(&self, stream: u128) -> Result<(), ServerError> {
-        let existed = self.streams.write().remove(&stream).is_some();
-        if !existed {
-            return Err(ServerError::NoSuchStream(stream));
-        }
+        let dropped = {
+            let mut reg = self.registry.lock();
+            if reg.directory.remove(&stream).is_none() {
+                return Err(ServerError::NoSuchStream(stream));
+            }
+            // An in-flight hydration of this stream re-checks the
+            // directory before publishing and discards its result.
+            reg.remove_resident(stream)
+        };
+        drop(dropped);
         self.kv.delete(&stream_meta_key(stream))?;
         self.kv.delete(&attestation_key(stream))?;
         for prefix in ["c/", "i/", "im/", "il/"] {
@@ -465,12 +576,212 @@ impl TimeCryptServer {
         Ok(())
     }
 
+    /// The stream's resident state, hydrating it from the store on a cold
+    /// touch.
+    ///
+    /// Single-flight protocol: a cold touch registers (or joins) the
+    /// stream's hydration gate, then replays the store *outside* the
+    /// registry lock while holding only the gate. Losers block on the
+    /// gate and find the state resident when they wake; if the winner
+    /// failed (store error) or was superseded, the next waiter either
+    /// inherits winnership by re-registering the gate it already holds,
+    /// or retries against the newer gate. Lock order: `hydrate` (the
+    /// gate) strictly before `registry`.
     fn stream(&self, stream: u128) -> Result<Arc<StreamState>, ServerError> {
-        self.streams
-            .read()
+        loop {
+            // Fast path: resident hit (and the cap sweep, which is a
+            // no-op length check while the set is within bounds).
+            let gate = {
+                let mut reg = self.registry.lock();
+                if let Some(st) = reg.touch(stream) {
+                    let idle = Self::sweep(&mut reg, self.cfg.max_resident_streams);
+                    self.note_evictions(idle.len());
+                    drop(reg);
+                    drop(idle);
+                    return Ok(st);
+                }
+                if !reg.directory.contains_key(&stream) {
+                    return Err(ServerError::NoSuchStream(stream));
+                }
+                reg.hydrating.entry(stream).or_default().clone()
+            };
+            let _hydrate = gate.lock();
+            // Re-check under the gate: the previous holder may have
+            // hydrated (take the hit), failed (inherit winnership), or
+            // been superseded by a newer gate (retry).
+            let meta = {
+                let mut reg = self.registry.lock();
+                if let Some(st) = reg.touch(stream) {
+                    Self::release_gate(&mut reg, stream, &gate);
+                    return Ok(st);
+                }
+                let Some(meta) = reg.directory.get(&stream).copied() else {
+                    Self::release_gate(&mut reg, stream, &gate);
+                    return Err(ServerError::NoSuchStream(stream));
+                };
+                match reg.hydrating.get(&stream) {
+                    Some(g) if Arc::ptr_eq(g, &gate) => {}
+                    Some(_) => continue,
+                    None => {
+                        reg.hydrating.insert(stream, gate.clone());
+                    }
+                }
+                meta
+            };
+            // We are the winner: replay the store with no registry lock
+            // held — resident hits on other streams proceed meanwhile.
+            let hydrated = self.hydrate(stream, meta);
+            let mut reg = self.registry.lock();
+            Self::release_gate(&mut reg, stream, &gate);
+            let st = Arc::new(hydrated?);
+            if !reg.directory.contains_key(&stream) {
+                // Deleted while hydrating: discard the rebuilt state.
+                return Err(ServerError::NoSuchStream(stream));
+            }
+            self.hydrations.fetch_add(1, Ordering::Relaxed);
+            reg.insert_resident(stream, st.clone());
+            let idle = Self::sweep(&mut reg, self.cfg.max_resident_streams);
+            self.note_evictions(idle.len());
+            drop(reg);
+            // Evicted state (tree caches, ledgers) deallocates outside
+            // the registry lock.
+            drop(idle);
+            return Ok(st);
+        }
+    }
+
+    /// Rebuilds one stream's heavy state from the store: the tree handle
+    /// re-opens from the index's persisted meta record, the integrity
+    /// ledger replays from its persisted leaves. Runs outside the registry
+    /// lock, single-flighted per stream by the hydration gate.
+    fn hydrate(&self, stream: u128, meta: StreamMeta) -> Result<StreamState, ServerError> {
+        let _stage = trace::stage("engine.hydrate");
+        let tree = AggTree::open(
+            self.kv.clone(),
+            stream,
+            TreeConfig {
+                arity: self.cfg.arity,
+                cache_bytes: self.cfg.cache_bytes,
+                parallel_edges: self.cfg.parallel_query,
+            },
+        )?;
+        let ledger = self.rebuild_ledger(stream)?;
+        Ok(StreamState {
+            meta,
+            tree,
+            ledger: RwLock::new(ledger),
+            ingest: Mutex::new(()),
+        })
+    }
+
+    /// Retires a hydration gate if it is still the registered one (a
+    /// newer gate registered after a failed winner must stay in place).
+    fn release_gate(reg: &mut StreamRegistry, stream: u128, gate: &Arc<Mutex<()>>) {
+        let ours = reg
+            .hydrating
             .get(&stream)
-            .cloned()
+            .is_some_and(|g| Arc::ptr_eq(g, gate));
+        if ours {
+            reg.hydrating.remove(&stream);
+        }
+    }
+
+    /// Cap-driven eviction sweep; no-op when uncapped.
+    fn sweep(reg: &mut StreamRegistry, cap: Option<usize>) -> Vec<Arc<StreamState>> {
+        match cap {
+            Some(target) => Self::sweep_to(reg, target),
+            None => Vec::new(),
+        }
+    }
+
+    /// Evicts cold resident streams (coldest recency first) until at most
+    /// `target` remain, skipping any stream with an in-flight reference.
+    /// The strong-count gate is sound because clones of a resident handle
+    /// only originate under the registry lock (held here): a count of 1
+    /// observed now cannot grow concurrently, so eviction never leaves a
+    /// stream with two live `StreamState`s — which would split its ingest
+    /// mutex across writers. Returns the evicted handles so the caller
+    /// drops them after unlocking.
+    fn sweep_to(reg: &mut StreamRegistry, target: usize) -> Vec<Arc<StreamState>> {
+        if reg.resident.len() <= target {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        let order: Vec<(u64, u128)> = reg.order.iter().map(|(&t, &s)| (t, s)).collect();
+        for (tick, stream) in order {
+            if reg.resident.len() <= target {
+                break;
+            }
+            let idle = reg
+                .resident
+                .get(&stream)
+                .is_some_and(|r| Arc::strong_count(&r.state) == 1);
+            if !idle {
+                continue;
+            }
+            if let Some(r) = reg.resident.remove(&stream) {
+                reg.order.remove(&tick);
+                evicted.push(r.state);
+            }
+        }
+        evicted
+    }
+
+    fn note_evictions(&self, n: usize) {
+        if n > 0 {
+            self.evictions.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Evicts every resident stream with no in-flight references,
+    /// regardless of the configured cap. Maintenance / test hook: the
+    /// equivalence battery calls this after every operation to force a
+    /// cold rehydration path. Returns the number of streams evicted.
+    pub fn evict_idle_streams(&self) -> usize {
+        let mut reg = self.registry.lock();
+        let evicted = Self::sweep_to(&mut reg, 0);
+        self.note_evictions(evicted.len());
+        let n = evicted.len();
+        drop(reg);
+        drop(evicted);
+        n
+    }
+
+    /// Residency counters for the lazy-hydration layer.
+    pub fn residency(&self) -> ResidencyStats {
+        ResidencyStats {
+            resident: self.registry.lock().resident.len() as u64,
+            hydrations: self.hydrations.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Directory lookup: the stream's immutable registration metadata,
+    /// without touching (or hydrating) its resident state.
+    fn stream_meta(&self, stream: u128) -> Result<StreamMeta, ServerError> {
+        self.registry
+            .lock()
+            .directory
+            .get(&stream)
+            .copied()
             .ok_or(ServerError::NoSuchStream(stream))
+    }
+
+    /// The stream's published chunk count without forcing hydration: a
+    /// resident stream answers from its tree handle (refreshing its
+    /// recency), a cold one from the index's persisted meta record — one
+    /// point read instead of a full state replay.
+    fn stream_len(&self, stream: u128) -> Result<u64, ServerError> {
+        {
+            let mut reg = self.registry.lock();
+            if let Some(st) = reg.touch(stream) {
+                return Ok(st.tree.len());
+            }
+            if !reg.directory.contains_key(&stream) {
+                return Err(ServerError::NoSuchStream(stream));
+            }
+        }
+        Ok(stored_chunk_count(self.kv.as_ref(), stream)?)
     }
 
     /// Ingests one sealed chunk: stores the payload blob and appends the
@@ -663,9 +974,9 @@ impl TimeCryptServer {
         let mut accepted: Vec<(usize, [u8; 32])> = Vec::new();
         let mut digests: Vec<Vec<u64>> = Vec::new();
         for (pos, item) in items.iter().enumerate() {
-            if item.digest_ct.len() as u32 != st.digest_width {
+            if item.digest_ct.len() as u32 != st.meta.digest_width {
                 verdicts.push(Some(ServerError::WidthMismatch {
-                    expected: st.digest_width,
+                    expected: st.meta.digest_width,
                     got: item.digest_ct.len() as u32,
                 }));
                 continue;
@@ -748,9 +1059,10 @@ impl TimeCryptServer {
     /// that has not been finalized yet; its ciphertext is opaque to the
     /// server.
     pub fn insert_live(&self, record: &SealedRecord) -> Result<(), ServerError> {
-        let st = self.stream(record.stream)?;
-        // Lock-free staleness check against the published chunk count.
-        let next = st.tree.len();
+        // Staleness check against the published chunk count — answered
+        // from the resident tree or the persisted index meta, never by
+        // forcing a hydration (live records are the hot real-time path).
+        let next = self.stream_len(record.stream)?;
         if record.chunk < next {
             return Err(ServerError::StaleLiveRecord {
                 chunk: record.chunk,
@@ -777,8 +1089,8 @@ impl TimeCryptServer {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<Vec<Vec<u8>>, ServerError> {
-        let st = self.stream(stream)?;
-        let (t0, delta) = (st.t0, st.delta_ms);
+        let meta = self.stream_meta(stream)?;
+        let (t0, delta) = (meta.t0, meta.delta_ms);
         if ts_e <= ts_s {
             return Err(ServerError::EmptyRange);
         }
@@ -816,7 +1128,7 @@ impl TimeCryptServer {
     /// Opaque except for a minimal sanity parse: the stream must match and
     /// the epoch must not regress relative to the stored attestation.
     pub fn put_attestation(&self, stream: u128, bytes: &[u8]) -> Result<(), ServerError> {
-        let _ = self.stream(stream)?;
+        let _ = self.stream_meta(stream)?;
         let att = RootAttestation::decode(bytes)
             .ok_or(ServerError::Integrity("malformed attestation".into()))?;
         if att.stream != stream {
@@ -837,7 +1149,7 @@ impl TimeCryptServer {
 
     /// The latest stored attestation for a stream.
     pub fn get_attestation(&self, stream: u128) -> Result<Vec<u8>, ServerError> {
-        let _ = self.stream(stream)?;
+        let _ = self.stream_meta(stream)?;
         self.kv
             .get(&attestation_key(stream))?
             .ok_or(ServerError::NoAttestation(stream))
@@ -857,8 +1169,9 @@ impl TimeCryptServer {
         let att = RootAttestation::decode(&att_bytes)
             .ok_or(ServerError::Integrity("stored attestation corrupt".into()))?;
         let st = self.stream(stream)?;
-        let lo = st.first_chunk_at_or_after(ts_s);
+        let lo = st.meta.first_chunk_at_or_after(ts_s);
         let hi = st
+            .meta
             .chunk_end_at_or_before(ts_e)
             .min(st.tree.len())
             .min(att.size);
@@ -882,16 +1195,20 @@ impl TimeCryptServer {
         ts_s: i64,
         ts_e: i64,
     ) -> Result<Vec<EncryptedChunk>, ServerError> {
-        let st = self.stream(stream)?;
+        // Raw reads need no hydrated state: chunk-window math comes from
+        // the directory, the length from `stream_len`, payloads from the
+        // store directly.
+        let meta = self.stream_meta(stream)?;
         if ts_e <= ts_s {
             return Err(ServerError::EmptyRange);
         }
-        let first = st.chunk_containing(ts_s.max(st.t0)).unwrap_or(0);
-        let last_incl = match st.chunk_containing(ts_e - 1) {
-            Some(c) => c.min(st.tree.len().saturating_sub(1)),
+        let len = self.stream_len(stream)?;
+        let first = meta.chunk_containing(ts_s.max(meta.t0)).unwrap_or(0);
+        let last_incl = match meta.chunk_containing(ts_e - 1) {
+            Some(c) => c.min(len.saturating_sub(1)),
             None => return Err(ServerError::EmptyRange),
         };
-        if st.tree.is_empty() || first > last_incl {
+        if len == 0 || first > last_incl {
             return Ok(Vec::new());
         }
         let mut out = Vec::with_capacity((last_incl - first + 1) as usize);
@@ -924,13 +1241,13 @@ impl TimeCryptServer {
         ts_e: i64,
     ) -> Result<StreamStat, ServerError> {
         let st = self.stream(stream)?;
-        let lo = st.first_chunk_at_or_after(ts_s);
-        let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
+        let lo = st.meta.first_chunk_at_or_after(ts_s);
+        let hi = st.meta.chunk_end_at_or_before(ts_e).min(st.tree.len());
         if lo >= hi {
-            return Ok((st.digest_width, None));
+            return Ok((st.meta.digest_width, None));
         }
         let part = st.tree.query(lo, hi)?;
-        Ok((st.digest_width, Some((lo, hi, part))))
+        Ok((st.meta.digest_width, Some((lo, hi, part))))
     }
 
     /// Statistical query over one or more streams: the homomorphic sum of
@@ -956,8 +1273,8 @@ impl TimeCryptServer {
         let st = self.stream(stream)?;
         // Deletion is a writer: keep it serialized with inserts/rollups.
         let _ingest = st.ingest.lock();
-        let lo = st.first_chunk_at_or_after(ts_s);
-        let hi = st.chunk_end_at_or_before(ts_e).min(st.tree.len());
+        let lo = st.meta.first_chunk_at_or_after(ts_s);
+        let hi = st.meta.chunk_end_at_or_before(ts_e).min(st.tree.len());
         let mut n = 0;
         for i in lo..hi {
             let key = chunk_key(stream, i);
@@ -979,7 +1296,7 @@ impl TimeCryptServer {
     ) -> Result<usize, ServerError> {
         let st = self.stream(stream)?;
         let _ingest = st.ingest.lock();
-        let cutoff = st.chunk_end_at_or_before(before_ts).min(st.tree.len());
+        let cutoff = st.meta.chunk_end_at_or_before(before_ts).min(st.tree.len());
         Ok(st.tree.decay(cutoff, keep_level)?)
     }
 
@@ -1003,8 +1320,8 @@ impl TimeCryptServer {
         if ts_e <= ts_s {
             return Err(ServerError::EmptyRange);
         }
-        let lo = st.chunk_containing(ts_s.max(st.t0)).unwrap_or(0);
-        let hi = match st.chunk_containing(ts_e - 1) {
+        let lo = st.meta.chunk_containing(ts_s.max(st.meta.t0)).unwrap_or(0);
+        let hi = match st.meta.chunk_containing(ts_e - 1) {
             Some(c) => (c + 1).min(st.tree.len()).min(att.size),
             None => return Err(ServerError::EmptyRange),
         };
@@ -1029,27 +1346,31 @@ impl TimeCryptServer {
         Ok((att_bytes, proof.encode(), chunks))
     }
 
-    /// Stream metadata.
+    /// Stream metadata. Non-hydrating: directory entry plus the published
+    /// chunk count (resident tree or persisted index meta).
     pub fn stream_info(&self, stream: u128) -> Result<StreamInfoWire, ServerError> {
-        let st = self.stream(stream)?;
+        let meta = self.stream_meta(stream)?;
+        let len = self.stream_len(stream)?;
         Ok(StreamInfoWire {
             stream,
-            t0: st.t0,
-            delta_ms: st.delta_ms,
-            digest_width: st.digest_width,
-            len: st.tree.len(),
+            t0: meta.t0,
+            delta_ms: meta.delta_ms,
+            digest_width: meta.digest_width,
+            len,
         })
     }
 
-    /// Number of registered streams (shard-occupancy metric).
+    /// Number of registered streams (shard-occupancy metric). Counts the
+    /// directory, not the resident set — see [`residency`](Self::residency)
+    /// for the latter.
     pub fn stream_count(&self) -> usize {
-        self.streams.read().len()
+        self.registry.lock().directory.len()
     }
 
     /// Ids of every registered stream, ascending (deterministic order for
     /// replica rebuild and diagnostics).
     pub fn stream_ids(&self) -> Vec<u128> {
-        let mut ids: Vec<u128> = self.streams.read().keys().copied().collect();
+        let mut ids: Vec<u128> = self.registry.lock().directory.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -1079,11 +1400,14 @@ impl TimeCryptServer {
         from_idx: u64,
         max_bytes: usize,
     ) -> Result<(Vec<Vec<u8>>, u64, bool), ServerError> {
-        let st = self.stream(stream)?;
-        // Like the read path: answer for the chunk prefix published when
-        // the call began. The rebuild loop re-reads lengths per page, so a
-        // concurrent append is simply picked up by the next page.
-        let len = st.tree.len();
+        // Non-hydrating on purpose: a replica rebuild pages *every*
+        // stream of a shard, and pulling each one resident would thrash
+        // the LRU for state the export never reads (payloads come
+        // straight from the store). Like the read path, it answers for
+        // the chunk prefix published when the call began; the rebuild
+        // loop re-reads lengths per page, so a concurrent append is
+        // simply picked up by the next page.
+        let len = self.stream_len(stream)?;
         let mut out = Vec::new();
         let mut bytes = 0usize;
         let mut idx = from_idx;

@@ -8,8 +8,12 @@
 //!
 //! Instances are stateless apart from the KV store behind them ("TimeCrypt
 //! instances are stateless and therefore horizontally scalable", §3.2):
-//! [`TimeCryptServer::open`] rebuilds all in-memory stream state from the
-//! store.
+//! [`TimeCryptServer::open`] builds a stream *directory* from the store
+//! in one scan and rehydrates each stream's heavy state (tree handle,
+//! integrity ledger) lazily on first touch, behind a resident LRU bounded
+//! by [`ServerConfig::max_resident_streams`] — so open time and resident
+//! RAM scale with the streams actually used, not the streams stored (see
+//! the `engine` module docs for the hydration state machine).
 //!
 //! # Locking model
 //!
@@ -19,6 +23,11 @@
 //!
 //! * **Exclusive (per-stream ingest mutex):** `insert`, `rollup`, and
 //!   `delete_range`. Writers serialize against each other only.
+//! * **Registry mutex (short critical sections):** every operation's
+//!   stream lookup — a resident hit is a map probe plus a recency bump;
+//!   cold-touch hydration replays the store *outside* this lock, holding
+//!   only the stream's single-flight hydration gate (lock class
+//!   `hydrate`, ordered before `registry`).
 //! * **Shared, lock-free:** `stream_stat` / `get_stat_range`, `get_range`,
 //!   `stream_info`, and `insert_live`'s staleness check — these read the
 //!   immutable stream metadata and query the aggregation tree against an
@@ -39,5 +48,6 @@ pub mod engine;
 pub mod keystore;
 
 pub use engine::{
-    merge_stream_stats, ServerConfig, ServerError, StreamStat, TimeCryptServer, EXPORT_PAGE_BYTES,
+    merge_stream_stats, ResidencyStats, ServerConfig, ServerError, StreamStat, TimeCryptServer,
+    EXPORT_PAGE_BYTES,
 };

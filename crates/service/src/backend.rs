@@ -28,7 +28,7 @@
 //! byte-identical between single-process and multi-node deployments.
 
 use crate::fanout::ReaderPool;
-use crate::metrics::{ServiceMetrics, ShardMetrics};
+use crate::metrics::{ServiceMetrics, ShardMetrics, ShardOccupancy};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -128,6 +128,17 @@ pub trait ShardBackend: Send + Sync + 'static {
 
     /// Streams currently hosted by this shard (occupancy metric).
     fn stream_count(&self) -> Result<u64, ServerError>;
+
+    /// Stream occupancy: hosted stream count plus the shard's resident /
+    /// hydration / eviction counters. The default covers backends that
+    /// predate lazy hydration (stream count only, residency zeroed);
+    /// engine-backed and node-backed shards override it.
+    fn occupancy(&self) -> Result<ShardOccupancy, ServerError> {
+        Ok(ShardOccupancy {
+            streams: self.stream_count()?,
+            ..ShardOccupancy::default()
+        })
+    }
 
     /// Metadata of every stream this shard hosts, ascending by stream id
     /// (the export side of the replica-rebuild seam: the survivor
@@ -358,6 +369,16 @@ impl ShardBackend for LocalShard {
         Ok(self.engine.stream_count() as u64)
     }
 
+    fn occupancy(&self) -> Result<ShardOccupancy, ServerError> {
+        let residency = self.engine.residency();
+        Ok(ShardOccupancy {
+            streams: self.engine.stream_count() as u64,
+            resident_streams: residency.resident,
+            hydrations: residency.hydrations,
+            evictions: residency.evictions,
+        })
+    }
+
     fn list_streams(&self) -> Result<Vec<StreamInfoWire>, ServerError> {
         self.engine.stream_infos()
     }
@@ -559,14 +580,23 @@ impl ShardBackend for RemoteShard {
     }
 
     fn stream_count(&self) -> Result<u64, ServerError> {
+        Ok(self.occupancy()?.streams)
+    }
+
+    fn occupancy(&self) -> Result<ShardOccupancy, ServerError> {
         match self.call(Request::Stats)? {
             Response::ServiceStats(stats) => Ok(stats
                 .shards
                 .iter()
                 .find(|s| s.shard == self.shard as u32)
-                .map(|s| s.streams)
-                .unwrap_or(0)),
-            _ => Ok(0),
+                .map(|s| ShardOccupancy {
+                    streams: s.streams,
+                    resident_streams: s.resident_streams,
+                    hydrations: s.hydrations,
+                    evictions: s.evictions,
+                })
+                .unwrap_or_default()),
+            _ => Ok(ShardOccupancy::default()),
         }
     }
 
@@ -1229,23 +1259,23 @@ impl ShardReplicas {
         }
     }
 
-    /// Streams hosted by this shard (primary, failing over to an in-sync
-    /// backup — counted like every other failover read).
-    pub(crate) fn stream_count(&self) -> u64 {
+    /// Stream occupancy of this shard (primary, failing over to an
+    /// in-sync backup — counted like every other failover read).
+    pub(crate) fn occupancy(&self) -> ShardOccupancy {
         let (primary, backup) = self.snapshot();
-        match primary.stream_count() {
-            Ok(n) => {
+        match primary.occupancy() {
+            Ok(occ) => {
                 self.note_primary_ok();
-                n
+                occ
             }
             Err(_) => {
                 self.note_primary_failure(&primary);
                 match backup.filter(|b| b.health == ReplicaHealth::InSync) {
                     Some(b) => {
                         self.m().failovers.fetch_add(1, Ordering::Relaxed);
-                        b.backend.stream_count().unwrap_or(0)
+                        b.backend.occupancy().unwrap_or_default()
                     }
-                    None => 0,
+                    None => ShardOccupancy::default(),
                 }
             }
         }
@@ -1651,10 +1681,10 @@ mod tests {
         let backup = StubShard::new();
         backup.create_stream(7, 0, 10_000, 2).unwrap();
         let r = replicas(primary.clone(), Some(backup), 0);
-        assert_eq!(r.stream_count(), 0);
+        assert_eq!(r.occupancy().streams, 0);
         assert_eq!(r.metrics().failovers.load(Ordering::Relaxed), 0);
         primary.set_up(false);
-        assert_eq!(r.stream_count(), 1, "served by the backup");
+        assert_eq!(r.occupancy().streams, 1, "served by the backup");
         assert_eq!(
             r.metrics().failovers.load(Ordering::Relaxed),
             1,

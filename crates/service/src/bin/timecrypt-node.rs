@@ -10,6 +10,7 @@
 //! timecrypt-node --listen 127.0.0.1:7070 --shards 4 --host 0,2
 //!     [--store /var/lib/timecrypt/node-a.log]   # persistent LogKv (default: in-memory)
 //!     [--arity 64] [--cache-bytes 67108864]     # engine tuning
+//!     [--max-resident 1024]                      # bound hydrated streams (default: unbounded)
 //!     [--metrics-addr 127.0.0.1:9090]           # Prometheus /metrics + /events
 //! ```
 //!
@@ -42,13 +43,15 @@ struct Args {
     store: Option<String>,
     arity: usize,
     cache_bytes: usize,
+    max_resident: Option<usize>,
     metrics_addr: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: timecrypt-node --listen HOST:PORT --shards TOTAL --host ID[,ID...] \
-         [--store PATH] [--arity N] [--cache-bytes N] [--metrics-addr HOST:PORT]"
+         [--store PATH] [--arity N] [--cache-bytes N] [--max-resident N] \
+         [--metrics-addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -62,6 +65,7 @@ fn parse_args() -> Args {
         store: None,
         arity: defaults.arity,
         cache_bytes: defaults.cache_bytes,
+        max_resident: defaults.max_resident_streams,
         metrics_addr: None,
     };
     let mut it = std::env::args().skip(1);
@@ -87,6 +91,10 @@ fn parse_args() -> Args {
             "--arity" => args.arity = value("--arity").parse().unwrap_or_else(|_| usage()),
             "--cache-bytes" => {
                 args.cache_bytes = value("--cache-bytes").parse().unwrap_or_else(|_| usage());
+            }
+            "--max-resident" => {
+                args.max_resident =
+                    Some(value("--max-resident").parse().unwrap_or_else(|_| usage()));
             }
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
             "--help" | "-h" => usage(),
@@ -134,6 +142,7 @@ fn main() {
             engine: ServerConfig {
                 arity: args.arity,
                 cache_bytes: args.cache_bytes,
+                max_resident_streams: args.max_resident,
                 ..ServerConfig::default()
             },
         },

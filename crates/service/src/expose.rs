@@ -178,6 +178,30 @@ pub fn render_stats(stats: &ServiceStatsWire) -> String {
         "gauge",
         |s| if s.in_sync { 1.0 } else { 0.0 },
     );
+    shard_counter(
+        &mut page,
+        stats,
+        "timecrypt_resident_streams",
+        "Streams currently hydrated into RAM on each shard.",
+        "gauge",
+        |s| s.resident_streams as f64,
+    );
+    shard_counter(
+        &mut page,
+        stats,
+        "timecrypt_hydrations_total",
+        "Cold-touch stream hydrations since the engine opened.",
+        "counter",
+        |s| s.hydrations as f64,
+    );
+    shard_counter(
+        &mut page,
+        stats,
+        "timecrypt_evictions_total",
+        "Resident streams evicted since the engine opened.",
+        "counter",
+        |s| s.evictions as f64,
+    );
 
     latency_summary(
         &mut page,
@@ -290,6 +314,9 @@ mod tests {
                 in_sync: true,
                 ingest_hist_us: hist.clone(),
                 query_hist_us: hist,
+                resident_streams: 2,
+                hydrations: 5,
+                evictions: 3,
             }],
             store_gets: 7,
             store_puts: 8,
@@ -307,6 +334,9 @@ mod tests {
             "timecrypt_shard_streams",
             "timecrypt_ingested_chunks_total",
             "timecrypt_queries_total",
+            "timecrypt_resident_streams",
+            "timecrypt_hydrations_total",
+            "timecrypt_evictions_total",
             "timecrypt_ingest_latency_seconds",
             "timecrypt_query_latency_seconds",
             "timecrypt_store_ops_total",

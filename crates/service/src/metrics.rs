@@ -41,6 +41,23 @@ impl LatencyHist {
     }
 }
 
+/// A shard's stream occupancy: how many streams it hosts, how many are
+/// hydrated into RAM right now, and the lifetime hydration/eviction
+/// counters. Owned by the engines (see
+/// `timecrypt_server::TimeCryptServer::residency`), so snapshots take it
+/// as an argument rather than tracking it here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Streams hosted by the shard (the directory size).
+    pub streams: u64,
+    /// Streams currently hydrated and resident in RAM.
+    pub resident_streams: u64,
+    /// Cold-touch hydrations performed since the engine opened.
+    pub hydrations: u64,
+    /// Resident streams evicted since the engine opened.
+    pub evictions: u64,
+}
+
 /// One shard's counters. Counters track *backend operations performed by
 /// this process*: a coordinator with a backup replica performs (and
 /// counts) one primary write plus one mirror write per chunk, and a shard
@@ -82,10 +99,10 @@ pub struct ShardMetrics {
 }
 
 impl ShardMetrics {
-    pub(crate) fn snapshot(&self, shard: u32, streams: u64) -> ShardStatsWire {
+    pub(crate) fn snapshot(&self, shard: u32, occ: ShardOccupancy) -> ShardStatsWire {
         ShardStatsWire {
             shard,
-            streams,
+            streams: occ.streams,
             ingested_chunks: self.ingested_chunks.load(Ordering::Relaxed),
             ingest_errors: self.ingest_errors.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
@@ -99,6 +116,9 @@ impl ShardMetrics {
             in_sync: self.in_sync.load(Ordering::Relaxed),
             ingest_hist_us: self.ingest_latency.snapshot(),
             query_hist_us: self.query_latency.snapshot(),
+            resident_streams: occ.resident_streams,
+            hydrations: occ.hydrations,
+            evictions: occ.evictions,
         }
     }
 }
@@ -122,15 +142,15 @@ impl ServiceMetrics {
         &self.shards[i]
     }
 
-    /// Wire snapshot. `streams_per_shard[i]` is shard `i`'s current stream
-    /// count (owned by the engines, so passed in).
-    pub fn snapshot(&self, streams_per_shard: &[u64]) -> ServiceStatsWire {
+    /// Wire snapshot. `occupancy[i]` is shard `i`'s current stream
+    /// occupancy (owned by the engines, so passed in).
+    pub fn snapshot(&self, occupancy: &[ShardOccupancy]) -> ServiceStatsWire {
         ServiceStatsWire {
             shards: self
                 .shards
                 .iter()
                 .enumerate()
-                .map(|(i, m)| m.snapshot(i as u32, streams_per_shard.get(i).copied().unwrap_or(0)))
+                .map(|(i, m)| m.snapshot(i as u32, occupancy.get(i).copied().unwrap_or_default()))
                 .collect(),
             ..Default::default()
         }
@@ -197,10 +217,18 @@ mod tests {
     fn snapshot_reports_all_shards() {
         let m = ServiceMetrics::new(3);
         m.shard(1).ingested_chunks.fetch_add(5, Ordering::Relaxed);
-        let snap = m.snapshot(&[2, 4, 0]);
+        let occ = |streams, resident_streams| ShardOccupancy {
+            streams,
+            resident_streams,
+            hydrations: resident_streams,
+            evictions: 0,
+        };
+        let snap = m.snapshot(&[occ(2, 1), occ(4, 3), occ(0, 0)]);
         assert_eq!(snap.shards.len(), 3);
         assert_eq!(snap.shards[1].ingested_chunks, 5);
         assert_eq!(snap.shards[1].streams, 4);
+        assert_eq!(snap.shards[1].resident_streams, 3);
+        assert_eq!(snap.shards[1].hydrations, 3);
         assert_eq!(snap.shards[2].shard, 2);
     }
 }

@@ -19,7 +19,7 @@
 
 use crate::backend::metered_stat;
 use crate::ingest::{metered_insert, metered_insert_bytes, metered_insert_bytes_run};
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{ServiceMetrics, ShardOccupancy};
 use crate::router::ShardRouter;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -161,11 +161,15 @@ impl ShardNode {
     pub fn stats(&self) -> timecrypt_wire::messages::ServiceStatsWire {
         let mut snap = timecrypt_wire::messages::ServiceStatsWire::default();
         for (&shard, engine) in &self.engines {
-            snap.shards.push(
-                self.metrics
-                    .shard(shard)
-                    .snapshot(shard as u32, engine.stream_count() as u64),
-            );
+            let residency = engine.residency();
+            let occ = ShardOccupancy {
+                streams: engine.stream_count() as u64,
+                resident_streams: residency.resident,
+                hydrations: residency.hydrations,
+                evictions: residency.evictions,
+            };
+            snap.shards
+                .push(self.metrics.shard(shard).snapshot(shard as u32, occ));
         }
         let store = self.kv.counters();
         snap.store_gets = store.gets;

@@ -451,12 +451,12 @@ impl ShardedService {
     pub fn stats(&self) -> timecrypt_wire::messages::ServiceStatsWire {
         // All-local deployments read in-process counters directly; only a
         // topology with remote nodes pays for probe threads.
-        let streams: Vec<u64> = if self.has_remote {
+        let occupancy: Vec<crate::metrics::ShardOccupancy> = if self.has_remote {
             std::thread::scope(|scope| {
                 let probes: Vec<_> = self
                     .backends
                     .iter()
-                    .map(|b| scope.spawn(|| b.stream_count()))
+                    .map(|b| scope.spawn(|| b.occupancy()))
                     .collect();
                 probes
                     .into_iter()
@@ -464,9 +464,9 @@ impl ShardedService {
                     .collect()
             })
         } else {
-            self.backends.iter().map(|b| b.stream_count()).collect()
+            self.backends.iter().map(|b| b.occupancy()).collect()
         };
-        let mut snap = self.metrics.snapshot(&streams);
+        let mut snap = self.metrics.snapshot(&occupancy);
         let store = self.kv.counters();
         snap.store_gets = store.gets;
         snap.store_puts = store.puts;

@@ -359,6 +359,14 @@ pub struct ShardStatsWire {
     pub ingest_hist_us: Vec<u64>,
     /// Query latency histogram, same bucket layout.
     pub query_hist_us: Vec<u64>,
+    /// Streams currently hydrated (resident state) on this shard's
+    /// engine; bounded by the engine's `max_resident_streams` cap, and at
+    /// most `streams`.
+    pub resident_streams: u64,
+    /// Cold-touch hydrations (store replays of stream state) since open.
+    pub hydrations: u64,
+    /// Resident streams evicted since open.
+    pub evictions: u64,
 }
 
 impl ShardStatsWire {
@@ -378,6 +386,9 @@ impl ShardStatsWire {
         w.u8(u8::from(self.in_sync));
         w.u64_vec(&self.ingest_hist_us);
         w.u64_vec(&self.query_hist_us);
+        w.u64(self.resident_streams);
+        w.u64(self.hydrations);
+        w.u64(self.evictions);
     }
 
     fn decode(r: &mut ByteReader) -> Result<Self, WireError> {
@@ -397,6 +408,9 @@ impl ShardStatsWire {
             in_sync: r.u8()? != 0,
             ingest_hist_us: r.u64_vec()?,
             query_hist_us: r.u64_vec()?,
+            resident_streams: r.u64()?,
+            hydrations: r.u64()?,
+            evictions: r.u64()?,
         })
     }
 }
@@ -1469,6 +1483,9 @@ mod tests {
                         in_sync: true,
                         ingest_hist_us: vec![0, 4, 90, 6],
                         query_hist_us: vec![1, 6],
+                        resident_streams: 2,
+                        hydrations: 9,
+                        evictions: 7,
                     },
                     ShardStatsWire {
                         shard: 1,

@@ -133,8 +133,11 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     (any::<u64>(), any::<u64>(), any::<u64>()),
                     (any::<u64>(), any::<u64>()),
                     (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
-                    proptest::collection::vec(any::<u64>(), 0..8),
-                    proptest::collection::vec(any::<u64>(), 0..8),
+                    (
+                        proptest::collection::vec(any::<u64>(), 0..8),
+                        proptest::collection::vec(any::<u64>(), 0..8),
+                    ),
+                    (any::<u64>(), any::<u64>(), any::<u64>()),
                 ),
                 0..4,
             ),
@@ -156,8 +159,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                     (queries, query_errors, queue_depth),
                                     (failovers, replica_errors),
                                     (promotions, rebuilds, rebuild_chunks_copied, in_sync),
-                                    ingest_hist_us,
-                                    query_hist_us,
+                                    (ingest_hist_us, query_hist_us),
+                                    (resident_streams, hydrations, evictions),
                                 )| {
                                     ShardStatsWire {
                                         shard,
@@ -175,6 +178,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
                                         in_sync,
                                         ingest_hist_us,
                                         query_hist_us,
+                                        resident_streams,
+                                        hydrations,
+                                        evictions,
                                     }
                                 },
                             )
