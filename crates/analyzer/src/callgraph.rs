@@ -1,0 +1,274 @@
+//! Workspace-wide call graph over the lexer's function spans, plus
+//! may-acquire / may-block summaries propagated along call edges to a
+//! fixpoint. This is what turns the per-function facts of
+//! [`crate::heldset`] into interprocedural diagnostics with full call
+//! chains.
+//!
+//! Resolution is name-based and conservatively over-approximates: a call
+//! site `x.foo(…)` / `path::foo(…)` / `foo(…)` edges to *every* workspace
+//! function named `foo`. The one precision valve is the configured
+//! `[callgraph] ambient_methods` list — std container/iterator idiom
+//! (`get`, `insert`, `lock`, `push`, …) whose names collide with
+//! everything and would drown the graph in false edges. Calls to ambient
+//! names get no edges; the effects that matter behind them (store I/O,
+//! lock acquisition) are recognized lexically by the walker instead, so
+//! dropping the edge loses no checked invariant.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::config::Config;
+use crate::heldset::{self, FnFacts};
+use crate::scan::{FnSpan, SourceFile};
+
+/// One workspace function definition with its walked facts.
+pub struct Def {
+    pub name: String,
+    /// Index into the analyzed file list.
+    pub file: usize,
+    /// The file's repo-relative path (cloned for chain rendering).
+    pub path: String,
+    pub span: FnSpan,
+    pub facts: FnFacts,
+}
+
+/// The call graph: definitions plus per-call-site edge lists.
+pub struct Graph {
+    pub defs: Vec<Def>,
+    /// `edges[d][c]` = def indices call site `c` of def `d` may reach.
+    pub edges: Vec<Vec<Vec<usize>>>,
+}
+
+/// Builds the graph from every non-test function in `files`.
+pub fn build(cfg: &Config, files: &[SourceFile]) -> Graph {
+    let mut defs = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if cfg.callgraph_exclude.iter().any(|c| c == &f.crate_name) {
+            continue;
+        }
+        for span in f.functions() {
+            if f.in_test.get(span.header).copied().unwrap_or(false) {
+                continue;
+            }
+            let facts = heldset::walk(cfg, f, &span);
+            defs.push(Def {
+                name: span.name.clone(),
+                file: fi,
+                path: f.rel_path.clone(),
+                span,
+                facts,
+            });
+        }
+    }
+    let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, d) in defs.iter().enumerate() {
+        by_name.entry(d.name.as_str()).or_default().push(i);
+    }
+    let ambient: HashSet<&str> = cfg.ambient_methods.iter().map(String::as_str).collect();
+    let edges = defs
+        .iter()
+        .map(|d| {
+            d.facts
+                .calls
+                .iter()
+                .map(|c| {
+                    if ambient.contains(c.name.as_str()) {
+                        Vec::new()
+                    } else {
+                        by_name.get(c.name.as_str()).cloned().unwrap_or_default()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Graph { defs, edges }
+}
+
+/// What a call to some function may do, transitively. Chains are witness
+/// paths, pre-rendered outermost-first: each element is one hop
+/// (`` `f` calls `g` (path:line) ``) and the last element is the effect
+/// itself (`` `h` acquires `roles` (path:line) ``).
+#[derive(Debug, Clone)]
+pub struct AcqInfo {
+    pub class: String,
+    pub chain: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// The blocking operation, e.g. `kv.put` or `sleep`.
+    pub what: String,
+    pub chain: Vec<String>,
+}
+
+/// Transitive effect summary for one def.
+#[derive(Debug, Default, Clone)]
+pub struct Summary {
+    /// Lock ranks this function may acquire (directly or via callees),
+    /// each with one witness chain. First-found chains are kept, so the
+    /// output is deterministic across runs.
+    pub may_acquire: BTreeMap<usize, AcqInfo>,
+    /// Set when the function may reach a blocking operation.
+    pub may_block: Option<BlockInfo>,
+}
+
+/// Propagates local facts along call edges until nothing changes.
+/// Monotone (ranks are only ever added, chains never replaced), so the
+/// fixpoint terminates in at most `defs × ranks` insertions.
+pub fn summarize(g: &Graph) -> Vec<Summary> {
+    let mut sums: Vec<Summary> = g
+        .defs
+        .iter()
+        .map(|d| {
+            let mut s = Summary::default();
+            for a in &d.facts.acquires {
+                s.may_acquire.entry(a.rank).or_insert_with(|| AcqInfo {
+                    class: a.class.clone(),
+                    chain: vec![format!(
+                        "`{}` acquires `{}` ({}:{})",
+                        d.name,
+                        a.class,
+                        d.path,
+                        a.line + 1
+                    )],
+                });
+            }
+            if let Some(b) = d.facts.blocks.first() {
+                s.may_block = Some(BlockInfo {
+                    what: b.what.clone(),
+                    chain: vec![format!(
+                        "`{}` blocks on `{}` ({}:{})",
+                        d.name,
+                        b.what,
+                        d.path,
+                        b.line + 1
+                    )],
+                });
+            }
+            s
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for d in 0..g.defs.len() {
+            for (ci, callees) in g.edges[d].iter().enumerate() {
+                let call = &g.defs[d].facts.calls[ci];
+                let hop = || {
+                    format!(
+                        "`{}` calls `{}` ({}:{})",
+                        g.defs[d].name,
+                        call.name,
+                        g.defs[d].path,
+                        call.line + 1
+                    )
+                };
+                for &c in callees {
+                    let fresh: Vec<(usize, AcqInfo)> = sums[c]
+                        .may_acquire
+                        .iter()
+                        .filter(|(r, _)| !sums[d].may_acquire.contains_key(r))
+                        .map(|(r, info)| (*r, info.clone()))
+                        .collect();
+                    for (r, info) in fresh {
+                        let mut chain = vec![hop()];
+                        chain.extend(info.chain);
+                        sums[d].may_acquire.insert(
+                            r,
+                            AcqInfo {
+                                class: info.class,
+                                chain,
+                            },
+                        );
+                        changed = true;
+                    }
+                    if sums[d].may_block.is_none() {
+                        if let Some(b) = sums[c].may_block.clone() {
+                            let mut chain = vec![hop()];
+                            chain.extend(b.chain);
+                            sums[d].may_block = Some(BlockInfo {
+                                what: b.what,
+                                chain,
+                            });
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            lock_order: vec![
+                ("roles".into(), vec!["roles".into()]),
+                ("registry".into(), vec!["registry".into()]),
+            ],
+            ambient_methods: vec!["lock".into(), "read".into(), "clone".into()],
+            blocking_store_receivers: vec!["kv".into()],
+            blocking_store_methods: vec!["put".into()],
+            blocking_calls: vec!["sleep".into()],
+            ..Config::default()
+        }
+    }
+
+    fn graph(src: &str) -> (Graph, Vec<Summary>) {
+        let f = SourceFile::parse("t.rs", "t", src);
+        let g = build(&cfg(), &[f]);
+        let s = summarize(&g);
+        (g, s)
+    }
+
+    #[test]
+    fn edges_resolve_same_name_defs_but_not_ambient() {
+        let (g, _) = graph("fn a(&self) {\n  self.b();\n  x.clone();\n}\nfn b(&self) {}\n");
+        assert_eq!(g.defs.len(), 2);
+        // `b` resolves, `clone` is ambient.
+        let a_edges: Vec<_> = g.edges[0].iter().flatten().collect();
+        assert_eq!(a_edges.len(), 1);
+        assert_eq!(g.defs[*a_edges[0]].name, "b");
+    }
+
+    #[test]
+    fn acquire_summary_propagates_with_chain() {
+        let (g, s) = graph(
+            "fn a(&self) {\n  self.b();\n}\nfn b(&self) {\n  self.c();\n}\nfn c(&self) {\n  let r = self.roles.read();\n}\n",
+        );
+        let a = g.defs.iter().position(|d| d.name == "a").unwrap();
+        let info = &s[a].may_acquire[&0];
+        assert_eq!(info.class, "roles");
+        assert_eq!(info.chain.len(), 3);
+        assert!(info.chain[0].contains("`a` calls `b`"));
+        assert!(info.chain[2].contains("`c` acquires `roles`"));
+    }
+
+    #[test]
+    fn block_summary_propagates() {
+        let (g, s) =
+            graph("fn a(&self) {\n  self.b();\n}\nfn b(&self) {\n  self.kv.put(k, v);\n}\n");
+        let a = g.defs.iter().position(|d| d.name == "a").unwrap();
+        let b = s[a].may_block.as_ref().unwrap();
+        assert_eq!(b.what, "kv.put");
+        assert_eq!(b.chain.len(), 2);
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let (g, s) = graph("fn a(&self) {\n  self.a();\n  let r = self.registry.lock();\n}\n");
+        assert!(s[0].may_acquire.contains_key(&1));
+        assert_eq!(g.defs.len(), 1);
+    }
+
+    #[test]
+    fn test_functions_are_excluded() {
+        let (g, _) = graph("fn live() {}\n#[cfg(test)]\nmod t {\n  fn helper() {}\n}\n");
+        assert_eq!(g.defs.len(), 1);
+    }
+}

@@ -22,6 +22,52 @@ pub struct Config {
     pub reserved_request_tags: BTreeMap<u32, String>,
     /// Reserved response tags: tag value → owning const name.
     pub reserved_response_tags: BTreeMap<u32, String>,
+    /// Method/function names too generic to resolve as call-graph edges
+    /// (std container and iterator idiom: `get`, `insert`, `lock`, …).
+    /// Calls to these names never create edges; the interprocedural rules
+    /// catch the underlying effects lexically instead.
+    pub ambient_methods: Vec<String>,
+    /// Crates left out of the call graph entirely (perf fixtures whose
+    /// same-name defs would pollute name-based resolution).
+    pub callgraph_exclude: Vec<String>,
+    /// Lock classes that must not be held across blocking operations.
+    pub blocking_classes: Vec<String>,
+    /// Receiver identifiers that denote the KV store.
+    pub blocking_store_receivers: Vec<String>,
+    /// Store methods that hit disk (`kv.get(...)` etc.).
+    pub blocking_store_methods: Vec<String>,
+    /// Free/method call names that block regardless of receiver
+    /// (socket reads, `thread::sleep`, condvar waits).
+    pub blocking_calls: Vec<String>,
+    /// Crates whose non-test atomics must be declared in a role table.
+    pub atomics_crates: Vec<String>,
+    /// Atomic receiver name → role (`counter`, `publish`, `gate`).
+    pub atomics_roles: BTreeMap<String, AtomicRole>,
+}
+
+/// Declared memory-ordering discipline for one atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicRole {
+    /// Pure statistic: every access may be `Relaxed` (and nothing stronger
+    /// is required, though Acquire/Release are tolerated on a counter that
+    /// doubles as a drain signal — only `SeqCst` is rejected).
+    Counter,
+    /// Publication (seqlock generation, length watermark): loads must be
+    /// `Acquire`, stores `Release`, RMWs `AcqRel`.
+    Publish,
+    /// Boolean latch (`rebuilding`, shutdown flags): loads `Acquire`,
+    /// stores `Release`, RMWs `Acquire` or `AcqRel`.
+    Gate,
+}
+
+impl AtomicRole {
+    pub fn name(self) -> &'static str {
+        match self {
+            AtomicRole::Counter => "counter",
+            AtomicRole::Publish => "publish",
+            AtomicRole::Gate => "gate",
+        }
+    }
 }
 
 /// A config-file syntax or consistency error.
@@ -77,18 +123,35 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
     // stitches them together.
     let mut classes: BTreeMap<String, Vec<String>> = BTreeMap::new();
     let mut order: Vec<String> = Vec::new();
-    for (idx, raw) in src.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = match raw.find('#') {
-            // `#` only starts a comment outside strings; our subset never
-            // puts `#` inside one, so a simple cut is exact.
-            Some(p) => &raw[..p],
-            None => raw,
+    let strip = |raw: &str| -> String {
+        // `#` only starts a comment outside strings; our subset never
+        // puts `#` inside one, so a simple cut is exact.
+        match raw.find('#') {
+            Some(p) => raw[..p].trim().to_string(),
+            None => raw.trim().to_string(),
         }
-        .trim();
+    };
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut idx = 0usize;
+    while idx < raw_lines.len() {
+        let line_no = idx + 1;
+        let mut line = strip(raw_lines[idx]);
+        idx += 1;
         if line.is_empty() {
             continue;
         }
+        // A list may span lines: keep consuming until brackets balance.
+        if line.contains('[')
+            && line.contains('=')
+            && line.matches('[').count() > line.matches(']').count()
+        {
+            while idx < raw_lines.len() && line.matches('[').count() > line.matches(']').count() {
+                line.push(' ');
+                line.push_str(&strip(raw_lines[idx]));
+                idx += 1;
+            }
+        }
+        let line = line.as_str();
         if line.starts_with('[') {
             if !line.ends_with(']') {
                 return err(format!("line {line_no}: unterminated section header"));
@@ -112,6 +175,44 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
             }
             "panic_freedom" if key == "crates" => {
                 cfg.panic_free_crates = parse_list(value, line_no)?;
+            }
+            "callgraph" if key == "ambient_methods" => {
+                cfg.ambient_methods = parse_list(value, line_no)?;
+            }
+            "callgraph" if key == "exclude_crates" => {
+                cfg.callgraph_exclude = parse_list(value, line_no)?;
+            }
+            "blocking" => match key {
+                "classes" => cfg.blocking_classes = parse_list(value, line_no)?,
+                "store_receivers" => cfg.blocking_store_receivers = parse_list(value, line_no)?,
+                "store_methods" => cfg.blocking_store_methods = parse_list(value, line_no)?,
+                "calls" => cfg.blocking_calls = parse_list(value, line_no)?,
+                _ => return err(format!("line {line_no}: unknown [blocking] key `{key}`")),
+            },
+            "atomics" if key == "crates" => {
+                cfg.atomics_crates = parse_list(value, line_no)?;
+            }
+            s if s.starts_with("atomics.role.") => {
+                let role = match &s["atomics.role.".len()..] {
+                    "counter" => AtomicRole::Counter,
+                    "publish" => AtomicRole::Publish,
+                    "gate" => AtomicRole::Gate,
+                    other => {
+                        return err(format!("line {line_no}: unknown atomic role `{other}`"));
+                    }
+                };
+                if key != "receivers" {
+                    return err(format!("line {line_no}: unknown atomic-role key `{key}`"));
+                }
+                for recv in parse_list(value, line_no)? {
+                    if let Some(prev) = cfg.atomics_roles.insert(recv.clone(), role) {
+                        return err(format!(
+                            "line {line_no}: atomic `{recv}` declared twice \
+                             (first as {})",
+                            prev.name()
+                        ));
+                    }
+                }
             }
             "wire.reserved.request" | "wire.reserved.response" => {
                 let tag: u32 = key.parse().map_err(|_| {
@@ -148,6 +249,13 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
         return err(format!(
             "[locks.class.{orphan}] is not listed in the lock order"
         ));
+    }
+    for class in &cfg.blocking_classes {
+        if !cfg.lock_order.iter().any(|(c, _)| c == class) {
+            return err(format!(
+                "[blocking] names class `{class}` but it is not in the lock order"
+            ));
+        }
     }
     Ok(cfg)
 }
@@ -211,5 +319,69 @@ crates = ["wire", "store"]
     fn duplicate_reserved_tags_rejected() {
         let dup = "[wire.reserved.request]\n1 = \"A\"\n1 = \"B\"";
         assert!(parse(dup).is_err());
+    }
+
+    const CONCURRENCY: &str = r#"
+[locks]
+order = ["registry", "stripe"]
+
+[locks.class.registry]
+receivers = ["registry"]
+
+[locks.class.stripe]
+receivers = ["stripe"]
+
+[callgraph]
+ambient_methods = ["lock", "insert"]
+
+[blocking]
+classes = ["registry", "stripe"]
+store_receivers = ["kv"]
+store_methods = ["get", "put"]
+calls = ["sleep"]
+
+[atomics]
+crates = ["index"]
+
+[atomics.role.counter]
+receivers = ["gets", "puts"]
+
+[atomics.role.publish]
+receivers = ["cache_gen"]
+
+[atomics.role.gate]
+receivers = ["rebuilding"]
+"#;
+
+    #[test]
+    fn parses_concurrency_sections() {
+        let cfg = parse(CONCURRENCY).unwrap();
+        assert_eq!(cfg.ambient_methods, vec!["lock", "insert"]);
+        assert_eq!(cfg.blocking_classes, vec!["registry", "stripe"]);
+        assert_eq!(cfg.blocking_store_receivers, vec!["kv"]);
+        assert_eq!(cfg.blocking_store_methods, vec!["get", "put"]);
+        assert_eq!(cfg.blocking_calls, vec!["sleep"]);
+        assert_eq!(cfg.atomics_crates, vec!["index"]);
+        assert_eq!(cfg.atomics_roles["gets"], AtomicRole::Counter);
+        assert_eq!(cfg.atomics_roles["cache_gen"], AtomicRole::Publish);
+        assert_eq!(cfg.atomics_roles["rebuilding"], AtomicRole::Gate);
+    }
+
+    #[test]
+    fn blocking_class_must_exist_in_lock_order() {
+        let bad = "[locks]\norder = []\n[blocking]\nclasses = [\"registry\"]";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn atomic_declared_in_two_roles_rejected() {
+        let dup = "[atomics.role.counter]\nreceivers = [\"x\"]\n\
+                   [atomics.role.gate]\nreceivers = [\"x\"]";
+        assert!(parse(dup).is_err());
+    }
+
+    #[test]
+    fn unknown_atomic_role_rejected() {
+        assert!(parse("[atomics.role.mystic]\nreceivers = [\"x\"]").is_err());
     }
 }

@@ -1,0 +1,476 @@
+//! Guard-tracking walker: for one function body, records which lock-class
+//! guards are held at every lock acquisition, call site, and direct
+//! blocking operation. These per-function facts feed the call graph
+//! ([`crate::callgraph`]) and the interprocedural rules.
+//!
+//! The body is walked as one joined text (lines concatenated with `\n`),
+//! so rustfmt'd multi-line method chains (`self.registry\n    .lock()`)
+//! resolve their receivers — the per-line walker in earlier revisions
+//! could not see past the line break.
+//!
+//! Guard lifetime model, biased toward holding too long (a reviewable
+//! false positive beats a missed deadlock):
+//! - A `let`-bound guard lives until its surrounding brace scope closes or
+//!   an explicit `drop(name)` runs. If the chain continues past the lock
+//!   call (`let ok = x.lock().is_empty();`) the binding holds the chain's
+//!   result, not the guard — the guard is a temporary (`.unwrap()` /
+//!   `.expect(…)` adapters excepted: those still yield the guard).
+//! - A scrutinee guard (`match`/`if`/`while`/`for` over a lock call) lives
+//!   like a `let` binding.
+//! - An unbound temporary dies at the next `;`.
+
+use crate::config::Config;
+use crate::scan::{FnSpan, SourceFile};
+
+/// A lock class held at some program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Held {
+    /// Index into the configured lock order (0 = outermost).
+    pub rank: usize,
+    pub class: String,
+}
+
+/// A lock acquisition site.
+#[derive(Debug)]
+pub struct Acquire {
+    /// 0-based line of the acquisition.
+    pub line: usize,
+    pub rank: usize,
+    pub class: String,
+    /// Guards already held when this one is taken.
+    pub held: Vec<Held>,
+}
+
+/// A call site that may resolve to workspace functions.
+#[derive(Debug)]
+pub struct Call {
+    pub line: usize,
+    pub name: String,
+    pub held: Vec<Held>,
+}
+
+/// A direct blocking operation (store I/O, socket read, sleep, wait).
+#[derive(Debug)]
+pub struct Block {
+    pub line: usize,
+    /// Human-readable operation, e.g. `kv.put` or `sleep`.
+    pub what: String,
+    pub held: Vec<Held>,
+}
+
+/// Everything the interprocedural rules need to know about one body.
+#[derive(Debug, Default)]
+pub struct FnFacts {
+    pub acquires: Vec<Acquire>,
+    pub calls: Vec<Call>,
+    pub blocks: Vec<Block>,
+}
+
+/// Lock acquisition methods, matched with empty parens only — `.read(buf)`
+/// is I/O, not a guard.
+const LOCK_METHODS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// Names that look like calls but aren't resolvable functions.
+const NON_CALLS: [&str; 13] = [
+    "if", "while", "for", "match", "loop", "return", "in", "as", "let", "else", "move", "fn",
+    "drop",
+];
+
+struct Guard {
+    rank: usize,
+    class: String,
+    /// Brace depth at the acquisition point; popped when depth drops
+    /// below it.
+    depth: i32,
+    /// Binding name, for `drop(name)` release. `None` for temporaries.
+    name: Option<String>,
+    /// Temporaries die at the next `;`.
+    temp: bool,
+}
+
+/// Walks the body of `span` in `f` and extracts its facts.
+pub fn walk(cfg: &Config, f: &SourceFile, span: &FnSpan) -> FnFacts {
+    // Join the body into one text so receivers and bindings can be read
+    // across line breaks; remember where each source line starts.
+    let mut text = String::new();
+    let mut line_starts: Vec<(usize, usize)> = Vec::new();
+    for li in span.body_open.line..=span.body_close.line {
+        let code = &f.lines[li].code;
+        let lo = if li == span.body_open.line {
+            span.body_open.col
+        } else {
+            0
+        };
+        let hi = if li == span.body_close.line {
+            span.body_close.col + 1
+        } else {
+            code.len()
+        };
+        line_starts.push((text.len(), li));
+        text.push_str(&code[lo..hi.max(lo)]);
+        text.push('\n');
+    }
+    let line_of = |pos: usize| -> usize {
+        match line_starts.binary_search_by_key(&pos, |&(o, _)| o) {
+            Ok(k) => line_starts[k].1,
+            Err(k) => line_starts[k - 1].1,
+        }
+    };
+
+    let bytes = text.as_bytes();
+    let mut facts = FnFacts::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    // Offset just past the last statement boundary (`;`, `{`, `}`):
+    // receivers and binding patterns are read from here.
+    let mut stmt_start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            b'}' => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                stmt_start = i + 1;
+            }
+            b';' => {
+                guards.retain(|g| !g.temp);
+                stmt_start = i + 1;
+            }
+            b'd' if text[i..].starts_with("drop(") && ident_boundary(bytes, i) => {
+                let inner: String = text[i + 5..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                    .collect();
+                if let Some(p) = guards
+                    .iter()
+                    .rposition(|g| g.name.as_deref() == Some(inner.as_str()))
+                {
+                    guards.remove(p);
+                }
+            }
+            b'.' => {
+                if let Some(m) = LOCK_METHODS.iter().find(|m| text[i..].starts_with(**m)) {
+                    let prefix = text[stmt_start..i].trim_end();
+                    if let Some((rank, class)) = classify(cfg, prefix) {
+                        facts.acquires.push(Acquire {
+                            line: line_of(i),
+                            rank,
+                            class: class.clone(),
+                            held: held_now(&guards),
+                        });
+                        let temp =
+                            !is_scoped(prefix) || chain_consumes(&text[i + m.len()..], prefix);
+                        guards.push(Guard {
+                            rank,
+                            class,
+                            depth,
+                            name: (!temp).then(|| binding_name(prefix)).flatten(),
+                            temp,
+                        });
+                    }
+                    i += m.len();
+                    continue;
+                }
+            }
+            b'(' => {
+                if let Some((name_start, name)) = call_name(&text, i) {
+                    let line = line_of(i);
+                    let held = held_now(&guards);
+                    let recv = (name_start > 0 && bytes[name_start - 1] == b'.')
+                        .then(|| receiver(text[stmt_start..name_start - 1].trim_end()))
+                        .flatten();
+                    let store_io = recv.as_deref().is_some_and(|r| {
+                        cfg.blocking_store_receivers.iter().any(|s| s == r)
+                            && cfg.blocking_store_methods.iter().any(|m| m == name)
+                    });
+                    if store_io {
+                        facts.blocks.push(Block {
+                            line,
+                            what: format!("{}.{name}", recv.unwrap()),
+                            held,
+                        });
+                    } else if cfg.blocking_calls.iter().any(|c| c == name) {
+                        facts.blocks.push(Block {
+                            line,
+                            what: name.to_string(),
+                            held,
+                        });
+                    } else {
+                        facts.calls.push(Call {
+                            line,
+                            name: name.to_string(),
+                            held,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    facts
+}
+
+fn held_now(guards: &[Guard]) -> Vec<Held> {
+    guards
+        .iter()
+        .map(|g| Held {
+            rank: g.rank,
+            class: g.class.clone(),
+        })
+        .collect()
+}
+
+/// The callable name immediately before the `(` at `open`, or `None` when
+/// the paren is grouping, a macro invocation, a type constructor, a
+/// keyword, or a nested `fn` definition header.
+fn call_name(text: &str, open: usize) -> Option<(usize, &str)> {
+    let bytes = text.as_bytes();
+    let mut s = open;
+    while s > 0 && (bytes[s - 1].is_ascii_alphanumeric() || bytes[s - 1] == b'_') {
+        s -= 1;
+    }
+    if s == open {
+        return None;
+    }
+    let name = &text[s..open];
+    let first = name.chars().next()?;
+    if first.is_ascii_uppercase() || first.is_ascii_digit() {
+        return None; // tuple-struct / enum constructor, not a fn we define
+    }
+    if NON_CALLS.contains(&name) {
+        return None;
+    }
+    // `fn helper(` — a nested definition header, not a call.
+    let before = text[..s].trim_end();
+    if before.ends_with("fn") {
+        let b = before.as_bytes();
+        let at = before.len() - 2;
+        if at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_') {
+            return None;
+        }
+    }
+    Some((s, name))
+}
+
+/// Maps the receiver identifier before a lock call to its configured
+/// class `(rank, name)`.
+fn classify(cfg: &Config, prefix: &str) -> Option<(usize, String)> {
+    let recv = receiver(prefix)?;
+    for (rank, (class, receivers)) in cfg.lock_order.iter().enumerate() {
+        if receivers.iter().any(|r| r == &recv) {
+            return Some((rank, class.clone()));
+        }
+    }
+    None
+}
+
+/// The identifier ending `prefix`, skipping one trailing balanced `(...)`
+/// or `[...]` group: `self.write` → `write`, `stripes[i]` → `stripes`,
+/// `stripe_for(t)` → `stripe_for`.
+pub(crate) fn receiver(prefix: &str) -> Option<String> {
+    let b = prefix.as_bytes();
+    let mut i = prefix.len();
+    while i > 0 && (b[i - 1] == b')' || b[i - 1] == b']') {
+        let close = b[i - 1];
+        let open = if close == b')' { b'(' } else { b'[' };
+        let mut bal = 0i32;
+        while i > 0 {
+            i -= 1;
+            if b[i] == close {
+                bal += 1;
+            } else if b[i] == open {
+                bal -= 1;
+                if bal == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    let end = i;
+    while i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        i -= 1;
+    }
+    (i < end).then(|| prefix[i..end].to_string())
+}
+
+/// Binding name for `let <pat> = ….lock()`: the last identifier in the
+/// pattern (`let g`, `let mut g`, `let Ok(g)` all yield `g`).
+fn binding_name(before: &str) -> Option<String> {
+    let let_at = find_word(before, "let")?;
+    let rest = &before[let_at + 3..];
+    let pat = rest.split('=').next().unwrap_or(rest);
+    let pat = pat.split(':').next().unwrap_or(pat);
+    pat.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .rfind(|w| !w.is_empty() && *w != "mut")
+        .map(|s| s.to_string())
+}
+
+/// True when the guard outlives the statement even without a binding: the
+/// scrutinee of `match`/`if`/`while`/`for` lives for the whole block.
+fn is_scoped(before: &str) -> bool {
+    ["let", "match", "if", "while", "for"]
+        .iter()
+        .any(|k| find_word(before, k).is_some())
+}
+
+/// True when the method chain continuing in `after` consumes the guard,
+/// so a `let` binds the chain's result, not the guard itself:
+/// `let ok = x.lock().contains_key(k);` holds no lock past the `;`.
+/// `.unwrap()` / `.expect(…)` pass the guard through; scrutinee temps
+/// (`match`/`if`/…) keep the conservative whole-block lifetime because
+/// Rust extends scrutinee temporaries to the end of the expression.
+fn chain_consumes(after: &str, before: &str) -> bool {
+    let scrutinee = ["match", "if", "while", "for"]
+        .iter()
+        .any(|k| find_word(before, k).is_some());
+    if scrutinee {
+        return false;
+    }
+    let mut rest = after.trim_start();
+    while let Some(r) = rest
+        .strip_prefix(".unwrap()")
+        .or_else(|| rest.strip_prefix("?"))
+    {
+        rest = r.trim_start();
+    }
+    if let Some(r) = rest.strip_prefix(".expect(") {
+        // Skip the message argument: guard passes through `.expect(…)`.
+        let close = r.find(')').map(|p| p + 1).unwrap_or(r.len());
+        rest = r[close..].trim_start();
+    }
+    rest.starts_with('.')
+}
+
+pub(crate) fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let b = hay.as_bytes();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let at = from + p;
+        let end = at + needle.len();
+        let left = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+        let right = end == b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
+        if left && right {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+fn ident_boundary(b: &[u8], at: usize) -> bool {
+    at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            lock_order: vec![
+                ("registry".into(), vec!["registry".into()]),
+                ("stripe".into(), vec!["stripe".into(), "stripes".into()]),
+            ],
+            blocking_store_receivers: vec!["kv".into()],
+            blocking_store_methods: vec!["get".into(), "put".into()],
+            blocking_calls: vec!["sleep".into()],
+            ..Config::default()
+        }
+    }
+
+    fn facts(src: &str) -> FnFacts {
+        let f = SourceFile::parse("t.rs", "t", src);
+        let spans = f.functions();
+        walk(&cfg(), &f, &spans[0])
+    }
+
+    #[test]
+    fn multiline_chain_resolves_receiver() {
+        let fx =
+            facts("fn f(&self) {\n  let g = self.registry\n    .lock();\n  self.helper();\n}\n");
+        assert_eq!(fx.acquires.len(), 1);
+        assert_eq!(fx.acquires[0].class, "registry");
+        assert_eq!(fx.acquires[0].line, 2);
+        // The later call sees the guard still held.
+        let call = fx.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert_eq!(call.held.len(), 1);
+        assert_eq!(call.held[0].class, "registry");
+    }
+
+    #[test]
+    fn store_io_is_a_block_fact_with_held_set() {
+        let fx = facts("fn f(&self) {\n  let g = self.registry.lock();\n  self.kv.put(k, v);\n}\n");
+        assert_eq!(fx.blocks.len(), 1);
+        assert_eq!(fx.blocks[0].what, "kv.put");
+        assert_eq!(fx.blocks[0].held[0].class, "registry");
+    }
+
+    #[test]
+    fn sleep_is_a_block_fact() {
+        let fx = facts("fn f() {\n  thread::sleep(d);\n}\n");
+        assert_eq!(fx.blocks.len(), 1);
+        assert_eq!(fx.blocks[0].what, "sleep");
+        assert!(fx.blocks[0].held.is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_semicolon() {
+        let fx = facts("fn f(&self) {\n  self.stripes[0].lock().push(x);\n  self.helper();\n}\n");
+        let call = fx.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert!(call.held.is_empty());
+    }
+
+    #[test]
+    fn let_bound_chain_result_is_not_a_guard() {
+        // The binding holds the bool, not the guard: dies at the `;`.
+        let fx = facts(
+            "fn f(&self) {\n  let ok = self.registry.lock().contains(&k);\n  self.helper();\n}\n",
+        );
+        let call = fx.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert!(call.held.is_empty());
+        // `.unwrap()` passes the guard through: still bound.
+        let fx =
+            facts("fn f(&self) {\n  let g = self.registry.lock().unwrap();\n  self.helper();\n}\n");
+        let call = fx.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert_eq!(call.held.len(), 1);
+    }
+
+    #[test]
+    fn scope_close_and_drop_release_guards() {
+        let fx = facts(
+            "fn f(&self) {\n  {\n    let s = self.stripes[0].lock();\n  }\n  let r = self.registry.lock();\n  drop(r);\n  self.helper();\n}\n",
+        );
+        let call = fx.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert!(call.held.is_empty());
+    }
+
+    #[test]
+    fn constructors_macros_and_keywords_are_not_calls() {
+        let fx =
+            facts("fn f() {\n  let x = Some(1);\n  vec![];\n  println!(\"x\");\n  if (a) {}\n}\n");
+        assert!(fx.calls.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_header_is_not_a_call() {
+        let fx = facts("fn outer() {\n  fn inner(x: i32) {}\n  inner(1);\n}\n");
+        assert_eq!(fx.calls.len(), 1);
+        assert_eq!(fx.calls[0].name, "inner");
+    }
+
+    #[test]
+    fn receiver_extraction_cases() {
+        assert_eq!(receiver("self.write").as_deref(), Some("write"));
+        assert_eq!(receiver("self.stripes[i + 1]").as_deref(), Some("stripes"));
+        assert_eq!(
+            receiver("self.stripe_for(t)").as_deref(),
+            Some("stripe_for")
+        );
+        assert_eq!(receiver("  "), None);
+    }
+}

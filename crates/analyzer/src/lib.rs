@@ -2,26 +2,40 @@
 //!
 //! The TimeCrypt reproduction's concurrency and wire-protocol invariants
 //! (documented in `ARCHITECTURE.md` §"Static analysis") are enforced here
-//! as five mechanical rules over lexed source text:
+//! as seven mechanical rules over lexed source text:
 //!
 //! 1. `unsafe-hygiene` — every `unsafe` needs an adjacent `// SAFETY:`.
 //! 2. `panic-freedom` — no `.unwrap()`/`.expect(`/panicking macros in
 //!    non-test code of the hot-path crates.
 //! 3. `lock-ordering` — nested lock acquisitions must follow the
-//!    documented order (config-driven).
+//!    documented order (config-driven), checked both within one function
+//!    body and across call chains via the workspace call graph.
 //! 4. `wire-tags` — the wire tag space must be duplicate-free, fully
 //!    round-trippable, and consistent with the reserved-tag ledger.
 //! 5. `no-alloc` — `// lint: deny(alloc)` functions must not allocate.
+//! 6. `blocking-under-lock` — no store I/O, socket reads, or sleeps
+//!    (transitively) while holding a configured blocking-sensitive lock
+//!    class.
+//! 7. `atomics-ordering` — every `Ordering::*` usage must match the
+//!    declared role of its atomic (counter / publish / gate).
+//!
+//! Rules 3, 6, and 7 are driven by an interprocedural layer: [`heldset`]
+//! walks each function body tracking live lock guards, [`callgraph`]
+//! resolves call sites to workspace definitions (name-based,
+//! over-approximating) and propagates may-acquire / may-block summaries
+//! to a fixpoint, and diagnostics carry the full witness call chain.
 //!
 //! Deliberately dependency-free (crates.io is not assumed reachable) and
 //! parser-free: a comment/string-aware lexer ([`lexer`]) plus brace
-//! matching ([`scan`]) is enough for all five rules, keeps the gate under
+//! matching ([`scan`]) is enough for all seven rules, keeps the gate under
 //! a second on the workspace, and cannot fall behind rustc's grammar.
 //!
-//! Per-line escape hatch, reason mandatory:
+//! Per-statement escape hatch, reason mandatory:
 //! `// lint: allow(<rule>) — <why this site is sound>`.
 
+pub mod callgraph;
 pub mod config;
+pub mod heldset;
 pub mod lexer;
 pub mod rules;
 pub mod scan;
@@ -31,7 +45,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// One diagnostic, printed as `path:line: [rule] message`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Violation {
     /// Rule identifier (or `directive` for malformed `lint:` comments).
     pub rule: &'static str,
@@ -41,6 +55,10 @@ pub struct Violation {
     pub line: usize,
     /// Human-readable description.
     pub msg: String,
+    /// For interprocedural findings: the witness call chain, one hop per
+    /// element, ending with the offending effect. Empty for local
+    /// findings.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Violation {
@@ -49,7 +67,11 @@ impl std::fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.msg
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    chain: {}", self.chain.join("\n        → "))?;
+        }
+        Ok(())
     }
 }
 

@@ -1,17 +1,21 @@
-//! CI gate entry point: analyze the workspace, print `file:line` diagnostics,
-//! exit nonzero on any violation.
+//! CI gate entry point: analyze the workspace, print `file:line` diagnostics
+//! (or a `--json` report for machines), exit nonzero on any violation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use timecrypt_analyzer::Report;
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = true,
             "--help" | "-h" => {
-                eprintln!("usage: timecrypt-analyzer [--root <workspace>]");
+                eprintln!("usage: timecrypt-analyzer [--root <workspace>] [--json]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -28,26 +32,78 @@ fn main() -> ExitCode {
         }
     };
     match timecrypt_analyzer::analyze(&root) {
-        Ok(report) if report.violations.is_empty() => {
-            println!("timecrypt-analyzer: clean ({} files)", report.files);
-            ExitCode::SUCCESS
-        }
         Ok(report) => {
-            for v in &report.violations {
-                println!("{v}");
+            if json {
+                println!("{}", to_json(&report));
+            } else if report.violations.is_empty() {
+                println!("timecrypt-analyzer: clean ({} files)", report.files);
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                eprintln!(
+                    "timecrypt-analyzer: {} violation(s) in {} files",
+                    report.violations.len(),
+                    report.files
+                );
             }
-            eprintln!(
-                "timecrypt-analyzer: {} violation(s) in {} files",
-                report.violations.len(),
-                report.files
-            );
-            ExitCode::FAILURE
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("timecrypt-analyzer: error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Hand-rolled JSON report (the analyzer is dependency-free by design):
+/// `{"files":N,"violations":[{"file","line","rule","msg","chain":[…]}]}`.
+fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{{\"files\":{},\"violations\":[", report.files));
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"rule\":{},\"msg\":{},\"chain\":[",
+            json_str(&v.path),
+            v.line,
+            json_str(v.rule),
+            json_str(&v.msg)
+        ));
+        for (j, hop) in v.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(hop));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Walks up from the current directory to the first `analyzer.toml`.

@@ -1,0 +1,308 @@
+//! Rule `atomics-ordering`: every `Ordering::*` token in the scoped
+//! crates must match the declared role of its atomic (from
+//! `[atomics.role.*]` in `analyzer.toml`):
+//!
+//! - `counter` — pure statistic; `Relaxed` is expected and anything short
+//!   of `SeqCst` is tolerated.
+//! - `publish` — publication point (seqlock generation, length
+//!   watermark): loads `Acquire`, stores `Release`, RMWs `AcqRel` (an
+//!   RMW failure ordering may be `Acquire`). A `Relaxed` load paired
+//!   with a `Release` store is the silent bug class this rule exists
+//!   for: the load can observe the new value without the writes it
+//!   publishes.
+//! - `gate` — boolean latch (shutdown, single-flight): loads `Acquire`,
+//!   stores `Release`, RMWs `Acquire` or `AcqRel`.
+//!
+//! `SeqCst` is never accepted silently — it is either hiding a missing
+//! pair or taxing the hot path; both deserve a written reason. An atomic
+//! receiver with no declared role is a violation too, so new atomics
+//! can't dodge the policy.
+
+use std::collections::HashSet;
+
+use crate::config::{AtomicRole, Config};
+use crate::heldset;
+use crate::scan::SourceFile;
+use crate::Violation;
+
+pub const NAME: &str = "atomics-ordering";
+
+/// Methods on std atomics that take `Ordering` arguments.
+const OPS: [&str; 14] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+#[derive(Clone, Copy, PartialEq)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+fn op_kind(op: &str) -> OpKind {
+    match op {
+        "load" => OpKind::Load,
+        "store" => OpKind::Store,
+        _ => OpKind::Rmw,
+    }
+}
+
+pub fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+    if !cfg.atomics_crates.iter().any(|c| c == &f.crate_name) {
+        return;
+    }
+    let mut done: HashSet<usize> = HashSet::new();
+    for li in 0..f.lines.len() {
+        if f.in_test[li] || !f.lines[li].code.contains("Ordering::") {
+            continue;
+        }
+        let range = f.stmt_lines(li);
+        if !done.insert(range.start) {
+            continue;
+        }
+        // Join the statement so a multi-line atomic call still resolves
+        // its receiver and op.
+        let mut text = String::new();
+        let mut starts: Vec<(usize, usize)> = Vec::new();
+        for gi in range.clone() {
+            starts.push((text.len(), gi));
+            text.push_str(&f.lines[gi].code);
+            text.push('\n');
+        }
+        let line_of = |pos: usize| -> usize {
+            match starts.binary_search_by_key(&pos, |&(o, _)| o) {
+                Ok(k) => starts[k].1,
+                Err(k) => starts[k - 1].1,
+            }
+        };
+        let mut from = 0;
+        while let Some(p) = text[from..].find("Ordering::") {
+            let at = from + p;
+            let ord: String = text[at + "Ordering::".len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            from = at + "Ordering::".len();
+            if !matches!(
+                ord.as_str(),
+                "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+            ) {
+                continue;
+            }
+            let line = line_of(at);
+            if f.in_test[line] || f.allowed(line, NAME) {
+                continue;
+            }
+            check_site(cfg, f, &text, at, &ord, line, out);
+        }
+    }
+}
+
+/// Validates one `Ordering::<ord>` occurrence at offset `at` in the
+/// joined statement `text`.
+fn check_site(
+    cfg: &Config,
+    f: &SourceFile,
+    text: &str,
+    at: usize,
+    ord: &str,
+    line: usize,
+    out: &mut Vec<Violation>,
+) {
+    let mut push = |msg: String| {
+        out.push(Violation {
+            rule: NAME,
+            path: f.rel_path.clone(),
+            line: line + 1,
+            msg,
+            chain: Vec::new(),
+        });
+    };
+    // Innermost open paren containing the token = the call it's an
+    // argument of.
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, c) in text.char_indices() {
+        if i >= at {
+            break;
+        }
+        match c {
+            '(' => stack.push(i),
+            ')' => {
+                stack.pop();
+            }
+            _ => {}
+        }
+    }
+    let Some(&open) = stack.last() else {
+        push(format!(
+            "Ordering::{ord} outside any call — atomics policy can't classify it"
+        ));
+        return;
+    };
+    let b = text.as_bytes();
+    let mut s = open;
+    while s > 0 && (b[s - 1].is_ascii_alphanumeric() || b[s - 1] == b'_') {
+        s -= 1;
+    }
+    let op = &text[s..open];
+    if !OPS.contains(&op) {
+        push(format!(
+            "Ordering::{ord} passed to `{op}(…)`, not a recognized atomic op — wrap-free atomics only, or allowlist"
+        ));
+        return;
+    }
+    let recv = (s > 0 && b[s - 1] == b'.')
+        .then(|| heldset::receiver(text[..s - 1].trim_end()))
+        .flatten();
+    let Some(recv) = recv else {
+        push(format!(
+            "cannot determine the atomic receiver of `{op}` — name the atomic so its role applies"
+        ));
+        return;
+    };
+    let Some(role) = cfg.atomics_roles.get(&recv) else {
+        push(format!(
+            "atomic `{recv}` has no declared role — add it to [atomics.role.counter|publish|gate] in analyzer.toml"
+        ));
+        return;
+    };
+    if ord == "SeqCst" {
+        push(format!(
+            "SeqCst on {} atomic `{recv}` — either weaken to the role's orderings or allowlist with the invariant that needs it",
+            role.name()
+        ));
+        return;
+    }
+    let kind = op_kind(op);
+    let ok = match role {
+        AtomicRole::Counter => true,
+        AtomicRole::Publish => match kind {
+            OpKind::Load => ord == "Acquire",
+            OpKind::Store => ord == "Release",
+            OpKind::Rmw => ord == "AcqRel" || ord == "Acquire",
+        },
+        AtomicRole::Gate => match kind {
+            OpKind::Load => ord == "Acquire",
+            OpKind::Store => ord == "Release",
+            OpKind::Rmw => ord == "AcqRel" || ord == "Acquire",
+        },
+    };
+    if !ok {
+        let discipline = match role {
+            AtomicRole::Counter => unreachable!(),
+            AtomicRole::Publish => "loads Acquire, stores Release, RMWs AcqRel",
+            AtomicRole::Gate => "loads Acquire, stores Release, RMWs Acquire/AcqRel",
+        };
+        push(format!(
+            "`{recv}` is a {} atomic ({discipline}) — found `{op}` with Ordering::{ord}",
+            role.name()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        let mut c = Config {
+            atomics_crates: vec!["index".into()],
+            ..Config::default()
+        };
+        c.atomics_roles.insert("hits".into(), AtomicRole::Counter);
+        c.atomics_roles
+            .insert("cache_gen".into(), AtomicRole::Publish);
+        c.atomics_roles
+            .insert("rebuilding".into(), AtomicRole::Gate);
+        c
+    }
+
+    fn run(src: &str) -> Vec<Violation> {
+        let f = SourceFile::parse("fixture.rs", "index", src);
+        let mut v = Vec::new();
+        check(&cfg(), &f, &mut v);
+        v
+    }
+
+    #[test]
+    fn relaxed_counter_is_clean() {
+        assert!(run("fn f(&self) {\n  self.hits.fetch_add(1, Ordering::Relaxed);\n}\n").is_empty());
+    }
+
+    #[test]
+    fn relaxed_load_of_publish_atomic_fires() {
+        let v = run("fn f(&self) {\n  let g = self.cache_gen.load(Ordering::Relaxed);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("publish"));
+        assert!(v[0].msg.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn acquire_release_publish_pair_is_clean() {
+        let v = run(
+            "fn f(&self) {\n  let g = self.cache_gen.load(Ordering::Acquire);\n  self.cache_gen.store(g + 1, Ordering::Release);\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn seqcst_always_fires() {
+        let v = run("fn f(&self) {\n  self.hits.fetch_add(1, Ordering::SeqCst);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("SeqCst"));
+    }
+
+    #[test]
+    fn undeclared_atomic_fires() {
+        let v = run("fn f(&self) {\n  self.mystery.load(Ordering::Relaxed);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("no declared role"));
+    }
+
+    #[test]
+    fn gate_swap_acquire_is_clean() {
+        assert!(
+            run("fn f(&self) {\n  self.rebuilding.swap(true, Ordering::Acquire);\n}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn multiline_atomic_call_resolves_receiver() {
+        let v = run("fn f(&self) {\n  self.cache_gen\n    .store(1, Ordering::Relaxed);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("`cache_gen`"));
+    }
+
+    #[test]
+    fn allowlisted_seqcst_passes() {
+        let v = run(
+            "fn f(&self) {\n  self.hits.fetch_add(1, Ordering::SeqCst); // lint: allow(atomics-ordering) — cross-variable fence documented in tree.rs\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_skipped() {
+        let f = SourceFile::parse(
+            "fixture.rs",
+            "bench",
+            "fn f(&self) {\n  x.load(Ordering::SeqCst);\n}\n",
+        );
+        let mut v = Vec::new();
+        check(&cfg(), &f, &mut v);
+        assert!(v.is_empty());
+    }
+}

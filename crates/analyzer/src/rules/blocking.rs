@@ -1,0 +1,185 @@
+//! Rule `blocking-under-lock`: functions must not perform — or call into
+//! anything that transitively performs — a blocking operation while
+//! holding a lock class declared in `[blocking] classes`. Blocking
+//! operations are KV-store I/O (`kv.get` / `kv.put` / `kv.scan_prefix` /
+//! `kv.delete`, matched by configured receiver and method names), socket
+//! reads/writes, and sleeps/waits (`[blocking] calls`).
+//!
+//! The point: a registry or stripe mutex guards hot-path shared state;
+//! holding it across disk or network latency turns one slow I/O into a
+//! pile-up of every thread behind that lock. The deliberate exception —
+//! the hydration path replaying chunks from the store under its
+//! single-flight gate — is exactly what the reasoned allowlist is for.
+
+use std::collections::HashSet;
+
+use crate::callgraph::{Graph, Summary};
+use crate::config::Config;
+use crate::scan::SourceFile;
+use crate::Violation;
+
+pub const NAME: &str = "blocking-under-lock";
+
+pub fn check_all(
+    cfg: &Config,
+    files: &[SourceFile],
+    g: &Graph,
+    sums: &[Summary],
+    out: &mut Vec<Violation>,
+) {
+    if cfg.blocking_classes.is_empty() {
+        return;
+    }
+    let sensitive = |class: &str| cfg.blocking_classes.iter().any(|c| c == class);
+    for (di, d) in g.defs.iter().enumerate() {
+        let f = &files[d.file];
+        // Direct blocking operations under a sensitive guard.
+        for b in &d.facts.blocks {
+            let Some(held) = b
+                .held
+                .iter()
+                .filter(|h| sensitive(&h.class))
+                .max_by_key(|h| h.rank)
+            else {
+                continue;
+            };
+            if f.allowed(b.line, NAME) {
+                continue;
+            }
+            out.push(Violation {
+                rule: NAME,
+                path: f.rel_path.clone(),
+                line: b.line + 1,
+                msg: format!(
+                    "blocking `{}` while holding `{}` — `{}` must not be held across blocking ops",
+                    b.what, held.class, held.class
+                ),
+                chain: Vec::new(),
+            });
+        }
+        // Calls under a sensitive guard into code that may block.
+        let mut seen: HashSet<usize> = HashSet::new();
+        for (ci, callees) in g.edges[di].iter().enumerate() {
+            let call = &d.facts.calls[ci];
+            let Some(held) = call
+                .held
+                .iter()
+                .filter(|h| sensitive(&h.class))
+                .max_by_key(|h| h.rank)
+            else {
+                continue;
+            };
+            for &c in callees {
+                let Some(info) = &sums[c].may_block else {
+                    continue;
+                };
+                if f.allowed(call.line, NAME) {
+                    continue;
+                }
+                if !seen.insert(call.line) {
+                    continue;
+                }
+                let mut chain = vec![format!(
+                    "`{}` holds `{}` and calls `{}` ({}:{})",
+                    d.name,
+                    held.class,
+                    call.name,
+                    d.path,
+                    call.line + 1
+                )];
+                chain.extend(info.chain.iter().cloned());
+                out.push(Violation {
+                    rule: NAME,
+                    path: f.rel_path.clone(),
+                    line: call.line + 1,
+                    msg: format!(
+                        "calling `{}` may block on `{}` while holding `{}`",
+                        call.name, info.what, held.class
+                    ),
+                    chain,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+
+    fn cfg() -> Config {
+        Config {
+            lock_order: vec![
+                ("registry".into(), vec!["registry".into()]),
+                ("stripe".into(), vec!["stripe".into(), "stripes".into()]),
+            ],
+            ambient_methods: vec!["lock".into()],
+            blocking_classes: vec!["registry".into(), "stripe".into()],
+            blocking_store_receivers: vec!["kv".into()],
+            blocking_store_methods: vec!["get".into(), "put".into(), "scan_prefix".into()],
+            blocking_calls: vec!["sleep".into(), "read_exact".into()],
+            ..Config::default()
+        }
+    }
+
+    fn run(src: &str) -> Vec<Violation> {
+        let f = SourceFile::parse("fixture.rs", "server", src);
+        let files = vec![f];
+        let g = callgraph::build(&cfg(), &files);
+        let sums = callgraph::summarize(&g);
+        let mut v = Vec::new();
+        check_all(&cfg(), &files, &g, &sums, &mut v);
+        v
+    }
+
+    #[test]
+    fn store_put_under_registry_fires() {
+        let v = run("fn bad(&self) {\n  let r = self.registry.lock();\n  self.kv.put(k, v);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("`kv.put`"));
+        assert!(v[0].msg.contains("holding `registry`"));
+    }
+
+    #[test]
+    fn store_put_outside_the_lock_is_clean() {
+        let v = run(
+            "fn ok(&self) {\n  {\n    let r = self.registry.lock();\n  }\n  self.kv.put(k, v);\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn transitive_block_through_a_call_fires_with_chain() {
+        let v = run(
+            "fn top(&self) {\n  let r = self.registry.lock();\n  self.mid();\n}\nfn mid(&self) {\n  self.persist();\n}\nfn persist(&self) {\n  self.kv.put(k, v);\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("may block on `kv.put`"));
+        assert_eq!(v[0].chain.len(), 3);
+        assert!(v[0].chain[2].contains("`persist` blocks on `kv.put`"));
+    }
+
+    #[test]
+    fn sleep_under_stripe_fires() {
+        let v = run("fn bad(&self) {\n  let s = self.stripes[0].lock();\n  thread::sleep(d);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("`sleep`"));
+    }
+
+    #[test]
+    fn blocking_under_an_unlisted_class_is_clean() {
+        let v = run("fn ok(&self) {\n  self.kv.get(k);\n}\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn allowlisted_replay_passes() {
+        let v = run(
+            "fn hydrate(&self) {\n  let r = self.registry.lock();\n  self.kv.scan_prefix(p); // lint: allow(blocking-under-lock) — deliberate store replay under the gate\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+}

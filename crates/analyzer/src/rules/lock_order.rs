@@ -1,224 +1,119 @@
-//! Rule `lock-ordering`: function-local detection of nested lock
-//! acquisitions checked against the documented global order (loaded from
-//! `analyzer.toml`, outermost class first). Acquiring a lower-ranked
-//! (outer) class while a guard of a higher-ranked (inner) class is live
-//! is an inversion — two threads doing it in opposite orders deadlock.
+//! Rule `lock-ordering`: nested lock acquisitions checked against the
+//! documented global order (loaded from `analyzer.toml`, outermost class
+//! first). Acquiring a lower-ranked (outer) class while a guard of a
+//! higher-ranked (inner) class is live is an inversion — two threads
+//! doing it in opposite orders deadlock.
 //!
-//! Heuristics, deliberately simple and biased toward *holding guards too
-//! long* (false positives are reviewable; missed inversions are not):
-//! - An acquisition is a `.lock()`, `.read()` or `.write()` call with
-//!   empty parens; the receiver is the identifier before it (skipping one
-//!   balanced call/index suffix, so `stripes[i].lock()` → `stripes` and
-//!   `stripe_for(t).lock()` → `stripe_for`). Receivers not named in the
-//!   config are ignored.
-//! - A `let`-bound guard lives until its surrounding brace scope closes
-//!   or an explicit `drop(name)` runs; an unbound guard (temporary) dies
-//!   at end of line.
+//! Two layers share the held-set facts from [`crate::heldset`]:
+//! - **Local**: an acquisition inside one body while a higher-ranked
+//!   guard is held (the original per-function check).
+//! - **Interprocedural**: a call made while holding a guard, where the
+//!   callee — possibly several frames down — may acquire a lower-ranked
+//!   class. The diagnostic carries the full witness chain, e.g.
+//!   `` `a` holds `registry` and calls `b` → `b` calls `c` →
+//!   `c` acquires `roles` ``.
 
+use std::collections::HashSet;
+
+use crate::callgraph::{Graph, Summary};
 use crate::config::Config;
 use crate::scan::SourceFile;
 use crate::Violation;
 
 pub const NAME: &str = "lock-ordering";
 
-const METHODS: [&str; 3] = [".lock()", ".read()", ".write()"];
-
-struct Guard {
-    rank: usize,
-    class: String,
-    /// Brace depth at the acquisition point; popped when depth drops
-    /// below it.
-    depth: i32,
-    /// Binding name, for `drop(name)` release. `None` for temporaries.
-    name: Option<String>,
-    /// Temporaries die at end of line.
-    temp: bool,
-}
-
-pub fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
+pub fn check_all(
+    cfg: &Config,
+    files: &[SourceFile],
+    g: &Graph,
+    sums: &[Summary],
+    out: &mut Vec<Violation>,
+) {
     if cfg.lock_order.is_empty() {
         return;
     }
     let order: Vec<&str> = cfg.lock_order.iter().map(|(c, _)| c.as_str()).collect();
     let order_doc = order.join(" → ");
-    for span in f.functions() {
-        let mut depth = 0i32;
-        let mut guards: Vec<Guard> = Vec::new();
-        for li in span.body_open.line..=span.body_close.line {
-            let code = &f.lines[li].code;
-            let lo = if li == span.body_open.line {
-                span.body_open.col
-            } else {
-                0
+    for (di, d) in g.defs.iter().enumerate() {
+        let f = &files[d.file];
+        // Local inversions within this body.
+        for a in &d.facts.acquires {
+            let Some(held) = a
+                .held
+                .iter()
+                .filter(|h| h.rank > a.rank)
+                .max_by_key(|h| h.rank)
+            else {
+                continue;
             };
-            let hi = if li == span.body_close.line {
-                span.body_close.col + 1
-            } else {
-                code.len()
-            };
-            let slice = &code[lo..hi];
-            let bytes = slice.as_bytes();
-            let mut i = 0;
-            while i < bytes.len() {
-                match bytes[i] {
-                    b'{' => depth += 1,
-                    b'}' => {
-                        depth -= 1;
-                        guards.retain(|g| g.depth <= depth);
-                    }
-                    b'd' if slice[i..].starts_with("drop(") && ident_boundary(bytes, i) => {
-                        let inner: String = slice[i + 5..]
-                            .chars()
-                            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                            .collect();
-                        if let Some(p) = guards
-                            .iter()
-                            .rposition(|g| g.name.as_deref() == Some(inner.as_str()))
-                        {
-                            guards.remove(p);
-                        }
-                    }
-                    b'.' => {
-                        if let Some(m) = METHODS.iter().find(|m| slice[i..].starts_with(**m)) {
-                            if let Some((rank, class)) = classify(cfg, &slice[..i]) {
-                                acquire(f, li, &order_doc, &guards, rank, &class, m, out);
-                                guards.push(Guard {
-                                    rank,
-                                    class,
-                                    depth,
-                                    name: binding_name(&slice[..i]),
-                                    temp: !is_scoped(&slice[..i]),
-                                });
-                            }
-                            i += m.len();
-                            continue;
-                        }
-                    }
-                    _ => {}
-                }
-                i += 1;
+            if f.allowed(a.line, NAME) {
+                continue;
             }
-            guards.retain(|g| !g.temp);
+            out.push(Violation {
+                rule: NAME,
+                path: f.rel_path.clone(),
+                line: a.line + 1,
+                msg: format!(
+                    "acquires `{}` while holding `{}` — documented order is {order_doc}",
+                    a.class, held.class
+                ),
+                chain: Vec::new(),
+            });
         }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn acquire(
-    f: &SourceFile,
-    li: usize,
-    order_doc: &str,
-    guards: &[Guard],
-    rank: usize,
-    class: &str,
-    method: &str,
-    out: &mut Vec<Violation>,
-) {
-    let Some(held) = guards
-        .iter()
-        .filter(|g| g.rank > rank)
-        .max_by_key(|g| g.rank)
-    else {
-        return;
-    };
-    if f.allowed(li, NAME) {
-        return;
-    }
-    out.push(Violation {
-        rule: NAME,
-        path: f.rel_path.clone(),
-        line: li + 1,
-        msg: format!(
-            "acquires `{class}` (via `{method}`) while holding `{}` — documented order is {order_doc}",
-            held.class
-        ),
-    });
-}
-
-/// Maps the receiver identifier before a lock call to its configured
-/// class `(rank, name)`.
-fn classify(cfg: &Config, prefix: &str) -> Option<(usize, String)> {
-    let recv = receiver(prefix)?;
-    for (rank, (class, receivers)) in cfg.lock_order.iter().enumerate() {
-        if receivers.iter().any(|r| r == &recv) {
-            return Some((rank, class.clone()));
-        }
-    }
-    None
-}
-
-/// The identifier ending `prefix`, skipping one trailing balanced `(...)`
-/// or `[...]` group: `self.write` → `write`, `stripes[i]` → `stripes`,
-/// `stripe_for(t)` → `stripe_for`.
-fn receiver(prefix: &str) -> Option<String> {
-    let b = prefix.as_bytes();
-    let mut i = prefix.len();
-    while i > 0 && (b[i - 1] == b')' || b[i - 1] == b']') {
-        let close = b[i - 1];
-        let open = if close == b')' { b'(' } else { b'[' };
-        let mut bal = 0i32;
-        while i > 0 {
-            i -= 1;
-            if b[i] == close {
-                bal += 1;
-            } else if b[i] == open {
-                bal -= 1;
-                if bal == 0 {
-                    break;
+        // Interprocedural: what a callee may acquire vs what's held here.
+        // One diagnostic per (call line, acquired class), however many
+        // same-name defs the site over-approximates to.
+        let mut seen: HashSet<(usize, String)> = HashSet::new();
+        for (ci, callees) in g.edges[di].iter().enumerate() {
+            let call = &d.facts.calls[ci];
+            if call.held.is_empty() {
+                continue;
+            }
+            for &c in callees {
+                for (rank, info) in &sums[c].may_acquire {
+                    let Some(held) = call
+                        .held
+                        .iter()
+                        .filter(|h| h.rank > *rank)
+                        .max_by_key(|h| h.rank)
+                    else {
+                        continue;
+                    };
+                    if f.allowed(call.line, NAME) {
+                        continue;
+                    }
+                    if !seen.insert((call.line, info.class.clone())) {
+                        continue;
+                    }
+                    let mut chain = vec![format!(
+                        "`{}` holds `{}` and calls `{}` ({}:{})",
+                        d.name,
+                        held.class,
+                        call.name,
+                        d.path,
+                        call.line + 1
+                    )];
+                    chain.extend(info.chain.iter().cloned());
+                    out.push(Violation {
+                        rule: NAME,
+                        path: f.rel_path.clone(),
+                        line: call.line + 1,
+                        msg: format!(
+                            "calling `{}` may acquire `{}` while holding `{}` — documented order is {order_doc}",
+                            call.name, info.class, held.class
+                        ),
+                        chain,
+                    });
                 }
             }
         }
     }
-    let end = i;
-    while i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
-        i -= 1;
-    }
-    (i < end).then(|| prefix[i..end].to_string())
-}
-
-/// Binding name for `let <pat> = ….lock()`: the last identifier in the
-/// pattern (`let g`, `let mut g`, `let Ok(g)` all yield `g`).
-fn binding_name(before: &str) -> Option<String> {
-    let let_at = find_word(before, "let")?;
-    let rest = &before[let_at + 3..];
-    let pat = rest.split('=').next().unwrap_or(rest);
-    let pat = pat.split(':').next().unwrap_or(pat);
-    pat.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-        .rfind(|w| !w.is_empty() && *w != "mut")
-        .map(|s| s.to_string())
-}
-
-/// True when the guard outlives the line even without a binding: the
-/// scrutinee of `match`/`if`/`while` lives for the whole block.
-fn is_scoped(before: &str) -> bool {
-    ["let", "match", "if", "while"]
-        .iter()
-        .any(|k| find_word(before, k).is_some())
-}
-
-fn find_word(hay: &str, needle: &str) -> Option<usize> {
-    let b = hay.as_bytes();
-    let mut from = 0;
-    while let Some(p) = hay[from..].find(needle) {
-        let at = from + p;
-        let end = at + needle.len();
-        let left = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
-        let right = end == b.len() || !(b[end].is_ascii_alphanumeric() || b[end] == b'_');
-        if left && right {
-            return Some(at);
-        }
-        from = at + 1;
-    }
-    None
-}
-
-fn ident_boundary(b: &[u8], at: usize) -> bool {
-    at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_')
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::callgraph;
 
     fn cfg() -> Config {
         Config {
@@ -231,14 +126,18 @@ mod tests {
                     vec!["stripe".into(), "stripes".into(), "stripe_for".into()],
                 ),
             ],
+            ambient_methods: vec!["lock".into(), "read".into(), "insert".into()],
             ..Config::default()
         }
     }
 
     fn run(src: &str) -> Vec<Violation> {
         let f = SourceFile::parse("fixture.rs", "index", src);
+        let files = vec![f];
+        let g = callgraph::build(&cfg(), &files);
+        let sums = callgraph::summarize(&g);
         let mut v = Vec::new();
-        check(&cfg(), &f, &mut v);
+        check_all(&cfg(), &files, &g, &sums, &mut v);
         v
     }
 
@@ -278,7 +177,7 @@ mod tests {
     }
 
     #[test]
-    fn temporary_guard_dies_at_end_of_line() {
+    fn temporary_guard_dies_at_statement_end() {
         let v = run(
             "fn ok(&self) {\n  self.stripes[0].lock().insert(k, v);\n  let w = self.write.lock();\n}\n",
         );
@@ -301,13 +200,40 @@ mod tests {
     }
 
     #[test]
-    fn receiver_extraction_cases() {
-        assert_eq!(receiver("self.write").as_deref(), Some("write"));
-        assert_eq!(receiver("self.stripes[i + 1]").as_deref(), Some("stripes"));
-        assert_eq!(
-            receiver("self.stripe_for(t)").as_deref(),
-            Some("stripe_for")
+    fn multiline_acquisition_chain_is_tracked() {
+        let v = run(
+            "fn bad(&self) {\n  let s = self.stripes[0]\n    .lock();\n  let w = self.write.lock();\n}\n",
         );
-        assert_eq!(receiver("  "), None);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn cross_function_inversion_fires_with_chain() {
+        let v = run(
+            "fn top(&self) {\n  let s = self.stripes[0].lock();\n  self.mid();\n}\nfn mid(&self) {\n  self.leaf();\n}\nfn leaf(&self) {\n  let w = self.write.lock();\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("calling `mid` may acquire `writer`"));
+        assert_eq!(v[0].chain.len(), 3);
+        assert!(v[0].chain[0].contains("`top` holds `stripe` and calls `mid`"));
+        assert!(v[0].chain[2].contains("`leaf` acquires `writer`"));
+    }
+
+    #[test]
+    fn cross_function_in_order_call_is_clean() {
+        let v = run(
+            "fn top(&self) {\n  let r = self.roles.read();\n  self.leaf();\n}\nfn leaf(&self) {\n  let w = self.write.lock();\n}\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn allowlisted_call_site_suppresses_the_chain_diagnostic() {
+        let v = run(
+            "fn top(&self) {\n  let s = self.stripes[0].lock();\n  self.leaf(); // lint: allow(lock-ordering) — callee only touches its own stripe\n}\nfn leaf(&self) {\n  let w = self.write.lock();\n}\n",
+        );
+        assert!(v.is_empty());
     }
 }

@@ -1,12 +1,18 @@
-//! The five repo-specific rules. Each exposes `NAME` (the identifier used
-//! in `lint: allow(...)`) and a `check` that appends [`Violation`]s.
+//! The seven repo-specific rules. Each exposes `NAME` (the identifier
+//! used in `lint: allow(...)`) and a check that appends [`Violation`]s.
+//! Per-file rules take a [`SourceFile`]; the interprocedural rules
+//! (`lock-ordering`, `blocking-under-lock`) run over the workspace call
+//! graph and its fixpoint summaries, built once per analysis.
 
+pub mod atomics;
+pub mod blocking;
 pub mod lock_order;
 pub mod no_alloc;
 pub mod panic_freedom;
 pub mod unsafe_hygiene;
 pub mod wire_tags;
 
+use crate::callgraph;
 use crate::config::Config;
 use crate::scan::SourceFile;
 use crate::Violation;
@@ -19,10 +25,14 @@ pub fn run_all(cfg: &Config, files: &[SourceFile]) -> Vec<Violation> {
         out.extend(f.directive_errors.iter().cloned());
         unsafe_hygiene::check(f, &mut out);
         panic_freedom::check(cfg, f, &mut out);
-        lock_order::check(cfg, f, &mut out);
         wire_tags::check(cfg, f, &mut out);
         no_alloc::check(f, &mut out);
+        atomics::check(cfg, f, &mut out);
     }
+    let graph = callgraph::build(cfg, files);
+    let sums = callgraph::summarize(&graph);
+    lock_order::check_all(cfg, files, &graph, &sums, &mut out);
+    blocking::check_all(cfg, files, &graph, &sums, &mut out);
     out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }

@@ -41,6 +41,7 @@ pub fn check(f: &SourceFile, out: &mut Vec<Violation>) {
                 path: f.rel_path.clone(),
                 line: marker + 1,
                 msg: "`lint: deny(alloc)` with no following function".to_string(),
+                chain: Vec::new(),
             });
             continue;
         };
@@ -69,6 +70,7 @@ pub fn check(f: &SourceFile, out: &mut Vec<Violation>) {
                         "`{token}` allocates inside no-alloc zone `fn {}`",
                         span.name
                     ),
+                    chain: Vec::new(),
                 });
             }
         }

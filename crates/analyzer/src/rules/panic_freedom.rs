@@ -43,6 +43,7 @@ pub fn check(cfg: &Config, f: &SourceFile, out: &mut Vec<Violation>) {
                     "{what} in non-test code of hot-path crate `{}`",
                     f.crate_name
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -26,6 +26,7 @@ pub fn check(f: &SourceFile, out: &mut Vec<Violation>) {
             msg: "`unsafe` without an immediately preceding `// SAFETY:` comment \
                   (or `# Safety` doc section)"
                 .to_string(),
+            chain: Vec::new(),
         });
     }
 }

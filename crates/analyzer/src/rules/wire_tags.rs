@@ -254,6 +254,7 @@ fn emit(f: &SourceFile, idx: usize, out: &mut Vec<Violation>, msg: String) {
         path: f.rel_path.clone(),
         line: idx + 1,
         msg,
+        chain: Vec::new(),
     });
 }
 

@@ -6,12 +6,14 @@ use crate::lexer::{self, Line};
 use crate::Violation;
 
 /// Rule identifiers, exactly as they appear in `lint: allow(<rule>)`.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 7] = [
     "unsafe-hygiene",
     "panic-freedom",
     "lock-ordering",
     "wire-tags",
     "no-alloc",
+    "blocking-under-lock",
+    "atomics-ordering",
 ];
 
 /// One analyzed source file.
@@ -27,6 +29,11 @@ pub struct SourceFile {
     pub in_test: Vec<bool>,
     /// Per line: rules allowlisted for that line via `lint: allow(...)`.
     pub allows: Vec<Vec<String>>,
+    /// Per line: id of the statement group the line belongs to (the 0-based
+    /// index of the group's first line). Directives bind to whole groups,
+    /// so a multi-line method chain (`.lock()\n.unwrap()`) can be
+    /// annotated on any of its lines.
+    pub stmt: Vec<usize>,
     /// Line indices carrying a `lint: deny(alloc)` marker: the next
     /// function (or one starting on the same line) is a no-alloc zone.
     pub deny_alloc: Vec<usize>,
@@ -39,11 +46,13 @@ impl SourceFile {
     pub fn parse(rel_path: &str, crate_name: &str, src: &str) -> SourceFile {
         let lines = lexer::lex(src);
         let in_test = test_mask(&lines);
+        let stmt = stmt_groups(&lines);
         let mut f = SourceFile {
             rel_path: rel_path.to_string(),
             crate_name: crate_name.to_string(),
             in_test,
             allows: vec![Vec::new(); lines.len()],
+            stmt,
             deny_alloc: Vec::new(),
             directive_errors: Vec::new(),
             lines,
@@ -91,7 +100,13 @@ impl SourceFile {
                     continue;
                 }
                 let target = self.directive_target(idx);
-                self.allows[target].push(rule);
+                // The directive covers the whole statement the target line
+                // belongs to, so multi-line chains can be annotated on the
+                // acquisition line even when the flagged token sits on a
+                // continuation line (and vice versa).
+                for li in self.stmt_lines(target) {
+                    self.allows[li].push(rule.clone());
+                }
             } else if directive.starts_with("deny(alloc)") {
                 self.deny_alloc.push(idx);
             } else {
@@ -111,12 +126,24 @@ impl SourceFile {
             .unwrap_or(idx)
     }
 
+    /// The 0-based line range of the statement group containing `idx`.
+    pub fn stmt_lines(&self, idx: usize) -> std::ops::Range<usize> {
+        let Some(&group) = self.stmt.get(idx) else {
+            return idx..idx + 1;
+        };
+        let end = (idx..self.stmt.len())
+            .find(|&j| self.stmt[j] != group)
+            .unwrap_or(self.stmt.len());
+        group..end
+    }
+
     fn directive_error(&mut self, idx: usize, msg: &str) {
         self.directive_errors.push(Violation {
             rule: "directive",
             path: self.rel_path.clone(),
             line: idx + 1,
             msg: msg.to_string(),
+            chain: Vec::new(),
         });
     }
 
@@ -223,6 +250,42 @@ fn fn_name_pos(code: &str) -> Option<usize> {
     None
 }
 
+/// Groups lines into statements: a line continues into the next when it
+/// ends inside an open paren/bracket group or without a terminator
+/// (`;`, `{`, `}`, or a depth-0 `,` — the latter splits match arms and
+/// struct fields while keeping multi-line call arguments together).
+/// String contents are already blanked by the lexer, so the punctuation
+/// scan is exact. Each line gets the index of its group's first line.
+fn stmt_groups(lines: &[Line]) -> Vec<usize> {
+    let mut ids = Vec::with_capacity(lines.len());
+    let mut group = 0usize;
+    let mut paren = 0i32;
+    let mut in_flight = false;
+    for (idx, l) in lines.iter().enumerate() {
+        if !in_flight {
+            group = idx;
+        }
+        ids.push(group);
+        for c in l.code.chars() {
+            match c {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                _ => {}
+            }
+        }
+        let code = l.code.trim_end();
+        let terminated = if code.trim().is_empty() {
+            // Blank / comment-only lines extend an in-flight statement
+            // (a directive comment can sit mid-chain) but never start one.
+            !in_flight
+        } else {
+            paren <= 0 && matches!(code.chars().last(), Some(';' | '{' | '}' | ','))
+        };
+        in_flight = !terminated;
+    }
+    ids
+}
+
 /// Marks lines covered by `#[cfg(test)]` items (the attribute, the item
 /// header, and the brace-matched body).
 fn test_mask(lines: &[Line]) -> Vec<bool> {
@@ -297,6 +360,40 @@ mod tests {
         assert!(!f.allowed(1, "no-alloc"));
         assert!(f.allowed(2, "no-alloc"));
         assert!(f.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn allow_covers_the_whole_multiline_statement() {
+        // The directive sits on the acquisition line; the flagged token is
+        // on the continuation line of the same method chain.
+        let f = file(
+            "let g = self.queue.lock() // lint: allow(panic-freedom) — poisoning is fatal by design\n    .unwrap();\nother();\n",
+        );
+        assert!(f.allowed(0, "panic-freedom"));
+        assert!(f.allowed(1, "panic-freedom"));
+        assert!(!f.allowed(2, "panic-freedom"));
+        assert!(f.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn directive_comment_above_covers_following_multiline_statement() {
+        let f = file(
+            "// lint: allow(lock-ordering) — init path, single-threaded\nlet g = self.stripes[0]\n    .lock();\nnext();\n",
+        );
+        assert!(f.allowed(1, "lock-ordering"));
+        assert!(f.allowed(2, "lock-ordering"));
+        assert!(!f.allowed(3, "lock-ordering"));
+    }
+
+    #[test]
+    fn stmt_groups_split_on_terminators_and_join_open_parens() {
+        let f = file("foo(a,\n  b);\nlet x = 1;\nmatch y {\n  A => a(),\n  B => b(),\n}\n");
+        // Multi-line call args share a group.
+        assert_eq!(f.stmt[0], f.stmt[1]);
+        // `;` terminates.
+        assert_ne!(f.stmt[1], f.stmt[2]);
+        // Match arms end with a depth-0 `,` and stay separate.
+        assert_ne!(f.stmt[4], f.stmt[5]);
     }
 
     #[test]

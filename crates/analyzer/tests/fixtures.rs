@@ -1,0 +1,94 @@
+//! Seeded-fixture corpus: one deliberately broken file per
+//! interprocedural rule, asserted to produce *exactly* the expected
+//! diagnostic — message, line, and full witness chain — plus one clean
+//! file pinning the multi-line `lint: allow` span fix. The fixtures live
+//! under `tests/fixtures/` (never compiled, never seen by the live
+//! workspace gate) with their own minimal `policy.toml`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use timecrypt_analyzer::scan::SourceFile;
+use timecrypt_analyzer::{config, rules, Violation};
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Analyzes one fixture file in isolation under the fixture policy.
+fn analyze(name: &str) -> Vec<Violation> {
+    let policy = fs::read_to_string(fixtures_dir().join("policy.toml")).expect("policy.toml");
+    let cfg = config::parse(&policy).expect("fixture policy parses");
+    let src = fs::read_to_string(fixtures_dir().join(name)).expect("fixture source");
+    let file = SourceFile::parse(name, "fx", &src);
+    rules::run_all(&cfg, &[file])
+}
+
+#[test]
+fn cross_function_inversion_depth3_reports_the_full_chain() {
+    let v = analyze("inversion_depth3.rs");
+    assert_eq!(v.len(), 1, "expected exactly one diagnostic, got: {v:#?}");
+    let v = &v[0];
+    assert_eq!(v.rule, "lock-ordering");
+    assert_eq!(v.line, 11);
+    assert_eq!(
+        v.msg,
+        "calling `rebalance` may acquire `registry` while holding `stripe` \
+         — documented order is registry → stripe"
+    );
+    assert_eq!(
+        v.chain,
+        vec![
+            "`evict` holds `stripe` and calls `rebalance` (inversion_depth3.rs:11)",
+            "`rebalance` calls `reindex` (inversion_depth3.rs:16)",
+            "`reindex` acquires `registry` (inversion_depth3.rs:20)",
+        ]
+    );
+}
+
+#[test]
+fn blocking_call_depth2_reports_the_full_chain() {
+    let v = analyze("blocking_depth2.rs");
+    assert_eq!(v.len(), 1, "expected exactly one diagnostic, got: {v:#?}");
+    let v = &v[0];
+    assert_eq!(v.rule, "blocking-under-lock");
+    assert_eq!(v.line, 12);
+    assert_eq!(
+        v.msg,
+        "calling `persist_meta` may block on `kv.put` while holding `registry`"
+    );
+    assert_eq!(
+        v.chain,
+        vec![
+            "`register` holds `registry` and calls `persist_meta` (blocking_depth2.rs:12)",
+            "`persist_meta` blocks on `kv.put` (blocking_depth2.rs:16)",
+        ]
+    );
+}
+
+#[test]
+fn misordered_publish_pair_flags_the_relaxed_load_only() {
+    let v = analyze("atomics_pair.rs");
+    assert_eq!(v.len(), 1, "expected exactly one diagnostic, got: {v:#?}");
+    let v = &v[0];
+    assert_eq!(v.rule, "atomics-ordering");
+    assert_eq!(
+        v.line, 15,
+        "the Release store on line 11 is correct; only the Relaxed load fires"
+    );
+    assert_eq!(
+        v.msg,
+        "`cache_gen` is a publish atomic (loads Acquire, stores Release, RMWs AcqRel) \
+         — found `load` with Ordering::Relaxed"
+    );
+    assert!(v.chain.is_empty(), "atomics findings are local");
+}
+
+#[test]
+fn allow_directive_covers_multiline_statement() {
+    let v = analyze("multiline_allow.rs");
+    assert!(
+        v.is_empty(),
+        "directive above the statement must reach the chained `.lock()` two lines down, got: {v:#?}"
+    );
+}

@@ -1,0 +1,17 @@
+//! Seeded mis-ordered publication pair: the writer publishes the new
+//! generation with `Release`, but the reader loads it `Relaxed` — so a
+//! reader can observe the bumped generation without the writes it was
+//! supposed to publish. This is the silent bug class the `publish` role
+//! exists for.
+
+pub struct Cache;
+
+impl Cache {
+    pub fn publish(&self) {
+        self.cache_gen.store(1, Ordering::Release);
+    }
+
+    pub fn read_side(&self) -> u64 {
+        self.cache_gen.load(Ordering::Relaxed)
+    }
+}

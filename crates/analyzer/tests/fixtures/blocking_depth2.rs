@@ -1,0 +1,18 @@
+//! Seeded blocking-under-lock at call depth 2: `register` holds the
+//! registry lock across a helper that writes the durable meta record.
+//! The store I/O itself is fine — the lock held two frames above it is
+//! the bug.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn register(&self) {
+        let mut reg = self.registry.lock();
+        reg.insert(1);
+        self.persist_meta();
+    }
+
+    fn persist_meta(&self) {
+        self.kv.put(b"sm/1", b"meta");
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded lock-ordering inversion across a depth-3 call chain: `evict`
+//! holds the inner `stripe` class while the chain below it re-enters the
+//! outer `registry` class. No single function is wrong on its own — only
+//! the interprocedural summary sees it.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn evict(&self) {
+        let s = self.stripe.lock();
+        self.rebalance();
+        drop(s);
+    }
+
+    fn rebalance(&self) {
+        self.reindex();
+    }
+
+    fn reindex(&self) {
+        let mut reg = self.registry.lock();
+        reg.touch();
+    }
+}

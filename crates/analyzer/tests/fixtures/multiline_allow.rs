@@ -1,0 +1,18 @@
+//! Regression fixture: a `lint: allow(...)` directive above a statement
+//! must cover the statement's *entire* span, including rustfmt'd
+//! continuation lines — the acquisition below happens two lines after
+//! the directive. Expected: clean.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn sweep(&self) {
+        let s = self.stripe.lock();
+        // lint: allow(lock-ordering) — fixture: intentional inversion on a quiesced path; the directive must reach the chained `.lock()` two lines down
+        let r = self
+            .registry
+            .lock();
+        drop(r);
+        drop(s);
+    }
+}

@@ -18,6 +18,23 @@ fn workspace_root() -> PathBuf {
     dir
 }
 
+/// The interprocedural layer (call graph + fixpoint summaries) must not
+/// blow the gate's latency budget: CI runs the binary under `timeout 5`,
+/// and the release build finishes in well under 100ms. 2s of headroom
+/// here keeps the unoptimized `cargo test` run honest without being
+/// flaky on slow machines.
+#[test]
+fn full_workspace_analysis_stays_within_budget() {
+    let start = std::time::Instant::now();
+    let report = timecrypt_analyzer::analyze(&workspace_root()).expect("analysis runs");
+    let elapsed = start.elapsed();
+    assert!(report.files > 0);
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "full-workspace analysis took {elapsed:?} — budget is 2s"
+    );
+}
+
 #[test]
 fn live_workspace_is_clean() {
     let report = timecrypt_analyzer::analyze(&workspace_root()).expect("analysis runs");

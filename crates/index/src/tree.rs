@@ -279,11 +279,13 @@ impl<D: HomDigest> NodeCache<D> {
 /// unskippable even when a writer errors out mid-flight (`?`), so a failed
 /// append can't leave the generation permanently odd (readers would stop
 /// caching) or desync the parity for the next writer.
-struct GenGuard<'a>(&'a AtomicU64);
+struct GenGuard<'a> {
+    gen: &'a AtomicU64,
+}
 
 impl Drop for GenGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_add(1, Ordering::SeqCst);
+        self.gen.fetch_add(1, Ordering::AcqRel);
     }
 }
 
@@ -381,9 +383,12 @@ impl<D: HomDigest> AggTree<D> {
         let _write = self.write.lock();
         // Generation goes odd for the whole node-write window (see
         // `cache_gen`); the guard restores even parity on every exit path.
-        self.cache_gen.fetch_add(1, Ordering::SeqCst);
-        let _gen = GenGuard(&self.cache_gen);
-        let base = self.len.load(Ordering::Relaxed); // stable: we hold `write`
+        self.cache_gen.fetch_add(1, Ordering::AcqRel);
+        let _gen = GenGuard {
+            gen: &self.cache_gen,
+        };
+        // lint: allow(atomics-ordering) — stable: we hold `write`, the only mutator; Relaxed cannot observe a torn value of our own last Release store
+        let base = self.len.load(Ordering::Relaxed);
         let k = self.cfg.arity as u64;
         // Overlay of nodes touched by this run. BTreeMap so the flush
         // below writes in deterministic (level, index) order.
@@ -404,7 +409,7 @@ impl<D: HomDigest> AggTree<D> {
                 let key = (level, node_index);
                 if let std::collections::btree_map::Entry::Vacant(vacant) = dirty.entry(key) {
                     let loaded = self
-                        .load(level, node_index)?
+                        .load_node(level, node_index)?
                         .map(|a| (*a).clone())
                         .unwrap_or(Node {
                             entries: Vec::new(),
@@ -459,7 +464,7 @@ impl<D: HomDigest> AggTree<D> {
         }
         // Flush: each touched node exactly once, then the length metadata.
         for ((level, node_index), node) in dirty {
-            self.store(level, node_index, node)?;
+            self.store_node(level, node_index, node)?;
         }
         let new_len = base + digests.len() as u64;
         self.kv
@@ -525,7 +530,7 @@ impl<D: HomDigest> AggTree<D> {
         // distinctly from unparseable bytes, which `load` maps to
         // `CorruptNode`.
         let node = self
-            .load(level, index)?
+            .load_node(level, index)?
             .ok_or(IndexError::Decayed { level, index })?;
         let base = index * span_at(level, k);
         // At most two children partially overlap a contiguous range: the
@@ -608,8 +613,10 @@ impl<D: HomDigest> AggTree<D> {
         let _write = self.write.lock();
         // Odd generation across the deletes: a reader that fetched a node
         // just before its deletion must not re-insert it into the cache.
-        self.cache_gen.fetch_add(1, Ordering::SeqCst);
-        let _gen = GenGuard(&self.cache_gen);
+        self.cache_gen.fetch_add(1, Ordering::AcqRel);
+        let _gen = GenGuard {
+            gen: &self.cache_gen,
+        };
         let k = self.cfg.arity as u64;
         let mut removed = 0usize;
         // Never decay the current root level: growth backfill needs it.
@@ -667,16 +674,16 @@ impl<D: HomDigest> AggTree<D> {
             return Ok(sum(&node.entries));
         }
         let node = self
-            .load(level, index)?
+            .load_node(level, index)?
             .ok_or(IndexError::CorruptNode { level, index })?;
         Ok(sum(&node.entries))
     }
 
-    fn load(&self, level: u8, index: u64) -> Result<Option<Arc<Node<D>>>, IndexError> {
+    fn load_node(&self, level: u8, index: u64) -> Result<Option<Arc<Node<D>>>, IndexError> {
         if let Some(n) = self.cache.get(&(level, index)) {
             return Ok(Some(n));
         }
-        let gen_before = self.cache_gen.load(Ordering::SeqCst);
+        let gen_before = self.cache_gen.load(Ordering::Acquire);
         match self.kv.get(&node_key(self.stream, level, index))? {
             Some(bytes) => {
                 let node =
@@ -690,7 +697,7 @@ impl<D: HomDigest> AggTree<D> {
                     let w = node.weight();
                     let stripe = self.cache.stripe(&(level, index));
                     let mut cache = stripe.lock();
-                    if self.cache_gen.load(Ordering::SeqCst) == gen_before {
+                    if self.cache_gen.load(Ordering::Acquire) == gen_before {
                         cache.put((level, index), node.clone(), w);
                     }
                 }
@@ -700,7 +707,7 @@ impl<D: HomDigest> AggTree<D> {
         }
     }
 
-    fn store(&self, level: u8, index: u64, node: Node<D>) -> Result<(), IndexError> {
+    fn store_node(&self, level: u8, index: u64, node: Node<D>) -> Result<(), IndexError> {
         self.kv
             .put(&node_key(self.stream, level, index), &node.encode())?;
         let w = node.weight();

@@ -40,9 +40,9 @@ impl HttpServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
+        let stop_flag = stop.clone();
         let accept_thread = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Relaxed) {
+            while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let render = render.clone();

@@ -505,6 +505,15 @@ impl TimeCryptServer {
 
     /// Registers a stream. Registration writes the durable meta record and
     /// the directory entry only; the stream's state hydrates on first use.
+    ///
+    /// The directory entry is reserved under the registry lock, but the
+    /// durable meta write happens *outside* it — a slow store write must
+    /// not stall resident hits on every other stream. The reservation
+    /// makes concurrent `create_stream` calls for the same id lose with
+    /// `StreamExists` before they reach the store; if our own write
+    /// fails, or a concurrent `delete_stream` removed the reservation
+    /// while we were writing, we roll back (entry and orphan meta
+    /// record respectively).
     pub fn create_stream(
         &self,
         stream: u128,
@@ -512,23 +521,33 @@ impl TimeCryptServer {
         delta_ms: u64,
         digest_width: u32,
     ) -> Result<(), ServerError> {
-        let mut reg = self.registry.lock();
-        if reg.directory.contains_key(&stream) {
-            return Err(ServerError::StreamExists(stream));
+        let meta = StreamMeta {
+            t0,
+            delta_ms,
+            digest_width,
+        };
+        {
+            let mut reg = self.registry.lock();
+            if reg.directory.contains_key(&stream) {
+                return Err(ServerError::StreamExists(stream));
+            }
+            reg.directory.insert(stream, meta);
         }
-        let mut meta = Vec::with_capacity(20);
-        meta.extend_from_slice(&t0.to_le_bytes());
-        meta.extend_from_slice(&delta_ms.to_le_bytes());
-        meta.extend_from_slice(&digest_width.to_le_bytes());
-        self.kv.put(&stream_meta_key(stream), &meta)?;
-        reg.directory.insert(
-            stream,
-            StreamMeta {
-                t0,
-                delta_ms,
-                digest_width,
-            },
-        );
+        let mut bytes = Vec::with_capacity(20);
+        bytes.extend_from_slice(&t0.to_le_bytes());
+        bytes.extend_from_slice(&delta_ms.to_le_bytes());
+        bytes.extend_from_slice(&digest_width.to_le_bytes());
+        if let Err(e) = self.kv.put(&stream_meta_key(stream), &bytes) {
+            self.registry.lock().directory.remove(&stream);
+            return Err(e.into());
+        }
+        let still_registered = self.registry.lock().directory.contains_key(&stream);
+        if !still_registered {
+            // Deleted while we were writing: delete_stream already ran its
+            // purge, possibly before our put landed — remove the orphan.
+            self.kv.delete(&stream_meta_key(stream))?;
+            return Err(ServerError::NoSuchStream(stream));
+        }
         Ok(())
     }
 
@@ -630,6 +649,12 @@ impl TimeCryptServer {
             };
             // We are the winner: replay the store with no registry lock
             // held — resident hits on other streams proceed meanwhile.
+            //
+            // lint: allow(blocking-under-lock) — the hydration gate exists
+            // precisely to serialize this store replay: it is per-stream,
+            // ordered before `registry`, and held by at most the one
+            // winner plus waiters for this same stream, so blocking here
+            // stalls no one who isn't already waiting for this state.
             let hydrated = self.hydrate(stream, meta);
             let mut reg = self.registry.lock();
             Self::release_gate(&mut reg, stream, &gate);

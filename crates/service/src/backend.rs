@@ -1001,7 +1001,7 @@ impl ShardReplicas {
             return;
         }
         let mut roles = self.roles.write();
-        self.mirror_drops.fetch_add(1, Ordering::Relaxed);
+        self.mirror_drops.fetch_add(1, Ordering::AcqRel);
         let Some(b) = &mut roles.backup else { return };
         if !Arc::ptr_eq(&b.backend, drifted) {
             return;
@@ -1310,10 +1310,14 @@ impl ShardReplicas {
     /// roles write lock, so a drop either lands before this check and
     /// vetoes the arm, or after it — against a replica already marked in
     /// sync, where `note_mirror_drift` demotes it again. Either way no
-    /// in-sync replica is missing an acknowledged write.
+    /// in-sync replica is missing an acknowledged write. The counter
+    /// itself uses AcqRel bumps and Acquire loads so the rebuild worker's
+    /// initial `drops_before` read — taken *outside* the lock — is
+    /// ordered against the bumps too, rather than leaning on the lock it
+    /// doesn't hold.
     fn arm_if_no_drops(&self, drops_before: u32) -> bool {
         let mut roles = self.roles.write();
-        if self.mirror_drops.load(Ordering::Relaxed) != drops_before {
+        if self.mirror_drops.load(Ordering::Acquire) != drops_before {
             return false;
         }
         if let Some(b) = &mut roles.backup {
@@ -1409,7 +1413,7 @@ impl ShardReplicas {
                 // try again next pass (the dial already backed off).
                 continue;
             };
-            let drops_before = self.mirror_drops.load(Ordering::Relaxed);
+            let drops_before = self.mirror_drops.load(Ordering::Acquire);
             if self.copy_pass(&*survivor, &*replacement, &streams, shutdown)
                 && self.verify_pass(&*survivor, &*replacement, &streams)
                 && self.arm_if_no_drops(drops_before)

@@ -32,7 +32,7 @@ impl LatencyHist {
         let mut v: Vec<u64> = self
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|bucket| bucket.load(Ordering::Relaxed))
             .collect();
         while v.last() == Some(&0) {
             v.pop();

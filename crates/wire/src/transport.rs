@@ -108,14 +108,14 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = stop.clone();
+        let stop_flag = stop.clone();
         let conns: Arc<std::sync::Mutex<Vec<std::sync::Weak<TcpStream>>>> =
             Arc::new(std::sync::Mutex::new(Vec::new()));
         let conns2 = conns.clone();
         // A short accept timeout lets the loop observe the stop flag.
         listener.set_nonblocking(true)?;
         let accept_thread = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Relaxed) {
+            while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let handler = handler.clone();
