@@ -48,7 +48,10 @@
 //! (default 400), `TC_READERS` (intra-shard reader pool, default 4),
 //! `TC_MIXED` (`0` skips the phase). Remote phase: `TC_REMOTE` (`0`
 //! skips), `TC_REMOTE_SHARDS` (comma list, default `1,4`).
-//! Failover/rebuild phase: `TC_FAILOVER` (`0` skips). Deep-tree phase:
+//! Failover/rebuild phase: `TC_FAILOVER` (`0` skips). Faults phase:
+//! `TC_FAULTS` (`0` skips), `TC_FAULT_SEED` (default 7) — single-shard
+//! workload under seeded store faults (1% errors, 1% of puts stalled
+//! 10 ms), retry-until-acked; reported, not gated. Deep-tree phase:
 //! `TC_DEEP` (`0` skips), `TC_DEEP_CHUNKS` (default 8192),
 //! `TC_DEEP_ARITY` (default 4), `TC_DEEP_QUERIES` (default 30).
 //! Tracing-overhead phase: `TC_TRACING` (`0` skips) — reruns the
@@ -751,6 +754,96 @@ fn run_failover_rebuild(
     }
 }
 
+struct FaultSample {
+    ingest_ops_s: f64,
+    query_ops_s: f64,
+    injected: u64,
+    retries: u64,
+}
+
+/// The faults phase: a single-shard service over a store injecting a 1%
+/// transient error rate on every op plus a 1% chance of a 10 ms stall per
+/// put (a p99-delay model of a compacting/overloaded backend). Ingest
+/// retries each chunk until acked; queries retry until answered. The
+/// reported throughput is the *cost of the faults* — retries plus stalls
+/// — next to the fault-free `service_throughput` rows.
+fn run_faults(workload: &Workload, queries: usize, seed: u64) -> FaultSample {
+    use timecrypt_faults::{FaultPlan, OpKind, StoreFault, StoreRule, Trigger};
+    let plan = FaultPlan {
+        seed,
+        store_rules: vec![
+            StoreRule {
+                op: None,
+                key_prefix: Vec::new(),
+                when: Trigger::PerMillion(10_000), // 1% transient errors
+                fault: StoreFault::Error,
+            },
+            StoreRule {
+                op: Some(OpKind::Put),
+                key_prefix: Vec::new(),
+                when: Trigger::PerMillion(10_000), // 1% of puts stall 10 ms
+                fault: StoreFault::Delay(Duration::from_millis(10)),
+            },
+        ],
+        net_rules: Vec::new(),
+    };
+    let store = timecrypt_faults::faulty(Arc::new(MemKv::new()) as Arc<dyn KvStore>, plan);
+    let svc = ShardedService::open(
+        store.clone(),
+        ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    for id in 0..workload.per_stream.len() as u128 {
+        svc.create_stream(id, 0, 10_000, 2).unwrap();
+    }
+    let mut retries = 0u64;
+    let mut chunks_acked = 0u64;
+    let ingest_start = Instant::now();
+    for (id, chunks) in workload.per_stream.iter().enumerate() {
+        for chunk in chunks {
+            loop {
+                match svc.insert(chunk) {
+                    Ok(()) => break,
+                    Err(e) => {
+                        retries += 1;
+                        assert!(
+                            retries < 1_000_000,
+                            "faults phase: stream {id} never acked: {e}"
+                        );
+                    }
+                }
+            }
+            chunks_acked += 1;
+        }
+    }
+    let ingest_wall = ingest_start.elapsed();
+    let all: Vec<u128> = (0..workload.per_stream.len() as u128).collect();
+    let window = workload.per_stream[0].len() as i64 * 10_000;
+    let query_start = Instant::now();
+    for q in 0..queries {
+        loop {
+            if svc.get_stat_range(&all, 0, window).is_ok() {
+                break;
+            }
+            retries += 1;
+            assert!(
+                retries < 1_000_000,
+                "faults phase: query {q} never answered"
+            );
+        }
+    }
+    let query_wall = query_start.elapsed();
+    FaultSample {
+        ingest_ops_s: chunks_acked as f64 / ingest_wall.as_secs_f64(),
+        query_ops_s: queries as f64 / query_wall.as_secs_f64(),
+        injected: store.injected_total(),
+        retries,
+    }
+}
+
 fn main() {
     let shard_sweep: Vec<usize> = std::env::var("TC_SHARDS")
         .unwrap_or_else(|_| "1,2,4,8".into())
@@ -906,6 +999,25 @@ fn main() {
             s.rebuild_chunks_copied,
             queries,
             s.post_rebuild_query_ops_s,
+        );
+    }
+
+    // Faults phase: the single-shard workload under seeded store faults
+    // (1% transient errors, 1% of puts stalled 10 ms) with retry-until-
+    // acked ingest. Reported, not gated (see compare.rs): the number is
+    // the price of the fault model, not a regression signal.
+    if env_usize("TC_FAULTS", 1) != 0 {
+        let seed = env_usize("TC_FAULT_SEED", 7) as u64;
+        let s = run_faults(&workload, queries, seed);
+        println!(
+            "{{\"bench\":\"faults\",\"streams\":{},\"chunks_per_stream\":{},\"store_err_pm\":10000,\"put_delay_pm\":10000,\"delay_ms\":10,\"queries\":{},\"faulty_ingest_ops_s\":{:.0},\"faulty_query_ops_s\":{:.0},\"injected_faults\":{},\"retries\":{}}}",
+            streams,
+            chunks,
+            queries,
+            s.ingest_ops_s,
+            s.query_ops_s,
+            s.injected,
+            s.retries,
         );
     }
 

@@ -1,0 +1,198 @@
+//! [`FaultyKv`]: a `KvStore` decorator that injects scheduled faults.
+//!
+//! Follows the decorator idiom of `LatencyKv`/`MeteredKv`: wraps any
+//! inner store, consults the shared [`FaultPlan`] on every op, and keeps
+//! a per-decorator op counter so a plan's `Nth`/`EveryNth`/`PerMillion`
+//! triggers replay exactly under single-threaded drivers.
+
+use crate::plan::{FaultPlan, OpKind, StoreFault};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use timecrypt_store::{KvPairs, KvStore, StoreError};
+
+/// Fault-injecting store decorator. See the crate docs for the plan
+/// model; `set_plan` swaps the schedule at runtime (e.g. to go quiet
+/// before a verification phase).
+pub struct FaultyKv<S> {
+    inner: S,
+    plan: Mutex<Arc<FaultPlan>>,
+    ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<S> FaultyKv<S> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyKv {
+            inner,
+            plan: Mutex::new(Arc::new(plan)),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the schedule; in-flight ops keep the plan they resolved.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let shared = Arc::new(plan);
+        match self.plan.lock() {
+            Ok(mut p) => *p = shared,
+            Err(poisoned) => *poisoned.into_inner() = shared,
+        }
+    }
+
+    /// Faults injected so far (errors + torn writes + delays).
+    pub fn injected_total(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Ops observed so far (the counter triggers are matched against).
+    pub fn ops_total(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Resolves the fault (if any) for the op about to run. Delays are
+    /// served here so the caller's match only sees `Error`/`TornWrite`.
+    fn decide(&self, op: OpKind, key: &[u8]) -> Option<StoreFault> {
+        let index = self.ops.fetch_add(1, Ordering::Relaxed);
+        let plan = match self.plan.lock() {
+            Ok(p) => Arc::clone(&p),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        };
+        let fault = plan.store_fault(op, key, index)?.clone();
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        if let StoreFault::Delay(d) = fault {
+            std::thread::sleep(d);
+            return None; // delay already served; run the op normally
+        }
+        Some(fault)
+    }
+}
+
+fn injected_err() -> StoreError {
+    StoreError::Io(io::Error::other("injected store fault"))
+}
+
+impl<S: KvStore> KvStore for FaultyKv<S> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        match self.decide(OpKind::Get, key) {
+            None => self.inner.get(key),
+            Some(_) => Err(injected_err()),
+        }
+    }
+
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        match self.decide(OpKind::Put, key) {
+            None => self.inner.put(key, value),
+            Some(StoreFault::TornWrite) => {
+                // Persist a deterministic strict prefix of the value, then
+                // fail: the caller never acks, the store holds torn bytes —
+                // the state a mid-write crash leaves behind.
+                if !value.is_empty() {
+                    let keep =
+                        (crate::plan::mix64(self.ops.load(Ordering::Relaxed) ^ key.len() as u64)
+                            % value.len() as u64) as usize;
+                    self.inner.put(key, &value[..keep])?;
+                }
+                Err(injected_err())
+            }
+            Some(_) => Err(injected_err()),
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        match self.decide(OpKind::Delete, key) {
+            None => self.inner.delete(key),
+            Some(_) => Err(injected_err()),
+        }
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<KvPairs, StoreError> {
+        match self.decide(OpKind::Scan, prefix) {
+            None => self.inner.scan_prefix(prefix),
+            Some(_) => Err(injected_err()),
+        }
+    }
+}
+
+/// Convenience constructor used by tests/bench: a shared faulty wrapper
+/// over an arbitrary shared store.
+pub fn faulty(inner: Arc<dyn KvStore>, plan: FaultPlan) -> Arc<FaultyKv<Arc<dyn KvStore>>> {
+    Arc::new(FaultyKv::new(inner, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{StoreRule, Trigger};
+    use timecrypt_store::MemKv;
+
+    fn plan_every_put_errors() -> FaultPlan {
+        FaultPlan::quiet().with_store_rule(StoreRule {
+            op: Some(OpKind::Put),
+            key_prefix: Vec::new(),
+            when: Trigger::EveryNth(1),
+            fault: StoreFault::Error,
+        })
+    }
+
+    #[test]
+    fn injected_error_leaves_inner_untouched() {
+        let kv = FaultyKv::new(MemKv::new(), plan_every_put_errors());
+        assert!(kv.put(b"k", b"v").is_err());
+        assert_eq!(kv.inner().get(b"k").unwrap(), None);
+        assert_eq!(kv.injected_total(), 1);
+    }
+
+    #[test]
+    fn quiet_plan_passes_through() {
+        let kv = FaultyKv::new(MemKv::new(), FaultPlan::quiet());
+        kv.put(b"k", b"v").unwrap();
+        assert_eq!(kv.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+        assert_eq!(kv.injected_total(), 0);
+    }
+
+    #[test]
+    fn nth_trigger_fires_once_then_recovers() {
+        let plan = FaultPlan::quiet().with_store_rule(StoreRule {
+            op: None,
+            key_prefix: Vec::new(),
+            when: Trigger::Nth(1),
+            fault: StoreFault::Error,
+        });
+        let kv = FaultyKv::new(MemKv::new(), plan);
+        kv.put(b"a", b"1").unwrap(); // op 0
+        assert!(kv.put(b"b", b"2").is_err()); // op 1: injected
+        kv.put(b"b", b"2").unwrap(); // op 2: fine again
+        assert_eq!(kv.get(b"b").unwrap().as_deref(), Some(&b"2"[..]));
+    }
+
+    #[test]
+    fn torn_write_leaves_strict_prefix_and_no_ack() {
+        let plan = FaultPlan::quiet().with_store_rule(StoreRule {
+            op: Some(OpKind::Put),
+            key_prefix: b"t/".to_vec(),
+            when: Trigger::Nth(0),
+            fault: StoreFault::TornWrite,
+        });
+        let kv = FaultyKv::new(MemKv::new(), plan);
+        let value = vec![7u8; 64];
+        assert!(kv.put(b"t/x", &value).is_err());
+        let torn = kv.inner().get(b"t/x").unwrap().unwrap_or_default();
+        assert!(torn.len() < value.len(), "torn write kept the full value");
+        assert!(value.starts_with(&torn));
+    }
+
+    #[test]
+    fn set_plan_swaps_at_runtime() {
+        let kv = FaultyKv::new(MemKv::new(), plan_every_put_errors());
+        assert!(kv.put(b"k", b"v").is_err());
+        kv.set_plan(FaultPlan::quiet());
+        kv.put(b"k", b"v").unwrap();
+    }
+}

@@ -84,12 +84,6 @@ pub enum IndexError {
     /// [`AggTree::decay`]: the node is legitimately gone, and the region
     /// is only answerable at coarser granularity.
     Decayed { level: u8, index: u64 },
-    /// A previous [`AggTree::append`] of this chunk was interrupted by a
-    /// storage failure after some node writes: blindly retrying would
-    /// double-count the digest in the already-written nodes, so the
-    /// append is refused and the stream's index needs a rebuild from the
-    /// persisted chunks/ledger.
-    TornAppend { chunk: u64 },
     /// Query over a range the stream hasn't reached / empty range.
     BadRange { start: u64, end: u64, len: u64 },
 }
@@ -106,14 +100,6 @@ impl std::fmt::Display for IndexError {
                     f,
                     "index node at level {level} index {index} was aged out by decay; \
                      only coarser aggregates remain for this region"
-                )
-            }
-            IndexError::TornAppend { chunk } => {
-                write!(
-                    f,
-                    "append of chunk {chunk} was previously interrupted mid-write; \
-                     refusing to retry (it would double-count the digest) — rebuild \
-                     the index for this stream"
                 )
             }
             IndexError::BadRange { start, end, len } => {
@@ -372,10 +358,18 @@ impl<D: HomDigest> AggTree<D> {
     /// operations in the same order, only the persistence is coalesced.
     /// `len` is published once, after every flush write — readers observe
     /// either the pre-batch or the post-batch length, never a torn middle,
-    /// by the same Release/Acquire argument as single appends. A store
-    /// failure mid-flush leaves `len` unpublished and surfaces
-    /// [`IndexError::TornAppend`] on retry, the same contract as an
-    /// interrupted single append.
+    /// by the same Release/Acquire argument as single appends.
+    ///
+    /// # Torn flushes self-heal
+    ///
+    /// A store failure mid-flush leaves `len` unpublished but may leave
+    /// node writes behind (a *torn* flush). Appends are idempotent over
+    /// that state: any entry at or beyond the appended chunk's slot
+    /// describes unpublished history and is truncated, and every ancestor
+    /// slot is *recomputed* as the total of its (corrected) child node
+    /// rather than accumulated incrementally — so a retry after a crash or
+    /// storage error can never double-count, and a stream never wedges on
+    /// a failed append (it retries until the flush finally lands).
     pub fn append_batch(&self, digests: &[D]) -> Result<(), IndexError> {
         if digests.is_empty() {
             return Ok(());
@@ -416,42 +410,47 @@ impl<D: HomDigest> AggTree<D> {
                         });
                     vacant.insert(loaded);
                 }
+                // Entries at or beyond this chunk's slot describe history
+                // past the published `len`: slots left behind by a torn
+                // flush (the leaf was written but `len` never advanced), or
+                // — at ancestors — the partial aggregate this pass is about
+                // to recompute anyway. Dropping them makes the append
+                // idempotent over any interrupted predecessor instead of
+                // double-counting its leftovers.
+                // lint: allow(panic-freedom) — `key` was inserted by the Entry::Vacant arm above; nothing removes from `dirty` in between
+                dirty
+                    .get_mut(&key)
+                    .expect("inserted above")
+                    .entries
+                    .truncate(slot);
                 let filled = dirty[&key].entries.len();
-                if slot < filled {
-                    // At the leaf level a fresh append always lands in a
-                    // new slot (chunks fill a node left to right, and `len`
-                    // only advances after all node writes). An
-                    // already-filled slot therefore means a previous append
-                    // of this very chunk stored the leaf node and then
-                    // failed higher up; adding again would silently
-                    // double-count, so fail loudly. Only the run's first
-                    // digest can hit this — later digests extend slots the
-                    // overlay itself grew. Nothing has been flushed yet, so
-                    // the refusal leaves the store untouched.
-                    if level == 1 {
-                        return Err(IndexError::TornAppend { chunk: i });
-                    }
-                    // lint: allow(panic-freedom) — `key` was inserted by the Entry::Vacant arm at the top of this iteration; nothing removes from `dirty` in between
-                    dirty.get_mut(&key).expect("inserted above").entries[slot].add_assign(digest);
-                } else {
-                    // When the tree grows a new top level, the fresh node
-                    // must first absorb the aggregates of the already-
-                    // completed child subtrees to its left (they were roots
-                    // until now). Those children may themselves be dirty
-                    // from this very run, so totals consult the overlay.
-                    let mut backfill = Vec::with_capacity(slot - filled);
-                    for c in filled..slot {
-                        backfill.push(self.node_total_overlay(
-                            &dirty,
-                            level - 1,
-                            node_index * k + c as u64,
-                        )?);
-                    }
-                    // lint: allow(panic-freedom) — same invariant as above: inserted this iteration, and `node_total_overlay` only reads `dirty`
-                    let node = dirty.get_mut(&key).expect("inserted above");
-                    node.entries.extend(backfill);
-                    node.entries.push(digest.clone());
+                // When the tree grows a new top level, the fresh node
+                // must first absorb the aggregates of the already-
+                // completed child subtrees to its left (they were roots
+                // until now). Those children may themselves be dirty
+                // from this very run, so totals consult the overlay.
+                let mut backfill = Vec::with_capacity(slot - filled);
+                for c in filled..slot {
+                    backfill.push(self.node_total_overlay(
+                        &dirty,
+                        level - 1,
+                        node_index * k + c as u64,
+                    )?);
                 }
+                // A leaf slot holds the chunk digest itself; an ancestor
+                // slot is, by definition, the total of its child subtree —
+                // recomputed from the overlay child (corrected by the
+                // previous ripple step) rather than accumulated in place,
+                // so stale flushed aggregates can never double-count.
+                let value = if level == 1 {
+                    digest.clone()
+                } else {
+                    self.node_total_overlay(&dirty, level - 1, child_index)?
+                };
+                // lint: allow(panic-freedom) — same invariant as above: inserted this iteration, and `node_total_overlay` only reads `dirty`
+                let node = dirty.get_mut(&key).expect("inserted above");
+                node.entries.extend(backfill);
+                node.entries.push(value);
                 // Continue while there is (or will be) a higher level: stop
                 // when this node is the lone root-level node and covers
                 // everything.
@@ -973,14 +972,14 @@ mod tests {
     }
 
     #[test]
-    fn interrupted_append_refuses_retry_instead_of_double_counting() {
+    fn interrupted_append_self_heals_on_retry_without_double_counting() {
         // Arity 4: appends 0..=3 cost 2 puts each (leaf node + meta).
         // Append of chunk 4 puts the level-1 node (put #9), then fails on
         // the level-2 node (put #10) — a torn append: leaf written, len
         // not advanced.
         let kv = Arc::new(FailNthPut::new(10));
         let t: AggTree<Vec<u64>> = AggTree::open(
-            kv,
+            kv.clone(),
             1,
             TreeConfig {
                 arity: 4,
@@ -995,14 +994,31 @@ mod tests {
             other => panic!("expected injected store failure, got {other:?}"),
         }
         assert_eq!(t.len(), 4, "torn append must not publish a new length");
-        // The naive retry must fail loudly instead of silently adding the
-        // digest a second time into the already-written leaf node.
-        match t.append(vec![4, 1]) {
-            Err(IndexError::TornAppend { chunk: 4 }) => {}
-            other => panic!("expected TornAppend, got {other:?}"),
-        }
         // The committed prefix stays exact and queryable.
         assert_eq!(t.query(0, 4).unwrap(), naive_sum(0, 4));
+        // The retry must absorb the torn leftovers (the already-written
+        // leaf slot) instead of double-counting them or wedging.
+        t.append(vec![4, 1]).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.query(0, 5).unwrap(), naive_sum(0, 5));
+        // And the healed store is byte-identical to one that never failed.
+        let clean_kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let clean: AggTree<Vec<u64>> = AggTree::open(
+            clean_kv.clone(),
+            1,
+            TreeConfig {
+                arity: 4,
+                cache_bytes: 1 << 20,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        fill(&clean, 5);
+        assert_eq!(
+            dump(kv.as_ref()),
+            dump(clean_kv.as_ref()),
+            "healed store diverges from a clean history"
+        );
     }
 
     #[test]
@@ -1194,11 +1210,11 @@ mod tests {
     }
 
     #[test]
-    fn append_batch_refuses_torn_state_without_writing() {
+    fn append_batch_self_heals_torn_state() {
         // Same torn-state setup as the single-append test: chunk 4's first
         // append died after the leaf write. A later *batch* starting at
-        // chunk 4 must refuse with TornAppend and leave the store exactly
-        // as it found it.
+        // chunk 4 must absorb the stale leaf slot and land both chunks
+        // exactly once, converging on the same bytes as a clean history.
         let kv = Arc::new(FailNthPut::new(10));
         let t: AggTree<Vec<u64>> = AggTree::open(
             kv.clone(),
@@ -1212,13 +1228,27 @@ mod tests {
         .unwrap();
         fill(&t, 4);
         assert!(t.append(vec![4, 1]).is_err());
-        let before = dump(kv.as_ref());
-        match t.append_batch(&[vec![4, 1], vec![5, 1]]) {
-            Err(IndexError::TornAppend { chunk: 4 }) => {}
-            other => panic!("expected TornAppend, got {other:?}"),
-        }
         assert_eq!(t.len(), 4);
-        assert_eq!(dump(kv.as_ref()), before, "refusal must not write");
+        t.append_batch(&[vec![4, 1], vec![5, 1]]).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.query(0, 6).unwrap(), naive_sum(0, 6));
+        let clean_kv: Arc<dyn KvStore> = Arc::new(MemKv::new());
+        let clean: AggTree<Vec<u64>> = AggTree::open(
+            clean_kv.clone(),
+            1,
+            TreeConfig {
+                arity: 4,
+                cache_bytes: 1 << 20,
+                ..TreeConfig::default()
+            },
+        )
+        .unwrap();
+        fill(&clean, 6);
+        assert_eq!(
+            dump(kv.as_ref()),
+            dump(clean_kv.as_ref()),
+            "healed store diverges from a clean history"
+        );
     }
 
     #[test]

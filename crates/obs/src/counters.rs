@@ -1,0 +1,54 @@
+//! Process-global robustness counters.
+//!
+//! Two events cut across crate boundaries and matter to operators chasing
+//! a durability or availability incident: **I/O deadline expiries** (the
+//! wire layer gave up on a peer — feeds the strike → promotion machinery)
+//! and **fsync batches** (the log made a group of acked writes power-loss
+//! durable). Both are recorded here as process-wide atomics so the store
+//! and wire crates can bump them without a metrics registry dependency,
+//! and the `/metrics` exposition renders them as
+//! `timecrypt_timeouts_total` / `timecrypt_fsyncs_total`.
+//!
+//! Like `timecrypt_uptime_seconds`, these are per-process: a node reports
+//! its own fsyncs, a coordinator its own timeouts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TIMEOUTS: AtomicU64 = AtomicU64::new(0);
+static FSYNCS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one I/O deadline expiry (socket read/write timed out).
+pub fn timeout_recorded() {
+    TIMEOUTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total I/O deadline expiries observed by this process.
+pub fn timeouts_total() -> u64 {
+    TIMEOUTS.load(Ordering::Relaxed)
+}
+
+/// Records one fsync system call issued by the crash-safe log.
+pub fn fsync_recorded() {
+    FSYNCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total fsyncs issued by this process.
+pub fn fsyncs_total() -> u64 {
+    FSYNCS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotonic() {
+        let t0 = timeouts_total();
+        let f0 = fsyncs_total();
+        timeout_recorded();
+        fsync_recorded();
+        fsync_recorded();
+        assert!(timeouts_total() > t0);
+        assert!(fsyncs_total() >= f0 + 2);
+    }
+}

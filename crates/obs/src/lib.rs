@@ -43,6 +43,7 @@
 //! assert!(total >= stages[0].total());
 //! ```
 
+pub mod counters;
 pub mod http;
 pub mod log;
 pub mod prom;

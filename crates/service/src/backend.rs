@@ -48,6 +48,16 @@ pub(crate) type Leg = [(usize, u128)];
 
 const UNREACHABLE: ServerError = ServerError::Unavailable("shard node unreachable");
 
+/// The verdict for a mutation whose exchange failed at the transport
+/// level *after* it may have reached the primary (a timeout or severed
+/// connection mid-exchange): the write's fate is unknown, so the service
+/// must not blindly retry it — the peer may have applied it, and a
+/// duplicate would be acknowledged-then-rejected downstream. Callers
+/// that want at-least-once semantics re-submit explicitly and treat the
+/// engine's strict next-index rejection as "already applied".
+pub(crate) const AMBIGUOUS: ServerError =
+    ServerError::Unavailable("mutation outcome unknown: shard unreachable mid-exchange");
+
 /// Where a shard (or its backup replica) runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackendSpec {
@@ -1076,12 +1086,20 @@ impl ShardReplicas {
             if req.is_mutation() {
                 let resp = match primary.call(req.clone()) {
                     Ok(resp) => resp,
-                    Err(e) => {
+                    Err(_) => {
+                        // Retrying against a *promoted* backup is safe: the
+                        // mirror only runs after the primary acknowledged
+                        // client-side, so a write whose ack was lost never
+                        // reached the backup — and strict next-index ingest
+                        // rejects any duplicate that somehow did.
                         if self.note_primary_failure(&primary) && !retried {
                             retried = true;
                             continue;
                         }
-                        return Response::Error(e.to_string());
+                        // No safe retry target: surface the ambiguity
+                        // instead of the generic transport error, so
+                        // callers know the write may have been applied.
+                        return Response::Error(AMBIGUOUS.to_string());
                     }
                 };
                 self.note_primary_ok();
@@ -1183,6 +1201,9 @@ impl ShardReplicas {
                     results
                 }
                 Err(_) => {
+                    // The promoted-backup retry is safe (see
+                    // `call_replicated`): the backup never holds a write
+                    // the primary did not acknowledge first.
                     if self.note_primary_failure(&primary) && !retried {
                         retried = true;
                         continue;
@@ -1190,7 +1211,10 @@ impl ShardReplicas {
                     let m = self.m();
                     m.ingest_errors
                         .fetch_add(chunks.len() as u64, Ordering::Relaxed);
-                    return chunks.iter().map(|_| Err(UNREACHABLE)).collect();
+                    // Per-chunk ambiguous verdicts: the batch may have been
+                    // applied (in full or in prefix) before the transport
+                    // failed — callers must not blindly re-submit.
+                    return chunks.iter().map(|_| Err(AMBIGUOUS)).collect();
                 }
             };
             if let Some(b) = self.mirror_target() {
@@ -1536,7 +1560,7 @@ fn stream_len(backend: &dyn ShardBackend, stream: u128) -> Option<u64> {
 
 /// `ServerError` is not `Clone` (it can carry an `io::Error`); transport
 /// failures are always the static `Unavailable` case, which is.
-fn clone_unavailable(e: &ServerError) -> ServerError {
+pub(crate) fn clone_unavailable(e: &ServerError) -> ServerError {
     match e {
         ServerError::Unavailable(what) => ServerError::Unavailable(what),
         _ => UNREACHABLE,

@@ -9,9 +9,11 @@
 //! ```text
 //! timecrypt-node --listen 127.0.0.1:7070 --shards 4 --host 0,2
 //!     [--store /var/lib/timecrypt/node-a.log]   # persistent LogKv (default: in-memory)
+//!     [--durability fsync|flush|buffered]        # LogKv commit level (default: fsync)
 //!     [--arity 64] [--cache-bytes 67108864]     # engine tuning
 //!     [--max-resident 1024]                      # bound hydrated streams (default: unbounded)
 //!     [--metrics-addr 127.0.0.1:9090]           # Prometheus /metrics + /events
+//!     [--idle-timeout-ms 300000]                 # reap silent connections (default: 5 min; 0 = never)
 //! ```
 //!
 //! Logging goes through the structured logger (`timecrypt-obs`): set
@@ -33,25 +35,28 @@ use std::sync::Arc;
 use timecrypt_obs::{tc_error, tc_info};
 use timecrypt_server::ServerConfig;
 use timecrypt_service::{NodeConfig, ShardNode};
+use timecrypt_store::log::Durability;
 use timecrypt_store::{KvStore, LogKv, MemKv};
-use timecrypt_wire::transport::Server;
+use timecrypt_wire::transport::{ServeOptions, Server};
 
 struct Args {
     listen: String,
     shards: usize,
     host: Vec<usize>,
     store: Option<String>,
+    durability: Durability,
     arity: usize,
     cache_bytes: usize,
     max_resident: Option<usize>,
     metrics_addr: Option<String>,
+    idle_timeout_ms: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: timecrypt-node --listen HOST:PORT --shards TOTAL --host ID[,ID...] \
-         [--store PATH] [--arity N] [--cache-bytes N] [--max-resident N] \
-         [--metrics-addr HOST:PORT]"
+         [--store PATH] [--durability fsync|flush|buffered] [--arity N] [--cache-bytes N] \
+         [--max-resident N] [--metrics-addr HOST:PORT] [--idle-timeout-ms N]"
     );
     std::process::exit(2);
 }
@@ -63,10 +68,14 @@ fn parse_args() -> Args {
         shards: 0,
         host: Vec::new(),
         store: None,
+        // A node is the durable tier of a cluster: acknowledged writes
+        // must survive kill -9, so the strongest level is the default.
+        durability: Durability::Fsync,
         arity: defaults.arity,
         cache_bytes: defaults.cache_bytes,
         max_resident: defaults.max_resident_streams,
         metrics_addr: None,
+        idle_timeout_ms: 300_000,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,6 +97,17 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--store" => args.store = Some(value("--store")),
+            "--durability" => {
+                args.durability = match value("--durability").as_str() {
+                    "fsync" => Durability::Fsync,
+                    "flush" => Durability::Flush,
+                    "buffered" => Durability::Buffered,
+                    other => {
+                        eprintln!("unknown durability level: {other}");
+                        usage();
+                    }
+                };
+            }
             "--arity" => args.arity = value("--arity").parse().unwrap_or_else(|_| usage()),
             "--cache-bytes" => {
                 args.cache_bytes = value("--cache-bytes").parse().unwrap_or_else(|_| usage());
@@ -97,6 +117,11 @@ fn parse_args() -> Args {
                     Some(value("--max-resident").parse().unwrap_or_else(|_| usage()));
             }
             "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms = value("--idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -116,9 +141,9 @@ fn main() {
     timecrypt_obs::log::install_panic_hook();
     let args = parse_args();
     let kv: Arc<dyn KvStore> = match &args.store {
-        Some(path) => match LogKv::open(path) {
+        Some(path) => match LogKv::open_with(path, args.durability) {
             Ok(kv) => {
-                tc_info!("node", "store: log at {path}");
+                tc_info!("node", "store: log at {path} ({:?})", args.durability);
                 Arc::new(kv)
             }
             Err(e) => {
@@ -174,7 +199,11 @@ fn main() {
                 std::process::exit(1);
             }
         });
-    let server = match Server::bind(&args.listen, node) {
+    let opts = ServeOptions {
+        idle_timeout: (args.idle_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(args.idle_timeout_ms)),
+    };
+    let server = match Server::bind_with(&args.listen, node, opts) {
         Ok(s) => s,
         Err(e) => {
             tc_error!("node", "cannot bind {}: {e}", args.listen);

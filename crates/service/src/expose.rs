@@ -273,6 +273,28 @@ pub fn render_stats(stats: &ServiceStatsWire) -> String {
         &[],
         timecrypt_obs::log::dropped_events() as f64,
     );
+    // Process-local robustness counters (like uptime/rss, these describe
+    // this process, not the cluster — each node exposes its own).
+    page.header(
+        "timecrypt_timeouts_total",
+        "I/O deadlines expired (socket timeouts and query-budget hits).",
+        "counter",
+    );
+    page.sample(
+        "timecrypt_timeouts_total",
+        &[],
+        timecrypt_obs::counters::timeouts_total() as f64,
+    );
+    page.header(
+        "timecrypt_fsyncs_total",
+        "fsync/fdatasync calls issued by Fsync-durability stores.",
+        "counter",
+    );
+    page.sample(
+        "timecrypt_fsyncs_total",
+        &[],
+        timecrypt_obs::counters::fsyncs_total() as f64,
+    );
 
     page.finish()
 }
@@ -344,6 +366,8 @@ mod tests {
             "timecrypt_uptime_seconds",
             "timecrypt_resident_memory_bytes",
             "timecrypt_obs_dropped_events_total",
+            "timecrypt_timeouts_total",
+            "timecrypt_fsyncs_total",
         ] {
             assert!(
                 text.contains(&format!("# TYPE {name}")),

@@ -1,7 +1,8 @@
 //! The sharded service: router + shard backends + ingest workers + metrics.
 
 use crate::backend::{
-    BackendSpec, LocalShard, RemoteShard, ShardBackend, ShardReplicas, ShardSpec, StreamStatResult,
+    clone_unavailable, BackendSpec, LocalShard, RemoteShard, ShardBackend, ShardReplicas,
+    ShardSpec, StreamStatResult,
 };
 use crate::fanout::{ReaderPool, ShardPool};
 use crate::ingest::{IngestWorker, Job};
@@ -48,6 +49,14 @@ pub struct ServiceConfig {
     /// promotion — failover reads still work, writes fail until the
     /// topology is re-pointed by hand.
     pub promote_after: u32,
+    /// End-to-end deadline for one scatter-gather statistical query.
+    /// Individual legs are already bounded by [`PoolConfig::io_timeout`]
+    /// per socket operation, but a leg of many pipelined sub-queries can
+    /// legally take `sub-queries × io_timeout`; this budget caps the
+    /// *whole* query. Legs that miss the deadline report per-position
+    /// `Unavailable("query deadline exceeded")` to the merge fold instead
+    /// of stalling the caller. `None` disables the budget.
+    pub query_deadline: Option<std::time::Duration>,
     /// Mint a root trace context for requests that arrive without one
     /// (library calls, untraced wire requests), so every scatter-gather
     /// leg and mirror write of one request shares one trace id across
@@ -70,6 +79,7 @@ impl Default for ServiceConfig {
             queue_depth: 1024,
             query_readers: 4,
             promote_after: 3,
+            query_deadline: Some(std::time::Duration::from_secs(30)),
             tracing: false,
             engine: ServerConfig::default(),
         }
@@ -106,6 +116,9 @@ pub struct ShardedService {
     /// Any shard (primary or backup) placed on a remote node — gates the
     /// parallel stats probe.
     has_remote: bool,
+    /// End-to-end budget for one scatter-gather query (see
+    /// [`ServiceConfig::query_deadline`]).
+    query_deadline: Option<std::time::Duration>,
     /// Mint root trace contexts for otherwise-untraced requests.
     tracing: bool,
     /// Pool tuning, retained for replicas attached after open.
@@ -200,6 +213,7 @@ impl ShardedService {
             metrics,
             kv,
             has_remote,
+            query_deadline: cfg.query_deadline,
             tracing: cfg.tracing,
             pool_cfg: cfg.pool,
             shutdown: Arc::new(std::sync::atomic::AtomicBool::new(false)),
@@ -373,6 +387,9 @@ impl ShardedService {
     ) -> Result<StatReply, ServerError> {
         let _trace = self.trace_root();
         let ctx = trace::current();
+        // The whole-query budget starts before any leg is dispatched, so
+        // the inline leg's duration counts against it too.
+        let deadline = self.query_deadline.map(|d| std::time::Instant::now() + d);
         let route = trace::stage("route");
         // Partition `(position, stream)` pairs by owning shard.
         let mut by_shard: Vec<Vec<(usize, u128)>> = vec![Vec::new(); self.router.shards()];
@@ -426,21 +443,48 @@ impl ShardedService {
                 results[pos] = Some(r);
             }
         }
+        let mut deadline_hit = false;
         for _ in 0..remote_legs {
             // A closed channel means a leg was lost (worker torn down
             // mid-query); the affected positions fall through to the
             // Unavailable default below rather than stranding the caller.
-            let Ok(leg) = reply_rx.recv() else { break };
+            // The deadline is the end-to-end backstop: a leg whose socket
+            // timeouts somehow never fire (many pipelined sub-queries,
+            // each individually under the per-op budget) must not stall
+            // the caller past the whole-query budget.
+            let leg = match deadline {
+                None => match reply_rx.recv() {
+                    Ok(leg) => leg,
+                    Err(_) => break,
+                },
+                Some(dl) => {
+                    let left = dl.saturating_duration_since(std::time::Instant::now());
+                    match reply_rx.recv_timeout(left) {
+                        Ok(leg) => leg,
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                            timecrypt_obs::counters::timeout_recorded();
+                            deadline_hit = true;
+                            break;
+                        }
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
             for (pos, r) in leg {
                 results[pos] = Some(r);
             }
         }
-        merge_stream_stats(streams.iter().zip(results).map(|(&sid, r)| {
-            (
-                sid,
-                r.unwrap_or(Err(ServerError::Unavailable("query leg lost"))),
-            )
-        }))
+        let lost: ServerError = if deadline_hit {
+            ServerError::Unavailable("query deadline exceeded")
+        } else {
+            ServerError::Unavailable("query leg lost")
+        };
+        merge_stream_stats(
+            streams
+                .iter()
+                .zip(results)
+                .map(|(&sid, r)| (sid, r.unwrap_or(Err(clone_unavailable(&lost))))),
+        )
     }
 
     /// Wire metrics snapshot (per-shard counters + storage traffic).

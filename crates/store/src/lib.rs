@@ -23,7 +23,7 @@ pub mod mem;
 pub mod metered;
 
 pub use latency::LatencyKv;
-pub use log::LogKv;
+pub use log::{Durability, LogKv};
 pub use mem::MemKv;
 pub use metered::{MeteredKv, StoreCounters};
 
@@ -36,6 +36,16 @@ pub enum StoreError {
     Io(std::io::Error),
     /// Log file corrupt at recovery.
     Corrupt(&'static str),
+    /// Log file corrupt at recovery, with the byte offset of the damage.
+    /// Distinct from a torn tail (which is truncated and warned about):
+    /// this means valid data *follows* the damage, so resuming would
+    /// silently drop history.
+    CorruptAt {
+        /// What failed to validate.
+        what: &'static str,
+        /// Byte offset of the first invalid record.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -43,6 +53,9 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
             StoreError::Corrupt(m) => write!(f, "storage log corrupt: {m}"),
+            StoreError::CorruptAt { what, offset } => {
+                write!(f, "storage log corrupt at byte {offset}: {what}")
+            }
         }
     }
 }
@@ -67,6 +80,23 @@ pub trait KvStore: Send + Sync {
     /// Returns all `(key, value)` pairs whose key starts with `prefix`,
     /// in unspecified order.
     fn scan_prefix(&self, prefix: &[u8]) -> Result<KvPairs, StoreError>;
+}
+
+/// Shared handles delegate, so decorators can wrap an `Arc<dyn KvStore>`
+/// (e.g. the fault-injection layer) without a newtype at every call site.
+impl<S: KvStore + ?Sized> KvStore for Arc<S> {
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        (**self).get(key)
+    }
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        (**self).put(key, value)
+    }
+    fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        (**self).delete(key)
+    }
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<KvPairs, StoreError> {
+        (**self).scan_prefix(prefix)
+    }
 }
 
 /// Owned `(key, value)` pairs, as returned by [`KvStore::scan_prefix`].

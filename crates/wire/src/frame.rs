@@ -31,6 +31,20 @@ impl std::fmt::Display for FrameError {
     }
 }
 
+impl FrameError {
+    /// True when this error is a socket deadline expiry (`SO_RCVTIMEO` /
+    /// `SO_SNDTIMEO` fired), as opposed to a dead or misbehaving peer.
+    /// Timeouts are the signal the failover machinery treats as "peer
+    /// unavailable": a hung-but-alive node must look like a dead one.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
 impl std::error::Error for FrameError {}
 
 impl From<io::Error> for FrameError {

@@ -30,6 +30,12 @@ pub struct PoolConfig {
     pub connect_attempts: u32,
     /// Backoff before the second dial attempt; doubles per attempt.
     pub backoff: Duration,
+    /// Per-operation socket deadline armed on every checked-out
+    /// connection. A send or receive that stalls this long fails with a
+    /// timeout ([`FrameError::is_timeout`](crate::frame::FrameError::is_timeout))
+    /// instead of hanging the calling thread; the connection is then
+    /// discarded. `None` waits forever (the pre-deadline behaviour).
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for PoolConfig {
@@ -38,6 +44,7 @@ impl Default for PoolConfig {
             max_idle: 4,
             connect_attempts: 4,
             backoff: Duration::from_millis(2),
+            io_timeout: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -67,14 +74,14 @@ impl ClientPool {
     /// Dials the endpoint, backing off exponentially between attempts.
     fn connect(&self) -> Result<Client, ClientError> {
         let mut backoff = self.cfg.backoff;
-        let mut last_err = match Client::connect(&self.addr) {
+        let mut last_err = match Client::connect_with(&self.addr, self.cfg.io_timeout) {
             Ok(c) => return Ok(c),
             Err(e) => e,
         };
         for _ in 1..self.cfg.connect_attempts.max(1) {
             std::thread::sleep(backoff);
             backoff = backoff.saturating_mul(2);
-            match Client::connect(&self.addr) {
+            match Client::connect_with(&self.addr, self.cfg.io_timeout) {
                 Ok(c) => return Ok(c),
                 Err(e) => last_err = e,
             }
@@ -94,10 +101,18 @@ impl ClientPool {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .pop();
-        let client = match pooled {
+        let mut client = match pooled {
             Some(c) => c,
             None => self.connect()?,
         };
+        // Re-arm the configured deadline on every checkout. A caller may
+        // have tightened this connection's deadline to its remaining
+        // budget before returning it; the next request must start from
+        // the full per-operation allowance, not inherit that stale,
+        // nearly-expired remainder.
+        if client.set_io_timeout(self.cfg.io_timeout).is_err() {
+            client = self.connect()?;
+        }
         Ok(PooledConn {
             pool: self,
             client: Some(client),
@@ -320,6 +335,63 @@ mod tests {
             Err(ClientError::Frame(_)) => {}
             other => panic!("expected transport error, got {other:?}"),
         }
+    }
+
+    /// A server whose handler stalls `delay` before every reply.
+    fn slow_server(delay: Duration) -> Server {
+        Server::bind(
+            "127.0.0.1:0",
+            Arc::new(move |req: Request| {
+                std::thread::sleep(delay);
+                match req {
+                    Request::Ping => Response::Pong,
+                    _ => Response::Error("unhandled".into()),
+                }
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn io_timeout_fails_fast_against_hung_peer() {
+        let server = slow_server(Duration::from_millis(400));
+        let pool = ClientPool::new(
+            server.addr().to_string(),
+            PoolConfig {
+                io_timeout: Some(Duration::from_millis(30)),
+                ..PoolConfig::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        // Ping is non-mutating, so the pool retries once on a fresh
+        // connection — which also times out. Two timeouts, then the error
+        // surfaces; well under the 400 ms the handler would make us wait.
+        match pool.call(&Request::Ping) {
+            Err(ClientError::Frame(e)) => assert!(e.is_timeout(), "got {e:?}"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_millis(350));
+        // Timed-out connections must not be returned to the pool: their
+        // reply is still in flight and would answer the wrong request.
+        assert_eq!(pool.idle.lock().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn checkout_rearms_full_deadline_on_pooled_connections() {
+        let server = slow_server(Duration::from_millis(60));
+        let pool = ClientPool::new(server.addr().to_string(), PoolConfig::default());
+        // Simulate a caller that tightened the connection's deadline to
+        // its (nearly spent) remaining budget before returning it.
+        {
+            let mut conn = pool.get().unwrap();
+            conn.client()
+                .set_io_timeout(Some(Duration::from_millis(1)))
+                .unwrap();
+        }
+        assert_eq!(pool.idle.lock().unwrap().len(), 1);
+        // The next checkout must start from the configured 5 s allowance,
+        // not the leftover 1 ms — the 60 ms reply then arrives in time.
+        assert_eq!(pool.call(&Request::Ping).unwrap(), Response::Pong);
     }
 
     #[test]

@@ -101,10 +101,29 @@ pub struct Server {
     conns: Arc<std::sync::Mutex<Vec<std::sync::Weak<TcpStream>>>>,
 }
 
+/// Server-side connection policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeOptions {
+    /// Close a connection that has not delivered a complete frame for
+    /// this long. Protects a node from leaked half-open connections
+    /// pinning threads forever; pooled clients redial transparently.
+    /// `None` (the default) keeps the historical wait-forever behaviour.
+    pub idle_timeout: Option<Duration>,
+}
+
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts
     /// accepting connections, dispatching to `handler`.
     pub fn bind<A: ToSocketAddrs>(addr: A, handler: Arc<dyn Handler>) -> io::Result<Server> {
+        Self::bind_with(addr, handler, ServeOptions::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit connection policy.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        handler: Arc<dyn Handler>,
+        opts: ServeOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -131,7 +150,7 @@ impl Server {
                             conns.push(Arc::downgrade(&stream));
                         }
                         std::thread::spawn(move || {
-                            let _ = serve_connection(&stream, handler);
+                            let _ = serve_connection(&stream, handler, opts);
                         });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -242,8 +261,17 @@ pub fn handle_frame_traced(handler: &dyn Handler, body: &[u8]) -> Response {
     resp
 }
 
-fn serve_connection(stream: &TcpStream, handler: Arc<dyn Handler>) -> Result<(), FrameError> {
+fn serve_connection(
+    stream: &TcpStream,
+    handler: Arc<dyn Handler>,
+    opts: ServeOptions,
+) -> Result<(), FrameError> {
     stream.set_nodelay(true).ok();
+    if let Some(idle) = opts.idle_timeout {
+        stream
+            .set_read_timeout(Some(idle.max(Duration::from_millis(1))))
+            .ok();
+    }
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream.try_clone()?);
     // Per-connection reply scratch: every response on this connection is
@@ -254,6 +282,13 @@ fn serve_connection(stream: &TcpStream, handler: Arc<dyn Handler>) -> Result<(),
         let body = match read_frame(&mut reader) {
             Ok(b) => b,
             Err(FrameError::Closed) => return Ok(()),
+            Err(e) if e.is_timeout() => {
+                // Idle (or mid-frame stalled) past the deadline: close.
+                // The client side redials; a stalled sender was never
+                // going to complete this frame anyway.
+                timecrypt_obs::counters::timeout_recorded();
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
         let resp = handle_frame_traced(&*handler, &body);
@@ -322,6 +357,34 @@ impl Client {
         })
     }
 
+    /// Connects with a per-operation I/O deadline already armed
+    /// (see [`set_io_timeout`](Self::set_io_timeout)).
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        io_timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let mut client = Self::connect(addr)?;
+        client.set_io_timeout(io_timeout)?;
+        Ok(client)
+    }
+
+    /// Arms (`Some`) or disarms (`None`) the socket read/write deadline
+    /// for subsequent sends and receives. An expired deadline surfaces as
+    /// a [`ClientError::Frame`] whose inner error answers true to
+    /// [`FrameError::is_timeout`]; the connection is then mid-stream and
+    /// must be discarded, not reused. Zero is clamped to 1 ms because the
+    /// OS interprets a zero timeout as "block forever".
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        let t = timeout.map(|d| d.max(Duration::from_millis(1)));
+        // `reader` and `writer` hold dup'd fds of one socket; SO_RCVTIMEO /
+        // SO_SNDTIMEO live on the shared file description, so arming via
+        // either handle covers both directions of the connection.
+        let sock = self.writer.get_ref();
+        sock.set_read_timeout(t)?;
+        sock.set_write_timeout(t)?;
+        Ok(())
+    }
+
     /// Sends one request and waits for its response. An app-level
     /// [`Response::Error`] is surfaced as [`ClientError::Server`].
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
@@ -369,6 +432,11 @@ impl Client {
         let result = write_frame(&mut self.writer, &body);
         bound_scratch(&mut body);
         self.scratch = body;
+        if let Err(e) = &result {
+            if e.is_timeout() {
+                timecrypt_obs::counters::timeout_recorded();
+            }
+        }
         Ok(result?)
     }
 
@@ -377,7 +445,11 @@ impl Client {
     /// as a *value* — a pipelined caller must keep draining the remaining
     /// responses even when one request failed.
     pub fn recv(&mut self) -> Result<Response, ClientError> {
-        let body = read_frame(&mut self.reader)?;
+        let body = read_frame(&mut self.reader).inspect_err(|e| {
+            if e.is_timeout() {
+                timecrypt_obs::counters::timeout_recorded();
+            }
+        })?;
         Ok(Response::decode(&body).map_err(FrameError::Wire)?)
     }
 }
@@ -475,6 +547,64 @@ mod tests {
             .call(&Request::Insert { chunk: big.clone() })
             .unwrap();
         assert_eq!(resp, Response::Chunks(vec![big]));
+    }
+
+    /// A listener that accepts connections and reads nothing — from the
+    /// client's perspective the peer is alive but permanently silent.
+    fn silent_server() -> (std::net::TcpListener, SocketAddr) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        (listener, addr)
+    }
+
+    #[test]
+    fn recv_times_out_against_silent_peer() {
+        let (listener, addr) = silent_server();
+        let hold = std::thread::spawn(move || listener.accept());
+        let mut client = Client::connect_with(addr, Some(Duration::from_millis(30))).unwrap();
+        client.send(&Request::Ping).unwrap();
+        let start = std::time::Instant::now();
+        match client.recv() {
+            Err(ClientError::Frame(e)) => assert!(e.is_timeout(), "got {e:?}"),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        // SO_RCVTIMEO must fire near the deadline, not hang.
+        assert!(start.elapsed() < Duration::from_secs(5));
+        drop(hold);
+    }
+
+    #[test]
+    fn zero_timeout_is_clamped_not_rejected() {
+        let server = echo_server();
+        let mut client = Client::connect(server.addr()).unwrap();
+        // Duration::ZERO means "no timeout" to the OS and is an error to
+        // pass through; the clamp turns it into the shortest real deadline.
+        client.set_io_timeout(Some(Duration::ZERO)).unwrap();
+        client.set_io_timeout(None).unwrap();
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn server_idle_timeout_closes_connection() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            Arc::new(|_req: Request| Response::Pong),
+            ServeOptions {
+                idle_timeout: Some(Duration::from_millis(40)),
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+        // Go idle past the server's deadline; the node reaps the
+        // connection and the next exchange fails instead of pinning a
+        // server thread forever.
+        std::thread::sleep(Duration::from_millis(120));
+        let res = client.call(&Request::Ping);
+        assert!(res.is_err(), "expected reaped connection, got {res:?}");
+        // A fresh dial works: only the idle connection was reaped.
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        assert_eq!(c2.call(&Request::Ping).unwrap(), Response::Pong);
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //!   queries, per-shard metrics.
 //! * [`client`] — producer, data owner, consumer.
 //! * [`wire`] — framing + TCP transport.
+//! * [`faults`] — deterministic fault injection: seeded
+//!   `FaultPlan` schedules, a `FaultyKv` store decorator, a
+//!   `FaultyTransport` frame-level proxy (chaos tests + bench).
 //! * [`baselines`] — Paillier, EC-ElGamal/P-256,
 //!   ECIES, ECDSA, ABE cost model.
 //! * [`integrity`] — the Verena-style extension
@@ -56,6 +59,7 @@ pub use timecrypt_chunk as chunk;
 pub use timecrypt_client as client;
 pub use timecrypt_core as core;
 pub use timecrypt_crypto as crypto;
+pub use timecrypt_faults as faults;
 pub use timecrypt_index as index;
 pub use timecrypt_integrity as integrity;
 pub use timecrypt_server as server;

@@ -1,0 +1,193 @@
+//! Timeout-driven failover: a primary that *accepts connections but
+//! never replies* is indistinguishable from a dead one to callers — the
+//! per-operation socket deadline must convert the hang into strikes, and
+//! the strike machinery must promote the in-sync backup within the
+//! `promote_after × io_timeout` budget. Mutations whose exchange timed
+//! out are ambiguous (the hung node may have applied them) and must be
+//! reported as such, never silently duplicated.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use timecrypt::chunk::serialize::EncryptedChunk;
+use timecrypt::chunk::{DataPoint, DigestSchema, PlainChunk, StreamConfig};
+use timecrypt::core::StreamKeyMaterial;
+use timecrypt::crypto::{PrgKind, SecureRandom};
+use timecrypt::faults::FaultyTransport;
+use timecrypt::server::ServerConfig;
+use timecrypt::service::{NodeConfig, ServiceConfig, ShardNode, ShardSpec, ShardedService};
+use timecrypt::store::MemKv;
+use timecrypt::wire::messages::{Request, Response};
+use timecrypt::wire::transport::{Handler, Server};
+
+fn keys(id: u128) -> StreamKeyMaterial {
+    StreamKeyMaterial::with_params(id, [(id as u8).wrapping_add(3); 16], 20, PrgKind::Aes).unwrap()
+}
+
+fn sealed(id: u128, index: u64, value: i64) -> EncryptedChunk {
+    let cfg = StreamConfig {
+        schema: DigestSchema::sum_count(),
+        ..StreamConfig::new(id, "m", 0, 10_000)
+    };
+    let mut rng = SecureRandom::from_seed_insecure(400 + index);
+    PlainChunk {
+        stream: id,
+        index,
+        points: vec![DataPoint::new(index as i64 * 10_000, value)],
+    }
+    .seal(&cfg, &keys(id), &mut rng)
+    .unwrap()
+}
+
+fn spawn_node() -> (Server, std::net::SocketAddr) {
+    let node = ShardNode::open(
+        Arc::new(MemKv::new()),
+        NodeConfig {
+            total_shards: 1,
+            hosted: vec![0],
+            engine: ServerConfig::default(),
+        },
+    )
+    .unwrap();
+    let server = Server::bind("127.0.0.1:0", Arc::new(node)).unwrap();
+    let addr = server.addr();
+    (server, addr)
+}
+
+/// The hung-primary scenario end to end: black-holing the primary's
+/// proxy makes it accept TCP connections and swallow every frame. The
+/// socket deadline fires per exchange, each timeout is a strike, and at
+/// `promote_after` strikes the in-sync backup takes over — restoring
+/// write availability within a budget proportional to
+/// `promote_after × io_timeout`. The mutation that timed out is
+/// surfaced as ambiguous and is not duplicated by the failover.
+#[test]
+fn hung_primary_promotes_within_timeout_budget() {
+    const IO_TIMEOUT: Duration = Duration::from_millis(150);
+    const PROMOTE_AFTER: u32 = 2;
+
+    let (_node_a, addr_a) = spawn_node();
+    let (_node_b, addr_b) = spawn_node();
+    // Primary is reached through a fault proxy; the backup is direct.
+    let proxy = FaultyTransport::spawn(addr_a, timecrypt::faults::FaultPlan::quiet()).unwrap();
+    let svc = ShardedService::open(
+        Arc::new(MemKv::new()),
+        ServiceConfig {
+            topology: vec![
+                ShardSpec::remote(proxy.addr().to_string()).with_backup(addr_b.to_string())
+            ],
+            pool: timecrypt::wire::pool::PoolConfig {
+                connect_attempts: 2,
+                backoff: Duration::from_millis(1),
+                io_timeout: Some(IO_TIMEOUT),
+                ..Default::default()
+            },
+            promote_after: PROMOTE_AFTER,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Healthy phase: stream + one chunk through the proxy, mirrored to
+    // the backup.
+    svc.create_stream(1, 0, 10_000, 2).unwrap();
+    svc.insert(&sealed(1, 0, 7)).unwrap();
+    let healthy = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+    assert!(svc.stats().shards[0].in_sync);
+
+    // The primary hangs: connections still accepted, every frame
+    // swallowed, no RST — only the deadline can unwedge callers.
+    proxy.black_hole();
+
+    let wedged = Instant::now();
+    let mut promoted_after_attempts = 0u32;
+    loop {
+        promoted_after_attempts += 1;
+        match svc.insert(&sealed(1, 1, 8)) {
+            Ok(()) => break,
+            Err(e) => {
+                // Each timed-out attempt is ambiguous: the hung primary
+                // may have applied the write.
+                assert!(
+                    e.to_string().contains("mutation outcome unknown"),
+                    "expected ambiguous-ack error, got: {e}"
+                );
+            }
+        }
+        assert!(
+            promoted_after_attempts <= PROMOTE_AFTER + 1,
+            "promotion did not happen within the strike budget"
+        );
+    }
+    let elapsed = wedged.elapsed();
+    // Each attempt burns at most one io_timeout on the hung primary
+    // (mutations are never retried at the pool level); promotion must
+    // land within the strike budget plus slack for dials and mirroring.
+    let budget = IO_TIMEOUT * (PROMOTE_AFTER + 1) + Duration::from_secs(2);
+    assert!(
+        elapsed < budget,
+        "promotion took {elapsed:?}, budget {budget:?}"
+    );
+
+    let snap = svc.stats();
+    assert_eq!(snap.shards[0].promotions, 1, "{snap:?}");
+
+    // No duplication: the stream holds exactly chunks 0 and 1 — the
+    // ambiguous attempts did not replay chunk 1 onto the new primary
+    // (strict next-index would have rejected a duplicate anyway, but
+    // the length proves none slipped through).
+    match svc.handle(Request::StreamInfo { stream: 1 }) {
+        Response::Info(i) => assert_eq!(i.len, 2, "exactly chunks 0 and 1"),
+        other => panic!("unexpected {other:?}"),
+    }
+    // The promoted primary serves the pre-fault data identically, plus
+    // the write that finally landed.
+    let after = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+    assert_eq!(healthy, after, "chunk 0 survives the promotion");
+    let both = svc.get_stat_range(&[1], 0, 20_000).unwrap();
+    assert_eq!(both.parts, vec![(1, 0, 2)]);
+}
+
+/// Reads against the hung primary fail over to the in-sync backup
+/// without waiting for promotion — one deadline expiry, then the backup
+/// answers from mirrored data.
+#[test]
+fn reads_fail_over_from_hung_primary_within_one_deadline() {
+    const IO_TIMEOUT: Duration = Duration::from_millis(150);
+    let (_node_a, addr_a) = spawn_node();
+    let (_node_b, addr_b) = spawn_node();
+    let proxy = FaultyTransport::spawn(addr_a, timecrypt::faults::FaultPlan::quiet()).unwrap();
+    let svc = ShardedService::open(
+        Arc::new(MemKv::new()),
+        ServiceConfig {
+            topology: vec![
+                ShardSpec::remote(proxy.addr().to_string()).with_backup(addr_b.to_string())
+            ],
+            pool: timecrypt::wire::pool::PoolConfig {
+                connect_attempts: 2,
+                backoff: Duration::from_millis(1),
+                io_timeout: Some(IO_TIMEOUT),
+                ..Default::default()
+            },
+            // Promotion disabled: this test isolates failover reads.
+            promote_after: 0,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    svc.create_stream(1, 0, 10_000, 2).unwrap();
+    svc.insert(&sealed(1, 0, 5)).unwrap();
+    let healthy = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+
+    proxy.black_hole();
+    let t = Instant::now();
+    let after = svc.get_stat_range(&[1], 0, 10_000).unwrap();
+    let elapsed = t.elapsed();
+    assert_eq!(healthy, after, "backup serves identical data");
+    // One leg attempt (pooled) + one fresh retry inside the backend can
+    // each burn a deadline before the failover kicks in.
+    assert!(
+        elapsed < IO_TIMEOUT * 2 + Duration::from_secs(2),
+        "failover read took {elapsed:?}"
+    );
+    assert!(svc.stats().shards[0].failovers > 0);
+}
